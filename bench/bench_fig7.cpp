@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces §6.2 and Figure 7: reverse engineering the Zen 3/4
+ * cross-privilege BTB functions.
+ *
+ *  1. Brute force (flip bit 47 + up to 5 more bits): succeeds instantly
+ *     on Zen 2, finds nothing on Zen 3 — matching the paper's failed
+ *     first attempt.
+ *  2. Random collision sampling + bounded-weight GF(2) recovery (the
+ *     paper used Z3): recovers the twelve Figure-7 parity functions.
+ *  3. Validates the two collision masks the paper confirms on Zen 3/4.
+ */
+
+#include "attack/btb_re.hpp"
+#include "bench_util.hpp"
+#include "bpu/btb_hash.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main()
+{
+    bench::header("Figure 7: cross-privilege BTB function recovery");
+
+    // ---- Step 1: brute force ---------------------------------------------
+    {
+        BtbReverseEngineer re(cpu::zen2(), 17);
+        auto masks = re.bruteForce(2);
+        std::printf("zen2 brute force (<= 2 flips): %zu pattern(s) found "
+                    "[%llu queries]\n",
+                    masks.size(),
+                    static_cast<unsigned long long>(re.queries()));
+        for (u64 mask : masks)
+            std::printf("    K ^ 0x%016llx collides\n",
+                        static_cast<unsigned long long>(mask));
+    }
+    {
+        unsigned flips = bench::fastMode() ? 4 : 6;
+        BtbReverseEngineer re(cpu::zen3(), 17);
+        auto masks = re.bruteForce(flips);
+        std::printf("zen3 brute force (<= %u flips): %zu pattern(s) found "
+                    "[%llu queries] (paper: none up to 6)\n",
+                    flips, masks.size(),
+                    static_cast<unsigned long long>(re.queries()));
+    }
+
+    // ---- Step 2: sampling + GF(2) solver ------------------------------------
+    {
+        BtbReverseEngineer re(cpu::zen3(), 23);
+        u64 want = bench::runCount(28, 16);
+        auto functions = re.recoverFunctions(want, 2'000'000);
+        std::printf("\nzen3 solver: %zu collision samples -> %zu functions "
+                    "[%llu queries]\n",
+                    static_cast<std::size_t>(want), functions.size(),
+                    static_cast<unsigned long long>(re.queries()));
+
+        auto published = bpu::zen34ParityMasks();
+        std::size_t matched = 0;
+        for (u64 f : functions) {
+            bool in_paper =
+                std::find(published.begin(), published.end(), f) !=
+                published.end();
+            matched += in_paper ? 1 : 0;
+            std::printf("    %-34s %s\n",
+                        analysis::maskToString(f).c_str(),
+                        in_paper ? "(= Figure 7)" : "(new)");
+        }
+        std::printf("Figure-7 functions recovered: %zu / %u\n", matched,
+                    bpu::kNumZen34Functions);
+    }
+
+    // ---- Step 3: the paper's confirmed masks ---------------------------------
+    {
+        std::printf("\nConfirming the paper's collision masks on zen3 and "
+                    "zen4:\n");
+        for (const auto& cfg : {cpu::zen3(), cpu::zen4()}) {
+            BtbReverseEngineer re(cfg, 31);
+            for (u64 mask :
+                 {0xffffbff800000000ull, 0xffff8003ff800000ull}) {
+                VAddr candidate =
+                    canonicalize(re.kernelVictimVa() ^ mask);
+                bool hit = re.collides(candidate) && re.collides(candidate);
+                std::printf("    %s: K ^ 0x%016llx -> %s\n",
+                            cfg.name.c_str(),
+                            static_cast<unsigned long long>(mask),
+                            hit ? "collides" : "no collision");
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces the §9.3 attack-surface comparison: with PHANTOM's P3, a
+ * disclosure gadget needs only a *single* load after a conditional
+ * branch (Kasper's "MDS gadgets") instead of the dependent double load
+ * of classic Spectre-V1. On the Linux kernel the paper reports roughly a
+ * 4x expansion (183 -> 722 gadgets). We scan a synthetic kernel-like
+ * instruction mix and report the same two counts and their ratio.
+ */
+
+#include "analysis/gadget_scan.hpp"
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::analysis;
+
+int
+main()
+{
+    bench::header("Section 9.3: speculative gadget surface expansion");
+
+    u64 bytes = bench::fastMode() ? (1u << 20) : (8u << 20);
+    std::printf("scanning %llu MiB of synthetic kernel-like text\n\n",
+                static_cast<unsigned long long>(bytes >> 20));
+
+    std::printf("%-8s %12s %16s %16s %10s\n", "window", "cond. jcc",
+                "classic gadgets", "phantom gadgets", "ratio");
+    bench::rule();
+
+    auto text = syntheticKernelText(bytes, /*seed=*/271828);
+    for (u32 window : {8u, 16u, 24u, 48u}) {
+        GadgetScanOptions options;
+        options.windowInsns = window;
+        auto result = scanGadgets(text, 0, options);
+        std::printf("%-8u %12llu %16llu %16llu %9.1fx\n", window,
+                    static_cast<unsigned long long>(
+                        result.conditionalBranches),
+                    static_cast<unsigned long long>(result.classicGadgets),
+                    static_cast<unsigned long long>(result.phantomGadgets),
+                    result.expansionFactor());
+    }
+
+    std::printf("\nPaper (via Kasper, real Linux kernel): 183 classic -> "
+                "722 phantom-exploitable, ~3.9x.\n"
+                "Shape: single-load gadgets outnumber dependent "
+                "double-load gadgets several-fold at every window.\n");
+    return 0;
+}

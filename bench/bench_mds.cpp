@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces §7.4 "Leaking memory with MDS gadgets": a single-load
+ * bounds-check gadget in a kernel module (Listing 4) is combined with P3
+ * — a nested PHANTOM speculation that dispatches the secret-dependent
+ * load from a hijacked call — to leak 4096 bytes of randomized kernel
+ * data via Flush+Reload. Zen 2 in the paper; we run Zen 1 and Zen 2.
+ */
+
+#include "attack/exploits.hpp"
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main()
+{
+    bench::header("Section 7.4: arbitrary kernel leak via MDS gadget + P3");
+
+    u64 runs = bench::runCount(10, 2);
+    u64 bytes =
+        bench::envOr("PHANTOM_BYTES", bench::fastMode() ? 256 : 4096);
+
+    std::printf("%-6s %-22s %10s %10s %14s   (%llu runs x %llu B)\n",
+                "uarch", "model", "accuracy", "no-signal", "bandwidth",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(bytes));
+    bench::rule();
+
+    for (const auto& cfg : {cpu::zen1(), cpu::zen2()}) {
+        SampleSet accuracy;
+        SampleSet bandwidth;
+        u64 runs_with_signal = 0;
+        for (u64 r = 0; r < runs; ++r) {
+            MdsLeakOptions options;
+            options.bytes = bytes;
+            options.seed = 777 + r * 13;
+            MdsGadgetLeak leak(cfg, options);
+            MdsLeakResult result = leak.run();
+            if (!result.supported)
+                continue;
+            accuracy.add(result.accuracy);
+            bandwidth.add(result.bytesPerSecond);
+            runs_with_signal += (result.noSignal < result.bytes) ? 1 : 0;
+        }
+        if (accuracy.count() == 0) {
+            std::printf("%-6s %-22s  (no transient execution window)\n",
+                        cfg.name.c_str(), cfg.model.c_str());
+            continue;
+        }
+        std::printf("%-6s %-22s %9.2f%% %10llu %11.0f B/s\n",
+                    cfg.name.c_str(), cfg.model.c_str(),
+                    accuracy.median() * 100.0,
+                    static_cast<unsigned long long>(runs -
+                                                    runs_with_signal),
+                    bandwidth.median());
+    }
+
+    std::printf("Paper (zen2): 100%% accuracy, median 84 B/s, signal in "
+                "8/10 runs.\n");
+
+    // Negative control: on Zen 3/4 the nested window carries no execute
+    // stage, so the gadget chain yields nothing.
+    {
+        MdsLeakOptions options;
+        options.bytes = 64;
+        MdsGadgetLeak leak(cpu::zen4(), options);
+        MdsLeakResult result = leak.run();
+        std::printf("zen4 negative control: supported=%s (paper: MDS "
+                    "gadgets unexploitable beyond Zen 2)\n",
+                    result.supported ? "yes (UNEXPECTED)" : "no");
+    }
+    return 0;
+}

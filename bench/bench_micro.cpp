@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * decode throughput, BTB lookup, cache access, end-to-end simulated IPS,
+ * and kernel boot cost. These bound how long the table/figure harnesses
+ * take and catch performance regressions in the model.
+ */
+
+#include "attack/testbed.hpp"
+#include "isa/assembler.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace phantom;
+
+namespace {
+
+void
+BM_DecodeMixed(benchmark::State& state)
+{
+    isa::Assembler code(0x400000);
+    for (int i = 0; i < 32; ++i) {
+        code.movImm(isa::RAX, i);
+        code.addImm(isa::RBX, i);
+        code.load(isa::RCX, isa::RAX, 8);
+        code.jcc(isa::Cond::Ne, VAddr{0x400000});
+        code.nopN(7);
+    }
+    std::vector<u8> bytes = code.finish();
+    for (auto _ : state) {
+        std::size_t offset = 0;
+        while (offset < bytes.size()) {
+            isa::Insn insn =
+                isa::decode(bytes.data() + offset, bytes.size() - offset);
+            benchmark::DoNotOptimize(insn);
+            offset += insn.length;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 160);
+}
+BENCHMARK(BM_DecodeMixed);
+
+void
+BM_BtbLookup(benchmark::State& state)
+{
+    bpu::BtbConfig config;
+    config.hash = bpu::BtbHashKind::Zen34;
+    bpu::Btb btb(config);
+    for (u64 i = 0; i < 4096; ++i)
+        btb.train(0x400000 + i * 16, isa::BranchType::DirectJump,
+                  0x500000 + i, Privilege::User);
+    u64 va = 0x400000;
+    for (auto _ : state) {
+        auto hit = btb.lookup(va, Privilege::User);
+        benchmark::DoNotOptimize(hit);
+        va += 16;
+        if (va > 0x410000)
+            va = 0x400000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtbLookup);
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    mem::CacheHierarchy caches;
+    u64 pa = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(caches.dataAccess(pa));
+        pa = (pa + 832) & 0xfffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SimulatedLoopIps(benchmark::State& state)
+{
+    attack::Testbed bed(cpu::zen2(), 1ull << 30, 1);
+    isa::Assembler code(0x400000);
+    isa::Label loop = code.newLabel();
+    code.movImm(isa::RCX, 10000);
+    code.bind(loop);
+    code.addImm(isa::RAX, 1);
+    code.subImm(isa::RCX, 1);
+    code.cmpImm(isa::RCX, 0);
+    code.jcc(isa::Cond::Ne, loop);
+    code.hlt();
+    bed.process.mapCode(0x400000, code.finish());
+
+    u64 instructions = 0;
+    for (auto _ : state) {
+        auto result = bed.runUser(0x400000, 100'000);
+        instructions += result.instructions;
+    }
+    state.SetItemsProcessed(static_cast<i64>(instructions));
+}
+BENCHMARK(BM_SimulatedLoopIps);
+
+void
+BM_KernelBoot(benchmark::State& state)
+{
+    u64 seed = 1;
+    for (auto _ : state) {
+        attack::Testbed bed(cpu::zen3(), 1ull << 30, seed++);
+        benchmark::DoNotOptimize(bed.kernel.imageBase());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelBoot);
+
+void
+BM_SyscallRoundTrip(benchmark::State& state)
+{
+    attack::Testbed bed(cpu::zen3(), 1ull << 30, 1);
+    bed.syscall(os::kSysGetpid);
+    for (auto _ : state) {
+        auto result = bed.syscall(os::kSysGetpid);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyscallRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

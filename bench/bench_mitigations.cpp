@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Reproduces §6.3 and §8: mitigation effectiveness and cost.
+ *
+ *  - SuppressBPOnNonBr overhead on the UnixBench-proxy suite
+ *    (paper: 0.69% single-core / 0.42% multi-core geometric mean).
+ *  - O4: the bit stops transient execute at non-branches but not IF/ID.
+ *  - O5: AutoIBRS does not stop the transient fetch of cross-privilege
+ *    targets (P1 survives).
+ *  - IBPB on privilege transitions stops all three primitives, at a
+ *    large cost.
+ */
+
+#include "attack/covert.hpp"
+#include "attack/experiment.hpp"
+#include "attack/exploits.hpp"
+#include "attack/workloads.hpp"
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+namespace {
+
+void
+printStage(const char* label, const StageObservation& obs)
+{
+    std::printf("  %-44s IF=%d ID=%d EX=%d\n", label, obs.signals.fetch,
+                obs.signals.decode, obs.signals.execute);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Mitigations (paper section 6.3 / 8)");
+
+    // ---- SuppressBPOnNonBr overhead ---------------------------------------
+    {
+        MitigationSetting setting;
+        setting.suppressBpOnNonBr = true;
+        double zen2 = mitigationOverhead(cpu::zen2(), setting);
+        double zen4 = mitigationOverhead(cpu::zen4(), setting);
+        std::printf("SuppressBPOnNonBr overhead (geomean over suite):\n");
+        std::printf("  zen2: %.2f%%   zen4: %.2f%%   (paper UnixBench: "
+                    "0.69%% single / 0.42%% multi)\n",
+                    zen2 * 100.0, zen4 * 100.0);
+    }
+
+    // ---- O4: SuppressBPOnNonBr vs the pipeline stages -----------------------
+    {
+        std::printf("\nO4: SuppressBPOnNonBr on zen2, jmp* training of a "
+                    "non-branch victim:\n");
+        StageExperimentOptions options;
+        options.trials = 3;
+        StageExperiment off(cpu::zen2(), options);
+        printStage("bit clear:",
+                   off.run(BranchKind::IndirectJmp, BranchKind::NonBranch));
+        options.suppressBpOnNonBr = true;
+        StageExperiment on(cpu::zen2(), options);
+        printStage("bit set (expect IF/ID only):",
+                   on.run(BranchKind::IndirectJmp, BranchKind::NonBranch));
+        printStage("bit set, branch victim (expect EX, unaffected):",
+                   on.run(BranchKind::IndirectJmp, BranchKind::DirectJmp));
+
+        // Zen 1 does not support the bit at all.
+        StageExperimentOptions z1 = options;
+        StageExperiment zen1(cpu::zen1(), z1);
+        printStage("zen1, bit set but unsupported (expect EX):",
+                   zen1.run(BranchKind::IndirectJmp, BranchKind::NonBranch));
+    }
+
+    // ---- O5: AutoIBRS vs cross-privilege transient fetch --------------------
+    {
+        std::printf("\nO5: AutoIBRS on zen4, user-injected prediction at a "
+                    "kernel nop:\n");
+        for (bool auto_ibrs : {false, true}) {
+            Testbed bed(cpu::zen4(), kDefaultPhysBytes, 7);
+            bed.machine.msrs().setBit(cpu::msr::kEfer,
+                                      cpu::msr::kAutoIbrsBit, auto_ibrs);
+            bed.syscall(os::kSysGetpid);   // warm
+            PredictionInjector injector(bed);
+            VAddr victim = bed.kernel.getpidGadgetVa();
+            VAddr target = bed.kernel.imageBase() + 0x3000;
+            injector.inject(victim, target);
+            bed.machine.clflushVirt(target);
+            u64 decode0 = bed.machine.pmc().read(cpu::PmcEvent::SpecDecode);
+            bed.syscall(os::kSysGetpid);
+            u64 decode_delta =
+                bed.machine.pmc().read(cpu::PmcEvent::SpecDecode) - decode0;
+            Cycle lat =
+                bed.machine.timedFetchAccess(target, Privilege::Kernel);
+            bool fetched = lat < bed.machine.caches().config().latMem;
+            std::printf("  AutoIBRS=%d: target fetched=%d, spec decodes=%llu"
+                        "  (paper: IF survives AutoIBRS)\n",
+                        auto_ibrs, fetched,
+                        static_cast<unsigned long long>(decode_delta));
+        }
+    }
+
+    // ---- IBPB stops the covert channel -------------------------------------
+    {
+        std::printf("\nIBPB on every kernel entry vs the P1 channel "
+                    "(zen3, 128 bits):\n");
+        for (bool ibpb : {false, true}) {
+            CovertOptions options;
+            options.bits = 128;
+            CovertChannel channel(cpu::zen3(), options);
+            channel.testbed().machine.setIbpbOnSyscall(ibpb);
+            CovertResult result = channel.runFetchChannel();
+            std::printf("  ibpb=%d: accuracy %.1f%% (%s)\n", ibpb,
+                        result.accuracy * 100.0,
+                        ibpb ? "expect ~50% = channel dead"
+                             : "expect ~100%");
+        }
+
+        MitigationSetting setting;
+        setting.ibpbEverySyscall = true;
+        double cost = mitigationOverhead(cpu::zen3(), setting);
+        std::printf("  IBPB-per-syscall overhead on the suite: %.1f%% "
+                    "(the paper calls the penalty 'large')\n",
+                    cost * 100.0);
+    }
+
+    // ---- STIBP: cross-thread, not cross-privilege -----------------------------
+    {
+        std::printf("\nSTIBP restricts sibling-thread predictions (§2.4) "
+                    "but not same-thread\nuser->kernel injection — the "
+                    "PHANTOM path is unaffected:\n");
+        Testbed bed(cpu::zen2(), kDefaultPhysBytes, 3);
+        bed.machine.msrs().setBit(cpu::msr::kSpecCtrl,
+                                  cpu::msr::kStibpBit, true);
+        bed.syscall(os::kSysGetpid);
+        PredictionInjector injector(bed);
+        VAddr target = bed.kernel.imageBase() + 0x3000;
+        injector.inject(bed.kernel.getpidGadgetVa(), target);
+        bed.machine.clflushVirt(target);
+        bed.syscall(os::kSysGetpid);
+        bool fetched =
+            bed.machine.timedFetchAccess(target, Privilege::Kernel) <
+            bed.machine.caches().config().latMem;
+        std::printf("  STIBP on, same-thread injection: target fetched=%d "
+                    "(expect 1 — STIBP is no PHANTOM defence)\n",
+                    fetched);
+    }
+    return 0;
+}

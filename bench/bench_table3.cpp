@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Table 3: kernel image KASLR derandomization via P1
+ * (transient fetch) with the §7.3 bounded multi-set scoring. Each run
+ * "reboots" the machine (fresh KASLR seed), scans all 488 candidate
+ * slots, and reports accuracy plus median time.
+ */
+
+#include "attack/exploits.hpp"
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main()
+{
+    bench::header("Table 3: kernel image KASLR derandomization (P1)");
+
+    u64 runs = bench::runCount(100, 5);
+    u32 sets = static_cast<u32>(
+        bench::envOr("PHANTOM_SETS", bench::fastMode() ? 8 : 32));
+
+    std::printf("%-6s %-22s %10s %14s   (%llu runs, %u sets)\n", "uarch",
+                "model", "accuracy", "median time",
+                static_cast<unsigned long long>(runs), sets);
+    bench::rule();
+
+    for (const auto& cfg : {cpu::zen2(), cpu::zen3(), cpu::zen4()}) {
+        SampleSet times;
+        u64 successes = 0;
+        for (u64 r = 0; r < runs; ++r) {
+            Testbed bed(cfg, kDefaultPhysBytes, 4242 + r * 131);
+            KaslrOptions options;
+            options.scoreSets = sets;
+            KernelImageKaslrBreak exploit(bed, options);
+            DerandResult result = exploit.run();
+            successes += result.success ? 1 : 0;
+            times.add(result.seconds);
+        }
+        std::printf("%-6s %-22s %9.0f%% %11.4f s\n", cfg.name.c_str(),
+                    cfg.model.c_str(),
+                    100.0 * static_cast<double>(successes) /
+                        static_cast<double>(runs),
+                    times.median());
+    }
+
+    std::printf("Paper: zen2 97%% 4.09 s | zen3 100%% 1.38 s | "
+                "zen4 95%% 1.23 s\n"
+                "(Simulated seconds are smaller: the model needs no "
+                "noise-retry amplification.)\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: environment
+ * knobs for scaling run counts, and formatted output.
+ *
+ * Every bench accepts:
+ *   PHANTOM_FAST=1     reduced runs/sizes for quick iteration
+ *   PHANTOM_RUNS=N     override the per-experiment repeat count
+ */
+
+#ifndef PHANTOM_BENCH_UTIL_HPP
+#define PHANTOM_BENCH_UTIL_HPP
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace phantom::bench {
+
+inline bool
+fastMode()
+{
+    const char* env = std::getenv("PHANTOM_FAST");
+    return env != nullptr && env[0] == '1';
+}
+
+inline u64
+envOr(const char* name, u64 fallback)
+{
+    if (const char* env = std::getenv(name)) {
+        char* end = nullptr;
+        u64 v = std::strtoull(env, &end, 10);
+        if (end != env)
+            return v;
+    }
+    return fallback;
+}
+
+/** Default repeat count: @p full normally, @p fast under PHANTOM_FAST. */
+inline u64
+runCount(u64 full, u64 fast)
+{
+    return envOr("PHANTOM_RUNS", fastMode() ? fast : full);
+}
+
+inline void
+header(const std::string& title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void
+rule()
+{
+    std::printf("---------------------------------------------"
+                "---------------------------\n");
+}
+
+} // namespace phantom::bench
+
+#endif // PHANTOM_BENCH_UTIL_HPP

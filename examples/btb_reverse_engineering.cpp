@@ -1,0 +1,77 @@
+/**
+ * @file
+ * BTB reverse-engineering walkthrough (paper §6.2): recover the Zen 3
+ * cross-privilege indexing functions from a purely microarchitectural
+ * collision oracle — no access to the (simulated) hardware's internals.
+ *
+ * Mirrors the paper's two attempts:
+ *   1. brute force small bit-flip patterns (fails on Zen 3),
+ *   2. random sampling + bounded-weight XOR recovery (the paper's Z3
+ *      step, replaced by exhaustive GF(2) search), which yields the
+ *      twelve Figure-7 functions.
+ */
+
+#include "attack/btb_re.hpp"
+#include "bpu/btb_hash.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main()
+{
+    BtbReverseEngineer re(cpu::zen3(), /*seed=*/2);
+    std::printf("victim kernel address K = 0x%llx (nop inside a module)\n",
+                static_cast<unsigned long long>(re.kernelVictimVa()));
+
+    // ---- Attempt 1: brute force ----------------------------------------
+    std::printf("\n[1] brute forcing flip patterns (bit 47 + up to 3 "
+                "more bits)...\n");
+    auto masks = re.bruteForce(4);
+    std::printf("    %zu patterns collide after %llu oracle queries "
+                "(paper: none up to 6 bits on Zen 3)\n",
+                masks.size(), static_cast<unsigned long long>(re.queries()));
+
+    // ---- Attempt 2: sampling + solver ------------------------------------
+    std::printf("\n[2] sampling random user addresses with the low 12 "
+                "bits pinned to K's...\n");
+    auto diffs = re.collectCollisionDiffs(/*want=*/20,
+                                          /*max_queries=*/1'500'000);
+    std::printf("    %zu colliding addresses collected (%llu queries "
+                "total)\n",
+                diffs.size(),
+                static_cast<unsigned long long>(re.queries()));
+
+    std::printf("\n[3] solving for XOR functions of bounded weight "
+                "(every function forced to involve b47, as in the "
+                "paper's solver setup)...\n");
+    analysis::ParityRecoveryOptions options;
+    auto functions = analysis::recoverParityMasks(diffs, options);
+
+    auto published = bpu::zen34ParityMasks();
+    std::size_t matched = 0;
+    for (u64 f : functions) {
+        bool known = std::find(published.begin(), published.end(), f) !=
+                     published.end();
+        matched += known ? 1 : 0;
+        std::printf("    f: %-36s %s\n", analysis::maskToString(f).c_str(),
+                    known ? "(Figure 7)" : "(extra)");
+    }
+    std::printf("\nrecovered %zu/%u of the published functions\n", matched,
+                bpu::kNumZen34Functions);
+
+    // ---- Use the result ----------------------------------------------------
+    std::printf("\n[4] deriving a collision mask from the recovered "
+                "functions and validating it...\n");
+    // The paper's K ^ 0xffffbff800000000 pattern flips b47 plus one mid
+    // bit of each function; confirm it against the oracle.
+    VAddr alias = canonicalize(re.kernelVictimVa() ^ 0xffffbff800000000ull);
+    bool hit = re.collides(alias) && re.collides(alias);
+    std::printf("    K ^ 0xffffbff800000000 -> %s\n",
+                hit ? "collides (exploitable from user space)"
+                    : "no collision");
+    return matched == bpu::kNumZen34Functions && hit ? 0 : 1;
+}

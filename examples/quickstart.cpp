@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: boot a simulated AMD Zen 3 machine, observe PHANTOM
+ * speculation end to end in ~80 lines.
+ *
+ * What happens:
+ *   1. A machine is created and a Linux-like kernel is booted with KASLR.
+ *   2. From user mode, a branch prediction is injected at the address of
+ *      a *nop* inside the kernel's getpid() path, pointing at a kernel
+ *      code address of our choosing — by executing a jmp* at a
+ *      BTB-aliasing user address and catching the fault.
+ *   3. getpid() is invoked. While the frontend fetches the nop, the BTB
+ *      claims a branch lives there, and the target is transiently
+ *      fetched before the decoder corrects the mistake.
+ *   4. A timing probe shows the target's cache line is now hot: the
+ *      decoder-detectable misprediction left a microarchitectural trace.
+ */
+
+#include "attack/testbed.hpp"
+
+#include <cstdio>
+
+using namespace phantom;
+using namespace phantom::attack;
+
+int
+main()
+{
+    // 1. One machine + kernel + attacker process, AMD Zen 3 parameters.
+    Testbed bed(cpu::zen3());
+    std::printf("booted %s, kernel image @ 0x%llx (KASLR)\n",
+                bed.machine.config().model.c_str(),
+                static_cast<unsigned long long>(bed.kernel.imageBase()));
+
+    // Warm the syscall path so only our injected prediction mispredicts.
+    bed.syscall(os::kSysGetpid);
+
+    // 2. Inject: make the BTB believe the nop at the start of
+    //    __task_pid_nr_ns() (paper Listing 1) is an indirect branch to
+    //    `target`.
+    VAddr victim_nop = bed.kernel.getpidGadgetVa();
+    VAddr target = bed.kernel.imageBase() + 0x3000;
+    PredictionInjector injector(bed);
+    injector.inject(victim_nop, target);
+    std::printf("injected prediction: kernel nop @ 0x%llx -> 0x%llx\n",
+                static_cast<unsigned long long>(victim_nop),
+                static_cast<unsigned long long>(target));
+
+    // 3. Flush the target line, then run the victim syscall.
+    bed.machine.clflushVirt(target);
+    auto result = bed.syscall(os::kSysGetpid);
+    std::printf("getpid() returned %llu in %llu cycles\n",
+                static_cast<unsigned long long>(
+                    bed.machine.regs().read(isa::RAX)),
+                static_cast<unsigned long long>(result.cycles));
+
+    // 4. Probe: a hot line means the phantom target was fetched.
+    Cycle lat = bed.machine.timedFetchAccess(target, Privilege::Kernel);
+    Cycle memory = bed.machine.caches().config().latMem;
+    std::printf("target fetch latency: %llu cycles (memory = %llu)\n",
+                static_cast<unsigned long long>(lat),
+                static_cast<unsigned long long>(memory));
+    if (lat < memory) {
+        std::printf("=> PHANTOM: the target entered the pipeline while "
+                    "the CPU was fetching a nop.\n");
+    } else {
+        std::printf("=> no speculation observed (unexpected on Zen 3)\n");
+    }
+
+    // Counters: one frontend (decoder-issued) resteer fired in kernel.
+    std::printf("frontend resteers: %llu, spec fetches: %llu, spec "
+                "decodes: %llu\n",
+                static_cast<unsigned long long>(bed.machine.pmc().read(
+                    cpu::PmcEvent::MispredictFrontend)),
+                static_cast<unsigned long long>(
+                    bed.machine.pmc().read(cpu::PmcEvent::SpecFetch)),
+                static_cast<unsigned long long>(
+                    bed.machine.pmc().read(cpu::PmcEvent::SpecDecode)));
+    return 0;
+}

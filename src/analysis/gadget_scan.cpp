@@ -1,0 +1,138 @@
+#include "analysis/gadget_scan.hpp"
+
+#include "isa/assembler.hpp"
+#include "sim/rng.hpp"
+
+namespace phantom::analysis {
+
+using namespace isa;
+
+GadgetScanResult
+scanGadgets(const std::vector<u8>& code, VAddr base_va,
+            const GadgetScanOptions& options)
+{
+    (void)base_va;
+    GadgetScanResult result;
+
+    // Decode the region once.
+    std::vector<Insn> insns;
+    std::size_t offset = 0;
+    while (offset < code.size()) {
+        Insn insn = decode(code.data() + offset, code.size() - offset);
+        insns.push_back(insn);
+        offset += insn.length;
+    }
+
+    for (std::size_t i = 0; i < insns.size(); ++i) {
+        if (insns[i].kind != InsnKind::JccRel)
+            continue;
+        ++result.conditionalBranches;
+
+        bool classic = false;
+        bool phantom = false;
+        // Registers holding a loaded (potentially secret) value.
+        u16 tainted = 0;
+
+        std::size_t end = std::min(insns.size(),
+                                   i + 1 + options.windowInsns);
+        for (std::size_t j = i + 1; j < end; ++j) {
+            const Insn& insn = insns[j];
+            switch (insn.kind) {
+              case InsnKind::Load:
+                phantom = true;   // a single load suffices with P3
+                if (tainted & (1u << insn.src))
+                    classic = true;   // base depends on a prior load
+                tainted |= 1u << insn.dst;
+                break;
+              case InsnKind::MovReg:
+              case InsnKind::Add:
+              case InsnKind::Sub:
+              case InsnKind::Xor:
+              case InsnKind::And:
+                // Taint propagates through arithmetic into dst.
+                if (tainted & (1u << insn.src))
+                    tainted |= 1u << insn.dst;
+                break;
+              case InsnKind::MovImm:
+                tainted &= ~(1u << insn.dst);   // overwritten
+                break;
+              case InsnKind::Lfence:
+              case InsnKind::Mfence:
+              case InsnKind::Ret:
+              case InsnKind::Hlt:
+              case InsnKind::Ud2:
+              case InsnKind::Invalid:
+                j = end;          // speculation window closed
+                break;
+              default:
+                break;
+            }
+        }
+
+        result.classicGadgets += classic ? 1 : 0;
+        result.phantomGadgets += phantom ? 1 : 0;
+    }
+    return result;
+}
+
+std::vector<u8>
+syntheticKernelText(u64 bytes, u64 seed)
+{
+    Rng rng(seed);
+    Assembler code(0);
+
+    // Emit function bodies until the budget is reached. The instruction
+    // mix approximates compiled kernel code: mostly ALU/moves, ~15%
+    // loads/stores, ~15% branches; most loads are independent, a
+    // minority form the dependent double-load pattern.
+    while (code.size() + 64 < bytes) {
+        u32 body = 6 + static_cast<u32>(rng.below(18));
+        for (u32 k = 0; k < body; ++k) {
+            u8 a = static_cast<u8>(rng.below(kNumRegs));
+            u8 b = static_cast<u8>(rng.below(kNumRegs));
+            if (a == RSP)
+                a = RAX;
+            if (b == RSP)
+                b = RBX;
+            // Weights approximating compiled kernel code: ~10% bounds
+            // checks, ~13% loads (dependent pointer chases after a
+            // bounds check are rare), ~5% stores, the rest ALU/moves.
+            u64 dice = rng.below(60);
+            if (dice < 6) {
+                // Bounds check: cmp + forward jcc.
+                code.cmpImm(a, static_cast<i32>(rng.below(4096)));
+                code.jcc(static_cast<Cond>(rng.below(4)),
+                         code.here() + 6 + 12);
+            } else if (dice < 13) {
+                // Load into a freshly clobbered register so incidental
+                // taint chains stay rare (compilers reload from stable
+                // base pointers, not from just-loaded values).
+                code.movImm(a, rng.next());
+                code.load(a, b, static_cast<i32>(rng.below(0x800)));
+            } else if (dice < 14) {
+                // Dependent double load (a classic gadget when it
+                // follows a conditional).
+                code.load(a, b, static_cast<i32>(rng.below(0x800)));
+                code.load(b, a, 0);
+            } else if (dice < 17) {
+                code.store(b, static_cast<i32>(rng.below(0x800)), a);
+            } else if (dice < 21) {
+                code.movImm(a, rng.next());
+            } else if (dice < 24) {
+                code.shl(a, static_cast<u8>(rng.below(8)));
+            } else {
+                switch (rng.below(4)) {
+                  case 0: code.add(a, b); break;
+                  case 1: code.sub(a, b); break;
+                  case 2: code.xorReg(a, b); break;
+                  default: code.movReg(a, b); break;
+                }
+            }
+        }
+        code.ret();
+    }
+    code.hlt();
+    return code.finish();
+}
+
+} // namespace phantom::analysis

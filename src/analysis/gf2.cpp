@@ -1,0 +1,118 @@
+#include "analysis/gf2.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <string>
+
+namespace phantom::analysis {
+
+u64
+Gf2Span::reduce(u64 row) const
+{
+    // Basis rows have pairwise-distinct leading bits; cancel row's
+    // leading bit against the matching basis row until none matches.
+    while (row != 0) {
+        u64 top = 1ull << (63 - std::countl_zero(row));
+        bool reduced = false;
+        for (u64 b : basis_) {
+            u64 b_top = 1ull << (63 - std::countl_zero(b));
+            if (b_top == top) {
+                row ^= b;
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced)
+            break;
+    }
+    return row;
+}
+
+bool
+Gf2Span::insert(u64 row)
+{
+    row = reduce(row);
+    if (row == 0)
+        return false;
+    basis_.push_back(row);
+    return true;
+}
+
+bool
+Gf2Span::contains(u64 row) const
+{
+    return reduce(row) == 0;
+}
+
+std::vector<u64>
+recoverParityMasks(const std::vector<u64>& diffs,
+                   const ParityRecoveryOptions& options)
+{
+    std::vector<unsigned> candidate_bits;
+    for (unsigned b = options.bitLo; b <= options.bitHi; ++b) {
+        if (options.requireBit47 && b == 47)
+            continue;
+        candidate_bits.push_back(b);
+    }
+
+    auto satisfies = [&](u64 mask) {
+        for (u64 d : diffs) {
+            if (parity(mask & d) != 0)
+                return false;
+        }
+        return true;
+    };
+
+    std::vector<u64> found;
+    Gf2Span span;
+    u64 base = options.requireBit47 ? (1ull << 47) : 0;
+
+    // Enumerate masks in order of increasing weight so that the span
+    // filter prefers the minimal functions (the paper bounds the number
+    // of coefficients for the same reason).
+    unsigned extra_budget =
+        options.maxWeight - (options.requireBit47 ? 1 : 0);
+    std::size_t n = candidate_bits.size();
+
+    auto check = [&](u64 mask) {
+        if (satisfies(mask) && !span.contains(mask)) {
+            span.insert(mask);
+            found.push_back(mask);
+        }
+    };
+
+    // Recursive combination enumeration over candidate_bits.
+    auto enumerate = [&](auto&& self, std::size_t start, unsigned left,
+                         u64 mask) -> void {
+        if (left == 0) {
+            check(mask);
+            return;
+        }
+        for (std::size_t i = start; i + left <= n; ++i)
+            self(self, i + 1, left - 1, mask | (1ull << candidate_bits[i]));
+    };
+
+    for (unsigned weight = 1; weight <= extra_budget; ++weight)
+        enumerate(enumerate, 0, weight, base);
+
+    return found;
+}
+
+std::string
+maskToString(u64 mask)
+{
+    std::ostringstream oss;
+    bool first = true;
+    for (int b = 63; b >= 0; --b) {
+        if (mask & (1ull << b)) {
+            if (!first)
+                oss << " ^ ";
+            oss << "b" << b;
+            first = false;
+        }
+    }
+    return oss.str();
+}
+
+} // namespace phantom::analysis

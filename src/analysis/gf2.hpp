@@ -1,0 +1,89 @@
+/**
+ * @file
+ * GF(2) linear algebra and XOR-parity function recovery.
+ *
+ * The paper reverse engineers the Zen 3/4 cross-privilege BTB functions
+ * with a Z3 SMT solver over equations
+ * (x0*A0) ^ (x1*A1) ^ ... ^ (1*A47) = y with a bound on the number of
+ * nonzero coefficients (§6.2). Those constraints are linear over GF(2):
+ * a coefficient mask m is a solution exactly when parity(m & (A ^ B)) = 0
+ * for every colliding pair (A, B). We therefore replace the SMT solver
+ * with exhaustive bounded-weight search validated against the collision
+ * difference set, plus Gaussian elimination utilities for span checks.
+ */
+
+#ifndef PHANTOM_ANALYSIS_GF2_HPP
+#define PHANTOM_ANALYSIS_GF2_HPP
+
+#include "sim/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::analysis {
+
+/** Parity (XOR reduction) of the set bits of @p x. */
+constexpr u64
+parity(u64 x)
+{
+    x ^= x >> 32;
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x ^= x >> 4;
+    x ^= x >> 2;
+    x ^= x >> 1;
+    return x & 1;
+}
+
+/**
+ * A set of GF(2) row vectors (up to 64 columns) kept in row-echelon form.
+ */
+class Gf2Span
+{
+  public:
+    /** Insert @p row into the span. @return true if it was independent. */
+    bool insert(u64 row);
+
+    /** True if @p row is a GF(2) combination of inserted rows. */
+    bool contains(u64 row) const;
+
+    /** Dimension of the span. */
+    std::size_t rank() const { return basis_.size(); }
+
+    const std::vector<u64>& basis() const { return basis_; }
+
+  private:
+    u64 reduce(u64 row) const;
+
+    std::vector<u64> basis_;   ///< rows with distinct leading bits
+};
+
+/** Options for parity-mask recovery. */
+struct ParityRecoveryOptions
+{
+    unsigned bitLo = 12;        ///< lowest address bit considered
+    unsigned bitHi = 47;        ///< highest address bit considered
+    unsigned maxWeight = 4;     ///< max nonzero coefficients per function
+    /** Force bit 47 into every function, as the paper's solver setup
+     *  did ("(1 x A47)" in §6.2). */
+    bool requireBit47 = true;
+};
+
+/**
+ * Recover all parity masks m with popcount(m) <= maxWeight over bits
+ * [bitLo, bitHi] such that parity(m & d) == 0 for every difference
+ * vector in @p diffs (d = A ^ B for each observed colliding pair).
+ *
+ * Masks that are GF(2) combinations of previously found masks are
+ * filtered (the paper's coefficient bound serves the same purpose), with
+ * the search proceeding in order of increasing weight.
+ */
+std::vector<u64> recoverParityMasks(const std::vector<u64>& diffs,
+                                    const ParityRecoveryOptions& options = {});
+
+/** Pretty-print a parity mask as "b47 ^ b35 ^ b23". */
+std::string maskToString(u64 mask);
+
+} // namespace phantom::analysis
+
+#endif // PHANTOM_ANALYSIS_GF2_HPP

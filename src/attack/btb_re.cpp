@@ -1,0 +1,182 @@
+#include "attack/btb_re.hpp"
+
+#include "isa/assembler.hpp"
+#include "os/layout.hpp"
+
+#include <cassert>
+
+namespace phantom::attack {
+
+using namespace isa;
+
+namespace {
+
+/** Page offset of the victim nop inside the module. Chosen so that no
+ *  other instruction on the syscall path shares its low 12 address bits
+ *  (the dispatcher occupies offsets < 0x100 of the image base page) —
+ *  otherwise those instructions produce false collision signals. */
+constexpr u64 kVictimModuleOffset = 0x100;
+
+std::vector<u8>
+buildNopModule()
+{
+    // "a kernel module which contains nops followed by a return
+    // instruction" (§6.2).
+    Assembler code(0);
+    Label body = code.newLabel();
+    code.jmp(body);                     // entry: skip to the nop body
+    code.padTo(kVictimModuleOffset);
+    code.bind(body);
+    code.nopN(5);
+    code.nopN(5);
+    code.ret();
+    return code.finish();
+}
+
+} // namespace
+
+BtbReverseEngineer::BtbReverseEngineer(const cpu::MicroarchConfig& config,
+                                       u64 seed)
+    : bed_(config, kDefaultPhysBytes, seed), rng_(seed * 2654435761ull + 3)
+{
+    moduleSyscall_ = os::kSysModuleBase + 2;
+    victimVa_ = bed_.kernel.loadModule(buildNopModule(), moduleSyscall_) +
+                kVictimModuleOffset;
+    probeTarget_ = bed_.kernel.imageBase() + 0x2000;  // mapped, executable
+
+    // Two recycled frames for the per-query training site (the site VA
+    // changes every query; re-mapping fresh frames 10^5 times would
+    // exhaust physical memory).
+    sitePa_ = bed_.kernel.allocFrames(2 * kPageBytes);
+
+    bed_.syscall(moduleSyscall_);   // warm the kernel path
+}
+
+void
+BtbReverseEngineer::installTrainingSite(VAddr user_source)
+{
+    // Lay out: [mov r8, target][jmp* r8] with the jmp* exactly at
+    // user_source, on recycled physical frames.
+    VAddr entry = user_source - 10;
+    VAddr first_page = alignDown(entry, kPageBytes);
+    VAddr last_page = alignDown(user_source + 1, kPageBytes);
+
+    for (VAddr va : sitePages_)
+        bed_.kernel.pageTable().unmap(va);
+    sitePages_.clear();
+
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = false;
+    flags.user = true;
+    flags.executable = true;
+    bed_.kernel.pageTable().map4k(first_page, sitePa_, flags);
+    sitePages_.push_back(first_page);
+    if (last_page != first_page) {
+        bed_.kernel.pageTable().map4k(last_page, sitePa_ + kPageBytes,
+                                      flags);
+        sitePages_.push_back(last_page);
+    }
+
+    Assembler code(entry);
+    code.movImm(R8, probeTarget_);
+    code.jmpInd(R8);
+    std::vector<u8> bytes = code.finish();
+    bed_.machine.physMem().writeBlock(sitePa_ + (entry - first_page),
+                                      bytes);
+}
+
+bool
+BtbReverseEngineer::collides(VAddr user_source)
+{
+    ++queries_;
+    installTrainingSite(user_source);
+
+    // Train: the jmp* at U architecturally faults into the kernel
+    // target; the BTB entry is installed regardless.
+    auto run = bed_.runUser(user_source - 10, 16);
+    assert(run.reason == cpu::ExitReason::Fault);
+    (void)run;
+
+    // Observe: flush the probe line, fire the kernel victim, and check
+    // whether the line came back (transient fetch at K).
+    bed_.machine.clflushVirt(probeTarget_);
+    bed_.syscall(moduleSyscall_);
+    Cycle lat =
+        bed_.machine.timedFetchAccess(probeTarget_, Privilege::Kernel);
+    return lat < bed_.machine.caches().config().latMem;
+}
+
+std::vector<u64>
+BtbReverseEngineer::bruteForce(unsigned max_total_flips, u64 max_queries)
+{
+    std::vector<u64> found;
+    u64 budget = max_queries;
+
+    // Flip bit 47 (mandatory to reach user space) plus up to
+    // max_total_flips - 1 bits from [12, 46].
+    std::vector<unsigned> bits;
+    for (unsigned b = 12; b <= 46; ++b)
+        bits.push_back(b);
+
+    auto test = [&](u64 mask) {
+        if (budget == 0)
+            return;
+        --budget;
+        VAddr candidate = canonicalize(victimVa_ ^ mask);
+        // Confirm positives: stale predictions on other kernel-path
+        // instructions can alias by accident, but such entries are
+        // corrected by the next architectural execution, so a repeat
+        // query filters them.
+        if (collides(candidate) && collides(candidate))
+            found.push_back(mask);
+    };
+
+    auto enumerate = [&](auto&& self, std::size_t start, unsigned left,
+                         u64 mask) -> void {
+        if (budget == 0)
+            return;
+        test(mask);
+        if (left == 0)
+            return;
+        for (std::size_t i = start; i < bits.size(); ++i)
+            self(self, i + 1, left - 1, mask | (1ull << bits[i]));
+    };
+
+    enumerate(enumerate, 0, max_total_flips - 1, 1ull << 47);
+    return found;
+}
+
+std::vector<u64>
+BtbReverseEngineer::collectCollisionDiffs(u64 want, u64 max_queries)
+{
+    std::vector<u64> diffs;
+    u64 low12 = victimVa_ & 0xfff;
+    for (u64 q = 0; q < max_queries && diffs.size() < want; ++q) {
+        // Random user address with the low 12 bits pinned to K's
+        // (shrinking the search space, as the paper does).
+        VAddr candidate = (rng_.next() & 0x00007ffffffff000ull) | low12;
+        candidate &= ~(1ull << 47);
+        if (candidate == victimVa_)
+            continue;
+        // Double-confirm (see bruteForce): accidental aliasing with
+        // other kernel-path instructions does not survive a repeat.
+        if (collides(candidate) && collides(candidate))
+            diffs.push_back(candidate ^ victimVa_);
+    }
+    return diffs;
+}
+
+std::vector<u64>
+BtbReverseEngineer::recoverFunctions(u64 collisions, u64 max_queries)
+{
+    std::vector<u64> diffs = collectCollisionDiffs(collisions, max_queries);
+    analysis::ParityRecoveryOptions options;
+    options.bitLo = 12;
+    options.bitHi = 47;
+    options.maxWeight = 4;
+    options.requireBit47 = true;
+    return analysis::recoverParityMasks(diffs, options);
+}
+
+} // namespace phantom::attack

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * §6.2: reverse engineering the cross-privilege BTB indexing functions.
+ *
+ * The oracle answers "does user-space source U collide with kernel
+ * victim K?" purely microarchitecturally: train a jmp* at U towards a
+ * probe target, fire the kernel victim (a non-branch reached through a
+ * syscall), and observe whether the probe target was transiently
+ * fetched. On top of the oracle:
+ *
+ *  - bruteForce(): the paper's first attempt — flip bit 47 plus up to
+ *    n-1 more bits of K. Succeeds on Zen 1/2, fails on Zen 3/4 (the
+ *    parity functions need 12 simultaneous flips).
+ *  - collectCollisionDiffs() + recoverFunctions(): the paper's solver
+ *    approach — random sampling with the low 12 bits pinned, then
+ *    bounded-weight GF(2) parity recovery (our Z3 replacement),
+ *    reproducing the twelve Figure-7 functions.
+ */
+
+#ifndef PHANTOM_ATTACK_BTB_RE_HPP
+#define PHANTOM_ATTACK_BTB_RE_HPP
+
+#include "analysis/gf2.hpp"
+#include "attack/testbed.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace phantom::attack {
+
+/** Reverse-engineering harness around one victim kernel address K. */
+class BtbReverseEngineer
+{
+  public:
+    BtbReverseEngineer(const cpu::MicroarchConfig& config, u64 seed = 11);
+
+    /** The kernel victim address K (a nop inside a kernel module). */
+    VAddr kernelVictimVa() const { return victimVa_; }
+
+    /** Microarchitectural collision oracle: true if training at
+     *  @p user_source steers speculation at K. */
+    bool collides(VAddr user_source);
+
+    /** Number of oracle queries issued so far. */
+    u64 queries() const { return queries_; }
+
+    /**
+     * Brute force: try every pattern flipping bit 47 plus at most
+     * @p max_total_flips - 1 bits of [12, 46].
+     * @return the successful flip masks (empty on Zen 3/4 for <= 6).
+     */
+    std::vector<u64> bruteForce(unsigned max_total_flips,
+                                u64 max_queries = ~0ull);
+
+    /**
+     * Randomly sample user addresses (low 12 bits pinned to K's) until
+     * @p want collisions are found; returns the difference vectors
+     * U ^ K of the colliding pairs.
+     */
+    std::vector<u64> collectCollisionDiffs(u64 want, u64 max_queries);
+
+    /** Full pipeline: sample collisions and recover the bounded-weight
+     *  XOR parity functions (Figure 7). */
+    std::vector<u64> recoverFunctions(u64 collisions = 24,
+                                      u64 max_queries = 2'000'000);
+
+  private:
+    void installTrainingSite(VAddr user_source);
+
+    Testbed bed_;
+    Rng rng_;
+    u64 moduleSyscall_ = 0;
+    VAddr victimVa_ = 0;
+    VAddr probeTarget_ = 0;
+    u64 queries_ = 0;
+
+    PAddr sitePa_ = 0;            ///< recycled frames for training code
+    std::vector<VAddr> sitePages_;
+};
+
+} // namespace phantom::attack
+
+#endif // PHANTOM_ATTACK_BTB_RE_HPP

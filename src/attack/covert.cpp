@@ -1,0 +1,177 @@
+#include "attack/covert.hpp"
+
+#include "isa/assembler.hpp"
+
+#include <cassert>
+
+namespace phantom::attack {
+
+using namespace isa;
+
+namespace {
+
+// Attacker-side probe buffers.
+constexpr VAddr kIcacheProbeBuf = 0x0000000070000000ull;
+constexpr VAddr kDcacheProbeBuf = 0x0000000071000000ull;
+
+// Kernel-side fixture addresses (page-aligned regions in unused kernel
+// VA space; the experiment plays the role of the victim module author).
+constexpr VAddr kFetchT1Page = 0xffffffffc1000000ull;
+constexpr VAddr kFetchT0Page = 0xffffffffc2000000ull;  // left unmapped
+constexpr VAddr kExecCodePage = 0xffffffffc3000000ull;
+constexpr VAddr kExecT1Page = 0xffffffffc4000000ull;
+constexpr VAddr kExecT0Page = 0xffffffffc5000000ull;   // left unmapped
+
+std::vector<u8>
+buildBranchModule(bool victim_non_branch)
+{
+    // A module whose body is a chain of direct branches (§6.4), entered
+    // through the syscall dispatcher's indirect call. The hijack victim
+    // at offset 0 is either the first jmp or — for the §6.3 variant — a
+    // nop in front of it.
+    Assembler code(0);   // position-independent: only rel branches
+    Label l1 = code.newLabel();
+    if (victim_non_branch)
+        code.nopN(5);            // <- victim non-branch (offset 0)
+    code.jmp(l1);                // <- victim direct branch (offset 0)
+    code.padTo(0x40);
+    code.bind(l1);
+    Label l2 = code.newLabel();
+    code.jmp(l2);
+    code.padTo(0x80);
+    code.bind(l2);
+    code.nop();
+    code.ret();
+    return code.finish();
+}
+
+} // namespace
+
+CovertChannel::CovertChannel(const cpu::MicroarchConfig& config,
+                             const CovertOptions& options)
+    : bed_(std::make_unique<Testbed>(config, kDefaultPhysBytes,
+                                     options.seed)),
+      options_(options),
+      rng_(options.seed * 0x9e3779b97f4a7c15ull + 1)
+{
+    injector_ = std::make_unique<PredictionInjector>(*bed_);
+
+    moduleSyscall_ = os::kSysModuleBase;
+    victimBranchVa_ = bed_->kernel.loadModule(
+        buildBranchModule(options.victimNonBranch), moduleSyscall_);
+
+    // ---- Fetch channel fixtures ----------------------------------------
+    icacheSet_ = 43;   // arbitrary monitored set
+    {
+        Assembler t1(kFetchT1Page);
+        t1.padTo(kFetchT1Page + icacheSet_ * kCacheLineBytes);
+        t1.nop();
+        t1.ret();
+        bed_->kernel.mapKernelCode(kFetchT1Page, t1.finish());
+    }
+    fetchT1_ = kFetchT1Page + icacheSet_ * kCacheLineBytes;
+    fetchT0_ = kFetchT0Page + icacheSet_ * kCacheLineBytes;
+    icacheProbe_ = std::make_unique<IcacheSetProbe>(*bed_, icacheSet_,
+                                                    kIcacheProbeBuf);
+
+    // ---- Execute channel fixtures ---------------------------------------
+    dcacheSet_ = 21;
+    {
+        // T: kernel code performing a load of the address in RSI
+        // ("containing a memory load of the address in register R").
+        Assembler t(kExecCodePage);
+        t.load(RAX, RSI, 0);
+        t.ret();
+        bed_->kernel.mapKernelCode(kExecCodePage, t.finish());
+    }
+    execTarget_ = kExecCodePage;
+    bed_->kernel.mapKernelData(kExecT1Page, kPageBytes);
+    execT1_ = kExecT1Page + dcacheSet_ * kCacheLineBytes;
+    execT0_ = kExecT0Page + dcacheSet_ * kCacheLineBytes;
+    dcacheProbe_ = std::make_unique<DcacheSetProbe>(*bed_, dcacheSet_,
+                                                    kDcacheProbeBuf);
+
+    // Warm the kernel paths so only the injected prediction misses.
+    bed_->syscall(moduleSyscall_);
+    bed_->syscall(moduleSyscall_);
+}
+
+bool
+CovertChannel::fetchBit(bool bit)
+{
+    // 1: prime the chosen I-cache set. 2: inject a prediction to Tb.
+    // 3: invoke the kernel module. 4: probe the set.
+    u32 votes = 0;
+    for (u32 v = 0; v < options_.votes; ++v) {
+        icacheProbe_->prime();
+        injector_->inject(victimBranchVa_, bit ? fetchT1_ : fetchT0_);
+        bed_->syscall(moduleSyscall_);
+        Cycle lat = icacheProbe_->probe();
+        Cycle margin = (bed_->machine.caches().config().latL2 -
+                        bed_->machine.caches().config().latL1) / 2;
+        votes += (lat >= icacheProbe_->baseline() + margin) ? 1 : 0;
+    }
+    return votes * 2 > options_.votes;
+}
+
+bool
+CovertChannel::executeBit(bool bit)
+{
+    u32 votes = 0;
+    for (u32 v = 0; v < options_.votes; ++v) {
+        dcacheProbe_->prime();
+        injector_->inject(victimBranchVa_, execTarget_);
+        bed_->syscall(moduleSyscall_, 0, bit ? execT1_ : execT0_);
+        Cycle lat = dcacheProbe_->probe();
+        Cycle margin = (bed_->machine.caches().config().latL2 -
+                        bed_->machine.caches().config().latL1) / 2;
+        votes += (lat >= dcacheProbe_->baseline() + margin) ? 1 : 0;
+    }
+    return votes * 2 > options_.votes;
+}
+
+CovertResult
+CovertChannel::runFetchChannel()
+{
+    CovertResult result;
+    result.bits = options_.bits;
+    Cycle start = bed_->machine.cycles();
+    for (u64 i = 0; i < options_.bits; ++i) {
+        bool sent = rng_.chance(0.5);
+        bool received = fetchBit(sent);
+        result.correct += (sent == received) ? 1 : 0;
+    }
+    result.cycles = bed_->machine.cycles() - start;
+    result.accuracy =
+        static_cast<double>(result.correct) / static_cast<double>(result.bits);
+    double seconds = static_cast<double>(result.cycles) /
+                     (bed_->machine.config().clockGhz * 1e9);
+    result.bitsPerSecond = static_cast<double>(result.bits) / seconds;
+    return result;
+}
+
+CovertResult
+CovertChannel::runExecuteChannel()
+{
+    CovertResult result;
+    result.bits = options_.bits;
+    if (bed_->machine.config().transientExecUops == 0) {
+        result.supported = false;   // no execution window past ID
+        return result;
+    }
+    Cycle start = bed_->machine.cycles();
+    for (u64 i = 0; i < options_.bits; ++i) {
+        bool sent = rng_.chance(0.5);
+        bool received = executeBit(sent);
+        result.correct += (sent == received) ? 1 : 0;
+    }
+    result.cycles = bed_->machine.cycles() - start;
+    result.accuracy =
+        static_cast<double>(result.correct) / static_cast<double>(result.bits);
+    double seconds = static_cast<double>(result.cycles) /
+                     (bed_->machine.config().clockGhz * 1e9);
+    result.bitsPerSecond = static_cast<double>(result.bits) / seconds;
+    return result;
+}
+
+} // namespace phantom::attack

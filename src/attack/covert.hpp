@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The §6.4 covert channels: a kernel module performs direct branches; an
+ * unprivileged attacker hijacks one with an injected prediction and
+ * observes, per transmitted bit, whether the speculative target was
+ * fetched (P1, all Zen parts) or loaded from (P2-style execute channel,
+ * Zen 1/2 only).
+ */
+
+#ifndef PHANTOM_ATTACK_COVERT_HPP
+#define PHANTOM_ATTACK_COVERT_HPP
+
+#include "attack/prime_probe.hpp"
+#include "attack/testbed.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace phantom::attack {
+
+/** Outcome of one covert-channel transfer. */
+struct CovertResult
+{
+    u64 bits = 0;             ///< bits transferred
+    u64 correct = 0;          ///< bits received correctly
+    Cycle cycles = 0;         ///< simulated cycles for the transfer
+    double accuracy = 0.0;    ///< correct / bits
+    double bitsPerSecond = 0.0;  ///< at the part's nominal clock
+    bool supported = true;    ///< channel exists on this part
+};
+
+/** Options for a covert transfer. */
+struct CovertOptions
+{
+    u64 bits = 4096;          ///< payload size (paper: 4096)
+    u64 seed = 99;            ///< payload + noise randomness
+    u32 votes = 1;            ///< per-bit probe repetitions (majority)
+
+    /**
+     * Hijack a nop instead of a direct branch in the module. With
+     * SuppressBPOnNonBr set, the execute channel then dies on Zen 2 but
+     * keeps working on Zen 1 (§6.3: the bit restricts P2/P3 to
+     * control-flow-edge victims, and is unsupported on Zen 1).
+     */
+    bool victimNonBranch = false;
+};
+
+/**
+ * Builds the victim kernel module and drives the fetch / execute
+ * covert channels of Table 2 against it.
+ */
+class CovertChannel
+{
+  public:
+    CovertChannel(const cpu::MicroarchConfig& config,
+                  const CovertOptions& options = {});
+
+    /** P1 fetch channel (Table 2 top). Works on every AMD Zen part. */
+    CovertResult runFetchChannel();
+
+    /** P2 execute channel (Table 2 bottom). Zen 1/2 only — the result
+     *  has supported=false elsewhere (no transient execution window). */
+    CovertResult runExecuteChannel();
+
+    /** Transmit one bit over the fetch channel (send + receive).
+     *  @return the received bit. */
+    bool transmitBit(bool bit) { return fetchBit(bit); }
+
+    Testbed& testbed() { return *bed_; }
+
+  private:
+    bool fetchBit(bool bit);
+    bool executeBit(bool bit);
+
+    std::unique_ptr<Testbed> bed_;
+    std::unique_ptr<PredictionInjector> injector_;
+    CovertOptions options_;
+    Rng rng_;
+
+    VAddr victimBranchVa_ = 0;   ///< hijacked direct branch (module)
+    u64 moduleSyscall_ = 0;
+
+    // Fetch channel state.
+    u32 icacheSet_ = 0;
+    VAddr fetchT1_ = 0;          ///< mapped executable kernel target
+    VAddr fetchT0_ = 0;          ///< unmapped kernel target
+    std::unique_ptr<IcacheSetProbe> icacheProbe_;
+
+    // Execute channel state.
+    u32 dcacheSet_ = 0;
+    VAddr execTarget_ = 0;       ///< kernel code: load rax, [rsi]
+    VAddr execT1_ = 0;           ///< mapped kernel data address
+    VAddr execT0_ = 0;           ///< unmapped kernel data address
+    std::unique_ptr<DcacheSetProbe> dcacheProbe_;
+};
+
+} // namespace phantom::attack
+
+#endif // PHANTOM_ATTACK_COVERT_HPP

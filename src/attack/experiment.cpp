@@ -1,0 +1,399 @@
+#include "attack/experiment.hpp"
+
+#include "isa/assembler.hpp"
+
+#include <cassert>
+
+namespace phantom::attack {
+
+using namespace isa;
+using cpu::PmcEvent;
+
+namespace {
+
+// User-space layout of the Figure-4/5 harness. Chosen so that no
+// architecturally-executed line shares a cache set with the observation
+// target (page offset 0xac0 / its fall-through variant at 0x700).
+constexpr VAddr kTrainPage = 0x0000000011000000ull;    // A
+constexpr VAddr kEntryPage = 0x0000000020000000ull;    // victim entry, F, X
+constexpr VAddr kTargetPage = 0x0000000031000000ull;   // C
+constexpr VAddr kProbeData = 0x0000000050000000ull;    // EX probe line
+constexpr VAddr kSeriesBase = 0x0000000060000000ull;   // µop-cache series
+constexpr VAddr kNegTrainPage = 0x0000000013000000ull; // non-aliasing trainer
+
+constexpr u64 kVictimLineEnd = 0x700;  ///< victim insn ends here
+
+u8
+victimLength(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::IndirectJmp: return 2;
+      case BranchKind::DirectJmp:   return 5;
+      case BranchKind::CondJmp:     return 6;
+      case BranchKind::Ret:         return 1;
+      case BranchKind::NonBranch:   return 5;
+    }
+    return 1;
+}
+
+/** Emit the 'load r13, [r9]; hlt' signal gadget. */
+void
+emitSignalGadget(Assembler& code)
+{
+    code.load(R13, R9, 0);
+    code.hlt();
+}
+
+} // namespace
+
+const char*
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::IndirectJmp: return "jmp*";
+      case BranchKind::DirectJmp:   return "jmp";
+      case BranchKind::CondJmp:     return "jcc";
+      case BranchKind::Ret:         return "ret";
+      case BranchKind::NonBranch:   return "non branch";
+    }
+    return "?";
+}
+
+/** All per-combination state for one measurement campaign. */
+struct StageExperiment::Trial
+{
+    Trial(const cpu::MicroarchConfig& config,
+          const StageExperimentOptions& options, BranchKind train,
+          BranchKind victim, u64 target_offset,
+          i64 series_anchor = -1)
+        : bed(config, kDefaultPhysBytes, options.seed),
+          trainKind(train),
+          victimKind(victim),
+          seriesAnchor(series_anchor)
+    {
+        if (options.suppressBpOnNonBr)
+            bed.machine.msrs().setBit(cpu::msr::kDeCfg2,
+                                      cpu::msr::kSuppressBpOnNonBrBit, true);
+        if (options.autoIbrs)
+            bed.machine.msrs().setBit(cpu::msr::kEfer,
+                                      cpu::msr::kAutoIbrsBit, true);
+
+        auto hash = config.bpu.btb.hash;
+        u8 len = victimLength(victim);
+        srcOff = kVictimLineEnd - len;
+        aSrc = kTrainPage + srcOff;
+        bSrc = userAlias(hash, aSrc);
+        cVa = kTargetPage + target_offset;
+        // X (the RSB-provided target for ret training) lives in its own
+        // cache set, away from C's, so the two observation targets never
+        // alias in the µop cache or L1I.
+        xVa = kEntryPage + 0x8c0;
+        fallThrough = bSrc + len;
+        cPrimeVa = bSrc + (cVa - aSrc); // PC-relative served target
+        // The victim's architectural target D and the non-branch exit
+        // live near B: the alias may sit far from the low user range
+        // (Zen 3/4 aliasing flips bit 36) and direct branches need
+        // rel32-reachable targets.
+        dVa = alignDown(bSrc, kPageBytes) + 0x200000;
+        exitVa = dVa + kPageBytes;
+
+        buildTrainer(kTrainPage, trainerEntry, /*to=*/cVa);
+        buildTrainer(kNegTrainPage, negTrainerEntry, /*to=*/cVa);
+        buildVictim();
+        buildFixedBlobs();
+
+        // Warm the victim path once so its own cold branches are BTB-
+        // trained: otherwise straight-line speculation past the entry
+        // call fetches the X line on every run and masks the phantom
+        // signal. (Real attack code repeats runs for the same reason.)
+        runVictim();
+    }
+
+    /** Observation target of this combination (see §5.2). */
+    VAddr
+    observationTarget() const
+    {
+        switch (trainKind) {
+          case BranchKind::IndirectJmp: return cVa;
+          case BranchKind::DirectJmp:
+          case BranchKind::CondJmp:     return cPrimeVa;
+          case BranchKind::Ret:         return xVa;
+          case BranchKind::NonBranch:   return fallThrough;
+        }
+        return cVa;
+    }
+
+    void
+    train(bool aliasing = true)
+    {
+        VAddr entry = aliasing ? trainerEntry : negTrainerEntry;
+        for (int i = 0; i < 2; ++i)
+            bed.runUser(entry, 64);
+    }
+
+    void runVictim() { bed.runUser(victimEntry, 64); }
+
+    // ---- Channels --------------------------------------------------------
+
+    bool
+    observeFetch()
+    {
+        train();
+        bed.machine.clflushVirt(observationTarget());
+        bed.machine.clflushVirt(kProbeData);
+        runVictim();
+        Cycle lat = bed.machine.timedFetchAccess(observationTarget(),
+                                                 Privilege::User);
+        return lat < bed.machine.caches().config().latMem;
+    }
+
+    bool
+    observeDecode()
+    {
+        // The paper's complementary negative test (§5.1): identical
+        // protocol with a training branch that does not alias the
+        // victim, cancelling systematic pollution of the monitored set.
+        u64 pos = decodeSample(/*aliasing=*/true, /*run_victim=*/true);
+        u64 neg = decodeSample(/*aliasing=*/false, /*run_victim=*/true);
+        return pos + 1 <= neg;   // evictions reduce the hit count
+    }
+
+    bool
+    observeExecute()
+    {
+        train();
+        bed.machine.clflushVirt(kProbeData);
+        runVictim();
+        Cycle lat =
+            bed.machine.timedDataAccess(kProbeData, Privilege::User);
+        return lat < bed.machine.caches().config().latMem;
+    }
+
+    /** µop-cache hit count over 5 series executions (Figure 5 B). */
+    u64
+    decodeSample(bool aliasing, bool run_victim)
+    {
+        train(aliasing);
+        runSeries(2);   // prime: fill every way of the monitored set
+        if (run_victim)
+            runVictim();
+        u64 before = bed.machine.pmc().read(PmcEvent::OpCacheHit);
+        runSeries(5);
+        return bed.machine.pmc().read(PmcEvent::OpCacheHit) - before;
+    }
+
+    void
+    runSeries(u32 times)
+    {
+        for (u32 i = 0; i < times; ++i)
+            bed.runUser(seriesEntry, 64);
+    }
+
+    Testbed bed;
+    BranchKind trainKind;
+    BranchKind victimKind;
+
+    u64 srcOff = 0;
+    VAddr aSrc = 0, bSrc = 0, cVa = 0, cPrimeVa = 0, xVa = 0;
+    VAddr dVa = 0, exitVa = 0;
+    VAddr fallThrough = 0;
+    VAddr trainerEntry = 0, negTrainerEntry = 0, victimEntry = 0;
+    VAddr seriesEntry = 0;
+    i64 seriesAnchor = -1;   ///< fixed series page offset, or -1 = follow
+                             ///< the observation target
+
+  private:
+    void
+    buildTrainer(VAddr page, VAddr& entry_out, VAddr to)
+    {
+        VAddr src = page + srcOff;
+        if (trainKind == BranchKind::NonBranch) {
+            entry_out = src;
+            Assembler code(src);
+            code.nopN(5);
+            code.hlt();
+            bed.process.mapCode(src, code.finish());
+            return;
+        }
+
+        u64 prologue = 10 + 10 + 10 + 6;          // r9, r8, rax, cmp
+        if (trainKind == BranchKind::Ret)
+            prologue += 10 + 2;                    // r10, push
+        entry_out = src - prologue;
+        Assembler code(entry_out);
+        code.movImm(R9, kProbeData);
+        code.movImm(R8, to);
+        code.movImm(RAX, 0);
+        code.cmpImm(RAX, 0);
+        if (trainKind == BranchKind::Ret) {
+            code.movImm(R10, to);
+            code.push(R10);
+        }
+        assert(code.here() == src);
+        switch (trainKind) {
+          case BranchKind::IndirectJmp: code.jmpInd(R8); break;
+          case BranchKind::DirectJmp:   code.jmp(to); break;
+          case BranchKind::CondJmp:     code.jcc(Cond::Eq, to); break;
+          case BranchKind::Ret:         code.ret(); break;
+          case BranchKind::NonBranch:   break;   // handled above
+        }
+        bed.process.mapCode(entry_out, code.finish());
+    }
+
+    void
+    buildVictim()
+    {
+        // Entry block: set up registers, push the X return address via a
+        // discarded call (RSB ammunition for ret-trained predictions),
+        // then jump into the victim instruction.
+        victimEntry = xVa - 15;                    // movImm(10) + call(5)
+        Assembler entry(victimEntry);
+        entry.movImm(R9, kProbeData);
+        Label f = entry.newLabel();
+        entry.call(f);
+        assert(entry.here() == xVa);
+        emitSignalGadget(entry);                   // X: never executed
+        entry.padTo(xVa + kCacheLineBytes);
+        entry.bind(f);
+        entry.pop(R11);                            // discard return address
+        entry.movImm(R8, dVa);
+        entry.movImm(RAX, 0);
+        entry.cmpImm(RAX, 0);
+        if (victimKind == BranchKind::Ret) {
+            entry.movImm(R10, dVa);
+            entry.push(R10);
+        }
+        entry.movImm(R15, bSrc);                   // far transfer: the
+        entry.jmpInd(R15);                         // alias may be > 2 GiB away
+        bed.process.mapCode(victimEntry, entry.finish());
+
+        // Victim page: the victim instruction at bSrc, fall-through
+        // content at the next line.
+        Assembler body(bSrc);
+        switch (victimKind) {
+          case BranchKind::IndirectJmp: body.jmpInd(R8); break;
+          case BranchKind::DirectJmp:   body.jmp(dVa); break;
+          case BranchKind::CondJmp:     body.jcc(Cond::Eq, dVa); break;
+          case BranchKind::Ret:         body.ret(); break;
+          case BranchKind::NonBranch:   body.nopN(5); break;
+        }
+        assert(body.here() == fallThrough);
+        if (victimKind == BranchKind::NonBranch) {
+            body.jmp(exitVa);                      // architectural path
+        } else {
+            emitSignalGadget(body);                // SLS observation point
+        }
+        bed.process.mapCode(bSrc, body.finish());
+    }
+
+    void
+    buildFixedBlobs()
+    {
+        // C and (for PC-relative training) C' carry the signal gadget.
+        Assembler c(cVa);
+        emitSignalGadget(c);
+        bed.process.mapCode(cVa, c.finish());
+        if (trainKind == BranchKind::DirectJmp ||
+            trainKind == BranchKind::CondJmp) {
+            Assembler cp(cPrimeVa);
+            emitSignalGadget(cp);
+            bed.process.mapCode(cPrimeVa, cp.finish());
+        }
+
+        Assembler d(dVa);
+        d.hlt();
+        bed.process.mapCode(dVa, d.finish());
+
+        Assembler exit(exitVa);
+        exit.hlt();
+        bed.process.mapCode(exitVa, exit.finish());
+
+        bed.process.mapData(kProbeData, kPageBytes);
+
+        // The µop-cache series: 8 direct forward jmps separated by
+        // 4096 bytes, all at the observation target's page offset (or a
+        // fixed anchor for the Figure-6 sweep).
+        u64 series_off = seriesAnchor >= 0
+                             ? static_cast<u64>(seriesAnchor) & 0xfc0
+                             : observationTarget() & 0xfc0;
+        seriesEntry = kSeriesBase + series_off;
+        for (u32 k = 0; k < 8; ++k) {
+            VAddr at = kSeriesBase + u64{k} * kPageBytes + series_off;
+            VAddr next = (k == 7) ? kSeriesBase + 8 * kPageBytes
+                                  : at + kPageBytes;
+            Assembler jmp_blob(at);
+            jmp_blob.jmp(next);
+            bed.process.mapCode(at, jmp_blob.finish());
+        }
+        Assembler end(kSeriesBase + 8 * kPageBytes);
+        end.hlt();
+        bed.process.mapCode(kSeriesBase + 8 * kPageBytes, end.finish());
+    }
+};
+
+StageExperiment::StageExperiment(const cpu::MicroarchConfig& config,
+                                 const StageExperimentOptions& options)
+    : config_(config), options_(options)
+{
+}
+
+StageObservation
+StageExperiment::run(BranchKind train, BranchKind victim)
+{
+    StageObservation result;
+    bool symmetric_uncheckable =
+        (train == BranchKind::Ret && victim == BranchKind::Ret) ||
+        (train == BranchKind::NonBranch && victim == BranchKind::NonBranch);
+    if (symmetric_uncheckable) {
+        result.applicable = false;
+        return result;
+    }
+
+    u32 fetch_votes = 0, decode_votes = 0, exec_votes = 0;
+    for (u32 t = 0; t < options_.trials; ++t) {
+        StageExperimentOptions opts = options_;
+        opts.seed = options_.seed + t * 0x9e37;
+        {
+            Trial trial(config_, opts, train, victim,
+                        options_.targetPageOffset);
+            fetch_votes += trial.observeFetch() ? 1 : 0;
+        }
+        {
+            Trial trial(config_, opts, train, victim,
+                        options_.targetPageOffset);
+            decode_votes += trial.observeDecode() ? 1 : 0;
+        }
+        {
+            Trial trial(config_, opts, train, victim,
+                        options_.targetPageOffset);
+            exec_votes += trial.observeExecute() ? 1 : 0;
+        }
+    }
+    u32 majority = options_.trials / 2 + 1;
+    result.signals.fetch = fetch_votes >= majority;
+    result.signals.decode = decode_votes >= majority;
+    result.signals.execute = exec_votes >= majority;
+    return result;
+}
+
+u64
+StageExperiment::fig6OpCacheHits(u64 c_page_offset)
+{
+    // Figure 6: non-branch victim trained with jmp*; the series stays
+    // anchored at page offset 0xac0 while C sweeps the page. Only when
+    // the offsets match does C's speculative decode evict the primed
+    // µop-cache set.
+    Trial trial(config_, options_, BranchKind::IndirectJmp,
+                BranchKind::NonBranch, c_page_offset,
+                /*series_anchor=*/0xac0);
+    return trial.decodeSample(/*aliasing=*/true, /*run_victim=*/true);
+}
+
+u64
+StageExperiment::fig6MaxHits() const
+{
+    // 5 series passes x (8 jmp lines + terminating hlt line).
+    return 5 * 9;
+}
+
+} // namespace phantom::attack

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The §5 experiment harness: force a misprediction between a training
+ * branch A and a victim instruction B placed at BTB-aliasing user
+ * addresses (Figure 4/5), and observe how far the mispredicted target
+ * advances in the pipeline via three channels —
+ *
+ *   IF: I-cache timing of the predicted target (Figure 5 A),
+ *   ID: µop-cache set pressure via performance counters (Figure 5 B),
+ *   EX: D-cache timing of a load in the mispredicted path.
+ *
+ * This regenerates Table 1 (which training/victim combinations reach
+ * which stage, per microarchitecture) and Figure 6 (µop-cache set sweep).
+ */
+
+#ifndef PHANTOM_ATTACK_EXPERIMENT_HPP
+#define PHANTOM_ATTACK_EXPERIMENT_HPP
+
+#include "attack/testbed.hpp"
+#include "isa/insn.hpp"
+
+#include <memory>
+#include <string>
+
+namespace phantom::attack {
+
+/** Training / victim instruction kinds of Table 1. */
+enum class BranchKind : u8 {
+    IndirectJmp,   ///< jmp*
+    DirectJmp,     ///< jmp (trained with a different displacement)
+    CondJmp,       ///< jcc
+    Ret,           ///< ret
+    NonBranch,     ///< nop sled
+};
+
+/** Human-readable name ("jmp*", "jmp", "jcc", "ret", "non branch"). */
+const char* branchKindName(BranchKind kind);
+
+/** Deepest pipeline stages reached by the mispredicted target. */
+struct StageSignals
+{
+    bool fetch = false;    ///< IF observed
+    bool decode = false;   ///< ID observed
+    bool execute = false;  ///< EX observed
+};
+
+/** One Table-1 cell. */
+struct StageObservation
+{
+    bool applicable = true;   ///< "—" cells are not applicable
+    StageSignals signals;
+};
+
+/** Options for the stage experiment. */
+struct StageExperimentOptions
+{
+    u64 seed = 7;
+    u32 trials = 5;            ///< majority vote across trials
+    u64 targetPageOffset = 0xac0;  ///< page offset of the target C
+    bool suppressBpOnNonBr = false;  ///< set the Zen 2+ MSR bit
+    bool autoIbrs = false;           ///< enable AutoIBRS (Zen 4)
+};
+
+/**
+ * Runs one (training, victim) combination on one microarchitecture and
+ * reports the deepest stage observed.
+ */
+class StageExperiment
+{
+  public:
+    StageExperiment(const cpu::MicroarchConfig& config,
+                    const StageExperimentOptions& options = {});
+
+    /** Measure one Table-1 cell. */
+    StageObservation run(BranchKind train, BranchKind victim);
+
+    /**
+     * Figure 6: train a non-branch victim with jmp*, place the target C
+     * at @p c_page_offset, and count µop-cache hits while re-executing a
+     * jmp series primed at page offset 0xac0. A dip below the full hit
+     * count signals speculative decode at the matching offset.
+     */
+    u64 fig6OpCacheHits(u64 c_page_offset);
+
+    /** Full hit count of the Figure-6 series when nothing was evicted. */
+    u64 fig6MaxHits() const;
+
+  private:
+    struct Trial;
+
+    cpu::MicroarchConfig config_;
+    StageExperimentOptions options_;
+};
+
+} // namespace phantom::attack
+
+#endif // PHANTOM_ATTACK_EXPERIMENT_HPP

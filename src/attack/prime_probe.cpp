@@ -1,0 +1,163 @@
+#include "attack/prime_probe.hpp"
+
+#include <cassert>
+
+namespace phantom::attack {
+
+namespace {
+
+/** Ret-only filler so probe buffers are valid code. */
+std::vector<u8>
+retFilledPage(u64 pages)
+{
+    return std::vector<u8>(pages * kPageBytes, 0xc3);   // ret opcode
+}
+
+} // namespace
+
+// ---- IcacheSetProbe --------------------------------------------------------
+
+IcacheSetProbe::IcacheSetProbe(Testbed& bed, u32 set, VAddr buffer_va)
+    : bed_(bed), set_(set)
+{
+    const auto& geom = bed_.machine.caches().config().l1i;
+    assert(set < geom.sets);
+    assert(buffer_va % kPageBytes == 0);
+    // One line per way, each in its own page: same page offset -> same
+    // VIPT set, distinct frames -> distinct tags.
+    bed_.process.mapCode(buffer_va, retFilledPage(geom.ways));
+    for (u32 w = 0; w < geom.ways; ++w)
+        lines_.push_back(buffer_va + u64{w} * kPageBytes +
+                         u64{set} * kCacheLineBytes);
+}
+
+void
+IcacheSetProbe::prime()
+{
+    for (VAddr va : lines_)
+        bed_.machine.timedFetchAccess(va, Privilege::User);
+}
+
+Cycle
+IcacheSetProbe::probe()
+{
+    Cycle total = 0;
+    for (VAddr va : lines_)
+        total += bed_.machine.timedFetchAccess(va, Privilege::User);
+    return total;
+}
+
+Cycle
+IcacheSetProbe::baseline() const
+{
+    return static_cast<Cycle>(lines_.size()) *
+           bed_.machine.caches().config().latL1;
+}
+
+// ---- DcacheSetProbe --------------------------------------------------------
+
+DcacheSetProbe::DcacheSetProbe(Testbed& bed, u32 set, VAddr buffer_va)
+    : bed_(bed), set_(set)
+{
+    const auto& geom = bed_.machine.caches().config().l1d;
+    assert(set < geom.sets);
+    assert(buffer_va % kPageBytes == 0);
+    bed_.process.mapData(buffer_va, u64{geom.ways} * kPageBytes);
+    for (u32 w = 0; w < geom.ways; ++w)
+        lines_.push_back(buffer_va + u64{w} * kPageBytes +
+                         u64{set} * kCacheLineBytes);
+}
+
+void
+DcacheSetProbe::prime()
+{
+    for (VAddr va : lines_)
+        bed_.machine.timedDataAccess(va, Privilege::User);
+}
+
+Cycle
+DcacheSetProbe::probe()
+{
+    Cycle total = 0;
+    for (VAddr va : lines_)
+        total += bed_.machine.timedDataAccess(va, Privilege::User);
+    return total;
+}
+
+Cycle
+DcacheSetProbe::baseline() const
+{
+    return static_cast<Cycle>(lines_.size()) *
+           bed_.machine.caches().config().latL1;
+}
+
+// ---- L2SetProbe ------------------------------------------------------------
+
+L2SetProbe::L2SetProbe(Testbed& bed, u32 set, VAddr hugepage_va)
+    : bed_(bed), set_(set)
+{
+    const auto& l2 = bed_.machine.caches().config().l2;
+    const auto& l1 = bed_.machine.caches().config().l1d;
+    assert(set < l2.sets);
+    assert(hugepage_va % kHugePageBytes == 0);
+    bed_.process.mapHugeData(hugepage_va);
+
+    // L2 index bits are PA[15:6] for a 1024-set L2; a 2 MiB huge page
+    // gives control of PA[20:0]. Lines at stride sets*64 share the set.
+    u64 set_stride = u64{l2.sets} * kCacheLineBytes;
+    for (u32 w = 0; w < l2.ways; ++w)
+        lines_.push_back(hugepage_va + u64{set} * kCacheLineBytes +
+                         u64{w} * set_stride);
+
+    // L1 eviction filler: same L1D set (same bits [11:6]) but different
+    // L2 sets, so probing can observe L2 state.
+    u32 l1_set = set % l1.sets;
+    u64 l1_stride = u64{l1.sets} * kCacheLineBytes;     // 4 KiB
+    u32 placed = 0;
+    for (u32 j = 1; placed < l1.ways + 1; ++j) {
+        VAddr va = hugepage_va + u64{l1_set} * kCacheLineBytes +
+                   u64{j} * l1_stride;
+        u64 pa_off = va - hugepage_va;
+        u32 l2_set = static_cast<u32>((pa_off / kCacheLineBytes) % l2.sets);
+        if (l2_set == set)
+            continue;
+        if (va >= hugepage_va + kHugePageBytes)
+            break;
+        l1Filler_.push_back(va);
+        ++placed;
+    }
+}
+
+void
+L2SetProbe::evictL1()
+{
+    for (VAddr va : l1Filler_)
+        bed_.machine.timedDataAccess(va, Privilege::User);
+}
+
+void
+L2SetProbe::prime()
+{
+    for (VAddr va : lines_)
+        bed_.machine.timedDataAccess(va, Privilege::User);
+}
+
+Cycle
+L2SetProbe::probe()
+{
+    evictL1();
+    Cycle total = 0;
+    for (VAddr va : lines_)
+        total += bed_.machine.timedDataAccess(va, Privilege::User);
+    return total;
+}
+
+Cycle
+L2SetProbe::baseline() const
+{
+    // After L1 eviction, resident lines answer from L2.
+    return static_cast<Cycle>(lines_.size()) *
+           bed_.machine.caches().config().latL2;
+}
+
+} // namespace phantom::attack

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cache observation utilities: Prime+Probe on L1I, L1D and L2 sets, and
+ * Flush+Reload on shared lines — the side channels behind every PHANTOM
+ * observation (§5.1) and exploit (§7).
+ */
+
+#ifndef PHANTOM_ATTACK_PRIME_PROBE_HPP
+#define PHANTOM_ATTACK_PRIME_PROBE_HPP
+
+#include "attack/testbed.hpp"
+
+#include <vector>
+
+namespace phantom::attack {
+
+/**
+ * Prime+Probe on one L1I set. The probe buffer is user-executable memory
+ * whose lines all map to the chosen set (VIPT: page-offset bits pick the
+ * set, so the attacker controls it exactly).
+ */
+class IcacheSetProbe
+{
+  public:
+    /**
+     * @param bed the testbed
+     * @param set L1I set to monitor
+     * @param buffer_va page-aligned user VA for the probe buffer
+     */
+    IcacheSetProbe(Testbed& bed, u32 set, VAddr buffer_va);
+
+    /** Fill every way of the set with probe lines. */
+    void prime();
+
+    /** Timed re-access of all probe lines. */
+    Cycle probe();
+
+    /** Latency of a fully-hitting probe (the no-signal baseline). */
+    Cycle baseline() const;
+
+    u32 set() const { return set_; }
+
+  private:
+    Testbed& bed_;
+    u32 set_;
+    std::vector<VAddr> lines_;
+};
+
+/** Prime+Probe on one L1D set. */
+class DcacheSetProbe
+{
+  public:
+    DcacheSetProbe(Testbed& bed, u32 set, VAddr buffer_va);
+
+    void prime();
+    Cycle probe();
+    Cycle baseline() const;
+
+    u32 set() const { return set_; }
+
+  private:
+    Testbed& bed_;
+    u32 set_;
+    std::vector<VAddr> lines_;
+};
+
+/**
+ * Prime+Probe on one L2 set, using a 2 MiB transparent huge page so the
+ * attacker controls physical index bits [20:6] (§7.2). Probing first
+ * evicts the corresponding L1D set through same-L1-set/different-L2-set
+ * filler lines so the timing reflects L2 state.
+ */
+class L2SetProbe
+{
+  public:
+    /**
+     * @param set L2 set to monitor (0..sets-1)
+     * @param hugepage_va 2 MiB-aligned user VA; the huge page is mapped
+     *        here by this class.
+     */
+    L2SetProbe(Testbed& bed, u32 set, VAddr hugepage_va);
+
+    void prime();
+    Cycle probe();
+    Cycle baseline() const;
+
+    u32 set() const { return set_; }
+
+  private:
+    void evictL1();
+
+    Testbed& bed_;
+    u32 set_;
+    std::vector<VAddr> lines_;
+    std::vector<VAddr> l1Filler_;
+};
+
+/** Flush+Reload on a single shared line. */
+class FlushReload
+{
+  public:
+    FlushReload(Testbed& bed, VAddr va) : bed_(bed), va_(va) {}
+
+    void flush() { bed_.machine.clflushVirt(va_); }
+
+    /** @return true if the line was cached (reload hit). */
+    bool
+    reload()
+    {
+        Cycle lat = bed_.machine.timedDataAccess(va_, Privilege::User);
+        return lat < bed_.machine.caches().config().latMem;
+    }
+
+  private:
+    Testbed& bed_;
+    VAddr va_;
+};
+
+} // namespace phantom::attack
+
+#endif // PHANTOM_ATTACK_PRIME_PROBE_HPP

@@ -1,0 +1,103 @@
+#include "attack/testbed.hpp"
+
+#include "isa/assembler.hpp"
+
+#include <cassert>
+
+namespace phantom::attack {
+
+using namespace isa;
+
+VAddr
+userAlias(bpu::BtbHashKind kind, VAddr va)
+{
+    VAddr alias;
+    switch (kind) {
+      case bpu::BtbHashKind::Zen12:
+      case bpu::BtbHashKind::IntelSalted:
+        // Bits 16 and 28 are fold-bit-2 partners in the [47:14] tag fold.
+        alias = va ^ ((1ull << 16) | (1ull << 28));
+        break;
+      case bpu::BtbHashKind::Zen34:
+        // Bits 36 and 24 appear only in Figure-7 function f1; flipping
+        // both preserves every parity and the low 12 bits.
+        alias = va ^ ((1ull << 36) | (1ull << 24));
+        break;
+      default:
+        alias = va;
+        break;
+    }
+    Privilege priv = bit(va, 47) ? Privilege::Kernel : Privilege::User;
+    assert(bpu::btbKey(kind, alias, priv) == bpu::btbKey(kind, va, priv));
+    return alias;
+}
+
+void
+Testbed::ensureSyscallStub()
+{
+    if (syscallStub_ != 0)
+        return;
+    // mov rax, <nr>; mov rdi, <a>; mov rsi, <b>; syscall; hlt
+    // The immediates are rewritten per call through the debug port.
+    VAddr base = 0x00000000600000ull;
+    Assembler code(base);
+    code.movImm(RAX, 0);
+    code.movImm(RDI, 0);
+    code.movImm(RSI, 0);
+    code.syscall();
+    code.hlt();
+    process.mapCode(base, code.finish());
+    syscallStub_ = base;
+}
+
+cpu::RunResult
+Testbed::syscall(u64 nr, u64 rdi, u64 rsi)
+{
+    ensureSyscallStub();
+    // Patch the three imm64 fields (each MovImm is opcode+reg+imm64).
+    machine.debugWrite64(syscallStub_ + 2, nr);
+    machine.debugWrite64(syscallStub_ + 12, rdi);
+    machine.debugWrite64(syscallStub_ + 22, rsi);
+    return runUser(syscallStub_, 100'000);
+}
+
+VAddr
+PredictionInjector::aliasOf(VAddr kernel_source) const
+{
+    return bpu::crossPrivAlias(bed_.machine.config().bpu.btb.hash,
+                               kernel_source);
+}
+
+bool
+PredictionInjector::inject(VAddr kernel_source, VAddr target)
+{
+    VAddr alias = aliasOf(kernel_source);
+    if (alias == 0)
+        return false;   // Intel: privilege-salted hash, no alias exists
+
+    auto it = sites_.find(alias);
+    if (it == sites_.end()) {
+        // Lay out user code so the jmp* lands exactly at the alias VA:
+        //   alias-10: mov r8, <target>      (10 bytes)
+        //   alias   : jmp *r8
+        VAddr entry = alias - 10;
+        Assembler code(entry);
+        code.movImm(R8, target);
+        code.jmpInd(R8);
+        assert(code.here() == alias + 2);
+        bed_.process.mapCode(entry, code.finish());
+        it = sites_.emplace(alias, Site{entry, entry + 2}).first;
+    }
+
+    bed_.machine.debugWrite64(it->second.immPatchVa, target);
+
+    // Execute the training branch. The architectural jump to the kernel
+    // target faults; a real attacker catches SIGSEGV. The BTB entry is
+    // installed at branch resolution, before the faulting fetch.
+    auto result = bed_.runUser(it->second.entry, 16);
+    assert(result.reason == cpu::ExitReason::Fault);
+    (void)result;
+    return true;
+}
+
+} // namespace phantom::attack

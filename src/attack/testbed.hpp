@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared attack scaffolding: a machine+kernel+process bundle, BTB
+ * aliasing helpers, and the user->kernel prediction injector every
+ * exploit builds on.
+ */
+
+#ifndef PHANTOM_ATTACK_TESTBED_HPP
+#define PHANTOM_ATTACK_TESTBED_HPP
+
+#include "bpu/btb_hash.hpp"
+#include "cpu/machine.hpp"
+#include "os/kernel.hpp"
+#include "os/process.hpp"
+
+#include <unordered_map>
+
+namespace phantom::attack {
+
+/**
+ * A same-privilege virtual address distinct from @p va that collides
+ * with it in the BTB (equal index and tag under @p kind). Used for the
+ * user-space observation channels (§5.1).
+ */
+VAddr userAlias(bpu::BtbHashKind kind, VAddr va);
+
+/** Default installed physical memory for experiments (8 GiB). */
+inline constexpr u64 kDefaultPhysBytes = 8ull * 1024 * 1024 * 1024;
+
+/**
+ * One complete victim system: machine, booted kernel, attacker process.
+ */
+struct Testbed
+{
+    cpu::Machine machine;
+    os::Kernel kernel;
+    os::Process process;
+
+    explicit Testbed(const cpu::MicroarchConfig& config,
+                     u64 phys_bytes = kDefaultPhysBytes, u64 seed = 1)
+        : machine(config, phys_bytes, seed ^ 0x517cc1b727220a95ull),
+          kernel(machine, os::KernelConfig{seed, true, true}),
+          process(kernel, machine)
+    {
+    }
+
+    /** Run user code at @p entry until hlt/fault. */
+    cpu::RunResult
+    runUser(VAddr entry, u64 max_insns = 1'000'000)
+    {
+        machine.setPrivilege(Privilege::User);
+        machine.setPc(entry);
+        return machine.run(max_insns);
+    }
+
+    /** Perform a syscall exactly as user code would: executes a small
+     *  user stub (mov args; syscall; hlt) on the pipeline. */
+    cpu::RunResult syscall(u64 nr, u64 rdi = 0, u64 rsi = 0);
+
+  private:
+    VAddr syscallStub_ = 0;
+    void ensureSyscallStub();
+};
+
+/**
+ * Injects branch predictions into the kernel's BTB from user mode by
+ * executing a training branch at a cross-privilege-aliasing user address
+ * and catching the resulting page fault (§6.2, following [73]).
+ */
+class PredictionInjector
+{
+  public:
+    explicit PredictionInjector(Testbed& bed) : bed_(bed) {}
+
+    /**
+     * Make the BTB predict an indirect branch at kernel address
+     * @p kernel_source with target @p target. @return false if the
+     * microarchitecture has no cross-privilege aliasing (Intel).
+     */
+    bool inject(VAddr kernel_source, VAddr target);
+
+    /** The aliasing user address used for @p kernel_source. */
+    VAddr aliasOf(VAddr kernel_source) const;
+
+  private:
+    struct Site
+    {
+        VAddr entry;        ///< user code entry (mov imm; jmp*)
+        VAddr immPatchVa;   ///< VA of the imm64 field to rewrite
+    };
+
+    Testbed& bed_;
+    std::unordered_map<VAddr, Site> sites_;
+};
+
+} // namespace phantom::attack
+
+#endif // PHANTOM_ATTACK_TESTBED_HPP

@@ -1,0 +1,168 @@
+#include "attack/workloads.hpp"
+
+#include "isa/assembler.hpp"
+#include "sim/stats.hpp"
+
+#include <cassert>
+
+namespace phantom::attack {
+
+using namespace isa;
+
+namespace {
+
+constexpr VAddr kWorkCode = 0x0000000090000000ull;
+constexpr VAddr kWorkData = 0x0000000091000000ull;
+constexpr u64 kDataPages = 16;
+
+/** Emit "rcx = iterations; loop { body }" around @p body. */
+template <typename Body>
+void
+emitLoop(Assembler& code, u32 iterations, Body&& body)
+{
+    Label loop = code.newLabel();
+    code.movImm(RCX, iterations);
+    code.bind(loop);
+    body(code);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);
+}
+
+struct Workload
+{
+    const char* name;
+    void (*build)(Assembler&);
+};
+
+void
+buildAlu(Assembler& code)
+{
+    emitLoop(code, 2000, [](Assembler& c) {
+        c.addImm(RAX, 3);
+        c.shl(RAX, 1);
+        c.shr(RAX, 1);
+        c.xorReg(RBX, RAX);
+        c.add(RBX, RAX);
+    });
+    code.hlt();
+}
+
+void
+buildMemoryChase(Assembler& code)
+{
+    // Strided loads over the data pages (offset = rcx * 192 mod 64 KiB).
+    emitLoop(code, 1500, [](Assembler& c) {
+        c.movReg(RDI, RCX);
+        c.shl(RDI, 7);
+        c.andImm(RDI, 0xffff);        // stay within the 16 data pages
+        c.movImm(RSI, kWorkData);
+        c.add(RDI, RSI);
+        c.load(RAX, RDI, 0);
+    });
+    code.hlt();
+}
+
+void
+buildCallHeavy(Assembler& code)
+{
+    Label fn = code.newLabel();
+    Label start = code.newLabel();
+    code.jmp(start);
+    code.bind(fn);
+    code.addImm(RAX, 1);
+    code.ret();
+    code.bind(start);
+    emitLoop(code, 1200, [&](Assembler& c) {
+        c.call(fn);
+        c.call(fn);
+    });
+    code.hlt();
+}
+
+void
+buildBranchy(Assembler& code)
+{
+    emitLoop(code, 1500, [](Assembler& c) {
+        Label odd = c.newLabel();
+        Label join = c.newLabel();
+        c.movReg(RAX, RCX);
+        c.andImm(RAX, 1);
+        c.cmpImm(RAX, 0);
+        c.jcc(Cond::Ne, odd);
+        c.addImm(RBX, 2);
+        c.jmp(join);
+        c.bind(odd);
+        c.addImm(RBX, 3);
+        c.bind(join);
+    });
+    code.hlt();
+}
+
+void
+buildSyscallLoop(Assembler& code)
+{
+    emitLoop(code, 150, [](Assembler& c) {
+        c.movImm(RAX, os::kSysGetpid);
+        c.syscall();
+    });
+    code.hlt();
+}
+
+constexpr Workload kWorkloads[] = {
+    {"alu", buildAlu},
+    {"memchase", buildMemoryChase},
+    {"calls", buildCallHeavy},
+    {"branchy", buildBranchy},
+    {"syscalls", buildSyscallLoop},
+};
+
+} // namespace
+
+std::vector<WorkloadScore>
+runWorkloadSuite(const cpu::MicroarchConfig& config,
+                 const MitigationSetting& setting, u64 seed)
+{
+    std::vector<WorkloadScore> scores;
+    for (const Workload& workload : kWorkloads) {
+        Testbed bed(config, kDefaultPhysBytes, seed);
+        bed.process.mapData(kWorkData, kDataPages * kPageBytes);
+        Assembler code(kWorkCode);
+        workload.build(code);
+        bed.process.mapCode(kWorkCode, code.finish());
+
+        if (setting.suppressBpOnNonBr)
+            bed.machine.msrs().setBit(cpu::msr::kDeCfg2,
+                                      cpu::msr::kSuppressBpOnNonBrBit,
+                                      true);
+        if (setting.autoIbrs)
+            bed.machine.msrs().setBit(cpu::msr::kEfer,
+                                      cpu::msr::kAutoIbrsBit, true);
+
+        bed.machine.setIbpbOnSyscall(setting.ibpbEverySyscall);
+
+        // Warm-up pass, then the measured pass.
+        bed.runUser(kWorkCode, 2'000'000);
+        Cycle start = bed.machine.cycles();
+        auto result = bed.runUser(kWorkCode, 2'000'000);
+        assert(result.reason == cpu::ExitReason::Halt);
+        (void)result;
+        scores.push_back({workload.name, bed.machine.cycles() - start});
+    }
+    return scores;
+}
+
+double
+mitigationOverhead(const cpu::MicroarchConfig& config,
+                   const MitigationSetting& setting, u64 seed)
+{
+    auto base = runWorkloadSuite(config, MitigationSetting{}, seed);
+    auto with = runWorkloadSuite(config, setting, seed);
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        ratios.push_back(static_cast<double>(with[i].cycles) /
+                         static_cast<double>(base[i].cycles));
+    return geomean(ratios) - 1.0;
+}
+
+} // namespace phantom::attack

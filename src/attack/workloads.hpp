@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A small synthetic benchmark suite (UnixBench stand-in) used to measure
+ * the performance overhead of mitigations (§6.3): the same workloads run
+ * with and without SuppressBPOnNonBr / AutoIBRS / per-syscall IBPB and
+ * the geometric-mean cycle ratio is reported.
+ */
+
+#ifndef PHANTOM_ATTACK_WORKLOADS_HPP
+#define PHANTOM_ATTACK_WORKLOADS_HPP
+
+#include "attack/testbed.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::attack {
+
+/** Mitigation configuration under benchmark. */
+struct MitigationSetting
+{
+    bool suppressBpOnNonBr = false;
+    bool autoIbrs = false;
+    bool ibpbEverySyscall = false;   ///< flush predictors per syscall
+};
+
+/** One workload's score (cycles; lower is better). */
+struct WorkloadScore
+{
+    std::string name;
+    Cycle cycles = 0;
+};
+
+/** Run the full suite under @p setting; one score per workload. */
+std::vector<WorkloadScore> runWorkloadSuite(
+    const cpu::MicroarchConfig& config, const MitigationSetting& setting,
+    u64 seed = 3);
+
+/**
+ * Geometric-mean overhead of @p setting relative to no mitigations,
+ * as a fraction (0.0069 == 0.69%).
+ */
+double mitigationOverhead(const cpu::MicroarchConfig& config,
+                          const MitigationSetting& setting, u64 seed = 3);
+
+} // namespace phantom::attack
+
+#endif // PHANTOM_ATTACK_WORKLOADS_HPP

@@ -1,0 +1,104 @@
+#include "bpu/bpu.hpp"
+
+namespace phantom::bpu {
+
+Bpu::Bpu(const BpuConfig& config)
+    : config_(config),
+      btb_(config.btb),
+      rsb_(config.rsbEntries),
+      pht_(config.phtEntries)
+{
+}
+
+RsbCheckpoint
+Bpu::checkpointRsb() const
+{
+    return RsbCheckpoint{rsb_.top(), rsb_.depth()};
+}
+
+std::optional<FrontendPrediction>
+Bpu::predictAt(VAddr va, Privilege priv, bool auto_ibrs, u8 thread,
+               bool stibp)
+{
+    auto entry = btb_.lookup(va, priv, thread, stibp);
+    if (!entry)
+        return std::nullopt;
+
+    FrontendPrediction pred;
+    pred.btb = *entry;
+    pred.rsbBefore = checkpointRsb();
+    pred.restricted = auto_ibrs && priv == Privilege::Kernel &&
+                      entry->creator == Privilege::User;
+
+    using isa::BranchType;
+    switch (entry->type) {
+      case BranchType::CondJump:
+        pred.taken = pht_.predictTaken(va, bhb_.value());
+        pred.target = entry->targetFor(va);
+        break;
+      case BranchType::Return: {
+        auto target = rsb_.pop();
+        if (!target) {
+            // Underflow: the frontend still believes a return lives
+            // here, but has no target to steer to. The prediction is
+            // surfaced (so the decoder can validate and correct it)
+            // with an unusable target.
+            pred.target = 0;
+            pred.usedRsb = false;
+            break;
+        }
+        pred.target = *target;
+        pred.usedRsb = true;
+        break;
+      }
+      default:
+        pred.target = entry->targetFor(va);
+        break;
+    }
+    return pred;
+}
+
+void
+Bpu::trainBranch(VAddr source_va, isa::BranchType type, VAddr target_va,
+                 bool taken, Privilege priv, bool rsb_already_popped,
+                 u8 thread)
+{
+    using isa::BranchType;
+
+    if (type == BranchType::CondJump)
+        pht_.update(source_va, bhb_.value(), taken);
+
+    if (taken) {
+        btb_.train(source_va, type, target_va, priv, thread);
+        bhb_.update(source_va, target_va);
+    }
+
+    // Calls push their return address onto the RSB from the core (which
+    // knows the instruction length); returns consume an entry here unless
+    // the prediction already popped it.
+    if (type == BranchType::Return && !rsb_already_popped)
+        rsb_.pop();
+}
+
+void
+Bpu::decoderInvalidate(VAddr va, Privilege priv)
+{
+    btb_.invalidate(va, priv);
+}
+
+void
+Bpu::restoreRsb(const RsbCheckpoint& checkpoint)
+{
+    rsb_.restore(checkpoint.top, checkpoint.depth);
+}
+
+void
+Bpu::ibpb()
+{
+    btb_.flushAll();
+    rsb_.flush();
+    pht_.flush();
+    bhb_.flush();
+}
+
+} // namespace phantom::bpu

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Branch Prediction Unit facade.
+ *
+ * The central property modelled here is *prediction before decode*: the
+ * frontend asks "is the thing at this address a branch, and where does it
+ * go?" knowing only the address and privilege mode. What actually lives
+ * at the address — possibly a different branch type, possibly no branch
+ * at all — is only discovered later, by the decoder or the execute stage.
+ */
+
+#ifndef PHANTOM_BPU_BPU_HPP
+#define PHANTOM_BPU_BPU_HPP
+
+#include "bpu/btb.hpp"
+#include "bpu/pht.hpp"
+#include "bpu/rsb.hpp"
+
+#include <optional>
+
+namespace phantom::bpu {
+
+/** Saved RSB position for speculation repair. */
+struct RsbCheckpoint
+{
+    std::size_t top = 0;
+    std::size_t depth = 0;
+};
+
+/** A prediction handed to the fetch unit. */
+struct FrontendPrediction
+{
+    BtbPrediction btb;        ///< the matching BTB entry
+    VAddr target = 0;         ///< resolved predicted target
+    bool taken = true;        ///< PHT direction for conditional entries
+    bool usedRsb = false;     ///< target came from an RSB pop
+    RsbCheckpoint rsbBefore;  ///< RSB state before any speculative pop
+
+    /**
+     * True when the entry was created at a lower privilege than the
+     * lookup and AutoIBRS is on: the frontend must cancel the prediction
+     * after the target fetch (paper O5: IF still happens).
+     */
+    bool restricted = false;
+};
+
+/** BPU configuration. */
+struct BpuConfig
+{
+    BtbConfig btb;
+    u32 rsbEntries = 32;
+    u32 phtEntries = 4096;
+};
+
+/** The bundled predictor state of one core. */
+class Bpu
+{
+  public:
+    explicit Bpu(const BpuConfig& config);
+
+    /**
+     * Pre-decode prediction for the instruction at @p va.
+     *
+     * @param va candidate branch source address
+     * @param priv current privilege mode
+     * @param auto_ibrs whether AutoIBRS is enabled (restricts use of
+     *        lower-privilege predictions, though not their fetch)
+     * @return a prediction if the BTB tag matches, including
+     *         direction==false conditionals (the frontend falls through
+     *         but the decoder still validates the source type).
+     */
+    std::optional<FrontendPrediction>
+    predictAt(VAddr va, Privilege priv, bool auto_ibrs, u8 thread = 0,
+              bool stibp = false);
+
+    /**
+     * Train on a resolved branch (at execute/retire).
+     * Installs/refreshes the BTB entry for taken branches, updates the
+     * PHT for conditionals, maintains the RSB and BHB.
+     *
+     * @param rsb_already_popped true when a return's RSB pop already
+     *        happened at prediction time.
+     */
+    void trainBranch(VAddr source_va, isa::BranchType type, VAddr target_va,
+                     bool taken, Privilege priv, bool rsb_already_popped,
+                     u8 thread = 0);
+
+    /** Decoder feedback: the address turned out to hold a non-branch.
+     *  Drops the bogus entry so the next fetch is not re-steered. */
+    void decoderInvalidate(VAddr va, Privilege priv);
+
+    /** Restore the RSB to a pre-speculation checkpoint (resteer). */
+    void restoreRsb(const RsbCheckpoint& checkpoint);
+
+    /** Indirect Branch Prediction Barrier: flush all predictor state. */
+    void ibpb();
+
+    Btb& btb() { return btb_; }
+    Rsb& rsb() { return rsb_; }
+    Pht& pht() { return pht_; }
+    Bhb& bhb() { return bhb_; }
+    const Btb& btb() const { return btb_; }
+    const Rsb& rsb() const { return rsb_; }
+
+  private:
+    RsbCheckpoint checkpointRsb() const;
+
+    BpuConfig config_;
+    Btb btb_;
+    Rsb rsb_;
+    Pht pht_;
+    Bhb bhb_;
+};
+
+} // namespace phantom::bpu
+
+#endif // PHANTOM_BPU_BPU_HPP

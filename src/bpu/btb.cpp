@@ -1,0 +1,125 @@
+#include "bpu/btb.hpp"
+
+#include <cassert>
+
+namespace phantom::bpu {
+
+Btb::Btb(const BtbConfig& config)
+    : config_(config),
+      entries_(static_cast<std::size_t>(config.sets) * config.ways)
+{
+    assert(config_.sets > 0 && config_.ways > 0);
+}
+
+std::optional<BtbPrediction>
+Btb::lookup(VAddr va, Privilege priv, u8 thread, bool stibp) const
+{
+    u64 key = btbKey(config_.hash, va, priv);
+    u32 set = indexOf(key);
+    u64 tag = tagOf(key);
+    const Entry* base = &entries_[static_cast<std::size_t>(set) * config_.ways];
+    for (u32 w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            if (stibp && base[w].pred.creatorThread != thread)
+                return std::nullopt;    // sibling entries are not served
+            const_cast<Entry*>(&base[w])->lastUse = ++useClock_;
+            return base[w].pred;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::train(VAddr source_va, isa::BranchType type, VAddr target_va,
+           Privilege priv, u8 thread)
+{
+    using isa::BranchType;
+    u64 key = btbKey(config_.hash, source_va, priv);
+    u32 set = indexOf(key);
+    u64 tag = tagOf(key);
+    Entry* base = &entries_[static_cast<std::size_t>(set) * config_.ways];
+
+    Entry* slot = nullptr;
+    for (u32 w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            slot = &base[w];
+            break;
+        }
+    }
+    if (slot == nullptr) {
+        slot = &base[0];
+        for (u32 w = 0; w < config_.ways; ++w) {
+            if (!base[w].valid) {
+                slot = &base[w];
+                break;
+            }
+            if (base[w].lastUse < slot->lastUse)
+                slot = &base[w];
+        }
+    }
+
+    slot->valid = true;
+    slot->tag = tag;
+    slot->lastUse = ++useClock_;
+    slot->pred.sourceVa = source_va;
+    slot->pred.type = type;
+    slot->pred.creator = priv;
+    slot->pred.creatorThread = thread;
+    switch (type) {
+      case BranchType::DirectJump:
+      case BranchType::CondJump:
+      case BranchType::DirectCall:
+        slot->pred.relDelta =
+            static_cast<i64>(target_va) - static_cast<i64>(source_va);
+        slot->pred.absTarget = 0;
+        break;
+      case BranchType::IndirectJump:
+      case BranchType::IndirectCall:
+        slot->pred.relDelta = 0;
+        slot->pred.absTarget = target_va;
+        break;
+      case BranchType::Return:
+        // Returns predict through the RSB; the BTB only records that a
+        // return lives here so the frontend knows to pop.
+        slot->pred.relDelta = 0;
+        slot->pred.absTarget = 0;
+        break;
+      case BranchType::None:
+        assert(false && "cannot train a non-branch");
+        break;
+    }
+}
+
+bool
+Btb::invalidate(VAddr va, Privilege priv)
+{
+    u64 key = btbKey(config_.hash, va, priv);
+    u32 set = indexOf(key);
+    u64 tag = tagOf(key);
+    Entry* base = &entries_[static_cast<std::size_t>(set) * config_.ways];
+    for (u32 w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::flushAll()
+{
+    for (Entry& entry : entries_)
+        entry.valid = false;
+}
+
+std::size_t
+Btb::validCount() const
+{
+    std::size_t n = 0;
+    for (const Entry& entry : entries_)
+        n += entry.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace phantom::bpu

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Branch Target Buffer.
+ *
+ * Set-associative, indexed/tagged by the per-microarchitecture hash of
+ * the *branch source* virtual address (see btb_hash.hpp). Entries record
+ * the branch type and the target — PC-relative for direct branches,
+ * absolute for indirect ones, and a "use the RSB" marker for returns —
+ * because, as the paper observes (§5.2), the training instruction
+ * determines the prediction semantics of the victim instruction.
+ */
+
+#ifndef PHANTOM_BPU_BTB_HPP
+#define PHANTOM_BPU_BTB_HPP
+
+#include "bpu/btb_hash.hpp"
+#include "isa/insn.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace phantom::bpu {
+
+/** A prediction served by the BTB for a specific source address. */
+struct BtbPrediction
+{
+    VAddr sourceVa = 0;               ///< the predicted branch source
+    isa::BranchType type = isa::BranchType::None;
+    i64 relDelta = 0;                 ///< target - source for direct types
+    VAddr absTarget = 0;              ///< absolute target for indirect types
+    Privilege creator = Privilege::User;  ///< who installed the entry
+    u8 creatorThread = 0;             ///< SMT thread that installed it
+
+    /** Predicted target when the prediction fires at @p at_va. Direct
+     *  entries are served PC-relative (paper §5.2); returns are resolved
+     *  against the RSB by the caller. */
+    VAddr
+    targetFor(VAddr at_va) const
+    {
+        using isa::BranchType;
+        switch (type) {
+          case BranchType::DirectJump:
+          case BranchType::CondJump:
+          case BranchType::DirectCall:
+            return static_cast<VAddr>(static_cast<i64>(at_va) + relDelta);
+          case BranchType::IndirectJump:
+          case BranchType::IndirectCall:
+            return absTarget;
+          default:
+            return 0;
+        }
+    }
+};
+
+/** BTB geometry. */
+struct BtbConfig
+{
+    u32 sets = 512;
+    u32 ways = 8;
+    BtbHashKind hash = BtbHashKind::Zen12;
+};
+
+/**
+ * The Branch Target Buffer. Lookup happens with nothing but an address
+ * and the current privilege mode — before the instruction at that address
+ * has been decoded, or even exists.
+ */
+class Btb
+{
+  public:
+    explicit Btb(const BtbConfig& config);
+
+    const BtbConfig& config() const { return config_; }
+
+    /**
+     * Predict whether a branch source lives at @p va.
+     * @param thread SMT thread performing the lookup
+     * @param stibp when set, entries installed by the sibling thread are
+     *        not served (Single Thread Indirect Branch Predictors, §2.4)
+     * @return the stored prediction on a tag match.
+     */
+    std::optional<BtbPrediction> lookup(VAddr va, Privilege priv,
+                                        u8 thread = 0,
+                                        bool stibp = false) const;
+
+    /**
+     * Install or refresh the entry for an executed branch.
+     * @param source_va branch source address
+     * @param type decoded branch type
+     * @param target_va resolved target
+     * @param priv privilege the branch executed at
+     */
+    void train(VAddr source_va, isa::BranchType type, VAddr target_va,
+               Privilege priv, u8 thread = 0);
+
+    /** Remove the entry matching @p va (decoder feedback: "not a
+     *  branch"), if present. Returns true if an entry was removed. */
+    bool invalidate(VAddr va, Privilege priv);
+
+    /** Flush everything (IBPB). */
+    void flushAll();
+
+    /** Number of valid entries (for tests). */
+    std::size_t validCount() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        u64 tag = 0;
+        BtbPrediction pred;
+        u64 lastUse = 0;
+    };
+
+    u32 indexOf(u64 key) const { return static_cast<u32>(key % config_.sets); }
+    u64 tagOf(u64 key) const { return key / config_.sets; }
+
+    BtbConfig config_;
+    std::vector<Entry> entries_;
+    mutable u64 useClock_ = 0;
+};
+
+} // namespace phantom::bpu
+
+#endif // PHANTOM_BPU_BTB_HPP

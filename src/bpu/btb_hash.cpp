@@ -1,0 +1,131 @@
+#include "bpu/btb_hash.hpp"
+
+#include <cassert>
+
+namespace phantom::bpu {
+
+namespace {
+
+constexpr u64
+maskOf(unsigned a, unsigned b, unsigned c)
+{
+    return (1ull << a) | (1ull << b) | (1ull << c);
+}
+
+constexpr u64
+maskOf(unsigned a, unsigned b, unsigned c, unsigned d)
+{
+    return maskOf(a, b, c) | (1ull << d);
+}
+
+// Figure 7 of the paper, verbatim.
+constexpr std::array<u64, kNumZen34Functions> kZen34Masks = {
+    maskOf(47, 35, 23),         // f0
+    maskOf(47, 36, 24, 12),     // f1
+    maskOf(47, 37, 25, 13),     // f2
+    maskOf(47, 38, 26, 14),     // f3
+    maskOf(47, 39, 26, 13),     // f4 (overlapping, as published)
+    maskOf(47, 39, 27, 15),     // f5
+    maskOf(47, 40, 28, 16),     // f6
+    maskOf(47, 41, 29, 17),     // f7
+    maskOf(47, 42, 30, 18),     // f8
+    maskOf(47, 43, 31, 19),     // f9
+    maskOf(47, 44, 32, 20),     // f10
+    maskOf(47, 45, 33, 21),     // f11
+};
+
+// Covers the bits no published function touches (b46, b34, b22).
+constexpr u64 kZen34Extra = maskOf(46, 34, 22);
+
+u64
+zen34Key(VAddr va)
+{
+    u64 key = 0;
+    for (unsigned i = 0; i < kNumZen34Functions; ++i)
+        key |= parity64(va & kZen34Masks[i]) << i;
+    key |= parity64(va & kZen34Extra) << kNumZen34Functions;
+    key = (key << 12) | bits(va, 11, 0);
+    return key;
+}
+
+u64
+zen12Key(VAddr va)
+{
+    // Tag: bits [47:14] (34 bits) folded into 12 bits with shifts of 12;
+    // index: bits [13:0] direct. Bit 47 lands in fold bit 9 via y >> 24.
+    u64 y = bits(va, 47, 14);
+    u64 tag = (y ^ (y >> 12) ^ (y >> 24)) & 0xfff;
+    return (tag << 14) | bits(va, 13, 0);
+}
+
+u64
+intelKey(VAddr va, Privilege priv)
+{
+    // Same structural fold as Zen 1/2 but salted with the privilege mode
+    // so that user- and kernel-mode branches can never alias.
+    u64 y = bits(va, 47, 14);
+    u64 salt = (priv == Privilege::Kernel) ? 0x5a5 : 0;
+    u64 tag = ((y ^ (y >> 12) ^ (y >> 24)) & 0xfff) ^ salt;
+    return (1ull << 63) * (priv == Privilege::Kernel ? 1 : 0) |
+           (tag << 14) | bits(va, 13, 0);
+}
+
+} // namespace
+
+const std::array<u64, kNumZen34Functions>&
+zen34ParityMasks()
+{
+    static const std::array<u64, kNumZen34Functions> masks = kZen34Masks;
+    return masks;
+}
+
+u64
+zen34ExtraParityMask()
+{
+    return kZen34Extra;
+}
+
+u64
+btbKey(BtbHashKind kind, VAddr va, Privilege priv)
+{
+    switch (kind) {
+      case BtbHashKind::Zen12:
+        return zen12Key(va);
+      case BtbHashKind::Zen34:
+        return zen34Key(va);
+      case BtbHashKind::IntelSalted:
+        return intelKey(va, priv);
+    }
+    return 0;
+}
+
+VAddr
+crossPrivAlias(BtbHashKind kind, VAddr kernel_va)
+{
+    switch (kind) {
+      case BtbHashKind::Zen12: {
+        // Bit 47 is fold bit 9 (via y >> 24); bit 23 is fold bit 9 too
+        // (via y >> 0, 23 - 14 == 9). Flipping both preserves the tag.
+        // Bits [63:48] are cleared by canonicalization and are not hashed.
+        VAddr user = kernel_va ^ (1ull << 47) ^ (1ull << 23);
+        user = canonicalize(user);
+        assert(btbKey(kind, user, Privilege::User) ==
+               btbKey(kind, kernel_va, Privilege::Kernel));
+        return user;
+      }
+      case BtbHashKind::Zen34: {
+        // The mask the paper confirms on both Zen 3 and Zen 4:
+        // K ^ 0xffffbff800000000 flips b47 plus b35..b45 (and the
+        // non-hashed sign-extension bits), preserving every parity.
+        VAddr user = canonicalize(kernel_va ^ 0xffffbff800000000ull);
+        assert(btbKey(kind, user, Privilege::User) ==
+               btbKey(kind, kernel_va, Privilege::Kernel));
+        return user;
+      }
+      case BtbHashKind::IntelSalted:
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace phantom::bpu

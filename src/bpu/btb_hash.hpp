@@ -1,0 +1,73 @@
+/**
+ * @file
+ * BTB index/tag hash functions per microarchitecture family.
+ *
+ * The Zen 3/4 hash implements the twelve cross-privilege XOR parity
+ * functions reverse engineered in the paper (Figure 7), all involving
+ * address bit 47, plus one extra parity not involving bit 47 covering the
+ * bits the paper could not attribute (b22/b34/b46) — the paper explicitly
+ * suspects such functions exist ("potentially because they do not involve
+ * bit 47"). Zen 1/2 use a simpler XOR fold (user/kernel aliasing needs
+ * only two bit flips, consistent with prior work the paper builds on).
+ * Intel (9th gen and later) salts the hash with the privilege mode, which
+ * is why the paper could not reuse user-injected predictions in kernel
+ * mode on Intel parts.
+ */
+
+#ifndef PHANTOM_BPU_BTB_HASH_HPP
+#define PHANTOM_BPU_BTB_HASH_HPP
+
+#include "sim/types.hpp"
+
+#include <array>
+
+namespace phantom::bpu {
+
+/** Which family's indexing scheme to model. */
+enum class BtbHashKind : u8 {
+    Zen12,        ///< AMD Zen 1 / Zen 2
+    Zen34,        ///< AMD Zen 3 / Zen 4 (Figure-7 functions)
+    IntelSalted,  ///< Intel >= 9th gen (privilege-salted)
+};
+
+/** Number of Figure-7 parity functions. */
+inline constexpr unsigned kNumZen34Functions = 12;
+
+/**
+ * Bit masks of the Figure-7 parity functions f0..f11 over VA bits [47:12].
+ * parity(va & mask) is one hash bit.
+ */
+const std::array<u64, kNumZen34Functions>& zen34ParityMasks();
+
+/** The extra non-b47 parity mask covering b46/b34/b22. */
+u64 zen34ExtraParityMask();
+
+/** Parity (XOR reduction) of the set bits of @p x. */
+constexpr u64
+parity64(u64 x)
+{
+    x ^= x >> 32;
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x ^= x >> 4;
+    x ^= x >> 2;
+    x ^= x >> 1;
+    return x & 1;
+}
+
+/**
+ * Full BTB lookup key for a branch source at @p va executed at @p priv.
+ * Two sources collide in the BTB exactly when their keys are equal.
+ */
+u64 btbKey(BtbHashKind kind, VAddr va, Privilege priv);
+
+/**
+ * A user-space (bit 47 clear, canonical) address that collides with
+ * kernel address @p kernel_va under @p kind. Only meaningful for the AMD
+ * schemes; returns 0 for IntelSalted (no cross-privilege alias exists).
+ */
+VAddr crossPrivAlias(BtbHashKind kind, VAddr kernel_va);
+
+} // namespace phantom::bpu
+
+#endif // PHANTOM_BPU_BTB_HASH_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Return Stack Buffer: the N most recent call sites (N is 16 or 32 on
+ * the parts the paper tests), consulted for return target prediction.
+ */
+
+#ifndef PHANTOM_BPU_RSB_HPP
+#define PHANTOM_BPU_RSB_HPP
+
+#include "sim/types.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace phantom::bpu {
+
+/** Circular return-address stack. Underflow yields no prediction. */
+class Rsb
+{
+  public:
+    explicit Rsb(u32 entries = 32)
+        : slots_(entries, 0)
+    {
+    }
+
+    u32 capacity() const { return static_cast<u32>(slots_.size()); }
+
+    /** Record a call's return address. */
+    void
+    push(VAddr return_va)
+    {
+        top_ = (top_ + 1) % slots_.size();
+        slots_[top_] = return_va;
+        if (depth_ < slots_.size())
+            ++depth_;
+    }
+
+    /** Pop the predicted return target. */
+    std::optional<VAddr>
+    pop()
+    {
+        if (depth_ == 0)
+            return std::nullopt;
+        VAddr va = slots_[top_];
+        top_ = (top_ + slots_.size() - 1) % slots_.size();
+        --depth_;
+        return va;
+    }
+
+    /** Peek without popping (for observation in tests). */
+    std::optional<VAddr>
+    peek() const
+    {
+        if (depth_ == 0)
+            return std::nullopt;
+        return slots_[top_];
+    }
+
+    std::size_t depth() const { return depth_; }
+    std::size_t top() const { return top_; }
+
+    /** Restore a previously observed (top, depth) position — used for
+     *  speculation repair after a resteer. Slot contents survive pops,
+     *  so restoring the position restores the stack. */
+    void
+    restore(std::size_t top, std::size_t depth)
+    {
+        top_ = top % slots_.size();
+        depth_ = depth > slots_.size() ? slots_.size() : depth;
+    }
+
+    /** Clear (IBPB / RSB stuffing with dummy clears, context switch). */
+    void
+    flush()
+    {
+        depth_ = 0;
+        top_ = 0;
+    }
+
+  private:
+    std::vector<VAddr> slots_;
+    std::size_t top_ = 0;
+    std::size_t depth_ = 0;
+};
+
+} // namespace phantom::bpu
+
+#endif // PHANTOM_BPU_RSB_HPP

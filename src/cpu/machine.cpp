@@ -1,0 +1,945 @@
+#include "cpu/machine.hpp"
+
+#include "sim/log.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace phantom::cpu {
+
+using isa::BranchType;
+using isa::Insn;
+using isa::InsnKind;
+using mem::Access;
+using mem::Fault;
+
+Machine::Machine(const MicroarchConfig& config, u64 installed_bytes, u64 seed)
+    : config_(config),
+      physMem_(installed_bytes),
+      caches_(config.hierarchy),
+      uopCache_(config.uopCacheSets, config.uopCacheWays),
+      bpu_(config.bpu),
+      noise_(config.noise, seed)
+{
+}
+
+bool
+Machine::autoIbrsActive() const
+{
+    return config_.supportsAutoIbrs &&
+           msrs_.testBit(msr::kEfer, msr::kAutoIbrsBit);
+}
+
+bool
+Machine::suppressBpActive() const
+{
+    return config_.supportsSuppressBpOnNonBr &&
+           msrs_.testBit(msr::kDeCfg2, msr::kSuppressBpOnNonBrBit);
+}
+
+bool
+Machine::stibpActive() const
+{
+    return msrs_.testBit(msr::kSpecCtrl, msr::kStibpBit);
+}
+
+void
+Machine::writeMsr(u32 index, u64 value)
+{
+    if (index == msr::kPredCmd && (value & msr::kIbpbBit)) {
+        bpu_.ibpb();
+        cycles_ += 1500;    // IBPB is expensive on real parts
+        return;             // PRED_CMD is write-only command register
+    }
+    msrs_.write(index, value);
+}
+
+// ---- Host debug ports ------------------------------------------------------
+
+std::optional<u64>
+Machine::debugRead64(VAddr va) const
+{
+    if (pageTable_ == nullptr)
+        return std::nullopt;
+    auto t = pageTable_->lookup(va);
+    if (!t)
+        return std::nullopt;
+    return const_cast<mem::PhysicalMemory&>(physMem_).read64(t->paddr);
+}
+
+bool
+Machine::debugWrite64(VAddr va, u64 value)
+{
+    if (pageTable_ == nullptr)
+        return false;
+    auto t = pageTable_->lookup(va);
+    if (!t)
+        return false;
+    physMem_.write64(t->paddr, value);
+    return true;
+}
+
+bool
+Machine::debugWriteBytes(VAddr va, const std::vector<u8>& bytes)
+{
+    if (pageTable_ == nullptr)
+        return false;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        auto t = pageTable_->lookup(va + i);
+        if (!t)
+            return false;
+        physMem_.write8(t->paddr, bytes[i]);
+    }
+    return true;
+}
+
+// ---- Timed ports -----------------------------------------------------------
+
+Cycle
+Machine::timedDataAccess(VAddr va, Privilege priv)
+{
+    auto t = pageTable_->translate(va, priv, Access::Read);
+    if (!t.ok()) {
+        // A faulting load is observed as a full-latency access (the
+        // attacker's dependent-load harness swallows the fault).
+        Cycle lat = caches_.config().latMem;
+        cycles_ += lat;
+        return lat;
+    }
+    Cycle lat = caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
+    cycles_ += lat;
+    return lat;
+}
+
+Cycle
+Machine::timedFetchAccess(VAddr va, Privilege priv)
+{
+    auto t = pageTable_->translate(va, priv, Access::Fetch);
+    if (!t.ok()) {
+        Cycle lat = caches_.config().latMem;
+        cycles_ += lat;
+        return lat;
+    }
+    Cycle lat = caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+    cycles_ += lat;
+    return lat;
+}
+
+void
+Machine::clflushVirt(VAddr va)
+{
+    auto t = pageTable_->lookup(va);
+    if (!t)
+        return;
+    caches_.flushLine(alignDown(t->paddr, kCacheLineBytes));
+    cycles_ += 40;
+}
+
+// ---- Architectural memory helpers -----------------------------------------
+
+bool
+Machine::fetchInsnBytes(VAddr pc, std::vector<u8>& bytes, FaultInfo& fault)
+{
+    bytes.clear();
+    for (std::size_t i = 0; i < isa::kMaxInsnBytes; ++i) {
+        VAddr va = pc + i;
+        auto t = pageTable_->translate(va, priv_, Access::Fetch);
+        if (!t.ok()) {
+            if (i == 0) {
+                fault.fault = t.fault;
+                fault.va = va;
+                fault.pc = pc;
+                fault.access = Access::Fetch;
+                return false;
+            }
+            break;  // partial fetch: decode with what we have
+        }
+        bytes.push_back(physMem_.read8(t.paddr));
+    }
+    return true;
+}
+
+u64
+Machine::loadArch(VAddr va, FaultInfo& fault, bool& ok)
+{
+    auto t = pageTable_->translate(va, priv_, Access::Read);
+    if (!t.ok()) {
+        fault.fault = t.fault;
+        fault.va = va;
+        fault.access = Access::Read;
+        ok = false;
+        return 0;
+    }
+    Cycle lat = caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
+    if (lat > caches_.config().latL1)
+        pmc_.bump(PmcEvent::L1DMiss);
+    cycles_ += lat;
+    ok = true;
+    return physMem_.read64(t.paddr);
+}
+
+bool
+Machine::storeArch(VAddr va, u64 value, FaultInfo& fault)
+{
+    auto t = pageTable_->translate(va, priv_, Access::Write);
+    if (!t.ok()) {
+        fault.fault = t.fault;
+        fault.va = va;
+        fault.access = Access::Write;
+        return false;
+    }
+    Cycle lat = caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
+    if (lat > caches_.config().latL1)
+        pmc_.bump(PmcEvent::L1DMiss);
+    cycles_ += lat;
+    physMem_.write64(t.paddr, value);
+    return true;
+}
+
+RunResult
+Machine::makeFault(const FaultInfo& fault, u64 instructions)
+{
+    RunResult result;
+    result.reason = ExitReason::Fault;
+    result.fault = fault;
+    result.instructions = instructions;
+    return result;
+}
+
+// ---- Speculative machinery --------------------------------------------------
+
+bool
+Machine::speculativeFetchLine(VAddr va)
+{
+    auto t = pageTable_->translate(va, priv_, Access::Fetch);
+    if (!t.ok())
+        return false;   // failed fetch leaves the I-cache untouched (P1/P2)
+    caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+    pmc_.bump(PmcEvent::SpecFetch);
+    return true;
+}
+
+void
+Machine::speculativeDecode(VAddr va, u32 max_insns)
+{
+    VAddr line = ~0ull;
+    for (u32 i = 0; i < max_insns; ++i) {
+        // Gather bytes with speculative (fault-suppressing) translation.
+        std::vector<u8> bytes;
+        for (std::size_t j = 0; j < isa::kMaxInsnBytes; ++j) {
+            auto t = pageTable_->translate(va + j, priv_, Access::Fetch);
+            if (!t.ok())
+                break;
+            bytes.push_back(physMem_.read8(t.paddr));
+        }
+        if (bytes.empty())
+            return;
+
+        VAddr cur_line = alignDown(va, kCacheLineBytes);
+        if (cur_line != line) {
+            line = cur_line;
+            auto t = pageTable_->translate(cur_line, priv_, Access::Fetch);
+            if (t.ok())
+                caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+            uopCache_.lookupFill(cur_line);
+        }
+
+        Insn insn = isa::decode(bytes.data(), bytes.size());
+        if (insn.kind == InsnKind::Invalid)
+            return;
+        pmc_.bump(PmcEvent::SpecDecode);
+        if (insn.isBranch())
+            return;     // the frontend redirects; stop the linear walk
+        va += insn.length;
+    }
+}
+
+void
+Machine::transientExecute(VAddr va, u32 budget)
+{
+    // Overlay state: wrong-path writes never reach architectural state.
+    u64 lregs[isa::kNumRegs];
+    for (u8 r = 0; r < isa::kNumRegs; ++r)
+        lregs[r] = regs_.read(r);
+    Flags lflags = flags_;
+
+    // Any RSB pops along the wrong path are repaired at resteer.
+    bpu::RsbCheckpoint rsb_at_entry{bpu_.rsb().top(), bpu_.rsb().depth()};
+
+    VAddr line = ~0ull;
+    u32 remaining = budget;
+    while (remaining > 0) {
+        --remaining;
+
+        std::vector<u8> bytes;
+        for (std::size_t j = 0; j < isa::kMaxInsnBytes; ++j) {
+            auto t = pageTable_->translate(va + j, priv_, Access::Fetch);
+            if (!t.ok())
+                break;
+            bytes.push_back(physMem_.read8(t.paddr));
+        }
+        if (bytes.empty())
+            break;
+
+        VAddr cur_line = alignDown(va, kCacheLineBytes);
+        if (cur_line != line) {
+            line = cur_line;
+            auto t = pageTable_->translate(cur_line, priv_, Access::Fetch);
+            if (t.ok()) {
+                caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+                pmc_.bump(PmcEvent::SpecFetch);
+            }
+            uopCache_.lookupFill(cur_line);
+        }
+
+        Insn insn = isa::decode(bytes.data(), bytes.size());
+        if (insn.kind == InsnKind::Invalid)
+            break;
+        pmc_.bump(PmcEvent::SpecDecode);
+
+        // Pre-decode prediction steers transient control flow too: this
+        // is how PHANTOM nests inside a Spectre window (§7.4).
+        auto pred2 = bpu_.predictAt(va, priv_, autoIbrsActive(),
+                                    smtThread_, stibpActive());
+        if (pred2) {
+            if (pred2->restricted) {
+                speculativeFetchLine(pred2->target);
+                break;
+            }
+            BranchType actual = insn.branchType();
+            bool type_match = actual == pred2->btb.type;
+            bool direct_family = actual == BranchType::DirectJump ||
+                                 actual == BranchType::DirectCall ||
+                                 actual == BranchType::CondJump;
+            bool delta_match =
+                !direct_family ||
+                pred2->btb.relDelta ==
+                    static_cast<i64>(insn.relTarget(va)) - static_cast<i64>(va);
+            if (!type_match || !delta_match) {
+                // Nested decoder-detectable misprediction: the inner
+                // window is capped at the phantom budget.
+                if (actual == BranchType::None && suppressBpActive()) {
+                    speculativeFetchLine(pred2->target);
+                    speculativeDecode(pred2->target, config_.phantomDecodeInsns);
+                    break;
+                }
+                remaining = std::min(remaining, config_.transientExecUops);
+                if (remaining == 0) {
+                    // Fetch + decode of the nested target still happen.
+                    speculativeFetchLine(pred2->target);
+                    speculativeDecode(pred2->target, config_.phantomDecodeInsns);
+                    break;
+                }
+                va = pred2->target;
+                continue;
+            }
+            // Prediction consistent with the decoded instruction: follow
+            // it (this is how a trained-taken jcc path keeps going).
+            if (pred2->btb.type == BranchType::CondJump && !pred2->taken) {
+                va += insn.length;
+            } else {
+                va = pred2->target;
+            }
+            pmc_.bump(PmcEvent::SpecExec);
+            continue;
+        }
+
+        // No prediction: actual transient semantics.
+        pmc_.bump(PmcEvent::SpecExec);
+        bool stop = false;
+        VAddr next = va + insn.length;
+        switch (insn.kind) {
+          case InsnKind::Load: {
+            VAddr addr = lregs[insn.src] + static_cast<i64>(insn.disp);
+            auto t = pageTable_->translate(addr, priv_, Access::Read);
+            if (t.ok()) {
+                // A dispatched load cannot be aborted: it fills the
+                // D-cache even though the value is never committed.
+                caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
+                lregs[insn.dst] = physMem_.read64(t.paddr);
+            } else {
+                lregs[insn.dst] = 0;    // squashed load yields poison
+            }
+            break;
+          }
+          case InsnKind::Store:
+            break;  // stores stay in the store buffer; no cache effect
+          case InsnKind::MovImm: lregs[insn.dst] = insn.imm; break;
+          case InsnKind::MovReg: lregs[insn.dst] = lregs[insn.src]; break;
+          case InsnKind::Add:    lregs[insn.dst] += lregs[insn.src]; break;
+          case InsnKind::AddImm:
+            lregs[insn.dst] += static_cast<i64>(static_cast<i32>(insn.imm));
+            break;
+          case InsnKind::Sub:
+            lflags.setCompare(lregs[insn.dst], lregs[insn.src]);
+            lregs[insn.dst] -= lregs[insn.src];
+            break;
+          case InsnKind::SubImm:
+            lflags.setCompare(lregs[insn.dst],
+                              static_cast<u64>(static_cast<i64>(
+                                  static_cast<i32>(insn.imm))));
+            lregs[insn.dst] -= static_cast<i64>(static_cast<i32>(insn.imm));
+            break;
+          case InsnKind::Xor:    lregs[insn.dst] ^= lregs[insn.src]; break;
+          case InsnKind::And:    lregs[insn.dst] &= lregs[insn.src]; break;
+          case InsnKind::AndImm: lregs[insn.dst] &= insn.imm; break;
+          case InsnKind::Shl:    lregs[insn.dst] <<= (insn.imm & 63); break;
+          case InsnKind::Shr:    lregs[insn.dst] >>= (insn.imm & 63); break;
+          case InsnKind::CmpImm:
+            lflags.setCompare(lregs[insn.dst],
+                              static_cast<u64>(static_cast<i64>(
+                                  static_cast<i32>(insn.imm))));
+            break;
+          case InsnKind::CmpReg:
+            lflags.setCompare(lregs[insn.dst], lregs[insn.src]);
+            break;
+          case InsnKind::JmpRel:
+          case InsnKind::CallRel:
+            next = insn.relTarget(va);
+            break;
+          case InsnKind::JccRel:
+            // Without a BTB entry the PHT alone decides the direction.
+            next = bpu_.pht().predictTaken(va, bpu_.bhb().value())
+                       ? insn.relTarget(va)
+                       : va + insn.length;
+            break;
+          case InsnKind::JmpInd:
+          case InsnKind::CallInd:
+            next = lregs[insn.src];
+            break;
+          case InsnKind::Ret: {
+            VAddr sp = lregs[isa::RSP];
+            auto t = pageTable_->translate(sp, priv_, Access::Read);
+            if (!t.ok()) {
+                stop = true;
+                break;
+            }
+            caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
+            next = physMem_.read64(t.paddr);
+            lregs[isa::RSP] += 8;
+            break;
+          }
+          case InsnKind::Rdtsc: lregs[isa::RAX] = cycles_; break;
+          case InsnKind::Rdpmc:
+            lregs[isa::RAX] = pmc_.readRaw(lregs[isa::RCX]);
+            break;
+          case InsnKind::Push:
+          case InsnKind::Pop:
+          case InsnKind::Clflush:
+          case InsnKind::Nop:
+          case InsnKind::NopN:
+            break;
+          case InsnKind::Lfence:
+          case InsnKind::Mfence:
+          case InsnKind::Syscall:
+          case InsnKind::Sysret:
+          case InsnKind::Hlt:
+          case InsnKind::Ud2:
+          case InsnKind::Invalid:
+            stop = true;    // barriers and mode changes end speculation
+            break;
+        }
+        if (stop)
+            break;
+        va = next;
+    }
+
+    bpu_.restoreRsb(rsb_at_entry);
+}
+
+void
+Machine::phantomEpisode(const bpu::FrontendPrediction& pred, u32 exec_budget)
+{
+    if (!speculativeFetchLine(pred.target))
+        return;     // fetch failed: nothing entered the pipeline
+    speculativeDecode(pred.target, config_.phantomDecodeInsns);
+    if (exec_budget > 0)
+        transientExecute(pred.target, exec_budget);
+}
+
+void
+Machine::sequentialSpeculation(VAddr fall_through)
+{
+    // A branch with no prediction: the frontend keeps fetching and
+    // decoding straight ahead; on Zen 1/2 the fall-through even executes
+    // (Straight-Line Speculation).
+    if (!speculativeFetchLine(fall_through))
+        return;
+    speculativeDecode(fall_through, config_.phantomDecodeInsns);
+    if (config_.transientExecUops > 0)
+        transientExecute(fall_through, config_.transientExecUops);
+}
+
+void
+Machine::spectreEpisode(VAddr wrong_path)
+{
+    if (!speculativeFetchLine(wrong_path))
+        return;
+    transientExecute(wrong_path, config_.spectreWindowUops);
+}
+
+void
+Machine::maybeSpeculate(VAddr pc, const Insn& insn,
+                        std::optional<bpu::FrontendPrediction>& pred)
+{
+    BranchType actual = insn.branchType();
+
+    // Episode tracing: capture speculative-activity counters around each
+    // episode so the record reports how deep the target advanced.
+    u64 f0 = pmc_.read(PmcEvent::SpecFetch);
+    u64 d0 = pmc_.read(PmcEvent::SpecDecode);
+    u64 e0 = pmc_.read(PmcEvent::SpecExec);
+    auto record = [&](EpisodeKind kind, VAddr target) {
+        if (trace_.size() >= traceCapacity_)
+            return;
+        EpisodeRecord rec;
+        rec.kind = kind;
+        rec.sourcePc = pc;
+        rec.actualKind = insn.kind;
+        rec.predictedType =
+            pred ? pred->btb.type : isa::BranchType::None;
+        rec.target = target;
+        rec.priv = priv_;
+        rec.atCycle = cycles_;
+        rec.fetched = pmc_.read(PmcEvent::SpecFetch) > f0;
+        rec.decoded =
+            static_cast<u32>(pmc_.read(PmcEvent::SpecDecode) - d0);
+        rec.executed =
+            static_cast<u32>(pmc_.read(PmcEvent::SpecExec) - e0);
+        trace_.push_back(rec);
+    };
+
+    if (!pred) {
+        if (actual != BranchType::None) {
+            sequentialSpeculation(pc + insn.length);
+            record(EpisodeKind::StraightLine, pc + insn.length);
+        }
+        return;
+    }
+
+    bpu::FrontendPrediction& p = *pred;
+
+    // AutoIBRS: a lower-privilege prediction is cancelled after its
+    // target fetch has already been issued (paper O5 — IF still happens).
+    if (p.restricted) {
+        speculativeFetchLine(p.target);
+        record(EpisodeKind::AutoIbrsCancelled, p.target);
+        if (p.usedRsb)
+            bpu_.restoreRsb(p.rsbBefore);
+        pmc_.bump(PmcEvent::MispredictFrontend);
+        cycles_ += config_.frontendResteerPenalty;
+        return;
+    }
+
+    bool type_match = actual == p.btb.type;
+    bool direct_family = actual == BranchType::DirectJump ||
+                         actual == BranchType::DirectCall ||
+                         actual == BranchType::CondJump;
+    bool delta_match =
+        !direct_family ||
+        p.btb.relDelta ==
+            static_cast<i64>(insn.relTarget(pc)) - static_cast<i64>(pc);
+
+    bool decoder_detectable =
+        actual == BranchType::None || !type_match ||
+        (direct_family && !delta_match);
+
+    // Retbleed exception: on parts that do not validate the predicted
+    // type against a decoded return, a type-confused prediction at a ret
+    // only resolves at execute — a full Spectre window.
+    if (actual == BranchType::Return && !type_match &&
+        !config_.decoderChecksRetType) {
+        spectreEpisode(p.target);
+        record(EpisodeKind::SpectreBackend, p.target);
+        pmc_.bump(PmcEvent::MispredictBackend);
+        cycles_ += config_.backendResteerPenalty;
+        return;
+    }
+
+    if (decoder_detectable) {
+        bool victim_is_indirect = actual == BranchType::IndirectJump ||
+                                  actual == BranchType::IndirectCall;
+        if (config_.indirectVictimOpaque && victim_is_indirect) {
+            // Intel quirk (§6): no IF/ID observable for jmp* victims.
+            record(EpisodeKind::IntelOpaque, p.target);
+            if (p.usedRsb)
+                bpu_.restoreRsb(p.rsbBefore);
+            pmc_.bump(PmcEvent::MispredictFrontend);
+            cycles_ += config_.frontendResteerPenalty;
+            return;
+        }
+
+        u32 exec_budget = config_.transientExecUops;
+        if (actual == BranchType::None && suppressBpActive())
+            exec_budget = 0;    // O4: IF/ID still happen, EX does not
+
+        phantomEpisode(p, exec_budget);
+        record(EpisodeKind::PhantomFrontend, p.target);
+
+        if (actual == BranchType::None) {
+            bpu_.decoderInvalidate(pc, priv_);
+            pmc_.bump(PmcEvent::DecoderInvalidate);
+        }
+        if (p.usedRsb)
+            bpu_.restoreRsb(p.rsbBefore);
+        pmc_.bump(PmcEvent::MispredictFrontend);
+        cycles_ += config_.frontendResteerPenalty;
+        return;
+    }
+
+    // Prediction type (and displacement, where checkable) agree with the
+    // decoded instruction. Execute-dependent aspects resolve at EX.
+    switch (actual) {
+      case BranchType::CondJump: {
+        bool taken = flags_.test(insn.cond);
+        if (taken != p.taken) {
+            VAddr wrong = p.taken ? p.target : pc + insn.length;
+            spectreEpisode(wrong);
+            record(EpisodeKind::SpectreBackend, wrong);
+            pmc_.bump(PmcEvent::MispredictBackend);
+            cycles_ += config_.backendResteerPenalty;
+        }
+        break;
+      }
+      case BranchType::IndirectJump:
+      case BranchType::IndirectCall: {
+        VAddr actual_target = regs_.read(insn.src);
+        if (actual_target != p.target) {
+            spectreEpisode(p.target);
+            record(EpisodeKind::SpectreBackend, p.target);
+            pmc_.bump(PmcEvent::MispredictBackend);
+            cycles_ += config_.backendResteerPenalty;
+        }
+        break;
+      }
+      case BranchType::Return: {
+        auto top = debugRead64(regs_.read(isa::RSP));
+        VAddr actual_target = top.value_or(0);
+        if (actual_target != p.target) {
+            spectreEpisode(p.target);
+            record(EpisodeKind::SpectreBackend, p.target);
+            pmc_.bump(PmcEvent::MispredictBackend);
+            cycles_ += config_.backendResteerPenalty;
+        }
+        break;
+      }
+      default:
+        break;    // correctly predicted direct branch
+    }
+}
+
+// ---- Main loop --------------------------------------------------------------
+
+RunResult
+Machine::run(u64 max_insns)
+{
+    u64 instructions = 0;
+    Cycle start_cycles = cycles_;
+    VAddr cur_line = ~0ull;
+
+    while (instructions < max_insns) {
+        // ---- Fetch -----------------------------------------------------
+        FaultInfo fault;
+        std::vector<u8> bytes;
+        if (!fetchInsnBytes(pc_, bytes, fault)) {
+            auto r = makeFault(fault, instructions);
+            r.cycles = cycles_ - start_cycles;
+            return r;
+        }
+
+        VAddr line = alignDown(pc_, kCacheLineBytes);
+        if (line != cur_line) {
+            cur_line = line;
+            if (uopCache_.lookupFill(line)) {
+                pmc_.bump(PmcEvent::OpCacheHit);
+                cycles_ += 1;
+            } else {
+                pmc_.bump(PmcEvent::OpCacheMiss);
+                auto t = pageTable_->translate(line, priv_, Access::Fetch);
+                if (t.ok()) {
+                    Cycle lat =
+                        caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+                    if (lat > caches_.config().latL1)
+                        pmc_.bump(PmcEvent::L1IMiss);
+                    cycles_ += lat;
+                }
+            }
+            if (config_.nextLinePrefetch) {
+                // Prefetched lines fill L1I but never enter the pipeline
+                // (no decode, no µop-cache effect) — the IF-channel
+                // confound of §5.1.
+                VAddr next_line = line + kCacheLineBytes;
+                auto t = pageTable_->translate(next_line, priv_,
+                                               Access::Fetch);
+                if (t.ok() &&
+                    !caches_.l1i().contains(
+                        alignDown(t.paddr, kCacheLineBytes))) {
+                    caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+                    pmc_.bump(PmcEvent::L1IPrefetch);
+                }
+            }
+        }
+
+        // ---- Decode ----------------------------------------------------
+        Insn insn = isa::decode(bytes.data(), bytes.size());
+        if (insn.kind == InsnKind::Invalid || insn.kind == InsnKind::Ud2) {
+            FaultInfo f;
+            f.invalidOpcode = true;
+            f.pc = pc_;
+            f.va = pc_;
+            auto r = makeFault(f, instructions);
+            r.cycles = cycles_ - start_cycles;
+            return r;
+        }
+
+        // ---- Pre-decode prediction & speculation episodes ---------------
+        pmc_.bump(PmcEvent::BtbLookup);
+        auto pred = bpu_.predictAt(pc_, priv_, autoIbrsActive(),
+                                   smtThread_, stibpActive());
+        if (pred) {
+            pmc_.bump(PmcEvent::BtbHit);
+            // SuppressBPOnNonBr overhead model: served predictions must
+            // be checked against the "is a branch" pre-decode marker
+            // before steering. The check is pipelined; it costs a bubble
+            // only when the confirmation buffer fills (1 in 16 served
+            // predictions), landing in the sub-percent overhead band the
+            // paper measures with UnixBench (§6.3, 0.42-0.69%).
+            if (suppressBpActive() && (++suppressConfirms_ & 0xf) == 0)
+                cycles_ += 1;
+        }
+        maybeSpeculate(pc_, insn, pred);
+
+        bool rsb_consumed = pred && !pred->restricted &&
+                            pred->btb.type == BranchType::Return &&
+                            insn.kind == InsnKind::Ret;
+
+        // ---- Execute ----------------------------------------------------
+        ++instructions;
+        pmc_.bump(PmcEvent::Instructions);
+        cycles_ += 1;
+
+        VAddr next = pc_ + insn.length;
+        bool ok = true;
+        switch (insn.kind) {
+          case InsnKind::Nop:
+          case InsnKind::NopN:
+            break;
+          case InsnKind::MovImm: regs_.write(insn.dst, insn.imm); break;
+          case InsnKind::MovReg:
+            regs_.write(insn.dst, regs_.read(insn.src));
+            break;
+          case InsnKind::Load: {
+            VAddr addr = regs_.read(insn.src) + static_cast<i64>(insn.disp);
+            u64 v = loadArch(addr, fault, ok);
+            if (!ok) {
+                fault.pc = pc_;
+                auto r = makeFault(fault, instructions);
+                r.cycles = cycles_ - start_cycles;
+                return r;
+            }
+            regs_.write(insn.dst, v);
+            break;
+          }
+          case InsnKind::Store: {
+            VAddr addr = regs_.read(insn.dst) + static_cast<i64>(insn.disp);
+            if (!storeArch(addr, regs_.read(insn.src), fault)) {
+                fault.pc = pc_;
+                auto r = makeFault(fault, instructions);
+                r.cycles = cycles_ - start_cycles;
+                return r;
+            }
+            break;
+          }
+          case InsnKind::Add:
+            regs_.write(insn.dst, regs_.read(insn.dst) + regs_.read(insn.src));
+            break;
+          case InsnKind::AddImm:
+            regs_.write(insn.dst,
+                        regs_.read(insn.dst) +
+                            static_cast<i64>(static_cast<i32>(insn.imm)));
+            break;
+          case InsnKind::Sub:
+            flags_.setCompare(regs_.read(insn.dst), regs_.read(insn.src));
+            regs_.write(insn.dst, regs_.read(insn.dst) - regs_.read(insn.src));
+            break;
+          case InsnKind::SubImm: {
+            u64 b = static_cast<u64>(
+                static_cast<i64>(static_cast<i32>(insn.imm)));
+            flags_.setCompare(regs_.read(insn.dst), b);
+            regs_.write(insn.dst, regs_.read(insn.dst) - b);
+            break;
+          }
+          case InsnKind::Xor:
+            regs_.write(insn.dst, regs_.read(insn.dst) ^ regs_.read(insn.src));
+            break;
+          case InsnKind::And:
+            regs_.write(insn.dst, regs_.read(insn.dst) & regs_.read(insn.src));
+            break;
+          case InsnKind::AndImm:
+            regs_.write(insn.dst, regs_.read(insn.dst) & insn.imm);
+            break;
+          case InsnKind::Shl:
+            regs_.write(insn.dst, regs_.read(insn.dst) << (insn.imm & 63));
+            break;
+          case InsnKind::Shr:
+            regs_.write(insn.dst, regs_.read(insn.dst) >> (insn.imm & 63));
+            break;
+          case InsnKind::CmpImm:
+            flags_.setCompare(regs_.read(insn.dst),
+                              static_cast<u64>(static_cast<i64>(
+                                  static_cast<i32>(insn.imm))));
+            break;
+          case InsnKind::CmpReg:
+            flags_.setCompare(regs_.read(insn.dst), regs_.read(insn.src));
+            break;
+          case InsnKind::JmpRel: {
+            VAddr target = insn.relTarget(pc_);
+            bpu_.trainBranch(pc_, BranchType::DirectJump, target, true, priv_,
+                             false, smtThread_);
+            next = target;
+            break;
+          }
+          case InsnKind::JccRel: {
+            bool taken = flags_.test(insn.cond);
+            VAddr target = insn.relTarget(pc_);
+            bpu_.trainBranch(pc_, BranchType::CondJump, target, taken, priv_,
+                             false, smtThread_);
+            next = taken ? target : pc_ + insn.length;
+            break;
+          }
+          case InsnKind::JmpInd: {
+            VAddr target = regs_.read(insn.src);
+            bpu_.trainBranch(pc_, BranchType::IndirectJump, target, true,
+                             priv_, false, smtThread_);
+            next = target;
+            break;
+          }
+          case InsnKind::CallRel:
+          case InsnKind::CallInd: {
+            VAddr target = insn.kind == InsnKind::CallRel
+                               ? insn.relTarget(pc_)
+                               : regs_.read(insn.src);
+            VAddr ret_addr = pc_ + insn.length;
+            regs_.write(isa::RSP, regs_.read(isa::RSP) - 8);
+            if (!storeArch(regs_.read(isa::RSP), ret_addr, fault)) {
+                fault.pc = pc_;
+                auto r = makeFault(fault, instructions);
+                r.cycles = cycles_ - start_cycles;
+                return r;
+            }
+            bpu_.rsb().push(ret_addr);
+            bpu_.trainBranch(pc_,
+                             insn.kind == InsnKind::CallRel
+                                 ? BranchType::DirectCall
+                                 : BranchType::IndirectCall,
+                             target, true, priv_, false, smtThread_);
+            next = target;
+            break;
+          }
+          case InsnKind::Ret: {
+            u64 ret_addr = loadArch(regs_.read(isa::RSP), fault, ok);
+            if (!ok) {
+                fault.pc = pc_;
+                auto r = makeFault(fault, instructions);
+                r.cycles = cycles_ - start_cycles;
+                return r;
+            }
+            regs_.write(isa::RSP, regs_.read(isa::RSP) + 8);
+            bpu_.trainBranch(pc_, BranchType::Return, ret_addr, true, priv_,
+                             rsb_consumed, smtThread_);
+            next = ret_addr;
+            break;
+          }
+          case InsnKind::Push:
+            regs_.write(isa::RSP, regs_.read(isa::RSP) - 8);
+            if (!storeArch(regs_.read(isa::RSP), regs_.read(insn.src),
+                           fault)) {
+                fault.pc = pc_;
+                auto r = makeFault(fault, instructions);
+                r.cycles = cycles_ - start_cycles;
+                return r;
+            }
+            break;
+          case InsnKind::Pop: {
+            u64 v = loadArch(regs_.read(isa::RSP), fault, ok);
+            if (!ok) {
+                fault.pc = pc_;
+                auto r = makeFault(fault, instructions);
+                r.cycles = cycles_ - start_cycles;
+                return r;
+            }
+            regs_.write(isa::RSP, regs_.read(isa::RSP) + 8);
+            regs_.write(insn.dst, v);
+            break;
+          }
+          case InsnKind::Syscall:
+            pmc_.bump(PmcEvent::Syscalls);
+            savedUserPc_ = pc_ + insn.length;
+            priv_ = Privilege::Kernel;
+            next = syscallEntry_;
+            cycles_ += 80;
+            if (ibpbOnSyscall_) {
+                bpu_.ibpb();
+                cycles_ += 1500;
+            }
+            break;
+          case InsnKind::Sysret:
+            if (priv_ != Privilege::Kernel) {
+                // Real hardware raises #GP on sysret outside CPL0.
+                FaultInfo f;
+                f.invalidOpcode = true;
+                f.pc = pc_;
+                f.va = pc_;
+                auto r = makeFault(f, instructions);
+                r.cycles = cycles_ - start_cycles;
+                return r;
+            }
+            priv_ = Privilege::User;
+            next = savedUserPc_;
+            cycles_ += 80;
+            break;
+          case InsnKind::Lfence:
+          case InsnKind::Mfence:
+            cycles_ += 8;
+            break;
+          case InsnKind::Clflush: {
+            VAddr addr = regs_.read(insn.src);
+            clflushVirt(addr);
+            break;
+          }
+          case InsnKind::Rdtsc:
+            regs_.write(isa::RAX, cycles_);
+            break;
+          case InsnKind::Rdpmc:
+            regs_.write(isa::RAX, pmc_.readRaw(regs_.read(isa::RCX)));
+            break;
+          case InsnKind::Hlt: {
+            RunResult r;
+            r.reason = ExitReason::Halt;
+            r.instructions = instructions;
+            r.cycles = cycles_ - start_cycles;
+            pc_ = next;
+            return r;
+          }
+          case InsnKind::Ud2:
+          case InsnKind::Invalid:
+            break;  // handled above
+        }
+
+        pc_ = next;
+
+        // ---- Environmental noise ----------------------------------------
+        if (++insnsSinceNoise_ >= config_.noiseEveryInsns) {
+            insnsSinceNoise_ = 0;
+            noise_.disturb(caches_);
+        }
+    }
+
+    RunResult r;
+    r.reason = ExitReason::InsnLimit;
+    r.instructions = instructions;
+    r.cycles = cycles_ - start_cycles;
+    return r;
+}
+
+} // namespace phantom::cpu

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The simulated machine: one core plus its memory system and predictors.
+ *
+ * Execution model. Architectural instructions execute in order, but
+ * before each instruction executes, its address is run past the BPU the
+ * way the real frontend does — *before decode*. A BTB hit at any address
+ * (branch or not) starts a speculation episode at the predicted target:
+ *
+ *  - transient fetch: the target line is translated and, if executable
+ *    and mapped, filled into L1I (paper O1);
+ *  - transient decode: up to phantomDecodeInsns instructions at the
+ *    target are decoded, filling the µop cache (paper O2);
+ *  - transient execute: on parts where the decoder-issued resteer does
+ *    not reach the µop queue in time (Zen 1/2, transientExecUops > 0),
+ *    target µops execute with overlay semantics — loads fill the D-cache
+ *    and can never be aborted once dispatched (paper O3). Transient
+ *    control flow consults the BPU again, so PHANTOM speculation nests
+ *    inside Spectre windows (§7.4).
+ *
+ * Who detects the misprediction decides the window: type/displacement
+ * mismatches are decoder-detectable (frontend resteer, short window);
+ * direction/indirect-target/return mismatches resolve at execute
+ * (backend resteer, wide Spectre window).
+ */
+
+#ifndef PHANTOM_CPU_MACHINE_HPP
+#define PHANTOM_CPU_MACHINE_HPP
+
+#include "bpu/bpu.hpp"
+#include "cpu/microarch.hpp"
+#include "cpu/msr.hpp"
+#include "cpu/pmc.hpp"
+#include "cpu/regfile.hpp"
+#include "isa/encoder.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/noise.hpp"
+#include "mem/paging.hpp"
+#include "mem/phys_mem.hpp"
+#include "mem/uop_cache.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace phantom::cpu {
+
+/** Why run() returned. */
+enum class ExitReason : u8 {
+    Halt,       ///< hlt executed
+    Fault,      ///< architectural fault (page fault, #UD)
+    InsnLimit,  ///< max_insns reached
+};
+
+/** Architectural fault description. */
+struct FaultInfo
+{
+    mem::Fault fault = mem::Fault::None;  ///< paging fault kind
+    bool invalidOpcode = false;           ///< #UD instead of a page fault
+    VAddr va = 0;                         ///< faulting address
+    VAddr pc = 0;                         ///< faulting instruction
+    mem::Access access = mem::Access::Read;
+};
+
+/** Result of a run() call. */
+struct RunResult
+{
+    ExitReason reason = ExitReason::Halt;
+    FaultInfo fault;
+    u64 instructions = 0;
+    Cycle cycles = 0;
+};
+
+/** Classification of a speculation episode for tracing. */
+enum class EpisodeKind : u8 {
+    PhantomFrontend,   ///< decoder-detectable misprediction (PHANTOM)
+    SpectreBackend,    ///< execute-resolved misprediction (Spectre)
+    StraightLine,      ///< unpredicted branch: fall-through speculation
+    AutoIbrsCancelled, ///< restricted prediction: fetch-only
+    IntelOpaque,       ///< dropped prediction at an indirect victim
+};
+
+/** One traced speculation episode. */
+struct EpisodeRecord
+{
+    EpisodeKind kind = EpisodeKind::PhantomFrontend;
+    VAddr sourcePc = 0;                  ///< the (mis)predicted source
+    isa::InsnKind actualKind = isa::InsnKind::Nop;  ///< decoded reality
+    isa::BranchType predictedType = isa::BranchType::None;
+    VAddr target = 0;                    ///< where speculation went
+    Privilege priv = Privilege::User;
+    Cycle atCycle = 0;
+    bool fetched = false;                ///< target line entered L1I
+    u32 decoded = 0;                     ///< speculatively decoded insns
+    u32 executed = 0;                    ///< transiently executed µops
+};
+
+/** One simulated core with private memory system. */
+class Machine
+{
+  public:
+    /**
+     * @param config microarchitecture parameters
+     * @param installed_bytes physical memory size
+     * @param seed seed for the environmental noise stream
+     */
+    Machine(const MicroarchConfig& config, u64 installed_bytes,
+            u64 seed = 0x1234);
+
+    // -- Component access ------------------------------------------------
+
+    const MicroarchConfig& config() const { return config_; }
+    mem::PhysicalMemory& physMem() { return physMem_; }
+    mem::CacheHierarchy& caches() { return caches_; }
+    mem::UopCache& uopCache() { return uopCache_; }
+    bpu::Bpu& bpu() { return bpu_; }
+    Pmc& pmc() { return pmc_; }
+    MsrFile& msrs() { return msrs_; }
+    RegFile& regs() { return regs_; }
+    Flags& flags() { return flags_; }
+    mem::NoiseInjector& noise() { return noise_; }
+
+    /** Install the active address space (non-owning). */
+    void setPageTable(mem::PageTable* table) { pageTable_ = table; }
+    mem::PageTable* pageTable() { return pageTable_; }
+
+    // -- Execution control -------------------------------------------------
+
+    void setPc(VAddr pc) { pc_ = pc; }
+    VAddr pc() const { return pc_; }
+    void setPrivilege(Privilege priv) { priv_ = priv; }
+    Privilege privilege() const { return priv_; }
+    void setSyscallEntry(VAddr va) { syscallEntry_ = va; }
+    Cycle cycles() const { return cycles_; }
+    void addCycles(Cycle n) { cycles_ += n; }
+
+    /** Select the SMT hardware thread executing subsequent code. Both
+     *  threads share every predictor and cache of this core; BTB entries
+     *  are tagged with their creator thread for STIBP. */
+    void setSmtThread(u8 thread) { smtThread_ = thread & 1; }
+    u8 smtThread() const { return smtThread_; }
+
+    /** Execute until hlt, a fault, or @p max_insns instructions. */
+    RunResult run(u64 max_insns = 1'000'000);
+
+    /** Software mitigation: issue an IBPB on every user->kernel
+     *  transition (§8.2 — flush the BTB state when switching between
+     *  distrusting execution contexts). */
+    void setIbpbOnSyscall(bool on) { ibpbOnSyscall_ = on; }
+    bool ibpbOnSyscall() const { return ibpbOnSyscall_; }
+
+    // -- Episode tracing ------------------------------------------------------
+
+    /** Record the next speculation episodes (up to @p capacity). */
+    void
+    enableEpisodeTrace(std::size_t capacity = 256)
+    {
+        traceCapacity_ = capacity;
+        trace_.clear();
+    }
+
+    void disableEpisodeTrace() { traceCapacity_ = 0; }
+    void clearEpisodeTrace() { trace_.clear(); }
+    const std::vector<EpisodeRecord>& episodeTrace() const { return trace_; }
+
+    // -- MSR access with side effects ---------------------------------------
+
+    /** Write an MSR; PRED_CMD.IBPB flushes the predictors. */
+    void writeMsr(u32 index, u64 value);
+    u64 readMsr(u32 index) const { return msrs_.read(index); }
+
+    // -- Host debug ports (no microarchitectural side effects) -------------
+
+    /** Read 8 bytes of virtual memory, bypassing permissions/caches. */
+    std::optional<u64> debugRead64(VAddr va) const;
+    /** Write 8 bytes of virtual memory, bypassing permissions/caches. */
+    bool debugWrite64(VAddr va, u64 value);
+    /** Copy a blob into virtual memory, bypassing permissions/caches. */
+    bool debugWriteBytes(VAddr va, const std::vector<u8>& bytes);
+
+    // -- Timed access ports -------------------------------------------------
+    // Equivalent to the attacker executing a dependent load / jump to the
+    // address: they translate, charge the machine clock, and mutate cache
+    // state exactly as the corresponding instruction would.
+
+    /** Timed data-load of @p va at @p priv. Unmapped addresses cost a
+     *  full memory latency and leave caches untouched. */
+    Cycle timedDataAccess(VAddr va, Privilege priv);
+
+    /** Timed instruction-fetch of @p va at @p priv. */
+    Cycle timedFetchAccess(VAddr va, Privilege priv);
+
+    /** clflush of the line holding @p va (all levels). */
+    void clflushVirt(VAddr va);
+
+  private:
+    // Architectural helpers.
+    bool fetchInsnBytes(VAddr pc, std::vector<u8>& bytes, FaultInfo& fault);
+    RunResult makeFault(const FaultInfo& fault, u64 instructions);
+    u64 loadArch(VAddr va, FaultInfo& fault, bool& ok);
+    bool storeArch(VAddr va, u64 value, FaultInfo& fault);
+
+    // Speculation machinery.
+    void maybeSpeculate(VAddr pc, const isa::Insn& insn,
+                        std::optional<bpu::FrontendPrediction>& pred);
+    void phantomEpisode(const bpu::FrontendPrediction& pred, u32 exec_budget);
+    void sequentialSpeculation(VAddr fall_through);
+    void spectreEpisode(VAddr wrong_path);
+    /** Fill the I-cache line of a speculative fetch target. @return true
+     *  if the fetch succeeded (mapped + executable at current priv). */
+    bool speculativeFetchLine(VAddr va);
+    /** Decode-walk at a speculative target, filling the µop cache. */
+    void speculativeDecode(VAddr va, u32 max_insns);
+    /** Execute up to @p budget wrong-path µops starting at @p va. */
+    void transientExecute(VAddr va, u32 budget);
+
+    bool autoIbrsActive() const;
+    bool suppressBpActive() const;
+    bool stibpActive() const;
+
+    MicroarchConfig config_;
+    mem::PhysicalMemory physMem_;
+    mem::CacheHierarchy caches_;
+    mem::UopCache uopCache_;
+    bpu::Bpu bpu_;
+    Pmc pmc_;
+    MsrFile msrs_;
+    RegFile regs_;
+    Flags flags_;
+    mem::NoiseInjector noise_;
+
+    mem::PageTable* pageTable_ = nullptr;
+    VAddr pc_ = 0;
+    Privilege priv_ = Privilege::User;
+    VAddr syscallEntry_ = 0;
+    VAddr savedUserPc_ = 0;
+    Cycle cycles_ = 0;
+    u64 insnsSinceNoise_ = 0;
+    u64 suppressConfirms_ = 0;
+    bool ibpbOnSyscall_ = false;
+
+    std::size_t traceCapacity_ = 0;
+    std::vector<EpisodeRecord> trace_;
+    u8 smtThread_ = 0;
+};
+
+} // namespace phantom::cpu
+
+#endif // PHANTOM_CPU_MACHINE_HPP

@@ -1,0 +1,161 @@
+#include "cpu/microarch.hpp"
+
+namespace phantom::cpu {
+
+namespace {
+
+MicroarchConfig
+baseAmd()
+{
+    MicroarchConfig cfg;
+    cfg.vendor = Vendor::Amd;
+    cfg.bpu.btb.sets = 512;
+    cfg.bpu.btb.ways = 8;
+    cfg.bpu.rsbEntries = 32;
+    return cfg;
+}
+
+MicroarchConfig
+baseIntel()
+{
+    MicroarchConfig cfg;
+    cfg.vendor = Vendor::Intel;
+    cfg.bpu.btb.sets = 1024;
+    cfg.bpu.btb.ways = 8;
+    cfg.bpu.rsbEntries = 16;
+    cfg.bpu.btb.hash = bpu::BtbHashKind::IntelSalted;
+    cfg.supportsEibrs = true;
+    cfg.indirectVictimOpaque = true;
+    return cfg;
+}
+
+} // namespace
+
+MicroarchConfig
+zen1()
+{
+    MicroarchConfig cfg = baseAmd();
+    cfg.name = "zen1";
+    cfg.model = "AMD Ryzen 5 1600X";
+    cfg.clockGhz = 3.6;
+    cfg.bpu.btb.hash = bpu::BtbHashKind::Zen12;
+    cfg.transientExecUops = 6;
+    cfg.decoderChecksRetType = false;        // Retbleed branch type confusion
+    cfg.supportsSuppressBpOnNonBr = false;   // not supported on Zen(+)
+    // Calibrated so the P1 covert channel lands near the paper's 96.3%.
+    cfg.noiseEveryInsns = 16;
+    cfg.noise.l1iEvictChance = 3.4;
+    cfg.noise.l1dEvictChance = 0.05;
+    cfg.noise.l2EvictChance = 0.02;
+    return cfg;
+}
+
+MicroarchConfig
+zen2()
+{
+    MicroarchConfig cfg = baseAmd();
+    cfg.name = "zen2";
+    cfg.model = "AMD EPYC 7252";
+    cfg.clockGhz = 3.1;
+    cfg.bpu.btb.hash = bpu::BtbHashKind::Zen12;
+    cfg.transientExecUops = 6;
+    cfg.decoderChecksRetType = false;        // Retbleed branch type confusion
+    cfg.supportsSuppressBpOnNonBr = true;
+    // Server part, busier uncore: the paper measures 93.04% on P1.
+    cfg.noiseEveryInsns = 16;
+    cfg.noise.l1iEvictChance = 5.9;
+    cfg.noise.l1dEvictChance = 0.08;
+    cfg.noise.l2EvictChance = 0.10;
+    return cfg;
+}
+
+MicroarchConfig
+zen3()
+{
+    MicroarchConfig cfg = baseAmd();
+    cfg.name = "zen3";
+    cfg.model = "AMD Ryzen 5 5600G";
+    cfg.clockGhz = 3.9;
+    cfg.bpu.btb.hash = bpu::BtbHashKind::Zen34;
+    cfg.transientExecUops = 0;               // fetch + decode only
+    cfg.supportsSuppressBpOnNonBr = true;
+    cfg.noiseEveryInsns = 16;
+    cfg.noise.l1iEvictChance = 0.02;         // paper: 100% accuracy
+    cfg.noise.l1dEvictChance = 0.01;
+    cfg.noise.l2EvictChance = 0.01;
+    return cfg;
+}
+
+MicroarchConfig
+zen4()
+{
+    MicroarchConfig cfg = baseAmd();
+    cfg.name = "zen4";
+    cfg.model = "AMD Ryzen 7 7700X";
+    cfg.clockGhz = 4.5;
+    cfg.bpu.btb.hash = bpu::BtbHashKind::Zen34;
+    cfg.transientExecUops = 0;
+    cfg.supportsSuppressBpOnNonBr = true;
+    cfg.supportsAutoIbrs = true;
+    // Aggressive prefetch/replacement makes L1I probing noisier: 90.67%.
+    cfg.noiseEveryInsns = 16;
+    cfg.noise.l1iEvictChance = 9.6;
+    cfg.noise.l1dEvictChance = 0.06;
+    cfg.noise.l2EvictChance = 0.03;
+    return cfg;
+}
+
+MicroarchConfig
+intel9()
+{
+    MicroarchConfig cfg = baseIntel();
+    cfg.name = "intel9";
+    cfg.model = "Intel Core i9-9900K";
+    cfg.clockGhz = 3.6;
+    return cfg;
+}
+
+MicroarchConfig
+intel11()
+{
+    MicroarchConfig cfg = baseIntel();
+    cfg.name = "intel11";
+    cfg.model = "Intel Core i7-11700K";
+    cfg.clockGhz = 3.6;
+    return cfg;
+}
+
+MicroarchConfig
+intel12()
+{
+    MicroarchConfig cfg = baseIntel();
+    cfg.name = "intel12";
+    cfg.model = "Intel Core i9-12900K (P core)";
+    cfg.clockGhz = 5.1;
+    return cfg;
+}
+
+MicroarchConfig
+intel13()
+{
+    MicroarchConfig cfg = baseIntel();
+    cfg.name = "intel13";
+    cfg.model = "Intel Core i9-13900K (P core)";
+    cfg.clockGhz = 5.4;
+    return cfg;
+}
+
+std::vector<MicroarchConfig>
+allMicroarchs()
+{
+    return {zen1(), zen2(), zen3(), zen4(),
+            intel9(), intel11(), intel12(), intel13()};
+}
+
+std::vector<MicroarchConfig>
+amdMicroarchs()
+{
+    return {zen1(), zen2(), zen3(), zen4()};
+}
+
+} // namespace phantom::cpu

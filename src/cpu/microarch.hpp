@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-microarchitecture parameter packs.
+ *
+ * One MicroarchConfig per part the paper evaluates: AMD Zen 1/2/3/4 and
+ * Intel 9th/11th/12th/13th gen (P cores). The Table-1 differences emerge
+ * from these parameters rather than being hard-coded:
+ *
+ *  - transientExecUops > 0 (Zen 1/2): µops of a decoder-detected phantom
+ *    target dispatch before the frontend resteer squash reaches the µop
+ *    queue, so a memory load can issue (paper O3).
+ *  - btb hash kind: Zen 3/4 use the Figure-7 cross-privilege parity
+ *    functions; Intel salts with privilege (no user->kernel reuse, §6).
+ *  - indirectVictimOpaque (Intel): the paper could not observe ID (and
+ *    sometimes not IF) when the victim instruction is jmp*.
+ */
+
+#ifndef PHANTOM_CPU_MICROARCH_HPP
+#define PHANTOM_CPU_MICROARCH_HPP
+
+#include "bpu/bpu.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/noise.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::cpu {
+
+/** CPU vendor, for reporting. */
+enum class Vendor : u8 { Amd, Intel };
+
+/** Full parameterization of one simulated part. */
+struct MicroarchConfig
+{
+    std::string name;           ///< e.g. "zen2"
+    std::string model;          ///< e.g. "AMD EPYC 7252"
+    Vendor vendor = Vendor::Amd;
+    double clockGhz = 3.0;      ///< converts cycles to wall-clock time
+
+    // Frontend.
+    u32 fetchBlockBytes = 32;
+    u32 decodeWidth = 4;
+    u32 phantomDecodeInsns = 8;   ///< insns decoded at a phantom target
+    Cycle frontendResteerPenalty = 12;
+    Cycle backendResteerPenalty = 20;
+
+    /**
+     * Next-line I-cache prefetcher. Prefetched lines fill L1I without
+     * entering the pipeline — which is exactly why the paper's IF
+     * observation channel cannot distinguish transient fetch from
+     * prefetching (§5.1), motivating the µop-cache ID channel. Off by
+     * default so the IF channel stays unambiguous in the harness; the
+     * A5 ablation and tests/test_prefetch.cpp turn it on.
+     */
+    bool nextLinePrefetch = false;
+
+    /**
+     * Number of already-decoded wrong-path µops that dispatch to execute
+     * before a *decoder-issued* resteer squashes the µop queue. Nonzero
+     * only on Zen 1/2: this is the PHANTOM transient-execution window.
+     */
+    u32 transientExecUops = 0;
+
+    /** Wrong-path µop budget for *backend-resolved* mispredictions
+     *  (classic Spectre window). */
+    u32 spectreWindowUops = 48;
+
+    /**
+     * Whether the decoder validates the *predicted branch type* against a
+     * decoded return. On Zen 1/2 it does not: a jmp*-trained prediction
+     * fires at a ret and only resolves at execute — the Retbleed branch
+     * type confusion (Table 1 marker b, CVE-2022-23825). Zen 3/4 and
+     * Intel detect the confusion at decode (short PHANTOM window only).
+     */
+    bool decoderChecksRetType = true;
+
+    // Predictors.
+    bpu::BpuConfig bpu;
+
+    // Memory system.
+    mem::HierarchyConfig hierarchy;
+    u32 uopCacheSets = 64;
+    u32 uopCacheWays = 8;
+
+    // Mitigation support matrix.
+    bool supportsSuppressBpOnNonBr = false;  ///< Zen 2 only (not Zen 1)
+    bool supportsAutoIbrs = false;           ///< Zen 4
+    bool supportsEibrs = false;              ///< Intel >= 9th gen
+
+    /** Intel quirk (§6): no observable IF/ID when the victim is jmp*. */
+    bool indirectVictimOpaque = false;
+
+    // Environmental noise (calibrated per part; see DESIGN.md).
+    mem::NoiseConfig noise;
+    u32 noiseEveryInsns = 64;   ///< disturb() cadence during execution
+};
+
+/** AMD Ryzen 5 1600X. */
+MicroarchConfig zen1();
+/** AMD EPYC 7252. */
+MicroarchConfig zen2();
+/** AMD Ryzen 5 5600G. */
+MicroarchConfig zen3();
+/** AMD Ryzen 7 7700X. */
+MicroarchConfig zen4();
+/** Intel 9th gen (Coffee Lake R). */
+MicroarchConfig intel9();
+/** Intel 11th gen (Rocket Lake). */
+MicroarchConfig intel11();
+/** Intel 12th gen P core (Alder Lake). */
+MicroarchConfig intel12();
+/** Intel 13th gen P core (Raptor Lake). */
+MicroarchConfig intel13();
+
+/** All eight configs the paper evaluates, in Table-1 order. */
+std::vector<MicroarchConfig> allMicroarchs();
+
+/** The four AMD configs. */
+std::vector<MicroarchConfig> amdMicroarchs();
+
+} // namespace phantom::cpu
+
+#endif // PHANTOM_CPU_MICROARCH_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Model-specific registers controlling the mitigations the paper
+ * evaluates (§6.3, §8): SuppressBPOnNonBr, AutoIBRS, IBPB via PRED_CMD.
+ */
+
+#ifndef PHANTOM_CPU_MSR_HPP
+#define PHANTOM_CPU_MSR_HPP
+
+#include "sim/types.hpp"
+
+#include <unordered_map>
+
+namespace phantom::cpu {
+
+/** MSR addresses used by the model (matching the real encodings where
+ *  the paper names them). */
+namespace msr {
+
+/** AMD DE_CFG2; bit 1 is SuppressBPOnNonBr (paper §6.3). */
+inline constexpr u32 kDeCfg2 = 0xC00110E3;
+inline constexpr u64 kSuppressBpOnNonBrBit = 1ull << 1;
+
+/** EFER; bit 21 enables Automatic IBRS on Zen 4. */
+inline constexpr u32 kEfer = 0xC0000080;
+inline constexpr u64 kAutoIbrsBit = 1ull << 21;
+
+/** PRED_CMD; writing bit 0 issues an IBPB. */
+inline constexpr u32 kPredCmd = 0x49;
+inline constexpr u64 kIbpbBit = 1ull << 0;
+
+/** SPEC_CTRL; bit 1 is STIBP (Single Thread Indirect Branch
+ *  Predictors: sibling-thread predictions are not served). */
+inline constexpr u32 kSpecCtrl = 0x48;
+inline constexpr u64 kStibpBit = 1ull << 1;
+
+} // namespace msr
+
+/** Sparse MSR file. */
+class MsrFile
+{
+  public:
+    u64
+    read(u32 index) const
+    {
+        auto it = values_.find(index);
+        return it == values_.end() ? 0 : it->second;
+    }
+
+    void write(u32 index, u64 value) { values_[index] = value; }
+
+    bool
+    testBit(u32 index, u64 mask) const
+    {
+        return (read(index) & mask) != 0;
+    }
+
+    void
+    setBit(u32 index, u64 mask, bool on)
+    {
+        u64 v = read(index);
+        write(index, on ? (v | mask) : (v & ~mask));
+    }
+
+  private:
+    std::unordered_map<u32, u64> values_;
+};
+
+} // namespace phantom::cpu
+
+#endif // PHANTOM_CPU_MSR_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Performance monitoring counters.
+ *
+ * Models the counters the paper samples:
+ * de_dis_uops_from_decoder.opcache_dispatched (Zen 2),
+ * op_cache_hit_miss.op_cache_hit (Zen 3/4), idq.dsb_cycles (Intel) —
+ * unified here as OpCacheHit/OpCacheMiss — plus branch and cache events.
+ */
+
+#ifndef PHANTOM_CPU_PMC_HPP
+#define PHANTOM_CPU_PMC_HPP
+
+#include "sim/types.hpp"
+
+#include <array>
+
+namespace phantom::cpu {
+
+/** Countable events. */
+enum class PmcEvent : u32 {
+    Cycles = 0,
+    Instructions,
+    OpCacheHit,          ///< decoded line served from the µop cache
+    OpCacheMiss,         ///< decoded line filled into the µop cache
+    L1IMiss,
+    L1DMiss,
+    BtbLookup,
+    BtbHit,
+    MispredictFrontend,  ///< decoder-issued resteer (PHANTOM)
+    MispredictBackend,   ///< execute-issued resteer (Spectre)
+    SpecFetch,           ///< speculative target line fetched
+    SpecDecode,          ///< speculative target instruction decoded
+    SpecExec,            ///< speculative target µop executed
+    L1IPrefetch,         ///< next-line prefetcher fill
+    DecoderInvalidate,   ///< BTB entry dropped on non-branch decode
+    Syscalls,
+    kCount,
+};
+
+/** A bank of monotonic counters. */
+class Pmc
+{
+  public:
+    void bump(PmcEvent event, u64 n = 1) { counters_[idx(event)] += n; }
+
+    u64 read(PmcEvent event) const { return counters_[idx(event)]; }
+
+    /** Read by raw selector (the rdpmc instruction path). Out-of-range
+     *  selectors read zero. */
+    u64
+    readRaw(u64 selector) const
+    {
+        if (selector >= static_cast<u64>(PmcEvent::kCount))
+            return 0;
+        return counters_[selector];
+    }
+
+    void
+    reset()
+    {
+        counters_.fill(0);
+    }
+
+  private:
+    static std::size_t idx(PmcEvent e) { return static_cast<std::size_t>(e); }
+
+    std::array<u64, static_cast<std::size_t>(PmcEvent::kCount)> counters_{};
+};
+
+} // namespace phantom::cpu
+
+#endif // PHANTOM_CPU_PMC_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Architectural register file and flags.
+ */
+
+#ifndef PHANTOM_CPU_REGFILE_HPP
+#define PHANTOM_CPU_REGFILE_HPP
+
+#include "isa/insn.hpp"
+
+#include <array>
+
+namespace phantom::cpu {
+
+/** The 16 general-purpose registers. */
+class RegFile
+{
+  public:
+    u64 read(u8 reg) const { return regs_[reg & 0x0f]; }
+    void write(u8 reg, u64 value) { regs_[reg & 0x0f] = value; }
+
+    void
+    reset()
+    {
+        regs_.fill(0);
+    }
+
+  private:
+    std::array<u64, isa::kNumRegs> regs_{};
+};
+
+/** Condition flags produced by cmp/sub. */
+struct Flags
+{
+    bool zf = false;
+    bool cf = false;
+
+    /** Evaluate a condition code. */
+    bool
+    test(isa::Cond cond) const
+    {
+        switch (cond) {
+          case isa::Cond::Eq: return zf;
+          case isa::Cond::Ne: return !zf;
+          case isa::Cond::Lt: return cf;
+          case isa::Cond::Ge: return !cf;
+        }
+        return false;
+    }
+
+    /** Set from the comparison a - b (unsigned). */
+    void
+    setCompare(u64 a, u64 b)
+    {
+        zf = (a == b);
+        cf = (a < b);
+    }
+};
+
+} // namespace phantom::cpu
+
+#endif // PHANTOM_CPU_REGFILE_HPP

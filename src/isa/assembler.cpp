@@ -1,0 +1,121 @@
+#include "isa/assembler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phantom::isa {
+
+Label
+Assembler::newLabel()
+{
+    labels_.push_back(-1);
+    return Label{labels_.size() - 1};
+}
+
+void
+Assembler::bind(Label label)
+{
+    assert(label.valid() && label.id < labels_.size());
+    assert(labels_[label.id] == -1 && "label bound twice");
+    labels_[label.id] = static_cast<i64>(bytes_.size());
+}
+
+VAddr
+Assembler::labelAddress(Label label) const
+{
+    assert(label.valid() && label.id < labels_.size());
+    assert(labels_[label.id] >= 0 && "label not bound");
+    return base_ + static_cast<u64>(labels_[label.id]);
+}
+
+void
+Assembler::emit(const Insn& insn)
+{
+    encode(insn, bytes_);
+}
+
+void
+Assembler::emitBytes(const std::vector<u8>& raw)
+{
+    bytes_.insert(bytes_.end(), raw.begin(), raw.end());
+}
+
+void
+Assembler::alignTo(u64 alignment)
+{
+    while (here() % alignment != 0)
+        nop();
+}
+
+void
+Assembler::padTo(VAddr va)
+{
+    assert(va >= here());
+    bytes_.resize(bytes_.size() + (va - here()), 0x90);    // 1-byte nops
+}
+
+void
+Assembler::emitRel(InsnKind kind, Cond cond, VAddr target)
+{
+    // Encode with a placeholder displacement first, then patch using the
+    // now-known instruction length.
+    std::size_t start = bytes_.size();
+    Insn insn;
+    insn.kind = kind;
+    insn.cond = cond;
+    insn.disp = 0;
+    insn.length = (kind == InsnKind::JccRel) ? 6 : 5;
+    encode(insn, bytes_);
+    std::size_t end = bytes_.size();
+    i64 rel = static_cast<i64>(target) - static_cast<i64>(base_ + end);
+    assert(rel >= INT32_MIN && rel <= INT32_MAX);
+    u32 v = static_cast<u32>(static_cast<i32>(rel));
+    std::size_t field = end - 4;
+    bytes_[field + 0] = static_cast<u8>(v);
+    bytes_[field + 1] = static_cast<u8>(v >> 8);
+    bytes_[field + 2] = static_cast<u8>(v >> 16);
+    bytes_[field + 3] = static_cast<u8>(v >> 24);
+    (void)start;
+}
+
+void
+Assembler::emitRelLabel(InsnKind kind, Cond cond, Label label)
+{
+    assert(label.valid() && label.id < labels_.size());
+    Insn insn;
+    insn.kind = kind;
+    insn.cond = cond;
+    insn.disp = 0;
+    insn.length = (kind == InsnKind::JccRel) ? 6 : 5;
+    encode(insn, bytes_);
+    std::size_t end = bytes_.size();
+    fixups_.push_back(Fixup{end - 4, end, label.id});
+}
+
+void Assembler::jmp(VAddr target) { emitRel(InsnKind::JmpRel, Cond::Eq, target); }
+void Assembler::jmp(Label label) { emitRelLabel(InsnKind::JmpRel, Cond::Eq, label); }
+void Assembler::jcc(Cond cond, VAddr target) { emitRel(InsnKind::JccRel, cond, target); }
+void Assembler::jcc(Cond cond, Label label) { emitRelLabel(InsnKind::JccRel, cond, label); }
+void Assembler::call(VAddr target) { emitRel(InsnKind::CallRel, Cond::Eq, target); }
+void Assembler::call(Label label) { emitRelLabel(InsnKind::CallRel, Cond::Eq, label); }
+
+std::vector<u8>
+Assembler::finish()
+{
+    for (const Fixup& fixup : fixups_) {
+        i64 bound = labels_[fixup.label];
+        if (bound < 0)
+            throw std::logic_error("Assembler::finish: unbound label");
+        i64 rel = bound - static_cast<i64>(fixup.insn_end);
+        assert(rel >= INT32_MIN && rel <= INT32_MAX);
+        u32 v = static_cast<u32>(static_cast<i32>(rel));
+        bytes_[fixup.offset + 0] = static_cast<u8>(v);
+        bytes_[fixup.offset + 1] = static_cast<u8>(v >> 8);
+        bytes_[fixup.offset + 2] = static_cast<u8>(v >> 16);
+        bytes_[fixup.offset + 3] = static_cast<u8>(v >> 24);
+    }
+    fixups_.clear();
+    return bytes_;
+}
+
+} // namespace phantom::isa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A small two-pass assembler for building code blobs at fixed virtual
+ * addresses, with forward-reference labels for PC-relative branches.
+ */
+
+#ifndef PHANTOM_ISA_ASSEMBLER_HPP
+#define PHANTOM_ISA_ASSEMBLER_HPP
+
+#include "isa/encoder.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace phantom::isa {
+
+/** Opaque label handle produced by Assembler::newLabel(). */
+struct Label
+{
+    std::size_t id = static_cast<std::size_t>(-1);
+    bool valid() const { return id != static_cast<std::size_t>(-1); }
+};
+
+/**
+ * Emits instruction encodings into a byte buffer anchored at a base
+ * virtual address. Branch targets may be given either as absolute virtual
+ * addresses or as labels bound later; label fixups are patched in
+ * finish().
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(VAddr base) : base_(base) {}
+
+    /** Base virtual address of the blob. */
+    VAddr base() const { return base_; }
+
+    /** Virtual address of the next emitted byte. */
+    VAddr here() const { return base_ + bytes_.size(); }
+
+    /** Number of bytes emitted so far. */
+    std::size_t size() const { return bytes_.size(); }
+
+    // -- Labels --------------------------------------------------------
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current position. */
+    void bind(Label label);
+
+    /** Address a bound label resolves to. Only valid after bind(). */
+    VAddr labelAddress(Label label) const;
+
+    // -- Generic emission ----------------------------------------------
+
+    /** Emit an already-built non-branch instruction. */
+    void emit(const Insn& insn);
+
+    /** Emit raw bytes verbatim. */
+    void emitBytes(const std::vector<u8>& raw);
+
+    /** Pad with 1-byte nops until here() is aligned to @p alignment. */
+    void alignTo(u64 alignment);
+
+    /** Pad with 1-byte nops until here() == @p va (must be >= here()). */
+    void padTo(VAddr va);
+
+    // -- Instruction helpers (thin wrappers over the builders) ----------
+
+    void nop() { emit(makeNop()); }
+    void nopN(u8 total_length) { emit(makeNopN(total_length)); }
+    void movImm(u8 dst, u64 imm) { emit(makeMovImm(dst, imm)); }
+    void movReg(u8 dst, u8 src) { emit(makeMovReg(dst, src)); }
+    void load(u8 dst, u8 base, i32 disp) { emit(makeLoad(dst, base, disp)); }
+    void store(u8 base, i32 disp, u8 src) { emit(makeStore(base, disp, src)); }
+    void add(u8 dst, u8 src) { emit(makeAdd(dst, src)); }
+    void addImm(u8 dst, i32 imm) { emit(makeAddImm(dst, imm)); }
+    void sub(u8 dst, u8 src) { emit(makeSub(dst, src)); }
+    void subImm(u8 dst, i32 imm) { emit(makeSubImm(dst, imm)); }
+    void xorReg(u8 dst, u8 src) { emit(makeXor(dst, src)); }
+    void andReg(u8 dst, u8 src) { emit(makeAnd(dst, src)); }
+    void andImm(u8 dst, u32 imm) { emit(makeAndImm(dst, imm)); }
+    void shl(u8 dst, u8 amount) { emit(makeShl(dst, amount)); }
+    void shr(u8 dst, u8 amount) { emit(makeShr(dst, amount)); }
+    void cmpImm(u8 dst, i32 imm) { emit(makeCmpImm(dst, imm)); }
+    void cmpReg(u8 dst, u8 src) { emit(makeCmpReg(dst, src)); }
+    void jmpInd(u8 src) { emit(makeJmpInd(src)); }
+    void callInd(u8 src) { emit(makeCallInd(src)); }
+    void ret() { emit(makeRet()); }
+    void push(u8 src) { emit(makePush(src)); }
+    void pop(u8 dst) { emit(makePop(dst)); }
+    void syscall() { emit(makeSyscall()); }
+    void sysret() { emit(makeSysret()); }
+    void lfence() { emit(makeLfence()); }
+    void mfence() { emit(makeMfence()); }
+    void clflush(u8 base) { emit(makeClflush(base)); }
+    void rdtsc() { emit(makeRdtsc()); }
+    void rdpmc() { emit(makeRdpmc()); }
+    void hlt() { emit(makeHlt()); }
+    void ud2() { emit(makeUd2()); }
+
+    // -- PC-relative branches -------------------------------------------
+
+    void jmp(VAddr target);
+    void jmp(Label label);
+    void jcc(Cond cond, VAddr target);
+    void jcc(Cond cond, Label label);
+    void call(VAddr target);
+    void call(Label label);
+
+    /**
+     * Finalize: patch all label fixups and return the byte image.
+     * All referenced labels must be bound.
+     */
+    std::vector<u8> finish();
+
+  private:
+    struct Fixup
+    {
+        std::size_t offset;     ///< position of the rel32 field
+        std::size_t insn_end;   ///< offset just past the instruction
+        std::size_t label;
+    };
+
+    void emitRel(InsnKind kind, Cond cond, VAddr target);
+    void emitRelLabel(InsnKind kind, Cond cond, Label label);
+
+    VAddr base_;
+    std::vector<u8> bytes_;
+    std::vector<i64> labels_;       ///< bound offset or -1
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace phantom::isa
+
+#endif // PHANTOM_ISA_ASSEMBLER_HPP

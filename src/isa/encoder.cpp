@@ -1,0 +1,697 @@
+#include "isa/encoder.hpp"
+
+#include <cassert>
+
+namespace phantom::isa {
+
+namespace {
+
+// Primary opcode bytes. 0x0F escapes to a second table.
+enum : u8 {
+    kOpNop = 0x90,
+    kOpEscape = 0x0f,
+    kOpMovImm = 0x48,
+    kOpMovReg = 0x89,
+    kOpLoad = 0x8b,
+    kOpStore = 0x8a,
+    kOpAdd = 0x01,
+    kOpAddImm = 0x05,
+    kOpSub = 0x29,
+    kOpSubImm = 0x2d,
+    kOpXor = 0x31,
+    kOpAnd = 0x21,
+    kOpAndImm = 0x25,
+    kOpShl = 0xc1,
+    kOpShr = 0xc2,
+    kOpCmpImm = 0x3d,
+    kOpCmpReg = 0x39,
+    kOpJmpRel = 0xe9,
+    kOpCallRel = 0xe8,
+    kOpJmpInd = 0xff,
+    kOpCallInd = 0xfe,
+    kOpRet = 0xc3,
+    kOpPush = 0x54,
+    kOpPop = 0x5c,
+    kOpHlt = 0xf4,
+};
+
+// Second byte after the 0x0F escape.
+enum : u8 {
+    kOp2Syscall = 0x05,
+    kOp2Sysret = 0x07,
+    kOp2Ud2 = 0x0b,
+    kOp2NopN = 0x1f,
+    kOp2Rdtsc = 0x31,
+    kOp2Rdpmc = 0x33,
+    kOp2Fence = 0xae,
+    kOp2JccBase = 0x80,
+};
+
+enum : u8 {
+    kFenceL = 0xe8,
+    kFenceM = 0xf0,
+};
+
+u8
+modrm(u8 dst, u8 src)
+{
+    return static_cast<u8>((dst << 4) | (src & 0x0f));
+}
+
+void
+put32(std::vector<u8>& out, u32 v)
+{
+    out.push_back(static_cast<u8>(v));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 24));
+}
+
+void
+put64(std::vector<u8>& out, u64 v)
+{
+    put32(out, static_cast<u32>(v));
+    put32(out, static_cast<u32>(v >> 32));
+}
+
+u32
+get32(const u8* p)
+{
+    return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+           (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+u64
+get64(const u8* p)
+{
+    return static_cast<u64>(get32(p)) | (static_cast<u64>(get32(p + 4)) << 32);
+}
+
+Insn
+invalid()
+{
+    Insn insn;
+    insn.kind = InsnKind::Invalid;
+    insn.length = 1;
+    return insn;
+}
+
+} // namespace
+
+std::size_t
+encode(const Insn& insn, std::vector<u8>& out)
+{
+    std::size_t start = out.size();
+    switch (insn.kind) {
+      case InsnKind::Nop:
+        out.push_back(kOpNop);
+        break;
+      case InsnKind::NopN:
+        assert(insn.length >= 3 && insn.length <= kMaxInsnBytes);
+        out.push_back(kOpEscape);
+        out.push_back(kOp2NopN);
+        out.push_back(insn.length);
+        for (int i = 3; i < insn.length; ++i)
+            out.push_back(0x00);
+        break;
+      case InsnKind::MovImm:
+        out.push_back(kOpMovImm);
+        out.push_back(insn.dst);
+        put64(out, insn.imm);
+        break;
+      case InsnKind::MovReg:
+        out.push_back(kOpMovReg);
+        out.push_back(modrm(insn.dst, insn.src));
+        break;
+      case InsnKind::Load:
+        out.push_back(kOpLoad);
+        out.push_back(modrm(insn.dst, insn.src));
+        put32(out, static_cast<u32>(insn.disp));
+        break;
+      case InsnKind::Store:
+        out.push_back(kOpStore);
+        out.push_back(modrm(insn.dst, insn.src));
+        put32(out, static_cast<u32>(insn.disp));
+        break;
+      case InsnKind::Add:
+        out.push_back(kOpAdd);
+        out.push_back(modrm(insn.dst, insn.src));
+        break;
+      case InsnKind::AddImm:
+        out.push_back(kOpAddImm);
+        out.push_back(insn.dst);
+        put32(out, static_cast<u32>(insn.imm));
+        break;
+      case InsnKind::Sub:
+        out.push_back(kOpSub);
+        out.push_back(modrm(insn.dst, insn.src));
+        break;
+      case InsnKind::SubImm:
+        out.push_back(kOpSubImm);
+        out.push_back(insn.dst);
+        put32(out, static_cast<u32>(insn.imm));
+        break;
+      case InsnKind::Xor:
+        out.push_back(kOpXor);
+        out.push_back(modrm(insn.dst, insn.src));
+        break;
+      case InsnKind::And:
+        out.push_back(kOpAnd);
+        out.push_back(modrm(insn.dst, insn.src));
+        break;
+      case InsnKind::AndImm:
+        out.push_back(kOpAndImm);
+        out.push_back(insn.dst);
+        put32(out, static_cast<u32>(insn.imm));
+        break;
+      case InsnKind::Shl:
+        out.push_back(kOpShl);
+        out.push_back(insn.dst);
+        out.push_back(static_cast<u8>(insn.imm));
+        break;
+      case InsnKind::Shr:
+        out.push_back(kOpShr);
+        out.push_back(insn.dst);
+        out.push_back(static_cast<u8>(insn.imm));
+        break;
+      case InsnKind::CmpImm:
+        out.push_back(kOpCmpImm);
+        out.push_back(insn.dst);
+        put32(out, static_cast<u32>(insn.imm));
+        break;
+      case InsnKind::CmpReg:
+        out.push_back(kOpCmpReg);
+        out.push_back(modrm(insn.dst, insn.src));
+        break;
+      case InsnKind::JmpRel:
+        out.push_back(kOpJmpRel);
+        put32(out, static_cast<u32>(insn.disp));
+        break;
+      case InsnKind::JccRel:
+        out.push_back(kOpEscape);
+        out.push_back(static_cast<u8>(kOp2JccBase + static_cast<u8>(insn.cond)));
+        put32(out, static_cast<u32>(insn.disp));
+        break;
+      case InsnKind::JmpInd:
+        out.push_back(kOpJmpInd);
+        out.push_back(modrm(0, insn.src));
+        break;
+      case InsnKind::CallRel:
+        out.push_back(kOpCallRel);
+        put32(out, static_cast<u32>(insn.disp));
+        break;
+      case InsnKind::CallInd:
+        out.push_back(kOpCallInd);
+        out.push_back(modrm(0, insn.src));
+        break;
+      case InsnKind::Ret:
+        out.push_back(kOpRet);
+        break;
+      case InsnKind::Push:
+        out.push_back(kOpPush);
+        out.push_back(insn.src);
+        break;
+      case InsnKind::Pop:
+        out.push_back(kOpPop);
+        out.push_back(insn.dst);
+        break;
+      case InsnKind::Syscall:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Syscall);
+        break;
+      case InsnKind::Sysret:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Sysret);
+        break;
+      case InsnKind::Lfence:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Fence);
+        out.push_back(kFenceL);
+        break;
+      case InsnKind::Mfence:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Fence);
+        out.push_back(kFenceM);
+        break;
+      case InsnKind::Clflush:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Fence);
+        out.push_back(insn.src);        // 0x00..0x0f selects the base reg
+        break;
+      case InsnKind::Rdtsc:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Rdtsc);
+        break;
+      case InsnKind::Rdpmc:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Rdpmc);
+        break;
+      case InsnKind::Hlt:
+        out.push_back(kOpHlt);
+        break;
+      case InsnKind::Ud2:
+        out.push_back(kOpEscape);
+        out.push_back(kOp2Ud2);
+        break;
+      case InsnKind::Invalid:
+        assert(false && "cannot encode Invalid");
+        out.push_back(0x06);            // deliberately undefined opcode
+        break;
+    }
+    return out.size() - start;
+}
+
+Insn
+decode(const u8* bytes, std::size_t avail)
+{
+    if (avail == 0)
+        return invalid();
+
+    Insn insn;
+    const u8 op = bytes[0];
+
+    auto need = [&](std::size_t n) { return avail >= n; };
+
+    switch (op) {
+      case kOpNop:
+        insn.kind = InsnKind::Nop;
+        insn.length = 1;
+        return insn;
+      case kOpRet:
+        insn.kind = InsnKind::Ret;
+        insn.length = 1;
+        return insn;
+      case kOpHlt:
+        insn.kind = InsnKind::Hlt;
+        insn.length = 1;
+        return insn;
+      case kOpMovImm:
+        if (!need(10))
+            return invalid();
+        insn.kind = InsnKind::MovImm;
+        insn.length = 10;
+        insn.dst = bytes[1] & 0x0f;
+        insn.imm = get64(bytes + 2);
+        return insn;
+      case kOpMovReg:
+      case kOpAdd:
+      case kOpSub:
+      case kOpXor:
+      case kOpAnd:
+      case kOpCmpReg: {
+        if (!need(2))
+            return invalid();
+        insn.length = 2;
+        insn.dst = (bytes[1] >> 4) & 0x0f;
+        insn.src = bytes[1] & 0x0f;
+        switch (op) {
+          case kOpMovReg: insn.kind = InsnKind::MovReg; break;
+          case kOpAdd:    insn.kind = InsnKind::Add; break;
+          case kOpSub:    insn.kind = InsnKind::Sub; break;
+          case kOpXor:    insn.kind = InsnKind::Xor; break;
+          case kOpAnd:    insn.kind = InsnKind::And; break;
+          default:        insn.kind = InsnKind::CmpReg; break;
+        }
+        return insn;
+      }
+      case kOpLoad:
+      case kOpStore:
+        if (!need(6))
+            return invalid();
+        insn.kind = (op == kOpLoad) ? InsnKind::Load : InsnKind::Store;
+        insn.length = 6;
+        insn.dst = (bytes[1] >> 4) & 0x0f;
+        insn.src = bytes[1] & 0x0f;
+        insn.disp = static_cast<i32>(get32(bytes + 2));
+        if (op == kOpStore) {
+            // Store encodes base in dst, value in src (same as builder).
+        }
+        return insn;
+      case kOpAddImm:
+      case kOpSubImm:
+      case kOpAndImm:
+      case kOpCmpImm:
+        if (!need(6))
+            return invalid();
+        insn.length = 6;
+        insn.dst = bytes[1] & 0x0f;
+        insn.imm = get32(bytes + 2);
+        switch (op) {
+          case kOpAddImm: insn.kind = InsnKind::AddImm; break;
+          case kOpSubImm: insn.kind = InsnKind::SubImm; break;
+          case kOpAndImm: insn.kind = InsnKind::AndImm; break;
+          default:        insn.kind = InsnKind::CmpImm; break;
+        }
+        return insn;
+      case kOpShl:
+      case kOpShr:
+        if (!need(3))
+            return invalid();
+        insn.kind = (op == kOpShl) ? InsnKind::Shl : InsnKind::Shr;
+        insn.length = 3;
+        insn.dst = bytes[1] & 0x0f;
+        insn.imm = bytes[2];
+        return insn;
+      case kOpJmpRel:
+      case kOpCallRel:
+        if (!need(5))
+            return invalid();
+        insn.kind = (op == kOpJmpRel) ? InsnKind::JmpRel : InsnKind::CallRel;
+        insn.length = 5;
+        insn.disp = static_cast<i32>(get32(bytes + 1));
+        return insn;
+      case kOpJmpInd:
+      case kOpCallInd:
+        if (!need(2))
+            return invalid();
+        insn.kind = (op == kOpJmpInd) ? InsnKind::JmpInd : InsnKind::CallInd;
+        insn.length = 2;
+        insn.src = bytes[1] & 0x0f;
+        return insn;
+      case kOpPush:
+        if (!need(2))
+            return invalid();
+        insn.kind = InsnKind::Push;
+        insn.length = 2;
+        insn.src = bytes[1] & 0x0f;
+        return insn;
+      case kOpPop:
+        if (!need(2))
+            return invalid();
+        insn.kind = InsnKind::Pop;
+        insn.length = 2;
+        insn.dst = bytes[1] & 0x0f;
+        return insn;
+      case kOpEscape:
+        break;                          // handled below
+      default:
+        return invalid();
+    }
+
+    // 0x0F-escaped opcodes.
+    if (!need(2))
+        return invalid();
+    const u8 op2 = bytes[1];
+
+    if (op2 >= kOp2JccBase && op2 < kOp2JccBase + 4) {
+        if (!need(6))
+            return invalid();
+        insn.kind = InsnKind::JccRel;
+        insn.length = 6;
+        insn.cond = static_cast<Cond>(op2 - kOp2JccBase);
+        insn.disp = static_cast<i32>(get32(bytes + 2));
+        return insn;
+    }
+
+    switch (op2) {
+      case kOp2Syscall:
+        insn.kind = InsnKind::Syscall;
+        insn.length = 2;
+        return insn;
+      case kOp2Sysret:
+        insn.kind = InsnKind::Sysret;
+        insn.length = 2;
+        return insn;
+      case kOp2Ud2:
+        insn.kind = InsnKind::Ud2;
+        insn.length = 2;
+        return insn;
+      case kOp2Rdtsc:
+        insn.kind = InsnKind::Rdtsc;
+        insn.length = 2;
+        return insn;
+      case kOp2Rdpmc:
+        insn.kind = InsnKind::Rdpmc;
+        insn.length = 2;
+        return insn;
+      case kOp2NopN: {
+        if (!need(3))
+            return invalid();
+        u8 total = bytes[2];
+        if (total < 3 || total > kMaxInsnBytes || !need(total))
+            return invalid();
+        insn.kind = InsnKind::NopN;
+        insn.length = total;
+        return insn;
+      }
+      case kOp2Fence: {
+        if (!need(3))
+            return invalid();
+        u8 sub = bytes[2];
+        insn.length = 3;
+        if (sub == kFenceL) {
+            insn.kind = InsnKind::Lfence;
+        } else if (sub == kFenceM) {
+            insn.kind = InsnKind::Mfence;
+        } else if (sub < 0x10) {
+            insn.kind = InsnKind::Clflush;
+            insn.src = sub;
+        } else {
+            return invalid();
+        }
+        return insn;
+      }
+      default:
+        return invalid();
+    }
+}
+
+// ---- Builders -------------------------------------------------------------
+
+namespace {
+
+Insn
+basic(InsnKind kind, u8 length)
+{
+    Insn insn;
+    insn.kind = kind;
+    insn.length = length;
+    return insn;
+}
+
+} // namespace
+
+Insn makeNop() { return basic(InsnKind::Nop, 1); }
+
+Insn
+makeNopN(u8 total_length)
+{
+    assert(total_length >= 3 && total_length <= kMaxInsnBytes);
+    return basic(InsnKind::NopN, total_length);
+}
+
+Insn
+makeMovImm(u8 dst, u64 imm)
+{
+    Insn insn = basic(InsnKind::MovImm, 10);
+    insn.dst = dst;
+    insn.imm = imm;
+    return insn;
+}
+
+Insn
+makeMovReg(u8 dst, u8 src)
+{
+    Insn insn = basic(InsnKind::MovReg, 2);
+    insn.dst = dst;
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makeLoad(u8 dst, u8 base, i32 disp)
+{
+    Insn insn = basic(InsnKind::Load, 6);
+    insn.dst = dst;
+    insn.src = base;
+    insn.disp = disp;
+    return insn;
+}
+
+Insn
+makeStore(u8 base, i32 disp, u8 src)
+{
+    Insn insn = basic(InsnKind::Store, 6);
+    insn.dst = base;
+    insn.src = src;
+    insn.disp = disp;
+    return insn;
+}
+
+Insn
+makeAdd(u8 dst, u8 src)
+{
+    Insn insn = basic(InsnKind::Add, 2);
+    insn.dst = dst;
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makeAddImm(u8 dst, i32 imm)
+{
+    Insn insn = basic(InsnKind::AddImm, 6);
+    insn.dst = dst;
+    insn.imm = static_cast<u32>(imm);
+    return insn;
+}
+
+Insn
+makeSub(u8 dst, u8 src)
+{
+    Insn insn = basic(InsnKind::Sub, 2);
+    insn.dst = dst;
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makeSubImm(u8 dst, i32 imm)
+{
+    Insn insn = basic(InsnKind::SubImm, 6);
+    insn.dst = dst;
+    insn.imm = static_cast<u32>(imm);
+    return insn;
+}
+
+Insn
+makeXor(u8 dst, u8 src)
+{
+    Insn insn = basic(InsnKind::Xor, 2);
+    insn.dst = dst;
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makeAnd(u8 dst, u8 src)
+{
+    Insn insn = basic(InsnKind::And, 2);
+    insn.dst = dst;
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makeAndImm(u8 dst, u32 imm)
+{
+    Insn insn = basic(InsnKind::AndImm, 6);
+    insn.dst = dst;
+    insn.imm = imm;
+    return insn;
+}
+
+Insn
+makeShl(u8 dst, u8 amount)
+{
+    Insn insn = basic(InsnKind::Shl, 3);
+    insn.dst = dst;
+    insn.imm = amount;
+    return insn;
+}
+
+Insn
+makeShr(u8 dst, u8 amount)
+{
+    Insn insn = basic(InsnKind::Shr, 3);
+    insn.dst = dst;
+    insn.imm = amount;
+    return insn;
+}
+
+Insn
+makeCmpImm(u8 dst, i32 imm)
+{
+    Insn insn = basic(InsnKind::CmpImm, 6);
+    insn.dst = dst;
+    insn.imm = static_cast<u32>(imm);
+    return insn;
+}
+
+Insn
+makeCmpReg(u8 dst, u8 src)
+{
+    Insn insn = basic(InsnKind::CmpReg, 2);
+    insn.dst = dst;
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makeJmpRel(i32 disp)
+{
+    Insn insn = basic(InsnKind::JmpRel, 5);
+    insn.disp = disp;
+    return insn;
+}
+
+Insn
+makeJccRel(Cond cond, i32 disp)
+{
+    Insn insn = basic(InsnKind::JccRel, 6);
+    insn.cond = cond;
+    insn.disp = disp;
+    return insn;
+}
+
+Insn
+makeJmpInd(u8 src)
+{
+    Insn insn = basic(InsnKind::JmpInd, 2);
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makeCallRel(i32 disp)
+{
+    Insn insn = basic(InsnKind::CallRel, 5);
+    insn.disp = disp;
+    return insn;
+}
+
+Insn
+makeCallInd(u8 src)
+{
+    Insn insn = basic(InsnKind::CallInd, 2);
+    insn.src = src;
+    return insn;
+}
+
+Insn makeRet() { return basic(InsnKind::Ret, 1); }
+
+Insn
+makePush(u8 src)
+{
+    Insn insn = basic(InsnKind::Push, 2);
+    insn.src = src;
+    return insn;
+}
+
+Insn
+makePop(u8 dst)
+{
+    Insn insn = basic(InsnKind::Pop, 2);
+    insn.dst = dst;
+    return insn;
+}
+
+Insn makeSyscall() { return basic(InsnKind::Syscall, 2); }
+Insn makeSysret() { return basic(InsnKind::Sysret, 2); }
+Insn makeLfence() { return basic(InsnKind::Lfence, 3); }
+Insn makeMfence() { return basic(InsnKind::Mfence, 3); }
+
+Insn
+makeClflush(u8 base)
+{
+    Insn insn = basic(InsnKind::Clflush, 3);
+    insn.src = base;
+    return insn;
+}
+
+Insn makeRdtsc() { return basic(InsnKind::Rdtsc, 2); }
+Insn makeRdpmc() { return basic(InsnKind::Rdpmc, 2); }
+Insn makeHlt() { return basic(InsnKind::Hlt, 1); }
+Insn makeUd2() { return basic(InsnKind::Ud2, 2); }
+
+} // namespace phantom::isa

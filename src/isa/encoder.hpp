@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Byte-level encoder and decoder for the simulated ISA.
+ *
+ * Encodings are variable length (1..15 bytes). The decoder is the single
+ * source of truth for what instruction lives at an address — the BPU never
+ * sees instruction bytes, which is what makes PHANTOM speculation possible.
+ */
+
+#ifndef PHANTOM_ISA_ENCODER_HPP
+#define PHANTOM_ISA_ENCODER_HPP
+
+#include "isa/insn.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace phantom::isa {
+
+/** Append the encoding of @p insn to @p out. Returns encoded length. */
+std::size_t encode(const Insn& insn, std::vector<u8>& out);
+
+/**
+ * Decode one instruction from @p bytes (at most @p avail valid bytes).
+ *
+ * On failure (unknown opcode, truncated encoding) the result has
+ * kind == InsnKind::Invalid and length 1 so a byte-wise scan can proceed.
+ */
+Insn decode(const u8* bytes, std::size_t avail);
+
+/** Maximum encoded instruction length in bytes. */
+inline constexpr std::size_t kMaxInsnBytes = 15;
+
+// ---- Instruction builders -------------------------------------------------
+
+Insn makeNop();
+Insn makeNopN(u8 total_length);     ///< 3..15 bytes
+Insn makeMovImm(u8 dst, u64 imm);
+Insn makeMovReg(u8 dst, u8 src);
+Insn makeLoad(u8 dst, u8 base, i32 disp);
+Insn makeStore(u8 base, i32 disp, u8 src);
+Insn makeAdd(u8 dst, u8 src);
+Insn makeAddImm(u8 dst, i32 imm);
+Insn makeSub(u8 dst, u8 src);
+Insn makeSubImm(u8 dst, i32 imm);
+Insn makeXor(u8 dst, u8 src);
+Insn makeAnd(u8 dst, u8 src);
+Insn makeAndImm(u8 dst, u32 imm);
+Insn makeShl(u8 dst, u8 amount);
+Insn makeShr(u8 dst, u8 amount);
+Insn makeCmpImm(u8 dst, i32 imm);
+Insn makeCmpReg(u8 dst, u8 src);
+Insn makeJmpRel(i32 disp);
+Insn makeJccRel(Cond cond, i32 disp);
+Insn makeJmpInd(u8 src);
+Insn makeCallRel(i32 disp);
+Insn makeCallInd(u8 src);
+Insn makeRet();
+Insn makePush(u8 src);
+Insn makePop(u8 dst);
+Insn makeSyscall();
+Insn makeSysret();
+Insn makeLfence();
+Insn makeMfence();
+Insn makeClflush(u8 base);
+Insn makeRdtsc();
+Insn makeRdpmc();
+Insn makeHlt();
+Insn makeUd2();
+
+} // namespace phantom::isa
+
+#endif // PHANTOM_ISA_ENCODER_HPP

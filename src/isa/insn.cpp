@@ -1,0 +1,140 @@
+#include "isa/insn.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace phantom::isa {
+
+BranchType
+Insn::branchType() const
+{
+    switch (kind) {
+      case InsnKind::JmpRel:   return BranchType::DirectJump;
+      case InsnKind::JccRel:   return BranchType::CondJump;
+      case InsnKind::JmpInd:   return BranchType::IndirectJump;
+      case InsnKind::CallRel:  return BranchType::DirectCall;
+      case InsnKind::CallInd:  return BranchType::IndirectCall;
+      case InsnKind::Ret:      return BranchType::Return;
+      default:                 return BranchType::None;
+    }
+}
+
+bool
+Insn::isExecuteDependent() const
+{
+    switch (branchType()) {
+      case BranchType::CondJump:
+      case BranchType::IndirectJump:
+      case BranchType::IndirectCall:
+      case BranchType::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char*
+regName(u8 reg)
+{
+    static constexpr std::array<const char*, 16> names = {
+        "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+        "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    };
+    return reg < names.size() ? names[reg] : "r?";
+}
+
+namespace {
+
+const char*
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return "e";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "b";
+      case Cond::Ge: return "ae";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+toString(const Insn& insn)
+{
+    std::ostringstream oss;
+    switch (insn.kind) {
+      case InsnKind::Nop:     oss << "nop"; break;
+      case InsnKind::NopN:    oss << "nop" << static_cast<int>(insn.length); break;
+      case InsnKind::MovImm:
+        oss << "mov " << regName(insn.dst) << ", 0x" << std::hex << insn.imm;
+        break;
+      case InsnKind::MovReg:
+        oss << "mov " << regName(insn.dst) << ", " << regName(insn.src);
+        break;
+      case InsnKind::Load:
+        oss << "mov " << regName(insn.dst) << ", [" << regName(insn.src)
+            << (insn.disp >= 0 ? "+" : "") << insn.disp << "]";
+        break;
+      case InsnKind::Store:
+        oss << "mov [" << regName(insn.dst) << (insn.disp >= 0 ? "+" : "")
+            << insn.disp << "], " << regName(insn.src);
+        break;
+      case InsnKind::Add:
+        oss << "add " << regName(insn.dst) << ", " << regName(insn.src);
+        break;
+      case InsnKind::AddImm:
+        oss << "add " << regName(insn.dst) << ", " << static_cast<i64>(insn.imm);
+        break;
+      case InsnKind::Sub:
+        oss << "sub " << regName(insn.dst) << ", " << regName(insn.src);
+        break;
+      case InsnKind::SubImm:
+        oss << "sub " << regName(insn.dst) << ", " << static_cast<i64>(insn.imm);
+        break;
+      case InsnKind::Xor:
+        oss << "xor " << regName(insn.dst) << ", " << regName(insn.src);
+        break;
+      case InsnKind::And:
+        oss << "and " << regName(insn.dst) << ", " << regName(insn.src);
+        break;
+      case InsnKind::AndImm:
+        oss << "and " << regName(insn.dst) << ", 0x" << std::hex << insn.imm;
+        break;
+      case InsnKind::Shl:
+        oss << "shl " << regName(insn.dst) << ", " << insn.imm;
+        break;
+      case InsnKind::Shr:
+        oss << "shr " << regName(insn.dst) << ", " << insn.imm;
+        break;
+      case InsnKind::CmpImm:
+        oss << "cmp " << regName(insn.dst) << ", " << static_cast<i64>(insn.imm);
+        break;
+      case InsnKind::CmpReg:
+        oss << "cmp " << regName(insn.dst) << ", " << regName(insn.src);
+        break;
+      case InsnKind::JmpRel:  oss << "jmp " << insn.disp; break;
+      case InsnKind::JccRel:
+        oss << "j" << condName(insn.cond) << " " << insn.disp;
+        break;
+      case InsnKind::JmpInd:  oss << "jmp *" << regName(insn.src); break;
+      case InsnKind::CallRel: oss << "call " << insn.disp; break;
+      case InsnKind::CallInd: oss << "call *" << regName(insn.src); break;
+      case InsnKind::Ret:     oss << "ret"; break;
+      case InsnKind::Push:    oss << "push " << regName(insn.src); break;
+      case InsnKind::Pop:     oss << "pop " << regName(insn.dst); break;
+      case InsnKind::Syscall: oss << "syscall"; break;
+      case InsnKind::Sysret:  oss << "sysret"; break;
+      case InsnKind::Lfence:  oss << "lfence"; break;
+      case InsnKind::Mfence:  oss << "mfence"; break;
+      case InsnKind::Clflush: oss << "clflush [" << regName(insn.src) << "]"; break;
+      case InsnKind::Rdtsc:   oss << "rdtsc"; break;
+      case InsnKind::Rdpmc:   oss << "rdpmc"; break;
+      case InsnKind::Hlt:     oss << "hlt"; break;
+      case InsnKind::Ud2:     oss << "ud2"; break;
+      case InsnKind::Invalid: oss << "(bad)"; break;
+    }
+    return oss.str();
+}
+
+} // namespace phantom::isa

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Instruction definitions for the simulated ISA.
+ *
+ * The ISA is x86-64-flavored but not binary compatible: it keeps the
+ * properties PHANTOM depends on (variable-length encoding, branch type
+ * only known after decode, explicit fence/flush/timer instructions) while
+ * staying small enough to decode in one table lookup.
+ */
+
+#ifndef PHANTOM_ISA_INSN_HPP
+#define PHANTOM_ISA_INSN_HPP
+
+#include "sim/types.hpp"
+
+#include <string>
+
+namespace phantom::isa {
+
+/** General-purpose register names (16 GPRs, x86-64 numbering). */
+enum Reg : u8 {
+    RAX = 0, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    kNumRegs,
+};
+
+/** Condition codes for conditional branches (unsigned comparisons). */
+enum class Cond : u8 {
+    Eq = 0,   ///< ZF set
+    Ne = 1,   ///< ZF clear
+    Lt = 2,   ///< CF set (below)
+    Ge = 3,   ///< CF clear (above or equal)
+};
+
+/** Operation kinds. */
+enum class InsnKind : u8 {
+    Nop,        ///< 1-byte no-op
+    NopN,       ///< multi-byte no-op (3..15 bytes)
+    MovImm,     ///< dst <- imm64
+    MovReg,     ///< dst <- src
+    Load,       ///< dst <- mem64[src + disp]
+    Store,      ///< mem64[dst + disp] <- src
+    Add,        ///< dst += src
+    AddImm,     ///< dst += imm32 (sign-extended)
+    Sub,        ///< dst -= src
+    SubImm,     ///< dst -= imm32
+    Xor,        ///< dst ^= src
+    And,        ///< dst &= src
+    AndImm,     ///< dst &= imm32 (zero-extended)
+    Shl,        ///< dst <<= imm
+    Shr,        ///< dst >>= imm (logical)
+    CmpImm,     ///< flags <- dst - imm32
+    CmpReg,     ///< flags <- dst - src
+    JmpRel,     ///< direct jump, PC-relative
+    JccRel,     ///< conditional jump, PC-relative
+    JmpInd,     ///< indirect jump through register
+    CallRel,    ///< direct call, PC-relative
+    CallInd,    ///< indirect call through register
+    Ret,        ///< return (pops target from stack)
+    Push,       ///< push register
+    Pop,        ///< pop register
+    Syscall,    ///< enter kernel at the syscall entry point
+    Sysret,     ///< return to user mode
+    Lfence,     ///< speculation barrier: stall until older ops complete
+    Mfence,     ///< full memory barrier (superset of Lfence here)
+    Clflush,    ///< flush cache line containing mem[src]
+    Rdtsc,      ///< RAX <- current cycle count
+    Rdpmc,      ///< RAX <- perf counter selected by RCX
+    Hlt,        ///< stop simulation, return control to the harness
+    Ud2,        ///< architecturally invalid opcode (#UD)
+    Invalid,    ///< decode failure marker, faults like Ud2
+};
+
+/** Branch classification as seen by the BPU and the decoder. */
+enum class BranchType : u8 {
+    None = 0,
+    DirectJump,
+    CondJump,
+    IndirectJump,
+    DirectCall,
+    IndirectCall,
+    Return,
+};
+
+/** A decoded instruction. */
+struct Insn
+{
+    InsnKind kind = InsnKind::Invalid;
+    u8 length = 1;      ///< encoded size in bytes
+    u8 dst = 0;         ///< destination register (or base for Store/Clflush)
+    u8 src = 0;         ///< source register
+    Cond cond = Cond::Eq;
+    i32 disp = 0;       ///< memory displacement or branch offset
+    u64 imm = 0;        ///< immediate operand
+
+    /** Branch classification of this instruction. */
+    BranchType branchType() const;
+
+    /** True for any control-flow instruction. */
+    bool isBranch() const { return branchType() != BranchType::None; }
+
+    /**
+     * True if the outcome of this branch can only be determined at the
+     * execute stage (target from a register, condition from flags, or
+     * return address from the stack). Mismatches on such sources resteer
+     * from the backend; everything else the decoder can resteer itself.
+     */
+    bool isExecuteDependent() const;
+
+    /** Architectural target of a PC-relative branch located at @p pc. */
+    VAddr relTarget(VAddr pc) const { return pc + length + static_cast<i64>(disp); }
+};
+
+/** Human-readable register name. */
+const char* regName(u8 reg);
+
+/** Human-readable mnemonic with operands. */
+std::string toString(const Insn& insn);
+
+} // namespace phantom::isa
+
+#endif // PHANTOM_ISA_INSN_HPP

@@ -1,0 +1,130 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace phantom::mem {
+
+Cache::Cache(std::string name, CacheGeometry geometry)
+    : name_(std::move(name)), geom_(geometry),
+      lines_(static_cast<std::size_t>(geometry.sets) * geometry.ways)
+{
+    assert(geom_.sets > 0 && geom_.ways > 0 && geom_.lineBytes > 0);
+}
+
+Cache::Line*
+Cache::findLine(u64 addr)
+{
+    u32 set = setIndex(addr);
+    u64 tag = tagOf(addr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    for (u32 w = 0; w < geom_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line*
+Cache::findLine(u64 addr) const
+{
+    return const_cast<Cache*>(this)->findLine(addr);
+}
+
+bool
+Cache::contains(u64 addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::access(u64 addr)
+{
+    ++useClock_;
+    if (Line* line = findLine(addr)) {
+        line->lastUse = useClock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    fill(addr);
+    return false;
+}
+
+void
+Cache::fill(u64 addr)
+{
+    ++useClock_;
+    if (Line* line = findLine(addr)) {
+        line->lastUse = useClock_;
+        return;
+    }
+    u32 set = setIndex(addr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    Line* victim = &base[0];
+    for (u32 w = 0; w < geom_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->lastUse = useClock_;
+}
+
+bool
+Cache::flushLine(u64 addr)
+{
+    if (Line* line = findLine(addr)) {
+        line->valid = false;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::flushAll()
+{
+    for (Line& line : lines_)
+        line.valid = false;
+}
+
+void
+Cache::flushSet(u32 set)
+{
+    assert(set < geom_.sets);
+    Line* base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    for (u32 w = 0; w < geom_.ways; ++w)
+        base[w].valid = false;
+}
+
+void
+Cache::evictLruOf(u32 set)
+{
+    assert(set < geom_.sets);
+    Line* base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    Line* victim = nullptr;
+    for (u32 w = 0; w < geom_.ways; ++w) {
+        if (!base[w].valid)
+            continue;
+        if (victim == nullptr || base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim != nullptr)
+        victim->valid = false;
+}
+
+u32
+Cache::occupancy(u32 set) const
+{
+    assert(set < geom_.sets);
+    const Line* base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    u32 n = 0;
+    for (u32 w = 0; w < geom_.ways; ++w)
+        n += base[w].valid ? 1 : 0;
+    return n;
+}
+
+} // namespace phantom::mem

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Generic set-associative cache model with true-LRU replacement.
+ *
+ * Only tags and replacement state are modelled — data comes from the
+ * backing PhysicalMemory. That is all Prime+Probe / Flush+Reload need:
+ * presence and the latency difference it causes.
+ */
+
+#ifndef PHANTOM_MEM_CACHE_HPP
+#define PHANTOM_MEM_CACHE_HPP
+
+#include "sim/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::mem {
+
+/** Geometry of a cache. */
+struct CacheGeometry
+{
+    u32 sets = 64;
+    u32 ways = 8;
+    u32 lineBytes = kCacheLineBytes;
+
+    u64 sizeBytes() const { return u64{sets} * ways * lineBytes; }
+};
+
+/**
+ * Set-associative cache of address tags. Addresses may be physical or
+ * virtual depending on which level instantiates it; the cache itself is
+ * agnostic.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, CacheGeometry geometry);
+
+    const std::string& name() const { return name_; }
+    const CacheGeometry& geometry() const { return geom_; }
+
+    /** Set index an address maps to. */
+    u32 setIndex(u64 addr) const { return (addr / geom_.lineBytes) % geom_.sets; }
+
+    /** True if the line holding @p addr is present. Does not touch LRU. */
+    bool contains(u64 addr) const;
+
+    /**
+     * Access the line holding @p addr: on hit refresh LRU, on miss fill
+     * (evicting the LRU way).
+     * @return true on hit.
+     */
+    bool access(u64 addr);
+
+    /** Insert the line holding @p addr without reporting hit/miss. */
+    void fill(u64 addr);
+
+    /** Remove the line holding @p addr if present. Returns true if it was. */
+    bool flushLine(u64 addr);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    /** Invalidate every line of set @p set. */
+    void flushSet(u32 set);
+
+    /** Evict the LRU way of set @p set (no-op if the set is empty). */
+    void evictLruOf(u32 set);
+
+    /** Number of valid ways in @p set. */
+    u32 occupancy(u32 set) const;
+
+    u64 hitCount() const { return hits_; }
+    u64 missCount() const { return misses_; }
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        u64 tag = 0;
+        u64 lastUse = 0;
+    };
+
+    u64 tagOf(u64 addr) const { return (addr / geom_.lineBytes) / geom_.sets; }
+    Line* findLine(u64 addr);
+    const Line* findLine(u64 addr) const;
+
+    std::string name_;
+    CacheGeometry geom_;
+    std::vector<Line> lines_;   ///< sets * ways, row-major by set
+    u64 useClock_ = 0;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace phantom::mem
+
+#endif // PHANTOM_MEM_CACHE_HPP

@@ -1,0 +1,49 @@
+#include "mem/hierarchy.hpp"
+
+namespace phantom::mem {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      l1i_("l1i", config.l1i),
+      l1d_("l1d", config.l1d),
+      l2_("l2", config.l2)
+{
+}
+
+Cycle
+CacheHierarchy::fetchAccess(PAddr pa)
+{
+    if (l1i_.access(pa))
+        return config_.latL1;
+    if (l2_.access(pa))
+        return config_.latL2;
+    return config_.latMem;
+}
+
+Cycle
+CacheHierarchy::dataAccess(PAddr pa)
+{
+    if (l1d_.access(pa))
+        return config_.latL1;
+    if (l2_.access(pa))
+        return config_.latL2;
+    return config_.latMem;
+}
+
+void
+CacheHierarchy::flushLine(PAddr pa)
+{
+    l1i_.flushLine(pa);
+    l1d_.flushLine(pa);
+    l2_.flushLine(pa);
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    l1i_.flushAll();
+    l1d_.flushAll();
+    l2_.flushAll();
+}
+
+} // namespace phantom::mem

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Two-level cache hierarchy (split L1I/L1D, unified L2) with a flat
+ * memory latency behind it. Physically indexed and tagged; the 64-set L1s
+ * are VIPT-equivalent since index bits [11:6] lie inside the page offset.
+ */
+
+#ifndef PHANTOM_MEM_HIERARCHY_HPP
+#define PHANTOM_MEM_HIERARCHY_HPP
+
+#include "mem/cache.hpp"
+
+namespace phantom::mem {
+
+/** Latency and geometry configuration for the hierarchy. */
+struct HierarchyConfig
+{
+    CacheGeometry l1i{64, 8, kCacheLineBytes};   ///< 32 KiB
+    CacheGeometry l1d{64, 8, kCacheLineBytes};   ///< 32 KiB
+    CacheGeometry l2{1024, 8, kCacheLineBytes};  ///< 512 KiB
+    Cycle latL1 = 4;
+    Cycle latL2 = 14;
+    Cycle latMem = 220;
+};
+
+/**
+ * The machine's cache hierarchy. Access methods return the latency of the
+ * access and update presence/LRU state at every level touched.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig& config = {});
+
+    const HierarchyConfig& config() const { return config_; }
+
+    /** Instruction fetch of the line holding @p pa. */
+    Cycle fetchAccess(PAddr pa);
+
+    /** Data read/write of the line holding @p pa. */
+    Cycle dataAccess(PAddr pa);
+
+    /** Evict the line holding @p pa from every level (clflush). */
+    void flushLine(PAddr pa);
+
+    /** Invalidate every level. */
+    void flushAll();
+
+    Cache& l1i() { return l1i_; }
+    Cache& l1d() { return l1d_; }
+    Cache& l2() { return l2_; }
+    const Cache& l1i() const { return l1i_; }
+    const Cache& l1d() const { return l1d_; }
+    const Cache& l2() const { return l2_; }
+
+  private:
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace phantom::mem
+
+#endif // PHANTOM_MEM_HIERARCHY_HPP

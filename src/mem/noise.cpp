@@ -1,0 +1,32 @@
+#include "mem/noise.hpp"
+
+namespace phantom::mem {
+
+void
+NoiseInjector::disturb(CacheHierarchy& hierarchy)
+{
+    auto evict_random = [&](Cache& cache, double expected) {
+        u32 whole = static_cast<u32>(expected);
+        double frac = expected - whole;
+        u32 count = whole + (rng_.chance(frac) ? 1 : 0);
+        for (u32 i = 0; i < count; ++i) {
+            u32 set = static_cast<u32>(rng_.below(cache.geometry().sets));
+            cache.evictLruOf(set);
+        }
+    };
+
+    evict_random(hierarchy.l1i(), config_.l1iEvictChance);
+    evict_random(hierarchy.l1d(), config_.l1dEvictChance);
+    evict_random(hierarchy.l2(), config_.l2EvictChance);
+
+    for (u32 i = 0; i < config_.randomFills; ++i) {
+        // A distinct high physical range so noise fills do not collide
+        // with experiment data other than by set index.
+        u64 line = rng_.below(1ull << 26);
+        PAddr pa = (1ull << 40) + line * kCacheLineBytes;
+        hierarchy.l1d().fill(pa);
+        hierarchy.l2().fill(pa);
+    }
+}
+
+} // namespace phantom::mem

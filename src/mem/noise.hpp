@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Environmental cache noise.
+ *
+ * The paper's Prime+Probe channels are noisy (§7.3): syscall execution
+ * thrashes primed sets, replacement state is unpredictable, and sibling
+ * threads interfere. This injector models that as random line evictions
+ * and fills whose intensity is a per-microarchitecture parameter,
+ * calibrated so the end-to-end exploits land near the paper's accuracy.
+ */
+
+#ifndef PHANTOM_MEM_NOISE_HPP
+#define PHANTOM_MEM_NOISE_HPP
+
+#include "mem/hierarchy.hpp"
+#include "sim/rng.hpp"
+
+namespace phantom::mem {
+
+/** Strength of background interference. */
+struct NoiseConfig
+{
+    /** Expected evictions of random L1I lines per disturb() call
+     *  (values above 1 mean multiple evictions per call). */
+    double l1iEvictChance = 0.0;
+    /** Expected evictions of random L1D lines per disturb() call. */
+    double l1dEvictChance = 0.0;
+    /** Expected evictions of random L2 lines per disturb() call. */
+    double l2EvictChance = 0.0;
+    /** Fills of random lines per disturb() (models other working sets). */
+    u32 randomFills = 0;
+};
+
+/** Injects random cache disturbance. */
+class NoiseInjector
+{
+  public:
+    NoiseInjector(NoiseConfig config, u64 seed)
+        : config_(config), rng_(seed)
+    {
+    }
+
+    const NoiseConfig& config() const { return config_; }
+    void setConfig(const NoiseConfig& config) { config_ = config; }
+
+    /** Apply one round of disturbance to @p hierarchy. */
+    void disturb(CacheHierarchy& hierarchy);
+
+    /** Apply @p rounds rounds. */
+    void
+    disturb(CacheHierarchy& hierarchy, u32 rounds)
+    {
+        for (u32 i = 0; i < rounds; ++i)
+            disturb(hierarchy);
+    }
+
+  private:
+    NoiseConfig config_;
+    Rng rng_;
+};
+
+} // namespace phantom::mem
+
+#endif // PHANTOM_MEM_NOISE_HPP

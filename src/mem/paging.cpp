@@ -1,0 +1,106 @@
+#include "mem/paging.hpp"
+
+#include <cassert>
+
+namespace phantom::mem {
+
+void
+PageTable::map4k(VAddr va, PAddr pa, PageFlags flags)
+{
+    assert(va % kPageBytes == 0 && pa % kPageBytes == 0);
+    small_[va / kPageBytes] = Entry{pa, flags};
+}
+
+void
+PageTable::map2m(VAddr va, PAddr pa, PageFlags flags)
+{
+    assert(va % kHugePageBytes == 0 && pa % kHugePageBytes == 0);
+    huge_[va / kHugePageBytes] = Entry{pa, flags};
+}
+
+void
+PageTable::unmap(VAddr va)
+{
+    small_.erase(va / kPageBytes);
+    huge_.erase(va / kHugePageBytes);
+}
+
+bool
+PageTable::protect(VAddr va, PageFlags flags)
+{
+    if (auto it = small_.find(va / kPageBytes); it != small_.end()) {
+        it->second.flags = flags;
+        return true;
+    }
+    if (auto it = huge_.find(va / kHugePageBytes); it != huge_.end()) {
+        it->second.flags = flags;
+        return true;
+    }
+    return false;
+}
+
+std::optional<Translation>
+PageTable::lookup(VAddr va) const
+{
+    if (auto it = small_.find(va / kPageBytes); it != small_.end()) {
+        Translation t;
+        t.fault = Fault::None;
+        t.paddr = it->second.pa + (va % kPageBytes);
+        t.huge = false;
+        return t;
+    }
+    if (auto it = huge_.find(va / kHugePageBytes); it != huge_.end()) {
+        Translation t;
+        t.fault = Fault::None;
+        t.paddr = it->second.pa + (va % kHugePageBytes);
+        t.huge = true;
+        return t;
+    }
+    return std::nullopt;
+}
+
+Translation
+PageTable::translate(VAddr va, Privilege priv, Access access) const
+{
+    Translation result;
+    if (!isCanonical(va)) {
+        result.fault = Fault::NonCanonical;
+        return result;
+    }
+
+    const Entry* entry = nullptr;
+    u64 offset = 0;
+    bool huge = false;
+    if (auto it = small_.find(va / kPageBytes); it != small_.end()) {
+        entry = &it->second;
+        offset = va % kPageBytes;
+    } else if (auto it2 = huge_.find(va / kHugePageBytes); it2 != huge_.end()) {
+        entry = &it2->second;
+        offset = va % kHugePageBytes;
+        huge = true;
+    }
+
+    if (entry == nullptr || !entry->flags.present) {
+        result.fault = Fault::NotPresent;
+        return result;
+    }
+    if (priv == Privilege::User && !entry->flags.user) {
+        result.fault = Fault::Protection;
+        return result;
+    }
+    if (access == Access::Write && !entry->flags.writable) {
+        result.fault = Fault::Protection;
+        return result;
+    }
+    if (access == Access::Fetch && !entry->flags.executable) {
+        result.fault = Fault::NoExec;
+        return result;
+    }
+
+    result.fault = Fault::None;
+    result.paddr = entry->pa + offset;
+    result.huge = huge;
+    return result;
+}
+
+} // namespace phantom::mem

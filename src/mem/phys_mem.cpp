@@ -1,0 +1,86 @@
+#include "mem/phys_mem.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace phantom::mem {
+
+PhysicalMemory::PhysicalMemory(u64 installed_bytes)
+    : installed_(installed_bytes)
+{
+}
+
+PhysicalMemory::Frame*
+PhysicalMemory::frameFor(PAddr pa, bool create) const
+{
+    if (pa >= installed_)
+        throw std::out_of_range("PhysicalMemory: access beyond installed memory");
+    u64 frame_no = pa / kPageBytes;
+    auto it = frames_.find(frame_no);
+    if (it != frames_.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto frame = std::make_unique<Frame>();
+    frame->fill(0);
+    Frame* raw = frame.get();
+    frames_.emplace(frame_no, std::move(frame));
+    return raw;
+}
+
+u8
+PhysicalMemory::read8(PAddr pa) const
+{
+    const Frame* frame = frameFor(pa, false);
+    return frame ? (*frame)[pa % kPageBytes] : 0;
+}
+
+u64
+PhysicalMemory::read64(PAddr pa) const
+{
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | read8(pa + static_cast<u64>(i));
+    return v;
+}
+
+void
+PhysicalMemory::write8(PAddr pa, u8 value)
+{
+    Frame* frame = frameFor(pa, true);
+    (*frame)[pa % kPageBytes] = value;
+}
+
+void
+PhysicalMemory::write64(PAddr pa, u64 value)
+{
+    for (int i = 0; i < 8; ++i)
+        write8(pa + static_cast<u64>(i), static_cast<u8>(value >> (8 * i)));
+}
+
+void
+PhysicalMemory::writeBlock(PAddr pa, const std::vector<u8>& bytes)
+{
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        Frame* frame = frameFor(pa + done, true);
+        u64 offset = (pa + done) % kPageBytes;
+        std::size_t chunk =
+            std::min(bytes.size() - done,
+                     static_cast<std::size_t>(kPageBytes - offset));
+        std::memcpy(frame->data() + offset, bytes.data() + done, chunk);
+        done += chunk;
+    }
+}
+
+std::vector<u8>
+PhysicalMemory::readBlock(PAddr pa, u64 length) const
+{
+    std::vector<u8> out(length);
+    for (u64 i = 0; i < length; ++i)
+        out[i] = read8(pa + i);
+    return out;
+}
+
+} // namespace phantom::mem

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse physical memory backing store.
+ *
+ * Frames are allocated lazily on first touch so that machines with large
+ * "installed" memory (the paper's 64 GiB EPYC config) stay cheap to model.
+ */
+
+#ifndef PHANTOM_MEM_PHYS_MEM_HPP
+#define PHANTOM_MEM_PHYS_MEM_HPP
+
+#include "sim/types.hpp"
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace phantom::mem {
+
+/**
+ * Byte-addressable sparse physical memory of a fixed installed size.
+ * Reads of untouched memory return zero.
+ */
+class PhysicalMemory
+{
+  public:
+    /** @param installed_bytes total physical memory size (bounds checks). */
+    explicit PhysicalMemory(u64 installed_bytes);
+
+    u64 installedBytes() const { return installed_; }
+
+    /** True if @p pa names an installed byte. */
+    bool valid(PAddr pa) const { return pa < installed_; }
+
+    u8 read8(PAddr pa) const;
+    u64 read64(PAddr pa) const;
+    void write8(PAddr pa, u8 value);
+    void write64(PAddr pa, u64 value);
+
+    /** Bulk copy into physical memory. */
+    void writeBlock(PAddr pa, const std::vector<u8>& bytes);
+
+    /** Bulk copy out of physical memory. */
+    std::vector<u8> readBlock(PAddr pa, u64 length) const;
+
+    /** Number of frames actually materialized (for tests). */
+    std::size_t framesAllocated() const { return frames_.size(); }
+
+  private:
+    using Frame = std::array<u8, kPageBytes>;
+
+    Frame* frameFor(PAddr pa, bool create) const;
+
+    u64 installed_;
+    mutable std::unordered_map<u64, std::unique_ptr<Frame>> frames_;
+};
+
+} // namespace phantom::mem
+
+#endif // PHANTOM_MEM_PHYS_MEM_HPP

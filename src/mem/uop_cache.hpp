@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Micro-op cache model.
+ *
+ * Following the paper's reverse engineering (§5.1): 64 sets, 8 ways,
+ * set selected by the low 12 bits of the instruction's *virtual* address
+ * (bits [11:6]). Decoded instructions fill it; later fetches of the same
+ * line can be served from it, which the performance counters expose
+ * (op_cache_hit_miss.op_cache_hit on Zen 3/4, idq.dsb_cycles on Intel).
+ */
+
+#ifndef PHANTOM_MEM_UOP_CACHE_HPP
+#define PHANTOM_MEM_UOP_CACHE_HPP
+
+#include "mem/cache.hpp"
+
+namespace phantom::mem {
+
+/**
+ * Virtually-indexed, virtually-tagged cache of decoded instruction lines.
+ */
+class UopCache
+{
+  public:
+    UopCache(u32 sets = 64, u32 ways = 8)
+        : cache_("uop", CacheGeometry{sets, ways, kCacheLineBytes})
+    {
+    }
+
+    /** Set index for an instruction at @p va (bits [11:6] by default). */
+    u32 setIndex(VAddr va) const { return cache_.setIndex(va); }
+
+    /**
+     * Look up the line holding the instruction at @p va; fill on miss.
+     * @return true if the decoded line was already cached (op-cache hit).
+     */
+    bool lookupFill(VAddr va) { return cache_.access(va); }
+
+    /** True if the line holding @p va is resident (no LRU side effect). */
+    bool contains(VAddr va) const { return cache_.contains(va); }
+
+    /** Invalidate the line holding @p va. */
+    void flushLine(VAddr va) { cache_.flushLine(va); }
+
+    void flushAll() { cache_.flushAll(); }
+
+    u32 occupancy(u32 set) const { return cache_.occupancy(set); }
+    u64 hitCount() const { return cache_.hitCount(); }
+    u64 missCount() const { return cache_.missCount(); }
+    void resetStats() { cache_.resetStats(); }
+
+  private:
+    Cache cache_;
+};
+
+} // namespace phantom::mem
+
+#endif // PHANTOM_MEM_UOP_CACHE_HPP

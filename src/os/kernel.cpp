@@ -1,0 +1,238 @@
+#include "os/kernel.hpp"
+
+#include "isa/assembler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phantom::os {
+
+using namespace isa;
+
+Kernel::Kernel(cpu::Machine& machine, const KernelConfig& config)
+    : machine_(machine), rng_(config.seed)
+{
+    u64 image_slot = config.randomizeImage ? rng_.below(kImageSlots) : 0;
+    imageBase_ = kImageRegionBase + image_slot * kImageSlotStride;
+
+    u64 installed = machine_.physMem().installedBytes();
+    // The physmap must not overlap the image region; slots are plentiful.
+    u64 physmap_slot =
+        config.randomizePhysmap ? rng_.below(kPhysmapSlots) : 0;
+    physmapBase_ = kPhysmapRegionBase + physmap_slot * kPhysmapSlotStride;
+    (void)installed;
+
+    moduleNext_ = kModuleRegionBase +
+                  rng_.below(kModuleSlots) * kModuleSlotStride;
+
+    imagePa_ = allocFrames(kImageBytes, kHugePageBytes);
+
+    buildImage();
+    mapImage();
+    mapPhysmap();
+
+    machine_.setPageTable(&pageTable_);
+    machine_.setSyscallEntry(syscallEntry());
+}
+
+PAddr
+Kernel::allocFrames(u64 bytes, u64 alignment)
+{
+    bumpPa_ = alignUp(bumpPa_, alignment);
+    PAddr pa = bumpPa_;
+    bumpPa_ += alignUp(bytes, kPageBytes);
+    if (bumpPa_ > machine_.physMem().installedBytes())
+        throw std::runtime_error("Kernel::allocFrames: out of physical memory");
+    return pa;
+}
+
+PAddr
+Kernel::allocFramesRandom(u64 bytes, u64 alignment)
+{
+    u64 installed = machine_.physMem().installedBytes();
+    u64 span = alignUp(bytes, kPageBytes);
+    // Keep a safety region above the bump allocator so deterministic
+    // allocations never collide with randomized ones.
+    u64 lo = alignUp(bumpPa_ + (512ull << 20), alignment);
+    if (lo + span >= installed)
+        return allocFrames(bytes, alignment);
+    u64 slots = (installed - span - lo) / alignment;
+    return lo + rng_.below(slots + 1) * alignment;
+}
+
+void
+Kernel::buildImage()
+{
+    Assembler image(imageBase_);
+
+    // ---- Syscall entry / dispatcher at image offset 0 -------------------
+    Label l_getpid = image.newLabel();
+    Label l_readv = image.newLabel();
+    Label l_out = image.newLabel();
+    Label l_getpid_fn = image.newLabel();
+    Label l_fdgetpos_fn = image.newLabel();
+    Label l_helper_fn = image.newLabel();
+
+    image.cmpImm(RAX, static_cast<i32>(kSysGetpid));
+    image.jcc(Cond::Eq, l_getpid);
+    image.cmpImm(RAX, static_cast<i32>(kSysReadv));
+    image.jcc(Cond::Eq, l_readv);
+    // Module dispatch: handler = *(syscall_table + rax * 8).
+    image.movReg(R11, RAX);
+    image.shl(R11, 3);
+    image.movImm(R10, syscallTableVa());
+    image.add(R11, R10);
+    image.load(R11, R11, 0);
+    image.cmpImm(R11, 0);
+    image.jcc(Cond::Eq, l_out);
+    image.callInd(R11);
+    image.jmp(l_out);
+
+    image.bind(l_getpid);
+    image.call(l_getpid_fn);
+    image.jmp(l_out);
+
+    image.bind(l_readv);
+    // The paper's tooling found that RSI (2nd syscall arg) reaches R12
+    // by the time __fdget_pos is entered (§7.2).
+    image.movReg(R12, RSI);
+    image.call(l_fdgetpos_fn);
+    image.jmp(l_out);
+
+    image.bind(l_out);
+    image.sysret();
+
+    // ---- __task_pid_nr_ns-style function (Listing 1) at 0xf6520 ---------
+    image.padTo(imageBase_ + kGetpidGadgetOffset);
+    image.bind(l_getpid_fn);
+    image.nopN(5);                       // <- the PHANTOM victim nop
+    image.push(RBP);
+    image.movReg(RBP, RSP);
+    image.movImm(RAX, 42);               // the "pid"
+    image.pop(RBP);
+    image.ret();
+
+    // ---- Disclosure gadget (Listing 3) at 0x41da52 -----------------------
+    image.padTo(imageBase_ + kDisclosureGadgetOffset);
+    image.load(R12, R12, kDisclosureDisp);   // mov r12, [r12+0xbe0]
+    image.ret();
+
+    // ---- __fdget_pos-style function (Listing 2) at 0x41db60 --------------
+    image.padTo(imageBase_ + kFdgetPosOffset);
+    image.bind(l_fdgetpos_fn);
+    image.nopN(5);
+    image.push(RBP);
+    image.movImm(RSI, 0x4000);
+    image.movReg(RBP, RSP);
+    image.subImm(RSP, 8);
+    fdgetPosCallVa_ = image.here();      // <- the PHANTOM victim call
+    image.call(l_helper_fn);
+    image.addImm(RSP, 8);
+    image.pop(RBP);
+    image.ret();
+
+    image.bind(l_helper_fn);
+    image.nop();
+    image.ret();
+
+    // ---- Data area (syscall table) at 0x480000 ----------------------------
+    image.padTo(imageBase_ + kKernelDataOffset);
+    image.padTo(imageBase_ + kImageBytes);
+
+    std::vector<u8> bytes = image.finish();
+    assert(bytes.size() == kImageBytes);
+    machine_.physMem().writeBlock(imagePa_, bytes);
+
+    // Zero the syscall table (padTo filled it with nop bytes).
+    for (u64 off = 0; off < kPageBytes; off += 8)
+        machine_.physMem().write64(imagePa_ + kKernelDataOffset + off, 0);
+}
+
+void
+Kernel::mapImage()
+{
+    for (u64 off = 0; off < kImageBytes; off += kPageBytes) {
+        mem::PageFlags flags;
+        flags.present = true;
+        flags.user = false;
+        bool is_data = off >= kKernelDataOffset;
+        flags.writable = is_data;
+        flags.executable = !is_data;
+        pageTable_.map4k(imageBase_ + off, imagePa_ + off, flags);
+    }
+}
+
+void
+Kernel::mapPhysmap()
+{
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = true;
+    flags.user = false;
+    flags.executable = false;    // the paper: physmap is non-executable
+    u64 installed = machine_.physMem().installedBytes();
+    for (u64 pa = 0; pa < installed; pa += kHugePageBytes)
+        pageTable_.map2m(physmapBase_ + pa, pa, flags);
+}
+
+VAddr
+Kernel::loadModule(const std::vector<u8>& code, u64 syscall_nr)
+{
+    VAddr base = moduleNext_;
+    u64 size = alignUp(code.size(), kPageBytes);
+    PAddr pa = allocFrames(size);
+    machine_.physMem().writeBlock(pa, code);
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = false;
+    flags.user = false;
+    flags.executable = true;
+    for (u64 off = 0; off < size; off += kPageBytes)
+        pageTable_.map4k(base + off, pa + off, flags);
+    moduleNext_ += size + kPageBytes;    // guard page between modules
+    if (syscall_nr != 0)
+        registerSyscall(syscall_nr, base);
+    return base;
+}
+
+void
+Kernel::registerSyscall(u64 syscall_nr, VAddr handler_va)
+{
+    assert(syscall_nr >= kSysModuleBase || handler_va == 0);
+    machine_.physMem().write64(
+        imagePa_ + kKernelDataOffset + syscall_nr * 8, handler_va);
+}
+
+void
+Kernel::mapKernelCode(VAddr va, const std::vector<u8>& code)
+{
+    assert(va % kPageBytes == 0);
+    u64 size = alignUp(code.size(), kPageBytes);
+    PAddr pa = allocFrames(size);
+    machine_.physMem().writeBlock(pa, code);
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = false;
+    flags.user = false;
+    flags.executable = true;
+    for (u64 off = 0; off < size; off += kPageBytes)
+        pageTable_.map4k(va + off, pa + off, flags);
+}
+
+PAddr
+Kernel::mapKernelData(VAddr va, u64 bytes)
+{
+    assert(va % kPageBytes == 0);
+    u64 size = alignUp(bytes, kPageBytes);
+    PAddr pa = allocFrames(size);
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = true;
+    flags.user = false;
+    flags.executable = false;
+    for (u64 off = 0; off < size; off += kPageBytes)
+        pageTable_.map4k(va + off, pa + off, flags);
+    return pa;
+}
+
+} // namespace phantom::os

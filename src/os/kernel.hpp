@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The victim operating system model.
+ *
+ * Builds a Linux-like kernel in the simulated machine: a KASLR-randomized
+ * kernel image containing a syscall dispatcher and the exact gadget
+ * layouts the paper exploits (Listings 1-3), a KASLR-randomized physmap
+ * (direct map of all physical memory, non-executable), and a loadable
+ * module region. Runs with a single shared page table (no KPTI — the
+ * default on AMD parts, which are not Meltdown-affected; this is the
+ * configuration the paper attacks).
+ */
+
+#ifndef PHANTOM_OS_KERNEL_HPP
+#define PHANTOM_OS_KERNEL_HPP
+
+#include "cpu/machine.hpp"
+#include "os/layout.hpp"
+#include "sim/rng.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::os {
+
+/** Kernel construction options. */
+struct KernelConfig
+{
+    u64 seed = 1;              ///< KASLR randomness ("reboot" = new seed)
+    bool randomizeImage = true;
+    bool randomizePhysmap = true;
+};
+
+/**
+ * One booted kernel instance. Owns the system page table and the
+ * physical allocator; installs itself into the machine (page table and
+ * syscall entry point).
+ */
+class Kernel
+{
+  public:
+    Kernel(cpu::Machine& machine, const KernelConfig& config = {});
+
+    // -- Layout ----------------------------------------------------------
+
+    VAddr imageBase() const { return imageBase_; }
+    VAddr physmapBase() const { return physmapBase_; }
+    VAddr syscallEntry() const { return imageBase_; }
+
+    /** Physmap alias of physical address @p pa. */
+    VAddr physmapVaOf(PAddr pa) const { return physmapBase_ + pa; }
+
+    /** VA of the Listing-1 victim nop inside the getpid path. */
+    VAddr getpidGadgetVa() const { return imageBase_ + kGetpidGadgetOffset; }
+
+    /** VA of the Listing-2 victim call inside __fdget_pos (readv path). */
+    VAddr fdgetPosCallVa() const { return fdgetPosCallVa_; }
+
+    /** VA of the Listing-3 disclosure gadget (mov r12, [r12+0xbe0]). */
+    VAddr disclosureGadgetVa() const
+    {
+        return imageBase_ + kDisclosureGadgetOffset;
+    }
+
+    /** VA of the in-kernel syscall function-pointer table. */
+    VAddr syscallTableVa() const { return imageBase_ + kKernelDataOffset; }
+
+    // -- System services ---------------------------------------------------
+
+    mem::PageTable& pageTable() { return pageTable_; }
+
+    /** Allocate @p bytes of physical memory (4 KiB granularity). */
+    PAddr allocFrames(u64 bytes, u64 alignment = kPageBytes);
+
+    /**
+     * Allocate @p bytes at a uniformly random aligned physical address
+     * above the bump region — models a long-running buddy allocator
+     * handing out frames from anywhere in installed memory (this is why
+     * the Table-5 scan time grows with memory size).
+     */
+    PAddr allocFramesRandom(u64 bytes, u64 alignment = kPageBytes);
+
+    /**
+     * Load a kernel module: map @p code RX at a randomized module-region
+     * address and optionally register it as syscall @p syscall_nr.
+     * @return the module's base VA.
+     */
+    VAddr loadModule(const std::vector<u8>& code, u64 syscall_nr = 0);
+
+    /** Register @p handler_va as the handler for @p syscall_nr. */
+    void registerSyscall(u64 syscall_nr, VAddr handler_va);
+
+    /** Map a kernel RX test page at @p va backed by fresh frames (used by
+     *  experiments that need an arbitrary executable kernel address). */
+    void mapKernelCode(VAddr va, const std::vector<u8>& code);
+
+    /** Map a kernel RW/NX data page at @p va. */
+    PAddr mapKernelData(VAddr va, u64 bytes);
+
+  private:
+    void buildImage();
+    void mapImage();
+    void mapPhysmap();
+
+    cpu::Machine& machine_;
+    Rng rng_;
+    mem::PageTable pageTable_;
+
+    VAddr imageBase_ = 0;
+    VAddr physmapBase_ = 0;
+    VAddr fdgetPosCallVa_ = 0;
+    VAddr moduleNext_ = 0;
+    PAddr imagePa_ = 0;
+    PAddr bumpPa_ = 16ull * 1024 * 1024;    // leave low memory alone
+};
+
+} // namespace phantom::os
+
+#endif // PHANTOM_OS_KERNEL_HPP

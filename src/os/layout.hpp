@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Virtual memory layout constants of the simulated Linux-like kernel.
+ *
+ * KASLR entropy matches the figures the paper uses: 488 possible kernel
+ * image locations and 25,600 possible physmap locations [Koschel et al.,
+ * cited as [38] in the paper].
+ */
+
+#ifndef PHANTOM_OS_LAYOUT_HPP
+#define PHANTOM_OS_LAYOUT_HPP
+
+#include "sim/types.hpp"
+
+namespace phantom::os {
+
+/** Base of the kernel image KASLR region (x86-64 Linux kernel text). */
+inline constexpr VAddr kImageRegionBase = 0xffffffff80000000ull;
+
+/** Kernel image slot stride (2 MiB, matching Linux). */
+inline constexpr u64 kImageSlotStride = kHugePageBytes;
+
+/** Number of possible kernel image locations. */
+inline constexpr u64 kImageSlots = 488;
+
+/** Base of the physmap (direct map) KASLR region. */
+inline constexpr VAddr kPhysmapRegionBase = 0xffff888000000000ull;
+
+/** Physmap slot stride. */
+inline constexpr u64 kPhysmapSlotStride = kHugePageBytes;
+
+/** Number of possible physmap locations. */
+inline constexpr u64 kPhysmapSlots = 25600;
+
+/** Base of the kernel module region. */
+inline constexpr VAddr kModuleRegionBase = 0xffffffffa0000000ull;
+
+/** Module slot stride (4 KiB granule like Linux module KASLR). */
+inline constexpr u64 kModuleSlotStride = kPageBytes;
+
+/** Number of possible module base offsets. */
+inline constexpr u64 kModuleSlots = 65536;
+
+/** Size of the assembled kernel image. */
+inline constexpr u64 kImageBytes = 0x4a0000;
+
+/** Image offset of the __task_pid_nr_ns-style gadget (paper Listing 1). */
+inline constexpr u64 kGetpidGadgetOffset = 0xf6520;
+
+/** Image offset of the __fdget_pos-style function (paper Listing 2). */
+inline constexpr u64 kFdgetPosOffset = 0x41db60;
+
+/** Image offset of the physmap disclosure gadget (paper Listing 3). */
+inline constexpr u64 kDisclosureGadgetOffset = 0x41da52;
+
+/** Displacement used by the disclosure gadget: mov r12, [r12 + 0xbe0]. */
+inline constexpr i32 kDisclosureDisp = 0xbe0;
+
+/** Image offset of the kernel data area (syscall table etc.), RW/NX. */
+inline constexpr u64 kKernelDataOffset = 0x480000;
+
+/** Default user-mode code base for attacker processes. */
+inline constexpr VAddr kUserCodeBase = 0x0000000000400000ull;
+
+/** Default user-mode stack top. */
+inline constexpr VAddr kUserStackTop = 0x00007ffffffde000ull;
+
+/** Syscall numbers implemented by the kernel. */
+enum Syscall : u64 {
+    kSysGetpid = 0,
+    kSysReadv = 1,
+    kSysModuleBase = 2,   ///< modules register entries from here upward
+};
+
+} // namespace phantom::os
+
+#endif // PHANTOM_OS_LAYOUT_HPP

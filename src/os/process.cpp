@@ -1,0 +1,69 @@
+#include "os/process.hpp"
+
+#include <cassert>
+
+namespace phantom::os {
+
+namespace {
+
+constexpr u64 kStackBytes = 64 * 1024;
+
+} // namespace
+
+Process::Process(Kernel& kernel, cpu::Machine& machine)
+    : kernel_(kernel), machine_(machine)
+{
+    mapData(kUserStackTop - kStackBytes, kStackBytes);
+    machine_.regs().write(isa::RSP, kUserStackTop - 128);
+}
+
+void
+Process::mapCode(VAddr va, const std::vector<u8>& code)
+{
+    VAddr page = alignDown(va, kPageBytes);
+    u64 span = alignUp(va + code.size(), kPageBytes) - page;
+    PAddr pa = kernel_.allocFrames(span);
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = false;
+    flags.user = true;
+    flags.executable = true;
+    for (u64 off = 0; off < span; off += kPageBytes)
+        kernel_.pageTable().map4k(page + off, pa + off, flags);
+    machine_.physMem().writeBlock(pa + (va - page), code);
+}
+
+PAddr
+Process::mapData(VAddr va, u64 bytes)
+{
+    assert(va % kPageBytes == 0);
+    u64 span = alignUp(bytes, kPageBytes);
+    PAddr pa = kernel_.allocFrames(span);
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = true;
+    flags.user = true;
+    flags.executable = false;
+    for (u64 off = 0; off < span; off += kPageBytes)
+        kernel_.pageTable().map4k(va + off, pa + off, flags);
+    return pa;
+}
+
+PAddr
+Process::mapHugeData(VAddr va, bool random_placement)
+{
+    assert(va % kHugePageBytes == 0);
+    PAddr pa = random_placement
+                   ? kernel_.allocFramesRandom(kHugePageBytes,
+                                               kHugePageBytes)
+                   : kernel_.allocFrames(kHugePageBytes, kHugePageBytes);
+    mem::PageFlags flags;
+    flags.present = true;
+    flags.writable = true;
+    flags.user = true;
+    flags.executable = false;
+    kernel_.pageTable().map2m(va, pa, flags);
+    return pa;
+}
+
+} // namespace phantom::os

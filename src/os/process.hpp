@@ -1,0 +1,50 @@
+/**
+ * @file
+ * An unprivileged user process: address-space setup helpers for the
+ * attacker, who controls its own memory layout precisely (the exploits
+ * require code at exact BTB-aliasing virtual addresses).
+ */
+
+#ifndef PHANTOM_OS_PROCESS_HPP
+#define PHANTOM_OS_PROCESS_HPP
+
+#include "os/kernel.hpp"
+
+namespace phantom::os {
+
+/** A user process sharing the kernel's page table (no KPTI). */
+class Process
+{
+  public:
+    /** Creates the process stack and points the machine's RSP at it. */
+    Process(Kernel& kernel, cpu::Machine& machine);
+
+    /** Map @p code user-RX at exactly @p va (page-aligned start). */
+    void mapCode(VAddr va, const std::vector<u8>& code);
+
+    /** Map @p bytes of user-RW/NX memory at @p va. @return backing PA. */
+    PAddr mapData(VAddr va, u64 bytes);
+
+    /**
+     * Map one 2 MiB transparent huge page of user data at @p va
+     * (@p va must be 2 MiB aligned). Physically contiguous.
+     * @param random_placement back the page with a random physical frame
+     *        (long-uptime buddy-allocator model) instead of the bump
+     *        allocator.
+     * @return the backing physical address.
+     */
+    PAddr mapHugeData(VAddr va, bool random_placement = false);
+
+    /** Top of the process stack (RSP starts just below). */
+    VAddr stackTop() const { return kUserStackTop; }
+
+    Kernel& kernel() { return kernel_; }
+
+  private:
+    Kernel& kernel_;
+    cpu::Machine& machine_;
+};
+
+} // namespace phantom::os
+
+#endif // PHANTOM_OS_PROCESS_HPP

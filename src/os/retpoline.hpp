@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Retpoline construction (§2.4, §8 of the paper).
+ *
+ * A retpoline replaces an indirect branch with a call/ret pair whose
+ * return address is overwritten with the real target; the RSB-predicted
+ * (wrong) return lands in a speculation trap. This kills classic
+ * Spectre-V2 injection at the site — there is no indirect branch left to
+ * hijack — but, as the paper's lineage shows:
+ *
+ *  - on parts with branch type confusion at returns (Zen 1/2), the ret
+ *    itself can be hijacked with a jmp*-trained prediction (Retbleed),
+ *  - and PHANTOM does not care: it injects predictions at arbitrary
+ *    instructions, so rewriting the indirect branches changes nothing.
+ */
+
+#ifndef PHANTOM_OS_RETPOLINE_HPP
+#define PHANTOM_OS_RETPOLINE_HPP
+
+#include "isa/assembler.hpp"
+
+namespace phantom::os {
+
+/** Emitted-site addresses of one retpoline thunk. */
+struct RetpolineSite
+{
+    VAddr callVa = 0;   ///< the setup call
+    VAddr trapVa = 0;   ///< the speculation trap loop
+    VAddr retVa = 0;    ///< the ret that performs the indirect transfer
+};
+
+/**
+ * Emit a retpoline-style indirect jump through @p reg:
+ *
+ *     call L2
+ * L1: lfence            ; speculation trap: an RSB-predicted return
+ *     jmp L1            ; lands here and stalls until the resteer
+ * L2: mov [rsp], reg    ; overwrite the return address
+ *     ret               ; "indirect jump" via the return path
+ *
+ * @return the site addresses, for tests that target the ret.
+ */
+inline RetpolineSite
+emitRetpolineJmp(isa::Assembler& code, u8 reg)
+{
+    using namespace isa;
+    RetpolineSite site;
+    Label trap = code.newLabel();
+    Label setup = code.newLabel();
+
+    site.callVa = code.here();
+    code.call(setup);
+    code.bind(trap);
+    site.trapVa = code.here();
+    code.lfence();
+    code.jmp(trap);
+    code.bind(setup);
+    code.store(RSP, 0, reg);
+    site.retVa = code.here();
+    code.ret();
+    return site;
+}
+
+} // namespace phantom::os
+
+#endif // PHANTOM_OS_RETPOLINE_HPP

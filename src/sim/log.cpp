@@ -1,0 +1,55 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phantom {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    if (const char* env = std::getenv("PHANTOM_LOG")) {
+        int v = std::atoi(env);
+        if (v >= 0 && v <= 4)
+            return static_cast<LogLevel>(v);
+    }
+    return LogLevel::None;
+}
+
+LogLevel gLevel = initialLevel();
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Trace: return "TRACE";
+      default:              return "?";
+    }
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    std::fprintf(stderr, "[phantom:%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace phantom

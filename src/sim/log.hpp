@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal leveled logging. Off by default; experiments flip it on for
+ * debugging without recompiling (PHANTOM_LOG env var or setLogLevel()).
+ */
+
+#ifndef PHANTOM_SIM_LOG_HPP
+#define PHANTOM_SIM_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace phantom {
+
+enum class LogLevel { None = 0, Error = 1, Warn = 2, Info = 3, Trace = 4 };
+
+/** Set the global log threshold. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold (initialized from PHANTOM_LOG if set). */
+LogLevel logLevel();
+
+/** Emit @p msg if @p level is at or below the threshold. */
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+template <typename... Args>
+void
+logError(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Error)
+        logMessage(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logWarn(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logInfo(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Info)
+        logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logTrace(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Trace)
+        logMessage(LogLevel::Trace, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace phantom
+
+#endif // PHANTOM_SIM_LOG_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator (noise injection, KASLR slot
+ * selection, random payloads) draws from an explicitly seeded Rng so that
+ * experiments are reproducible run-to-run.
+ */
+
+#ifndef PHANTOM_SIM_RNG_HPP
+#define PHANTOM_SIM_RNG_HPP
+
+#include "sim/types.hpp"
+
+#include <cassert>
+
+namespace phantom {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough statistical quality
+ * for simulation noise; crucially, fully deterministic for a given seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(u64 seed)
+    {
+        for (auto& word : state_) {
+            seed += 0x9e3779b97f4a7c15ull;
+            u64 z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    u64
+    next()
+    {
+        u64 result = rotl(state_[1] * 5, 7) * 9;
+        u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        assert(bound != 0);
+        // Rejection sampling to avoid modulo bias.
+        u64 threshold = (~bound + 1) % bound;
+        for (;;) {
+            u64 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return toDouble(next()) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return toDouble(next()); }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    static double
+    toDouble(u64 x)
+    {
+        return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    u64 state_[4];
+};
+
+} // namespace phantom
+
+#endif // PHANTOM_SIM_RNG_HPP

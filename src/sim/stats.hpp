@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Descriptive statistics used when reporting experiment results
+ * (median run times, geometric-mean overheads, accuracies).
+ */
+
+#ifndef PHANTOM_SIM_STATS_HPP
+#define PHANTOM_SIM_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace phantom {
+
+/** Arithmetic mean of @p xs; 0 for an empty vector. */
+double mean(const std::vector<double>& xs);
+
+/** Population standard deviation of @p xs; 0 for fewer than two samples. */
+double stddev(const std::vector<double>& xs);
+
+/** Median of @p xs (average of middle pair for even sizes); 0 if empty. */
+double median(std::vector<double> xs);
+
+/** Geometric mean of @p xs; all entries must be positive. 0 if empty. */
+double geomean(const std::vector<double>& xs);
+
+/** @p q-quantile (0..1) of @p xs using linear interpolation. */
+double quantile(std::vector<double> xs, double q);
+
+/** Fraction of true entries, in [0, 1]; 0 if empty. */
+double successRate(const std::vector<bool>& xs);
+
+/**
+ * Accumulating counter with summary accessors, used by the benchmark
+ * harnesses to collect per-run samples.
+ */
+class SampleSet
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const { return phantom::mean(samples_); }
+    double median() const { return phantom::median(samples_); }
+    double geomean() const { return phantom::geomean(samples_); }
+    double stddev() const { return phantom::stddev(samples_); }
+    double quantile(double q) const { return phantom::quantile(samples_, q); }
+
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace phantom
+
+#endif // PHANTOM_SIM_STATS_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fundamental type aliases and address helpers shared by every module.
+ */
+
+#ifndef PHANTOM_SIM_TYPES_HPP
+#define PHANTOM_SIM_TYPES_HPP
+
+#include <cstdint>
+#include <cstddef>
+
+namespace phantom {
+
+/** Virtual address. Canonical x86-64 form: bits [63:48] are a sign
+ *  extension of bit 47. */
+using VAddr = std::uint64_t;
+
+/** Physical address. */
+using PAddr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Privilege mode of the executing context. */
+enum class Privilege : u8 { User = 0, Kernel = 1 };
+
+/** Bytes per cache line throughout the machine. */
+inline constexpr u64 kCacheLineBytes = 64;
+
+/** Bytes per small page. */
+inline constexpr u64 kPageBytes = 4096;
+
+/** Bytes per huge page (2 MiB). */
+inline constexpr u64 kHugePageBytes = 2ull * 1024 * 1024;
+
+/** Extract bit @p n of @p v as 0/1. */
+constexpr u64
+bit(u64 v, unsigned n)
+{
+    return (v >> n) & 1;
+}
+
+/** Extract bits [hi:lo] of @p v. */
+constexpr u64
+bits(u64 v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo >= 63) ? ~0ull : ((1ull << (hi - lo + 1)) - 1));
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr u64
+alignDown(u64 v, u64 align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr u64
+alignUp(u64 v, u64 align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True if @p va has canonical x86-64 form. */
+constexpr bool
+isCanonical(VAddr va)
+{
+    u64 top = va >> 47;
+    return top == 0 || top == 0x1ffff;
+}
+
+/** Sign-extend bit 47 to produce a canonical address. */
+constexpr VAddr
+canonicalize(VAddr va)
+{
+    return bit(va, 47) ? (va | 0xffff000000000000ull)
+                       : (va & 0x0000ffffffffffffull);
+}
+
+} // namespace phantom
+
+#endif // PHANTOM_SIM_TYPES_HPP

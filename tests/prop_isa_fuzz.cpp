@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Decoder robustness properties: decoding arbitrary byte soup never
+ * reads out of bounds, never reports impossible lengths, and always
+ * round-trips through the encoder for valid instructions.
+ */
+
+#include "isa/assembler.hpp"
+#include "isa/encoder.hpp"
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom::isa {
+namespace {
+
+class DecoderFuzz : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(DecoderFuzz, RandomBytesNeverMisbehave)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 2000; ++trial) {
+        u8 buffer[32];
+        std::size_t avail = 1 + rng.below(sizeof buffer);
+        for (std::size_t i = 0; i < avail; ++i)
+            buffer[i] = static_cast<u8>(rng.next());
+
+        Insn insn = decode(buffer, avail);
+        ASSERT_GE(insn.length, 1);
+        ASSERT_LE(insn.length, kMaxInsnBytes);
+        if (insn.kind != InsnKind::Invalid) {
+            // The decoder may not claim more bytes than were available.
+            ASSERT_LE(static_cast<std::size_t>(insn.length), avail);
+        }
+    }
+}
+
+TEST_P(DecoderFuzz, ByteWiseScanTerminates)
+{
+    Rng rng(GetParam() * 31 + 5);
+    std::vector<u8> blob(4096);
+    for (auto& byte : blob)
+        byte = static_cast<u8>(rng.next());
+
+    // Scanning any byte soup instruction-by-instruction always makes
+    // progress and terminates.
+    std::size_t offset = 0;
+    std::size_t steps = 0;
+    while (offset < blob.size()) {
+        Insn insn = decode(blob.data() + offset, blob.size() - offset);
+        ASSERT_GE(insn.length, 1);
+        offset += insn.length;
+        ASSERT_LT(++steps, blob.size() + 1);
+    }
+}
+
+TEST_P(DecoderFuzz, ValidEncodingsRoundTripAtEveryRegister)
+{
+    Rng rng(GetParam() * 17 + 3);
+    for (int trial = 0; trial < 500; ++trial) {
+        u8 dst = static_cast<u8>(rng.below(kNumRegs));
+        u8 src = static_cast<u8>(rng.below(kNumRegs));
+        i32 disp = static_cast<i32>(rng.next());
+        u64 imm = rng.next();
+
+        std::vector<Insn> samples = {
+            makeMovImm(dst, imm),
+            makeLoad(dst, src, disp),
+            makeStore(dst, disp, src),
+            makeAddImm(dst, static_cast<i32>(imm)),
+            makeJccRel(static_cast<Cond>(rng.below(4)),
+                       static_cast<i32>(imm)),
+            makeShl(dst, static_cast<u8>(rng.below(64))),
+        };
+        for (const Insn& insn : samples) {
+            std::vector<u8> bytes;
+            encode(insn, bytes);
+            Insn back = decode(bytes.data(), bytes.size());
+            ASSERT_EQ(back.kind, insn.kind);
+            ASSERT_EQ(back.length, insn.length);
+            ASSERT_EQ(back.dst, insn.dst);
+            ASSERT_EQ(back.src, insn.src);
+            ASSERT_EQ(back.disp, insn.disp);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(AssemblerProperty, ConcatenatedProgramsDecodeBackExactly)
+{
+    // Assemble a program of every instruction kind, then decode the blob
+    // sequentially: the instruction stream must match what was emitted.
+    Assembler code(0x400000);
+    code.nop();
+    code.nopN(7);
+    code.movImm(RAX, 1);
+    code.load(RBX, RAX, 16);
+    code.store(RAX, -16, RBX);
+    code.addImm(RCX, 5);
+    code.cmpReg(RAX, RBX);
+    Label l = code.newLabel();
+    code.jcc(Cond::Ne, l);
+    code.lfence();
+    code.bind(l);
+    code.rdtsc();
+    code.hlt();
+    std::vector<u8> blob = code.finish();
+
+    const InsnKind expected[] = {
+        InsnKind::Nop,    InsnKind::NopN,   InsnKind::MovImm,
+        InsnKind::Load,   InsnKind::Store,  InsnKind::AddImm,
+        InsnKind::CmpReg, InsnKind::JccRel, InsnKind::Lfence,
+        InsnKind::Rdtsc,  InsnKind::Hlt,
+    };
+    std::size_t offset = 0;
+    for (InsnKind kind : expected) {
+        Insn insn = decode(blob.data() + offset, blob.size() - offset);
+        ASSERT_EQ(insn.kind, kind);
+        offset += insn.length;
+    }
+    EXPECT_EQ(offset, blob.size());
+}
+
+} // namespace
+} // namespace phantom::isa

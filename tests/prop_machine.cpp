@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Property tests for the machine:
+ *
+ *  - Architectural equivalence: randomly generated programs produce the
+ *    same final register file on the speculating machine and on an
+ *    independent reference interpreter (speculation must never change
+ *    architectural results).
+ *  - Transient invisibility: running a victim with and without an
+ *    injected prediction yields identical architectural state.
+ *  - Determinism: identical seeds give identical cycle counts.
+ */
+
+#include "attack/testbed.hpp"
+#include "isa/assembler.hpp"
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace phantom {
+namespace {
+
+using namespace isa;
+using attack::Testbed;
+
+constexpr VAddr kCodeVa = 0x0000000000400000ull;
+constexpr VAddr kDataVa = 0x0000000000800000ull;
+constexpr u64 kDataBytes = 4 * kPageBytes;
+
+/**
+ * An independent, dead-simple reference interpreter: no caches, no
+ * predictors, no speculation. Any divergence from the Machine is a
+ * correctness bug in one of them.
+ */
+struct Reference
+{
+    std::array<u64, kNumRegs> regs{};
+    bool zf = false, cf = false;
+    std::vector<u8> data;    // backs [kDataVa, kDataVa + kDataBytes)
+    const std::vector<u8>& code;
+
+    explicit Reference(const std::vector<u8>& code_bytes)
+        : data(kDataBytes, 0), code(code_bytes)
+    {
+    }
+
+    u64
+    read64(VAddr va)
+    {
+        u64 v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | data.at(va - kDataVa + i);
+        return v;
+    }
+
+    void
+    write64(VAddr va, u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            data.at(va - kDataVa + i) = static_cast<u8>(v >> (8 * i));
+    }
+
+    void
+    run()
+    {
+        VAddr pc = kCodeVa;
+        for (int steps = 0; steps < 100000; ++steps) {
+            std::size_t off = pc - kCodeVa;
+            Insn insn = decode(code.data() + off, code.size() - off);
+            VAddr next = pc + insn.length;
+            switch (insn.kind) {
+              case InsnKind::Hlt:
+                return;
+              case InsnKind::Nop:
+              case InsnKind::NopN:
+                break;
+              case InsnKind::MovImm: regs[insn.dst] = insn.imm; break;
+              case InsnKind::MovReg: regs[insn.dst] = regs[insn.src]; break;
+              case InsnKind::Add: regs[insn.dst] += regs[insn.src]; break;
+              case InsnKind::AddImm:
+                regs[insn.dst] += static_cast<i64>(
+                    static_cast<i32>(insn.imm));
+                break;
+              case InsnKind::Sub:
+                zf = regs[insn.dst] == regs[insn.src];
+                cf = regs[insn.dst] < regs[insn.src];
+                regs[insn.dst] -= regs[insn.src];
+                break;
+              case InsnKind::SubImm: {
+                u64 b = static_cast<u64>(
+                    static_cast<i64>(static_cast<i32>(insn.imm)));
+                zf = regs[insn.dst] == b;
+                cf = regs[insn.dst] < b;
+                regs[insn.dst] -= b;
+                break;
+              }
+              case InsnKind::Xor: regs[insn.dst] ^= regs[insn.src]; break;
+              case InsnKind::And: regs[insn.dst] &= regs[insn.src]; break;
+              case InsnKind::AndImm: regs[insn.dst] &= insn.imm; break;
+              case InsnKind::Shl: regs[insn.dst] <<= (insn.imm & 63); break;
+              case InsnKind::Shr: regs[insn.dst] >>= (insn.imm & 63); break;
+              case InsnKind::CmpImm: {
+                u64 b = static_cast<u64>(
+                    static_cast<i64>(static_cast<i32>(insn.imm)));
+                zf = regs[insn.dst] == b;
+                cf = regs[insn.dst] < b;
+                break;
+              }
+              case InsnKind::CmpReg:
+                zf = regs[insn.dst] == regs[insn.src];
+                cf = regs[insn.dst] < regs[insn.src];
+                break;
+              case InsnKind::Load:
+                regs[insn.dst] = read64(regs[insn.src] +
+                                        static_cast<i64>(insn.disp));
+                break;
+              case InsnKind::Store:
+                write64(regs[insn.dst] + static_cast<i64>(insn.disp),
+                        regs[insn.src]);
+                break;
+              case InsnKind::JmpRel:
+                next = insn.relTarget(pc);
+                break;
+              case InsnKind::JccRel: {
+                bool taken = false;
+                switch (insn.cond) {
+                  case Cond::Eq: taken = zf; break;
+                  case Cond::Ne: taken = !zf; break;
+                  case Cond::Lt: taken = cf; break;
+                  case Cond::Ge: taken = !cf; break;
+                }
+                if (taken)
+                    next = insn.relTarget(pc);
+                break;
+              }
+              default:
+                FAIL() << "reference: unexpected " << toString(insn);
+                return;
+            }
+            pc = next;
+        }
+        FAIL() << "reference: ran away";
+    }
+};
+
+/** Generate a random but well-formed program: arithmetic, loads/stores
+ *  into the data window, and bounded loops. Ends with hlt. */
+std::vector<u8>
+randomProgram(u64 seed)
+{
+    Rng rng(seed);
+    Assembler code(kCodeVa);
+
+    // Seed registers with random values; keep RSP/RDI as data pointers.
+    for (u8 r = 0; r < kNumRegs; ++r) {
+        if (r == RSP)
+            continue;
+        code.movImm(r, rng.next());
+    }
+    code.movImm(RDI, kDataVa);
+
+    u32 blocks = 3 + static_cast<u32>(rng.below(4));
+    for (u32 b = 0; b < blocks; ++b) {
+        // A bounded countdown loop with a random body.
+        u8 counter = RCX;
+        code.movImm(counter, 2 + rng.below(6));
+        Label loop = code.newLabel();
+        code.bind(loop);
+        u32 body = 2 + static_cast<u32>(rng.below(6));
+        for (u32 i = 0; i < body; ++i) {
+            u8 dst = static_cast<u8>(rng.below(kNumRegs));
+            u8 src = static_cast<u8>(rng.below(kNumRegs));
+            if (dst == RSP || dst == counter || dst == RDI)
+                dst = RAX;
+            if (src == RSP)
+                src = RBX;
+            switch (rng.below(9)) {
+              case 0: code.add(dst, src); break;
+              case 1: code.sub(dst, src); break;
+              case 2: code.xorReg(dst, src); break;
+              case 3: code.andReg(dst, src); break;
+              case 4: code.shl(dst, static_cast<u8>(rng.below(8))); break;
+              case 5: code.shr(dst, static_cast<u8>(rng.below(8))); break;
+              case 6: {
+                // Load from a random in-window offset.
+                i32 disp = static_cast<i32>(
+                    rng.below(kDataBytes - 8) & ~7ull);
+                code.load(dst, RDI, disp);
+                break;
+              }
+              case 7: {
+                i32 disp = static_cast<i32>(
+                    rng.below(kDataBytes - 8) & ~7ull);
+                code.store(RDI, disp, src);
+                break;
+              }
+              default: {
+                // Forward conditional skip over one instruction.
+                code.cmpReg(dst, src);
+                Label skip = code.newLabel();
+                code.jcc(static_cast<Cond>(rng.below(4)), skip);
+                code.addImm(dst, static_cast<i32>(rng.below(1000)));
+                code.bind(skip);
+                break;
+              }
+            }
+        }
+        code.subImm(counter, 1);
+        code.cmpImm(counter, 0);
+        code.jcc(Cond::Ne, loop);
+    }
+    code.hlt();
+    return code.finish();
+}
+
+class ArchEquivalence : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(ArchEquivalence, MachineMatchesReference)
+{
+    u64 seed = GetParam();
+    std::vector<u8> program = randomProgram(seed);
+
+    // Reference run.
+    Reference ref(program);
+    ref.run();
+
+    // Machine run, on the microarchitecture with the deepest speculation
+    // (Zen 2: phantom windows + SLS + Spectre windows all active).
+    auto cfg = cpu::zen2();
+    Testbed bed(cfg, 1ull << 30, seed);
+    bed.process.mapCode(kCodeVa, program);
+    bed.process.mapData(kDataVa, kDataBytes);
+    auto result = bed.runUser(kCodeVa, 200000);
+    ASSERT_EQ(result.reason, cpu::ExitReason::Halt) << "seed " << seed;
+
+    for (u8 r = 0; r < kNumRegs; ++r) {
+        if (r == RSP)
+            continue;
+        EXPECT_EQ(bed.machine.regs().read(r), ref.regs[r])
+            << "seed " << seed << " reg " << regName(r);
+    }
+    for (u64 off = 0; off < kDataBytes; off += 8) {
+        ASSERT_EQ(bed.machine.debugRead64(kDataVa + off).value(),
+                  ref.read64(kDataVa + off))
+            << "seed " << seed << " data+0x" << std::hex << off;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, ArchEquivalence,
+                         ::testing::Range<u64>(1, 25));
+
+class TransientInvisibility : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(TransientInvisibility, InjectionNeverChangesArchitecturalState)
+{
+    u64 seed = GetParam();
+    std::vector<u8> program = randomProgram(seed);
+
+    auto run_with = [&](bool inject) {
+        auto cfg = cpu::zen2();
+        cfg.noise = mem::NoiseConfig{};
+        Testbed bed(cfg, 1ull << 30, 1);
+        bed.process.mapCode(kCodeVa, program);
+        bed.process.mapData(kDataVa, kDataBytes);
+        if (inject) {
+            // Plant hostile predictions at several program addresses:
+            // each fires as PHANTOM speculation during the run.
+            for (u64 off : {u64{0}, u64{32}, u64{64}, u64{160}}) {
+                bed.machine.bpu().btb().train(
+                    kCodeVa + off, isa::BranchType::IndirectJump,
+                    kCodeVa + 0x500, Privilege::User);
+            }
+        }
+        auto result = bed.runUser(kCodeVa, 200000);
+        EXPECT_EQ(result.reason, cpu::ExitReason::Halt);
+        std::vector<u64> state;
+        for (u8 r = 0; r < kNumRegs; ++r)
+            state.push_back(bed.machine.regs().read(r));
+        for (u64 off = 0; off < kDataBytes; off += 8)
+            state.push_back(bed.machine.debugRead64(kDataVa + off).value());
+        return state;
+    };
+
+    EXPECT_EQ(run_with(false), run_with(true)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, TransientInvisibility,
+                         ::testing::Range<u64>(100, 112));
+
+TEST(MachineDeterminism, SameSeedSameCycles)
+{
+    auto run = [&] {
+        Testbed bed(cpu::zen2(), 1ull << 30, 9);
+        std::vector<u8> program = randomProgram(7);
+        bed.process.mapCode(kCodeVa, program);
+        bed.process.mapData(kDataVa, kDataBytes);
+        auto result = bed.runUser(kCodeVa, 200000);
+        return std::pair{result.cycles, result.instructions};
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(SpeculationInvariant, FailedSpeculativeFetchNeverFillsCaches)
+{
+    // Train a prediction towards unmapped memory; the I-cache must stay
+    // untouched (this is the P1/P2 distinction).
+    auto cfg = cpu::zen2();
+    cfg.noise = mem::NoiseConfig{};
+    Testbed bed(cfg, 1ull << 30, 2);
+    Assembler code(kCodeVa);
+    code.nopN(5);
+    code.hlt();
+    bed.process.mapCode(kCodeVa, code.finish());
+
+    VAddr unmapped = 0x0000000066600000ull;
+    bed.machine.bpu().btb().train(kCodeVa, isa::BranchType::IndirectJump,
+                                  unmapped, Privilege::User);
+    u64 spec_before = bed.machine.pmc().read(cpu::PmcEvent::SpecFetch);
+    bed.runUser(kCodeVa);
+    EXPECT_EQ(bed.machine.pmc().read(cpu::PmcEvent::SpecFetch),
+              spec_before);
+}
+
+TEST(SpeculationInvariant, TransientStoresNeverReachMemory)
+{
+    // A Spectre window executes a store transiently; memory must be
+    // unchanged after the resteer.
+    auto cfg = cpu::zen2();
+    cfg.noise = mem::NoiseConfig{};
+    Testbed bed(cfg, 1ull << 30, 3);
+    bed.process.mapData(kDataVa, kPageBytes);
+
+    Assembler code(kCodeVa);
+    Label wrong = code.newLabel();
+    Label out = code.newLabel();
+    code.movImm(RDI, kDataVa);
+    code.movImm(RAX, 1);
+    // Train taken...
+    code.cmpImm(RAX, 1);
+    code.jcc(Cond::Eq, wrong);
+    code.bind(out);
+    code.hlt();
+    code.bind(wrong);
+    code.store(RDI, 0x10, RAX);    // architectural when taken
+    code.jmp(out);
+    bed.process.mapCode(kCodeVa, code.finish());
+
+    // First run: taken path stores 1. Reset memory, flip the condition
+    // so the second run mispredicts into the store transiently.
+    bed.runUser(kCodeVa);
+    EXPECT_EQ(bed.machine.debugRead64(kDataVa + 0x10).value(), 1u);
+    bed.machine.debugWrite64(kDataVa + 0x10, 0);
+
+    Assembler patch(kCodeVa + 10);     // overwrite 'mov rax, 1'
+    patch.movImm(RAX, 2);
+    bed.machine.debugWriteBytes(kCodeVa + 10, patch.finish());
+    bed.machine.uopCache().flushAll();
+
+    bed.runUser(kCodeVa);
+    EXPECT_EQ(bed.machine.debugRead64(kDataVa + 0x10).value(), 0u);
+}
+
+TEST(SpeculationInvariant, TransientLoadsDoFillCaches)
+{
+    // The flip side: a transient load in a Spectre window leaves a
+    // D-cache trace (the entire paper rests on this).
+    auto cfg = cpu::zen2();
+    cfg.noise = mem::NoiseConfig{};
+    Testbed bed(cfg, 1ull << 30, 4);
+    bed.process.mapData(kDataVa, kPageBytes);
+
+    Assembler code(kCodeVa);
+    Label wrong = code.newLabel();
+    Label out = code.newLabel();
+    code.movImm(RDI, kDataVa);
+    code.movImm(RAX, 1);
+    code.cmpImm(RAX, 1);
+    code.jcc(Cond::Eq, wrong);
+    code.bind(out);
+    code.hlt();
+    code.bind(wrong);
+    code.load(RBX, RDI, 0x80);
+    code.jmp(out);
+    bed.process.mapCode(kCodeVa, code.finish());
+
+    bed.runUser(kCodeVa);                  // trains taken
+    Assembler patch(kCodeVa + 10);
+    patch.movImm(RAX, 2);                  // now not taken
+    bed.machine.debugWriteBytes(kCodeVa + 10, patch.finish());
+    bed.machine.uopCache().flushAll();
+    bed.machine.clflushVirt(kDataVa + 0x80);
+
+    bed.runUser(kCodeVa);
+    Cycle lat = bed.machine.timedDataAccess(kDataVa + 0x80,
+                                            Privilege::User);
+    EXPECT_LT(lat, bed.machine.caches().config().latMem);
+}
+
+} // namespace
+} // namespace phantom

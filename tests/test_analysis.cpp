@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit and property tests for the GF(2) machinery that replaces the
+ * paper's Z3 step: span arithmetic and bounded-weight parity recovery.
+ */
+
+#include "analysis/gf2.hpp"
+#include "bpu/btb_hash.hpp"
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace phantom::analysis {
+namespace {
+
+TEST(Gf2SpanModel, InsertAndContains)
+{
+    Gf2Span span;
+    EXPECT_TRUE(span.insert(0b1010));
+    EXPECT_TRUE(span.insert(0b0110));
+    EXPECT_FALSE(span.insert(0b1100));    // = xor of the two
+    EXPECT_TRUE(span.contains(0b1010));
+    EXPECT_TRUE(span.contains(0b1100));
+    EXPECT_FALSE(span.contains(0b0001));
+    EXPECT_EQ(span.rank(), 2u);
+}
+
+TEST(Gf2SpanModel, ZeroAlwaysContained)
+{
+    Gf2Span span;
+    EXPECT_TRUE(span.contains(0));
+    EXPECT_FALSE(span.insert(0));
+}
+
+TEST(Gf2SpanModel, RankBoundedByBits)
+{
+    Gf2Span span;
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        span.insert(rng.next() & 0xff);
+    EXPECT_LE(span.rank(), 8u);
+    EXPECT_EQ(span.rank(), 8u);   // 200 random bytes span all 8 bits whp
+}
+
+TEST(Parity, MatchesPopcountParity)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        u64 x = rng.next();
+        EXPECT_EQ(parity(x), static_cast<u64>(__builtin_parityll(x)));
+    }
+}
+
+TEST(MaskToString, Formats)
+{
+    EXPECT_EQ(maskToString((1ull << 47) | (1ull << 35) | (1ull << 23)),
+              "b47 ^ b35 ^ b23");
+    EXPECT_EQ(maskToString(1ull << 3), "b3");
+}
+
+/**
+ * Property: given collision diffs generated from a known set of parity
+ * functions, recovery returns exactly those functions (when they are
+ * minimal-weight and independent).
+ */
+class ParityRecoveryProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(ParityRecoveryProperty, RecoversPlantedFunctions)
+{
+    u64 seed = GetParam();
+    Rng rng(seed);
+
+    // Plant 3 random independent weight-3 functions over bits [12, 46],
+    // all containing bit 47.
+    std::set<u64> planted;
+    Gf2Span span;
+    while (planted.size() < 3) {
+        u64 mask = 1ull << 47;
+        while (__builtin_popcountll(mask) < 4)
+            mask |= 1ull << rng.range(12, 46);
+        if (__builtin_popcountll(mask) == 4 && span.contains(mask) == false) {
+            span.insert(mask);
+            planted.insert(mask);
+        }
+    }
+
+    // Generate diffs d with bit 47 set, random other bits, subject to
+    // parity(f & d) == 0 for every planted f (rejection sampling).
+    std::vector<u64> diffs;
+    while (diffs.size() < 60) {
+        u64 d = (rng.next() & 0x00007ffffffff000ull) | (1ull << 47);
+        bool ok = true;
+        for (u64 f : planted)
+            ok = ok && parity(f & d) == 0;
+        if (ok)
+            diffs.push_back(d);
+    }
+
+    ParityRecoveryOptions options;
+    options.maxWeight = 4;
+    auto recovered = recoverParityMasks(diffs, options);
+
+    // Everything recovered must satisfy the constraints and include the
+    // planted functions (up to GF(2) span equality).
+    Gf2Span planted_span;
+    for (u64 f : planted)
+        planted_span.insert(f);
+    std::size_t found = 0;
+    for (u64 f : planted) {
+        if (std::find(recovered.begin(), recovered.end(), f) !=
+            recovered.end())
+            ++found;
+    }
+    // With 60 diffs the solution space is cut down to the planted span;
+    // all three planted functions are minimal-weight representatives.
+    EXPECT_EQ(found, 3u) << "seed " << seed;
+    for (u64 f : recovered) {
+        for (u64 d : diffs)
+            EXPECT_EQ(parity(f & d), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParityRecoveryProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ParityRecovery, RecoversFigure7FromIdealDiffs)
+{
+    // Diffs drawn directly from the Zen 3/4 key-equality condition.
+    Rng rng(42);
+    std::vector<u64> diffs;
+    VAddr kernel = 0xffffffff81234000ull;
+    while (diffs.size() < 40) {
+        VAddr user = (rng.next() & 0x00007ffffffff000ull);
+        if (bpu::btbKey(bpu::BtbHashKind::Zen34, user, Privilege::User) ==
+            bpu::btbKey(bpu::BtbHashKind::Zen34, kernel,
+                        Privilege::Kernel))
+            diffs.push_back(user ^ kernel);
+    }
+
+    auto recovered = recoverParityMasks(diffs, {});
+    const auto& published = bpu::zen34ParityMasks();
+    ASSERT_EQ(recovered.size(), published.size());
+    for (u64 f : published) {
+        EXPECT_NE(std::find(recovered.begin(), recovered.end(), f),
+                  recovered.end())
+            << maskToString(f);
+    }
+}
+
+TEST(ParityRecovery, WithoutBit47FindsTheExtraFunction)
+{
+    // Relaxing the bit-47 requirement surfaces the extra non-b47 parity
+    // (the functions the paper suspects exist but could not find).
+    Rng rng(43);
+    std::vector<u64> diffs;
+    // Same-privilege collisions: both addresses user-space.
+    VAddr base = 0x00001234567ff000ull;
+    while (diffs.size() < 60) {
+        VAddr other = (rng.next() & 0x00007ffffffff000ull);
+        if (bpu::btbKey(bpu::BtbHashKind::Zen34, other, Privilege::User) ==
+            bpu::btbKey(bpu::BtbHashKind::Zen34, base, Privilege::User) &&
+            other != base)
+            diffs.push_back(other ^ base);
+    }
+
+    ParityRecoveryOptions options;
+    options.requireBit47 = false;
+    options.maxWeight = 3;
+    auto recovered = recoverParityMasks(diffs, options);
+    EXPECT_NE(std::find(recovered.begin(), recovered.end(),
+                        bpu::zen34ExtraParityMask()),
+              recovered.end());
+}
+
+TEST(ParityRecovery, NoDiffsYieldsEverything)
+{
+    // With no constraints, the weight-1 masks alone span the space.
+    ParityRecoveryOptions options;
+    options.maxWeight = 2;
+    options.requireBit47 = false;
+    options.bitLo = 12;
+    options.bitHi = 15;
+    auto recovered = recoverParityMasks({}, options);
+    EXPECT_EQ(recovered.size(), 4u);   // b12..b15
+}
+
+TEST(ParityRecovery, ContradictoryDiffsYieldNothing)
+{
+    // Random dense diffs admit no low-weight parity function.
+    Rng rng(44);
+    std::vector<u64> diffs;
+    for (int i = 0; i < 50; ++i)
+        diffs.push_back(rng.next() | (1ull << 47));
+    auto recovered = recoverParityMasks(diffs, {});
+    EXPECT_TRUE(recovered.empty());
+}
+
+} // namespace
+} // namespace phantom::analysis

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Unit tests for the branch prediction unit: BTB training/lookup
+ * semantics (PC-relative direct targets, absolute indirect targets,
+ * RSB-backed returns), the cross-privilege hash functions, the RSB, the
+ * PHT, and the mitigation-related behaviours.
+ */
+
+#include "attack/testbed.hpp"
+#include "bpu/bpu.hpp"
+#include "bpu/btb_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace phantom::bpu {
+namespace {
+
+using isa::BranchType;
+
+BtbConfig
+smallBtb(BtbHashKind hash = BtbHashKind::Zen12)
+{
+    BtbConfig config;
+    config.sets = 64;
+    config.ways = 4;
+    config.hash = hash;
+    return config;
+}
+
+// ---- Btb ---------------------------------------------------------------------
+
+TEST(BtbModel, TrainThenLookup)
+{
+    Btb btb(smallBtb());
+    btb.train(0x400000, BranchType::IndirectJump, 0x500000,
+              Privilege::User);
+    auto pred = btb.lookup(0x400000, Privilege::User);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->type, BranchType::IndirectJump);
+    EXPECT_EQ(pred->absTarget, 0x500000u);
+    EXPECT_EQ(pred->creator, Privilege::User);
+}
+
+TEST(BtbModel, MissOnDifferentAddress)
+{
+    Btb btb(smallBtb());
+    btb.train(0x400000, BranchType::DirectJump, 0x400100,
+              Privilege::User);
+    EXPECT_FALSE(btb.lookup(0x400005, Privilege::User).has_value());
+}
+
+TEST(BtbModel, DirectTargetsServedPcRelative)
+{
+    // §5.2: "the branch predictor serves direct branch targets as
+    // PC-relative" — the same entry at a different (aliasing) source
+    // yields a shifted target.
+    Btb btb(smallBtb());
+    btb.train(0x400000, BranchType::DirectJump, 0x400100,
+              Privilege::User);
+    auto pred = btb.lookup(0x400000, Privilege::User);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->targetFor(0x400000), 0x400100u);
+    EXPECT_EQ(pred->targetFor(0x7700000), 0x7700100u);
+}
+
+TEST(BtbModel, IndirectTargetsServedAbsolute)
+{
+    Btb btb(smallBtb());
+    btb.train(0x400000, BranchType::IndirectCall, 0x99999000,
+              Privilege::User);
+    auto pred = btb.lookup(0x400000, Privilege::User);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->targetFor(0x123456), 0x99999000u);
+}
+
+TEST(BtbModel, RetrainOverwritesTypeAndTarget)
+{
+    Btb btb(smallBtb());
+    btb.train(0x400000, BranchType::IndirectJump, 0x500000,
+              Privilege::User);
+    btb.train(0x400000, BranchType::DirectJump, 0x400100,
+              Privilege::User);
+    auto pred = btb.lookup(0x400000, Privilege::User);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->type, BranchType::DirectJump);
+}
+
+TEST(BtbModel, LruEvictionWithinSet)
+{
+    BtbConfig config = smallBtb();
+    config.sets = 4;
+    config.ways = 2;
+    Btb btb(config);
+    // Under the Zen12 key the index is bits [13:0] mod sets; use large
+    // strides to land in the same set with distinct tags.
+    VAddr base = 0x400000;
+    u64 stride = 1ull << 14;     // beyond the index bits
+    btb.train(base + 0 * stride, BranchType::DirectJump, base,
+              Privilege::User);
+    btb.train(base + 1 * stride, BranchType::DirectJump, base,
+              Privilege::User);
+    btb.lookup(base + 0 * stride, Privilege::User);   // refresh entry 0
+    btb.train(base + 2 * stride, BranchType::DirectJump, base,
+              Privilege::User);                        // evicts entry 1
+    EXPECT_TRUE(btb.lookup(base + 0 * stride, Privilege::User));
+    EXPECT_FALSE(btb.lookup(base + 1 * stride, Privilege::User));
+    EXPECT_TRUE(btb.lookup(base + 2 * stride, Privilege::User));
+}
+
+TEST(BtbModel, InvalidateAndFlush)
+{
+    Btb btb(smallBtb());
+    btb.train(0x400000, BranchType::DirectJump, 0x400100,
+              Privilege::User);
+    EXPECT_TRUE(btb.invalidate(0x400000, Privilege::User));
+    EXPECT_FALSE(btb.invalidate(0x400000, Privilege::User));
+    EXPECT_FALSE(btb.lookup(0x400000, Privilege::User));
+
+    btb.train(0x400000, BranchType::DirectJump, 0x400100,
+              Privilege::User);
+    EXPECT_EQ(btb.validCount(), 1u);
+    btb.flushAll();
+    EXPECT_EQ(btb.validCount(), 0u);
+}
+
+// ---- Hash functions -------------------------------------------------------------
+
+class HashKindSweep : public ::testing::TestWithParam<BtbHashKind>
+{
+};
+
+TEST_P(HashKindSweep, KeyIsDeterministic)
+{
+    BtbHashKind kind = GetParam();
+    EXPECT_EQ(btbKey(kind, 0x400abc, Privilege::User),
+              btbKey(kind, 0x400abc, Privilege::User));
+}
+
+TEST_P(HashKindSweep, KeySensitiveToLowBits)
+{
+    BtbHashKind kind = GetParam();
+    EXPECT_NE(btbKey(kind, 0x400abc, Privilege::User),
+              btbKey(kind, 0x400abd, Privilege::User));
+}
+
+TEST_P(HashKindSweep, UserAliasSharesKey)
+{
+    BtbHashKind kind = GetParam();
+    VAddr va = 0x00000000114006fbull;
+    VAddr alias = attack::userAlias(kind, va);
+    EXPECT_NE(alias, va);
+    EXPECT_EQ(btbKey(kind, alias, Privilege::User),
+              btbKey(kind, va, Privilege::User));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashKindSweep,
+                         ::testing::Values(BtbHashKind::Zen12,
+                                           BtbHashKind::Zen34,
+                                           BtbHashKind::IntelSalted));
+
+TEST(BtbHash, IntelSaltSeparatesPrivileges)
+{
+    VAddr va = 0xffffffff81234000ull;
+    EXPECT_NE(btbKey(BtbHashKind::IntelSalted, va, Privilege::User),
+              btbKey(BtbHashKind::IntelSalted, va, Privilege::Kernel));
+    // AMD hashes ignore the privilege mode entirely.
+    EXPECT_EQ(btbKey(BtbHashKind::Zen34, va, Privilege::User),
+              btbKey(BtbHashKind::Zen34, va, Privilege::Kernel));
+}
+
+TEST(BtbHash, Zen34ParityFunctionsAllContainBit47)
+{
+    for (u64 mask : zen34ParityMasks())
+        EXPECT_TRUE(mask & (1ull << 47));
+    EXPECT_FALSE(zen34ExtraParityMask() & (1ull << 47));
+}
+
+TEST(BtbHash, Zen34FunctionsLinearlyIndependent)
+{
+    // Gaussian elimination over the 12 masks: rank must be 12.
+    std::vector<u64> rows(zen34ParityMasks().begin(),
+                          zen34ParityMasks().end());
+    std::size_t rank = 0;
+    for (int bit = 63; bit >= 0; --bit) {
+        std::size_t pivot = rank;
+        while (pivot < rows.size() && !(rows[pivot] & (1ull << bit)))
+            ++pivot;
+        if (pivot == rows.size())
+            continue;
+        std::swap(rows[rank], rows[pivot]);
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            if (r != rank && (rows[r] & (1ull << bit)))
+                rows[r] ^= rows[rank];
+        }
+        ++rank;
+    }
+    EXPECT_EQ(rank, zen34ParityMasks().size());
+}
+
+TEST(BtbHash, EveryAddressBitCovered)
+{
+    // Any single-bit flip in [12, 47] must change the Zen34 key —
+    // otherwise benign programs would suffer pervasive aliasing.
+    VAddr va = 0x0000456789abc000ull;
+    for (unsigned b = 12; b <= 47; ++b) {
+        EXPECT_NE(btbKey(BtbHashKind::Zen34, va ^ (1ull << b),
+                         Privilege::User),
+                  btbKey(BtbHashKind::Zen34, va, Privilege::User))
+            << "bit " << b;
+    }
+}
+
+TEST(BtbHash, CrossPrivAliasDistribution)
+{
+    // Aliases of distinct kernel addresses are distinct user addresses.
+    std::set<VAddr> aliases;
+    for (u64 slot = 0; slot < 100; ++slot) {
+        VAddr kva = 0xffffffff80000000ull + slot * kHugePageBytes + 0x520;
+        VAddr alias = crossPrivAlias(BtbHashKind::Zen34, kva);
+        EXPECT_EQ(bit(alias, 47), 0u);
+        EXPECT_TRUE(isCanonical(alias));
+        aliases.insert(alias);
+    }
+    EXPECT_EQ(aliases.size(), 100u);
+}
+
+// ---- Rsb ---------------------------------------------------------------------
+
+TEST(RsbModel, LifoOrder)
+{
+    Rsb rsb(4);
+    rsb.push(0x100);
+    rsb.push(0x200);
+    EXPECT_EQ(rsb.pop().value(), 0x200u);
+    EXPECT_EQ(rsb.pop().value(), 0x100u);
+    EXPECT_FALSE(rsb.pop().has_value());
+}
+
+TEST(RsbModel, OverflowWrapsOldest)
+{
+    Rsb rsb(2);
+    rsb.push(0x1);
+    rsb.push(0x2);
+    rsb.push(0x3);              // overwrites 0x1
+    EXPECT_EQ(rsb.depth(), 2u);
+    EXPECT_EQ(rsb.pop().value(), 0x3u);
+    EXPECT_EQ(rsb.pop().value(), 0x2u);
+    EXPECT_FALSE(rsb.pop().has_value());
+}
+
+TEST(RsbModel, RestoreRepairsSpeculativePops)
+{
+    Rsb rsb(8);
+    rsb.push(0xa);
+    rsb.push(0xb);
+    std::size_t top = rsb.top(), depth = rsb.depth();
+    EXPECT_EQ(rsb.pop().value(), 0xbu);
+    EXPECT_EQ(rsb.pop().value(), 0xau);
+    rsb.restore(top, depth);
+    EXPECT_EQ(rsb.pop().value(), 0xbu);
+    EXPECT_EQ(rsb.pop().value(), 0xau);
+}
+
+// ---- Pht ---------------------------------------------------------------------
+
+TEST(PhtModel, InitiallyWeaklyTaken)
+{
+    Pht pht;
+    EXPECT_TRUE(pht.predictTaken(0x400000, 0));
+}
+
+TEST(PhtModel, SaturatesNotTaken)
+{
+    Pht pht;
+    for (int i = 0; i < 3; ++i)
+        pht.update(0x400000, 0, false);
+    EXPECT_FALSE(pht.predictTaken(0x400000, 0));
+    // One taken is not enough to flip a saturated counter.
+    pht.update(0x400000, 0, true);
+    EXPECT_FALSE(pht.predictTaken(0x400000, 0));
+    pht.update(0x400000, 0, true);
+    EXPECT_TRUE(pht.predictTaken(0x400000, 0));
+}
+
+TEST(PhtModel, AliasedAddressesShareDirection)
+{
+    // Addresses equal in their low bits share the counter — the
+    // property cross-address conditional training relies on.
+    Pht pht;
+    VAddr a = 0x0000000011000500ull;
+    VAddr b = 0x0000001091000500ull;    // same low 12 bits
+    for (int i = 0; i < 3; ++i)
+        pht.update(a, 0, false);
+    EXPECT_FALSE(pht.predictTaken(b, 0));
+}
+
+// ---- Bpu facade -----------------------------------------------------------------
+
+TEST(BpuFacade, CondDirectionFromPht)
+{
+    BpuConfig config;
+    Bpu bpu(config);
+    bpu.trainBranch(0x400000, BranchType::CondJump, 0x400100, true,
+                    Privilege::User, false);
+    auto pred = bpu.predictAt(0x400000, Privilege::User, false);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_TRUE(pred->taken);
+
+    for (int i = 0; i < 4; ++i)
+        bpu.trainBranch(0x400000, BranchType::CondJump, 0x400100, false,
+                        Privilege::User, false);
+    pred = bpu.predictAt(0x400000, Privilege::User, false);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_FALSE(pred->taken);
+}
+
+TEST(BpuFacade, ReturnPredictionPopsRsb)
+{
+    BpuConfig config;
+    Bpu bpu(config);
+    bpu.rsb().push(0x1234);
+    bpu.trainBranch(0x400000, BranchType::Return, 0x1234, true,
+                    Privilege::User, true);
+    bpu.rsb().push(0x9999);
+    auto pred = bpu.predictAt(0x400000, Privilege::User, false);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_TRUE(pred->usedRsb);
+    EXPECT_EQ(pred->target, 0x9999u);
+    EXPECT_EQ(bpu.rsb().depth(), 1u);   // 0x1234 remains
+    // Restore repairs the speculative pop.
+    bpu.restoreRsb(pred->rsbBefore);
+    EXPECT_EQ(bpu.rsb().depth(), 2u);
+    EXPECT_EQ(bpu.rsb().peek().value(), 0x9999u);
+}
+
+TEST(BpuFacade, ReturnUnderflowSurfacesUnusableTarget)
+{
+    BpuConfig config;
+    Bpu bpu(config);
+    bpu.trainBranch(0x400000, BranchType::Return, 0x1234, true,
+                    Privilege::User, false);
+    // trainBranch consumed nothing (rsb empty); lookup underflows.
+    auto pred = bpu.predictAt(0x400000, Privilege::User, false);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->target, 0u);
+    EXPECT_FALSE(pred->usedRsb);
+}
+
+TEST(BpuFacade, AutoIbrsRestrictsLowerPrivilegePredictions)
+{
+    BpuConfig config;
+    Bpu bpu(config);
+    bpu.trainBranch(0xffffffff81000000ull, BranchType::IndirectJump,
+                    0xffffffff81002000ull, true, Privilege::User, false);
+
+    auto unrestricted =
+        bpu.predictAt(0xffffffff81000000ull, Privilege::Kernel, false);
+    ASSERT_TRUE(unrestricted.has_value());
+    EXPECT_FALSE(unrestricted->restricted);
+
+    auto restricted =
+        bpu.predictAt(0xffffffff81000000ull, Privilege::Kernel, true);
+    ASSERT_TRUE(restricted.has_value());
+    EXPECT_TRUE(restricted->restricted);
+
+    // Kernel-created entries are never restricted.
+    bpu.trainBranch(0xffffffff81000000ull, BranchType::IndirectJump,
+                    0xffffffff81002000ull, true, Privilege::Kernel, false);
+    auto kernel_owned =
+        bpu.predictAt(0xffffffff81000000ull, Privilege::Kernel, true);
+    ASSERT_TRUE(kernel_owned.has_value());
+    EXPECT_FALSE(kernel_owned->restricted);
+}
+
+TEST(BpuFacade, IbpbFlushesEverything)
+{
+    BpuConfig config;
+    Bpu bpu(config);
+    bpu.trainBranch(0x400000, BranchType::IndirectJump, 0x500000, true,
+                    Privilege::User, false);
+    bpu.rsb().push(0x1);
+    for (int i = 0; i < 3; ++i)
+        bpu.trainBranch(0x600000, BranchType::CondJump, 0x600100, false,
+                        Privilege::User, false);
+    bpu.ibpb();
+    EXPECT_FALSE(bpu.predictAt(0x400000, Privilege::User, false));
+    EXPECT_EQ(bpu.rsb().depth(), 0u);
+    EXPECT_TRUE(bpu.pht().predictTaken(0x600000, 0));   // reset to weak
+}
+
+TEST(BpuFacade, NotTakenCondDoesNotInstallBtbEntry)
+{
+    BpuConfig config;
+    Bpu bpu(config);
+    bpu.trainBranch(0x400000, BranchType::CondJump, 0x400100, false,
+                    Privilege::User, false);
+    EXPECT_FALSE(bpu.predictAt(0x400000, Privilege::User, false));
+}
+
+} // namespace
+} // namespace phantom::bpu

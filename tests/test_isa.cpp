@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the ISA: encode/decode roundtrips, instruction
+ * classification, and the assembler's label fixups.
+ */
+
+#include "isa/assembler.hpp"
+#include "isa/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom::isa {
+namespace {
+
+std::vector<Insn>
+sampleInstructions()
+{
+    return {
+        makeNop(),
+        makeNopN(5),
+        makeNopN(15),
+        makeMovImm(RAX, 0xdeadbeefcafebabeull),
+        makeMovReg(RBX, RCX),
+        makeLoad(RDX, RSI, 0x1234),
+        makeLoad(R13, R9, -64),
+        makeStore(RDI, -8, R8),
+        makeAdd(R9, R10),
+        makeAddImm(R11, 100),
+        makeSub(R12, R13),
+        makeSubImm(RSP, 8),
+        makeXor(R14, R15),
+        makeAnd(RAX, RBX),
+        makeAndImm(RCX, 0xff),
+        makeShl(RDX, 6),
+        makeShr(RSI, 12),
+        makeCmpImm(RDI, 42),
+        makeCmpReg(R8, R9),
+        makeJmpRel(0x1000),
+        makeJmpRel(-0x1000),
+        makeJccRel(Cond::Eq, 0x40),
+        makeJccRel(Cond::Ne, -0x40),
+        makeJccRel(Cond::Lt, 8),
+        makeJccRel(Cond::Ge, 8),
+        makeJmpInd(R8),
+        makeCallRel(0x2000),
+        makeCallInd(R11),
+        makeRet(),
+        makePush(RBP),
+        makePop(RBP),
+        makeSyscall(),
+        makeSysret(),
+        makeLfence(),
+        makeMfence(),
+        makeClflush(RDI),
+        makeRdtsc(),
+        makeRdpmc(),
+        makeHlt(),
+        makeUd2(),
+    };
+}
+
+TEST(IsaEncode, RoundTripAllKinds)
+{
+    for (const Insn& insn : sampleInstructions()) {
+        std::vector<u8> bytes;
+        std::size_t len = encode(insn, bytes);
+        ASSERT_EQ(len, bytes.size());
+        ASSERT_EQ(len, insn.length) << toString(insn);
+
+        Insn decoded = decode(bytes.data(), bytes.size());
+        EXPECT_EQ(decoded.kind, insn.kind) << toString(insn);
+        EXPECT_EQ(decoded.length, insn.length) << toString(insn);
+        EXPECT_EQ(decoded.dst, insn.dst) << toString(insn);
+        EXPECT_EQ(decoded.src, insn.src) << toString(insn);
+        EXPECT_EQ(decoded.disp, insn.disp) << toString(insn);
+        if (insn.kind != InsnKind::NopN) {
+            EXPECT_EQ(decoded.imm, insn.imm) << toString(insn);
+        }
+        EXPECT_EQ(decoded.cond, insn.cond) << toString(insn);
+    }
+}
+
+TEST(IsaEncode, TruncatedBytesDecodeInvalid)
+{
+    for (const Insn& insn : sampleInstructions()) {
+        if (insn.length == 1)
+            continue;
+        std::vector<u8> bytes;
+        encode(insn, bytes);
+        // Any strict prefix must decode as Invalid, never out-of-bounds.
+        for (std::size_t cut = 1; cut + 1 < bytes.size(); ++cut) {
+            Insn decoded = decode(bytes.data(), cut);
+            if (decoded.kind != InsnKind::Invalid) {
+                EXPECT_LE(decoded.length, cut) << toString(insn);
+            }
+        }
+    }
+}
+
+TEST(IsaEncode, UnknownOpcodeDecodesInvalid)
+{
+    u8 bad[] = {0x06, 0x00, 0x00};
+    Insn insn = decode(bad, sizeof(bad));
+    EXPECT_EQ(insn.kind, InsnKind::Invalid);
+    EXPECT_EQ(insn.length, 1);
+}
+
+TEST(IsaBranchType, Classification)
+{
+    EXPECT_EQ(makeJmpRel(0).branchType(), BranchType::DirectJump);
+    EXPECT_EQ(makeJccRel(Cond::Eq, 0).branchType(), BranchType::CondJump);
+    EXPECT_EQ(makeJmpInd(RAX).branchType(), BranchType::IndirectJump);
+    EXPECT_EQ(makeCallRel(0).branchType(), BranchType::DirectCall);
+    EXPECT_EQ(makeCallInd(RAX).branchType(), BranchType::IndirectCall);
+    EXPECT_EQ(makeRet().branchType(), BranchType::Return);
+    EXPECT_EQ(makeNop().branchType(), BranchType::None);
+    EXPECT_EQ(makeLoad(RAX, RBX, 0).branchType(), BranchType::None);
+}
+
+TEST(IsaBranchType, ExecuteDependence)
+{
+    EXPECT_FALSE(makeJmpRel(0).isExecuteDependent());
+    EXPECT_FALSE(makeCallRel(0).isExecuteDependent());
+    EXPECT_TRUE(makeJccRel(Cond::Eq, 0).isExecuteDependent());
+    EXPECT_TRUE(makeJmpInd(RAX).isExecuteDependent());
+    EXPECT_TRUE(makeCallInd(RAX).isExecuteDependent());
+    EXPECT_TRUE(makeRet().isExecuteDependent());
+}
+
+TEST(IsaInsn, RelTarget)
+{
+    Insn jmp = makeJmpRel(0x100);
+    EXPECT_EQ(jmp.relTarget(0x1000), 0x1000u + 5 + 0x100);
+    Insn back = makeJmpRel(-0x10);
+    EXPECT_EQ(back.relTarget(0x1000), 0x1000u + 5 - 0x10);
+}
+
+TEST(Assembler, ForwardLabelFixup)
+{
+    Assembler code(0x400000);
+    Label skip = code.newLabel();
+    code.jmp(skip);
+    code.movImm(RAX, 1);
+    code.bind(skip);
+    code.hlt();
+    std::vector<u8> bytes = code.finish();
+
+    Insn jmp = decode(bytes.data(), bytes.size());
+    ASSERT_EQ(jmp.kind, InsnKind::JmpRel);
+    EXPECT_EQ(jmp.relTarget(0x400000), code.labelAddress(skip));
+}
+
+TEST(Assembler, BackwardBranch)
+{
+    Assembler code(0x400000);
+    Label loop = code.newLabel();
+    code.bind(loop);
+    code.addImm(RAX, 1);
+    code.jcc(Cond::Ne, loop);
+    std::vector<u8> bytes = code.finish();
+
+    Insn jcc = decode(bytes.data() + 6, bytes.size() - 6);
+    ASSERT_EQ(jcc.kind, InsnKind::JccRel);
+    EXPECT_EQ(jcc.relTarget(0x400006), 0x400000u);
+}
+
+TEST(Assembler, PadToAndAlign)
+{
+    Assembler code(0x400000);
+    code.nop();
+    code.padTo(0x400040);
+    EXPECT_EQ(code.here(), 0x400040u);
+    code.nop();
+    code.alignTo(64);
+    EXPECT_EQ(code.here() % 64, 0u);
+}
+
+TEST(Assembler, AbsoluteTargetBranch)
+{
+    Assembler code(0x400000);
+    code.jmp(VAddr{0x500000});
+    std::vector<u8> bytes = code.finish();
+    Insn jmp = decode(bytes.data(), bytes.size());
+    EXPECT_EQ(jmp.relTarget(0x400000), 0x500000u);
+}
+
+TEST(Assembler, UnboundLabelThrows)
+{
+    Assembler code(0x400000);
+    Label never = code.newLabel();
+    code.jmp(never);
+    EXPECT_THROW(code.finish(), std::logic_error);
+}
+
+TEST(IsaDisasm, ProducesText)
+{
+    EXPECT_EQ(toString(makeRet()), "ret");
+    EXPECT_EQ(toString(makeJmpInd(R8)), "jmp *r8");
+    EXPECT_NE(toString(makeLoad(R12, R12, 0xbe0)).find("r12"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace phantom::isa

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Machine execution tests: architectural semantics, faults, syscalls,
+ * timing ports, and predictor training side effects.
+ */
+
+#include "cpu/machine.hpp"
+#include "isa/assembler.hpp"
+#include "os/kernel.hpp"
+#include "os/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom {
+namespace {
+
+using namespace isa;
+using cpu::ExitReason;
+using cpu::Machine;
+using cpu::PmcEvent;
+
+constexpr u64 kPhys = 256ull * 1024 * 1024;
+
+struct Sys
+{
+    Machine machine;
+    os::Kernel kernel;
+    os::Process process;
+
+    Sys()
+        : machine(cpu::zen2(), kPhys),
+          kernel(machine, os::KernelConfig{42, true, true}),
+          process(kernel, machine)
+    {
+        // Execution tests do not want stochastic cache noise.
+        machine.noise().setConfig(mem::NoiseConfig{});
+    }
+
+    cpu::RunResult
+    runUser(VAddr entry, u64 max_insns = 10000)
+    {
+        machine.setPrivilege(Privilege::User);
+        machine.setPc(entry);
+        return machine.run(max_insns);
+    }
+};
+
+TEST(MachineExec, ArithmeticAndFlags)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RAX, 10);
+    code.movImm(RBX, 3);
+    code.sub(RAX, RBX);       // rax = 7
+    code.shl(RAX, 2);         // rax = 28
+    code.addImm(RAX, -4);     // rax = 24
+    code.shr(RAX, 3);         // rax = 3
+    code.xorReg(RCX, RCX);
+    code.cmpImm(RAX, 3);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 3u);
+    EXPECT_TRUE(sys.machine.flags().zf);
+}
+
+TEST(MachineExec, LoadStoreRoundTrip)
+{
+    Sys sys;
+    sys.process.mapData(0x800000, kPageBytes);
+    Assembler code(0x400000);
+    code.movImm(RDI, 0x800000);
+    code.movImm(RSI, 0x1122334455667788ull);
+    code.store(RDI, 0x10, RSI);
+    code.load(RAX, RDI, 0x10);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 0x1122334455667788ull);
+}
+
+TEST(MachineExec, CallRetAndStack)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    Label fn = code.newLabel();
+    code.movImm(RAX, 0);
+    code.call(fn);
+    code.addImm(RAX, 1);      // after return: rax = 6
+    code.hlt();
+    code.bind(fn);
+    code.movImm(RAX, 5);
+    code.ret();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 6u);
+}
+
+TEST(MachineExec, ConditionalBranchDirections)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    Label not_taken_path = code.newLabel();
+    code.movImm(RAX, 5);
+    code.cmpImm(RAX, 5);
+    code.jcc(Cond::Ne, not_taken_path);   // not taken
+    code.movImm(RBX, 1);
+    code.hlt();
+    code.bind(not_taken_path);
+    code.movImm(RBX, 2);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RBX), 1u);
+}
+
+TEST(MachineExec, LoopExecutes)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    Label loop = code.newLabel();
+    code.movImm(RAX, 0);
+    code.movImm(RCX, 10);
+    code.bind(loop);
+    code.addImm(RAX, 3);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 30u);
+}
+
+TEST(MachineExec, UserFetchOfKernelFaults)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(R8, sys.kernel.imageBase());
+    code.jmpInd(R8);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+    EXPECT_EQ(result.fault.fault, mem::Fault::Protection);
+    EXPECT_EQ(result.fault.va, sys.kernel.imageBase());
+}
+
+TEST(MachineExec, UnmappedLoadFaults)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RDI, 0x123450000ull);
+    code.load(RAX, RDI, 0);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+    EXPECT_EQ(result.fault.fault, mem::Fault::NotPresent);
+}
+
+TEST(MachineExec, InvalidOpcodeFaults)
+{
+    Sys sys;
+    sys.process.mapCode(0x400000, {0x06, 0x06, 0x06});
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+    EXPECT_TRUE(result.fault.invalidOpcode);
+}
+
+TEST(MachineExec, GetpidSyscall)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RAX, os::kSysGetpid);
+    code.syscall();
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 42u);   // the model's pid
+    EXPECT_EQ(sys.machine.privilege(), Privilege::User);
+    EXPECT_GE(sys.machine.pmc().read(PmcEvent::Syscalls), 1u);
+}
+
+TEST(MachineExec, ReadvSyscallMovesRsiToR12)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RAX, os::kSysReadv);
+    code.movImm(RSI, 0xabcdef);
+    code.syscall();
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(R12), 0xabcdefu);
+}
+
+TEST(MachineExec, RdtscMonotone)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.rdtsc();
+    code.movReg(RBX, RAX);
+    code.rdtsc();
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_GT(sys.machine.regs().read(RAX), sys.machine.regs().read(RBX));
+}
+
+TEST(MachineExec, ClflushEvictsLine)
+{
+    Sys sys;
+    sys.process.mapData(0x800000, kPageBytes);
+    // Warm the line, then flush it, then time an access.
+    sys.machine.timedDataAccess(0x800000, Privilege::User);
+    Cycle warm = sys.machine.timedDataAccess(0x800000, Privilege::User);
+    EXPECT_EQ(warm, sys.machine.caches().config().latL1);
+
+    Assembler code(0x400000);
+    code.movImm(RDI, 0x800000);
+    code.clflush(RDI);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+    ASSERT_EQ(sys.runUser(0x400000).reason, ExitReason::Halt);
+
+    Cycle cold = sys.machine.timedDataAccess(0x800000, Privilege::User);
+    EXPECT_EQ(cold, sys.machine.caches().config().latMem);
+}
+
+TEST(MachineExec, BranchTrainsBtb)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(R8, 0x400020);
+    code.jmpInd(R8);
+    code.padTo(0x400020);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    ASSERT_EQ(sys.runUser(0x400000).reason, ExitReason::Halt);
+    auto pred = sys.machine.bpu().btb().lookup(0x40000a, Privilege::User);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->type, BranchType::IndirectJump);
+    EXPECT_EQ(pred->absTarget, 0x400020u);
+}
+
+TEST(MachineExec, TrainingBranchToKernelInstallsBtbEntryDespiteFault)
+{
+    Sys sys;
+    VAddr target = sys.kernel.imageBase() + 0x1000;
+    Assembler code(0x400000);
+    code.movImm(R8, target);
+    code.jmpInd(R8);
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+
+    auto pred = sys.machine.bpu().btb().lookup(0x40000a, Privilege::User);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->absTarget, target);
+    EXPECT_EQ(pred->creator, Privilege::User);
+}
+
+TEST(MachineExec, WriteMsrIbpbFlushesBtb)
+{
+    Sys sys;
+    sys.machine.bpu().btb().train(0x1234, BranchType::DirectJump, 0x5678,
+                                  Privilege::User);
+    EXPECT_GT(sys.machine.bpu().btb().validCount(), 0u);
+    sys.machine.writeMsr(cpu::msr::kPredCmd, cpu::msr::kIbpbBit);
+    EXPECT_EQ(sys.machine.bpu().btb().validCount(), 0u);
+}
+
+TEST(MachineExec, TimedPortsReflectCacheState)
+{
+    Sys sys;
+    sys.process.mapData(0x900000, kPageBytes);
+    const auto& cfg = sys.machine.caches().config();
+    EXPECT_EQ(sys.machine.timedDataAccess(0x900040, Privilege::User),
+              cfg.latMem);
+    EXPECT_EQ(sys.machine.timedDataAccess(0x900040, Privilege::User),
+              cfg.latL1);
+    // Unmapped access looks like a full-latency miss.
+    EXPECT_EQ(sys.machine.timedDataAccess(0x7123456000ull, Privilege::User),
+              cfg.latMem);
+}
+
+TEST(MachineExec, UopCacheCountsHits)
+{
+    Sys sys;
+    // A loop spanning two cache lines: each iteration crosses two line
+    // boundaries, so iterations after the first are op-cache hits.
+    Assembler code(0x400000);
+    Label loop = code.newLabel();
+    Label second = code.newLabel();
+    code.movImm(RCX, 5);
+    code.bind(loop);
+    code.subImm(RCX, 1);
+    code.jmp(second);
+    code.padTo(0x400040);          // next line
+    code.bind(second);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    ASSERT_EQ(sys.runUser(0x400000).reason, ExitReason::Halt);
+    EXPECT_GT(sys.machine.pmc().read(PmcEvent::OpCacheHit), 0u);
+}
+
+} // namespace
+} // namespace phantom

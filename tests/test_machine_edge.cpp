@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Edge-case tests for the machine: privilege boundaries, page-crossing
+ * fetches, deep call nesting vs the RSB, fault details, PMC/rdpmc
+ * behaviour, and timing-port corner cases.
+ */
+
+#include "cpu/machine.hpp"
+#include "isa/assembler.hpp"
+#include "os/kernel.hpp"
+#include "os/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom {
+namespace {
+
+using namespace isa;
+using cpu::ExitReason;
+
+struct Sys
+{
+    cpu::Machine machine;
+    os::Kernel kernel;
+    os::Process process;
+
+    Sys()
+        : machine(cpu::zen2(), 256ull << 20),
+          kernel(machine, os::KernelConfig{77, true, true}),
+          process(kernel, machine)
+    {
+        machine.noise().setConfig(mem::NoiseConfig{});
+    }
+
+    cpu::RunResult
+    runUser(VAddr entry, u64 max_insns = 100000)
+    {
+        machine.setPrivilege(Privilege::User);
+        machine.setPc(entry);
+        return machine.run(max_insns);
+    }
+};
+
+TEST(MachineEdge, SysretFromUserModeFaults)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.sysret();
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+    EXPECT_TRUE(result.fault.invalidOpcode);
+}
+
+TEST(MachineEdge, InsnStraddlingUnmappedPageFaultsCleanly)
+{
+    Sys sys;
+    // A 10-byte movImm whose encoding crosses into an unmapped page:
+    // only the first bytes are fetchable, decode yields Invalid -> #UD.
+    VAddr page = 0x400000;
+    Assembler code(page + kPageBytes - 4);
+    code.movImm(RAX, 0x1122334455667788ull);
+    std::vector<u8> bytes = code.finish();
+    bytes.resize(4);    // map only the in-page prefix
+    sys.process.mapCode(page + kPageBytes - 4, bytes);
+    // Unmap the would-be second page if the helper mapped it.
+    sys.kernel.pageTable().unmap(page + kPageBytes);
+
+    auto result = sys.runUser(page + kPageBytes - 4, 10);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+    EXPECT_TRUE(result.fault.invalidOpcode);
+}
+
+TEST(MachineEdge, InsnStraddlingMappedPagesExecutes)
+{
+    Sys sys;
+    VAddr start = 0x400000 + kPageBytes - 4;
+    Assembler code(start);
+    code.movImm(RAX, 0xdeadbeef);
+    code.hlt();
+    sys.process.mapCode(start, code.finish());   // maps both pages
+    auto result = sys.runUser(start);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 0xdeadbeefu);
+}
+
+TEST(MachineEdge, DeepCallNestingBalances)
+{
+    Sys sys;
+    // fib-style nesting: 12 nested calls then returns; RSB (32 deep)
+    // predicts every return correctly -> no backend mispredicts beyond
+    // the cold pass.
+    Assembler code(0x400000);
+    Label fn = code.newLabel();
+    Label base = code.newLabel();
+    code.movImm(RCX, 12);
+    code.movImm(RAX, 0);
+    code.call(fn);
+    code.hlt();
+    code.bind(fn);
+    code.addImm(RAX, 1);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Eq, base);
+    code.call(fn);
+    code.bind(base);
+    code.ret();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 12u);
+
+    // Warm pass: returns predicted via the RSB, no backend resteers.
+    sys.machine.regs().write(RSP,
+                             sys.machine.regs().read(RSP));   // keep
+    u64 before =
+        sys.machine.pmc().read(cpu::PmcEvent::MispredictBackend);
+    sys.runUser(0x400000);
+    u64 delta =
+        sys.machine.pmc().read(cpu::PmcEvent::MispredictBackend) - before;
+    // The RSB predicts every return; the only backend mispredict left is
+    // the loop-exit jcc (trained not-taken, taken once at the base case).
+    EXPECT_LE(delta, 1u);
+}
+
+TEST(MachineEdge, RsbOverflowMispredictsDeepReturns)
+{
+    Sys sys;
+    // Nesting deeper than the RSB (32): the outermost returns pop an
+    // exhausted RSB; underflow predictions resolve at execute.
+    Assembler code(0x400000);
+    Label fn = code.newLabel();
+    Label base = code.newLabel();
+    code.movImm(RCX, 40);
+    code.call(fn);
+    code.hlt();
+    code.bind(fn);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Eq, base);
+    code.call(fn);
+    code.bind(base);
+    code.ret();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_GT(sys.machine.pmc().read(cpu::PmcEvent::MispredictBackend),
+              0u);
+}
+
+TEST(MachineEdge, FaultReportsAccessKindAndAddress)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RDI, 0x55550000);
+    code.store(RDI, 8, RAX);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+    EXPECT_EQ(result.fault.access, mem::Access::Write);
+    EXPECT_EQ(result.fault.va, 0x55550008u);
+    EXPECT_EQ(result.fault.pc, 0x40000au);
+}
+
+TEST(MachineEdge, WriteToReadOnlyCodeFaults)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RDI, 0x400000);
+    code.store(RDI, 0, RAX);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Fault);
+    EXPECT_EQ(result.fault.fault, mem::Fault::Protection);
+}
+
+TEST(MachineEdge, RdpmcReadsSelectedCounter)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RCX,
+                static_cast<u64>(cpu::PmcEvent::Instructions));
+    code.rdpmc();
+    code.movReg(RBX, RAX);
+    code.rdpmc();
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+    auto result = sys.runUser(0x400000);
+    ASSERT_EQ(result.reason, ExitReason::Halt);
+    // Two instructions retired between the two reads.
+    EXPECT_EQ(sys.machine.regs().read(RAX),
+              sys.machine.regs().read(RBX) + 2);
+}
+
+TEST(MachineEdge, InsnLimitStopsRunawayLoop)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    Label loop = code.newLabel();
+    code.bind(loop);
+    code.jmp(loop);
+    sys.process.mapCode(0x400000, code.finish());
+    auto result = sys.runUser(0x400000, 1000);
+    EXPECT_EQ(result.reason, ExitReason::InsnLimit);
+    EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(MachineEdge, TimedFetchOfNxPageBehavesAsMiss)
+{
+    Sys sys;
+    sys.process.mapData(0x800000, kPageBytes);    // NX user data
+    Cycle lat = sys.machine.timedFetchAccess(0x800000, Privilege::User);
+    EXPECT_EQ(lat, sys.machine.caches().config().latMem);
+    // And the line was NOT filled into the I-cache.
+    Cycle again = sys.machine.timedFetchAccess(0x800000, Privilege::User);
+    EXPECT_EQ(again, sys.machine.caches().config().latMem);
+}
+
+TEST(MachineEdge, DebugPortsBypassPermissions)
+{
+    Sys sys;
+    // Kernel image text is neither readable nor writable from user mode,
+    // but the host debug port reaches it.
+    VAddr text = sys.kernel.imageBase() + 0x100;
+    auto value = sys.machine.debugRead64(text);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_FALSE(sys.machine.debugRead64(0x123456789000ull).has_value());
+}
+
+TEST(MachineEdge, SyscallFromKernelModeReenters)
+{
+    // The dispatcher itself never issues syscall, but the semantics are
+    // defined: it re-enters at the syscall entry in kernel mode.
+    Sys sys;
+    Assembler code(0x400000);
+    code.movImm(RAX, os::kSysGetpid);
+    code.syscall();
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+}
+
+TEST(MachineEdge, HltInKernelStopsRun)
+{
+    Sys sys;
+    // Map a kernel module that halts; the run must stop in kernel mode.
+    Assembler code(0);
+    code.hlt();
+    sys.kernel.loadModule(code.finish(), os::kSysModuleBase);
+
+    Assembler user(0x400000);
+    user.movImm(RAX, os::kSysModuleBase);
+    user.syscall();
+    user.hlt();
+    sys.process.mapCode(0x400000, user.finish());
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.privilege(), Privilege::Kernel);
+    sys.machine.setPrivilege(Privilege::User);   // restore for teardown
+}
+
+TEST(MachineEdge, NopSledExecutesAtFullWidth)
+{
+    Sys sys;
+    Assembler code(0x400000);
+    for (int i = 0; i < 64; ++i)
+        code.nop();
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(result.instructions, 65u);
+}
+
+} // namespace
+} // namespace phantom

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the OS model: KASLR layout, kernel image contents (the
+ * paper's Listing 1-3 gadgets at their documented offsets), physmap
+ * mapping, module loading, syscall dispatch, and the process helpers.
+ */
+
+#include "attack/testbed.hpp"
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace phantom::os {
+namespace {
+
+using attack::Testbed;
+using cpu::ExitReason;
+
+cpu::MicroarchConfig
+quietZen3()
+{
+    auto cfg = cpu::zen3();
+    cfg.noise = mem::NoiseConfig{};
+    return cfg;
+}
+
+TEST(Kaslr, ImageBaseWithinRegionAndAligned)
+{
+    for (u64 seed = 1; seed <= 20; ++seed) {
+        Testbed bed(quietZen3(), 1ull << 30, seed);
+        VAddr base = bed.kernel.imageBase();
+        EXPECT_GE(base, kImageRegionBase);
+        EXPECT_LT(base, kImageRegionBase + kImageSlots * kImageSlotStride);
+        EXPECT_EQ(base % kImageSlotStride, 0u);
+    }
+}
+
+TEST(Kaslr, SeedsProduceDifferentLayouts)
+{
+    std::set<VAddr> images, physmaps;
+    for (u64 seed = 1; seed <= 12; ++seed) {
+        Testbed bed(quietZen3(), 1ull << 30, seed);
+        images.insert(bed.kernel.imageBase());
+        physmaps.insert(bed.kernel.physmapBase());
+    }
+    EXPECT_GT(images.size(), 8u);
+    EXPECT_GT(physmaps.size(), 8u);
+}
+
+TEST(Kaslr, DisabledRandomizationIsDeterministic)
+{
+    cpu::Machine machine(quietZen3(), 1ull << 30);
+    Kernel kernel(machine, KernelConfig{5, false, false});
+    EXPECT_EQ(kernel.imageBase(), kImageRegionBase);
+    EXPECT_EQ(kernel.physmapBase(), kPhysmapRegionBase);
+}
+
+TEST(KernelImage, Listing1GadgetAtDocumentedOffset)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 3);
+    // Listing 1: nop DWORD PTR; push rbp; mov rbp, rsp
+    VAddr va = bed.kernel.getpidGadgetVa();
+    EXPECT_EQ(va, bed.kernel.imageBase() + kGetpidGadgetOffset);
+
+    auto read_insn = [&](VAddr at) {
+        std::vector<u8> bytes;
+        for (int i = 0; i < 16; ++i)
+            bytes.push_back(static_cast<u8>(
+                bed.machine.debugRead64(at + i).value_or(0)));
+        return isa::decode(bytes.data(), bytes.size());
+    };
+
+    isa::Insn nop = read_insn(va);
+    EXPECT_EQ(nop.kind, isa::InsnKind::NopN);
+    EXPECT_EQ(nop.length, 5);
+    isa::Insn push = read_insn(va + 5);
+    EXPECT_EQ(push.kind, isa::InsnKind::Push);
+    EXPECT_EQ(push.src, isa::RBP);
+}
+
+TEST(KernelImage, Listing3DisclosureGadget)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 3);
+    VAddr va = bed.kernel.disclosureGadgetVa();
+    EXPECT_EQ(va, bed.kernel.imageBase() + kDisclosureGadgetOffset);
+
+    std::vector<u8> bytes;
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(
+            static_cast<u8>(bed.machine.debugRead64(va + i).value_or(0)));
+    isa::Insn load = isa::decode(bytes.data(), bytes.size());
+    EXPECT_EQ(load.kind, isa::InsnKind::Load);      // mov r12, [r12+0xbe0]
+    EXPECT_EQ(load.dst, isa::R12);
+    EXPECT_EQ(load.src, isa::R12);
+    EXPECT_EQ(load.disp, kDisclosureDisp);
+}
+
+TEST(KernelImage, Listing2VictimCallInsideFdgetPos)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 3);
+    VAddr call_va = bed.kernel.fdgetPosCallVa();
+    EXPECT_GT(call_va, bed.kernel.imageBase() + kFdgetPosOffset);
+    EXPECT_LT(call_va, bed.kernel.imageBase() + kFdgetPosOffset + 0x40);
+
+    std::vector<u8> bytes;
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(static_cast<u8>(
+            bed.machine.debugRead64(call_va + i).value_or(0)));
+    isa::Insn call = isa::decode(bytes.data(), bytes.size());
+    EXPECT_EQ(call.kind, isa::InsnKind::CallRel);
+}
+
+TEST(KernelImage, TextIsExecutableDataIsNot)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 3);
+    auto& pt = bed.kernel.pageTable();
+    VAddr text = bed.kernel.imageBase() + 0x1000;
+    VAddr data = bed.kernel.syscallTableVa();
+    EXPECT_TRUE(pt.translate(text, Privilege::Kernel,
+                             mem::Access::Fetch).ok());
+    EXPECT_EQ(pt.translate(data, Privilege::Kernel, mem::Access::Fetch)
+                  .fault,
+              mem::Fault::NoExec);
+    EXPECT_TRUE(pt.translate(data, Privilege::Kernel,
+                             mem::Access::Write).ok());
+    // User mode reaches neither.
+    EXPECT_EQ(pt.translate(text, Privilege::User, mem::Access::Fetch).fault,
+              mem::Fault::Protection);
+}
+
+TEST(Physmap, AliasesAllInstalledMemory)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 4);
+    auto& pt = bed.kernel.pageTable();
+    for (PAddr pa : {PAddr{0}, PAddr{0x12345678ull & ~0xfffull},
+                     PAddr{(1ull << 30) - kPageBytes}}) {
+        auto t = pt.translate(bed.kernel.physmapVaOf(pa), Privilege::Kernel,
+                              mem::Access::Read);
+        ASSERT_TRUE(t.ok()) << pa;
+        EXPECT_EQ(t.paddr, pa);
+    }
+    // Non-executable (the paper's P2 motivation) and kernel-only.
+    EXPECT_EQ(pt.translate(bed.kernel.physmapVaOf(0), Privilege::Kernel,
+                           mem::Access::Fetch)
+                  .fault,
+              mem::Fault::NoExec);
+    EXPECT_EQ(pt.translate(bed.kernel.physmapVaOf(0), Privilege::User,
+                           mem::Access::Read)
+                  .fault,
+              mem::Fault::Protection);
+}
+
+TEST(Physmap, WritesVisibleThroughAlias)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 4);
+    PAddr pa = bed.process.mapData(0x800000, kPageBytes);
+    bed.machine.debugWrite64(0x800000, 0xfeedface);
+    EXPECT_EQ(bed.machine.debugRead64(bed.kernel.physmapVaOf(pa)).value(),
+              0xfeedfaceu);
+}
+
+TEST(Modules, LoadAndDispatch)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 5);
+    // Module: rax = 1234; ret
+    isa::Assembler code(0);
+    code.movImm(isa::RAX, 1234);
+    code.ret();
+    VAddr base = bed.kernel.loadModule(code.finish(), kSysModuleBase);
+    EXPECT_GE(base, kModuleRegionBase);
+
+    auto result = bed.syscall(kSysModuleBase);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(bed.machine.regs().read(isa::RAX), 1234u);
+}
+
+TEST(Modules, DistinctAddressesAndGuardGap)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 6);
+    isa::Assembler code(0);
+    code.ret();
+    VAddr a = bed.kernel.loadModule(code.finish(), 0);
+    isa::Assembler code2(0);
+    code2.ret();
+    VAddr b = bed.kernel.loadModule(code2.finish(), 0);
+    EXPECT_GE(b, a + 2 * kPageBytes);   // guard page between modules
+}
+
+TEST(Modules, UnregisteredSyscallIsNop)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 7);
+    bed.machine.regs().write(isa::RAX, 0);
+    auto result = bed.syscall(kSysModuleBase + 5);
+    EXPECT_EQ(result.reason, ExitReason::Halt);   // dispatcher returns
+}
+
+TEST(Syscalls, ReadvPathExecutesFdgetPos)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 8);
+    auto result = bed.syscall(kSysReadv, 1, 0x42);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(bed.machine.regs().read(isa::R12), 0x42u);
+    EXPECT_EQ(bed.machine.regs().read(isa::RSI), 0x4000u);  // Listing 2
+    EXPECT_EQ(bed.machine.privilege(), Privilege::User);
+}
+
+TEST(Process, CodeMappingRoundTrip)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 9);
+    isa::Assembler code(0x12340abc);    // deliberately unaligned start
+    code.movImm(isa::RBX, 7);
+    code.hlt();
+    bed.process.mapCode(0x12340abc, code.finish());
+    auto result = bed.runUser(0x12340abc);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    EXPECT_EQ(bed.machine.regs().read(isa::RBX), 7u);
+}
+
+TEST(Process, HugePageIsPhysicallyContiguous)
+{
+    Testbed bed(quietZen3(), 1ull << 30, 10);
+    PAddr pa = bed.process.mapHugeData(0x40000000);
+    EXPECT_EQ(pa % kHugePageBytes, 0u);
+    auto& pt = bed.kernel.pageTable();
+    for (u64 off : {u64{0}, u64{0x1000}, kHugePageBytes - 64}) {
+        auto t = pt.translate(0x40000000 + off, Privilege::User,
+                              mem::Access::Read);
+        ASSERT_TRUE(t.ok());
+        EXPECT_EQ(t.paddr, pa + off);
+    }
+}
+
+TEST(Process, RandomPlacementStaysInBounds)
+{
+    Testbed bed(quietZen3(), 4ull << 30, 11);
+    for (int i = 0; i < 16; ++i) {
+        PAddr pa = bed.kernel.allocFramesRandom(kHugePageBytes,
+                                                kHugePageBytes);
+        EXPECT_EQ(pa % kHugePageBytes, 0u);
+        EXPECT_LT(pa + kHugePageBytes,
+                  bed.machine.physMem().installedBytes() + 1);
+    }
+}
+
+TEST(Kernel, OutOfPhysicalMemoryThrows)
+{
+    Testbed bed(quietZen3(), 64ull << 20, 12);   // 64 MiB only
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 100; ++i)
+                bed.kernel.allocFrames(kHugePageBytes);
+        },
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace phantom::os

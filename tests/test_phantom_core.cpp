@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Core PHANTOM behaviour tests: the observations O1-O5 of the paper as
+ * machine-level invariants, on the microarchitectures where they hold.
+ */
+
+#include "attack/experiment.hpp"
+#include "attack/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom::attack {
+namespace {
+
+using cpu::MicroarchConfig;
+
+MicroarchConfig
+quiet(MicroarchConfig cfg)
+{
+    cfg.noise = mem::NoiseConfig{};   // determinism for unit tests
+    return cfg;
+}
+
+StageObservation
+observe(const MicroarchConfig& cfg, BranchKind train, BranchKind victim,
+        StageExperimentOptions opts = {})
+{
+    opts.trials = 3;
+    StageExperiment experiment(quiet(cfg), opts);
+    return experiment.run(train, victim);
+}
+
+// O1/O2: phantom fetch and decode on a *non-branch* victim, everywhere
+// on AMD.
+TEST(PhantomCore, NonBranchVictimFetchAndDecodeOnAmd)
+{
+    for (const auto& cfg : cpu::amdMicroarchs()) {
+        auto obs = observe(cfg, BranchKind::IndirectJmp,
+                           BranchKind::NonBranch);
+        EXPECT_TRUE(obs.signals.fetch) << cfg.name;
+        EXPECT_TRUE(obs.signals.decode) << cfg.name;
+    }
+}
+
+// O3: transient execution of the phantom target on Zen 1/2 only.
+TEST(PhantomCore, NonBranchVictimExecutesOnZen12Only)
+{
+    EXPECT_TRUE(observe(cpu::zen1(), BranchKind::IndirectJmp,
+                        BranchKind::NonBranch).signals.execute);
+    EXPECT_TRUE(observe(cpu::zen2(), BranchKind::IndirectJmp,
+                        BranchKind::NonBranch).signals.execute);
+    EXPECT_FALSE(observe(cpu::zen3(), BranchKind::IndirectJmp,
+                         BranchKind::NonBranch).signals.execute);
+    EXPECT_FALSE(observe(cpu::zen4(), BranchKind::IndirectJmp,
+                         BranchKind::NonBranch).signals.execute);
+}
+
+// Symmetric jmp*/jmp* is Spectre-V2: execute everywhere (Table 1 'a').
+TEST(PhantomCore, SymmetricIndirectIsSpectreV2)
+{
+    for (const auto& cfg : {cpu::zen2(), cpu::zen4(), cpu::intel12()}) {
+        auto obs = observe(cfg, BranchKind::IndirectJmp,
+                           BranchKind::IndirectJmp);
+        EXPECT_TRUE(obs.signals.execute) << cfg.name;
+    }
+}
+
+// Retbleed (Table 1 'b'): jmp*-trained ret victims execute on Zen 1/2,
+// but only fetch/decode on Zen 3/4.
+TEST(PhantomCore, RetVictimTypeConfusion)
+{
+    EXPECT_TRUE(observe(cpu::zen2(), BranchKind::IndirectJmp,
+                        BranchKind::Ret).signals.execute);
+    auto zen4 = observe(cpu::zen4(), BranchKind::IndirectJmp,
+                        BranchKind::Ret);
+    EXPECT_FALSE(zen4.signals.execute);
+    EXPECT_TRUE(zen4.signals.fetch);
+}
+
+// Straight-line speculation (Table 1 'c'): non-branch training at a
+// branch victim speculates into the fall-through.
+TEST(PhantomCore, StraightLineSpeculation)
+{
+    auto zen2 = observe(cpu::zen2(), BranchKind::NonBranch,
+                        BranchKind::Ret);
+    EXPECT_TRUE(zen2.signals.fetch);
+    EXPECT_TRUE(zen2.signals.decode);
+    EXPECT_TRUE(zen2.signals.execute);
+
+    auto zen4 = observe(cpu::zen4(), BranchKind::NonBranch,
+                        BranchKind::DirectJmp);
+    EXPECT_TRUE(zen4.signals.fetch);
+    EXPECT_FALSE(zen4.signals.execute);
+}
+
+// Intel quirk (§6): no observable IF/ID when the victim is jmp*.
+TEST(PhantomCore, IntelIndirectVictimOpaque)
+{
+    auto obs = observe(cpu::intel12(), BranchKind::DirectJmp,
+                       BranchKind::IndirectJmp);
+    EXPECT_FALSE(obs.signals.fetch);
+    EXPECT_FALSE(obs.signals.decode);
+    EXPECT_FALSE(obs.signals.execute);
+}
+
+// Intel still fetches and decodes phantom targets for non-branch victims
+// (Table 1: the non-branch column shows IF/ID on Intel parts).
+TEST(PhantomCore, IntelNonBranchVictimFetchDecode)
+{
+    auto obs = observe(cpu::intel13(), BranchKind::IndirectJmp,
+                       BranchKind::NonBranch);
+    EXPECT_TRUE(obs.signals.fetch);
+    EXPECT_TRUE(obs.signals.decode);
+    EXPECT_FALSE(obs.signals.execute);
+}
+
+// O4: SuppressBPOnNonBr stops transient execute on Zen 2 but not IF/ID.
+TEST(PhantomCore, SuppressBpOnNonBrStopsExecuteOnly)
+{
+    StageExperimentOptions opts;
+    opts.suppressBpOnNonBr = true;
+    auto obs = observe(cpu::zen2(), BranchKind::IndirectJmp,
+                       BranchKind::NonBranch, opts);
+    EXPECT_TRUE(obs.signals.fetch);     // O4: IF not prevented
+    EXPECT_TRUE(obs.signals.decode);    // O4: ID not prevented
+    EXPECT_FALSE(obs.signals.execute);  // EX suppressed
+}
+
+// Zen 1 does not support the bit: setting it changes nothing.
+TEST(PhantomCore, SuppressBpUnsupportedOnZen1)
+{
+    StageExperimentOptions opts;
+    opts.suppressBpOnNonBr = true;
+    auto obs = observe(cpu::zen1(), BranchKind::IndirectJmp,
+                       BranchKind::NonBranch, opts);
+    EXPECT_TRUE(obs.signals.execute);
+}
+
+// The branch-victim cases are unaffected by SuppressBPOnNonBr: P2/P3
+// still work when targeting control-flow edges (§6.3).
+TEST(PhantomCore, SuppressBpDoesNotAffectBranchVictims)
+{
+    StageExperimentOptions opts;
+    opts.suppressBpOnNonBr = true;
+    auto obs = observe(cpu::zen2(), BranchKind::IndirectJmp,
+                       BranchKind::DirectJmp, opts);
+    EXPECT_TRUE(obs.signals.execute);
+}
+
+// Figure 6: speculative decode evicts the primed µop-cache set only at
+// the matching page offset.
+TEST(PhantomCore, Fig6SetSelectivity)
+{
+    StageExperiment experiment(quiet(cpu::zen2()), {});
+    u64 hits_matching = experiment.fig6OpCacheHits(0xac0);
+    u64 hits_other = experiment.fig6OpCacheHits(0x400);
+    EXPECT_LT(hits_matching, hits_other);
+    EXPECT_EQ(hits_other, experiment.fig6MaxHits());
+}
+
+// Cross-privilege alias addresses collide in the BTB on AMD.
+TEST(PhantomCore, CrossPrivAliasesCollide)
+{
+    for (auto kind : {bpu::BtbHashKind::Zen12, bpu::BtbHashKind::Zen34}) {
+        VAddr kva = 0xffffffff81234ac0ull;
+        VAddr uva = bpu::crossPrivAlias(kind, kva);
+        EXPECT_NE(uva, 0u);
+        EXPECT_EQ(bit(uva, 47), 0u);
+        EXPECT_EQ(bpu::btbKey(kind, uva, Privilege::User),
+                  bpu::btbKey(kind, kva, Privilege::Kernel));
+    }
+    EXPECT_EQ(bpu::crossPrivAlias(bpu::BtbHashKind::IntelSalted,
+                                  0xffffffff81234ac0ull), 0u);
+}
+
+// The paper's confirmed Zen 3/4 collision masks work under our hash.
+TEST(PhantomCore, PaperZen34MasksCollide)
+{
+    VAddr kva = 0xffffffff8f6520ull | 0xffff800000000000ull;
+    for (u64 mask : {0xffffbff800000000ull, 0xffff8003ff800000ull}) {
+        VAddr uva = canonicalize(kva ^ mask);
+        EXPECT_EQ(bpu::btbKey(bpu::BtbHashKind::Zen34, uva,
+                              Privilege::User),
+                  bpu::btbKey(bpu::BtbHashKind::Zen34, kva,
+                              Privilege::Kernel))
+            << std::hex << mask;
+    }
+}
+
+// User->kernel prediction injection plants a kernel-visible BTB entry.
+TEST(PhantomCore, InjectionPlantsKernelPrediction)
+{
+    Testbed bed(quiet(cpu::zen3()));
+    PredictionInjector injector(bed);
+    VAddr victim = bed.kernel.getpidGadgetVa();
+    VAddr target = bed.kernel.imageBase() + 0x2000;
+    ASSERT_TRUE(injector.inject(victim, target));
+
+    auto pred = bed.machine.bpu().btb().lookup(victim, Privilege::Kernel);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->absTarget, target);
+    EXPECT_EQ(pred->creator, Privilege::User);
+}
+
+// On Intel there is no cross-privilege aliasing to exploit.
+TEST(PhantomCore, InjectionImpossibleOnIntel)
+{
+    Testbed bed(quiet(cpu::intel12()));
+    PredictionInjector injector(bed);
+    EXPECT_FALSE(injector.inject(bed.kernel.getpidGadgetVa(),
+                                 bed.kernel.imageBase() + 0x2000));
+}
+
+// End-to-end O1 in the kernel: injected prediction at the getpid nop
+// causes a transient fetch of a mapped executable kernel target during
+// the syscall.
+TEST(PhantomCore, KernelPhantomFetchSignal)
+{
+    Testbed bed(quiet(cpu::zen3()));
+    PredictionInjector injector(bed);
+    VAddr victim = bed.kernel.getpidGadgetVa();
+    VAddr target = bed.kernel.imageBase() + 0x3000;   // mapped, executable
+
+    injector.inject(victim, target);
+    bed.machine.clflushVirt(target);
+    bed.syscall(os::kSysGetpid);
+    Cycle lat = bed.machine.timedFetchAccess(target, Privilege::Kernel);
+    EXPECT_LT(lat, bed.machine.caches().config().latMem);
+
+    // Negative: no injection, flushed target stays cold.
+    bed.machine.writeMsr(cpu::msr::kPredCmd, cpu::msr::kIbpbBit);
+    bed.machine.clflushVirt(target);
+    bed.syscall(os::kSysGetpid);
+    Cycle cold = bed.machine.timedFetchAccess(target, Privilege::Kernel);
+    EXPECT_EQ(cold, bed.machine.caches().config().latMem);
+}
+
+// O5: AutoIBRS still allows the transient fetch (IF) of a user-injected
+// prediction in kernel mode, but nothing deeper.
+TEST(PhantomCore, AutoIbrsAllowsFetchOnly)
+{
+    Testbed bed(quiet(cpu::zen4()));
+    bed.machine.msrs().setBit(cpu::msr::kEfer, cpu::msr::kAutoIbrsBit,
+                              true);
+    PredictionInjector injector(bed);
+    VAddr victim = bed.kernel.getpidGadgetVa();
+    VAddr target = bed.kernel.imageBase() + 0x3000;
+
+    bed.syscall(os::kSysGetpid);    // warm the kernel path's own branches
+    injector.inject(victim, target);
+    bed.machine.clflushVirt(target);
+    u64 decode_before = bed.machine.pmc().read(cpu::PmcEvent::SpecDecode);
+    bed.syscall(os::kSysGetpid);
+    u64 decode_delta =
+        bed.machine.pmc().read(cpu::PmcEvent::SpecDecode) - decode_before;
+
+    Cycle lat = bed.machine.timedFetchAccess(target, Privilege::Kernel);
+    EXPECT_LT(lat, bed.machine.caches().config().latMem);   // IF happened
+    EXPECT_EQ(decode_delta, 0u);                            // ID did not
+}
+
+} // namespace
+} // namespace phantom::attack

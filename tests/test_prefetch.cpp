@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the next-line instruction prefetcher and the §5.1 confound
+ * it creates: an I-cache timing channel cannot distinguish transient
+ * fetch from prefetch, but the µop-cache channel can — prefetched lines
+ * never enter the pipeline.
+ */
+
+#include "attack/testbed.hpp"
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom {
+namespace {
+
+using namespace isa;
+using attack::Testbed;
+
+cpu::MicroarchConfig
+prefetching(cpu::MicroarchConfig cfg)
+{
+    cfg.noise = mem::NoiseConfig{};
+    cfg.nextLinePrefetch = true;
+    return cfg;
+}
+
+TEST(Prefetcher, FillsAdjacentLine)
+{
+    Testbed bed(prefetching(cpu::zen2()));
+    Assembler code(0x400000);
+    code.nop();
+    code.hlt();
+    bed.process.mapCode(0x400000, code.finish());
+    // Make the adjacent line's content valid (it is never executed).
+    // mapCode already mapped the page.
+
+    bed.runUser(0x400000);
+    EXPECT_GT(bed.machine.pmc().read(cpu::PmcEvent::L1IPrefetch), 0u);
+
+    // The next line is hot without ever being executed or speculated to.
+    Cycle lat = bed.machine.timedFetchAccess(0x400040, Privilege::User);
+    EXPECT_LT(lat, bed.machine.caches().config().latMem);
+}
+
+TEST(Prefetcher, DoesNotTouchUopCache)
+{
+    Testbed bed(prefetching(cpu::zen2()));
+    Assembler code(0x400000);
+    code.nop();
+    code.hlt();
+    bed.process.mapCode(0x400000, code.finish());
+    bed.runUser(0x400000);
+    // Line 0x40 was prefetched into L1I but never decoded.
+    EXPECT_TRUE(bed.machine.caches().l1i().contains(
+        bed.kernel.pageTable().lookup(0x400040)->paddr & ~63ull));
+    EXPECT_FALSE(bed.machine.uopCache().contains(0x400040));
+}
+
+TEST(Prefetcher, StopsAtUnmappedPage)
+{
+    Testbed bed(prefetching(cpu::zen2()));
+    VAddr last_line = 0x400000 + kPageBytes - kCacheLineBytes;
+    Assembler code(last_line);
+    code.nop();
+    code.hlt();
+    std::vector<u8> bytes = code.finish();
+    bed.process.mapCode(last_line, bytes);
+    bed.kernel.pageTable().unmap(0x400000 + kPageBytes);
+
+    auto result = bed.runUser(last_line);
+    EXPECT_EQ(result.reason, cpu::ExitReason::Halt);   // no stray fault
+}
+
+TEST(Prefetcher, ConfoundsTheIfChannelButNotId)
+{
+    // The §5.1 confound, reproduced: the victim executes code whose
+    // *next line* is the monitored target. With the prefetcher on, the
+    // IF channel reports a (false) signal although no prediction was
+    // ever injected; the µop-cache channel stays silent.
+    Testbed bed(prefetching(cpu::zen2()));
+
+    Assembler code(0x400000);
+    code.nop();
+    code.hlt();               // executes entirely within line 0x400000
+    bed.process.mapCode(0x400000, code.finish());
+    VAddr monitored = 0x400040;
+
+    bed.machine.clflushVirt(monitored);
+    u64 uop_misses_before =
+        bed.machine.uopCache().missCount();
+    bed.runUser(0x400000);
+
+    // IF channel: hot -> would be attributed to transient fetch.
+    Cycle lat = bed.machine.timedFetchAccess(monitored, Privilege::User);
+    EXPECT_LT(lat, bed.machine.caches().config().latMem);
+
+    // ID channel: the monitored line was never decoded.
+    EXPECT_FALSE(bed.machine.uopCache().contains(monitored));
+    EXPECT_LE(bed.machine.uopCache().missCount() - uop_misses_before, 2u);
+}
+
+TEST(Prefetcher, OffByDefaultKeepsIfChannelClean)
+{
+    auto cfg = cpu::zen2();
+    cfg.noise = mem::NoiseConfig{};
+    ASSERT_FALSE(cfg.nextLinePrefetch);
+    Testbed bed(cfg);
+    Assembler code(0x400000);
+    code.nop();
+    code.hlt();
+    bed.process.mapCode(0x400000, code.finish());
+    bed.machine.clflushVirt(0x400040);
+    bed.runUser(0x400000);
+    Cycle lat = bed.machine.timedFetchAccess(0x400040, Privilege::User);
+    EXPECT_EQ(lat, bed.machine.caches().config().latMem);
+}
+
+} // namespace
+} // namespace phantom

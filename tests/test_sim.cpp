@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the simulation substrate: deterministic RNG, statistics
+ * helpers, and the address/bit utilities in types.hpp.
+ */
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phantom {
+namespace {
+
+// ---- Rng ---------------------------------------------------------------------
+
+TEST(RngModel, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngModel, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngModel, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        u64 v = rng.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(RngModel, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    int buckets[8] = {};
+    for (int i = 0; i < 8000; ++i)
+        ++buckets[rng.below(8)];
+    for (int b = 0; b < 8; ++b) {
+        EXPECT_GT(buckets[b], 800);
+        EXPECT_LT(buckets[b], 1200);
+    }
+}
+
+TEST(RngModel, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_GT(hits, 2200);
+    EXPECT_LT(hits, 2800);
+}
+
+TEST(RngModel, ReseedResets)
+{
+    Rng rng(5);
+    u64 first = rng.next();
+    rng.next();
+    rng.reseed(5);
+    EXPECT_EQ(rng.next(), first);
+}
+
+// ---- Stats --------------------------------------------------------------------
+
+TEST(Stats, MeanMedianBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({2, 8}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 1.21}), 1.1, 1e-9);
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-9);
+}
+
+TEST(Stats, Quantile)
+{
+    std::vector<double> xs = {10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 50.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 30.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 20.0);
+}
+
+TEST(Stats, SampleSetAccumulates)
+{
+    SampleSet samples;
+    samples.add(1.0);
+    samples.add(3.0);
+    EXPECT_EQ(samples.count(), 2u);
+    EXPECT_DOUBLE_EQ(samples.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(samples.median(), 2.0);
+}
+
+TEST(Stats, SuccessRate)
+{
+    EXPECT_DOUBLE_EQ(successRate({true, true, false, true}), 0.75);
+    EXPECT_DOUBLE_EQ(successRate({}), 0.0);
+}
+
+// ---- types.hpp helpers ------------------------------------------------------------
+
+TEST(Types, BitHelpers)
+{
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 2), 0u);
+    EXPECT_EQ(bits(0xabcd, 15, 12), 0xau);
+    EXPECT_EQ(bits(0xabcd, 11, 0), 0xbcdu);
+}
+
+TEST(Types, Alignment)
+{
+    EXPECT_EQ(alignDown(0x12345, 0x1000), 0x12000u);
+    EXPECT_EQ(alignUp(0x12345, 0x1000), 0x13000u);
+    EXPECT_EQ(alignUp(0x12000, 0x1000), 0x12000u);
+}
+
+TEST(Types, Canonical)
+{
+    EXPECT_TRUE(isCanonical(0x00007fffffffffffull));
+    EXPECT_TRUE(isCanonical(0xffff800000000000ull));
+    EXPECT_FALSE(isCanonical(0x0000800000000000ull));
+    EXPECT_FALSE(isCanonical(0xfffe800000000000ull));
+    EXPECT_EQ(canonicalize(0x0000800000000000ull), 0xffff800000000000ull);
+    EXPECT_EQ(canonicalize(0xffff7fffffffffffull), 0x00007fffffffffffull);
+}
+
+} // namespace
+} // namespace phantom

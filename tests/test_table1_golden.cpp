@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Golden regression test: the complete Table-1 matrix per
+ * microarchitecture, as measured by the observation channels, must match
+ * the paper-derived expectation exactly. Any model change that shifts a
+ * cell shows up here.
+ */
+
+#include "attack/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace phantom::attack {
+namespace {
+
+constexpr BranchKind kKinds[] = {
+    BranchKind::IndirectJmp, BranchKind::DirectJmp, BranchKind::CondJmp,
+    BranchKind::Ret, BranchKind::NonBranch,
+};
+
+char
+cellChar(const StageObservation& obs)
+{
+    if (!obs.applicable)
+        return '-';
+    if (obs.signals.execute)
+        return 'E';
+    if (obs.signals.decode)
+        return 'D';
+    if (obs.signals.fetch)
+        return 'F';
+    return '.';
+}
+
+/** Measure the full 5x5 matrix as a 25-char string (row-major, training
+ *  kind outer). */
+std::string
+measureMatrix(const cpu::MicroarchConfig& base)
+{
+    auto cfg = base;
+    cfg.noise = mem::NoiseConfig{};   // golden values are noise-free
+    StageExperimentOptions options;
+    options.trials = 3;
+    StageExperiment experiment(cfg, options);
+
+    std::string matrix;
+    for (BranchKind train : kKinds)
+        for (BranchKind victim : kKinds)
+            matrix.push_back(cellChar(experiment.run(train, victim)));
+    return matrix;
+}
+
+struct Golden
+{
+    cpu::MicroarchConfig (*config)();
+    const char* expected;   // 25 cells, victim-major within training rows
+};
+
+// Rows: jmp*, jmp, jcc, ret, nb training; columns: jmp*, jmp, jcc, ret,
+// nb victims. E=execute, D=decode, F=fetch, -=not applicable.
+const Golden kGolden[] = {
+    // Zen 1/2: every applicable cell executes (phantom window, Spectre,
+    // Retbleed, SLS).
+    {cpu::zen1, "EEEEE" "EEEEE" "EEEEE" "EEE-E" "EEEE-"},
+    {cpu::zen2, "EEEEE" "EEEEE" "EEEEE" "EEE-E" "EEEE-"},
+    // Zen 3/4: decode everywhere, execute only for symmetric jmp*
+    // (Spectre-V2).
+    {cpu::zen3, "EDDDD" "DDDDD" "DDDDD" "DDD-D" "DDDD-"},
+    {cpu::zen4, "EDDDD" "DDDDD" "DDDDD" "DDD-D" "DDDD-"},
+    // Intel: like Zen 3/4 but asymmetric jmp* victims are opaque.
+    {cpu::intel9, "EDDDD" ".DDDD" ".DDDD" ".DD-D" "DDDD-"},
+    {cpu::intel12, "EDDDD" ".DDDD" ".DDDD" ".DD-D" "DDDD-"},
+};
+
+class Table1Golden : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(Table1Golden, MatrixMatchesExpectation)
+{
+    const Golden& golden = GetParam();
+    auto cfg = golden.config();
+    EXPECT_EQ(measureMatrix(cfg), golden.expected) << cfg.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllParts, Table1Golden, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+        return info.param.config().name;
+    });
+
+} // namespace
+} // namespace phantom::attack
