@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gadgets.dir/bench_gadgets.cpp.o"
+  "CMakeFiles/bench_gadgets.dir/bench_gadgets.cpp.o.d"
+  "bench_gadgets"
+  "bench_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mds.dir/bench_mds.cpp.o"
+  "CMakeFiles/bench_mds.dir/bench_mds.cpp.o.d"
+  "bench_mds"
+  "bench_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

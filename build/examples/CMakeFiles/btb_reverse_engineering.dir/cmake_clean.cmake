@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btb_reverse_engineering.dir/btb_reverse_engineering.cpp.o"
+  "CMakeFiles/btb_reverse_engineering.dir/btb_reverse_engineering.cpp.o.d"
+  "btb_reverse_engineering"
+  "btb_reverse_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btb_reverse_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

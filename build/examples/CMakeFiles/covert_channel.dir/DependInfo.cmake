@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/covert_channel.cpp" "examples/CMakeFiles/covert_channel.dir/covert_channel.cpp.o" "gcc" "examples/CMakeFiles/covert_channel.dir/covert_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/phantom_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/phantom_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/phantom_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/phantom_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpu/CMakeFiles/phantom_bpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/phantom_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/phantom_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

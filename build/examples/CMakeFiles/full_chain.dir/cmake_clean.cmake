@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_chain.dir/full_chain.cpp.o"
+  "CMakeFiles/full_chain.dir/full_chain.cpp.o.d"
+  "full_chain"
+  "full_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_speculation.dir/inspect_speculation.cpp.o"
+  "CMakeFiles/inspect_speculation.dir/inspect_speculation.cpp.o.d"
+  "inspect_speculation"
+  "inspect_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

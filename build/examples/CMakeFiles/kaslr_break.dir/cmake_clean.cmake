@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kaslr_break.dir/kaslr_break.cpp.o"
+  "CMakeFiles/kaslr_break.dir/kaslr_break.cpp.o.d"
+  "kaslr_break"
+  "kaslr_break.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kaslr_break.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_leak.dir/mds_leak.cpp.o"
+  "CMakeFiles/mds_leak.dir/mds_leak.cpp.o.d"
+  "mds_leak"
+  "mds_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

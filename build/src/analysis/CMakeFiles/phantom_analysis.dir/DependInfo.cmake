@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/gadget_scan.cpp" "src/analysis/CMakeFiles/phantom_analysis.dir/gadget_scan.cpp.o" "gcc" "src/analysis/CMakeFiles/phantom_analysis.dir/gadget_scan.cpp.o.d"
+  "/root/repo/src/analysis/gf2.cpp" "src/analysis/CMakeFiles/phantom_analysis.dir/gf2.cpp.o" "gcc" "src/analysis/CMakeFiles/phantom_analysis.dir/gf2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/phantom_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_analysis.dir/gadget_scan.cpp.o"
+  "CMakeFiles/phantom_analysis.dir/gadget_scan.cpp.o.d"
+  "CMakeFiles/phantom_analysis.dir/gf2.cpp.o"
+  "CMakeFiles/phantom_analysis.dir/gf2.cpp.o.d"
+  "libphantom_analysis.a"
+  "libphantom_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/btb_re.cpp" "src/attack/CMakeFiles/phantom_attack.dir/btb_re.cpp.o" "gcc" "src/attack/CMakeFiles/phantom_attack.dir/btb_re.cpp.o.d"
+  "/root/repo/src/attack/covert.cpp" "src/attack/CMakeFiles/phantom_attack.dir/covert.cpp.o" "gcc" "src/attack/CMakeFiles/phantom_attack.dir/covert.cpp.o.d"
+  "/root/repo/src/attack/experiment.cpp" "src/attack/CMakeFiles/phantom_attack.dir/experiment.cpp.o" "gcc" "src/attack/CMakeFiles/phantom_attack.dir/experiment.cpp.o.d"
+  "/root/repo/src/attack/exploits.cpp" "src/attack/CMakeFiles/phantom_attack.dir/exploits.cpp.o" "gcc" "src/attack/CMakeFiles/phantom_attack.dir/exploits.cpp.o.d"
+  "/root/repo/src/attack/prime_probe.cpp" "src/attack/CMakeFiles/phantom_attack.dir/prime_probe.cpp.o" "gcc" "src/attack/CMakeFiles/phantom_attack.dir/prime_probe.cpp.o.d"
+  "/root/repo/src/attack/testbed.cpp" "src/attack/CMakeFiles/phantom_attack.dir/testbed.cpp.o" "gcc" "src/attack/CMakeFiles/phantom_attack.dir/testbed.cpp.o.d"
+  "/root/repo/src/attack/workloads.cpp" "src/attack/CMakeFiles/phantom_attack.dir/workloads.cpp.o" "gcc" "src/attack/CMakeFiles/phantom_attack.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/phantom_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/phantom_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/phantom_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/phantom_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpu/CMakeFiles/phantom_bpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/phantom_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_attack.dir/btb_re.cpp.o"
+  "CMakeFiles/phantom_attack.dir/btb_re.cpp.o.d"
+  "CMakeFiles/phantom_attack.dir/covert.cpp.o"
+  "CMakeFiles/phantom_attack.dir/covert.cpp.o.d"
+  "CMakeFiles/phantom_attack.dir/experiment.cpp.o"
+  "CMakeFiles/phantom_attack.dir/experiment.cpp.o.d"
+  "CMakeFiles/phantom_attack.dir/exploits.cpp.o"
+  "CMakeFiles/phantom_attack.dir/exploits.cpp.o.d"
+  "CMakeFiles/phantom_attack.dir/prime_probe.cpp.o"
+  "CMakeFiles/phantom_attack.dir/prime_probe.cpp.o.d"
+  "CMakeFiles/phantom_attack.dir/testbed.cpp.o"
+  "CMakeFiles/phantom_attack.dir/testbed.cpp.o.d"
+  "CMakeFiles/phantom_attack.dir/workloads.cpp.o"
+  "CMakeFiles/phantom_attack.dir/workloads.cpp.o.d"
+  "libphantom_attack.a"
+  "libphantom_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

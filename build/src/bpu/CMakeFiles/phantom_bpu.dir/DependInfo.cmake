@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpu/bpu.cpp" "src/bpu/CMakeFiles/phantom_bpu.dir/bpu.cpp.o" "gcc" "src/bpu/CMakeFiles/phantom_bpu.dir/bpu.cpp.o.d"
+  "/root/repo/src/bpu/btb.cpp" "src/bpu/CMakeFiles/phantom_bpu.dir/btb.cpp.o" "gcc" "src/bpu/CMakeFiles/phantom_bpu.dir/btb.cpp.o.d"
+  "/root/repo/src/bpu/btb_hash.cpp" "src/bpu/CMakeFiles/phantom_bpu.dir/btb_hash.cpp.o" "gcc" "src/bpu/CMakeFiles/phantom_bpu.dir/btb_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/phantom_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

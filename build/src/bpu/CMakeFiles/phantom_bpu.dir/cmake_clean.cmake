@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_bpu.dir/bpu.cpp.o"
+  "CMakeFiles/phantom_bpu.dir/bpu.cpp.o.d"
+  "CMakeFiles/phantom_bpu.dir/btb.cpp.o"
+  "CMakeFiles/phantom_bpu.dir/btb.cpp.o.d"
+  "CMakeFiles/phantom_bpu.dir/btb_hash.cpp.o"
+  "CMakeFiles/phantom_bpu.dir/btb_hash.cpp.o.d"
+  "libphantom_bpu.a"
+  "libphantom_bpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_bpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_cpu.dir/machine.cpp.o"
+  "CMakeFiles/phantom_cpu.dir/machine.cpp.o.d"
+  "CMakeFiles/phantom_cpu.dir/microarch.cpp.o"
+  "CMakeFiles/phantom_cpu.dir/microarch.cpp.o.d"
+  "libphantom_cpu.a"
+  "libphantom_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

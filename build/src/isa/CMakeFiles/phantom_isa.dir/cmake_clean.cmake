@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_isa.dir/assembler.cpp.o"
+  "CMakeFiles/phantom_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/phantom_isa.dir/encoder.cpp.o"
+  "CMakeFiles/phantom_isa.dir/encoder.cpp.o.d"
+  "CMakeFiles/phantom_isa.dir/insn.cpp.o"
+  "CMakeFiles/phantom_isa.dir/insn.cpp.o.d"
+  "libphantom_isa.a"
+  "libphantom_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_mem.dir/cache.cpp.o"
+  "CMakeFiles/phantom_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/phantom_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/phantom_mem.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/phantom_mem.dir/noise.cpp.o"
+  "CMakeFiles/phantom_mem.dir/noise.cpp.o.d"
+  "CMakeFiles/phantom_mem.dir/paging.cpp.o"
+  "CMakeFiles/phantom_mem.dir/paging.cpp.o.d"
+  "CMakeFiles/phantom_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/phantom_mem.dir/phys_mem.cpp.o.d"
+  "libphantom_mem.a"
+  "libphantom_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

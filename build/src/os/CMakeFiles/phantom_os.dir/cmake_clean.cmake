@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_os.dir/kernel.cpp.o"
+  "CMakeFiles/phantom_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/phantom_os.dir/process.cpp.o"
+  "CMakeFiles/phantom_os.dir/process.cpp.o.d"
+  "libphantom_os.a"
+  "libphantom_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_sim.dir/log.cpp.o"
+  "CMakeFiles/phantom_sim.dir/log.cpp.o.d"
+  "CMakeFiles/phantom_sim.dir/stats.cpp.o"
+  "CMakeFiles/phantom_sim.dir/stats.cpp.o.d"
+  "libphantom_sim.a"
+  "libphantom_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

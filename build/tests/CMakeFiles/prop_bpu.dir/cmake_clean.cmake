@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_bpu.dir/prop_bpu.cpp.o"
+  "CMakeFiles/prop_bpu.dir/prop_bpu.cpp.o.d"
+  "prop_bpu"
+  "prop_bpu.pdb"
+  "prop_bpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_bpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

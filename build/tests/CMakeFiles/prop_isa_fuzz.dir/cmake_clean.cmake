@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_isa_fuzz.dir/prop_isa_fuzz.cpp.o"
+  "CMakeFiles/prop_isa_fuzz.dir/prop_isa_fuzz.cpp.o.d"
+  "prop_isa_fuzz"
+  "prop_isa_fuzz.pdb"
+  "prop_isa_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_isa_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

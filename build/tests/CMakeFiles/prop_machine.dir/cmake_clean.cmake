@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_machine.dir/prop_machine.cpp.o"
+  "CMakeFiles/prop_machine.dir/prop_machine.cpp.o.d"
+  "prop_machine"
+  "prop_machine.pdb"
+  "prop_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

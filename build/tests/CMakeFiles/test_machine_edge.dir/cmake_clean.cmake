@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_edge.dir/test_machine_edge.cpp.o"
+  "CMakeFiles/test_machine_edge.dir/test_machine_edge.cpp.o.d"
+  "test_machine_edge"
+  "test_machine_edge.pdb"
+  "test_machine_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_stibp.dir/test_smt_stibp.cpp.o"
+  "CMakeFiles/test_smt_stibp.dir/test_smt_stibp.cpp.o.d"
+  "test_smt_stibp"
+  "test_smt_stibp.pdb"
+  "test_smt_stibp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_stibp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

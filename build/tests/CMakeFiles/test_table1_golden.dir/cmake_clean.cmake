@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table1_golden.dir/test_table1_golden.cpp.o"
+  "CMakeFiles/test_table1_golden.dir/test_table1_golden.cpp.o.d"
+  "test_table1_golden"
+  "test_table1_golden.pdb"
+  "test_table1_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table1_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

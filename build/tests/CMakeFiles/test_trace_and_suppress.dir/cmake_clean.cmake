@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_and_suppress.dir/test_trace_and_suppress.cpp.o"
+  "CMakeFiles/test_trace_and_suppress.dir/test_trace_and_suppress.cpp.o.d"
+  "test_trace_and_suppress"
+  "test_trace_and_suppress.pdb"
+  "test_trace_and_suppress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_and_suppress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_phantom_core[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_bpu[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_units[1]_include.cmake")
+include("/root/repo/build/tests/test_exploits[1]_include.cmake")
+include("/root/repo/build/tests/prop_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_mitigation_sw[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_and_suppress[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetch[1]_include.cmake")
+include("/root/repo/build/tests/test_smt_stibp[1]_include.cmake")
+include("/root/repo/build/tests/prop_isa_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/prop_bpu[1]_include.cmake")
+include("/root/repo/build/tests/test_gadget_scan[1]_include.cmake")
+include("/root/repo/build/tests/test_table1_golden[1]_include.cmake")
