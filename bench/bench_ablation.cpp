@@ -11,6 +11,10 @@
  *      privilege-salted Intel hash kills the cross-privilege attack.
  *  A4: Spectre window sweep — the §7.4 leak needs the window to cover
  *      the gadget chain up to the hijacked call.
+ *  A5: the §5.1 prefetcher confound (serial; two deterministic probes).
+ *
+ * Sweep points and repeated KASLR runs are independent trials executed
+ * through the campaign scheduler and reported in sweep order.
  */
 
 #include "attack/covert.hpp"
@@ -27,70 +31,114 @@ using namespace phantom::attack;
 int
 main()
 {
+    bench::Campaign campaign("bench_ablation");
+
     bench::header("A1: phantom execute window sweep (zen2 base)");
     std::printf("%-8s %6s %6s %6s %14s\n", "window", "IF", "ID", "EX",
                 "mds leak acc");
     bench::rule();
-    for (u32 window : {0u, 1u, 2u, 4u, 6u, 8u}) {
-        auto cfg = cpu::zen2();
-        cfg.transientExecUops = window;
-        StageExperimentOptions options;
-        options.trials = 3;
-        StageExperiment experiment(cfg, options);
-        auto obs =
-            experiment.run(BranchKind::IndirectJmp, BranchKind::NonBranch);
+    {
+        const std::vector<u32> windows = {0, 1, 2, 4, 6, 8};
+        struct Point
+        {
+            StageObservation obs;
+            bool supported;
+            double accuracy;
+        };
+        auto seeds = campaign.seeds("a1");
+        auto points = campaign.scheduler().run(
+            windows.size(), [&](u64 trial) {
+                auto cfg = cpu::zen2();
+                cfg.transientExecUops = windows[trial];
+                StageExperimentOptions options;
+                options.trials = 3;
+                options.seed = seeds.trialSeed(trial);
+                StageExperiment experiment(cfg, options);
+                Point point;
+                point.obs = experiment.run(BranchKind::IndirectJmp,
+                                           BranchKind::NonBranch);
 
-        MdsLeakOptions mds_options;
-        mds_options.bytes = 64;
-        MdsGadgetLeak leak(cfg, mds_options);
-        MdsLeakResult mds = leak.run();
-        std::printf("%-8u %6d %6d %6d %13.0f%%\n", window,
-                    obs.signals.fetch, obs.signals.decode,
-                    obs.signals.execute,
-                    mds.supported ? mds.accuracy * 100.0 : 0.0);
+                MdsLeakOptions mds_options;
+                mds_options.bytes = 64;
+                MdsGadgetLeak leak(cfg, mds_options);
+                MdsLeakResult mds = leak.run();
+                point.supported = mds.supported;
+                point.accuracy = mds.supported ? mds.accuracy : 0.0;
+                return point;
+            });
+
+        auto& exp = campaign.sink().experiment("a1_window_sweep");
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+            const Point& p = points[i];
+            std::printf("%-8u %6d %6d %6d %13.0f%%\n", windows[i],
+                        p.obs.signals.fetch, p.obs.signals.decode,
+                        p.obs.signals.execute, p.accuracy * 100.0);
+            exp.addSample("mds_accuracy", p.accuracy);
+        }
+        std::printf("(EX needs window >= 1; the MDS chain needs the "
+                    "nested add+load, window >= 2.)\n");
     }
-    std::printf("(EX needs window >= 1; the MDS chain needs the nested "
-                "add+load, window >= 2.)\n");
 
     bench::header("A2: section-7.3 multi-set scoring under noise");
+    u64 a2_runs = bench::runCount(20, 4);
     std::printf("%-8s %10s   (zen4 with 3x noise, %llu runs each)\n",
                 "sets", "accuracy",
-                static_cast<unsigned long long>(bench::runCount(20, 4)));
+                static_cast<unsigned long long>(a2_runs));
     bench::rule();
     {
-        u64 runs = bench::runCount(20, 4);
-        auto cfg = cpu::zen4();
-        cfg.noise.l1iEvictChance *= 3.0;   // stress the channel
-        for (u32 sets : {1u, 4u, 16u, 64u}) {
-            u64 success = 0;
-            for (u64 r = 0; r < runs; ++r) {
-                Testbed bed(cfg, kDefaultPhysBytes, 909 + r * 53);
+        const std::vector<u32> set_counts = {1, 4, 16, 64};
+        auto base = cpu::zen4();
+        base.noise.l1iEvictChance *= 3.0;   // stress the channel
+        auto seeds = campaign.seeds("a2");
+
+        // Trial layout: sets-sweep outer, repeat index inner.
+        auto successes = campaign.scheduler().run(
+            set_counts.size() * a2_runs, [&](u64 trial) {
+                u32 sets = set_counts[trial / a2_runs];
+                Testbed bed(base, kDefaultPhysBytes,
+                            seeds.trialSeed(trial));
                 KaslrOptions options;
                 options.scoreSets = sets;
                 KernelImageKaslrBreak exploit(bed, options);
-                success += exploit.run().success ? 1 : 0;
-            }
-            std::printf("%-8u %9.0f%%\n", sets,
-                        100.0 * static_cast<double>(success) /
-                            static_cast<double>(runs));
+                return exploit.run().success;
+            });
+
+        auto& exp = campaign.sink().experiment("a2_multiset");
+        for (std::size_t i = 0; i < set_counts.size(); ++i) {
+            u64 success = 0;
+            for (u64 r = 0; r < a2_runs; ++r)
+                success += successes[i * a2_runs + r] ? 1 : 0;
+            double rate = static_cast<double>(success) /
+                          static_cast<double>(a2_runs);
+            std::printf("%-8u %9.0f%%\n", set_counts[i], 100.0 * rate);
+            exp.addSample("kaslr_accuracy", rate);
         }
     }
 
     bench::header("A3: BTB hash sensitivity (root-cause check)");
     {
-        for (auto hash : {bpu::BtbHashKind::Zen34,
-                          bpu::BtbHashKind::IntelSalted}) {
-            auto cfg = cpu::zen4();
-            cfg.bpu.btb.hash = hash;
-            Testbed bed(cfg, kDefaultPhysBytes, 11);
-            PredictionInjector injector(bed);
-            bool injected =
-                injector.inject(bed.kernel.getpidGadgetVa(),
-                                bed.kernel.imageBase() + 0x3000);
+        const std::vector<bpu::BtbHashKind> hashes = {
+            bpu::BtbHashKind::Zen34, bpu::BtbHashKind::IntelSalted};
+        auto seeds = campaign.seeds("a3");
+        auto injected = campaign.scheduler().run(
+            hashes.size(), [&](u64 trial) {
+                auto cfg = cpu::zen4();
+                cfg.bpu.btb.hash = hashes[trial];
+                Testbed bed(cfg, kDefaultPhysBytes,
+                            seeds.trialSeed(trial));
+                PredictionInjector injector(bed);
+                return injector.inject(bed.kernel.getpidGadgetVa(),
+                                       bed.kernel.imageBase() + 0x3000);
+            });
+
+        auto& exp = campaign.sink().experiment("a3_hash");
+        for (std::size_t i = 0; i < hashes.size(); ++i) {
+            const char* name = hashes[i] == bpu::BtbHashKind::Zen34
+                                   ? "zen34"
+                                   : "intel-salted";
             std::printf("  hash=%-12s cross-priv injection possible: %s\n",
-                        hash == bpu::BtbHashKind::Zen34 ? "zen34"
-                                                        : "intel-salted",
-                        injected ? "yes" : "no");
+                        name, injected[i] ? "yes" : "no");
+            exp.setLabel(name, injected[i] ? "yes" : "no");
         }
         std::printf("  (Privilege-salting the hash removes the paper's "
                     "user->kernel attack surface.)\n");
@@ -100,18 +148,28 @@ main()
     std::printf("%-8s %14s   (zen2, 64 bytes)\n", "window",
                 "mds leak acc");
     bench::rule();
-    for (u32 window : {2u, 4u, 8u, 16u, 48u}) {
-        auto cfg = cpu::zen2();
-        cfg.spectreWindowUops = window;
-        MdsLeakOptions options;
-        options.bytes = 64;
-        MdsGadgetLeak leak(cfg, options);
-        MdsLeakResult result = leak.run();
-        std::printf("%-8u %13.0f%%\n", window,
-                    result.supported ? result.accuracy * 100.0 : 0.0);
+    {
+        const std::vector<u32> windows = {2, 4, 8, 16, 48};
+        auto accuracies = campaign.scheduler().run(
+            windows.size(), [&](u64 trial) {
+                auto cfg = cpu::zen2();
+                cfg.spectreWindowUops = windows[trial];
+                MdsLeakOptions options;
+                options.bytes = 64;
+                MdsGadgetLeak leak(cfg, options);
+                MdsLeakResult result = leak.run();
+                return result.supported ? result.accuracy : 0.0;
+            });
+
+        auto& exp = campaign.sink().experiment("a4_spectre_window");
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+            std::printf("%-8u %13.0f%%\n", windows[i],
+                        accuracies[i] * 100.0);
+            exp.addSample("mds_accuracy", accuracies[i]);
+        }
+        std::printf("(The gadget chain spends ~6 µops before the hijacked "
+                    "call; shorter windows leak nothing.)\n");
     }
-    std::printf("(The gadget chain spends ~6 µops before the hijacked "
-                "call; shorter windows leak nothing.)\n");
 
     bench::header("A5: the prefetcher confound of section 5.1");
     {
@@ -119,6 +177,7 @@ main()
         // ever injected. With the next-line prefetcher enabled the
         // I-cache (IF) channel reports a false signal; the µop-cache
         // (ID) channel does not — this is why the paper built it.
+        auto& exp = campaign.sink().experiment("a5_prefetch");
         for (bool prefetch : {false, true}) {
             auto cfg = cpu::zen2();
             cfg.noise = mem::NoiseConfig{};
@@ -137,9 +196,12 @@ main()
             bool id_signal = bed.machine.uopCache().contains(monitored);
             std::printf("  prefetcher=%d: IF channel=%d  ID channel=%d\n",
                         prefetch, if_signal, id_signal);
+            exp.setLabel(prefetch ? "prefetch_on" : "prefetch_off",
+                         std::string("IF=") + (if_signal ? "1" : "0") +
+                             " ID=" + (id_signal ? "1" : "0"));
         }
         std::printf("  (IF alone cannot distinguish prefetch from "
                     "transient fetch; ID can.)\n");
     }
-    return 0;
+    return campaign.finish();
 }

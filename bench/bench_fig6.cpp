@@ -4,6 +4,10 @@
  * non-branch victim with jmp*, the µop-cache hit count while
  * re-executing a jmp series (primed at page offset 0xac0) dips only when
  * the phantom target C is placed at the matching page offset.
+ *
+ * Each (offset, uarch) sweep point is an independent trial dispatched
+ * through the campaign scheduler; the table and dip detection run on
+ * the joined results in offset order, independent of PHANTOM_JOBS.
  */
 
 #include "attack/experiment.hpp"
@@ -21,16 +25,13 @@ main()
     std::printf("Series primed at page offset 0xac0; the dip marks "
                 "speculative decode of C.\n\n");
 
-    auto configs = {cpu::zen2(), cpu::zen4()};
+    std::vector<cpu::MicroarchConfig> configs = {cpu::zen2(), cpu::zen4()};
 
     std::printf("%-10s", "offset");
     for (const auto& cfg : configs)
         std::printf("%10s", cfg.name.c_str());
     std::printf("\n");
     bench::rule();
-
-    u64 dip_offset[2] = {0, 0};
-    u64 min_hits[2] = {~0ull, ~0ull};
 
     // Set-granular sweep (bits [11:6] select the µop-cache set); fast
     // mode keeps a coarse sweep plus the matching offset.
@@ -41,25 +42,51 @@ main()
     if (bench::fastMode())
         offsets.insert(offsets.begin() + 6, 0xac0);
 
+    bench::Campaign campaign("bench_fig6");
+    auto seeds = campaign.seeds("fig6");
+
+    // The sweep compares hit counts ACROSS offsets, so every offset of
+    // one microarchitecture uses that uarch's seed; only the campaign
+    // seed varies the noise realization.
+    u64 points = offsets.size() * configs.size();
+    auto hits = campaign.scheduler().run(points, [&](u64 trial) {
+        u64 offset = offsets[trial / configs.size()];
+        std::size_t cfg_idx = trial % configs.size();
+        StageExperimentOptions options;
+        options.seed = seeds.trialSeed(cfg_idx);
+        StageExperiment experiment(configs[cfg_idx], options);
+        return experiment.fig6OpCacheHits(offset);
+    });
+
+    std::vector<u64> dip_offset(configs.size(), 0);
+    std::vector<u64> min_hits(configs.size(), ~0ull);
+
+    u64 trial = 0;
     for (u64 offset : offsets) {
         std::printf("0x%03llx    ", static_cast<unsigned long long>(offset));
-        int idx = 0;
-        for (const auto& cfg : configs) {
-            StageExperiment experiment(cfg, {});
-            u64 hits = experiment.fig6OpCacheHits(offset);
-            std::printf("%10llu", static_cast<unsigned long long>(hits));
-            if (hits < min_hits[idx]) {
-                min_hits[idx] = hits;
+        for (std::size_t idx = 0; idx < configs.size(); ++idx) {
+            u64 h = hits[trial++];
+            std::printf("%10llu", static_cast<unsigned long long>(h));
+            if (h < min_hits[idx]) {
+                min_hits[idx] = h;
                 dip_offset[idx] = offset;
             }
-            ++idx;
+            campaign.sink()
+                .experiment(configs[idx].name)
+                .addSample("opcache_hits", static_cast<double>(h));
         }
         std::printf("\n");
+    }
+
+    for (std::size_t idx = 0; idx < configs.size(); ++idx) {
+        auto& exp = campaign.sink().experiment(configs[idx].name);
+        exp.setScalar("dip_offset", static_cast<double>(dip_offset[idx]));
+        exp.setScalar("min_hits", static_cast<double>(min_hits[idx]));
     }
 
     std::printf("\nDip at offset: zen2 -> 0x%03llx, zen4 -> 0x%03llx "
                 "(paper: 0xac0 on both)\n",
                 static_cast<unsigned long long>(dip_offset[0]),
                 static_cast<unsigned long long>(dip_offset[1]));
-    return 0;
+    return campaign.finish();
 }

@@ -9,6 +9,10 @@
  *  2. Random collision sampling + bounded-weight GF(2) recovery (the
  *     paper used Z3): recovers the twelve Figure-7 parity functions.
  *  3. Validates the two collision masks the paper confirms on Zen 3/4.
+ *
+ * The five blocks (two brute forces, the solver, two confirmation
+ * sweeps) are independent; the campaign scheduler runs them
+ * concurrently and the report is printed in paper order after the join.
  */
 
 #include "attack/btb_re.hpp"
@@ -21,42 +25,101 @@
 using namespace phantom;
 using namespace phantom::attack;
 
+namespace {
+
+constexpr u64 kPaperMasks[] = {0xffffbff800000000ull,
+                               0xffff8003ff800000ull};
+
+/** Result of one scheduled block; only the relevant fields are set. */
+struct BlockResult
+{
+    std::vector<u64> masks;        ///< brute-force collision masks
+    std::vector<u64> functions;    ///< recovered parity functions
+    std::vector<bool> confirmed;   ///< per paper mask, collides?
+    u64 queries = 0;
+};
+
+} // namespace
+
 int
 main()
 {
     bench::header("Figure 7: cross-privilege BTB function recovery");
 
+    unsigned zen3_flips = bench::fastMode() ? 4 : 6;
+    u64 want_samples = bench::runCount(28, 16);
+
+    bench::Campaign campaign("bench_fig7");
+
+    // Block 0: zen2 brute force.  Block 1: zen3 brute force.
+    // Block 2: zen3 solver.  Blocks 3/4: confirm paper masks on zen3/4.
+    const std::vector<cpu::MicroarchConfig> confirm_cfgs = {cpu::zen3(),
+                                                            cpu::zen4()};
+    auto blocks = campaign.scheduler().run(5, [&](u64 block) {
+        BlockResult result;
+        switch (block) {
+          case 0: {
+            BtbReverseEngineer re(cpu::zen2(), 17);
+            result.masks = re.bruteForce(2);
+            result.queries = re.queries();
+            break;
+          }
+          case 1: {
+            BtbReverseEngineer re(cpu::zen3(), 17);
+            result.masks = re.bruteForce(zen3_flips);
+            result.queries = re.queries();
+            break;
+          }
+          case 2: {
+            BtbReverseEngineer re(cpu::zen3(), 23);
+            result.functions =
+                re.recoverFunctions(want_samples, 2'000'000);
+            result.queries = re.queries();
+            break;
+          }
+          case 3:
+          case 4: {
+            BtbReverseEngineer re(confirm_cfgs[block - 3], 31);
+            for (u64 mask : kPaperMasks) {
+                VAddr candidate =
+                    canonicalize(re.kernelVictimVa() ^ mask);
+                result.confirmed.push_back(re.collides(candidate) &&
+                                           re.collides(candidate));
+            }
+            result.queries = re.queries();
+            break;
+          }
+        }
+        return result;
+    });
+
     // ---- Step 1: brute force ---------------------------------------------
-    {
-        BtbReverseEngineer re(cpu::zen2(), 17);
-        auto masks = re.bruteForce(2);
-        std::printf("zen2 brute force (<= 2 flips): %zu pattern(s) found "
-                    "[%llu queries]\n",
-                    masks.size(),
-                    static_cast<unsigned long long>(re.queries()));
-        for (u64 mask : masks)
-            std::printf("    K ^ 0x%016llx collides\n",
-                        static_cast<unsigned long long>(mask));
-    }
-    {
-        unsigned flips = bench::fastMode() ? 4 : 6;
-        BtbReverseEngineer re(cpu::zen3(), 17);
-        auto masks = re.bruteForce(flips);
-        std::printf("zen3 brute force (<= %u flips): %zu pattern(s) found "
-                    "[%llu queries] (paper: none up to 6)\n",
-                    flips, masks.size(),
-                    static_cast<unsigned long long>(re.queries()));
-    }
+    auto& brute = campaign.sink().experiment("brute_force");
+    std::printf("zen2 brute force (<= 2 flips): %zu pattern(s) found "
+                "[%llu queries]\n",
+                blocks[0].masks.size(),
+                static_cast<unsigned long long>(blocks[0].queries));
+    for (u64 mask : blocks[0].masks)
+        std::printf("    K ^ 0x%016llx collides\n",
+                    static_cast<unsigned long long>(mask));
+    brute.setScalar("zen2_patterns",
+                    static_cast<double>(blocks[0].masks.size()));
+
+    std::printf("zen3 brute force (<= %u flips): %zu pattern(s) found "
+                "[%llu queries] (paper: none up to 6)\n",
+                zen3_flips, blocks[1].masks.size(),
+                static_cast<unsigned long long>(blocks[1].queries));
+    brute.setScalar("zen3_patterns",
+                    static_cast<double>(blocks[1].masks.size()));
 
     // ---- Step 2: sampling + GF(2) solver ------------------------------------
     {
-        BtbReverseEngineer re(cpu::zen3(), 23);
-        u64 want = bench::runCount(28, 16);
-        auto functions = re.recoverFunctions(want, 2'000'000);
+        const auto& functions = blocks[2].functions;
         std::printf("\nzen3 solver: %zu collision samples -> %zu functions "
                     "[%llu queries]\n",
-                    static_cast<std::size_t>(want), functions.size(),
-                    static_cast<unsigned long long>(re.queries()));
+                    static_cast<std::size_t>(want_samples),
+                    functions.size(),
+                    static_cast<unsigned long long>(blocks[2].queries));
 
         auto published = bpu::zen34ParityMasks();
         std::size_t matched = 0;
@@ -71,25 +134,37 @@ main()
         }
         std::printf("Figure-7 functions recovered: %zu / %u\n", matched,
                     bpu::kNumZen34Functions);
+
+        auto& solver = campaign.sink().experiment("solver");
+        solver.setScalar("recovered",
+                         static_cast<double>(functions.size()));
+        solver.setScalar("matched_figure7", static_cast<double>(matched));
+        solver.setScalar("published",
+                         static_cast<double>(bpu::kNumZen34Functions));
     }
 
     // ---- Step 3: the paper's confirmed masks ---------------------------------
     {
         std::printf("\nConfirming the paper's collision masks on zen3 and "
                     "zen4:\n");
-        for (const auto& cfg : {cpu::zen3(), cpu::zen4()}) {
-            BtbReverseEngineer re(cfg, 31);
-            for (u64 mask :
-                 {0xffffbff800000000ull, 0xffff8003ff800000ull}) {
-                VAddr candidate =
-                    canonicalize(re.kernelVictimVa() ^ mask);
-                bool hit = re.collides(candidate) && re.collides(candidate);
+        auto& confirm = campaign.sink().experiment("confirmed_masks");
+        for (std::size_t idx = 0; idx < confirm_cfgs.size(); ++idx) {
+            const auto& cfg = confirm_cfgs[idx];
+            const auto& hits = blocks[3 + idx].confirmed;
+            for (std::size_t m = 0; m < std::size(kPaperMasks); ++m) {
+                char key[64];
+                std::snprintf(key, sizeof key, "%s_0x%016llx",
+                              cfg.name.c_str(),
+                              static_cast<unsigned long long>(
+                                  kPaperMasks[m]));
+                confirm.setLabel(key,
+                                 hits[m] ? "collides" : "no collision");
                 std::printf("    %s: K ^ 0x%016llx -> %s\n",
                             cfg.name.c_str(),
-                            static_cast<unsigned long long>(mask),
-                            hit ? "collides" : "no collision");
+                            static_cast<unsigned long long>(kPaperMasks[m]),
+                            hits[m] ? "collides" : "no collision");
             }
         }
     }
-    return 0;
+    return campaign.finish();
 }

@@ -5,6 +5,12 @@
  * — a nested PHANTOM speculation that dispatches the secret-dependent
  * load from a hijacked call — to leak 4096 bytes of randomized kernel
  * data via Flush+Reload. Zen 2 in the paper; we run Zen 1 and Zen 2.
+ *
+ * The repeated runs per microarchitecture are independent trials: each
+ * builds its own MdsGadgetLeak from a SeedStream-derived seed and
+ * records accuracy/bandwidth into per-worker ShardStats, merged into
+ * SampleSets at join — so the medians are identical for any
+ * PHANTOM_JOBS.
  */
 
 #include "attack/exploits.hpp"
@@ -30,22 +36,34 @@ main()
                 static_cast<unsigned long long>(bytes));
     bench::rule();
 
+    bench::Campaign campaign("bench_mds");
+
     for (const auto& cfg : {cpu::zen1(), cpu::zen2()}) {
-        SampleSet accuracy;
-        SampleSet bandwidth;
+        auto seeds = campaign.seeds(cfg.name.c_str());
+        std::vector<runner::ShardStats> shards(campaign.jobs());
+
+        auto signals = campaign.scheduler().runSharded(
+            runs, [&](u64 trial, unsigned worker) {
+                MdsLeakOptions options;
+                options.bytes = bytes;
+                options.seed = seeds.trialSeed(trial);
+                MdsGadgetLeak leak(cfg, options);
+                MdsLeakResult result = leak.run();
+                if (!result.supported)
+                    return false;
+                shards[worker].add("accuracy", trial, result.accuracy);
+                shards[worker].add("bandwidth", trial,
+                                   result.bytesPerSecond);
+                return result.noSignal < result.bytes;
+            });
+
+        auto merged = runner::mergeShards(shards);
+        const SampleSet& accuracy = merged["accuracy"];
+        const SampleSet& bandwidth = merged["bandwidth"];
         u64 runs_with_signal = 0;
-        for (u64 r = 0; r < runs; ++r) {
-            MdsLeakOptions options;
-            options.bytes = bytes;
-            options.seed = 777 + r * 13;
-            MdsGadgetLeak leak(cfg, options);
-            MdsLeakResult result = leak.run();
-            if (!result.supported)
-                continue;
-            accuracy.add(result.accuracy);
-            bandwidth.add(result.bytesPerSecond);
-            runs_with_signal += (result.noSignal < result.bytes) ? 1 : 0;
-        }
+        for (bool s : signals)
+            runs_with_signal += s ? 1 : 0;
+
         if (accuracy.count() == 0) {
             std::printf("%-6s %-22s  (no transient execution window)\n",
                         cfg.name.c_str(), cfg.model.c_str());
@@ -57,6 +75,14 @@ main()
                     static_cast<unsigned long long>(runs -
                                                     runs_with_signal),
                     bandwidth.median());
+
+        auto& exp = campaign.sink().experiment(cfg.name);
+        exp.addSamples("accuracy", accuracy);
+        exp.addSamples("bandwidth", bandwidth);
+        exp.setScalar("runs", static_cast<double>(runs));
+        exp.setScalar("runs_with_signal",
+                      static_cast<double>(runs_with_signal));
+        exp.setScalar("bytes", static_cast<double>(bytes));
     }
 
     std::printf("Paper (zen2): 100%% accuracy, median 84 B/s, signal in "
@@ -72,6 +98,9 @@ main()
         std::printf("zen4 negative control: supported=%s (paper: MDS "
                     "gadgets unexploitable beyond Zen 2)\n",
                     result.supported ? "yes (UNEXPECTED)" : "no");
+        campaign.sink()
+            .experiment("negative_control")
+            .setLabel("zen4_supported", result.supported ? "yes" : "no");
     }
-    return 0;
+    return campaign.finish();
 }

@@ -8,6 +8,10 @@
  * Zen 1/2 additionally execute; Intel shows IF/ID except for jmp*
  * victims; jmp* x jmp* is Spectre-V2 (EX everywhere); jmp* training of ret
  * victims is Retbleed (EX on Zen 1/2).
+ *
+ * Each (uarch, train, victim) cell is an independent trial dispatched
+ * through the campaign scheduler; cells are printed in table order
+ * after the join, so the output is identical for any PHANTOM_JOBS.
  */
 
 #include "attack/experiment.hpp"
@@ -24,6 +28,7 @@ const BranchKind kKinds[] = {
     BranchKind::IndirectJmp, BranchKind::DirectJmp, BranchKind::CondJmp,
     BranchKind::Ret, BranchKind::NonBranch,
 };
+constexpr std::size_t kNumKinds = std::size(kKinds);
 
 const char*
 cell(const StageObservation& obs)
@@ -50,7 +55,27 @@ main()
 
     u32 trials = static_cast<u32>(bench::runCount(5, 3));
 
-    for (const auto& cfg : cpu::allMicroarchs()) {
+    bench::Campaign campaign("bench_table1");
+    auto seeds = campaign.seeds("table1");
+    auto configs = cpu::allMicroarchs();
+
+    // One trial per table cell, flattened over (uarch, train, victim).
+    u64 cells = configs.size() * kNumKinds * kNumKinds;
+    auto observations =
+        campaign.scheduler().run(cells, [&](u64 trial) {
+            std::size_t cfg_idx = trial / (kNumKinds * kNumKinds);
+            std::size_t train_idx = (trial / kNumKinds) % kNumKinds;
+            std::size_t victim_idx = trial % kNumKinds;
+
+            StageExperimentOptions options;
+            options.trials = trials;
+            options.seed = seeds.trialSeed(trial);
+            StageExperiment experiment(configs[cfg_idx], options);
+            return experiment.run(kKinds[train_idx], kKinds[victim_idx]);
+        });
+
+    u64 trial = 0;
+    for (const auto& cfg : configs) {
         std::printf("\n%-8s (%s)\n", cfg.name.c_str(), cfg.model.c_str());
         std::printf("%-12s", "train\\victim");
         for (BranchKind victim : kKinds)
@@ -58,15 +83,15 @@ main()
         std::printf("\n");
         bench::rule();
 
-        StageExperimentOptions options;
-        options.trials = trials;
-        StageExperiment experiment(cfg, options);
-
+        auto& exp = campaign.sink().experiment(cfg.name);
         for (BranchKind train : kKinds) {
             std::printf("%-12s", branchKindName(train));
             for (BranchKind victim : kKinds) {
-                auto obs = experiment.run(train, victim);
-                std::printf("%12s", cell(obs));
+                const char* stage = cell(observations[trial++]);
+                std::printf("%12s", stage);
+                exp.setLabel(std::string(branchKindName(train)) + " x " +
+                                 branchKindName(victim),
+                             stage);
             }
             std::printf("\n");
         }
@@ -76,5 +101,5 @@ main()
                 " EX;\nZen 3/4 stop at ID; Intel jmp* victim columns are"
                 " opaque;\njmp*xjmp* = Spectre-V2 (EX everywhere);"
                 " jmp*xret = Retbleed (EX on Zen 1/2).\n");
-    return 0;
+    return campaign.finish();
 }

@@ -1,19 +1,31 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction binaries: environment
- * knobs for scaling run counts, and formatted output.
+ * Shared helpers for the table/figure reproduction binaries:
+ * environment knobs for scaling run counts, formatted output, and the
+ * Campaign entry point that wires a bench through the parallel
+ * experiment runner (src/runner).
  *
  * Every bench accepts:
- *   PHANTOM_FAST=1     reduced runs/sizes for quick iteration
- *   PHANTOM_RUNS=N     override the per-experiment repeat count
+ *   PHANTOM_FAST=1       reduced runs/sizes for quick iteration
+ *   PHANTOM_RUNS=N       override the per-experiment repeat count
+ *   PHANTOM_JOBS=N       worker threads (default: hardware concurrency;
+ *                        1 = the pre-runner serial path)
+ *   PHANTOM_SEED=N       campaign seed for per-trial seed derivation
+ *   PHANTOM_JSON_DIR=D   directory for the JSON results file
+ *                        (default ".", i.e. next to the text output)
  */
 
 #ifndef PHANTOM_BENCH_UTIL_HPP
 #define PHANTOM_BENCH_UTIL_HPP
 
+#include "runner/result_sink.hpp"
+#include "runner/scheduler.hpp"
+#include "runner/seed_stream.hpp"
+#include "runner/shard_stats.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,16 +40,30 @@ fastMode()
     return env != nullptr && env[0] == '1';
 }
 
+/**
+ * @p name from the environment as a decimal u64, or @p fallback when
+ * unset. Malformed values — empty, trailing garbage ("10x"), negative,
+ * out of range — fall back with a warning on stderr instead of being
+ * silently half-parsed.
+ */
 inline u64
 envOr(const char* name, u64 fallback)
 {
-    if (const char* env = std::getenv(name)) {
-        char* end = nullptr;
-        u64 v = std::strtoull(env, &end, 10);
-        if (end != env)
-            return v;
+    const char* env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    char* end = nullptr;
+    errno = 0;
+    u64 v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || *env == '-') {
+        std::fprintf(stderr,
+                     "phantom: ignoring malformed %s=\"%s\" "
+                     "(using %llu)\n",
+                     name, env,
+                     static_cast<unsigned long long>(fallback));
+        return fallback;
     }
-    return fallback;
+    return v;
 }
 
 /** Default repeat count: @p full normally, @p fast under PHANTOM_FAST. */
@@ -59,6 +85,69 @@ rule()
     std::printf("---------------------------------------------"
                 "---------------------------\n");
 }
+
+/** Default campaign seed when PHANTOM_SEED is unset. */
+inline constexpr u64 kDefaultCampaignSeed = 7;
+
+/**
+ * The per-bench runner bundle: a work-stealing scheduler sized from
+ * PHANTOM_JOBS, a campaign seed from PHANTOM_SEED, and a ResultSink
+ * that mirrors the printed tables into <bench>.json.
+ *
+ * Usage:
+ *   Campaign campaign("bench_foo");
+ *   auto seeds = campaign.seeds("experiment-name");
+ *   auto results = campaign.scheduler().run(n, [&](u64 trial) {
+ *       return runOneTrial(seeds.trialSeed(trial));
+ *   });
+ *   ... print + campaign.sink().experiment("experiment-name") ...
+ *   return campaign.finish();
+ */
+class Campaign
+{
+  public:
+    explicit Campaign(const char* bench_name)
+        : seed_(envOr("PHANTOM_SEED", kDefaultCampaignSeed)),
+          scheduler_(),
+          sink_(bench_name, seed_, scheduler_.jobs())
+    {
+    }
+
+    runner::TrialScheduler& scheduler() { return scheduler_; }
+    runner::ResultSink& sink() { return sink_; }
+    u64 seed() const { return seed_; }
+    unsigned jobs() const { return scheduler_.jobs(); }
+
+    /** Independent seed stream for the named experiment. */
+    runner::SeedStream
+    seeds(const char* experiment) const
+    {
+        return runner::SeedStream(seed_).substream(experiment);
+    }
+
+    /**
+     * Write the JSON results file and report where it went. Returns
+     * the bench's exit code (0 even if the JSON write failed: the text
+     * tables were already produced and remain authoritative).
+     */
+    int
+    finish()
+    {
+        sink_.setBusySeconds(scheduler_.busySeconds());
+        std::string path = sink_.writeJson();
+        if (!path.empty())
+            std::printf("\n[%s: seed=%llu jobs=%u results -> %s]\n",
+                        sink_.benchName().c_str(),
+                        static_cast<unsigned long long>(seed_), jobs(),
+                        path.c_str());
+        return 0;
+    }
+
+  private:
+    u64 seed_;
+    runner::TrialScheduler scheduler_;
+    runner::ResultSink sink_;
+};
 
 } // namespace phantom::bench
 

@@ -1,0 +1,62 @@
+# Smoke-runs one wired bench under the parallel runner and validates its
+# JSON result export. Invoked by the bench_smoke CTest targets as:
+#
+#   cmake -DBENCH=<bench exe> -DCHECKER=<json_check exe> -DNAME=<bench name>
+#         -DJSON_DIR=<scratch dir> -DKEYS=<;-list of experiment keys>
+#         [-DCOMPARE_JOBS=ON] -P RunBenchSmoke.cmake
+#
+# Steps:
+#   1. run the bench with PHANTOM_FAST=1 PHANTOM_JOBS=2
+#   2. check the emitted JSON parses, carries the schema marker, and
+#      contains the expected experiment keys
+#   3. with COMPARE_JOBS: rerun serially (PHANTOM_JOBS=1) and require the
+#      "experiments" subtree — every aggregated statistic — to be
+#      structurally identical to the parallel run
+
+file(MAKE_DIRECTORY "${JSON_DIR}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+        PHANTOM_FAST=1 PHANTOM_JOBS=2 "PHANTOM_JSON_DIR=${JSON_DIR}"
+        "${BENCH}"
+    RESULT_VARIABLE bench_rv
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err)
+if(NOT bench_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME} failed (rv=${bench_rv})\n${bench_out}\n${bench_err}")
+endif()
+
+execute_process(
+    COMMAND "${CHECKER}" --expect-experiments "${JSON_DIR}/${NAME}.json"
+        ${KEYS}
+    RESULT_VARIABLE check_rv)
+if(NOT check_rv EQUAL 0)
+    message(FATAL_ERROR "${NAME}: JSON validation failed")
+endif()
+
+if(COMPARE_JOBS)
+    file(MAKE_DIRECTORY "${JSON_DIR}/serial")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+            PHANTOM_FAST=1 PHANTOM_JOBS=1
+            "PHANTOM_JSON_DIR=${JSON_DIR}/serial"
+            "${BENCH}"
+        RESULT_VARIABLE serial_rv
+        OUTPUT_VARIABLE serial_out
+        ERROR_VARIABLE serial_err)
+    if(NOT serial_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME} serial rerun failed (rv=${serial_rv})\n"
+            "${serial_out}\n${serial_err}")
+    endif()
+    execute_process(
+        COMMAND "${CHECKER}" --equal-path experiments
+            "${JSON_DIR}/${NAME}.json" "${JSON_DIR}/serial/${NAME}.json"
+        RESULT_VARIABLE equal_rv)
+    if(NOT equal_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME}: PHANTOM_JOBS=2 and PHANTOM_JOBS=1 disagree on "
+            "aggregated statistics")
+    endif()
+endif()

@@ -1,0 +1,432 @@
+#include "runner/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace phantom::runner {
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    items_.push_back(std::move(v));
+}
+
+JsonValue&
+JsonValue::set(const std::string& key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    return members_[key] = std::move(v);
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+}
+
+const JsonValue*
+JsonValue::findPath(const std::string& dotted_path) const
+{
+    const JsonValue* node = this;
+    std::size_t start = 0;
+    while (node != nullptr && start <= dotted_path.size()) {
+        std::size_t dot = dotted_path.find('.', start);
+        if (dot == std::string::npos)
+            dot = dotted_path.size();
+        node = node->find(dotted_path.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return node;
+}
+
+bool
+JsonValue::operator==(const JsonValue& other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:   return true;
+      case Kind::Bool:   return bool_ == other.bool_;
+      case Kind::Number: return number_ == other.number_;
+      case Kind::String: return string_ == other.string_;
+      case Kind::Array:  return items_ == other.items_;
+      case Kind::Object: return members_ == other.members_;
+    }
+    return false;
+}
+
+namespace {
+
+void
+escapeTo(std::string& out, const std::string& s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+numberTo(std::string& out, double d)
+{
+    if (!std::isfinite(d)) {
+        out += "null";   // JSON has no inf/nan
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+void
+newlineIndent(std::string& out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string& out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        numberTo(out, number_);
+        break;
+      case Kind::String:
+        escapeTo(out, string_);
+        break;
+      case Kind::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const auto& item : items_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            item.dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            newlineIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+      case Kind::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto& [key, value] : members_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            escapeTo(out, key);
+            out += indent > 0 ? ": " : ":";
+            value.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            newlineIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---- parser -------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue& out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char* what)
+    {
+        if (error_ != nullptr) {
+            *error_ = std::string(what) + " at offset " +
+                      std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case 't':
+            if (literal("true")) { out = JsonValue(true); return true; }
+            return fail("bad literal");
+          case 'f':
+            if (literal("false")) { out = JsonValue(false); return true; }
+            return fail("bad literal");
+          case 'n':
+            if (literal("null")) { out = JsonValue(); return true; }
+            return fail("bad literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue& out)
+    {
+        ++pos_;   // '{'
+        out = JsonValue::object();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.set(key, std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue& out)
+    {
+        ++pos_;   // '['
+        out = JsonValue::array();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.push(std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/':  out.push_back('/'); break;
+              case 'n':  out.push_back('\n'); break;
+              case 't':  out.push_back('\t'); break;
+              case 'r':  out.push_back('\r'); break;
+              case 'b':  out.push_back('\b'); break;
+              case 'f':  out.push_back('\f'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Only the escapes our writer emits (< 0x20) are
+                // needed; encode anything in the BMP as UTF-8.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected value");
+        char* end = nullptr;
+        double d = std::strtod(text_.c_str() + start, &end);
+        if (end != text_.c_str() + pos_)
+            return fail("malformed number");
+        out = JsonValue(d);
+        return true;
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string& text, JsonValue& out, std::string* error)
+{
+    Parser parser(text, error);
+    return parser.parseDocument(out);
+}
+
+} // namespace phantom::runner

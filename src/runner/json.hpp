@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal JSON document model, serializer and parser.
+ *
+ * Just enough JSON for the result-export pipeline: the ResultSink
+ * serializes campaign results through JsonValue, and the bench_smoke
+ * tooling parses the emitted files back to validate them. No external
+ * dependencies; numbers round-trip through %.17g so aggregated
+ * statistics compare bit-identically across runs.
+ */
+
+#ifndef PHANTOM_RUNNER_JSON_HPP
+#define PHANTOM_RUNNER_JSON_HPP
+
+#include "sim/types.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phantom::runner {
+
+/** A JSON document node. Object keys are kept sorted (std::map), which
+ *  makes serialization — and therefore file diffs — deterministic. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double d) : kind_(Kind::Number), number_(d) {}
+    JsonValue(u64 n)
+        : kind_(Kind::Number), number_(static_cast<double>(n))
+    {
+    }
+    JsonValue(int n) : kind_(Kind::Number), number_(n) {}
+    JsonValue(const char* s) : kind_(Kind::String), string_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+    static JsonValue array() { JsonValue v; v.kind_ = Kind::Array; return v; }
+    static JsonValue object() { JsonValue v; v.kind_ = Kind::Object; return v; }
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return number_; }
+    const std::string& string() const { return string_; }
+    const std::vector<JsonValue>& items() const { return items_; }
+    const std::map<std::string, JsonValue>& members() const
+    {
+        return members_;
+    }
+
+    /** Append to an array (converts a Null node into an array). */
+    void push(JsonValue v);
+
+    /** Set an object member (converts a Null node into an object). */
+    JsonValue& set(const std::string& key, JsonValue v);
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Walk a dotted path ("a.b.c"); nullptr when any hop is missing. */
+    const JsonValue* findPath(const std::string& dotted_path) const;
+
+    /** Structural equality (numbers compared exactly). */
+    bool operator==(const JsonValue& other) const;
+    bool operator!=(const JsonValue& other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Serialize; @p indent > 0 pretty-prints. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::map<std::string, JsonValue> members_;
+};
+
+/**
+ * Parse @p text as a JSON document. Returns false and fills @p error
+ * (with offset context) on malformed input.
+ */
+bool parseJson(const std::string& text, JsonValue& out, std::string* error);
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_JSON_HPP

@@ -1,0 +1,153 @@
+#include "runner/result_sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phantom::runner {
+
+void
+ResultSink::Experiment::addSample(const std::string& metric, double value)
+{
+    metrics_[metric].add(value);
+}
+
+void
+ResultSink::Experiment::addSamples(const std::string& metric,
+                                   const SampleSet& set)
+{
+    SampleSet& dst = metrics_[metric];
+    for (double x : set.samples())
+        dst.add(x);
+}
+
+void
+ResultSink::Experiment::setScalar(const std::string& key, double value)
+{
+    scalars_[key] = value;
+}
+
+void
+ResultSink::Experiment::setLabel(const std::string& key,
+                                 const std::string& value)
+{
+    labels_[key] = value;
+}
+
+ResultSink::ResultSink(std::string bench_name, u64 campaign_seed,
+                       unsigned jobs)
+    : benchName_(std::move(bench_name)),
+      campaignSeed_(campaign_seed),
+      jobs_(jobs),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+ResultSink::Experiment&
+ResultSink::experiment(const std::string& name)
+{
+    return experiments_[name];
+}
+
+namespace {
+
+JsonValue
+metricToJson(const SampleSet& set)
+{
+    JsonValue m = JsonValue::object();
+    m.set("count", JsonValue(static_cast<u64>(set.count())));
+    m.set("mean", JsonValue(set.mean()));
+    m.set("median", JsonValue(set.median()));
+    m.set("stddev", JsonValue(set.stddev()));
+    m.set("p10", JsonValue(set.quantile(0.10)));
+    m.set("p90", JsonValue(set.quantile(0.90)));
+    JsonValue samples = JsonValue::array();
+    for (double x : set.samples())
+        samples.push(JsonValue(x));
+    m.set("samples", std::move(samples));
+    return m;
+}
+
+} // namespace
+
+JsonValue
+ResultSink::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue("phantom-bench-results/v1"));
+    doc.set("bench", JsonValue(benchName_));
+    doc.set("campaign_seed", JsonValue(campaignSeed_));
+    doc.set("jobs", JsonValue(static_cast<u64>(jobs_)));
+
+    JsonValue experiments = JsonValue::object();
+    for (const auto& [name, experiment] : experiments_) {
+        JsonValue e = JsonValue::object();
+        if (!experiment.metrics_.empty()) {
+            JsonValue metrics = JsonValue::object();
+            for (const auto& [metric, set] : experiment.metrics_)
+                metrics.set(metric, metricToJson(set));
+            e.set("metrics", std::move(metrics));
+        }
+        if (!experiment.scalars_.empty()) {
+            JsonValue scalars = JsonValue::object();
+            for (const auto& [key, value] : experiment.scalars_)
+                scalars.set(key, JsonValue(value));
+            e.set("scalars", std::move(scalars));
+        }
+        if (!experiment.labels_.empty()) {
+            JsonValue labels = JsonValue::object();
+            for (const auto& [key, value] : experiment.labels_)
+                labels.set(key, JsonValue(value));
+            e.set("labels", std::move(labels));
+        }
+        experiments.set(name, std::move(e));
+    }
+    doc.set("experiments", std::move(experiments));
+
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    JsonValue timing = JsonValue::object();
+    timing.set("wall_seconds", JsonValue(wall));
+    timing.set("busy_seconds", JsonValue(busySeconds_));
+    timing.set("speedup",
+               JsonValue(wall > 0.0 ? busySeconds_ / wall : 0.0));
+    doc.set("timing", std::move(timing));
+    return doc;
+}
+
+std::string
+ResultSink::defaultPath() const
+{
+    const char* dir = std::getenv("PHANTOM_JSON_DIR");
+    std::string prefix = (dir != nullptr && *dir != '\0') ? dir : ".";
+    if (prefix.back() != '/')
+        prefix.push_back('/');
+    return prefix + benchName_ + ".json";
+}
+
+std::string
+ResultSink::writeJson(const std::string& path) const
+{
+    std::string target = path.empty() ? defaultPath() : path;
+    std::string text = toJson().dump(2);
+    text.push_back('\n');
+
+    std::FILE* f = std::fopen(target.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr,
+                     "phantom: cannot open %s for JSON results\n",
+                     target.c_str());
+        return "";
+    }
+    std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = written == text.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::fprintf(stderr,
+                     "phantom: short write of JSON results to %s\n",
+                     target.c_str());
+        return "";
+    }
+    return target;
+}
+
+} // namespace phantom::runner

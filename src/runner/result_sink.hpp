@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structured result export for experiment campaigns.
+ *
+ * Every wired bench keeps printing its human-readable tables, and
+ * additionally streams its results into a ResultSink which writes one
+ * JSON file per bench (schema "phantom-bench-results/v1"):
+ *
+ *   {
+ *     "schema": "phantom-bench-results/v1",
+ *     "bench": "bench_table1",
+ *     "campaign_seed": 1, "jobs": 8, "fast_mode": true,
+ *     "experiments": {
+ *       "<experiment>": {
+ *         "metrics": { "<metric>": { "count", "mean", "median",
+ *                                    "stddev", "p10", "p90",
+ *                                    "samples": [...] } },
+ *         "scalars": { "<key>": <number> },
+ *         "labels":  { "<key>": "<string>" }
+ *       }
+ *     },
+ *     "timing": { "wall_seconds", "busy_seconds", "speedup" }
+ *   }
+ *
+ * Everything under "experiments" is derived from seeded simulation only
+ * and is bit-identical for a given campaign seed regardless of
+ * PHANTOM_JOBS; "timing" is measured and varies run to run.
+ */
+
+#ifndef PHANTOM_RUNNER_RESULT_SINK_HPP
+#define PHANTOM_RUNNER_RESULT_SINK_HPP
+
+#include "runner/json.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace phantom::runner {
+
+class ResultSink
+{
+  public:
+    /** One named experiment (one table, figure panel, or ablation). */
+    class Experiment
+    {
+      public:
+        /** Append one sample to @p metric. */
+        void addSample(const std::string& metric, double value);
+
+        /** Append every sample of @p set to @p metric, in order. */
+        void addSamples(const std::string& metric, const SampleSet& set);
+
+        /** Record a single named number (counts, offsets, rates). */
+        void setScalar(const std::string& key, double value);
+
+        /** Record a single named string (stage cells, verdicts). */
+        void setLabel(const std::string& key, const std::string& value);
+
+        const std::map<std::string, SampleSet>& metrics() const
+        {
+            return metrics_;
+        }
+
+      private:
+        friend class ResultSink;
+        std::map<std::string, SampleSet> metrics_;
+        std::map<std::string, double> scalars_;
+        std::map<std::string, std::string> labels_;
+    };
+
+    ResultSink(std::string bench_name, u64 campaign_seed, unsigned jobs);
+
+    /** Get-or-create the experiment named @p name. */
+    Experiment& experiment(const std::string& name);
+
+    /** Sum of per-worker busy time, for the timing.speedup field. */
+    void setBusySeconds(double seconds) { busySeconds_ = seconds; }
+
+    /** Build the full document (wall-clock measured since ctor). */
+    JsonValue toJson() const;
+
+    /**
+     * Serialize to @p path ("" selects defaultPath()). Returns the
+     * path written, or "" on I/O failure (logged, not fatal: the text
+     * tables remain authoritative).
+     */
+    std::string writeJson(const std::string& path = "") const;
+
+    /** $PHANTOM_JSON_DIR/<bench>.json, defaulting to "./<bench>.json". */
+    std::string defaultPath() const;
+
+    const std::string& benchName() const { return benchName_; }
+
+  private:
+    std::string benchName_;
+    u64 campaignSeed_;
+    unsigned jobs_;
+    double busySeconds_ = 0.0;
+    std::chrono::steady_clock::time_point start_;
+    std::map<std::string, Experiment> experiments_;
+};
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_RESULT_SINK_HPP

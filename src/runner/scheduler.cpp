@@ -1,0 +1,155 @@
+#include "runner/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace phantom::runner {
+
+unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1u : n;
+}
+
+unsigned
+jobsFromEnv()
+{
+    const char* env = std::getenv("PHANTOM_JOBS");
+    if (env == nullptr || *env == '\0')
+        return hardwareJobs();
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0 || v > 4096) {
+        std::fprintf(stderr,
+                     "phantom: ignoring malformed PHANTOM_JOBS=\"%s\" "
+                     "(using hardware concurrency %u)\n",
+                     env, hardwareJobs());
+        return hardwareJobs();
+    }
+    return static_cast<unsigned>(v);
+}
+
+TrialScheduler::TrialScheduler(unsigned jobs)
+    : jobs_(jobs == 0 ? jobsFromEnv() : jobs)
+{
+}
+
+namespace {
+
+/** One worker's deque of pending trial indices. Owner pops the front;
+ *  thieves take from the back, so a victim's cache-warm contiguous
+ *  chunk stays with its owner as long as possible. */
+struct WorkerDeque
+{
+    std::mutex mutex;
+    std::deque<u64> trials;
+};
+
+} // namespace
+
+void
+TrialScheduler::runTasks(u64 count,
+                         const std::function<void(u64, unsigned)>& task)
+{
+    using clock = std::chrono::steady_clock;
+
+    if (count == 0)
+        return;
+
+    // Serial path: no threads, no queues, exceptions propagate directly.
+    // This is byte-for-byte the behaviour of the old per-bench for loops.
+    if (jobs_ == 1 || count == 1) {
+        auto start = clock::now();
+        for (u64 trial = 0; trial < count; ++trial)
+            task(trial, 0);
+        busySeconds_ +=
+            std::chrono::duration<double>(clock::now() - start).count();
+        return;
+    }
+
+    unsigned workers =
+        static_cast<unsigned>(std::min<u64>(jobs_, count));
+
+    // Contiguous block distribution: worker w starts with trials
+    // [w*count/workers, (w+1)*count/workers).
+    std::vector<WorkerDeque> deques(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        u64 lo = count * w / workers;
+        u64 hi = count * (w + 1) / workers;
+        for (u64 trial = lo; trial < hi; ++trial)
+            deques[w].trials.push_back(trial);
+    }
+
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::atomic<double> busy{0.0};
+
+    auto worker_main = [&](unsigned self) {
+        auto start = clock::now();
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                break;
+
+            u64 trial = 0;
+            bool got = false;
+
+            {   // Own queue first (front: preserves chunk order).
+                std::lock_guard<std::mutex> lock(deques[self].mutex);
+                if (!deques[self].trials.empty()) {
+                    trial = deques[self].trials.front();
+                    deques[self].trials.pop_front();
+                    got = true;
+                }
+            }
+            // Steal from the back of the first non-empty victim.
+            for (unsigned step = 1; !got && step < workers; ++step) {
+                unsigned victim = (self + step) % workers;
+                std::lock_guard<std::mutex> lock(deques[victim].mutex);
+                if (!deques[victim].trials.empty()) {
+                    trial = deques[victim].trials.back();
+                    deques[victim].trials.pop_back();
+                    got = true;
+                }
+            }
+            if (!got)
+                break;   // every deque empty: campaign drained
+
+            try {
+                task(trial, self);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        double elapsed =
+            std::chrono::duration<double>(clock::now() - start).count();
+        double expected = busy.load();
+        while (!busy.compare_exchange_weak(expected, expected + elapsed)) {
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker_main, w);
+    for (auto& thread : pool)
+        thread.join();
+
+    busySeconds_ += busy.load();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace phantom::runner

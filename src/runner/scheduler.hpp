@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Work-stealing trial scheduler.
+ *
+ * Experiment campaigns consist of many INDEPENDENT trials — each trial
+ * builds its own Machine/Testbed from its own seed, so trials share no
+ * mutable simulator state and can run on any thread in any order. The
+ * scheduler distributes trial indices across worker deques (contiguous
+ * chunks for locality), lets idle workers steal from the tail of busy
+ * workers' deques, and writes each result into a slot indexed by trial
+ * number. Aggregation therefore sees results in trial order no matter
+ * how the trials were scheduled: same seed -> bit-identical statistics
+ * for any thread count.
+ *
+ * PHANTOM_JOBS=N selects the worker count (default: hardware
+ * concurrency). PHANTOM_JOBS=1 runs every trial inline on the calling
+ * thread — the exact serial path the benches had before the runner.
+ */
+
+#ifndef PHANTOM_RUNNER_SCHEDULER_HPP
+#define PHANTOM_RUNNER_SCHEDULER_HPP
+
+#include "sim/types.hpp"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace phantom::runner {
+
+/** max(1, std::thread::hardware_concurrency()). */
+unsigned hardwareJobs();
+
+/** Worker count from PHANTOM_JOBS, defaulting to hardwareJobs(). */
+unsigned jobsFromEnv();
+
+class TrialScheduler
+{
+  public:
+    /** @p jobs worker threads; 0 means "use jobsFromEnv()". */
+    explicit TrialScheduler(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute @p fn(trial) for every trial in [0, count) and return the
+     * results in trial order. The first exception thrown by any trial
+     * is rethrown here after all workers have stopped.
+     */
+    template <typename Fn>
+    auto
+    run(u64 count, Fn&& fn) -> std::vector<decltype(fn(u64{}))>
+    {
+        std::vector<decltype(fn(u64{}))> results(count);
+        runTasks(count, [&](u64 trial, unsigned) {
+            results[trial] = fn(trial);
+        });
+        return results;
+    }
+
+    /**
+     * As run(), but @p fn also receives the worker index in
+     * [0, jobs()), for code that accumulates into per-worker shards
+     * (see ShardStats).
+     */
+    template <typename Fn>
+    auto
+    runSharded(u64 count, Fn&& fn)
+        -> std::vector<decltype(fn(u64{}, unsigned{}))>
+    {
+        std::vector<decltype(fn(u64{}, unsigned{}))> results(count);
+        runTasks(count, [&](u64 trial, unsigned worker) {
+            results[trial] = fn(trial, worker);
+        });
+        return results;
+    }
+
+    /** Execute @p count trials for side effects only. */
+    void
+    forEach(u64 count, const std::function<void(u64, unsigned)>& fn)
+    {
+        runTasks(count, fn);
+    }
+
+    /**
+     * Total seconds workers spent inside trials, summed across workers
+     * and accumulated over every run on this scheduler. busySeconds /
+     * wall-clock approximates the parallel speedup.
+     */
+    double busySeconds() const { return busySeconds_; }
+
+  private:
+    /** Run @p count tasks across the pool; rethrows the first failure. */
+    void runTasks(u64 count, const std::function<void(u64, unsigned)>& task);
+
+    unsigned jobs_;
+    double busySeconds_ = 0.0;
+};
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_SCHEDULER_HPP

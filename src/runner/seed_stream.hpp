@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic per-trial seed derivation for experiment campaigns.
+ *
+ * A campaign has ONE user-visible seed (PHANTOM_SEED). Every trial the
+ * runner schedules derives its own independent seed from that campaign
+ * seed and the trial index via SplitMix64, so the set of seeds — and
+ * therefore every simulation result — is bit-identical no matter how
+ * many worker threads execute the campaign or in which order the
+ * trials complete.
+ */
+
+#ifndef PHANTOM_RUNNER_SEED_STREAM_HPP
+#define PHANTOM_RUNNER_SEED_STREAM_HPP
+
+#include "sim/types.hpp"
+
+#include <string_view>
+
+namespace phantom::runner {
+
+/** SplitMix64 output function (Steele et al.); a bijection on u64. */
+inline u64
+splitmix64(u64 z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** FNV-1a 64-bit hash, used to fold experiment names into substreams. */
+inline u64
+fnv1a(std::string_view s)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<u8>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * A stream of per-trial seeds rooted at a campaign seed.
+ *
+ * trialSeed(i) = splitmix64(base + (i + 1) * gamma) with an odd gamma,
+ * so the pre-mix inputs are pairwise distinct for distinct indices and
+ * (splitmix64 being a bijection) the derived seeds are too. Pure 64-bit
+ * integer arithmetic: identical on every platform and compiler.
+ */
+class SeedStream
+{
+  public:
+    explicit SeedStream(u64 campaign_seed) : base_(campaign_seed) {}
+
+    /** Seed for trial @p index; distinct per index, stable per stream. */
+    u64
+    trialSeed(u64 index) const
+    {
+        return splitmix64(base_ + (index + 1) * kGamma);
+    }
+
+    /**
+     * Independent stream for a named experiment within the same
+     * campaign, so two experiments never share trial seeds even at
+     * equal indices.
+     */
+    SeedStream
+    substream(std::string_view name) const
+    {
+        return SeedStream(splitmix64(base_ ^ fnv1a(name)));
+    }
+
+    u64 base() const { return base_; }
+
+  private:
+    static constexpr u64 kGamma = 0x9e3779b97f4a7c15ull;   // odd
+
+    u64 base_;
+};
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_SEED_STREAM_HPP

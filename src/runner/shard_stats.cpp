@@ -1,0 +1,36 @@
+#include "runner/shard_stats.hpp"
+
+#include <algorithm>
+
+namespace phantom::runner {
+
+std::map<std::string, SampleSet>
+mergeShards(const std::vector<ShardStats>& shards)
+{
+    std::vector<const ShardStats::Entry*> all;
+    std::size_t total = 0;
+    for (const auto& shard : shards)
+        total += shard.entries().size();
+    all.reserve(total);
+    for (const auto& shard : shards)
+        for (const auto& entry : shard.entries())
+            all.push_back(&entry);
+
+    // Entries with equal (metric, trial) were produced by one worker in
+    // one trial; stable_sort keeps their insertion order, so the merged
+    // order is schedule-independent.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const ShardStats::Entry* a,
+                        const ShardStats::Entry* b) {
+                         if (a->metric != b->metric)
+                             return a->metric < b->metric;
+                         return a->trial < b->trial;
+                     });
+
+    std::map<std::string, SampleSet> merged;
+    for (const ShardStats::Entry* entry : all)
+        merged[entry->metric].add(entry->value);
+    return merged;
+}
+
+} // namespace phantom::runner

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-worker sample accumulation with deterministic merge.
+ *
+ * Each scheduler worker owns one ShardStats and records samples into it
+ * without synchronization. At join time the shards are merged into
+ * ordinary SampleSets, ordered by trial index — NOT by worker or
+ * completion order — so the merged statistics are bit-identical
+ * regardless of how trials were scheduled.
+ */
+
+#ifndef PHANTOM_RUNNER_SHARD_STATS_HPP
+#define PHANTOM_RUNNER_SHARD_STATS_HPP
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phantom::runner {
+
+/**
+ * One worker's private sample log. Append-only and unsynchronized.
+ * Every sample is tagged with the trial index that produced it; since
+ * a trial runs on exactly one worker, sorting the concatenated shards
+ * by (metric, trial) with a stable sort yields a total order that is
+ * independent of the schedule.
+ */
+class ShardStats
+{
+  public:
+    struct Entry
+    {
+        std::string metric;
+        u64 trial;    ///< trial index that produced the sample
+        double value;
+    };
+
+    /** Record @p value for @p metric, produced by trial @p trial. */
+    void
+    add(std::string_view metric, u64 trial, double value)
+    {
+        entries_.push_back(Entry{std::string(metric), trial, value});
+    }
+
+    const std::vector<Entry>& entries() const { return entries_; }
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Merge worker shards into one SampleSet per metric. Samples are
+ * ordered by trial index (insertion order within a trial), so the
+ * result depends only on what the trials computed, not on thread count
+ * or completion order.
+ */
+std::map<std::string, SampleSet>
+mergeShards(const std::vector<ShardStats>& shards);
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_SHARD_STATS_HPP

@@ -32,13 +32,19 @@ stddev(const std::vector<double>& xs)
 double
 median(std::vector<double> xs)
 {
-    if (xs.empty())
-        return 0.0;
     std::sort(xs.begin(), xs.end());
-    std::size_t n = xs.size();
+    return medianSorted(xs);
+}
+
+double
+medianSorted(const std::vector<double>& sorted_xs)
+{
+    if (sorted_xs.empty())
+        return 0.0;
+    std::size_t n = sorted_xs.size();
     if (n % 2 == 1)
-        return xs[n / 2];
-    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+        return sorted_xs[n / 2];
+    return 0.5 * (sorted_xs[n / 2 - 1] + sorted_xs[n / 2]);
 }
 
 double
@@ -57,15 +63,21 @@ geomean(const std::vector<double>& xs)
 double
 quantile(std::vector<double> xs, double q)
 {
-    if (xs.empty())
-        return 0.0;
     std::sort(xs.begin(), xs.end());
+    return quantileSorted(xs, q);
+}
+
+double
+quantileSorted(const std::vector<double>& sorted_xs, double q)
+{
+    if (sorted_xs.empty())
+        return 0.0;
     q = std::clamp(q, 0.0, 1.0);
-    double pos = q * static_cast<double>(xs.size() - 1);
+    double pos = q * static_cast<double>(sorted_xs.size() - 1);
     std::size_t lo = static_cast<std::size_t>(pos);
-    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    std::size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
     double frac = pos - static_cast<double>(lo);
-    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+    return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
 }
 
 double

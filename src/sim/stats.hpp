@@ -7,6 +7,7 @@
 #ifndef PHANTOM_SIM_STATS_HPP
 #define PHANTOM_SIM_STATS_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -27,6 +28,12 @@ double geomean(const std::vector<double>& xs);
 /** @p q-quantile (0..1) of @p xs using linear interpolation. */
 double quantile(std::vector<double> xs, double q);
 
+/** median() for @p sorted_xs already in ascending order. */
+double medianSorted(const std::vector<double>& sorted_xs);
+
+/** quantile() for @p sorted_xs already in ascending order. */
+double quantileSorted(const std::vector<double>& sorted_xs, double q);
+
 /** Fraction of true entries, in [0, 1]; 0 if empty. */
 double successRate(const std::vector<bool>& xs);
 
@@ -37,19 +44,46 @@ double successRate(const std::vector<bool>& xs);
 class SampleSet
 {
   public:
-    void add(double x) { samples_.push_back(x); }
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sortedValid_ = false;
+    }
 
     std::size_t count() const { return samples_.size(); }
     double mean() const { return phantom::mean(samples_); }
-    double median() const { return phantom::median(samples_); }
+    double median() const { return phantom::medianSorted(sorted()); }
     double geomean() const { return phantom::geomean(samples_); }
     double stddev() const { return phantom::stddev(samples_); }
-    double quantile(double q) const { return phantom::quantile(samples_, q); }
+    double
+    quantile(double q) const
+    {
+        return phantom::quantileSorted(sorted(), q);
+    }
 
     const std::vector<double>& samples() const { return samples_; }
 
+    /**
+     * Samples in ascending order. Cached: repeated median()/quantile()
+     * calls sort once, and add() invalidates. (Not thread-safe; shards
+     * merge into a SampleSet only after the workers have joined.)
+     */
+    const std::vector<double>&
+    sorted() const
+    {
+        if (!sortedValid_) {
+            sorted_ = samples_;
+            std::sort(sorted_.begin(), sorted_.end());
+            sortedValid_ = true;
+        }
+        return sorted_;
+    }
+
   private:
     std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
 };
 
 } // namespace phantom

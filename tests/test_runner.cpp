@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The runner subsystem contract:
+ *
+ *  - scheduling is invisible: 1 worker and N workers produce identical
+ *    per-trial results and identical merged statistics for a seed,
+ *  - exceptions thrown inside worker trials propagate to the caller,
+ *  - shard merging orders samples by trial, not by worker,
+ *  - the ResultSink emits JSON that parses back to the same document,
+ *  - SampleSet's cached sorted view stays correct across add().
+ */
+
+#include "runner/json.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/scheduler.hpp"
+#include "runner/seed_stream.hpp"
+#include "runner/shard_stats.hpp"
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace phantom::runner {
+namespace {
+
+/** A deterministic stand-in for one simulation trial. */
+double
+fakeTrial(u64 seed)
+{
+    Rng rng(seed);
+    double acc = 0.0;
+    for (int i = 0; i < 100; ++i)
+        acc += rng.uniform();
+    return acc;
+}
+
+TEST(TrialScheduler, ResultsIdenticalAcrossThreadCounts)
+{
+    SeedStream seeds(99);
+    auto campaign = [&](unsigned jobs) {
+        TrialScheduler scheduler(jobs);
+        return scheduler.run(
+            257, [&](u64 trial) { return fakeTrial(seeds.trialSeed(trial)); });
+    };
+
+    auto serial = campaign(1);
+    for (unsigned jobs : {2u, 4u, 7u}) {
+        auto parallel = campaign(jobs);
+        // Bit-identical, not approximately equal: the whole point.
+        EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+    }
+}
+
+TEST(TrialScheduler, MergedStatisticsIdenticalAcrossThreadCounts)
+{
+    SeedStream seeds(7);
+    auto campaign = [&](unsigned jobs) {
+        TrialScheduler scheduler(jobs);
+        std::vector<ShardStats> shards(scheduler.jobs());
+        scheduler.forEach(100, [&](u64 trial, unsigned worker) {
+            double x = fakeTrial(seeds.trialSeed(trial));
+            shards[worker].add("metric", trial, x);
+            shards[worker].add("half", trial, x / 2.0);
+        });
+        return mergeShards(shards);
+    };
+
+    auto serial = campaign(1);
+    auto parallel = campaign(4);
+    ASSERT_EQ(serial.size(), 2u);
+    ASSERT_EQ(parallel.size(), 2u);
+    for (const char* metric : {"metric", "half"}) {
+        EXPECT_EQ(serial[metric].samples(), parallel[metric].samples());
+        EXPECT_EQ(serial[metric].median(), parallel[metric].median());
+        EXPECT_EQ(serial[metric].quantile(0.9),
+                  parallel[metric].quantile(0.9));
+    }
+}
+
+TEST(TrialScheduler, RunsEveryTrialExactlyOnce)
+{
+    TrialScheduler scheduler(4);
+    std::vector<std::atomic<int>> hits(1000);
+    scheduler.forEach(1000, [&](u64 trial, unsigned) { ++hits[trial]; });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TrialScheduler, PropagatesWorkerExceptions)
+{
+    TrialScheduler scheduler(4);
+    try {
+        scheduler.forEach(64, [&](u64 trial, unsigned) {
+            if (trial == 13)
+                throw std::runtime_error("trial 13 exploded");
+        });
+        FAIL() << "expected the worker exception to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "trial 13 exploded");
+    }
+}
+
+TEST(TrialScheduler, PropagatesSerialExceptions)
+{
+    TrialScheduler scheduler(1);
+    EXPECT_THROW(scheduler.forEach(4,
+                                   [&](u64, unsigned) {
+                                       throw std::runtime_error("serial");
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(TrialScheduler, JobsDefaultsAndOverrides)
+{
+    EXPECT_EQ(TrialScheduler(3).jobs(), 3u);
+    EXPECT_GE(TrialScheduler(0).jobs(), 1u);
+    EXPECT_GE(hardwareJobs(), 1u);
+}
+
+TEST(TrialScheduler, TracksBusyTime)
+{
+    TrialScheduler scheduler(2);
+    EXPECT_EQ(scheduler.busySeconds(), 0.0);
+    scheduler.forEach(16, [&](u64 trial, unsigned) {
+        volatile double sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            sink = sink + fakeTrial(trial);
+    });
+    EXPECT_GT(scheduler.busySeconds(), 0.0);
+}
+
+TEST(ShardStats, MergeOrdersByTrialNotByWorker)
+{
+    // Worker 1 finished trials 0 and 2; worker 0 finished 1 and 3 —
+    // merge must come out in trial order regardless.
+    std::vector<ShardStats> shards(2);
+    shards[1].add("m", 2, 20.0);
+    shards[1].add("m", 0, 0.0);
+    shards[0].add("m", 3, 30.0);
+    shards[0].add("m", 1, 10.0);
+
+    auto merged = mergeShards(shards);
+    ASSERT_EQ(merged.count("m"), 1u);
+    EXPECT_EQ(merged["m"].samples(),
+              (std::vector<double>{0.0, 10.0, 20.0, 30.0}));
+}
+
+TEST(ShardStats, MergePreservesInsertionOrderWithinTrial)
+{
+    std::vector<ShardStats> shards(1);
+    shards[0].add("m", 5, 3.0);
+    shards[0].add("m", 5, 1.0);
+    shards[0].add("m", 5, 2.0);
+    auto merged = mergeShards(shards);
+    EXPECT_EQ(merged["m"].samples(),
+              (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(ShardStats, MergeSeparatesMetrics)
+{
+    std::vector<ShardStats> shards(2);
+    shards[0].add("a", 0, 1.0);
+    shards[1].add("b", 0, 2.0);
+    auto merged = mergeShards(shards);
+    EXPECT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged["a"].count(), 1u);
+    EXPECT_EQ(merged["b"].count(), 1u);
+}
+
+TEST(SampleSetCache, SortedViewInvalidatedByAdd)
+{
+    SampleSet set;
+    set.add(3.0);
+    set.add(1.0);
+    EXPECT_EQ(set.median(), 2.0);
+    // A second add after a median() call must invalidate the cache.
+    set.add(2.0);
+    EXPECT_EQ(set.median(), 2.0);
+    set.add(100.0);
+    EXPECT_EQ(set.quantile(1.0), 100.0);
+    EXPECT_EQ(set.sorted(), (std::vector<double>{1.0, 2.0, 3.0, 100.0}));
+    // samples() stays in insertion order.
+    EXPECT_EQ(set.samples(), (std::vector<double>{3.0, 1.0, 2.0, 100.0}));
+}
+
+TEST(Json, RoundTripsThroughDumpAndParse)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("name", JsonValue("phantom \"quoted\" \n"));
+    doc.set("count", JsonValue(u64{42}));
+    doc.set("ratio", JsonValue(0.1));
+    doc.set("flag", JsonValue(true));
+    doc.set("nothing", JsonValue());
+    JsonValue list = JsonValue::array();
+    for (double x : {1.5, -2.25, 1e-17})
+        list.push(JsonValue(x));
+    doc.set("samples", std::move(list));
+
+    for (int indent : {0, 2}) {
+        JsonValue parsed;
+        std::string error;
+        ASSERT_TRUE(parseJson(doc.dump(indent), parsed, &error)) << error;
+        EXPECT_EQ(parsed, doc);
+    }
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char* bad : {"", "{", "{\"a\":}", "[1,]", "tru", "1x",
+                            "{\"a\":1}x", "\"unterminated"}) {
+        JsonValue out;
+        std::string error;
+        EXPECT_FALSE(parseJson(bad, out, &error)) << bad;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Json, FindPathWalksNestedObjects)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(R"({"a":{"b":{"c":3}}})", doc, &error));
+    const JsonValue* c = doc.findPath("a.b.c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->number(), 3.0);
+    EXPECT_EQ(doc.findPath("a.b.missing"), nullptr);
+    EXPECT_EQ(doc.findPath("a.b.c.d"), nullptr);
+}
+
+TEST(ResultSink, WritesParseableJsonWithExperiments)
+{
+    ResultSink sink("test_bench", 7, 2);
+    auto& exp = sink.experiment("exp1");
+    exp.addSample("metric", 1.0);
+    exp.addSample("metric", 2.0);
+    exp.setScalar("count", 2.0);
+    exp.setLabel("verdict", "ok");
+    sink.experiment("exp2").addSample("other", 0.5);
+    sink.setBusySeconds(1.5);
+
+    std::string path =
+        testing::TempDir() + "/phantom_result_sink_test.json";
+    ASSERT_EQ(sink.writeJson(path), path);
+
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(buffer.str(), doc, &error)) << error;
+
+    EXPECT_EQ(doc.findPath("schema")->string(),
+              "phantom-bench-results/v1");
+    EXPECT_EQ(doc.findPath("campaign_seed")->number(), 7.0);
+    EXPECT_EQ(doc.findPath("jobs")->number(), 2.0);
+    ASSERT_NE(doc.findPath("experiments.exp1.metrics.metric"), nullptr);
+    EXPECT_EQ(
+        doc.findPath("experiments.exp1.metrics.metric.count")->number(),
+        2.0);
+    EXPECT_EQ(
+        doc.findPath("experiments.exp1.metrics.metric.median")->number(),
+        1.5);
+    EXPECT_EQ(doc.findPath("experiments.exp1.scalars.count")->number(),
+              2.0);
+    EXPECT_EQ(doc.findPath("experiments.exp1.labels.verdict")->string(),
+              "ok");
+    ASSERT_NE(doc.findPath("experiments.exp2"), nullptr);
+    EXPECT_GT(doc.findPath("timing.busy_seconds")->number(), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(ResultSink, ReportsFailureOnUnwritablePath)
+{
+    ResultSink sink("nope", 1, 1);
+    EXPECT_EQ(sink.writeJson("/nonexistent-dir/x/y.json"), "");
+}
+
+} // namespace
+} // namespace phantom::runner

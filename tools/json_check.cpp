@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Validation tool for the bench JSON result files, used by the
+ * bench_smoke CTest suite.
+ *
+ *   json_check --parse FILE
+ *       exit 0 iff FILE is valid JSON
+ *   json_check --expect-experiments FILE KEY...
+ *       additionally require the schema marker and every KEY under
+ *       "experiments"
+ *   json_check --equal-path PATH FILE1 FILE2
+ *       require the subtrees at dotted PATH to be structurally equal
+ *       (used to assert PHANTOM_JOBS=1 and =N produce byte-identical
+ *       aggregated statistics)
+ */
+
+#include "runner/json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using phantom::runner::JsonValue;
+using phantom::runner::parseJson;
+
+namespace {
+
+bool
+loadJson(const char* path, JsonValue& out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "json_check: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!parseJson(buffer.str(), out, &error)) {
+        std::fprintf(stderr, "json_check: %s: %s\n", path, error.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: json_check --parse FILE\n"
+                 "       json_check --expect-experiments FILE KEY...\n"
+                 "       json_check --equal-path PATH FILE1 FILE2\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string mode = argv[1];
+
+    if (mode == "--parse") {
+        JsonValue doc;
+        return loadJson(argv[2], doc) ? 0 : 1;
+    }
+
+    if (mode == "--expect-experiments") {
+        JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return 1;
+        const JsonValue* schema = doc.find("schema");
+        if (schema == nullptr ||
+            schema->string() != "phantom-bench-results/v1") {
+            std::fprintf(stderr, "json_check: %s: missing schema marker\n",
+                         argv[2]);
+            return 1;
+        }
+        const JsonValue* experiments = doc.find("experiments");
+        if (experiments == nullptr || !experiments->isObject()) {
+            std::fprintf(stderr,
+                         "json_check: %s: no \"experiments\" object\n",
+                         argv[2]);
+            return 1;
+        }
+        int missing = 0;
+        for (int i = 3; i < argc; ++i) {
+            if (experiments->find(argv[i]) == nullptr) {
+                std::fprintf(stderr,
+                             "json_check: %s: experiment \"%s\" missing\n",
+                             argv[2], argv[i]);
+                ++missing;
+            }
+        }
+        return missing == 0 ? 0 : 1;
+    }
+
+    if (mode == "--equal-path") {
+        if (argc != 5)
+            return usage();
+        JsonValue a;
+        JsonValue b;
+        if (!loadJson(argv[3], a) || !loadJson(argv[4], b))
+            return 1;
+        const JsonValue* lhs = a.findPath(argv[2]);
+        const JsonValue* rhs = b.findPath(argv[2]);
+        if (lhs == nullptr || rhs == nullptr) {
+            std::fprintf(stderr, "json_check: path \"%s\" missing\n",
+                         argv[2]);
+            return 1;
+        }
+        if (*lhs != *rhs) {
+            std::fprintf(stderr,
+                         "json_check: subtree \"%s\" differs between %s "
+                         "and %s\n",
+                         argv[2], argv[3], argv[4]);
+            return 1;
+        }
+        return 0;
+    }
+
+    return usage();
+}
