@@ -91,12 +91,14 @@ main()
         base.noise.l1iEvictChance *= 3.0;   // stress the channel
         auto seeds = campaign.seeds("a2");
 
-        // Trial layout: sets-sweep outer, repeat index inner.
+        // Trial layout: sets-sweep outer, repeat index inner. The seed
+        // depends only on the repeat index so every set count is scored
+        // against the same noise realizations (paired comparison).
         auto successes = campaign.scheduler().run(
             set_counts.size() * a2_runs, [&](u64 trial) {
                 u32 sets = set_counts[trial / a2_runs];
                 Testbed bed(base, kDefaultPhysBytes,
-                            seeds.trialSeed(trial));
+                            seeds.trialSeed(trial % a2_runs));
                 KaslrOptions options;
                 options.scoreSets = sets;
                 KernelImageKaslrBreak exploit(bed, options);

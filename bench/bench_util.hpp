@@ -25,6 +25,7 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -52,10 +53,15 @@ envOr(const char* name, u64 fallback)
     const char* env = std::getenv(name);
     if (env == nullptr)
         return fallback;
+    // strtoull skips leading whitespace and accepts '-' (wrapping the
+    // value), so check for a sign the same way it would see it.
+    const char* first = env;
+    while (std::isspace(static_cast<unsigned char>(*first)))
+        ++first;
     char* end = nullptr;
     errno = 0;
     u64 v = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0' || errno == ERANGE || *env == '-') {
+    if (end == env || *end != '\0' || errno == ERANGE || *first == '-') {
         std::fprintf(stderr,
                      "phantom: ignoring malformed %s=\"%s\" "
                      "(using %llu)\n",

@@ -233,8 +233,17 @@ class Parser
             return fail("unexpected end of input");
         char c = text_[pos_];
         switch (c) {
-          case '{': return parseObject(out);
-          case '[': return parseArray(out);
+          case '{':
+          case '[': {
+            // parseValue/parseObject/parseArray recurse per nesting
+            // level; bound it so hostile input can't overflow the stack.
+            if (depth_ >= kMaxDepth)
+                return fail("nesting too deep");
+            ++depth_;
+            bool ok = c == '{' ? parseObject(out) : parseArray(out);
+            --depth_;
+            return ok;
+          }
           case '"': {
             std::string s;
             if (!parseString(s))
@@ -415,9 +424,12 @@ class Parser
         return true;
     }
 
+    static constexpr int kMaxDepth = 256;
+
     const std::string& text_;
     std::string* error_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

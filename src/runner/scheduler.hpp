@@ -23,6 +23,7 @@
 #include "sim/types.hpp"
 
 #include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -51,11 +52,8 @@ class TrialScheduler
     auto
     run(u64 count, Fn&& fn) -> std::vector<decltype(fn(u64{}))>
     {
-        std::vector<decltype(fn(u64{}))> results(count);
-        runTasks(count, [&](u64 trial, unsigned) {
-            results[trial] = fn(trial);
-        });
-        return results;
+        return collect<decltype(fn(u64{}))>(
+            count, [&](u64 trial, unsigned) { return fn(trial); });
     }
 
     /**
@@ -68,11 +66,8 @@ class TrialScheduler
     runSharded(u64 count, Fn&& fn)
         -> std::vector<decltype(fn(u64{}, unsigned{}))>
     {
-        std::vector<decltype(fn(u64{}, unsigned{}))> results(count);
-        runTasks(count, [&](u64 trial, unsigned worker) {
-            results[trial] = fn(trial, worker);
-        });
-        return results;
+        return collect<decltype(fn(u64{}, unsigned{}))>(
+            count, std::forward<Fn>(fn));
     }
 
     /** Execute @p count trials for side effects only. */
@@ -90,6 +85,31 @@ class TrialScheduler
     double busySeconds() const { return busySeconds_; }
 
   private:
+    /**
+     * Run the trials and gather results in trial order. bool results
+     * are staged in a byte vector: std::vector<bool> packs bits, so
+     * concurrent writes to distinct trial indices would race on the
+     * shared word.
+     */
+    template <typename Result, typename Fn>
+    std::vector<Result>
+    collect(u64 count, Fn&& fn)
+    {
+        if constexpr (std::is_same_v<Result, bool>) {
+            std::vector<unsigned char> slots(count);
+            runTasks(count, [&](u64 trial, unsigned worker) {
+                slots[trial] = fn(trial, worker) ? 1 : 0;
+            });
+            return std::vector<bool>(slots.begin(), slots.end());
+        } else {
+            std::vector<Result> results(count);
+            runTasks(count, [&](u64 trial, unsigned worker) {
+                results[trial] = fn(trial, worker);
+            });
+            return results;
+        }
+    }
+
     /** Run @p count tasks across the pool; rethrows the first failure. */
     void runTasks(u64 count, const std::function<void(u64, unsigned)>& task);
 

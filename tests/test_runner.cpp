@@ -82,6 +82,25 @@ TEST(TrialScheduler, MergedStatisticsIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(TrialScheduler, BoolResultsIdenticalAcrossThreadCounts)
+{
+    // bool results are staged in bytes (std::vector<bool> packs bits,
+    // so parallel writes to neighbouring trials would race on the
+    // shared word) — the staging must still return every trial's value.
+    SeedStream seeds(11);
+    auto campaign = [&](unsigned jobs) {
+        TrialScheduler scheduler(jobs);
+        return scheduler.run(513, [&](u64 trial) {
+            return fakeTrial(seeds.trialSeed(trial)) > 50.0;
+        });
+    };
+
+    auto serial = campaign(1);
+    EXPECT_EQ(serial.size(), 513u);
+    for (unsigned jobs : {2u, 4u, 7u})
+        EXPECT_EQ(serial, campaign(jobs)) << "jobs=" << jobs;
+}
+
 TEST(TrialScheduler, RunsEveryTrialExactlyOnce)
 {
     TrialScheduler scheduler(4);
@@ -218,6 +237,23 @@ TEST(Json, RejectsMalformedInput)
         EXPECT_FALSE(parseJson(bad, out, &error)) << bad;
         EXPECT_FALSE(error.empty());
     }
+}
+
+TEST(Json, BoundsNestingDepth)
+{
+    auto nested = [](std::size_t depth) {
+        std::string text(depth, '[');
+        text.append(depth, ']');
+        return text;
+    };
+
+    JsonValue out;
+    std::string error;
+    EXPECT_TRUE(parseJson(nested(64), out, &error)) << error;
+    // Past the bound the parser must fail cleanly instead of recursing
+    // until the stack overflows.
+    EXPECT_FALSE(parseJson(nested(100000), out, &error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos);
 }
 
 TEST(Json, FindPathWalksNestedObjects)
