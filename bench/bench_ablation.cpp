@@ -32,6 +32,7 @@ int
 main()
 {
     bench::Campaign campaign("bench_ablation");
+    campaign.noteUarch(cpu::zen2().name);
 
     bench::header("A1: phantom execute window sweep (zen2 base)");
     std::printf("%-8s %6s %6s %6s %14s\n", "window", "IF", "ID", "EX",

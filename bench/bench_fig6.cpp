@@ -58,6 +58,9 @@ main()
         return experiment.fig6OpCacheHits(offset);
     });
 
+    for (const auto& cfg : configs)
+        campaign.noteUarch(cfg.name);
+
     std::vector<u64> dip_offset(configs.size(), 0);
     std::vector<u64> min_hits(configs.size(), ~0ull);
 
@@ -71,9 +74,13 @@ main()
                 min_hits[idx] = h;
                 dip_offset[idx] = offset;
             }
+            // Metric named from the canonical PMC table: the sweep
+            // counts PmcEvent::OpCacheHit, so the JSON key must match
+            // what every other surface calls that event.
             campaign.sink()
                 .experiment(configs[idx].name)
-                .addSample("opcache_hits", static_cast<double>(h));
+                .addSample(cpu::pmcEventName(cpu::PmcEvent::OpCacheHit),
+                           static_cast<double>(h));
         }
         std::printf("\n");
     }

@@ -55,6 +55,9 @@ main()
     // Block 2: zen3 solver.  Blocks 3/4: confirm paper masks on zen3/4.
     const std::vector<cpu::MicroarchConfig> confirm_cfgs = {cpu::zen3(),
                                                             cpu::zen4()};
+    campaign.noteUarch(cpu::zen2().name);
+    for (const auto& cfg : confirm_cfgs)
+        campaign.noteUarch(cfg.name);
     auto blocks = campaign.scheduler().run(5, [&](u64 block) {
         BlockResult result;
         switch (block) {

@@ -39,6 +39,7 @@ main()
     bench::Campaign campaign("bench_mds");
 
     for (const auto& cfg : {cpu::zen1(), cpu::zen2()}) {
+        campaign.noteUarch(cfg.name);
         auto seeds = campaign.seeds(cfg.name.c_str());
         std::vector<runner::ShardStats> shards(campaign.jobs());
 

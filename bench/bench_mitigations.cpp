@@ -94,9 +94,10 @@ main()
             Cycle lat =
                 bed.machine.timedFetchAccess(target, Privilege::Kernel);
             bool fetched = lat < bed.machine.caches().config().latMem;
-            std::printf("  AutoIBRS=%d: target fetched=%d, spec decodes=%llu"
+            std::printf("  AutoIBRS=%d: target fetched=%d, %s=%llu"
                         "  (paper: IF survives AutoIBRS)\n",
                         auto_ibrs, fetched,
+                        cpu::pmcEventName(cpu::PmcEvent::SpecDecode),
                         static_cast<unsigned long long>(decode_delta));
         }
     }

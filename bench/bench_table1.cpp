@@ -75,6 +75,7 @@ main()
         });
 
     u64 trial = 0;
+    u64 episodes = 0;
     for (const auto& cfg : configs) {
         std::printf("\n%-8s (%s)\n", cfg.name.c_str(), cfg.model.c_str());
         std::printf("%-12s", "train\\victim");
@@ -83,10 +84,19 @@ main()
         std::printf("\n");
         bench::rule();
 
+        campaign.noteUarch(cfg.name);
         auto& exp = campaign.sink().experiment(cfg.name);
         for (BranchKind train : kKinds) {
             std::printf("%-12s", branchKindName(train));
             for (BranchKind victim : kKinds) {
+                // Trial-order aggregation into the deterministic
+                // registry: identical for any PHANTOM_JOBS.
+                const StageObservation& obs = observations[trial];
+                cpu::exportPmc(obs.pmc, campaign.deterministic());
+                cpu::exportCycleAttribution(obs.attribution,
+                                            campaign.deterministic());
+                episodes += obs.episodes;
+
                 const char* stage = cell(observations[trial++]);
                 std::printf("%12s", stage);
                 exp.setLabel(std::string(branchKindName(train)) + " x " +
@@ -96,6 +106,7 @@ main()
             std::printf("\n");
         }
     }
+    campaign.deterministic().counter("episodes.total").inc(episodes);
 
     std::printf("\nPaper shape check: AMD cells reach >= ID; Zen 1/2 reach"
                 " EX;\nZen 3/4 stop at ID; Intel jmp* victim columns are"

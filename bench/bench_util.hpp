@@ -13,11 +13,19 @@
  *   PHANTOM_SEED=N       campaign seed for per-trial seed derivation
  *   PHANTOM_JSON_DIR=D   directory for the JSON results file
  *                        (default ".", i.e. next to the text output)
+ *   PHANTOM_TRACE=F      write a Chrome trace_event JSON of pipeline
+ *                        events to F (open in Perfetto / chrome://tracing)
+ *   PHANTOM_TRACE_EVENTS=N  per-shard trace ring capacity (default 2^18)
  */
 
 #ifndef PHANTOM_BENCH_UTIL_HPP
 #define PHANTOM_BENCH_UTIL_HPP
 
+#include "cpu/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "runner/metrics_json.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/scheduler.hpp"
 #include "runner/seed_stream.hpp"
@@ -29,7 +37,10 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace phantom::bench {
@@ -115,14 +126,72 @@ class Campaign
     explicit Campaign(const char* bench_name)
         : seed_(envOr("PHANTOM_SEED", kDefaultCampaignSeed)),
           scheduler_(),
-          sink_(bench_name, seed_, scheduler_.jobs())
+          sink_(bench_name, seed_, scheduler_.jobs()),
+          mainThread_(std::this_thread::get_id()),
+          tracePath_(obs::tracePathFromEnv())
     {
+        if (tracePath_.empty())
+            return;
+
+        // One private ring per scheduler shard plus one for the main
+        // thread (index jobs): workers never share a ring, so the emit
+        // path stays lock-free. The worker hooks make the ambient sink
+        // follow the current thread; Machines pick it up at
+        // construction (Machine's ctor calls setTraceSink()).
+        std::size_t events = static_cast<std::size_t>(
+            envOr("PHANTOM_TRACE_EVENTS", u64{1} << 18));
+        for (unsigned w = 0; w <= scheduler_.jobs(); ++w)
+            rings_.push_back(
+                std::make_unique<obs::RingTraceSink>(events));
+        obs::setActiveTraceSink(rings_.back().get());
+        scheduler_.setWorkerHooks(
+            [this](unsigned worker) {
+                obs::setActiveTraceSink(rings_[worker].get());
+            },
+            [this](unsigned) {
+                // The serial path runs the hooks on the campaign's own
+                // thread: hand that thread its ring back. Pool threads
+                // are about to exit; nulling their slot keeps any
+                // late-constructed Machine silent.
+                obs::setActiveTraceSink(
+                    std::this_thread::get_id() == mainThread_
+                        ? rings_.back().get()
+                        : nullptr);
+            });
+    }
+
+    ~Campaign()
+    {
+        if (!tracePath_.empty() &&
+            std::this_thread::get_id() == mainThread_)
+            obs::setActiveTraceSink(nullptr);
     }
 
     runner::TrialScheduler& scheduler() { return scheduler_; }
     runner::ResultSink& sink() { return sink_; }
     u64 seed() const { return seed_; }
     unsigned jobs() const { return scheduler_.jobs(); }
+    bool tracing() const { return !tracePath_.empty(); }
+
+    /**
+     * Campaign metrics derived from seeded simulation only (PMC
+     * aggregates, cycle attribution, episode counts). Contents must be
+     * bit-identical for any PHANTOM_JOBS — aggregate in trial order.
+     */
+    obs::MetricsRegistry& deterministic() { return deterministic_; }
+
+    /** Wall-clock-derived metrics; legitimately vary run to run. */
+    obs::MetricsRegistry& measured() { return measured_; }
+
+    /** Record a microarchitecture this campaign simulated (manifest). */
+    void
+    noteUarch(const std::string& name)
+    {
+        for (const std::string& existing : uarches_)
+            if (existing == name)
+                return;
+        uarches_.push_back(name);
+    }
 
     /** Independent seed stream for the named experiment. */
     runner::SeedStream
@@ -132,14 +201,25 @@ class Campaign
     }
 
     /**
-     * Write the JSON results file and report where it went. Returns
-     * the bench's exit code (0 even if the JSON write failed: the text
-     * tables were already produced and remain authoritative).
+     * Write the JSON results file (and the Chrome trace, when enabled)
+     * and report where they went. Returns the bench's exit code (0
+     * even if a write failed: the text tables were already produced
+     * and remain authoritative).
      */
     int
     finish()
     {
         sink_.setBusySeconds(scheduler_.busySeconds());
+        exportSchedulerMetrics();
+        writeTrace();
+
+        JsonValue metrics = JsonValue::object();
+        metrics.set("deterministic",
+                    runner::metricsToJson(deterministic_));
+        metrics.set("measured", runner::metricsToJson(measured_));
+        metrics.set("manifest", manifestJson());
+        sink_.setMetrics(std::move(metrics));
+
         std::string path = sink_.writeJson();
         if (!path.empty())
             std::printf("\n[%s: seed=%llu jobs=%u results -> %s]\n",
@@ -149,10 +229,96 @@ class Campaign
         return 0;
     }
 
+    using JsonValue = runner::JsonValue;
+
   private:
+    void
+    exportSchedulerMetrics()
+    {
+        const runner::SchedulerStats& stats = scheduler_.stats();
+        measured_.counter("scheduler.trials").inc(stats.trials);
+        measured_.counter("scheduler.steals").inc(stats.steals);
+        measured_.gauge("scheduler.jobs").set(double(jobs()));
+        measured_.gauge("scheduler.shard_imbalance")
+            .set(stats.imbalance());
+        double busy = scheduler_.busySeconds();
+        measured_.gauge("scheduler.trials_per_second")
+            .set(busy > 0.0 ? double(stats.trials) / busy : 0.0);
+        measured_.histogram("scheduler.trial_micros")
+            .merge(stats.trialMicros);
+        if (!rings_.empty()) {
+            u64 emitted = 0, dropped = 0;
+            for (const auto& ring : rings_) {
+                emitted += ring->emitted();
+                dropped += ring->dropped();
+            }
+            measured_.counter("trace.events_emitted").inc(emitted);
+            measured_.counter("trace.events_dropped").inc(dropped);
+        }
+    }
+
+    JsonValue
+    manifestJson() const
+    {
+        // Everything here must be jobs-independent: trace_check
+        // compares the manifest across PHANTOM_JOBS settings (the
+        // worker count lives in the top-level "jobs" field and the
+        // measured metrics instead).
+        JsonValue m = JsonValue::object();
+        m.set("bench", JsonValue(sink_.benchName()));
+        m.set("campaign_seed", JsonValue(seed_));
+        m.set("fast_mode", JsonValue(fastMode()));
+        m.set("git_describe", JsonValue(gitDescribe()));
+        JsonValue uarches = JsonValue::array();
+        for (const std::string& name : uarches_)
+            uarches.push(JsonValue(name));
+        m.set("uarch", std::move(uarches));
+        return m;
+    }
+
+    static const char*
+    gitDescribe()
+    {
+#ifdef PHANTOM_GIT_DESCRIBE
+        return PHANTOM_GIT_DESCRIBE;
+#else
+        return "unknown";
+#endif
+    }
+
+    void
+    writeTrace()
+    {
+        if (tracePath_.empty())
+            return;
+        std::vector<obs::ShardTrace> shards;
+        for (unsigned w = 0; w < rings_.size(); ++w) {
+            obs::ShardTrace shard;
+            shard.shard = w;
+            shard.dropped = rings_[w]->dropped();
+            shard.events = rings_[w]->snapshot();
+            shards.push_back(std::move(shard));
+        }
+        obs::ChromeTraceOptions options;
+        options.processName = sink_.benchName();
+        options.episodeLabel = [](u8 kind) {
+            return cpu::episodeKindName(
+                static_cast<cpu::EpisodeKind>(kind));
+        };
+        if (obs::writeChromeTrace(tracePath_, shards, options))
+            std::printf("[%s: pipeline trace -> %s]\n",
+                        sink_.benchName().c_str(), tracePath_.c_str());
+    }
+
     u64 seed_;
     runner::TrialScheduler scheduler_;
     runner::ResultSink sink_;
+    std::thread::id mainThread_;
+    std::string tracePath_;
+    std::vector<std::unique_ptr<obs::RingTraceSink>> rings_;
+    obs::MetricsRegistry deterministic_;
+    obs::MetricsRegistry measured_;
+    std::vector<std::string> uarches_;
 };
 
 } // namespace phantom::bench

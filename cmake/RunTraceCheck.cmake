@@ -1,0 +1,89 @@
+# End-to-end check of the observability subsystem. Invoked by the
+# trace_check CTest target as:
+#
+#   cmake -DBENCH=<bench exe> -DCHECKER=<json_check exe>
+#         -DEXPORTER=<trace_export exe> -DNAME=<bench name>
+#         -DWORK_DIR=<scratch dir> -P RunTraceCheck.cmake
+#
+# Steps:
+#   1. run the bench under PHANTOM_FAST=1 PHANTOM_JOBS=2 with
+#      PHANTOM_TRACE set, and validate the emitted Chrome trace_event
+#      document (episode slices included) with json_check --trace-schema
+#   2. rerun with PHANTOM_JOBS=1 and require the metrics sections that
+#      claim determinism — metrics.deterministic and metrics.manifest —
+#      to be structurally identical across job counts
+#   3. run the standalone trace_export tool and schema-check its output
+#      too, so the export path is covered without a campaign in the loop
+
+file(MAKE_DIRECTORY "${WORK_DIR}/jobs2")
+file(MAKE_DIRECTORY "${WORK_DIR}/jobs1")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+        PHANTOM_FAST=1 PHANTOM_JOBS=2
+        "PHANTOM_JSON_DIR=${WORK_DIR}/jobs2"
+        "PHANTOM_TRACE=${WORK_DIR}/jobs2/${NAME}.trace.json"
+        "${BENCH}"
+    RESULT_VARIABLE bench_rv
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err)
+if(NOT bench_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME} (traced) failed (rv=${bench_rv})\n${bench_out}\n"
+        "${bench_err}")
+endif()
+
+execute_process(
+    COMMAND "${CHECKER}" --trace-schema
+        "${WORK_DIR}/jobs2/${NAME}.trace.json"
+    RESULT_VARIABLE trace_rv)
+if(NOT trace_rv EQUAL 0)
+    message(FATAL_ERROR "${NAME}: Chrome trace schema validation failed")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+        PHANTOM_FAST=1 PHANTOM_JOBS=1
+        "PHANTOM_JSON_DIR=${WORK_DIR}/jobs1"
+        "${BENCH}"
+    RESULT_VARIABLE serial_rv
+    OUTPUT_VARIABLE serial_out
+    ERROR_VARIABLE serial_err)
+if(NOT serial_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME} serial rerun failed (rv=${serial_rv})\n${serial_out}\n"
+        "${serial_err}")
+endif()
+
+foreach(path metrics.deterministic metrics.manifest)
+    execute_process(
+        COMMAND "${CHECKER}" --equal-path ${path}
+            "${WORK_DIR}/jobs2/${NAME}.json"
+            "${WORK_DIR}/jobs1/${NAME}.json"
+        RESULT_VARIABLE equal_rv)
+    if(NOT equal_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME}: \"${path}\" differs between PHANTOM_JOBS=2 and "
+            "PHANTOM_JOBS=1 — a section documented as jobs-independent "
+            "is not")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${EXPORTER}" "${WORK_DIR}/standalone.trace.json"
+    RESULT_VARIABLE export_rv
+    OUTPUT_VARIABLE export_out
+    ERROR_VARIABLE export_err)
+if(NOT export_rv EQUAL 0)
+    message(FATAL_ERROR
+        "trace_export failed (rv=${export_rv})\n${export_out}\n"
+        "${export_err}")
+endif()
+
+execute_process(
+    COMMAND "${CHECKER}" --trace-schema "${WORK_DIR}/standalone.trace.json"
+    RESULT_VARIABLE standalone_rv)
+if(NOT standalone_rv EQUAL 0)
+    message(FATAL_ERROR
+        "trace_export output failed Chrome trace schema validation")
+endif()

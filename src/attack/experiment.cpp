@@ -350,6 +350,11 @@ StageExperiment::run(BranchKind train, BranchKind victim)
     }
 
     u32 fetch_votes = 0, decode_votes = 0, exec_votes = 0;
+    auto absorb = [&result](Trial& trial) {
+        result.pmc.absorb(trial.bed.machine.pmc());
+        result.attribution.merge(trial.bed.machine.cycleAttribution());
+        result.episodes += trial.bed.machine.episodeCount();
+    };
     for (u32 t = 0; t < options_.trials; ++t) {
         StageExperimentOptions opts = options_;
         opts.seed = options_.seed + t * 0x9e37;
@@ -357,16 +362,19 @@ StageExperiment::run(BranchKind train, BranchKind victim)
             Trial trial(config_, opts, train, victim,
                         options_.targetPageOffset);
             fetch_votes += trial.observeFetch() ? 1 : 0;
+            absorb(trial);
         }
         {
             Trial trial(config_, opts, train, victim,
                         options_.targetPageOffset);
             decode_votes += trial.observeDecode() ? 1 : 0;
+            absorb(trial);
         }
         {
             Trial trial(config_, opts, train, victim,
                         options_.targetPageOffset);
             exec_votes += trial.observeExecute() ? 1 : 0;
+            absorb(trial);
         }
     }
     u32 majority = options_.trials / 2 + 1;

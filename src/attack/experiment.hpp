@@ -49,6 +49,14 @@ struct StageObservation
 {
     bool applicable = true;   ///< "—" cells are not applicable
     StageSignals signals;
+
+    // Microarchitectural activity summed over every vote trial (all
+    // three channels), for campaign-level metrics export. Derived from
+    // seeded simulation only, so aggregating these in trial order stays
+    // bit-identical for any PHANTOM_JOBS.
+    cpu::Pmc pmc;                       ///< summed PMC banks
+    cpu::CycleAttribution attribution;  ///< where the cycles went
+    u64 episodes = 0;                   ///< speculation episodes begun
 };
 
 /** Options for the stage experiment. */

@@ -71,6 +71,8 @@ Bpu::trainBranch(VAddr source_va, isa::BranchType type, VAddr target_va,
     if (taken) {
         btb_.train(source_va, type, target_va, priv, thread);
         bhb_.update(source_va, target_va);
+        trace(obs::TraceEventKind::BtbInstall, source_va, target_va,
+              static_cast<u32>(type));
     }
 
     // Calls push their return address onto the RSB from the core (which
@@ -84,6 +86,7 @@ void
 Bpu::decoderInvalidate(VAddr va, Privilege priv)
 {
     btb_.invalidate(va, priv);
+    trace(obs::TraceEventKind::Squash, va, 0, /*arg32=*/1);
 }
 
 void
@@ -99,6 +102,7 @@ Bpu::ibpb()
     rsb_.flush();
     pht_.flush();
     bhb_.flush();
+    trace(obs::TraceEventKind::Squash, 0, 0, /*arg32=*/2);
 }
 
 } // namespace phantom::bpu

@@ -15,6 +15,7 @@
 #include "bpu/btb.hpp"
 #include "bpu/pht.hpp"
 #include "bpu/rsb.hpp"
+#include "obs/trace.hpp"
 
 #include <optional>
 
@@ -95,6 +96,19 @@ class Bpu
     /** Indirect Branch Prediction Barrier: flush all predictor state. */
     void ibpb();
 
+    /**
+     * Attach a pipeline event sink for predictor-state events
+     * (BtbInstall on training, Squash on IBPB / decoder invalidate).
+     * @p clock points at the owning core's cycle counter so events
+     * carry timestamps; both may be null (tracing off).
+     */
+    void
+    setTrace(obs::TraceSink* sink, const Cycle* clock)
+    {
+        traceSink_ = sink;
+        traceClock_ = clock;
+    }
+
     Btb& btb() { return btb_; }
     Rsb& rsb() { return rsb_; }
     Pht& pht() { return pht_; }
@@ -105,11 +119,28 @@ class Bpu
   private:
     RsbCheckpoint checkpointRsb() const;
 
+    /** Emit a predictor event; a single branch when tracing is off. */
+    void
+    trace(obs::TraceEventKind kind, VAddr pc, VAddr target, u32 arg32 = 0)
+    {
+        if (traceSink_ == nullptr)
+            return;
+        obs::TraceEvent event;
+        event.kind = kind;
+        event.arg32 = arg32;
+        event.cycle = traceClock_ != nullptr ? *traceClock_ : 0;
+        event.pc = pc;
+        event.addr = target;
+        traceSink_->emit(event);
+    }
+
     BpuConfig config_;
     Btb btb_;
     Rsb rsb_;
     Pht pht_;
     Bhb bhb_;
+    obs::TraceSink* traceSink_ = nullptr;
+    const Cycle* traceClock_ = nullptr;
 };
 
 } // namespace phantom::bpu

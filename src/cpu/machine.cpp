@@ -13,6 +13,52 @@ using isa::InsnKind;
 using mem::Access;
 using mem::Fault;
 
+const char*
+episodeKindName(EpisodeKind kind)
+{
+    switch (kind) {
+      case EpisodeKind::PhantomFrontend:   return "phantom_frontend";
+      case EpisodeKind::SpectreBackend:    return "spectre_backend";
+      case EpisodeKind::StraightLine:      return "straight_line";
+      case EpisodeKind::AutoIbrsCancelled: return "auto_ibrs_cancelled";
+      case EpisodeKind::IntelOpaque:       return "intel_opaque";
+    }
+    return "?";
+}
+
+const char*
+cycleClassName(CycleClass cls)
+{
+    switch (cls) {
+      case CycleClass::CommitFrontend:   return "commit_frontend";
+      case CycleClass::CommitExecute:    return "commit_execute";
+      case CycleClass::CommitMemory:     return "commit_memory";
+      case CycleClass::FrontendResteer:  return "frontend_resteer";
+      case CycleClass::BackendResteer:   return "backend_resteer";
+      case CycleClass::Syscall:          return "syscall";
+      case CycleClass::Fence:            return "fence";
+      case CycleClass::CacheMaintenance: return "cache_maintenance";
+      case CycleClass::Ibpb:             return "ibpb";
+      case CycleClass::TimedProbe:       return "timed_probe";
+      case CycleClass::External:         return "external";
+      case CycleClass::kCount:           break;
+    }
+    return "?";
+}
+
+void
+exportCycleAttribution(const CycleAttribution& attribution,
+                       obs::MetricsRegistry& registry,
+                       const std::string& prefix)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(CycleClass::kCount); ++i) {
+        auto cls = static_cast<CycleClass>(i);
+        registry.counter(prefix + cycleClassName(cls))
+            .inc(attribution.at(cls));
+    }
+}
+
 Machine::Machine(const MicroarchConfig& config, u64 installed_bytes, u64 seed)
     : config_(config),
       physMem_(installed_bytes),
@@ -21,6 +67,9 @@ Machine::Machine(const MicroarchConfig& config, u64 installed_bytes, u64 seed)
       bpu_(config.bpu),
       noise_(config.noise, seed)
 {
+    // Campaign workers install a per-shard ring before constructing
+    // trial machines; standalone machines get a null sink (tracing off).
+    setTraceSink(obs::activeTraceSink());
 }
 
 bool
@@ -48,7 +97,7 @@ Machine::writeMsr(u32 index, u64 value)
 {
     if (index == msr::kPredCmd && (value & msr::kIbpbBit)) {
         bpu_.ibpb();
-        cycles_ += 1500;    // IBPB is expensive on real parts
+        charge(CycleClass::Ibpb, 1500);  // IBPB is expensive on real parts
         return;             // PRED_CMD is write-only command register
     }
     msrs_.write(index, value);
@@ -103,11 +152,11 @@ Machine::timedDataAccess(VAddr va, Privilege priv)
         // A faulting load is observed as a full-latency access (the
         // attacker's dependent-load harness swallows the fault).
         Cycle lat = caches_.config().latMem;
-        cycles_ += lat;
+        charge(CycleClass::TimedProbe, lat);
         return lat;
     }
     Cycle lat = caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
-    cycles_ += lat;
+    charge(CycleClass::TimedProbe, lat);
     return lat;
 }
 
@@ -117,11 +166,11 @@ Machine::timedFetchAccess(VAddr va, Privilege priv)
     auto t = pageTable_->translate(va, priv, Access::Fetch);
     if (!t.ok()) {
         Cycle lat = caches_.config().latMem;
-        cycles_ += lat;
+        charge(CycleClass::TimedProbe, lat);
         return lat;
     }
     Cycle lat = caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
-    cycles_ += lat;
+    charge(CycleClass::TimedProbe, lat);
     return lat;
 }
 
@@ -132,7 +181,7 @@ Machine::clflushVirt(VAddr va)
     if (!t)
         return;
     caches_.flushLine(alignDown(t->paddr, kCacheLineBytes));
-    cycles_ += 40;
+    charge(CycleClass::CacheMaintenance, 40);
 }
 
 // ---- Architectural memory helpers -----------------------------------------
@@ -173,7 +222,7 @@ Machine::loadArch(VAddr va, FaultInfo& fault, bool& ok)
     Cycle lat = caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
     if (lat > caches_.config().latL1)
         pmc_.bump(PmcEvent::L1DMiss);
-    cycles_ += lat;
+    charge(CycleClass::CommitMemory, lat);
     ok = true;
     return physMem_.read64(t.paddr);
 }
@@ -191,7 +240,7 @@ Machine::storeArch(VAddr va, u64 value, FaultInfo& fault)
     Cycle lat = caches_.dataAccess(alignDown(t.paddr, kCacheLineBytes));
     if (lat > caches_.config().latL1)
         pmc_.bump(PmcEvent::L1DMiss);
-    cycles_ += lat;
+    charge(CycleClass::CommitMemory, lat);
     physMem_.write64(t.paddr, value);
     return true;
 }
@@ -216,6 +265,7 @@ Machine::speculativeFetchLine(VAddr va)
         return false;   // failed fetch leaves the I-cache untouched (P1/P2)
     caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
     pmc_.bump(PmcEvent::SpecFetch);
+    trace(obs::TraceEventKind::SpecFetch, va, alignDown(va, kCacheLineBytes));
     return true;
 }
 
@@ -241,13 +291,17 @@ Machine::speculativeDecode(VAddr va, u32 max_insns)
             auto t = pageTable_->translate(cur_line, priv_, Access::Fetch);
             if (t.ok())
                 caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
-            uopCache_.lookupFill(cur_line);
+            bool uop_hit = uopCache_.lookupFill(cur_line);
+            trace(uop_hit ? obs::TraceEventKind::OpCacheHit
+                          : obs::TraceEventKind::OpCacheFill,
+                  va, cur_line);
         }
 
         Insn insn = isa::decode(bytes.data(), bytes.size());
         if (insn.kind == InsnKind::Invalid)
             return;
         pmc_.bump(PmcEvent::SpecDecode);
+        trace(obs::TraceEventKind::SpecDecode, va, 0, insn.length);
         if (insn.isBranch())
             return;     // the frontend redirects; stop the linear walk
         va += insn.length;
@@ -288,14 +342,19 @@ Machine::transientExecute(VAddr va, u32 budget)
             if (t.ok()) {
                 caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
                 pmc_.bump(PmcEvent::SpecFetch);
+                trace(obs::TraceEventKind::SpecFetch, va, cur_line);
             }
-            uopCache_.lookupFill(cur_line);
+            bool uop_hit = uopCache_.lookupFill(cur_line);
+            trace(uop_hit ? obs::TraceEventKind::OpCacheHit
+                          : obs::TraceEventKind::OpCacheFill,
+                  va, cur_line);
         }
 
         Insn insn = isa::decode(bytes.data(), bytes.size());
         if (insn.kind == InsnKind::Invalid)
             break;
         pmc_.bump(PmcEvent::SpecDecode);
+        trace(obs::TraceEventKind::SpecDecode, va, 0, insn.length);
 
         // Pre-decode prediction steers transient control flow too: this
         // is how PHANTOM nests inside a Spectre window (§7.4).
@@ -341,11 +400,13 @@ Machine::transientExecute(VAddr va, u32 budget)
                 va = pred2->target;
             }
             pmc_.bump(PmcEvent::SpecExec);
+            trace(obs::TraceEventKind::SpecExec, va, 0);
             continue;
         }
 
         // No prediction: actual transient semantics.
         pmc_.bump(PmcEvent::SpecExec);
+        trace(obs::TraceEventKind::SpecExec, va, 0);
         bool stop = false;
         VAddr next = va + insn.length;
         switch (insn.kind) {
@@ -489,18 +550,39 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
     u64 f0 = pmc_.read(PmcEvent::SpecFetch);
     u64 d0 = pmc_.read(PmcEvent::SpecDecode);
     u64 e0 = pmc_.read(PmcEvent::SpecExec);
+    Cycle episode_start = cycles_;
+
+    // begin() opens a numbered episode before any speculative work, so
+    // pipeline events emitted during the episode carry its id.
+    auto begin = [&](VAddr target) {
+        ++episodeId_;
+        curEpisode_ = episodeId_;
+        episode_start = cycles_;
+        trace(obs::TraceEventKind::EpisodeBegin, pc, target);
+    };
+    // record() closes the episode: by the time it runs the resteer
+    // penalty (if any) has been charged, so squashCycle covers it.
     auto record = [&](EpisodeKind kind, VAddr target) {
-        if (trace_.size() >= traceCapacity_)
+        trace(obs::TraceEventKind::EpisodeEnd, pc, target, 0,
+              static_cast<u8>(kind));
+        curEpisode_ = 0;
+        if (traceCapacity_ == 0)
             return;
+        if (trace_.size() >= traceCapacity_) {
+            ++droppedEpisodes_;
+            return;
+        }
         EpisodeRecord rec;
         rec.kind = kind;
+        rec.id = episodeId_;
         rec.sourcePc = pc;
         rec.actualKind = insn.kind;
         rec.predictedType =
             pred ? pred->btb.type : isa::BranchType::None;
         rec.target = target;
         rec.priv = priv_;
-        rec.atCycle = cycles_;
+        rec.atCycle = episode_start;
+        rec.squashCycle = cycles_;
         rec.fetched = pmc_.read(PmcEvent::SpecFetch) > f0;
         rec.decoded =
             static_cast<u32>(pmc_.read(PmcEvent::SpecDecode) - d0);
@@ -511,6 +593,7 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
 
     if (!pred) {
         if (actual != BranchType::None) {
+            begin(pc + insn.length);
             sequentialSpeculation(pc + insn.length);
             record(EpisodeKind::StraightLine, pc + insn.length);
         }
@@ -522,12 +605,14 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
     // AutoIBRS: a lower-privilege prediction is cancelled after its
     // target fetch has already been issued (paper O5 — IF still happens).
     if (p.restricted) {
+        begin(p.target);
         speculativeFetchLine(p.target);
-        record(EpisodeKind::AutoIbrsCancelled, p.target);
         if (p.usedRsb)
             bpu_.restoreRsb(p.rsbBefore);
         pmc_.bump(PmcEvent::MispredictFrontend);
-        cycles_ += config_.frontendResteerPenalty;
+        trace(obs::TraceEventKind::FrontendResteer, pc, p.target);
+        charge(CycleClass::FrontendResteer, config_.frontendResteerPenalty);
+        record(EpisodeKind::AutoIbrsCancelled, p.target);
         return;
     }
 
@@ -549,10 +634,12 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
     // only resolves at execute — a full Spectre window.
     if (actual == BranchType::Return && !type_match &&
         !config_.decoderChecksRetType) {
+        begin(p.target);
         spectreEpisode(p.target);
-        record(EpisodeKind::SpectreBackend, p.target);
         pmc_.bump(PmcEvent::MispredictBackend);
-        cycles_ += config_.backendResteerPenalty;
+        trace(obs::TraceEventKind::BackendResteer, pc, p.target);
+        charge(CycleClass::BackendResteer, config_.backendResteerPenalty);
+        record(EpisodeKind::SpectreBackend, p.target);
         return;
     }
 
@@ -561,11 +648,14 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
                                   actual == BranchType::IndirectCall;
         if (config_.indirectVictimOpaque && victim_is_indirect) {
             // Intel quirk (§6): no IF/ID observable for jmp* victims.
-            record(EpisodeKind::IntelOpaque, p.target);
+            begin(p.target);
             if (p.usedRsb)
                 bpu_.restoreRsb(p.rsbBefore);
             pmc_.bump(PmcEvent::MispredictFrontend);
-            cycles_ += config_.frontendResteerPenalty;
+            trace(obs::TraceEventKind::FrontendResteer, pc, p.target);
+            charge(CycleClass::FrontendResteer,
+                   config_.frontendResteerPenalty);
+            record(EpisodeKind::IntelOpaque, p.target);
             return;
         }
 
@@ -573,8 +663,8 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
         if (actual == BranchType::None && suppressBpActive())
             exec_budget = 0;    // O4: IF/ID still happen, EX does not
 
+        begin(p.target);
         phantomEpisode(p, exec_budget);
-        record(EpisodeKind::PhantomFrontend, p.target);
 
         if (actual == BranchType::None) {
             bpu_.decoderInvalidate(pc, priv_);
@@ -583,7 +673,9 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
         if (p.usedRsb)
             bpu_.restoreRsb(p.rsbBefore);
         pmc_.bump(PmcEvent::MispredictFrontend);
-        cycles_ += config_.frontendResteerPenalty;
+        trace(obs::TraceEventKind::FrontendResteer, pc, p.target);
+        charge(CycleClass::FrontendResteer, config_.frontendResteerPenalty);
+        record(EpisodeKind::PhantomFrontend, p.target);
         return;
     }
 
@@ -594,10 +686,13 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
         bool taken = flags_.test(insn.cond);
         if (taken != p.taken) {
             VAddr wrong = p.taken ? p.target : pc + insn.length;
+            begin(wrong);
             spectreEpisode(wrong);
-            record(EpisodeKind::SpectreBackend, wrong);
             pmc_.bump(PmcEvent::MispredictBackend);
-            cycles_ += config_.backendResteerPenalty;
+            trace(obs::TraceEventKind::BackendResteer, pc, wrong);
+            charge(CycleClass::BackendResteer,
+                   config_.backendResteerPenalty);
+            record(EpisodeKind::SpectreBackend, wrong);
         }
         break;
       }
@@ -605,10 +700,13 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
       case BranchType::IndirectCall: {
         VAddr actual_target = regs_.read(insn.src);
         if (actual_target != p.target) {
+            begin(p.target);
             spectreEpisode(p.target);
-            record(EpisodeKind::SpectreBackend, p.target);
             pmc_.bump(PmcEvent::MispredictBackend);
-            cycles_ += config_.backendResteerPenalty;
+            trace(obs::TraceEventKind::BackendResteer, pc, p.target);
+            charge(CycleClass::BackendResteer,
+                   config_.backendResteerPenalty);
+            record(EpisodeKind::SpectreBackend, p.target);
         }
         break;
       }
@@ -616,10 +714,13 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
         auto top = debugRead64(regs_.read(isa::RSP));
         VAddr actual_target = top.value_or(0);
         if (actual_target != p.target) {
+            begin(p.target);
             spectreEpisode(p.target);
-            record(EpisodeKind::SpectreBackend, p.target);
             pmc_.bump(PmcEvent::MispredictBackend);
-            cycles_ += config_.backendResteerPenalty;
+            trace(obs::TraceEventKind::BackendResteer, pc, p.target);
+            charge(CycleClass::BackendResteer,
+                   config_.backendResteerPenalty);
+            record(EpisodeKind::SpectreBackend, p.target);
         }
         break;
       }
@@ -652,7 +753,8 @@ Machine::run(u64 max_insns)
             cur_line = line;
             if (uopCache_.lookupFill(line)) {
                 pmc_.bump(PmcEvent::OpCacheHit);
-                cycles_ += 1;
+                trace(obs::TraceEventKind::OpCacheHit, pc_, line);
+                charge(CycleClass::CommitFrontend, 1);
             } else {
                 pmc_.bump(PmcEvent::OpCacheMiss);
                 auto t = pageTable_->translate(line, priv_, Access::Fetch);
@@ -661,8 +763,9 @@ Machine::run(u64 max_insns)
                         caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
                     if (lat > caches_.config().latL1)
                         pmc_.bump(PmcEvent::L1IMiss);
-                    cycles_ += lat;
+                    charge(CycleClass::CommitFrontend, lat);
                 }
+                trace(obs::TraceEventKind::OpCacheFill, pc_, line);
             }
             if (config_.nextLinePrefetch) {
                 // Prefetched lines fill L1I but never enter the pipeline
@@ -696,6 +799,8 @@ Machine::run(u64 max_insns)
         pmc_.bump(PmcEvent::BtbLookup);
         auto pred = bpu_.predictAt(pc_, priv_, autoIbrsActive(),
                                    smtThread_, stibpActive());
+        trace(obs::TraceEventKind::BtbLookup, pc_,
+              pred ? pred->target : 0, pred ? 1u : 0u);
         if (pred) {
             pmc_.bump(PmcEvent::BtbHit);
             // SuppressBPOnNonBr overhead model: served predictions must
@@ -705,7 +810,7 @@ Machine::run(u64 max_insns)
             // predictions), landing in the sub-percent overhead band the
             // paper measures with UnixBench (§6.3, 0.42-0.69%).
             if (suppressBpActive() && (++suppressConfirms_ & 0xf) == 0)
-                cycles_ += 1;
+                charge(CycleClass::CommitFrontend, 1);
         }
         maybeSpeculate(pc_, insn, pred);
 
@@ -716,7 +821,7 @@ Machine::run(u64 max_insns)
         // ---- Execute ----------------------------------------------------
         ++instructions;
         pmc_.bump(PmcEvent::Instructions);
-        cycles_ += 1;
+        charge(CycleClass::CommitExecute, 1);
 
         VAddr next = pc_ + insn.length;
         bool ok = true;
@@ -877,10 +982,10 @@ Machine::run(u64 max_insns)
             savedUserPc_ = pc_ + insn.length;
             priv_ = Privilege::Kernel;
             next = syscallEntry_;
-            cycles_ += 80;
+            charge(CycleClass::Syscall, 80);
             if (ibpbOnSyscall_) {
                 bpu_.ibpb();
-                cycles_ += 1500;
+                charge(CycleClass::Ibpb, 1500);
             }
             break;
           case InsnKind::Sysret:
@@ -896,11 +1001,11 @@ Machine::run(u64 max_insns)
             }
             priv_ = Privilege::User;
             next = savedUserPc_;
-            cycles_ += 80;
+            charge(CycleClass::Syscall, 80);
             break;
           case InsnKind::Lfence:
           case InsnKind::Mfence:
-            cycles_ += 8;
+            charge(CycleClass::Fence, 8);
             break;
           case InsnKind::Clflush: {
             VAddr addr = regs_.read(insn.src);

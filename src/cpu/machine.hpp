@@ -38,8 +38,12 @@
 #include "mem/paging.hpp"
 #include "mem/phys_mem.hpp"
 #include "mem/uop_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
+#include <array>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace phantom::cpu {
@@ -79,20 +83,87 @@ enum class EpisodeKind : u8 {
     IntelOpaque,       ///< dropped prediction at an indirect victim
 };
 
+/** Stable lower_snake label for @p kind (JSON / trace slices). */
+const char* episodeKindName(EpisodeKind kind);
+
 /** One traced speculation episode. */
 struct EpisodeRecord
 {
     EpisodeKind kind = EpisodeKind::PhantomFrontend;
+    u64 id = 0;                          ///< 1-based per-machine episode id
     VAddr sourcePc = 0;                  ///< the (mis)predicted source
     isa::InsnKind actualKind = isa::InsnKind::Nop;  ///< decoded reality
     isa::BranchType predictedType = isa::BranchType::None;
     VAddr target = 0;                    ///< where speculation went
     Privilege priv = Privilege::User;
-    Cycle atCycle = 0;
+    Cycle atCycle = 0;                   ///< cycle the episode opened
+    Cycle squashCycle = 0;               ///< cycle the resteer completed
     bool fetched = false;                ///< target line entered L1I
     u32 decoded = 0;                     ///< speculatively decoded insns
     u32 executed = 0;                    ///< transiently executed µops
 };
+
+/**
+ * Where the machine's cycles went. Every increment of the machine clock
+ * is charged to exactly one class, so the classes always sum to the
+ * clock — cycle attribution is a partition, not a sampling estimate.
+ * Transient (wrong-path) work charges no cycles in this model — it hides
+ * under the resteer penalty — so its volume is reported through the
+ * SpecFetch/SpecDecode/SpecExec PMC events instead.
+ */
+enum class CycleClass : u8 {
+    CommitFrontend,    ///< committed fetch: I-cache/µop-cache delivery
+    CommitExecute,     ///< committed execute: the 1-cycle retire charge
+    CommitMemory,      ///< committed load/store cache latency
+    FrontendResteer,   ///< decoder-detected misprediction penalty
+    BackendResteer,    ///< execute-detected misprediction penalty
+    Syscall,           ///< privilege transition overhead
+    Fence,             ///< lfence/mfence serialization
+    CacheMaintenance,  ///< clflush
+    Ibpb,              ///< predictor barrier cost
+    TimedProbe,        ///< attacker timing ports (timed*Access)
+    External,          ///< host-injected cycles (addCycles)
+    kCount,
+};
+
+/** Stable lower_snake label for @p cls (JSON / metrics names). */
+const char* cycleClassName(CycleClass cls);
+
+/** Per-class cycle totals; see CycleClass. */
+struct CycleAttribution
+{
+    std::array<u64, static_cast<std::size_t>(CycleClass::kCount)> cycles{};
+
+    u64
+    at(CycleClass cls) const
+    {
+        return cycles[static_cast<std::size_t>(cls)];
+    }
+
+    u64
+    total() const
+    {
+        u64 sum = 0;
+        for (u64 c : cycles)
+            sum += c;
+        return sum;
+    }
+
+    void
+    merge(const CycleAttribution& other)
+    {
+        for (std::size_t i = 0; i < cycles.size(); ++i)
+            cycles[i] += other.cycles[i];
+    }
+};
+
+/**
+ * Export @p attribution into @p registry as
+ * "<prefix><cycleClassName(cls)>" counters.
+ */
+void exportCycleAttribution(const CycleAttribution& attribution,
+                            obs::MetricsRegistry& registry,
+                            const std::string& prefix = "cycles.");
 
 /** One simulated core with private memory system. */
 class Machine
@@ -131,7 +202,10 @@ class Machine
     Privilege privilege() const { return priv_; }
     void setSyscallEntry(VAddr va) { syscallEntry_ = va; }
     Cycle cycles() const { return cycles_; }
-    void addCycles(Cycle n) { cycles_ += n; }
+    void addCycles(Cycle n) { charge(CycleClass::External, n); }
+
+    /** Where every cycle of this machine's clock went. */
+    const CycleAttribution& cycleAttribution() const { return attrib_; }
 
     /** Select the SMT hardware thread executing subsequent code. Both
      *  threads share every predictor and cache of this core; BTB entries
@@ -156,11 +230,43 @@ class Machine
     {
         traceCapacity_ = capacity;
         trace_.clear();
+        droppedEpisodes_ = 0;
     }
 
     void disableEpisodeTrace() { traceCapacity_ = 0; }
-    void clearEpisodeTrace() { trace_.clear(); }
+
+    void
+    clearEpisodeTrace()
+    {
+        trace_.clear();
+        droppedEpisodes_ = 0;
+    }
+
     const std::vector<EpisodeRecord>& episodeTrace() const { return trace_; }
+
+    /** Episodes NOT recorded because the trace was at capacity (only
+     *  counted while tracing is enabled — no silent caps). */
+    u64 droppedEpisodes() const { return droppedEpisodes_; }
+
+    /** Total speculation episodes since construction, traced or not. */
+    u64 episodeCount() const { return episodeId_; }
+
+    // -- Pipeline event tracing (src/obs) -----------------------------------
+
+    /**
+     * Attach @p sink to receive typed pipeline events (also forwarded to
+     * the BPU's hook points). Null detaches; with no sink attached every
+     * hook is a single predictable branch. Machines constructed on a
+     * campaign worker default to obs::activeTraceSink().
+     */
+    void
+    setTraceSink(obs::TraceSink* sink)
+    {
+        traceSink_ = sink;
+        bpu_.setTrace(sink, &cycles_);
+    }
+
+    obs::TraceSink* traceSink() const { return traceSink_; }
 
     // -- MSR access with side effects ---------------------------------------
 
@@ -217,6 +323,32 @@ class Machine
     bool suppressBpActive() const;
     bool stibpActive() const;
 
+    /** Advance the clock, attributing the cycles to @p cls. */
+    void
+    charge(CycleClass cls, Cycle n)
+    {
+        cycles_ += n;
+        attrib_.cycles[static_cast<std::size_t>(cls)] += n;
+    }
+
+    /** Emit a pipeline event; a single branch when no sink is attached. */
+    void
+    trace(obs::TraceEventKind kind, VAddr pc, VAddr addr, u32 arg32 = 0,
+          u8 arg8 = 0)
+    {
+        if (traceSink_ == nullptr)
+            return;
+        obs::TraceEvent event;
+        event.kind = kind;
+        event.arg8 = arg8;
+        event.arg32 = arg32;
+        event.cycle = cycles_;
+        event.episode = curEpisode_;
+        event.pc = pc;
+        event.addr = addr;
+        traceSink_->emit(event);
+    }
+
     MicroarchConfig config_;
     mem::PhysicalMemory physMem_;
     mem::CacheHierarchy caches_;
@@ -240,7 +372,13 @@ class Machine
 
     std::size_t traceCapacity_ = 0;
     std::vector<EpisodeRecord> trace_;
+    u64 droppedEpisodes_ = 0;
     u8 smtThread_ = 0;
+
+    CycleAttribution attrib_;
+    obs::TraceSink* traceSink_ = nullptr;
+    u64 episodeId_ = 0;      ///< episodes begun since construction
+    u64 curEpisode_ = 0;     ///< open episode id; 0 = outside episodes
 };
 
 } // namespace phantom::cpu

@@ -1,0 +1,41 @@
+#include "cpu/pmc.hpp"
+
+namespace phantom::cpu {
+
+const char*
+pmcEventName(PmcEvent event)
+{
+    switch (event) {
+      case PmcEvent::Cycles:             return "cycles";
+      case PmcEvent::Instructions:       return "instructions";
+      case PmcEvent::OpCacheHit:         return "op_cache_hit";
+      case PmcEvent::OpCacheMiss:        return "op_cache_miss";
+      case PmcEvent::L1IMiss:            return "l1i_miss";
+      case PmcEvent::L1DMiss:            return "l1d_miss";
+      case PmcEvent::BtbLookup:          return "btb_lookup";
+      case PmcEvent::BtbHit:             return "btb_hit";
+      case PmcEvent::MispredictFrontend: return "mispredict_frontend";
+      case PmcEvent::MispredictBackend:  return "mispredict_backend";
+      case PmcEvent::SpecFetch:          return "spec_fetch";
+      case PmcEvent::SpecDecode:         return "spec_decode";
+      case PmcEvent::SpecExec:           return "spec_exec";
+      case PmcEvent::L1IPrefetch:        return "l1i_prefetch";
+      case PmcEvent::DecoderInvalidate:  return "decoder_invalidate";
+      case PmcEvent::Syscalls:           return "syscalls";
+      case PmcEvent::kCount:             break;
+    }
+    return "?";
+}
+
+void
+exportPmc(const Pmc& pmc, obs::MetricsRegistry& registry,
+          const std::string& prefix)
+{
+    for (u32 i = 0; i < static_cast<u32>(PmcEvent::kCount); ++i) {
+        auto event = static_cast<PmcEvent>(i);
+        registry.counter(prefix + pmcEventName(event))
+            .inc(pmc.read(event));
+    }
+}
+
+} // namespace phantom::cpu

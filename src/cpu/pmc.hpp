@@ -11,9 +11,11 @@
 #ifndef PHANTOM_CPU_PMC_HPP
 #define PHANTOM_CPU_PMC_HPP
 
+#include "obs/metrics.hpp"
 #include "sim/types.hpp"
 
 #include <array>
+#include <string>
 
 namespace phantom::cpu {
 
@@ -38,6 +40,15 @@ enum class PmcEvent : u32 {
     kCount,
 };
 
+/**
+ * Canonical lower_snake name of @p event — the single naming table for
+ * every surface that mentions a PMC event (bench tables, JSON metrics,
+ * trace labels). Raw rdpmc selectors map to the same order, so
+ * pmcEventName(static_cast<PmcEvent>(selector)) names what readRaw()
+ * reads.
+ */
+const char* pmcEventName(PmcEvent event);
+
 /** A bank of monotonic counters. */
 class Pmc
 {
@@ -45,6 +56,14 @@ class Pmc
     void bump(PmcEvent event, u64 n = 1) { counters_[idx(event)] += n; }
 
     u64 read(PmcEvent event) const { return counters_[idx(event)]; }
+
+    /** Fold @p other's counts into this bank (campaign aggregation). */
+    void
+    absorb(const Pmc& other)
+    {
+        for (std::size_t i = 0; i < counters_.size(); ++i)
+            counters_[i] += other.counters_[i];
+    }
 
     /** Read by raw selector (the rdpmc instruction path). Out-of-range
      *  selectors read zero. */
@@ -67,6 +86,13 @@ class Pmc
 
     std::array<u64, static_cast<std::size_t>(PmcEvent::kCount)> counters_{};
 };
+
+/**
+ * Export every counter of @p pmc into @p registry as
+ * "<prefix><pmcEventName(event)>" counters.
+ */
+void exportPmc(const Pmc& pmc, obs::MetricsRegistry& registry,
+               const std::string& prefix = "pmc.");
 
 } // namespace phantom::cpu
 

@@ -1,0 +1,16 @@
+#include "obs/metrics.hpp"
+
+namespace phantom::obs {
+
+void
+MetricsRegistry::merge(const MetricsRegistry& other)
+{
+    for (const auto& [name, c] : other.counters_)
+        counters_[name].inc(c.value());
+    for (const auto& [name, g] : other.gauges_)
+        gauges_[name].set(g.value());
+    for (const auto& [name, h] : other.histograms_)
+        histograms_[name].merge(h);
+}
+
+} // namespace phantom::obs

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Campaign-level metrics: counters, gauges, and fixed-log2-bucket
+ * histograms, collected in a named registry.
+ *
+ * Two registries per campaign by convention:
+ *  - "deterministic": values derived only from seeded simulation (cycle
+ *    attribution, episode counts, PMC aggregates). These must be
+ *    bit-identical for any PHANTOM_JOBS, which the trace_check CTest
+ *    enforces; merges therefore happen in shard-index order and all
+ *    accumulators are integral (no float summation order issues).
+ *  - "measured": wall-clock derived values (trials/sec, steal counts,
+ *    per-trial time histograms) that legitimately vary run to run.
+ */
+
+#ifndef PHANTOM_OBS_METRICS_HPP
+#define PHANTOM_OBS_METRICS_HPP
+
+#include "sim/types.hpp"
+
+#include <array>
+#include <map>
+#include <string>
+
+namespace phantom::obs {
+
+/** Monotonic integer counter. */
+class Counter
+{
+  public:
+    void inc(u64 n = 1) { value_ += n; }
+    u64 value() const { return value_; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Histogram over u64 samples with fixed log2 buckets: bucket i counts
+ * samples v with 2^i <= v < 2^(i+1) (bucket 0 additionally holds v in
+ * {0, 1}). Fixed bucket boundaries make merged histograms independent
+ * of merge order, and the integral count/sum keep aggregation exact.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    void
+    observe(u64 v)
+    {
+        buckets_[bucketOf(v)] += 1;
+        count_ += 1;
+        sum_ += v;
+    }
+
+    /** Index of the log2 bucket holding @p v. */
+    static int
+    bucketOf(u64 v)
+    {
+        int b = 0;
+        while (v > 1) {
+            v >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    /** Inclusive lower bound of bucket @p i (0, 2, 4, 8, ...). */
+    static u64
+    bucketLo(int i)
+    {
+        return i == 0 ? 0 : (1ull << i);
+    }
+
+    u64 count() const { return count_; }
+    u64 sum() const { return sum_; }
+    double mean() const { return count_ == 0 ? 0.0 : double(sum_) / double(count_); }
+    const std::array<u64, kBuckets>& buckets() const { return buckets_; }
+
+    void
+    merge(const Histogram& other)
+    {
+        for (int i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+  private:
+    std::array<u64, kBuckets> buckets_{};
+    u64 count_ = 0;
+    u64 sum_ = 0;
+};
+
+/**
+ * Named metric registry. Lookup creates on first use; names are kept in
+ * sorted order (std::map) so exports serialize deterministically.
+ * Not thread-safe: use one registry per shard and merge() after join.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter& counter(const std::string& name) { return counters_[name]; }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+    const std::map<std::string, Counter>& counters() const { return counters_; }
+    const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return histograms_;
+    }
+
+    bool
+    empty() const
+    {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+    /**
+     * Fold @p other into this registry: counters and histograms add,
+     * gauges take @p other's value (call in shard-index order for a
+     * deterministic result).
+     */
+    void merge(const MetricsRegistry& other);
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace phantom::obs
+
+#endif // PHANTOM_OBS_METRICS_HPP

@@ -1,0 +1,77 @@
+#include "obs/trace.hpp"
+
+namespace phantom::obs {
+
+const char*
+traceEventName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::BtbLookup:       return "btb_lookup";
+      case TraceEventKind::BtbInstall:      return "btb_install";
+      case TraceEventKind::SpecFetch:       return "spec_fetch";
+      case TraceEventKind::SpecDecode:      return "spec_decode";
+      case TraceEventKind::SpecExec:        return "spec_exec";
+      case TraceEventKind::FrontendResteer: return "frontend_resteer";
+      case TraceEventKind::BackendResteer:  return "backend_resteer";
+      case TraceEventKind::Squash:          return "squash";
+      case TraceEventKind::OpCacheFill:     return "op_cache_fill";
+      case TraceEventKind::OpCacheHit:      return "op_cache_hit";
+      case TraceEventKind::EpisodeBegin:    return "episode_begin";
+      case TraceEventKind::EpisodeEnd:      return "episode_end";
+      case TraceEventKind::kCount:          break;
+    }
+    return "?";
+}
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+thread_local TraceSink* tActiveSink = nullptr;
+
+} // namespace
+
+RingTraceSink::RingTraceSink(std::size_t capacity)
+    : ring_(roundUpPow2(capacity == 0 ? 1 : capacity)),
+      mask_(ring_.size() - 1)
+{
+}
+
+std::vector<TraceEvent>
+RingTraceSink::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(head_ - tail_));
+    for (u64 i = tail_; i < head_; ++i)
+        out.push_back(ring_[i & mask_]);
+    return out;
+}
+
+void
+RingTraceSink::clear()
+{
+    head_ = 0;
+    tail_ = 0;
+    dropped_ = 0;
+}
+
+TraceSink*
+activeTraceSink()
+{
+    return tActiveSink;
+}
+
+void
+setActiveTraceSink(TraceSink* sink)
+{
+    tActiveSink = sink;
+}
+
+} // namespace phantom::obs

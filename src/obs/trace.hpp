@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Pipeline event tracing.
+ *
+ * The simulator's argument is *where in the pipeline* a misprediction is
+ * detected and how far the phantom target advances (IF/ID/EX). This
+ * module captures that as a stream of typed events with cycle timestamps
+ * and episode ids, instead of stringly log lines: BTB activity, the
+ * speculative fetch/decode/execute ladder, the resteer that ends an
+ * episode, and squashes of predictor state.
+ *
+ * Design constraints:
+ *  - The simulation hot loop must pay only a null-pointer branch when no
+ *    sink is attached (see Machine::trace()).
+ *  - Campaign workers run trials concurrently, so each scheduler shard
+ *    owns a private RingTraceSink: single producer, consumed only after
+ *    the workers join — no locks or atomics on the emit path.
+ *  - Rings are bounded and overwrite the oldest events; the overwrite
+ *    count is exposed so exports never silently truncate.
+ */
+
+#ifndef PHANTOM_OBS_TRACE_HPP
+#define PHANTOM_OBS_TRACE_HPP
+
+#include "sim/types.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace phantom::obs {
+
+/** Typed pipeline events emitted from Machine/Bpu hook points. */
+enum class TraceEventKind : u8 {
+    BtbLookup = 0,    ///< pre-decode prediction query (arg32: 1 = hit)
+    BtbInstall,       ///< trainBranch installed/refreshed an entry
+    SpecFetch,        ///< speculative target line entered L1I
+    SpecDecode,       ///< speculative instruction decoded at the target
+    SpecExec,         ///< transient µop executed on the wrong path
+    FrontendResteer,  ///< decoder-issued resteer (PHANTOM window closes)
+    BackendResteer,   ///< execute-issued resteer (Spectre window closes)
+    Squash,           ///< predictor state dropped (IBPB / decoder invalidate)
+    OpCacheFill,      ///< µop-cache line filled by (speculative) decode
+    OpCacheHit,       ///< committed fetch served from the µop cache
+    EpisodeBegin,     ///< speculation episode opened (arg8: provisional)
+    EpisodeEnd,       ///< episode classified (arg8: cpu::EpisodeKind)
+    kCount,
+};
+
+/** Stable lower_snake name of @p kind, used as the trace label. */
+const char* traceEventName(TraceEventKind kind);
+
+/** One traced event. Fixed 40-byte POD so rings stay cache-friendly. */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::BtbLookup;
+    u8 arg8 = 0;       ///< event-specific small payload (episode kind…)
+    u16 shard = 0;     ///< filled by the sink owner at export time
+    u32 arg32 = 0;     ///< event-specific count (decoded insns, µops…)
+    Cycle cycle = 0;   ///< machine clock at emission
+    u64 episode = 0;   ///< owning episode id; 0 = outside any episode
+    u64 pc = 0;        ///< source pc (predicted / resteered instruction)
+    u64 addr = 0;      ///< event target address, when meaningful
+};
+
+/** Event consumer interface. Implementations must tolerate being called
+ *  from exactly one thread at a time (per-shard ownership). */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceEvent& event) = 0;
+};
+
+/**
+ * Bounded single-producer ring buffer sink. Capacity is rounded up to a
+ * power of two; once full, the oldest events are overwritten and
+ * dropped() counts the overwrites, so consumers can report truncation
+ * instead of hiding it. snapshot() returns the retained events oldest
+ * first and is only safe after the producing worker has joined.
+ */
+class RingTraceSink : public TraceSink
+{
+  public:
+    explicit RingTraceSink(std::size_t capacity = 1u << 16);
+
+    void
+    emit(const TraceEvent& event) override
+    {
+        ring_[head_ & mask_] = event;
+        ++head_;
+        if (head_ - tail_ > ring_.size()) {
+            ++tail_;
+            ++dropped_;
+        }
+    }
+
+    /** Events currently retained, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    u64 emitted() const { return head_; }
+    u64 dropped() const { return dropped_; }
+    std::size_t capacity() const { return ring_.size(); }
+    void clear();
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t mask_;
+    u64 head_ = 0;    ///< next write slot (monotonic)
+    u64 tail_ = 0;    ///< oldest retained slot (monotonic)
+    u64 dropped_ = 0;
+};
+
+/**
+ * Ambient per-thread sink. Machines constructed on a scheduler worker
+ * pick this up automatically, so campaign code does not have to plumb a
+ * sink through every Testbed/Experiment constructor. Null by default:
+ * tracing costs one branch per hook until a sink is installed.
+ */
+TraceSink* activeTraceSink();
+void setActiveTraceSink(TraceSink* sink);
+
+/** RAII installer for activeTraceSink(), restoring the previous sink. */
+class ScopedTraceSink
+{
+  public:
+    explicit ScopedTraceSink(TraceSink* sink)
+        : prev_(activeTraceSink())
+    {
+        setActiveTraceSink(sink);
+    }
+    ~ScopedTraceSink() { setActiveTraceSink(prev_); }
+    ScopedTraceSink(const ScopedTraceSink&) = delete;
+    ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+  private:
+    TraceSink* prev_;
+};
+
+} // namespace phantom::obs
+
+#endif // PHANTOM_OBS_TRACE_HPP

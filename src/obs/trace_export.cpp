@@ -1,0 +1,288 @@
+#include "obs/trace_export.hpp"
+
+#include "sim/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phantom::obs {
+
+namespace {
+
+void
+appendEscaped(std::string& out, const std::string& s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+appendHex(std::string& out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+appendU64(std::string& out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+appendTs(std::string& out, double ts)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f", ts);
+    out += buf;
+}
+
+/** Open one event object with the fields every record shares. */
+void
+beginEvent(std::string& out, bool& first, const char* ph, unsigned tid,
+           double ts)
+{
+    out += first ? "\n  {" : ",\n  {";
+    first = false;
+    out += "\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":1,\"tid\":";
+    appendU64(out, tid);
+    out += ",\"ts\":";
+    appendTs(out, ts);
+}
+
+void
+metadataEvent(std::string& out, bool& first, const char* name, int tid,
+              const std::string& value)
+{
+    out += first ? "\n  {" : ",\n  {";
+    first = false;
+    out += "\"ph\":\"M\",\"pid\":1,";
+    if (tid >= 0) {
+        out += "\"tid\":";
+        appendU64(out, static_cast<u64>(tid));
+        out += ",";
+    }
+    out += "\"name\":\"";
+    out += name;
+    out += "\",\"args\":{\"name\":\"";
+    appendEscaped(out, value);
+    out += "\"}}";
+}
+
+void
+instantEvent(std::string& out, bool& first, unsigned tid,
+             const TraceEvent& e)
+{
+    beginEvent(out, first, "i", tid, static_cast<double>(e.cycle));
+    out += ",\"s\":\"t\",\"name\":\"";
+    out += traceEventName(e.kind);
+    out += "\",\"args\":{\"pc\":\"";
+    appendHex(out, e.pc);
+    out += "\",\"addr\":\"";
+    appendHex(out, e.addr);
+    out += "\",\"episode\":";
+    appendU64(out, e.episode);
+    out += "}}";
+}
+
+void
+sliceEvent(std::string& out, bool& first, unsigned tid,
+           const std::string& name, double ts, double dur,
+           const std::string& args_json)
+{
+    beginEvent(out, first, "X", tid, ts);
+    out += ",\"dur\":";
+    appendTs(out, dur);
+    out += ",\"name\":\"";
+    appendEscaped(out, name);
+    out += "\"";
+    if (!args_json.empty()) {
+        out += ",\"args\":";
+        out += args_json;
+    }
+    out += "}";
+}
+
+/** Accumulated state of one open episode while scanning a shard. */
+struct OpenEpisode
+{
+    u64 id = 0;
+    Cycle begin = 0;
+    u64 pc = 0;
+    u64 target = 0;
+    u32 fetches = 0;
+    u32 decodes = 0;
+    u32 execs = 0;
+};
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<ShardTrace>& shards,
+                const ChromeTraceOptions& options)
+{
+    std::string out = "{\n\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[";
+    bool first = true;
+
+    metadataEvent(out, first, "process_name", -1, options.processName);
+    for (const ShardTrace& shard : shards) {
+        std::string label = "shard " + std::to_string(shard.shard);
+        if (shard.dropped > 0)
+            label += " (+" + std::to_string(shard.dropped) +
+                     " events dropped)";
+        metadataEvent(out, first, "thread_name",
+                      static_cast<int>(shard.shard), label);
+    }
+
+    for (const ShardTrace& shard : shards) {
+        unsigned tid = shard.shard;
+        OpenEpisode ep;
+        bool open = false;
+
+        for (const TraceEvent& e : shard.events) {
+            switch (e.kind) {
+              case TraceEventKind::EpisodeBegin:
+                ep = OpenEpisode{};
+                ep.id = e.episode;
+                ep.begin = e.cycle;
+                ep.pc = e.pc;
+                ep.target = e.addr;
+                open = true;
+                break;
+
+              case TraceEventKind::SpecFetch:
+                if (open) ++ep.fetches;
+                break;
+              case TraceEventKind::SpecDecode:
+                if (open) ++ep.decodes;
+                break;
+              case TraceEventKind::SpecExec:
+                if (open) ++ep.execs;
+                break;
+
+              case TraceEventKind::FrontendResteer:
+              case TraceEventKind::BackendResteer:
+              case TraceEventKind::Squash:
+                instantEvent(out, first, tid, e);
+                break;
+
+              case TraceEventKind::EpisodeEnd: {
+                if (!open || e.episode != ep.id)
+                    break;    // truncated ring: begin was overwritten
+                open = false;
+
+                std::string label =
+                    options.episodeLabel != nullptr
+                        ? std::string(options.episodeLabel(e.arg8))
+                        : "kind" + std::to_string(e.arg8);
+
+                double ts = static_cast<double>(ep.begin);
+                double dur = static_cast<double>(
+                    e.cycle > ep.begin ? e.cycle - ep.begin : 1);
+
+                std::string args = "{\"episode\":";
+                appendU64(args, ep.id);
+                args += ",\"pc\":\"";
+                appendHex(args, ep.pc);
+                args += "\",\"target\":\"";
+                appendHex(args, ep.target);
+                args += "\",\"spec_fetch\":";
+                appendU64(args, ep.fetches);
+                args += ",\"spec_decode\":";
+                appendU64(args, ep.decodes);
+                args += ",\"spec_exec\":";
+                appendU64(args, ep.execs);
+                args += "}";
+
+                sliceEvent(out, first, tid, "episode:" + label, ts, dur,
+                           args);
+
+                // IF/ID/EX child slices: partition the episode span by
+                // the stages the target actually reached, weighting ID
+                // and EX by their event counts so deeper advancement
+                // reads as a longer slice.
+                double weights[3] = {
+                    ep.fetches > 0 ? 1.0 : 0.0,
+                    static_cast<double>(ep.decodes),
+                    static_cast<double>(ep.execs),
+                };
+                const char* names[3] = {"IF", "ID", "EX"};
+                double total = weights[0] + weights[1] + weights[2];
+                if (total > 0) {
+                    double at = ts;
+                    for (int s = 0; s < 3; ++s) {
+                        if (weights[s] <= 0)
+                            continue;
+                        double span = dur * weights[s] / total;
+                        sliceEvent(out, first, tid, names[s], at, span,
+                                   "");
+                        at += span;
+                    }
+                }
+                break;
+              }
+
+              case TraceEventKind::BtbLookup:
+              case TraceEventKind::BtbInstall:
+              case TraceEventKind::OpCacheFill:
+              case TraceEventKind::OpCacheHit:
+                // High-frequency events: kept in ring snapshots and in
+                // the metrics counters, omitted from the viewer export.
+                break;
+              case TraceEventKind::kCount:
+                break;
+            }
+        }
+    }
+
+    out += "\n]\n}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string& path,
+                 const std::vector<ShardTrace>& shards,
+                 const ChromeTraceOptions& options)
+{
+    std::string text = chromeTraceJson(shards, options);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        logError("cannot open trace output ", path);
+        return false;
+    }
+    std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = written == text.size() && std::fclose(f) == 0;
+    if (!ok)
+        logError("short write of trace output ", path);
+    return ok;
+}
+
+std::string
+tracePathFromEnv()
+{
+    const char* env = std::getenv("PHANTOM_TRACE");
+    return (env != nullptr && *env != '\0') ? env : "";
+}
+
+} // namespace phantom::obs

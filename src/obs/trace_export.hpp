@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Chrome trace_event-format exporter for pipeline traces.
+ *
+ * Renders the per-shard event streams captured by RingTraceSink as a
+ * JSON document loadable in Perfetto / chrome://tracing: one thread
+ * track per scheduler shard, one nested duration slice per speculation
+ * episode (with IF/ID/EX child slices sized by how deep the phantom
+ * target advanced), and instant markers for resteers and squashes.
+ *
+ * Timestamps map one simulated cycle to one microsecond of trace time —
+ * the machine clock is the only meaningful time base here, and µs keeps
+ * the slices readable in the viewers' default zoom.
+ *
+ * Enabled per run with PHANTOM_TRACE=<output path> (see OBSERVABILITY.md).
+ */
+
+#ifndef PHANTOM_OBS_TRACE_EXPORT_HPP
+#define PHANTOM_OBS_TRACE_EXPORT_HPP
+
+#include "obs/trace.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::obs {
+
+/** One shard's retained events plus its ring-overwrite count. */
+struct ShardTrace
+{
+    unsigned shard = 0;
+    u64 dropped = 0;               ///< ring overwrites (never silent)
+    std::vector<TraceEvent> events;
+};
+
+struct ChromeTraceOptions
+{
+    std::string processName = "phantom";
+    /** Maps TraceEvent::arg8 of an EpisodeEnd to a label ("phantom",
+     *  "spectre", ...). Null renders "kind<arg8>". */
+    const char* (*episodeLabel)(u8 kind) = nullptr;
+};
+
+/** Serialize @p shards to a Chrome trace_event JSON document. */
+std::string chromeTraceJson(const std::vector<ShardTrace>& shards,
+                            const ChromeTraceOptions& options = {});
+
+/** chromeTraceJson() to @p path. Returns false (and logs) on I/O error. */
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<ShardTrace>& shards,
+                      const ChromeTraceOptions& options = {});
+
+/** $PHANTOM_TRACE, or "" when tracing is not requested. */
+std::string tracePathFromEnv();
+
+} // namespace phantom::obs
+
+#endif // PHANTOM_OBS_TRACE_EXPORT_HPP

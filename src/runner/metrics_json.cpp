@@ -1,0 +1,55 @@
+#include "runner/metrics_json.hpp"
+
+namespace phantom::runner {
+
+namespace {
+
+JsonValue
+histogramToJson(const obs::Histogram& histogram)
+{
+    JsonValue h = JsonValue::object();
+    h.set("count", JsonValue(histogram.count()));
+    h.set("sum", JsonValue(histogram.sum()));
+    h.set("mean", JsonValue(histogram.mean()));
+    JsonValue buckets = JsonValue::array();
+    for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+        u64 n = histogram.buckets()[static_cast<std::size_t>(i)];
+        if (n == 0)
+            continue;
+        JsonValue b = JsonValue::object();
+        b.set("lo", JsonValue(obs::Histogram::bucketLo(i)));
+        b.set("count", JsonValue(n));
+        buckets.push(std::move(b));
+    }
+    h.set("buckets", std::move(buckets));
+    return h;
+}
+
+} // namespace
+
+JsonValue
+metricsToJson(const obs::MetricsRegistry& registry)
+{
+    JsonValue doc = JsonValue::object();
+    if (!registry.counters().empty()) {
+        JsonValue counters = JsonValue::object();
+        for (const auto& [name, counter] : registry.counters())
+            counters.set(name, JsonValue(counter.value()));
+        doc.set("counters", std::move(counters));
+    }
+    if (!registry.gauges().empty()) {
+        JsonValue gauges = JsonValue::object();
+        for (const auto& [name, gauge] : registry.gauges())
+            gauges.set(name, JsonValue(gauge.value()));
+        doc.set("gauges", std::move(gauges));
+    }
+    if (!registry.histograms().empty()) {
+        JsonValue histograms = JsonValue::object();
+        for (const auto& [name, histogram] : registry.histograms())
+            histograms.set(name, histogramToJson(histogram));
+        doc.set("histograms", std::move(histograms));
+    }
+    return doc;
+}
+
+} // namespace phantom::runner

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * JSON serialization for obs::MetricsRegistry.
+ *
+ * Lives in the runner (not src/obs) so the obs library stays free of
+ * the JSON document model and links against phantom_sim only.
+ */
+
+#ifndef PHANTOM_RUNNER_METRICS_JSON_HPP
+#define PHANTOM_RUNNER_METRICS_JSON_HPP
+
+#include "obs/metrics.hpp"
+#include "runner/json.hpp"
+
+namespace phantom::runner {
+
+/**
+ * Serialize @p registry as
+ *
+ *   {
+ *     "counters":   { "<name>": <integer> },
+ *     "gauges":     { "<name>": <number> },
+ *     "histograms": { "<name>": { "count", "sum", "mean",
+ *                                 "buckets": [ { "lo", "count" } ... ] } }
+ *   }
+ *
+ * Empty sections are omitted; histogram buckets list only non-zero
+ * bins (with their inclusive lower bound), so documents stay compact
+ * without losing any mass.
+ */
+JsonValue metricsToJson(const obs::MetricsRegistry& registry);
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_METRICS_JSON_HPP

@@ -103,6 +103,9 @@ ResultSink::toJson() const
     }
     doc.set("experiments", std::move(experiments));
 
+    if (hasMetrics_)
+        doc.set("metrics", metrics_);
+
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)
                       .count();

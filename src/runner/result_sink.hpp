@@ -19,12 +19,19 @@
  *         "labels":  { "<key>": "<string>" }
  *       }
  *     },
+ *     "metrics": {
+ *       "deterministic": { "counters", "gauges", "histograms" },
+ *       "measured":      { "counters", "gauges", "histograms" },
+ *       "manifest":      { "campaign_seed", "fast_mode", "uarch", ... }
+ *     },
  *     "timing": { "wall_seconds", "busy_seconds", "speedup" }
  *   }
  *
- * Everything under "experiments" is derived from seeded simulation only
- * and is bit-identical for a given campaign seed regardless of
- * PHANTOM_JOBS; "timing" is measured and varies run to run.
+ * Everything under "experiments", "metrics.deterministic" and
+ * "metrics.manifest" is derived from seeded simulation only and is
+ * bit-identical for a given campaign seed regardless of PHANTOM_JOBS
+ * (the trace_check CTest enforces this); "metrics.measured" and
+ * "timing" are measured and vary run to run.
  */
 
 #ifndef PHANTOM_RUNNER_RESULT_SINK_HPP
@@ -79,6 +86,18 @@ class ResultSink
     /** Sum of per-worker busy time, for the timing.speedup field. */
     void setBusySeconds(double seconds) { busySeconds_ = seconds; }
 
+    /**
+     * Attach the campaign metrics document (see the schema comment
+     * above; bench/bench_util.hpp builds it). Serialized verbatim as
+     * the top-level "metrics" member; omitted until set.
+     */
+    void
+    setMetrics(JsonValue metrics)
+    {
+        metrics_ = std::move(metrics);
+        hasMetrics_ = true;
+    }
+
     /** Build the full document (wall-clock measured since ctor). */
     JsonValue toJson() const;
 
@@ -99,6 +118,8 @@ class ResultSink
     u64 campaignSeed_;
     unsigned jobs_;
     double busySeconds_ = 0.0;
+    JsonValue metrics_;
+    bool hasMetrics_ = false;
     std::chrono::steady_clock::time_point start_;
     std::map<std::string, Experiment> experiments_;
 };

@@ -37,6 +37,22 @@ jobsFromEnv()
     return static_cast<unsigned>(v);
 }
 
+double
+SchedulerStats::imbalance() const
+{
+    u64 max_trials = 0;
+    u64 total = 0;
+    for (u64 c : perWorkerTrials) {
+        max_trials = std::max(max_trials, c);
+        total += c;
+    }
+    if (total == 0 || perWorkerTrials.empty())
+        return 0.0;
+    double mean =
+        static_cast<double>(total) / double(perWorkerTrials.size());
+    return static_cast<double>(max_trials) / mean;
+}
+
 TrialScheduler::TrialScheduler(unsigned jobs)
     : jobs_(jobs == 0 ? jobsFromEnv() : jobs)
 {
@@ -64,14 +80,41 @@ TrialScheduler::runTasks(u64 count,
     if (count == 0)
         return;
 
+    auto observe_trial = [](obs::Histogram& hist, clock::time_point t0) {
+        hist.observe(static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                clock::now() - t0)
+                .count()));
+    };
+
     // Serial path: no threads, no queues, exceptions propagate directly.
-    // This is byte-for-byte the behaviour of the old per-bench for loops.
+    // This is the behaviour of the old per-bench for loops, plus the
+    // per-trial stats bookkeeping (two clock reads per trial).
     if (jobs_ == 1 || count == 1) {
+        if (stats_.perWorkerTrials.empty())
+            stats_.perWorkerTrials.resize(1);
+        if (workerSetup_)
+            workerSetup_(0);
         auto start = clock::now();
-        for (u64 trial = 0; trial < count; ++trial)
-            task(trial, 0);
+        try {
+            for (u64 trial = 0; trial < count; ++trial) {
+                auto t0 = clock::now();
+                task(trial, 0);
+                observe_trial(stats_.trialMicros, t0);
+                ++stats_.trials;
+                ++stats_.perWorkerTrials[0];
+            }
+        } catch (...) {
+            busySeconds_ +=
+                std::chrono::duration<double>(clock::now() - start).count();
+            if (workerTeardown_)
+                workerTeardown_(0);
+            throw;
+        }
         busySeconds_ +=
             std::chrono::duration<double>(clock::now() - start).count();
+        if (workerTeardown_)
+            workerTeardown_(0);
         return;
     }
 
@@ -93,14 +136,39 @@ TrialScheduler::runTasks(u64 count,
     std::mutex error_mutex;
     std::atomic<double> busy{0.0};
 
+    auto fail_with_current = [&]() {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error)
+            first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+    };
+
+    // Each worker accumulates stats privately; the locals are folded
+    // into stats_ in worker-index order after the join, so aggregation
+    // never races and serializes deterministically.
+    struct WorkerLocal
+    {
+        u64 trials = 0;
+        u64 steals = 0;
+        obs::Histogram micros;
+    };
+    std::vector<WorkerLocal> locals(workers);
+
     auto worker_main = [&](unsigned self) {
         auto start = clock::now();
+        try {
+            if (workerSetup_)
+                workerSetup_(self);
+        } catch (...) {
+            fail_with_current();
+        }
         for (;;) {
             if (failed.load(std::memory_order_relaxed))
                 break;
 
             u64 trial = 0;
             bool got = false;
+            bool stolen = false;
 
             {   // Own queue first (front: preserves chunk order).
                 std::lock_guard<std::mutex> lock(deques[self].mutex);
@@ -118,19 +186,28 @@ TrialScheduler::runTasks(u64 count,
                     trial = deques[victim].trials.back();
                     deques[victim].trials.pop_back();
                     got = true;
+                    stolen = true;
                 }
             }
             if (!got)
                 break;   // every deque empty: campaign drained
 
+            if (stolen)
+                ++locals[self].steals;
             try {
+                auto t0 = clock::now();
                 task(trial, self);
+                observe_trial(locals[self].micros, t0);
+                ++locals[self].trials;
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
+                fail_with_current();
             }
+        }
+        try {
+            if (workerTeardown_)
+                workerTeardown_(self);
+        } catch (...) {
+            fail_with_current();
         }
         double elapsed =
             std::chrono::duration<double>(clock::now() - start).count();
@@ -147,6 +224,14 @@ TrialScheduler::runTasks(u64 count,
         thread.join();
 
     busySeconds_ += busy.load();
+    if (stats_.perWorkerTrials.size() < workers)
+        stats_.perWorkerTrials.resize(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        stats_.trials += locals[w].trials;
+        stats_.steals += locals[w].steals;
+        stats_.perWorkerTrials[w] += locals[w].trials;
+        stats_.trialMicros.merge(locals[w].micros);
+    }
 
     if (first_error)
         std::rethrow_exception(first_error);

@@ -20,6 +20,7 @@
 #ifndef PHANTOM_RUNNER_SCHEDULER_HPP
 #define PHANTOM_RUNNER_SCHEDULER_HPP
 
+#include "obs/metrics.hpp"
 #include "sim/types.hpp"
 
 #include <functional>
@@ -34,6 +35,23 @@ unsigned hardwareJobs();
 
 /** Worker count from PHANTOM_JOBS, defaulting to hardwareJobs(). */
 unsigned jobsFromEnv();
+
+/**
+ * Scheduling observability, accumulated across every run on one
+ * scheduler. Everything here is measured (wall-clock and scheduling
+ * order dependent) — it belongs in the "measured" metrics section, never
+ * the "deterministic" one.
+ */
+struct SchedulerStats
+{
+    u64 trials = 0;                    ///< trials executed
+    u64 steals = 0;                    ///< trials taken from another worker
+    std::vector<u64> perWorkerTrials;  ///< trials executed per worker index
+    obs::Histogram trialMicros;        ///< per-trial wall time (µs)
+
+    /** max/mean of perWorkerTrials: 1.0 = perfectly balanced shards. */
+    double imbalance() const;
+};
 
 class TrialScheduler
 {
@@ -84,6 +102,24 @@ class TrialScheduler
      */
     double busySeconds() const { return busySeconds_; }
 
+    /** Trials/steals/imbalance/per-trial timing since construction. */
+    const SchedulerStats& stats() const { return stats_; }
+
+    /**
+     * Install hooks run on each worker thread before its first trial and
+     * after its last one (the serial path runs both around the loop as
+     * worker 0). Campaign code uses these to install per-shard
+     * thread-local state — notably obs::setActiveTraceSink(). Hooks
+     * apply to subsequent run*() calls; pass nullptrs to clear.
+     */
+    void
+    setWorkerHooks(std::function<void(unsigned)> setup,
+                   std::function<void(unsigned)> teardown)
+    {
+        workerSetup_ = std::move(setup);
+        workerTeardown_ = std::move(teardown);
+    }
+
   private:
     /**
      * Run the trials and gather results in trial order. bool results
@@ -115,6 +151,9 @@ class TrialScheduler
 
     unsigned jobs_;
     double busySeconds_ = 0.0;
+    SchedulerStats stats_;
+    std::function<void(unsigned)> workerSetup_;
+    std::function<void(unsigned)> workerTeardown_;
 };
 
 } // namespace phantom::runner

@@ -1,7 +1,9 @@
 #include "sim/log.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
 
 namespace phantom {
 
@@ -32,6 +34,34 @@ levelName(LogLevel level)
     }
 }
 
+std::mutex&
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** PHANTOM_LOG_FILE target, or std::cerr when unset/unopenable. */
+std::ostream&
+defaultStream()
+{
+    static std::ofstream file;
+    static std::ostream* stream = [] {
+        const char* path = std::getenv("PHANTOM_LOG_FILE");
+        if (path != nullptr && *path != '\0') {
+            file.open(path, std::ios::app);
+            if (file.is_open())
+                return static_cast<std::ostream*>(&file);
+            std::cerr << "[phantom:WARN] cannot open PHANTOM_LOG_FILE="
+                      << path << ", logging to stderr\n";
+        }
+        return &std::cerr;
+    }();
+    return *stream;
+}
+
+std::ostream* gStream = nullptr;    // nullptr = defaultStream()
+
 } // namespace
 
 void
@@ -47,9 +77,37 @@ logLevel()
 }
 
 void
+setLogStream(std::ostream* stream)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    gStream = stream;
+}
+
+std::ostream&
+logStream()
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    return gStream != nullptr ? *gStream : defaultStream();
+}
+
+void
 logMessage(LogLevel level, const std::string& msg)
 {
-    std::fprintf(stderr, "[phantom:%s] %s\n", levelName(level), msg.c_str());
+    // Format the whole line before taking the lock: the critical
+    // section is one streamed write plus a flush, so worker threads
+    // can never interleave partial lines.
+    std::string line;
+    line.reserve(msg.size() + 20);
+    line += "[phantom:";
+    line += levelName(level);
+    line += "] ";
+    line += msg;
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::ostream& out = gStream != nullptr ? *gStream : defaultStream();
+    out << line;
+    out.flush();
 }
 
 } // namespace phantom

@@ -2,11 +2,17 @@
  * @file
  * Minimal leveled logging. Off by default; experiments flip it on for
  * debugging without recompiling (PHANTOM_LOG env var or setLogLevel()).
+ *
+ * All messages go through a single std::ostream*, written one complete
+ * line at a time under a mutex, so concurrent scheduler workers never
+ * interleave partial lines. PHANTOM_LOG_FILE=<path> redirects the
+ * stream to a file at startup (default: stderr).
  */
 
 #ifndef PHANTOM_SIM_LOG_HPP
 #define PHANTOM_SIM_LOG_HPP
 
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -20,7 +26,18 @@ void setLogLevel(LogLevel level);
 /** Current global log threshold (initialized from PHANTOM_LOG if set). */
 LogLevel logLevel();
 
-/** Emit @p msg if @p level is at or below the threshold. */
+/**
+ * Redirect logging to @p stream (non-owning; nullptr restores the
+ * default: PHANTOM_LOG_FILE if set and openable, else stderr). The
+ * stream must outlive any subsequent logging.
+ */
+void setLogStream(std::ostream* stream);
+
+/** The stream logMessage currently writes to. */
+std::ostream& logStream();
+
+/** Emit @p msg if @p level is at or below the threshold. Thread-safe:
+ *  the line is formatted first, then written and flushed under a mutex. */
 void logMessage(LogLevel level, const std::string& msg);
 
 namespace detail {

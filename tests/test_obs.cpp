@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the observability subsystem: the ring trace sink and ambient
+ * sink plumbing, the log2-bucket histogram and metrics registry (exact,
+ * order-independent merges), the metrics JSON export, and the Chrome
+ * trace_event rendering of speculation episodes.
+ */
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "runner/json.hpp"
+#include "runner/metrics_json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom::obs {
+namespace {
+
+TraceEvent
+event(TraceEventKind kind, Cycle cycle, u64 episode = 0, u64 pc = 0,
+      u64 addr = 0, u32 arg32 = 0, u8 arg8 = 0)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.arg8 = arg8;
+    e.arg32 = arg32;
+    e.cycle = cycle;
+    e.episode = episode;
+    e.pc = pc;
+    e.addr = addr;
+    return e;
+}
+
+// ---- RingTraceSink -----------------------------------------------------------
+
+TEST(RingTraceSink, RoundsCapacityToPowerOfTwo)
+{
+    RingTraceSink ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+    EXPECT_EQ(RingTraceSink(1).capacity(), 1u);
+    EXPECT_EQ(RingTraceSink(64).capacity(), 64u);
+}
+
+TEST(RingTraceSink, OverwritesOldestAndCountsDrops)
+{
+    RingTraceSink ring(4);
+    for (u64 i = 0; i < 10; ++i)
+        ring.emit(event(TraceEventKind::SpecFetch, i));
+
+    EXPECT_EQ(ring.emitted(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+
+    auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (u64 i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].cycle, 6 + i);   // oldest first, newest kept
+}
+
+TEST(RingTraceSink, ClearResetsEverything)
+{
+    RingTraceSink ring(2);
+    ring.emit(event(TraceEventKind::SpecFetch, 1));
+    ring.emit(event(TraceEventKind::SpecFetch, 2));
+    ring.emit(event(TraceEventKind::SpecFetch, 3));
+    ring.clear();
+    EXPECT_EQ(ring.emitted(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(AmbientSink, ScopedInstallAndRestore)
+{
+    ASSERT_EQ(activeTraceSink(), nullptr);
+    RingTraceSink outer(4);
+    {
+        ScopedTraceSink a(&outer);
+        EXPECT_EQ(activeTraceSink(), &outer);
+        RingTraceSink inner(4);
+        {
+            ScopedTraceSink b(&inner);
+            EXPECT_EQ(activeTraceSink(), &inner);
+        }
+        EXPECT_EQ(activeTraceSink(), &outer);
+    }
+    EXPECT_EQ(activeTraceSink(), nullptr);
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0);
+    EXPECT_EQ(Histogram::bucketOf(1), 0);
+    EXPECT_EQ(Histogram::bucketOf(2), 1);
+    EXPECT_EQ(Histogram::bucketOf(3), 1);
+    EXPECT_EQ(Histogram::bucketOf(4), 2);
+    EXPECT_EQ(Histogram::bucketOf(1023), 9);
+    EXPECT_EQ(Histogram::bucketOf(1024), 10);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), 63);
+
+    EXPECT_EQ(Histogram::bucketLo(0), 0u);
+    EXPECT_EQ(Histogram::bucketLo(1), 2u);
+    EXPECT_EQ(Histogram::bucketLo(10), 1024u);
+}
+
+TEST(Histogram, ObserveAndMergeAreExact)
+{
+    Histogram a;
+    Histogram b;
+    a.observe(1);
+    a.observe(100);
+    b.observe(7);
+    b.observe(1 << 20);
+
+    Histogram merged_ab = a;
+    merged_ab.merge(b);
+    Histogram merged_ba = b;
+    merged_ba.merge(a);
+
+    EXPECT_EQ(merged_ab.count(), 4u);
+    EXPECT_EQ(merged_ab.sum(), 1u + 100u + 7u + (1u << 20));
+    EXPECT_EQ(merged_ab.buckets(), merged_ba.buckets());  // order-free
+    EXPECT_EQ(merged_ab.sum(), merged_ba.sum());
+    EXPECT_DOUBLE_EQ(merged_ab.mean(),
+                     double(merged_ab.sum()) / 4.0);
+}
+
+// ---- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistry, MergeSemantics)
+{
+    MetricsRegistry a;
+    MetricsRegistry b;
+    EXPECT_TRUE(a.empty());
+
+    a.counter("trials").inc(3);
+    b.counter("trials").inc(4);
+    b.counter("only_b").inc(1);
+    a.gauge("jobs").set(1.0);
+    b.gauge("jobs").set(2.0);
+    a.histogram("micros").observe(10);
+    b.histogram("micros").observe(1000);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("trials").value(), 7u);      // counters add
+    EXPECT_EQ(a.counter("only_b").value(), 1u);
+    EXPECT_DOUBLE_EQ(a.gauge("jobs").value(), 2.0);  // gauges last-write
+    EXPECT_EQ(a.histogram("micros").count(), 2u);    // histograms add
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(MetricsRegistry, JsonExportShape)
+{
+    MetricsRegistry reg;
+    reg.counter("episodes.total").inc(42);
+    reg.gauge("scheduler.jobs").set(2.0);
+    reg.histogram("trial_micros").observe(100);
+    reg.histogram("trial_micros").observe(100);
+
+    runner::JsonValue doc = runner::metricsToJson(reg);
+    ASSERT_TRUE(doc.isObject());
+
+    // Dotted metric names are object keys, not paths: look up directly.
+    const runner::JsonValue* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const runner::JsonValue* c = counters->find("episodes.total");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->number(), 42.0);
+
+    const runner::JsonValue* gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(gauges->find("scheduler.jobs"), nullptr);
+
+    const runner::JsonValue* hist =
+        doc.find("histograms")->find("trial_micros");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("count")->number(), 2.0);
+    EXPECT_DOUBLE_EQ(hist->find("sum")->number(), 200.0);
+    // Only the one non-empty bucket is serialized.
+    ASSERT_TRUE(hist->find("buckets")->isArray());
+    EXPECT_EQ(hist->find("buckets")->items().size(), 1u);
+}
+
+// ---- Chrome trace export -----------------------------------------------------
+
+const char*
+labelOf(u8 kind)
+{
+    return kind == 0 ? "phantom" : "spectre";
+}
+
+TEST(ChromeTrace, RendersEpisodeWithStageChildren)
+{
+    ShardTrace shard;
+    shard.shard = 0;
+    shard.events = {
+        event(TraceEventKind::EpisodeBegin, 100, 1, 0x400000, 0x500000),
+        event(TraceEventKind::SpecFetch, 101, 1),
+        event(TraceEventKind::SpecDecode, 102, 1),
+        event(TraceEventKind::SpecDecode, 103, 1),
+        event(TraceEventKind::SpecExec, 104, 1),
+        event(TraceEventKind::FrontendResteer, 105, 1, 0x400000,
+              0x500000),
+        event(TraceEventKind::EpisodeEnd, 110, 1, 0x400000, 0x500000, 0,
+              /*arg8=*/0),
+    };
+
+    ChromeTraceOptions options;
+    options.episodeLabel = labelOf;
+    std::string text = chromeTraceJson({shard}, options);
+
+    runner::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(runner::parseJson(text, doc, &error)) << error;
+
+    const runner::JsonValue* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    const runner::JsonValue* episode = nullptr;
+    int stage_slices = 0;
+    int instants = 0;
+    for (const auto& e : events->items()) {
+        const auto* name = e.find("name");
+        if (name == nullptr)
+            continue;
+        if (name->string() == "episode:phantom")
+            episode = &e;
+        if (name->string() == "IF" || name->string() == "ID" ||
+            name->string() == "EX")
+            ++stage_slices;
+        if (name->string() == "frontend_resteer")
+            ++instants;
+    }
+
+    ASSERT_NE(episode, nullptr);
+    EXPECT_DOUBLE_EQ(episode->find("ts")->number(), 100.0);
+    EXPECT_DOUBLE_EQ(episode->find("dur")->number(), 10.0);
+    EXPECT_DOUBLE_EQ(episode->findPath("args.spec_decode")->number(), 2.0);
+    EXPECT_DOUBLE_EQ(episode->findPath("args.spec_exec")->number(), 1.0);
+    EXPECT_EQ(stage_slices, 3);   // IF, ID and EX all reached
+    EXPECT_EQ(instants, 1);
+}
+
+TEST(ChromeTrace, TruncatedRingDropsOrphanEpisodeEnd)
+{
+    // An EpisodeEnd whose EpisodeBegin was overwritten must not produce
+    // a slice (there is no start timestamp to anchor it).
+    ShardTrace shard;
+    shard.shard = 1;
+    shard.dropped = 12;
+    shard.events = {
+        event(TraceEventKind::EpisodeEnd, 50, 7),
+    };
+
+    std::string text = chromeTraceJson({shard});
+    runner::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(runner::parseJson(text, doc, &error)) << error;
+
+    bool has_slice = false;
+    bool dropped_in_label = false;
+    for (const auto& e : doc.find("traceEvents")->items()) {
+        const auto* ph = e.find("ph");
+        if (ph != nullptr && ph->string() == "X")
+            has_slice = true;
+        const auto* args = e.findPath("args.name");
+        if (args != nullptr &&
+            args->string().find("12 events dropped") != std::string::npos)
+            dropped_in_label = true;
+    }
+    EXPECT_FALSE(has_slice);
+    EXPECT_TRUE(dropped_in_label);   // truncation is never silent
+}
+
+} // namespace
+} // namespace phantom::obs

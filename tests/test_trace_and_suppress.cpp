@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace phantom::attack {
 namespace {
 
@@ -65,6 +67,111 @@ TEST(EpisodeTrace, RespectsCapacityAndDisable)
     bed.machine.clearEpisodeTrace();
     bed.syscall(os::kSysGetpid);
     EXPECT_TRUE(bed.machine.episodeTrace().empty());
+}
+
+TEST(EpisodeTrace, DetectionStageAndSquashTiming)
+{
+    // One trace captures both windows of the paper's taxonomy: the
+    // second training run's jmp* mispredicts towards the stale first
+    // target (resolved only at execute — Spectre), and the kernel
+    // victim nop opens a decoder-detected PHANTOM episode.
+    Testbed bed(quiet(cpu::zen2()));
+    bed.syscall(os::kSysGetpid);
+    PredictionInjector injector(bed);
+    VAddr victim = bed.kernel.getpidGadgetVa();
+    bed.machine.enableEpisodeTrace(64);
+    injector.inject(victim, bed.kernel.imageBase() + 0x2000);
+    injector.inject(victim, bed.kernel.imageBase() + 0x3000);
+    bed.syscall(os::kSysGetpid);
+
+    const auto& trace = bed.machine.episodeTrace();
+    auto phantom =
+        std::find_if(trace.begin(), trace.end(), [&](const auto& r) {
+            return r.kind == cpu::EpisodeKind::PhantomFrontend &&
+                   r.sourcePc == victim;
+        });
+    auto spectre =
+        std::find_if(trace.begin(), trace.end(), [](const auto& r) {
+            return r.kind == cpu::EpisodeKind::SpectreBackend;
+        });
+    ASSERT_NE(phantom, trace.end());
+    ASSERT_NE(spectre, trace.end());
+
+    // Detection context: the decoder catches the phantom in the kernel;
+    // the training branch resolves in user mode.
+    EXPECT_EQ(phantom->priv, Privilege::Kernel);
+    EXPECT_EQ(spectre->priv, Privilege::User);
+
+    // Squash timing: every record spans at least its resteer penalty,
+    // and the execute-resolved window is wider than the decoder one.
+    const auto& cfg = bed.machine.config();
+    EXPECT_GE(phantom->squashCycle,
+              phantom->atCycle + cfg.frontendResteerPenalty);
+    EXPECT_GE(spectre->squashCycle,
+              spectre->atCycle + cfg.backendResteerPenalty);
+    EXPECT_GT(spectre->squashCycle - spectre->atCycle,
+              phantom->squashCycle - phantom->atCycle);
+
+    // Episode ids are unique, and the machine counts every episode it
+    // began (traced or not).
+    EXPECT_NE(phantom->id, spectre->id);
+    EXPECT_GE(bed.machine.episodeCount(), trace.size());
+}
+
+TEST(EpisodeTrace, PhantomDepthZen2VsZen4)
+{
+    // Same phantom episode, different microarchitecture: on Zen 2 the
+    // decoder resteer misses the µop queue and the target transiently
+    // executes; on Zen 4 it stops at decode.
+    u32 executed[2] = {0, 0};
+    int i = 0;
+    for (const auto& base : {cpu::zen2(), cpu::zen4()}) {
+        Testbed bed(quiet(base));
+        bed.syscall(os::kSysGetpid);
+        PredictionInjector injector(bed);
+        VAddr victim = bed.kernel.getpidGadgetVa();
+        injector.inject(victim, bed.kernel.imageBase() + 0x3000);
+        bed.machine.enableEpisodeTrace(64);
+        bed.syscall(os::kSysGetpid);
+
+        const auto& trace = bed.machine.episodeTrace();
+        auto it = std::find_if(trace.begin(), trace.end(),
+                               [&](const auto& r) {
+                                   return r.kind ==
+                                              cpu::EpisodeKind::
+                                                  PhantomFrontend &&
+                                          r.sourcePc == victim;
+                               });
+        ASSERT_NE(it, trace.end()) << base.name;
+        EXPECT_TRUE(it->fetched) << base.name;
+        EXPECT_GT(it->decoded, 0u) << base.name;
+        executed[i++] = it->executed;
+    }
+    EXPECT_GT(executed[0], 0u);   // zen2: EX reached
+    EXPECT_EQ(executed[1], 0u);   // zen4: decoder resteer wins
+}
+
+TEST(EpisodeTrace, CountsDroppedEpisodes)
+{
+    Testbed bed(quiet(cpu::zen2()));
+    bed.machine.enableEpisodeTrace(1);
+    PredictionInjector injector(bed);
+    injector.inject(bed.kernel.getpidGadgetVa(),
+                    bed.kernel.imageBase() + 0x3000);
+    bed.syscall(os::kSysGetpid);
+    bed.syscall(os::kSysGetpid);
+
+    EXPECT_EQ(bed.machine.episodeTrace().size(), 1u);
+    EXPECT_GE(bed.machine.droppedEpisodes(), 1u);
+
+    bed.machine.clearEpisodeTrace();
+    EXPECT_EQ(bed.machine.droppedEpisodes(), 0u);
+
+    // Disabled tracing drops nothing — the counter only reports
+    // records lost to a full trace, not tracing being off.
+    bed.machine.disableEpisodeTrace();
+    bed.syscall(os::kSysGetpid);
+    EXPECT_EQ(bed.machine.droppedEpisodes(), 0u);
 }
 
 TEST(EpisodeTrace, ClassifiesAutoIbrsCancellation)

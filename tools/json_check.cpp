@@ -12,6 +12,11 @@
  *       require the subtrees at dotted PATH to be structurally equal
  *       (used to assert PHANTOM_JOBS=1 and =N produce byte-identical
  *       aggregated statistics)
+ *   json_check --trace-schema FILE
+ *       require FILE to be a Chrome trace_event document: an object
+ *       with a "traceEvents" array whose entries carry ph/pid/tid/name,
+ *       ts+dur on "X" slices — and at least one episode slice (the
+ *       per-stage rendering the trace exists for)
  */
 
 #include "runner/json.hpp"
@@ -50,7 +55,8 @@ usage()
     std::fprintf(stderr,
                  "usage: json_check --parse FILE\n"
                  "       json_check --expect-experiments FILE KEY...\n"
-                 "       json_check --equal-path PATH FILE1 FILE2\n");
+                 "       json_check --equal-path PATH FILE1 FILE2\n"
+                 "       json_check --trace-schema FILE\n");
     return 2;
 }
 
@@ -96,6 +102,66 @@ main(int argc, char** argv)
             }
         }
         return missing == 0 ? 0 : 1;
+    }
+
+    if (mode == "--trace-schema") {
+        JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return 1;
+        const JsonValue* events = doc.find("traceEvents");
+        if (events == nullptr || !events->isArray()) {
+            std::fprintf(stderr,
+                         "json_check: %s: no \"traceEvents\" array\n",
+                         argv[2]);
+            return 1;
+        }
+        phantom::u64 slices = 0;
+        phantom::u64 episode_slices = 0;
+        phantom::u64 index = 0;
+        for (const JsonValue& event : events->items()) {
+            const JsonValue* ph = event.find("ph");
+            const JsonValue* pid = event.find("pid");
+            const JsonValue* tid = event.find("tid");
+            const JsonValue* name = event.find("name");
+            // tid is optional only on process-scoped metadata ("M").
+            bool needs_tid =
+                ph != nullptr && ph->kind() == JsonValue::Kind::String &&
+                ph->string() != "M";
+            if (ph == nullptr || ph->kind() != JsonValue::Kind::String ||
+                pid == nullptr || name == nullptr ||
+                (needs_tid && tid == nullptr)) {
+                std::fprintf(stderr,
+                             "json_check: %s: traceEvents[%llu] lacks "
+                             "ph/pid/tid/name\n",
+                             argv[2],
+                             static_cast<unsigned long long>(index));
+                return 1;
+            }
+            if (ph->string() == "X") {
+                if (event.find("ts") == nullptr ||
+                    event.find("dur") == nullptr) {
+                    std::fprintf(stderr,
+                                 "json_check: %s: slice traceEvents[%llu] "
+                                 "lacks ts/dur\n",
+                                 argv[2],
+                                 static_cast<unsigned long long>(index));
+                    return 1;
+                }
+                ++slices;
+                if (name->string().rfind("episode:", 0) == 0)
+                    ++episode_slices;
+            }
+            ++index;
+        }
+        if (episode_slices == 0) {
+            std::fprintf(stderr,
+                         "json_check: %s: %llu slices but no "
+                         "\"episode:*\" slice — the trace shows no "
+                         "speculation episode\n",
+                         argv[2], static_cast<unsigned long long>(slices));
+            return 1;
+        }
+        return 0;
     }
 
     if (mode == "--equal-path") {

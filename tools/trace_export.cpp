@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Standalone Chrome-trace exporter: runs a small canned pair of
+ * speculation scenarios on Zen 2 with a RingTraceSink attached and
+ * writes the captured pipeline events as a trace_event JSON document.
+ *
+ *   trace_export OUT.json
+ *
+ * The scenarios cover both halves of the paper's taxonomy:
+ *   1. an injected prediction at a kernel nop — the decoder detects the
+ *      misprediction (PHANTOM window, frontend resteer), and
+ *   2. a mispredicted real branch — resolved only at execute (Spectre
+ *      window, backend resteer).
+ *
+ * Open the output in Perfetto (ui.perfetto.dev) or chrome://tracing;
+ * OBSERVABILITY.md documents the slice layout. The same exporter runs
+ * inside every bench when PHANTOM_TRACE is set — this tool exists so the
+ * export path can be exercised (and the schema CI-checked) in isolation,
+ * without a full campaign.
+ */
+
+#include "attack/experiment.hpp"
+#include "attack/testbed.hpp"
+#include "cpu/machine.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+
+using namespace phantom;
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: trace_export OUT.json\n");
+        return 2;
+    }
+
+    obs::RingTraceSink ring(1u << 16);
+    obs::ScopedTraceSink scoped(&ring);
+
+    // Scenario 1: PHANTOM. A user-injected BTB entry at the kernel's
+    // getpid nop gadget fires on the next syscall; the decoder sees a
+    // non-branch and resteers the frontend.
+    {
+        auto cfg = cpu::zen2();
+        cfg.noise = mem::NoiseConfig{};
+        attack::Testbed bed(cfg);
+        bed.syscall(os::kSysGetpid);   // warm the kernel path
+        attack::PredictionInjector injector(bed);
+        injector.inject(bed.kernel.getpidGadgetVa(),
+                        bed.kernel.imageBase() + 0x3000);
+        bed.syscall(os::kSysGetpid);
+    }
+
+    // Scenario 2: Spectre. Train jmp* against a real direct branch; the
+    // misprediction survives decode and is only resolved at execute.
+    {
+        attack::StageExperimentOptions options;
+        options.trials = 1;
+        attack::StageExperiment experiment(cpu::zen2(), options);
+        experiment.run(attack::BranchKind::IndirectJmp,
+                       attack::BranchKind::DirectJmp);
+    }
+
+    obs::ShardTrace shard;
+    shard.shard = 0;
+    shard.dropped = ring.dropped();
+    shard.events = ring.snapshot();
+
+    obs::ChromeTraceOptions options;
+    options.processName = "trace_export";
+    options.episodeLabel = [](u8 kind) {
+        return cpu::episodeKindName(static_cast<cpu::EpisodeKind>(kind));
+    };
+
+    if (!obs::writeChromeTrace(argv[1], {shard}, options))
+        return 1;
+    std::printf("trace_export: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(ring.emitted()),
+                static_cast<unsigned long long>(ring.dropped()), argv[1]);
+    return 0;
+}
