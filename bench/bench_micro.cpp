@@ -4,9 +4,17 @@
  * decode throughput, BTB lookup, cache access, end-to-end simulated IPS,
  * and kernel boot cost. These bound how long the table/figure harnesses
  * take and catch performance regressions in the model.
+ *
+ * The custom main wires the run through bench::Campaign: every
+ * benchmark's items/s and ns/iteration land in the measured metrics
+ * section of bench_micro.json (wall-clock numbers are never
+ * deterministic, so they gate only with tolerance), and the set of
+ * benchmarks that ran is recorded as deterministic experiment labels.
+ * PHANTOM_FAST caps iteration counts so the regression gate stays fast.
  */
 
 #include "attack/testbed.hpp"
+#include "bench_util.hpp"
 #include "isa/assembler.hpp"
 
 #include <benchmark/benchmark.h>
@@ -14,6 +22,15 @@
 using namespace phantom;
 
 namespace {
+
+/** Fast mode pins a small fixed iteration count instead of letting the
+ *  library auto-scale towards its default min time. */
+void
+microArgs(benchmark::internal::Benchmark* b)
+{
+    if (bench::fastMode())
+        b->Iterations(64);
+}
 
 void
 BM_DecodeMixed(benchmark::State& state)
@@ -38,7 +55,7 @@ BM_DecodeMixed(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * 160);
 }
-BENCHMARK(BM_DecodeMixed);
+BENCHMARK(BM_DecodeMixed)->Apply(microArgs);
 
 void
 BM_BtbLookup(benchmark::State& state)
@@ -59,7 +76,7 @@ BM_BtbLookup(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_BtbLookup);
+BENCHMARK(BM_BtbLookup)->Apply(microArgs);
 
 void
 BM_CacheAccess(benchmark::State& state)
@@ -72,7 +89,7 @@ BM_CacheAccess(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_CacheAccess)->Apply(microArgs);
 
 void
 BM_SimulatedLoopIps(benchmark::State& state)
@@ -96,7 +113,7 @@ BM_SimulatedLoopIps(benchmark::State& state)
     }
     state.SetItemsProcessed(static_cast<i64>(instructions));
 }
-BENCHMARK(BM_SimulatedLoopIps);
+BENCHMARK(BM_SimulatedLoopIps)->Apply(microArgs);
 
 void
 BM_KernelBoot(benchmark::State& state)
@@ -108,7 +125,7 @@ BM_KernelBoot(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_KernelBoot);
+BENCHMARK(BM_KernelBoot)->Apply(microArgs);
 
 void
 BM_SyscallRoundTrip(benchmark::State& state)
@@ -121,8 +138,58 @@ BM_SyscallRoundTrip(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SyscallRoundTrip);
+BENCHMARK(BM_SyscallRoundTrip)->Apply(microArgs);
+
+/**
+ * ConsoleReporter that additionally mirrors every run into the
+ * campaign's measured metrics and the "micro" experiment's labels.
+ */
+class CampaignReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CampaignReporter(bench::Campaign& campaign)
+        : campaign_(campaign)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run>& reports) override
+    {
+        for (const Run& run : reports) {
+            if (run.error_occurred)
+                continue;
+            std::string name = run.benchmark_name();
+            std::string prefix = "micro." + name;
+            double iters = static_cast<double>(run.iterations);
+            if (iters > 0.0)
+                campaign_.measured()
+                    .gauge(prefix + ".ns_per_iteration")
+                    .set(run.real_accumulated_time * 1e9 / iters);
+            auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end())
+                campaign_.measured()
+                    .gauge(prefix + ".items_per_second")
+                    .set(items->second.value);
+            campaign_.sink().experiment("micro").setLabel(name, "run");
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+  private:
+    bench::Campaign& campaign_;
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bench::Campaign campaign("bench_micro");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CampaignReporter reporter(campaign);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return campaign.finish();
+}

@@ -9,6 +9,11 @@
  *    targets (P1 survives).
  *  - IBPB on privilege transitions stops all three primitives, at a
  *    large cost.
+ *
+ * The overhead suite runs dispatch through the campaign scheduler; the
+ * stage/fetch probes are single seeded simulations recorded as JSON
+ * labels and scalars (experiments: suppress_overhead, o4_stages,
+ * o5_autoibrs, ibpb, stibp).
  */
 
 #include "attack/covert.hpp"
@@ -38,45 +43,66 @@ main()
 {
     bench::header("Mitigations (paper section 6.3 / 8)");
 
+    bench::Campaign campaign("bench_mitigations");
+    for (const char* uarch : {"zen1", "zen2", "zen3", "zen4"})
+        campaign.noteUarch(uarch);
+
     // ---- SuppressBPOnNonBr overhead ---------------------------------------
     {
-        MitigationSetting setting;
-        setting.suppressBpOnNonBr = true;
-        double zen2 = mitigationOverhead(cpu::zen2(), setting);
-        double zen4 = mitigationOverhead(cpu::zen4(), setting);
+        std::vector<cpu::MicroarchConfig> configs = {cpu::zen2(),
+                                                     cpu::zen4()};
+        auto overheads =
+            campaign.scheduler().run(configs.size(), [&](u64 trial) {
+                MitigationSetting setting;
+                setting.suppressBpOnNonBr = true;
+                return mitigationOverhead(configs[trial], setting);
+            });
         std::printf("SuppressBPOnNonBr overhead (geomean over suite):\n");
         std::printf("  zen2: %.2f%%   zen4: %.2f%%   (paper UnixBench: "
                     "0.69%% single / 0.42%% multi)\n",
-                    zen2 * 100.0, zen4 * 100.0);
+                    overheads[0] * 100.0, overheads[1] * 100.0);
+        auto& exp = campaign.sink().experiment("suppress_overhead");
+        exp.setScalar("zen2", overheads[0]);
+        exp.setScalar("zen4", overheads[1]);
     }
 
     // ---- O4: SuppressBPOnNonBr vs the pipeline stages -----------------------
     {
         std::printf("\nO4: SuppressBPOnNonBr on zen2, jmp* training of a "
                     "non-branch victim:\n");
+        auto& exp = campaign.sink().experiment("o4_stages");
+
         StageExperimentOptions options;
         options.trials = 3;
         StageExperiment off(cpu::zen2(), options);
-        printStage("bit clear:",
-                   off.run(BranchKind::IndirectJmp, BranchKind::NonBranch));
+        StageObservation obs =
+            off.run(BranchKind::IndirectJmp, BranchKind::NonBranch);
+        printStage("bit clear:", obs);
+        exp.setLabel("bit_clear", stageCellName(obs));
+
         options.suppressBpOnNonBr = true;
         StageExperiment on(cpu::zen2(), options);
-        printStage("bit set (expect IF/ID only):",
-                   on.run(BranchKind::IndirectJmp, BranchKind::NonBranch));
-        printStage("bit set, branch victim (expect EX, unaffected):",
-                   on.run(BranchKind::IndirectJmp, BranchKind::DirectJmp));
+        obs = on.run(BranchKind::IndirectJmp, BranchKind::NonBranch);
+        printStage("bit set (expect IF/ID only):", obs);
+        exp.setLabel("bit_set_nonbranch", stageCellName(obs));
+
+        obs = on.run(BranchKind::IndirectJmp, BranchKind::DirectJmp);
+        printStage("bit set, branch victim (expect EX, unaffected):", obs);
+        exp.setLabel("bit_set_branch", stageCellName(obs));
 
         // Zen 1 does not support the bit at all.
         StageExperimentOptions z1 = options;
         StageExperiment zen1(cpu::zen1(), z1);
-        printStage("zen1, bit set but unsupported (expect EX):",
-                   zen1.run(BranchKind::IndirectJmp, BranchKind::NonBranch));
+        obs = zen1.run(BranchKind::IndirectJmp, BranchKind::NonBranch);
+        printStage("zen1, bit set but unsupported (expect EX):", obs);
+        exp.setLabel("zen1_unsupported", stageCellName(obs));
     }
 
     // ---- O5: AutoIBRS vs cross-privilege transient fetch --------------------
     {
         std::printf("\nO5: AutoIBRS on zen4, user-injected prediction at a "
                     "kernel nop:\n");
+        auto& exp = campaign.sink().experiment("o5_autoibrs");
         for (bool auto_ibrs : {false, true}) {
             Testbed bed(cpu::zen4(), kDefaultPhysBytes, 7);
             bed.machine.msrs().setBit(cpu::msr::kEfer,
@@ -99,6 +125,9 @@ main()
                         auto_ibrs, fetched,
                         cpu::pmcEventName(cpu::PmcEvent::SpecDecode),
                         static_cast<unsigned long long>(decode_delta));
+            const char* key = auto_ibrs ? "fetched_autoibrs_on"
+                                        : "fetched_autoibrs_off";
+            exp.setLabel(key, fetched ? "yes" : "no");
         }
     }
 
@@ -106,6 +135,7 @@ main()
     {
         std::printf("\nIBPB on every kernel entry vs the P1 channel "
                     "(zen3, 128 bits):\n");
+        auto& exp = campaign.sink().experiment("ibpb");
         for (bool ibpb : {false, true}) {
             CovertOptions options;
             options.bits = 128;
@@ -116,6 +146,8 @@ main()
                         result.accuracy * 100.0,
                         ibpb ? "expect ~50% = channel dead"
                              : "expect ~100%");
+            exp.setScalar(ibpb ? "accuracy_ibpb" : "accuracy_no_ibpb",
+                          result.accuracy);
         }
 
         MitigationSetting setting;
@@ -124,6 +156,7 @@ main()
         std::printf("  IBPB-per-syscall overhead on the suite: %.1f%% "
                     "(the paper calls the penalty 'large')\n",
                     cost * 100.0);
+        exp.setScalar("overhead", cost);
     }
 
     // ---- STIBP: cross-thread, not cross-privilege -----------------------------
@@ -146,6 +179,8 @@ main()
         std::printf("  STIBP on, same-thread injection: target fetched=%d "
                     "(expect 1 — STIBP is no PHANTOM defence)\n",
                     fetched);
+        campaign.sink().experiment("stibp").setLabel(
+            "same_thread_fetched", fetched ? "yes" : "no");
     }
-    return 0;
+    return campaign.finish();
 }

@@ -22,33 +22,13 @@
 using namespace phantom;
 using namespace phantom::attack;
 
-namespace {
-
-const BranchKind kKinds[] = {
-    BranchKind::IndirectJmp, BranchKind::DirectJmp, BranchKind::CondJmp,
-    BranchKind::Ret, BranchKind::NonBranch,
-};
-constexpr std::size_t kNumKinds = std::size(kKinds);
-
-const char*
-cell(const StageObservation& obs)
-{
-    if (!obs.applicable)
-        return "--";
-    if (obs.signals.execute)
-        return "EX";
-    if (obs.signals.decode)
-        return "ID";
-    if (obs.signals.fetch)
-        return "IF";
-    return ".";
-}
-
-} // namespace
-
 int
 main()
 {
+    // Canonical row/column order and cell naming shared with the diff
+    // layer's paper-conformance checks (attack/experiment.hpp).
+    const auto& kKinds = table1Kinds();
+    const std::size_t kNumKinds = kKinds.size();
     bench::header("Table 1: training x victim -> deepest pipeline stage");
     std::printf("Cells: EX = transient execute, ID = transient decode,\n"
                 "IF = transient fetch, . = no signal, -- = not applicable\n");
@@ -97,7 +77,7 @@ main()
                                             campaign.deterministic());
                 episodes += obs.episodes;
 
-                const char* stage = cell(observations[trial++]);
+                const char* stage = stageCellName(observations[trial++]);
                 std::printf("%12s", stage);
                 exp.setLabel(std::string(branchKindName(train)) + " x " +
                                  branchKindName(victim),

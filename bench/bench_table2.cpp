@@ -7,6 +7,10 @@
  * Absolute bits/s are far higher than the paper's (the simulated channel
  * needs no retries against real-world noise); the shape to check is the
  * accuracy band and that the execute channel exists only on Zen 1/2.
+ *
+ * Each (uarch, run) pair is one scheduler trial; per-run seeds come
+ * from a per-channel seed substream so the JSON "experiments" section
+ * is bit-identical across PHANTOM_JOBS settings.
  */
 
 #include "attack/covert.hpp"
@@ -20,7 +24,7 @@ using namespace phantom::attack;
 namespace {
 
 void
-runChannel(bool fetch_channel)
+runChannel(bench::Campaign& campaign, bool fetch_channel)
 {
     u64 runs = bench::runCount(10, 3);
     u64 bits = bench::envOr("PHANTOM_BITS", bench::fastMode() ? 512 : 4096);
@@ -36,24 +40,45 @@ runChannel(bool fetch_channel)
                                                            cpu::zen4()}
                        : std::vector<cpu::MicroarchConfig>{cpu::zen1(),
                                                            cpu::zen2()};
-    for (const auto& cfg : configs) {
+    const char* channel_key = fetch_channel ? "p1" : "p2";
+    auto seeds = campaign.seeds(channel_key);
+
+    u64 trials = configs.size() * runs;
+    auto results = campaign.scheduler().run(trials, [&](u64 trial) {
+        const auto& cfg = configs[trial / runs];
+        CovertOptions options;
+        options.bits = bits;
+        options.seed = seeds.trialSeed(trial);
+        CovertChannel channel(cfg, options);
+        return fetch_channel ? channel.runFetchChannel()
+                             : channel.runExecuteChannel();
+    });
+
+    for (std::size_t idx = 0; idx < configs.size(); ++idx) {
+        const auto& cfg = configs[idx];
+        campaign.noteUarch(cfg.name);
+        std::string name = std::string(channel_key) + "_" + cfg.name;
+        auto& exp = campaign.sink().experiment(name);
+
         SampleSet accuracy;
         SampleSet rate;
+        u64 supported = 0;
         for (u64 r = 0; r < runs; ++r) {
-            CovertOptions options;
-            options.bits = bits;
-            options.seed = 1000 + r * 77;
-            CovertChannel channel(cfg, options);
-            CovertResult result = fetch_channel
-                                      ? channel.runFetchChannel()
-                                      : channel.runExecuteChannel();
+            const CovertResult& result = results[idx * runs + r];
             if (!result.supported)
                 continue;
+            ++supported;
             accuracy.add(result.accuracy);
             rate.add(result.bitsPerSecond);
         }
+        exp.setScalar("runs", static_cast<double>(runs));
+        exp.setScalar("supported_runs", static_cast<double>(supported));
+        exp.setScalar("payload_bits", static_cast<double>(bits));
+        exp.setLabel("channel", fetch_channel ? "fetch" : "execute");
         if (accuracy.count() == 0)
             continue;
+        exp.addSamples("accuracy", accuracy);
+        exp.addSamples("bits_per_second", rate);
         std::printf("%-6s %-22s %9.2f%% %11.0f b/s\n", cfg.name.c_str(),
                     cfg.model.c_str(), accuracy.median() * 100.0,
                     rate.median());
@@ -65,14 +90,16 @@ runChannel(bool fetch_channel)
 int
 main()
 {
+    bench::Campaign campaign("bench_table2");
+
     bench::header("Table 2 (top): P1 fetch covert channel");
-    runChannel(true);
+    runChannel(campaign, true);
     std::printf("Paper: zen1 96.30%% 204 b/s | zen2 93.04%% 215 b/s | "
                 "zen3 100%% 256 b/s | zen4 90.67%% 341 b/s\n");
 
     bench::header("Table 2 (bottom): P2 execute covert channel");
-    runChannel(false);
+    runChannel(campaign, false);
     std::printf("Paper: zen1 100%% 256 b/s | zen2 99.28%% 292 b/s "
                 "(Zen 1/2 only)\n");
-    return 0;
+    return campaign.finish();
 }

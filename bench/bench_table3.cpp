@@ -4,6 +4,10 @@
  * (transient fetch) with the §7.3 bounded multi-set scoring. Each run
  * "reboots" the machine (fresh KASLR seed), scans all 488 candidate
  * slots, and reports accuracy plus median time.
+ *
+ * Each (uarch, reboot) pair is one scheduler trial; the accuracy and
+ * timing tables aggregate in trial order so the JSON "experiments"
+ * section is identical for any PHANTOM_JOBS.
  */
 
 #include "attack/exploits.hpp"
@@ -28,28 +32,46 @@ main()
                 static_cast<unsigned long long>(runs), sets);
     bench::rule();
 
-    for (const auto& cfg : {cpu::zen2(), cpu::zen3(), cpu::zen4()}) {
+    bench::Campaign campaign("bench_table3");
+    auto seeds = campaign.seeds("table3");
+
+    std::vector<cpu::MicroarchConfig> configs = {cpu::zen2(), cpu::zen3(),
+                                                 cpu::zen4()};
+    u64 trials = configs.size() * runs;
+    auto results = campaign.scheduler().run(trials, [&](u64 trial) {
+        const auto& cfg = configs[trial / runs];
+        Testbed bed(cfg, kDefaultPhysBytes, seeds.trialSeed(trial));
+        KaslrOptions options;
+        options.scoreSets = sets;
+        KernelImageKaslrBreak exploit(bed, options);
+        return exploit.run();
+    });
+
+    for (std::size_t idx = 0; idx < configs.size(); ++idx) {
+        const auto& cfg = configs[idx];
+        campaign.noteUarch(cfg.name);
+        auto& exp = campaign.sink().experiment(cfg.name);
+
         SampleSet times;
         u64 successes = 0;
         for (u64 r = 0; r < runs; ++r) {
-            Testbed bed(cfg, kDefaultPhysBytes, 4242 + r * 131);
-            KaslrOptions options;
-            options.scoreSets = sets;
-            KernelImageKaslrBreak exploit(bed, options);
-            DerandResult result = exploit.run();
+            const DerandResult& result = results[idx * runs + r];
             successes += result.success ? 1 : 0;
             times.add(result.seconds);
         }
+        double accuracy = static_cast<double>(successes) /
+                          static_cast<double>(runs);
+        exp.addSamples("seconds", times);
+        exp.setScalar("accuracy", accuracy);
+        exp.setScalar("runs", static_cast<double>(runs));
+        exp.setScalar("score_sets", static_cast<double>(sets));
         std::printf("%-6s %-22s %9.0f%% %11.4f s\n", cfg.name.c_str(),
-                    cfg.model.c_str(),
-                    100.0 * static_cast<double>(successes) /
-                        static_cast<double>(runs),
-                    times.median());
+                    cfg.model.c_str(), 100.0 * accuracy, times.median());
     }
 
     std::printf("Paper: zen2 97%% 4.09 s | zen3 100%% 1.38 s | "
                 "zen4 95%% 1.23 s\n"
                 "(Simulated seconds are smaller: the model needs no "
                 "noise-retry amplification.)\n");
-    return 0;
+    return campaign.finish();
 }

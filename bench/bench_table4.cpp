@@ -3,6 +3,9 @@
  * Reproduces Table 4: physmap KASLR derandomization via P2 (transient
  * load through the __fdget_pos victim call and the Listing-3 disclosure
  * gadget) with L2 Prime+Probe on 2 MiB huge pages. Zen 1/2 only.
+ *
+ * Each (uarch, run) pair is one scheduler trial; the per-uarch JSON
+ * experiments aggregate in trial order (jobs-independent).
  */
 
 #include "attack/exploits.hpp"
@@ -25,26 +28,42 @@ main()
                 static_cast<unsigned long long>(runs));
     bench::rule();
 
-    for (const auto& cfg : {cpu::zen1(), cpu::zen2()}) {
+    bench::Campaign campaign("bench_table4");
+    auto seeds = campaign.seeds("table4");
+
+    std::vector<cpu::MicroarchConfig> configs = {cpu::zen1(), cpu::zen2()};
+    u64 trials = configs.size() * runs;
+    auto results = campaign.scheduler().run(trials, [&](u64 trial) {
+        const auto& cfg = configs[trial / runs];
+        Testbed bed(cfg, kDefaultPhysBytes, seeds.trialSeed(trial));
+        // The image base is known from the Table-3 step.
+        PhysmapKaslrBreak exploit(bed, bed.kernel.imageBase());
+        return exploit.run();
+    });
+
+    for (std::size_t idx = 0; idx < configs.size(); ++idx) {
+        const auto& cfg = configs[idx];
+        campaign.noteUarch(cfg.name);
+        auto& exp = campaign.sink().experiment(cfg.name);
+
         SampleSet times;
         u64 successes = 0;
         for (u64 r = 0; r < runs; ++r) {
-            Testbed bed(cfg, kDefaultPhysBytes, 999 + r * 37);
-            // The image base is known from the Table-3 step.
-            PhysmapKaslrBreak exploit(bed, bed.kernel.imageBase());
-            DerandResult result = exploit.run();
+            const DerandResult& result = results[idx * runs + r];
             successes += result.success ? 1 : 0;
             times.add(result.seconds);
         }
+        double accuracy = static_cast<double>(successes) /
+                          static_cast<double>(runs);
+        exp.addSamples("seconds", times);
+        exp.setScalar("accuracy", accuracy);
+        exp.setScalar("runs", static_cast<double>(runs));
         std::printf("%-6s %-22s %9.0f%% %11.4f s\n", cfg.name.c_str(),
-                    cfg.model.c_str(),
-                    100.0 * static_cast<double>(successes) /
-                        static_cast<double>(runs),
-                    times.median());
+                    cfg.model.c_str(), 100.0 * accuracy, times.median());
     }
 
     std::printf("Paper: zen1 100%% 101 s | zen2 90%% 106.5 s\n"
                 "(Shape: physmap takes far longer than the 488-slot image "
                 "scan of Table 3.)\n");
-    return 0;
+    return campaign.finish();
 }

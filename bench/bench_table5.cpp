@@ -4,6 +4,9 @@
  * page by guessing physmap offsets through the P2 load and verifying
  * with Flush+Reload. The page's physical placement is re-randomized per
  * run by allocating a random number (0-99) of huge pages first.
+ *
+ * Each (row, run) pair is one scheduler trial; the per-uarch JSON
+ * experiments aggregate in trial order (jobs-independent).
  */
 
 #include "attack/exploits.hpp"
@@ -32,36 +35,56 @@ main()
         {cpu::zen1(), 8ull << 30, "8 GB"},
         {cpu::zen2(), 64ull << 30, "64 GB"},
     };
+    constexpr std::size_t kRows = sizeof rows / sizeof rows[0];
 
     std::printf("%-6s %-22s %-8s %10s %14s   (%llu runs)\n", "uarch",
                 "model", "memory", "accuracy", "median time",
                 static_cast<unsigned long long>(runs));
     bench::rule();
 
-    for (const Row& row : rows) {
+    bench::Campaign campaign("bench_table5");
+    auto seeds = campaign.seeds("table5");
+
+    u64 trials = kRows * runs;
+    auto results = campaign.scheduler().run(trials, [&](u64 trial) {
+        const Row& row = rows[trial / runs];
+        Testbed bed(row.cfg, row.physBytes, seeds.trialSeed(trial));
+        // Re-randomized physical placement per run (paper §7.4): the
+        // buddy allocator hands out frames from anywhere in installed
+        // memory, which is what ties scan time to memory size.
+        VAddr page_va = 0x0000000100000000ull;
+        bed.process.mapHugeData(page_va, /*random_placement=*/true);
+
+        PhysAddrFinder finder(bed, bed.kernel.imageBase(),
+                              bed.kernel.physmapBase(), page_va);
+        return finder.run();
+    });
+
+    for (std::size_t idx = 0; idx < kRows; ++idx) {
+        const Row& row = rows[idx];
+        campaign.noteUarch(row.cfg.name);
+        auto& exp = campaign.sink().experiment(row.cfg.name);
+
         SampleSet times;
         u64 successes = 0;
         for (u64 r = 0; r < runs; ++r) {
-            Testbed bed(row.cfg, row.physBytes, 555 + r * 101);
-            // Re-randomized physical placement per run (paper §7.4): the
-            // buddy allocator hands out frames from anywhere in installed
-            // memory, which is what ties scan time to memory size.
-            VAddr page_va = 0x0000000100000000ull;
-            bed.process.mapHugeData(page_va, /*random_placement=*/true);
-
-            PhysAddrFinder finder(bed, bed.kernel.imageBase(),
-                                  bed.kernel.physmapBase(), page_va);
-            DerandResult result = finder.run();
+            const DerandResult& result = results[idx * runs + r];
             successes += result.success ? 1 : 0;
             times.add(result.seconds);
         }
+        double accuracy = static_cast<double>(successes) /
+                          static_cast<double>(runs);
+        exp.addSamples("seconds", times);
+        exp.setScalar("accuracy", accuracy);
+        exp.setScalar("runs", static_cast<double>(runs));
+        exp.setScalar("memory_gib",
+                      static_cast<double>(row.physBytes >> 30));
+        exp.setLabel("memory", row.memory);
         std::printf("%-6s %-22s %-8s %9.0f%% %11.5f s\n",
                     row.cfg.name.c_str(), row.cfg.model.c_str(), row.memory,
-                    100.0 * static_cast<double>(successes) /
-                        static_cast<double>(runs),
-                    times.median());
+                    100.0 * accuracy, times.median());
     }
 
     std::printf("Paper: zen1/8GB 99%% 1 s | zen2/64GB 100%% 16 s\n");
-    return 0;
+    return campaign.finish();
 }

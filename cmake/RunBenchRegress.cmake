@@ -1,0 +1,114 @@
+# Runs the full fast bench campaign and gates it against the checked-in
+# baseline store. Invoked by the bench_regress CTest (and, with
+# -DUPDATE=ON, by the `baselines` convenience target) as:
+#
+#   cmake -DBENCH_DIR=<dir with bench_* exes> -DREPORT=<bench_report exe>
+#         -DCHECKER=<json_check exe> -DBASELINE_DIR=<bench/baselines>
+#         -DWORK_DIR=<scratch dir> "-DBENCHES=<;-list>" [-DUPDATE=ON]
+#         -P RunBenchRegress.cmake
+#
+# Steps:
+#   1. run every bench with PHANTOM_FAST=1 PHANTOM_JOBS=1 (serial-safe
+#      on 1-core hosts) into WORK_DIR/results
+#   2. validate each result file against the v2 metrics schema
+#   3. UPDATE=ON: rewrite BASELINE_DIR from the results and stop
+#   4. otherwise: rerun bench_table1 with PHANTOM_JOBS=2 and require the
+#      jobs=1 vs jobs=2 diff to report zero deterministic drift
+#   5. compare results against BASELINE_DIR with generous measured
+#      tolerances (PHANTOM_DIFF_RELTOL=9, PHANTOM_DIFF_HISTTOL=1.0:
+#      wall-clock noise never gates, deterministic metrics always gate
+#      bit-exactly) and write WORK_DIR/report.md + report.html
+
+set(RESULTS_DIR "${WORK_DIR}/results")
+file(REMOVE_RECURSE "${RESULTS_DIR}")
+file(MAKE_DIRECTORY "${RESULTS_DIR}")
+
+foreach(bench IN LISTS BENCHES)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+            PHANTOM_FAST=1 PHANTOM_JOBS=1
+            "PHANTOM_JSON_DIR=${RESULTS_DIR}"
+            "${BENCH_DIR}/${bench}"
+        RESULT_VARIABLE bench_rv
+        OUTPUT_VARIABLE bench_out
+        ERROR_VARIABLE bench_err)
+    if(NOT bench_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${bench} failed (rv=${bench_rv})\n${bench_out}\n${bench_err}")
+    endif()
+    execute_process(
+        COMMAND "${CHECKER}" --metrics-schema
+            "${RESULTS_DIR}/${bench}.json"
+        RESULT_VARIABLE check_rv)
+    if(NOT check_rv EQUAL 0)
+        message(FATAL_ERROR "${bench}: metrics schema validation failed")
+    endif()
+endforeach()
+
+if(UPDATE)
+    execute_process(
+        COMMAND "${REPORT}" --update-baselines "${RESULTS_DIR}"
+            "${BASELINE_DIR}"
+        RESULT_VARIABLE update_rv
+        OUTPUT_VARIABLE update_out
+        ERROR_VARIABLE update_err)
+    if(NOT update_rv EQUAL 0)
+        message(FATAL_ERROR
+            "baseline update failed (rv=${update_rv})\n"
+            "${update_out}\n${update_err}")
+    endif()
+    message(STATUS "baselines refreshed in ${BASELINE_DIR}")
+    return()
+endif()
+
+# Jobs-invariance: the deterministic sections must be bit-identical for
+# any worker count. Generous measured tolerances keep wall-clock noise
+# out of this check; deterministic drift always fails it.
+file(MAKE_DIRECTORY "${WORK_DIR}/results_j2")
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+        PHANTOM_FAST=1 PHANTOM_JOBS=2
+        "PHANTOM_JSON_DIR=${WORK_DIR}/results_j2"
+        "${BENCH_DIR}/bench_table1"
+    RESULT_VARIABLE j2_rv
+    OUTPUT_VARIABLE j2_out
+    ERROR_VARIABLE j2_err)
+if(NOT j2_rv EQUAL 0)
+    message(FATAL_ERROR
+        "bench_table1 jobs=2 rerun failed (rv=${j2_rv})\n"
+        "${j2_out}\n${j2_err}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+        PHANTOM_DIFF_RELTOL=9 PHANTOM_DIFF_HISTTOL=1.0
+        "${REPORT}" --diff
+        "${RESULTS_DIR}/bench_table1.json"
+        "${WORK_DIR}/results_j2/bench_table1.json"
+    RESULT_VARIABLE jobs_rv
+    OUTPUT_VARIABLE jobs_out
+    ERROR_VARIABLE jobs_err)
+if(NOT jobs_rv EQUAL 0)
+    message(FATAL_ERROR
+        "bench_table1: PHANTOM_JOBS=1 vs =2 shows deterministic drift\n"
+        "${jobs_out}\n${jobs_err}")
+endif()
+
+# The regression gate proper: diff against the checked-in baselines.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+        PHANTOM_DIFF_RELTOL=9 PHANTOM_DIFF_HISTTOL=1.0
+        "${REPORT}" --compare "${BASELINE_DIR}" "${RESULTS_DIR}"
+        --report "${WORK_DIR}/report.md" --html "${WORK_DIR}/report.html"
+    RESULT_VARIABLE gate_rv
+    OUTPUT_VARIABLE gate_out
+    ERROR_VARIABLE gate_err)
+message(STATUS "${gate_out}")
+if(NOT gate_rv EQUAL 0)
+    message(FATAL_ERROR
+        "bench_regress gate FAILED — see ${WORK_DIR}/report.md\n"
+        "${gate_out}\n${gate_err}\n"
+        "If the change is intentional, refresh the store with\n"
+        "  cmake --build build --target baselines\n"
+        "and commit bench/baselines/.")
+endif()
+message(STATUS "bench_regress gate passed; report in ${WORK_DIR}/report.md")

@@ -9,7 +9,9 @@
 #   1. run the bench with PHANTOM_FAST=1 PHANTOM_JOBS=2
 #   2. check the emitted JSON parses, carries the schema marker, and
 #      contains the expected experiment keys
-#   3. with COMPARE_JOBS: rerun serially (PHANTOM_JOBS=1) and require the
+#   3. check the "metrics" section against the v2 schema (registries
+#      present, histograms well-formed, manifest complete)
+#   4. with COMPARE_JOBS: rerun serially (PHANTOM_JOBS=1) and require the
 #      "experiments" subtree — every aggregated statistic — to be
 #      structurally identical to the parallel run
 
@@ -33,6 +35,13 @@ execute_process(
     RESULT_VARIABLE check_rv)
 if(NOT check_rv EQUAL 0)
     message(FATAL_ERROR "${NAME}: JSON validation failed")
+endif()
+
+execute_process(
+    COMMAND "${CHECKER}" --metrics-schema "${JSON_DIR}/${NAME}.json"
+    RESULT_VARIABLE metrics_rv)
+if(NOT metrics_rv EQUAL 0)
+    message(FATAL_ERROR "${NAME}: metrics schema validation failed")
 endif()
 
 if(COMPARE_JOBS)

@@ -59,6 +59,43 @@ branchKindName(BranchKind kind)
     return "?";
 }
 
+const std::array<BranchKind, 5>&
+table1Kinds()
+{
+    static const std::array<BranchKind, 5> kinds = {
+        BranchKind::IndirectJmp, BranchKind::DirectJmp,
+        BranchKind::CondJmp,     BranchKind::Ret,
+        BranchKind::NonBranch,
+    };
+    return kinds;
+}
+
+const char*
+stageCellName(const StageObservation& obs)
+{
+    if (!obs.applicable)
+        return "--";
+    if (obs.signals.execute)
+        return "EX";
+    if (obs.signals.decode)
+        return "ID";
+    if (obs.signals.fetch)
+        return "IF";
+    return ".";
+}
+
+std::vector<std::string>
+table1CellKeys()
+{
+    std::vector<std::string> keys;
+    keys.reserve(table1Kinds().size() * table1Kinds().size());
+    for (BranchKind train : table1Kinds())
+        for (BranchKind victim : table1Kinds())
+            keys.push_back(std::string(branchKindName(train)) + " x " +
+                           branchKindName(victim));
+    return keys;
+}
+
 /** All per-combination state for one measurement campaign. */
 struct StageExperiment::Trial
 {

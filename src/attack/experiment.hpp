@@ -19,8 +19,10 @@
 #include "attack/testbed.hpp"
 #include "isa/insn.hpp"
 
+#include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace phantom::attack {
 
@@ -36,6 +38,9 @@ enum class BranchKind : u8 {
 /** Human-readable name ("jmp*", "jmp", "jcc", "ret", "non branch"). */
 const char* branchKindName(BranchKind kind);
 
+/** The five Table-1 instruction kinds in paper row/column order. */
+const std::array<BranchKind, 5>& table1Kinds();
+
 /** Deepest pipeline stages reached by the mispredicted target. */
 struct StageSignals
 {
@@ -43,6 +48,23 @@ struct StageSignals
     bool decode = false;   ///< ID observed
     bool execute = false;  ///< EX observed
 };
+
+/**
+ * Canonical Table-1 cell text for an observation: "EX" / "ID" / "IF",
+ * "." when no stage signalled, "--" when the combination is not
+ * applicable. Single source for the printed table, the JSON labels, and
+ * the paper-conformance checker in src/obs/diff.
+ */
+const char* stageCellName(const struct StageObservation& obs);
+
+/**
+ * Stable enumeration of the 25 Table-1 label keys ("<train> x
+ * <victim>"), row-major with the training kind outer, in table1Kinds()
+ * order. bench_table1 writes its JSON labels under exactly these keys
+ * and the diff layer iterates them, so the two sides can never drift
+ * apart on metric paths.
+ */
+std::vector<std::string> table1CellKeys();
 
 /** One Table-1 cell. */
 struct StageObservation

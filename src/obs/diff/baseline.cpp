@@ -1,0 +1,130 @@
+#include "obs/diff/baseline.hpp"
+
+#include "runner/result_sink.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace phantom::obs::diff {
+
+using runner::JsonValue;
+
+bool
+isBenchResultsSchema(const std::string& marker)
+{
+    return marker == runner::kResultSchemaV1 ||
+           marker == runner::kResultSchemaV2;
+}
+
+std::string
+baselineDirFromEnv(const std::string& fallback)
+{
+    const char* env = std::getenv("PHANTOM_BASELINE_DIR");
+    return (env != nullptr && *env != '\0') ? env : fallback;
+}
+
+bool
+loadResultsFile(const std::string& path, JsonValue& out,
+                std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr)
+            *error = path + ": cannot read";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string parse_error;
+    if (!runner::parseJson(buffer.str(), out, &parse_error)) {
+        if (error != nullptr)
+            *error = path + ": " + parse_error;
+        return false;
+    }
+    const JsonValue* schema = out.find("schema");
+    if (schema == nullptr ||
+        schema->kind() != JsonValue::Kind::String ||
+        !isBenchResultsSchema(schema->string())) {
+        if (error != nullptr)
+            *error = path + ": not a phantom-bench-results document";
+        return false;
+    }
+    return true;
+}
+
+bool
+loadResultsDir(const std::string& dir,
+               std::map<std::string, JsonValue>& out, std::string* error)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+        if (error != nullptr)
+            *error = dir + ": " + ec.message();
+        return false;
+    }
+    for (const auto& entry : it) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".json")
+            continue;
+        JsonValue doc;
+        if (!loadResultsFile(entry.path().string(), doc, error))
+            return false;
+        const JsonValue* bench = doc.find("bench");
+        std::string name = (bench != nullptr &&
+                            bench->kind() == JsonValue::Kind::String)
+                               ? bench->string()
+                               : entry.path().stem().string();
+        out[name] = std::move(doc);
+    }
+    return true;
+}
+
+JsonValue
+toBaseline(const JsonValue& results)
+{
+    JsonValue baseline = results;
+    const JsonValue* schema = results.find("schema");
+    const JsonValue* describe =
+        results.findPath("metrics.manifest.git_describe");
+
+    JsonValue provenance = JsonValue::object();
+    provenance.set("git_describe",
+                   JsonValue(describe != nullptr &&
+                                     describe->kind() ==
+                                         JsonValue::Kind::String
+                                 ? describe->string()
+                                 : std::string("unknown")));
+    provenance.set("source_schema",
+                   JsonValue(schema != nullptr ? schema->string()
+                                               : std::string("?")));
+    provenance.set("tool", JsonValue("bench_report"));
+
+    baseline.set("schema", JsonValue(runner::kResultSchemaV2));
+    baseline.set("baseline_of", std::move(provenance));
+    return baseline;
+}
+
+bool
+writeBaselineFile(const std::string& path, const JsonValue& baseline,
+                  std::string* error)
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error != nullptr)
+            *error = path + ": cannot write";
+        return false;
+    }
+    out << baseline.dump(2) << "\n";
+    out.flush();
+    if (!out) {
+        if (error != nullptr)
+            *error = path + ": short write";
+        return false;
+    }
+    return true;
+}
+
+} // namespace phantom::obs::diff

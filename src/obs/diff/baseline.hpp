@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Baseline store: load/save checked-in reference results under
+ * bench/baselines/ (or $PHANTOM_BASELINE_DIR) and match them against a
+ * fresh results directory.
+ *
+ * A baseline file is a regular phantom-bench-results document, schema
+ * "phantom-bench-results/v2", plus a "baseline_of" provenance object
+ * recording which tree produced it:
+ *
+ *   "baseline_of": {
+ *     "git_describe": "<manifest git_describe at capture time>",
+ *     "source_schema": "phantom-bench-results/v2",
+ *     "tool": "bench_report"
+ *   }
+ *
+ * Readers accept v1 and v2 documents; `tools/bench_report
+ * --update-baselines` rewrites the store.
+ */
+
+#ifndef PHANTOM_OBS_DIFF_BASELINE_HPP
+#define PHANTOM_OBS_DIFF_BASELINE_HPP
+
+#include "runner/json.hpp"
+
+#include <map>
+#include <string>
+
+namespace phantom::obs::diff {
+
+/** True for any accepted results schema marker (v1 or v2). */
+bool isBenchResultsSchema(const std::string& marker);
+
+/** $PHANTOM_BASELINE_DIR, or @p fallback when unset/empty. */
+std::string baselineDirFromEnv(const std::string& fallback);
+
+/**
+ * Parse the results file at @p path. Fails (false + @p error) on
+ * unreadable files, malformed JSON, or a missing/unknown schema marker.
+ */
+bool loadResultsFile(const std::string& path, runner::JsonValue& out,
+                     std::string* error);
+
+/**
+ * Load every "*.json" bench-results document in @p dir, keyed by its
+ * "bench" name (falling back to the file stem). Fails on the first
+ * unreadable or malformed file — a corrupt baseline must break the
+ * gate, not shrink the comparison set.
+ */
+bool loadResultsDir(const std::string& dir,
+                    std::map<std::string, runner::JsonValue>& out,
+                    std::string* error);
+
+/**
+ * Turn a results document into a baseline: stamp the v2 schema marker
+ * and the "baseline_of" provenance block (taking git_describe from the
+ * document's own manifest).
+ */
+runner::JsonValue toBaseline(const runner::JsonValue& results);
+
+/** Serialize @p baseline to @p path (pretty-printed, trailing newline). */
+bool writeBaselineFile(const std::string& path,
+                       const runner::JsonValue& baseline,
+                       std::string* error);
+
+} // namespace phantom::obs::diff
+
+#endif // PHANTOM_OBS_DIFF_BASELINE_HPP

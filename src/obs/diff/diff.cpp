@@ -1,0 +1,320 @@
+#include "obs/diff/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace phantom::obs::diff {
+
+using runner::JsonValue;
+
+namespace {
+
+double
+envDouble(const char* name, double fallback)
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(v >= 0.0)) {
+        std::fprintf(stderr,
+                     "phantom: ignoring malformed %s=\"%s\" (using %g)\n",
+                     name, env, fallback);
+        return fallback;
+    }
+    return v;
+}
+
+std::string
+renderNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+double
+relativeDelta(double a, double b)
+{
+    if (a == b)
+        return 0.0;
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return scale == 0.0 ? 0.0 : std::fabs(a - b) / scale;
+}
+
+} // namespace
+
+DiffOptions
+DiffOptions::fromEnv()
+{
+    DiffOptions options;
+    options.relTol = envDouble("PHANTOM_DIFF_RELTOL", options.relTol);
+    options.histTol = envDouble("PHANTOM_DIFF_HISTTOL", options.histTol);
+    return options;
+}
+
+const char*
+diffStatusName(DiffStatus status)
+{
+    switch (status) {
+      case DiffStatus::Match:              return "match";
+      case DiffStatus::WithinTolerance:    return "within-tolerance";
+      case DiffStatus::DeterministicDrift: return "DETERMINISTIC DRIFT";
+      case DiffStatus::MeasuredRegression: return "MEASURED REGRESSION";
+      case DiffStatus::MissingInBaseline:  return "MISSING IN BASELINE";
+      case DiffStatus::MissingInCurrent:   return "MISSING IN CURRENT";
+      case DiffStatus::Info:               return "info";
+    }
+    return "?";
+}
+
+bool
+MetricDiff::failing() const
+{
+    switch (status) {
+      case DiffStatus::DeterministicDrift:
+      case DiffStatus::MeasuredRegression:
+        return true;
+      case DiffStatus::MissingInBaseline:
+      case DiffStatus::MissingInCurrent:
+        return cls != MetricClass::Informational;
+      default:
+        return false;
+    }
+}
+
+std::string
+renderLeaf(const MetricLeaf& leaf)
+{
+    const JsonValue& node = *leaf.node;
+    switch (leaf.kind) {
+      case LeafKind::Scalar:
+        if (node.kind() == JsonValue::Kind::Bool)
+            return node.boolean() ? "true" : "false";
+        if (node.kind() == JsonValue::Kind::Number)
+            return renderNumber(node.number());
+        return "null";
+      case LeafKind::Text:
+        return node.string();
+      case LeafKind::Histogram: {
+        const JsonValue* count = node.find("count");
+        const JsonValue* mean = node.find("mean");
+        std::string out = "hist n=";
+        out += count != nullptr ? renderNumber(count->number()) : "?";
+        if (mean != nullptr)
+            out += " mean=" + renderNumber(mean->number());
+        return out;
+      }
+      case LeafKind::List: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "[%zu items]",
+                      node.items().size());
+        return buf;
+      }
+    }
+    return "?";
+}
+
+double
+histogramDistance(const JsonValue& a, const JsonValue& b)
+{
+    // Bucket mass by inclusive lower bound; fixed log2 edges make the
+    // union walk exact.
+    auto massOf = [](const JsonValue& h, std::map<u64, double>& mass) {
+        double total = 0.0;
+        const JsonValue* buckets = h.find("buckets");
+        if (buckets == nullptr || !buckets->isArray())
+            return 0.0;
+        for (const JsonValue& bucket : buckets->items()) {
+            const JsonValue* lo = bucket.find("lo");
+            const JsonValue* count = bucket.find("count");
+            if (lo == nullptr || count == nullptr)
+                continue;
+            mass[static_cast<u64>(lo->number())] += count->number();
+            total += count->number();
+        }
+        return total;
+    };
+
+    std::map<u64, double> pa;
+    std::map<u64, double> pb;
+    double na = massOf(a, pa);
+    double nb = massOf(b, pb);
+    if (na == 0.0 && nb == 0.0)
+        return 0.0;
+    if (na == 0.0 || nb == 0.0)
+        return 1.0;
+
+    double tv = 0.0;
+    auto ia = pa.begin();
+    auto ib = pb.begin();
+    while (ia != pa.end() || ib != pb.end()) {
+        double fa = 0.0;
+        double fb = 0.0;
+        if (ib == pb.end() || (ia != pa.end() && ia->first < ib->first)) {
+            fa = ia->second / na;
+            ++ia;
+        } else if (ia == pa.end() || ib->first < ia->first) {
+            fb = ib->second / nb;
+            ++ib;
+        } else {
+            fa = ia->second / na;
+            fb = ib->second / nb;
+            ++ia;
+            ++ib;
+        }
+        tv += std::fabs(fa - fb);
+    }
+    return 0.5 * tv;
+}
+
+namespace {
+
+MetricDiff
+compareLeaves(const MetricLeaf& base, const MetricLeaf& cur,
+              const DiffOptions& options)
+{
+    MetricDiff diff;
+    diff.path = base.path;
+    diff.cls = classifyMetricPath(base.path);
+    diff.baseline = renderLeaf(base);
+    diff.current = renderLeaf(cur);
+
+    bool equal = *base.node == *cur.node;
+    if (equal) {
+        diff.status = DiffStatus::Match;
+        return diff;
+    }
+    if (diff.cls == MetricClass::Informational) {
+        diff.status = DiffStatus::Info;
+        return diff;
+    }
+    if (diff.cls == MetricClass::Deterministic) {
+        diff.status = DiffStatus::DeterministicDrift;
+        return diff;
+    }
+
+    // Measured: tolerance tests by shape. A shape mismatch (histogram
+    // vs scalar, say) is never tolerable.
+    if (base.kind != cur.kind) {
+        diff.status = DiffStatus::MeasuredRegression;
+        diff.delta = 1.0;
+        return diff;
+    }
+    switch (base.kind) {
+      case LeafKind::Scalar: {
+        if (base.node->kind() != JsonValue::Kind::Number ||
+            cur.node->kind() != JsonValue::Kind::Number) {
+            diff.status = DiffStatus::MeasuredRegression;
+            return diff;
+        }
+        diff.delta =
+            relativeDelta(base.node->number(), cur.node->number());
+        diff.status = diff.delta <= options.relTol
+                          ? DiffStatus::WithinTolerance
+                          : DiffStatus::MeasuredRegression;
+        return diff;
+      }
+      case LeafKind::Histogram: {
+        diff.delta = histogramDistance(*base.node, *cur.node);
+        diff.status = diff.delta <= options.histTol
+                          ? DiffStatus::WithinTolerance
+                          : DiffStatus::MeasuredRegression;
+        return diff;
+      }
+      case LeafKind::Text:
+      case LeafKind::List:
+        // No meaningful tolerance for measured text/lists.
+        diff.status = DiffStatus::MeasuredRegression;
+        diff.delta = 1.0;
+        return diff;
+    }
+    return diff;
+}
+
+MetricDiff
+oneSided(const MetricLeaf& leaf, bool in_baseline)
+{
+    MetricDiff diff;
+    diff.path = leaf.path;
+    diff.cls = classifyMetricPath(leaf.path);
+    if (diff.cls == MetricClass::Informational)
+        diff.status = DiffStatus::Info;
+    else
+        diff.status = in_baseline ? DiffStatus::MissingInCurrent
+                                  : DiffStatus::MissingInBaseline;
+    if (in_baseline) {
+        diff.baseline = renderLeaf(leaf);
+        diff.current = "-";
+    } else {
+        diff.baseline = "-";
+        diff.current = renderLeaf(leaf);
+    }
+    return diff;
+}
+
+} // namespace
+
+BenchDiff
+diffResults(const std::string& bench, const JsonValue& baseline,
+            const JsonValue& current, const DiffOptions& options)
+{
+    BenchDiff result;
+    result.bench = bench;
+
+    std::vector<MetricLeaf> base = enumerateMetricPaths(baseline);
+    std::vector<MetricLeaf> cur = enumerateMetricPaths(current);
+
+    auto record = [&result](MetricDiff diff) {
+        ++result.summary.compared;
+        switch (diff.status) {
+          case DiffStatus::Match:
+            ++result.summary.matches;
+            return;   // counted, not stored
+          case DiffStatus::WithinTolerance:
+            ++result.summary.withinTolerance;
+            break;
+          case DiffStatus::DeterministicDrift:
+            ++result.summary.drifts;
+            break;
+          case DiffStatus::MeasuredRegression:
+            ++result.summary.regressions;
+            break;
+          case DiffStatus::MissingInBaseline:
+          case DiffStatus::MissingInCurrent:
+            ++result.summary.missing;
+            break;
+          case DiffStatus::Info:
+            ++result.summary.info;
+            break;
+        }
+        result.entries.push_back(std::move(diff));
+    };
+
+    // Both enumerations are path-sorted: a single merge walk pairs them
+    // up and surfaces one-sided paths, independent of insertion order
+    // on either side.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < base.size() || j < cur.size()) {
+        if (j == cur.size() ||
+            (i < base.size() && base[i].path < cur[j].path)) {
+            record(oneSided(base[i], /*in_baseline=*/true));
+            ++i;
+        } else if (i == base.size() || cur[j].path < base[i].path) {
+            record(oneSided(cur[j], /*in_baseline=*/false));
+            ++j;
+        } else {
+            record(compareLeaves(base[i], cur[j], options));
+            ++i;
+            ++j;
+        }
+    }
+    return result;
+}
+
+} // namespace phantom::obs::diff

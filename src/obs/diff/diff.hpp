@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Baseline/comparison engine for phantom-bench-results documents.
+ *
+ * Two documents are flattened through the metric-path registry and
+ * compared path by path. Deterministic leaves must be structurally
+ * identical; measured leaves pass a configurable relative-tolerance
+ * test (scalars) or a total-variation-distance test (histograms);
+ * informational leaves are reported but never fail. A metric present on
+ * only one side is always reported — a deterministic or measured
+ * one-sided metric fails the diff, it is never silently skipped.
+ */
+
+#ifndef PHANTOM_OBS_DIFF_DIFF_HPP
+#define PHANTOM_OBS_DIFF_DIFF_HPP
+
+#include "obs/diff/metric_path.hpp"
+#include "runner/json.hpp"
+#include "sim/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::obs::diff {
+
+struct DiffOptions
+{
+    /** Relative tolerance for measured scalars: |a-b|/max(|a|,|b|). */
+    double relTol = 0.25;
+
+    /** Total-variation threshold for measured histograms, in [0,1]. */
+    double histTol = 0.35;
+
+    /**
+     * Defaults overridden by PHANTOM_DIFF_RELTOL / PHANTOM_DIFF_HISTTOL
+     * (the regression-gate CTest sets them generously so same-host load
+     * spikes don't flake the gate; see OBSERVABILITY.md).
+     */
+    static DiffOptions fromEnv();
+};
+
+enum class DiffStatus {
+    Match,               ///< structurally identical
+    WithinTolerance,     ///< measured, differs but inside tolerance
+    DeterministicDrift,  ///< deterministic leaf differs — gate fails
+    MeasuredRegression,  ///< measured leaf beyond tolerance — gate fails
+    MissingInBaseline,   ///< only the current run has this metric
+    MissingInCurrent,    ///< only the baseline has this metric
+    Info,                ///< informational difference, never fails
+};
+
+const char* diffStatusName(DiffStatus status);
+
+struct MetricDiff
+{
+    std::string path;
+    MetricClass cls = MetricClass::Deterministic;
+    DiffStatus status = DiffStatus::Match;
+    std::string baseline;   ///< rendered value, "-" when absent
+    std::string current;    ///< rendered value, "-" when absent
+    double delta = 0.0;     ///< relative delta or histogram distance
+
+    bool failing() const;
+};
+
+struct DiffSummary
+{
+    u64 compared = 0;
+    u64 matches = 0;
+    u64 withinTolerance = 0;
+    u64 drifts = 0;
+    u64 regressions = 0;
+    u64 missing = 0;   ///< one-sided deterministic/measured leaves
+    u64 info = 0;
+};
+
+struct BenchDiff
+{
+    std::string bench;
+    DiffSummary summary;
+    /** Every non-Match entry, sorted by path (Match entries are only
+     *  counted: Table-1 alone contributes hundreds of identical paths). */
+    std::vector<MetricDiff> entries;
+
+    bool
+    pass() const
+    {
+        return summary.drifts == 0 && summary.regressions == 0 &&
+               summary.missing == 0;
+    }
+};
+
+/** Compact human rendering of a leaf ("3.25", "EX", "hist n=40 mean=512",
+ *  "[12 items]"). */
+std::string renderLeaf(const MetricLeaf& leaf);
+
+/**
+ * Total-variation distance between two histogram nodes' bucket
+ * distributions, in [0,1]. An empty histogram against a non-empty one
+ * is at distance 1 (maximal); two empty ones at distance 0.
+ */
+double histogramDistance(const runner::JsonValue& a,
+                         const runner::JsonValue& b);
+
+/** Compare @p baseline and @p current documents for bench @p bench. */
+BenchDiff diffResults(const std::string& bench,
+                      const runner::JsonValue& baseline,
+                      const runner::JsonValue& current,
+                      const DiffOptions& options = {});
+
+} // namespace phantom::obs::diff
+
+#endif // PHANTOM_OBS_DIFF_DIFF_HPP

@@ -1,0 +1,132 @@
+#include "obs/diff/metric_path.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace phantom::obs::diff {
+
+using runner::JsonValue;
+
+const char*
+metricClassName(MetricClass cls)
+{
+    switch (cls) {
+      case MetricClass::Deterministic: return "deterministic";
+      case MetricClass::Measured:      return "measured";
+      case MetricClass::Informational: return "informational";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isHistogramNode(const JsonValue& node)
+{
+    return node.isObject() && node.find("buckets") != nullptr &&
+           node.find("count") != nullptr;
+}
+
+void
+flatten(const std::string& path, const JsonValue& node,
+        std::vector<MetricLeaf>& out)
+{
+    switch (node.kind()) {
+      case JsonValue::Kind::Object:
+        if (isHistogramNode(node)) {
+            out.push_back({path, LeafKind::Histogram, &node});
+            return;
+        }
+        for (const auto& [key, child] : node.members())
+            flatten(path.empty() ? key : path + "." + key, child, out);
+        return;
+      case JsonValue::Kind::Array:
+        out.push_back({path, LeafKind::List, &node});
+        return;
+      case JsonValue::Kind::String:
+        out.push_back({path, LeafKind::Text, &node});
+        return;
+      default:
+        out.push_back({path, LeafKind::Scalar, &node});
+        return;
+    }
+}
+
+struct ClassRule
+{
+    const char* prefix;
+    MetricClass cls;
+};
+
+// Longest-prefix wins; the table is checked in order after sorting the
+// candidates by prefix length, so keep entries self-contained.
+constexpr ClassRule kRules[] = {
+    // Provenance: records *which tree* produced the file — changes on
+    // every commit and must not fail a baseline diff.
+    {"schema", MetricClass::Informational},
+    {"baseline_of", MetricClass::Informational},
+    {"metrics.manifest.git_describe", MetricClass::Informational},
+
+    // Scheduling detail: depends on the host, the job count and thread
+    // timing. Reported only.
+    {"jobs", MetricClass::Informational},
+    {"metrics.measured.counters.scheduler.steals",
+     MetricClass::Informational},
+    {"metrics.measured.gauges.scheduler.jobs", MetricClass::Informational},
+    {"metrics.measured.gauges.scheduler.shard_imbalance",
+     MetricClass::Informational},
+    {"metrics.measured.gauges.scheduler.trials_per_second",
+     MetricClass::Informational},
+    // Ring-buffer accounting varies with shard count and interleaving;
+    // the dropped counter in particular must never be compared as
+    // deterministic (a truncated trace is not a model change).
+    {"metrics.measured.counters.trace.", MetricClass::Informational},
+    {"timing.speedup", MetricClass::Informational},
+
+    // Wall-clock derived, same-host comparable within tolerance.
+    {"metrics.measured.", MetricClass::Measured},
+    {"timing.", MetricClass::Measured},
+
+    // Seeded-simulation sections: must be bit-identical.
+    {"bench", MetricClass::Deterministic},
+    {"campaign_seed", MetricClass::Deterministic},
+    {"experiments.", MetricClass::Deterministic},
+    {"metrics.deterministic.", MetricClass::Deterministic},
+    {"metrics.manifest.", MetricClass::Deterministic},
+};
+
+} // namespace
+
+std::vector<MetricLeaf>
+enumerateMetricPaths(const JsonValue& doc)
+{
+    std::vector<MetricLeaf> leaves;
+    flatten("", doc, leaves);
+    std::sort(leaves.begin(), leaves.end(),
+              [](const MetricLeaf& a, const MetricLeaf& b) {
+                  return a.path < b.path;
+              });
+    return leaves;
+}
+
+MetricClass
+classifyMetricPath(const std::string& path)
+{
+    const ClassRule* best = nullptr;
+    std::size_t best_len = 0;
+    for (const ClassRule& rule : kRules) {
+        std::size_t len = std::strlen(rule.prefix);
+        if (len < best_len || path.compare(0, len, rule.prefix) != 0)
+            continue;
+        // A prefix not ending in '.' must match a whole path segment
+        // ("jobs" must not classify "jobs_extra").
+        if (rule.prefix[len - 1] != '.' && path.size() > len &&
+            path[len] != '.')
+            continue;
+        best = &rule;
+        best_len = len;
+    }
+    return best != nullptr ? best->cls : MetricClass::Deterministic;
+}
+
+} // namespace phantom::obs::diff

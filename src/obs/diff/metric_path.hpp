@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Metric-path registry for phantom-bench-results documents.
+ *
+ * A results file is a tree; the diff layer works on its flattened form:
+ * a sorted list of (dotted path, leaf) pairs. Every leaf is classified
+ * into one of three comparison classes:
+ *
+ *  - Deterministic: derived only from seeded simulation (the
+ *    "experiments" subtree, metrics.deterministic, the manifest).
+ *    Baseline comparisons must be bit-identical; any difference is a
+ *    model change and fails the regression gate.
+ *  - Measured: wall-clock derived but stable enough on one host to
+ *    bound (timing, the trial_micros histogram). Compared with a
+ *    relative tolerance / histogram-distance test.
+ *  - Informational: run provenance and scheduling detail that
+ *    legitimately varies (git_describe, jobs, steals, trace event
+ *    counts — including trace.events_dropped, which is explicitly
+ *    excluded from deterministic comparison). Reported, never gated.
+ */
+
+#ifndef PHANTOM_OBS_DIFF_METRIC_PATH_HPP
+#define PHANTOM_OBS_DIFF_METRIC_PATH_HPP
+
+#include "runner/json.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::obs::diff {
+
+enum class MetricClass {
+    Deterministic,
+    Measured,
+    Informational,
+};
+
+const char* metricClassName(MetricClass cls);
+
+/** Shape of a flattened leaf. */
+enum class LeafKind {
+    Scalar,      ///< number or bool
+    Text,        ///< string
+    Histogram,   ///< {count, sum, mean, buckets:[{lo, count}...]}
+    List,        ///< any other array (samples, uarch list)
+};
+
+/** One flattened metric: a dotted path and the node it points at. */
+struct MetricLeaf
+{
+    std::string path;
+    LeafKind kind = LeafKind::Scalar;
+    const runner::JsonValue* node = nullptr;
+};
+
+/**
+ * Flatten @p doc into (path, leaf) pairs, sorted by path. Objects
+ * recurse; a histogram-shaped object (count + buckets members) is kept
+ * whole as one Histogram leaf so the distance test sees the full
+ * distribution; arrays are kept whole as List leaves.
+ */
+std::vector<MetricLeaf> enumerateMetricPaths(const runner::JsonValue& doc);
+
+/**
+ * Comparison class of the leaf at @p path. Longest-matching prefix over
+ * a fixed rule table; unknown paths default to Deterministic, so a new
+ * metric can never silently bypass the gate.
+ */
+MetricClass classifyMetricPath(const std::string& path);
+
+} // namespace phantom::obs::diff
+
+#endif // PHANTOM_OBS_DIFF_METRIC_PATH_HPP

@@ -1,0 +1,366 @@
+#include "obs/diff/paper.hpp"
+
+#include "attack/experiment.hpp"
+
+#include <cstdio>
+
+namespace phantom::obs::diff {
+
+using runner::JsonValue;
+
+namespace {
+
+std::string
+renderNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+const double*
+numberAt(const JsonValue& doc, const std::string& path, double& slot)
+{
+    const JsonValue* node = doc.findPath(path);
+    if (node == nullptr || node->kind() != JsonValue::Kind::Number)
+        return nullptr;
+    slot = node->number();
+    return &slot;
+}
+
+const std::string*
+stringAt(const JsonValue& doc, const std::string& path)
+{
+    const JsonValue* node = doc.findPath(path);
+    if (node == nullptr || node->kind() != JsonValue::Kind::String)
+        return nullptr;
+    return &node->string();
+}
+
+PaperCheck
+missing(const char* figure, std::string item, std::string expected)
+{
+    PaperCheck check;
+    check.figure = figure;
+    check.item = std::move(item);
+    check.expected = std::move(expected);
+    check.actual = "(absent)";
+    check.applicable = false;
+    return check;
+}
+
+PaperCheck
+threshold(const char* figure, std::string item, const JsonValue& doc,
+          const std::string& path, double min, double max,
+          std::string expected)
+{
+    double value = 0.0;
+    if (numberAt(doc, path, value) == nullptr)
+        return missing(figure, std::move(item), std::move(expected));
+    PaperCheck check;
+    check.figure = figure;
+    check.item = std::move(item);
+    check.expected = std::move(expected);
+    check.actual = renderNumber(value);
+    check.pass = value >= min && value <= max;
+    return check;
+}
+
+PaperCheck
+labelEquals(const char* figure, std::string item, const JsonValue& doc,
+            const std::string& path, const std::string& expected)
+{
+    const std::string* value = stringAt(doc, path);
+    if (value == nullptr)
+        return missing(figure, std::move(item), expected);
+    PaperCheck check;
+    check.figure = figure;
+    check.item = std::move(item);
+    check.expected = expected;
+    check.actual = *value;
+    check.pass = *value == expected;
+    return check;
+}
+
+// Table 1, from the paper (and mirrored by tests/test_table1_golden):
+// 25 cells row-major, training kind outer, in attack::table1Kinds()
+// order. E=EX, D=ID, F=IF, .=no signal, -=not applicable.
+struct Table1Pattern
+{
+    const char* prefix;   ///< µarch name prefix
+    const char* cells;    ///< 25-char matrix
+};
+
+constexpr Table1Pattern kTable1[] = {
+    // Zen 1/2: every applicable cell executes (phantom window, Spectre,
+    // Retbleed, SLS).
+    {"zen1", "EEEEE" "EEEEE" "EEEEE" "EEE-E" "EEEE-"},
+    {"zen2", "EEEEE" "EEEEE" "EEEEE" "EEE-E" "EEEE-"},
+    // Zen 3/4: decode everywhere, execute only for jmp* x jmp*.
+    {"zen3", "EDDDD" "DDDDD" "DDDDD" "DDD-D" "DDDD-"},
+    {"zen4", "EDDDD" "DDDDD" "DDDDD" "DDD-D" "DDDD-"},
+    // Intel: like Zen 3/4 but asymmetric jmp* victims are opaque.
+    {"intel", "EDDDD" ".DDDD" ".DDDD" ".DD-D" "DDDD-"},
+};
+
+std::string
+cellText(char c)
+{
+    switch (c) {
+      case 'E': return "EX";
+      case 'D': return "ID";
+      case 'F': return "IF";
+      case '-': return "--";
+      default:  return ".";
+    }
+}
+
+void
+checkTable1(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    const JsonValue* experiments = doc.find("experiments");
+    if (experiments == nullptr || !experiments->isObject()) {
+        out.push_back(missing("Table 1", "experiments", "per-uarch grid"));
+        return;
+    }
+    const std::vector<std::string> keys = attack::table1CellKeys();
+    for (const auto& [uarch, experiment] : experiments->members()) {
+        (void)experiment;
+        const Table1Pattern* pattern = nullptr;
+        for (const Table1Pattern& p : kTable1)
+            if (uarch.rfind(p.prefix, 0) == 0)
+                pattern = &p;
+        if (pattern == nullptr)
+            continue;
+
+        std::size_t matched = 0;
+        std::size_t present = 0;
+        for (std::size_t cell = 0; cell < keys.size(); ++cell) {
+            std::string expected = cellText(pattern->cells[cell]);
+            const std::string* actual = stringAt(
+                doc, "experiments." + uarch + ".labels." + keys[cell]);
+            if (actual == nullptr)
+                continue;
+            ++present;
+            if (*actual == expected) {
+                ++matched;
+                continue;
+            }
+            PaperCheck check;
+            check.figure = "Table 1";
+            check.item = uarch + ": " + keys[cell];
+            check.expected = expected;
+            check.actual = *actual;
+            out.push_back(std::move(check));
+        }
+
+        PaperCheck summary;
+        summary.figure = "Table 1";
+        summary.item = uarch + " detection stages";
+        summary.expected = "25 paper cells";
+        summary.actual = renderNumber(static_cast<double>(matched)) +
+                         "/" +
+                         renderNumber(static_cast<double>(present)) +
+                         " match";
+        summary.pass = present == keys.size() && matched == present;
+        summary.applicable = present > 0;
+        out.push_back(std::move(summary));
+    }
+}
+
+void
+checkFig6(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    const JsonValue* experiments = doc.find("experiments");
+    if (experiments == nullptr || !experiments->isObject()) {
+        out.push_back(missing("Fig. 6", "experiments", "dip at 0xac0"));
+        return;
+    }
+    for (const auto& [uarch, experiment] : experiments->members()) {
+        (void)experiment;
+        double dip = 0.0;
+        if (numberAt(doc, "experiments." + uarch + ".scalars.dip_offset",
+                     dip) == nullptr)
+            continue;
+        PaperCheck check;
+        check.figure = "Fig. 6";
+        check.item = uarch + " µop-cache dip offset";
+        check.expected = "0xac0";
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "0x%03llx",
+                      static_cast<unsigned long long>(dip));
+        check.actual = buf;
+        check.pass = static_cast<u64>(dip) == 0xac0;
+        out.push_back(std::move(check));
+    }
+}
+
+void
+checkFig7(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    double published = 12.0;
+    numberAt(doc, "experiments.solver.scalars.published", published);
+    out.push_back(threshold(
+        "Fig. 7", "parity functions recovered", doc,
+        "experiments.solver.scalars.matched_figure7", published,
+        published, "all " + renderNumber(published) + " functions"));
+    out.push_back(threshold("Fig. 7", "zen2 brute-force patterns", doc,
+                            "experiments.brute_force.scalars.zen2_patterns",
+                            1.0, 1e9, ">= 1 (paper: instant)"));
+    out.push_back(threshold("Fig. 7", "zen3 brute-force patterns", doc,
+                            "experiments.brute_force.scalars.zen3_patterns",
+                            0.0, 0.0, "0 (paper: none up to 6 flips)"));
+}
+
+void
+checkMds(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    out.push_back(threshold("§7.4 MDS", "zen2 leak accuracy (median)",
+                            doc,
+                            "experiments.zen2.metrics.accuracy.median",
+                            0.95, 1.0, "100%"));
+    out.push_back(labelEquals(
+        "§7.4 MDS", "zen4 negative control", doc,
+        "experiments.negative_control.labels.zen4_supported", "no"));
+}
+
+void
+checkTable2(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    const struct
+    {
+        const char* experiment;
+        const char* item;
+        double min;
+        const char* expected;
+    } rows[] = {
+        {"p1_zen1", "P1 zen1 accuracy", 0.90, "96.30%"},
+        {"p1_zen2", "P1 zen2 accuracy", 0.88, "93.04%"},
+        {"p1_zen3", "P1 zen3 accuracy", 0.95, "100%"},
+        {"p1_zen4", "P1 zen4 accuracy", 0.85, "90.67%"},
+        {"p2_zen1", "P2 zen1 accuracy", 0.95, "100%"},
+        {"p2_zen2", "P2 zen2 accuracy", 0.94, "99.28%"},
+    };
+    for (const auto& row : rows)
+        out.push_back(threshold(
+            "Table 2", row.item, doc,
+            std::string("experiments.") + row.experiment +
+                ".metrics.accuracy.median",
+            row.min, 1.0, row.expected));
+    // The execute channel exists only on Zen 1/2.
+    PaperCheck zen34;
+    zen34.figure = "Table 2";
+    zen34.item = "P2 restricted to Zen 1/2";
+    zen34.expected = "no p2_zen3 / p2_zen4 rows";
+    bool leaked =
+        doc.findPath("experiments.p2_zen3") != nullptr ||
+        doc.findPath("experiments.p2_zen4") != nullptr;
+    zen34.actual = leaked ? "execute channel on Zen 3/4" : "absent";
+    zen34.pass = !leaked;
+    out.push_back(std::move(zen34));
+}
+
+void
+checkKaslr(const char* figure, const JsonValue& doc,
+           const std::vector<std::pair<std::string, const char*>>& rows,
+           std::vector<PaperCheck>& out)
+{
+    for (const auto& [uarch, expected] : rows)
+        out.push_back(threshold(
+            figure, uarch + " derandomization accuracy", doc,
+            "experiments." + uarch + ".scalars.accuracy", 0.80, 1.0,
+            expected));
+}
+
+void
+checkGadgets(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    const JsonValue* experiments = doc.find("experiments");
+    if (experiments == nullptr || !experiments->isObject()) {
+        out.push_back(
+            missing("§9.3", "experiments", "expansion factor > 1"));
+        return;
+    }
+    for (const auto& [window, experiment] : experiments->members()) {
+        (void)experiment;
+        out.push_back(threshold(
+            "§9.3", window + " gadget expansion factor", doc,
+            "experiments." + window + ".scalars.ratio", 1.0, 1e9,
+            "> 1x (paper: ~3.9x on Linux)"));
+    }
+}
+
+void
+checkAblation(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    out.push_back(labelEquals("Ablation A3",
+                              "zen34 hash allows cross-priv injection",
+                              doc, "experiments.a3_hash.labels.zen34",
+                              "yes"));
+    out.push_back(labelEquals(
+        "Ablation A3", "intel-salted hash blocks injection", doc,
+        "experiments.a3_hash.labels.intel-salted", "no"));
+}
+
+void
+checkMitigations(const JsonValue& doc, std::vector<PaperCheck>& out)
+{
+    out.push_back(threshold(
+        "§8", "IBPB kills the P1 channel (accuracy)", doc,
+        "experiments.ibpb.scalars.accuracy_ibpb", 0.0, 0.65,
+        "~50% (channel dead)"));
+    out.push_back(threshold(
+        "§8", "P1 channel without IBPB (accuracy)", doc,
+        "experiments.ibpb.scalars.accuracy_no_ibpb", 0.90, 1.0,
+        "~100%"));
+    out.push_back(threshold(
+        "§8", "SuppressBPOnNonBr overhead (zen2)", doc,
+        "experiments.suppress_overhead.scalars.zen2", 0.0, 0.05,
+        "0.69% (small)"));
+}
+
+} // namespace
+
+std::string
+expectedTable1Cell(const std::string& uarch, std::size_t cell_index)
+{
+    for (const Table1Pattern& p : kTable1)
+        if (uarch.rfind(p.prefix, 0) == 0 && cell_index < 25)
+            return cellText(p.cells[cell_index]);
+    return "?";
+}
+
+std::vector<PaperCheck>
+paperConformance(const std::string& bench, const JsonValue& doc)
+{
+    std::vector<PaperCheck> out;
+    if (bench == "bench_table1")
+        checkTable1(doc, out);
+    else if (bench == "bench_fig6")
+        checkFig6(doc, out);
+    else if (bench == "bench_fig7")
+        checkFig7(doc, out);
+    else if (bench == "bench_mds")
+        checkMds(doc, out);
+    else if (bench == "bench_table2")
+        checkTable2(doc, out);
+    else if (bench == "bench_table3")
+        checkKaslr("Table 3", doc,
+                   {{"zen2", "97%"}, {"zen3", "100%"}, {"zen4", "95%"}},
+                   out);
+    else if (bench == "bench_table4")
+        checkKaslr("Table 4", doc, {{"zen1", "100%"}, {"zen2", "90%"}},
+                   out);
+    else if (bench == "bench_table5")
+        checkKaslr("Table 5", doc, {{"zen1", "99%"}, {"zen2", "100%"}},
+                   out);
+    else if (bench == "bench_gadgets")
+        checkGadgets(doc, out);
+    else if (bench == "bench_ablation")
+        checkAblation(doc, out);
+    else if (bench == "bench_mitigations")
+        checkMitigations(doc, out);
+    return out;
+}
+
+} // namespace phantom::obs::diff

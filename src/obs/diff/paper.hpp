@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper-expected values for the reproduced tables/figures, checked
+ * against a phantom-bench-results document.
+ *
+ * These checks compare the *shape* the paper reports (which Table-1
+ * cell reaches which stage, where the Figure-6 dip sits, how many
+ * Figure-7 parity functions exist, accuracy bands) — not absolute
+ * bits/s or seconds, which the simulator legitimately compresses. They
+ * feed the conformance section of the bench_report output and are
+ * informational: the regression gate is the baseline diff, conformance
+ * failures are surfaced for a human.
+ */
+
+#ifndef PHANTOM_OBS_DIFF_PAPER_HPP
+#define PHANTOM_OBS_DIFF_PAPER_HPP
+
+#include "runner/json.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::obs::diff {
+
+struct PaperCheck
+{
+    std::string figure;     ///< "Table 1", "Fig. 6", ...
+    std::string item;       ///< what is being checked
+    std::string expected;   ///< paper-side value
+    std::string actual;     ///< value found in the document
+    bool pass = false;
+    bool applicable = true; ///< false when the document lacks the data
+};
+
+/**
+ * All conformance checks applying to @p bench ("bench_table1", ...),
+ * evaluated against @p doc. Unknown benches yield an empty list.
+ */
+std::vector<PaperCheck> paperConformance(const std::string& bench,
+                                         const runner::JsonValue& doc);
+
+/** Expected Table-1 cell ("EX"/"ID"/"IF"/"."/"--") for a µarch and a
+ *  row-major cell index in attack::table1CellKeys() order. */
+std::string expectedTable1Cell(const std::string& uarch,
+                               std::size_t cell_index);
+
+} // namespace phantom::obs::diff
+
+#endif // PHANTOM_OBS_DIFF_PAPER_HPP

@@ -1,0 +1,267 @@
+#include "obs/diff/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace phantom::obs::diff {
+
+namespace {
+
+/** Cap per-bench detail rows so a wholesale drift stays readable. */
+constexpr std::size_t kMaxDetailRows = 64;
+
+std::string
+countCell(u64 n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(n));
+    return buf;
+}
+
+std::string
+deltaCell(const MetricDiff& diff)
+{
+    if (diff.status == DiffStatus::WithinTolerance ||
+        diff.status == DiffStatus::MeasuredRegression) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", diff.delta);
+        return buf;
+    }
+    return "";
+}
+
+void
+appendVerdictSection(const std::vector<BenchDiff>& diffs, Report& report)
+{
+    ReportSection section;
+    section.title = "Verdict";
+
+    ReportTable table;
+    table.header = {"bench",   "compared", "drift", "regression",
+                    "missing", "tolerated", "verdict"};
+    for (const BenchDiff& diff : diffs) {
+        table.rows.push_back({diff.bench,
+                              countCell(diff.summary.compared),
+                              countCell(diff.summary.drifts),
+                              countCell(diff.summary.regressions),
+                              countCell(diff.summary.missing),
+                              countCell(diff.summary.withinTolerance),
+                              diff.pass() ? "PASS" : "FAIL"});
+        if (!diff.pass())
+            report.pass = false;
+    }
+    table.note = "drift = deterministic metric changed (bit-exact "
+                 "contract); regression = measured metric beyond "
+                 "tolerance; missing = metric present on only one side.";
+    section.tables.push_back(std::move(table));
+    report.sections.push_back(std::move(section));
+}
+
+void
+appendDetailSection(const BenchDiff& diff, Report& report)
+{
+    if (diff.entries.empty())
+        return;
+
+    ReportSection section;
+    section.title = "Differences: " + diff.bench;
+
+    // Failing entries first, then tolerated/info, path order within.
+    std::vector<const MetricDiff*> ordered;
+    ordered.reserve(diff.entries.size());
+    for (const MetricDiff& entry : diff.entries)
+        ordered.push_back(&entry);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const MetricDiff* a, const MetricDiff* b) {
+                         return a->failing() > b->failing();
+                     });
+
+    ReportTable table;
+    table.header = {"metric path", "class",   "status",
+                    "baseline",    "current", "delta"};
+    for (const MetricDiff* entry : ordered) {
+        if (table.rows.size() >= kMaxDetailRows) {
+            table.note = "… " +
+                         countCell(ordered.size() - table.rows.size()) +
+                         " further entries truncated (all less severe).";
+            break;
+        }
+        table.rows.push_back({entry->path, metricClassName(entry->cls),
+                              diffStatusName(entry->status),
+                              entry->baseline, entry->current,
+                              deltaCell(*entry)});
+    }
+    section.tables.push_back(std::move(table));
+    report.sections.push_back(std::move(section));
+}
+
+void
+appendPaperSection(const std::map<std::string, runner::JsonValue>& current,
+                   Report& report)
+{
+    ReportSection section;
+    section.title = "Paper conformance";
+    section.paragraphs.push_back(
+        "Measured values against the figures reported in \"Phantom: "
+        "Exploiting Decoder-detectable Mispredictions\". Informational: "
+        "the regression gate compares against the baseline store, not "
+        "the paper.");
+
+    for (const auto& [bench, doc] : current) {
+        std::vector<PaperCheck> checks = paperConformance(bench, doc);
+        if (checks.empty())
+            continue;
+        ReportTable table;
+        table.title = bench;
+        table.header = {"figure", "check", "paper", "measured", "ok"};
+        for (const PaperCheck& check : checks)
+            table.rows.push_back({check.figure, check.item,
+                                  check.expected, check.actual,
+                                  !check.applicable ? "n/a"
+                                  : check.pass      ? "yes"
+                                                    : "NO"});
+        section.tables.push_back(std::move(table));
+    }
+    if (!section.tables.empty())
+        report.sections.push_back(std::move(section));
+}
+
+std::string
+escapeHtml(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          default:  out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+escapeMarkdownCell(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '|')
+            out += "\\|";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+Report
+buildReport(const std::vector<BenchDiff>& diffs,
+            const std::map<std::string, runner::JsonValue>& current,
+            const DiffOptions& options)
+{
+    Report report;
+    report.title = "Phantom bench observatory report";
+
+    if (!diffs.empty()) {
+        appendVerdictSection(diffs, report);
+
+        ReportSection config;
+        config.title = "Comparison settings";
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "Measured tolerance: relative %.3g, histogram "
+                      "distance %.3g.",
+                      options.relTol, options.histTol);
+        config.paragraphs.push_back(buf);
+        report.sections.push_back(std::move(config));
+
+        for (const BenchDiff& diff : diffs)
+            appendDetailSection(diff, report);
+    }
+    appendPaperSection(current, report);
+    return report;
+}
+
+std::string
+renderMarkdown(const Report& report)
+{
+    std::string out = "# " + report.title + "\n\n";
+    out += report.pass ? "**Verdict: PASS**\n\n" : "**Verdict: FAIL**\n\n";
+    for (const ReportSection& section : report.sections) {
+        out += "## " + section.title + "\n\n";
+        for (const std::string& paragraph : section.paragraphs)
+            out += paragraph + "\n\n";
+        for (const ReportTable& table : section.tables) {
+            if (!table.title.empty())
+                out += "### " + table.title + "\n\n";
+            out += "|";
+            for (const std::string& cell : table.header)
+                out += " " + escapeMarkdownCell(cell) + " |";
+            out += "\n|";
+            for (std::size_t i = 0; i < table.header.size(); ++i)
+                out += "---|";
+            out += "\n";
+            for (const auto& row : table.rows) {
+                out += "|";
+                for (const std::string& cell : row)
+                    out += " " + escapeMarkdownCell(cell) + " |";
+                out += "\n";
+            }
+            out += "\n";
+            if (!table.note.empty())
+                out += table.note + "\n\n";
+        }
+    }
+    return out;
+}
+
+std::string
+renderHtml(const Report& report)
+{
+    std::string out =
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>" +
+        escapeHtml(report.title) +
+        "</title>\n<style>\n"
+        "body { font-family: sans-serif; margin: 2em; }\n"
+        "table { border-collapse: collapse; margin: 1em 0; }\n"
+        "th, td { border: 1px solid #999; padding: 0.3em 0.6em; "
+        "font-size: 0.9em; }\n"
+        "th { background: #eee; }\n"
+        ".fail { color: #b00020; font-weight: bold; }\n"
+        ".pass { color: #2e7d32; font-weight: bold; }\n"
+        "</style></head><body>\n";
+    out += "<h1>" + escapeHtml(report.title) + "</h1>\n";
+    out += std::string("<p class=\"") + (report.pass ? "pass" : "fail") +
+           "\">Verdict: " + (report.pass ? "PASS" : "FAIL") + "</p>\n";
+    for (const ReportSection& section : report.sections) {
+        out += "<h2>" + escapeHtml(section.title) + "</h2>\n";
+        for (const std::string& paragraph : section.paragraphs)
+            out += "<p>" + escapeHtml(paragraph) + "</p>\n";
+        for (const ReportTable& table : section.tables) {
+            if (!table.title.empty())
+                out += "<h3>" + escapeHtml(table.title) + "</h3>\n";
+            out += "<table>\n<tr>";
+            for (const std::string& cell : table.header)
+                out += "<th>" + escapeHtml(cell) + "</th>";
+            out += "</tr>\n";
+            for (const auto& row : table.rows) {
+                out += "<tr>";
+                for (const std::string& cell : row)
+                    out += "<td>" + escapeHtml(cell) + "</td>";
+                out += "</tr>\n";
+            }
+            out += "</table>\n";
+            if (!table.note.empty())
+                out += "<p>" + escapeHtml(table.note) + "</p>\n";
+        }
+    }
+    out += "</body></html>\n";
+    return out;
+}
+
+} // namespace phantom::obs::diff

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Report model and renderers for baseline comparisons.
+ *
+ * The comparison result is built once into a medium-neutral Report
+ * (sections of paragraphs and tables), then rendered to Markdown or to
+ * a standalone HTML page. The report carries three layers:
+ *
+ *  1. a per-bench verdict table (drift / regression / missing counts),
+ *  2. the failing and notable metric diffs per bench,
+ *  3. paper-conformance tables (expected vs measured per figure).
+ */
+
+#ifndef PHANTOM_OBS_DIFF_REPORT_HPP
+#define PHANTOM_OBS_DIFF_REPORT_HPP
+
+#include "obs/diff/diff.hpp"
+#include "obs/diff/paper.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phantom::obs::diff {
+
+struct ReportTable
+{
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+    std::string note;   ///< rendered after the table when non-empty
+};
+
+struct ReportSection
+{
+    std::string title;
+    std::vector<std::string> paragraphs;
+    std::vector<ReportTable> tables;
+};
+
+struct Report
+{
+    std::string title;
+    std::vector<ReportSection> sections;
+    bool pass = true;
+};
+
+/**
+ * Assemble the full report for a comparison: @p diffs per bench
+ * (empty for a conformance-only report) and the current documents for
+ * the paper-conformance section.
+ */
+Report buildReport(const std::vector<BenchDiff>& diffs,
+                   const std::map<std::string, runner::JsonValue>& current,
+                   const DiffOptions& options);
+
+std::string renderMarkdown(const Report& report);
+std::string renderHtml(const Report& report);
+
+} // namespace phantom::obs::diff
+
+#endif // PHANTOM_OBS_DIFF_REPORT_HPP

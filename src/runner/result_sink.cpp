@@ -73,7 +73,7 @@ JsonValue
 ResultSink::toJson() const
 {
     JsonValue doc = JsonValue::object();
-    doc.set("schema", JsonValue("phantom-bench-results/v1"));
+    doc.set("schema", JsonValue(kResultSchemaV2));
     doc.set("bench", JsonValue(benchName_));
     doc.set("campaign_seed", JsonValue(campaignSeed_));
     doc.set("jobs", JsonValue(static_cast<u64>(jobs_)));
@@ -116,6 +116,30 @@ ResultSink::toJson() const
                JsonValue(wall > 0.0 ? busySeconds_ / wall : 0.0));
     doc.set("timing", std::move(timing));
     return doc;
+}
+
+std::vector<std::string>
+ResultSink::metricPaths() const
+{
+    // experiments_ and the per-experiment maps are std::map, so walking
+    // them yields the paths already sorted.
+    std::vector<std::string> paths;
+    for (const auto& [name, experiment] : experiments_) {
+        const std::string base = "experiments." + name;
+        for (const auto& [key, value] : experiment.labels_) {
+            (void)value;
+            paths.push_back(base + ".labels." + key);
+        }
+        for (const auto& [metric, set] : experiment.metrics_) {
+            (void)set;
+            paths.push_back(base + ".metrics." + metric);
+        }
+        for (const auto& [key, value] : experiment.scalars_) {
+            (void)value;
+            paths.push_back(base + ".scalars." + key);
+        }
+    }
+    return paths;
 }
 
 std::string

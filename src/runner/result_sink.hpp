@@ -4,10 +4,10 @@
  *
  * Every wired bench keeps printing its human-readable tables, and
  * additionally streams its results into a ResultSink which writes one
- * JSON file per bench (schema "phantom-bench-results/v1"):
+ * JSON file per bench (schema "phantom-bench-results/v2"):
  *
  *   {
- *     "schema": "phantom-bench-results/v1",
+ *     "schema": "phantom-bench-results/v2",
  *     "bench": "bench_table1",
  *     "campaign_seed": 1, "jobs": 8, "fast_mode": true,
  *     "experiments": {
@@ -44,8 +44,18 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace phantom::runner {
+
+/**
+ * Schema markers. v2 documents are v1 plus the "metrics" section made
+ * mandatory for wired benches and an optional "baseline_of" provenance
+ * object on checked-in baselines (written by tools/bench_report).
+ * Readers (json_check, obs/diff) accept both.
+ */
+inline constexpr const char* kResultSchemaV1 = "phantom-bench-results/v1";
+inline constexpr const char* kResultSchemaV2 = "phantom-bench-results/v2";
 
 class ResultSink
 {
@@ -100,6 +110,15 @@ class ResultSink
 
     /** Build the full document (wall-clock measured since ctor). */
     JsonValue toJson() const;
+
+    /**
+     * Stable, sorted enumeration of every metric path this sink will
+     * serialize under "experiments." — one dotted path per sample set
+     * ("experiments.<name>.metrics.<metric>"), scalar and label. The
+     * diff layer compares documents path-by-path against this kind of
+     * enumeration, so diffs are insertion-order-free by construction.
+     */
+    std::vector<std::string> metricPaths() const;
 
     /**
      * Serialize to @p path ("" selects defaultPath()). Returns the

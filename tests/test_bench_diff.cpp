@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Unit tests for the bench observatory's diff layer: metric-path
+ * flattening and classification, the baseline comparison engine and its
+ * edge cases (one-sided metrics, empty histograms, informational trace
+ * counters), the baseline store round trip, ResultSink::metricPaths(),
+ * and the paper-conformance checks on synthetic documents.
+ */
+
+#include "obs/diff/baseline.hpp"
+#include "obs/diff/diff.hpp"
+#include "obs/diff/metric_path.hpp"
+#include "obs/diff/paper.hpp"
+#include "obs/diff/report.hpp"
+#include "runner/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace phantom;
+using namespace phantom::obs::diff;
+using phantom::runner::JsonValue;
+using phantom::runner::parseJson;
+
+namespace {
+
+JsonValue
+parse(const std::string& text)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, doc, &error)) << error;
+    return doc;
+}
+
+/** Minimal valid results document with one deterministic label, one
+ *  measured gauge, and one measured histogram. */
+std::string
+resultsText(const std::string& label, double gauge,
+            const std::string& histBuckets, const std::string& extra = "")
+{
+    return std::string("{\n"
+                       "\"schema\": \"phantom-bench-results/v2\",\n"
+                       "\"bench\": \"bench_synth\",\n"
+                       "\"campaign_seed\": 7,\n"
+                       "\"jobs\": 1,\n"
+                       "\"experiments\": {\"e\": {\"labels\": {\"cell\": "
+                       "\"") +
+           label +
+           "\"}}},\n"
+           "\"metrics\": {\n"
+           "  \"deterministic\": {},\n"
+           "  \"measured\": {\n"
+           "    \"counters\": {\"trace.events_dropped\": 0},\n"
+           "    \"gauges\": {\"scheduler.trials_per_second\": 100.0,\n"
+           "                 \"speed\": " +
+           std::to_string(gauge) +
+           "},\n"
+           "    \"histograms\": {\"scheduler.trial_micros\": "
+           "{\"count\": " +
+           (histBuckets.empty() ? "0, \"buckets\": []"
+                                : "4, \"buckets\": [" + histBuckets + "]") +
+           "}}\n"
+           "  },\n"
+           "  \"manifest\": {\"bench\": \"bench_synth\", "
+           "\"campaign_seed\": 7, \"fast_mode\": true, "
+           "\"git_describe\": \"abc\", \"uarch\": [\"zen2\"]}\n"
+           "}" +
+           extra + "\n}\n";
+}
+
+const MetricDiff*
+findEntry(const BenchDiff& diff, const std::string& path)
+{
+    for (const MetricDiff& entry : diff.entries)
+        if (entry.path == path)
+            return &entry;
+    return nullptr;
+}
+
+TEST(MetricPath, ClassificationRules)
+{
+    EXPECT_EQ(classifyMetricPath("experiments.zen2.labels.jmp* x ret"),
+              MetricClass::Deterministic);
+    EXPECT_EQ(classifyMetricPath("metrics.deterministic.counters.x"),
+              MetricClass::Deterministic);
+    EXPECT_EQ(classifyMetricPath("metrics.manifest.campaign_seed"),
+              MetricClass::Deterministic);
+    EXPECT_EQ(classifyMetricPath("metrics.manifest.git_describe"),
+              MetricClass::Informational);
+    EXPECT_EQ(classifyMetricPath("metrics.measured.gauges.micro.x"),
+              MetricClass::Measured);
+    EXPECT_EQ(classifyMetricPath("timing.wall_seconds"),
+              MetricClass::Measured);
+    EXPECT_EQ(classifyMetricPath("timing.speedup"),
+              MetricClass::Informational);
+    EXPECT_EQ(classifyMetricPath("jobs"), MetricClass::Informational);
+    EXPECT_EQ(classifyMetricPath("schema"), MetricClass::Informational);
+    EXPECT_EQ(classifyMetricPath("baseline_of.tool"),
+              MetricClass::Informational);
+    // Dropped trace events are scheduling detail, never deterministic.
+    EXPECT_EQ(classifyMetricPath(
+                  "metrics.measured.counters.trace.events_dropped"),
+              MetricClass::Informational);
+    EXPECT_EQ(classifyMetricPath(
+                  "metrics.measured.counters.scheduler.steals"),
+              MetricClass::Informational);
+    // Segment boundary: "jobs" must not swallow "jobs_extra".
+    EXPECT_EQ(classifyMetricPath("jobs_extra"),
+              MetricClass::Deterministic);
+    // Unknown paths can never bypass the gate.
+    EXPECT_EQ(classifyMetricPath("brand_new_section.value"),
+              MetricClass::Deterministic);
+}
+
+TEST(MetricPath, EnumerationFlattensSortedAndKeepsHistogramsWhole)
+{
+    JsonValue doc = parse(resultsText("EX", 2.0,
+                                      "{\"lo\": 1, \"count\": 4}"));
+    auto leaves = enumerateMetricPaths(doc);
+    ASSERT_FALSE(leaves.empty());
+    EXPECT_TRUE(std::is_sorted(leaves.begin(), leaves.end(),
+                               [](const MetricLeaf& a, const MetricLeaf& b) {
+                                   return a.path < b.path;
+                               }));
+
+    bool histogram_whole = false;
+    bool uarch_list = false;
+    for (const MetricLeaf& leaf : leaves) {
+        if (leaf.path ==
+            "metrics.measured.histograms.scheduler.trial_micros") {
+            EXPECT_EQ(leaf.kind, LeafKind::Histogram);
+            histogram_whole = true;
+        }
+        if (leaf.path == "metrics.manifest.uarch") {
+            EXPECT_EQ(leaf.kind, LeafKind::List);
+            uarch_list = true;
+        }
+        // No path may descend into a histogram's buckets.
+        EXPECT_EQ(leaf.path.find("trial_micros."), std::string::npos);
+    }
+    EXPECT_TRUE(histogram_whole);
+    EXPECT_TRUE(uarch_list);
+}
+
+TEST(HistogramDistance, EmptyAndIdenticalCases)
+{
+    JsonValue empty = parse("{\"count\": 0, \"buckets\": []}");
+    JsonValue full = parse("{\"count\": 4, \"buckets\": "
+                           "[{\"lo\": 1, \"count\": 4}]}");
+    EXPECT_DOUBLE_EQ(histogramDistance(empty, empty), 0.0);
+    EXPECT_DOUBLE_EQ(histogramDistance(full, full), 0.0);
+    // Empty vs non-empty is maximal: mass appeared from nowhere.
+    EXPECT_DOUBLE_EQ(histogramDistance(empty, full), 1.0);
+    EXPECT_DOUBLE_EQ(histogramDistance(full, empty), 1.0);
+
+    JsonValue shifted = parse("{\"count\": 4, \"buckets\": "
+                              "[{\"lo\": 64, \"count\": 4}]}");
+    EXPECT_DOUBLE_EQ(histogramDistance(full, shifted), 1.0);
+    JsonValue half = parse("{\"count\": 4, \"buckets\": "
+                           "[{\"lo\": 1, \"count\": 2}, "
+                           "{\"lo\": 64, \"count\": 2}]}");
+    EXPECT_DOUBLE_EQ(histogramDistance(full, half), 0.5);
+}
+
+TEST(Diff, IdenticalDocumentsPass)
+{
+    JsonValue doc = parse(resultsText("EX", 2.0,
+                                      "{\"lo\": 1, \"count\": 4}"));
+    BenchDiff diff = diffResults("bench_synth", doc, doc);
+    EXPECT_TRUE(diff.pass());
+    EXPECT_EQ(diff.summary.drifts, 0u);
+    EXPECT_EQ(diff.summary.regressions, 0u);
+    EXPECT_EQ(diff.summary.missing, 0u);
+    EXPECT_GT(diff.summary.matches, 0u);
+}
+
+TEST(Diff, DeterministicDriftFails)
+{
+    JsonValue a = parse(resultsText("EX", 2.0, "{\"lo\": 1, \"count\": 4}"));
+    JsonValue b = parse(resultsText("ID", 2.0, "{\"lo\": 1, \"count\": 4}"));
+    BenchDiff diff = diffResults("bench_synth", a, b);
+    EXPECT_FALSE(diff.pass());
+    EXPECT_EQ(diff.summary.drifts, 1u);
+    const MetricDiff* entry = findEntry(diff, "experiments.e.labels.cell");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, DiffStatus::DeterministicDrift);
+    EXPECT_EQ(entry->baseline, "EX");
+    EXPECT_EQ(entry->current, "ID");
+}
+
+TEST(Diff, MeasuredToleranceAndRegression)
+{
+    JsonValue base = parse(resultsText("EX", 100.0,
+                                       "{\"lo\": 1, \"count\": 4}"));
+    JsonValue close = parse(resultsText("EX", 110.0,
+                                        "{\"lo\": 1, \"count\": 4}"));
+    JsonValue far = parse(resultsText("EX", 1000.0,
+                                      "{\"lo\": 1, \"count\": 4}"));
+    DiffOptions options;
+    options.relTol = 0.25;
+
+    BenchDiff within = diffResults("bench_synth", base, close, options);
+    EXPECT_TRUE(within.pass());
+    const MetricDiff* entry =
+        findEntry(within, "metrics.measured.gauges.speed");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, DiffStatus::WithinTolerance);
+
+    BenchDiff beyond = diffResults("bench_synth", base, far, options);
+    EXPECT_FALSE(beyond.pass());
+    entry = findEntry(beyond, "metrics.measured.gauges.speed");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, DiffStatus::MeasuredRegression);
+}
+
+TEST(Diff, EmptyVsNonEmptyHistogramRegresses)
+{
+    JsonValue base = parse(resultsText("EX", 2.0, ""));
+    JsonValue current = parse(resultsText("EX", 2.0,
+                                          "{\"lo\": 1, \"count\": 4}"));
+    BenchDiff diff = diffResults("bench_synth", base, current);
+    EXPECT_FALSE(diff.pass());
+    const MetricDiff* entry = findEntry(
+        diff, "metrics.measured.histograms.scheduler.trial_micros");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, DiffStatus::MeasuredRegression);
+    EXPECT_DOUBLE_EQ(entry->delta, 1.0);
+}
+
+TEST(Diff, MissingMetricIsReportedNeverSkipped)
+{
+    JsonValue base = parse(resultsText(
+        "EX", 2.0, "{\"lo\": 1, \"count\": 4}",
+        ",\n\"extra\": {\"deterministic_thing\": 1}"));
+    JsonValue current = parse(resultsText("EX", 2.0,
+                                          "{\"lo\": 1, \"count\": 4}"));
+
+    BenchDiff gone = diffResults("bench_synth", base, current);
+    EXPECT_FALSE(gone.pass());
+    const MetricDiff* entry = findEntry(gone, "extra.deterministic_thing");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, DiffStatus::MissingInCurrent);
+    EXPECT_EQ(entry->current, "-");
+
+    BenchDiff appeared = diffResults("bench_synth", current, base);
+    EXPECT_FALSE(appeared.pass());
+    entry = findEntry(appeared, "extra.deterministic_thing");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, DiffStatus::MissingInBaseline);
+    EXPECT_EQ(entry->baseline, "-");
+}
+
+TEST(Diff, DroppedTraceEventsNeverGate)
+{
+    JsonValue base = parse(resultsText("EX", 2.0,
+                                       "{\"lo\": 1, \"count\": 4}"));
+    std::string text = resultsText("EX", 2.0, "{\"lo\": 1, \"count\": 4}");
+    std::size_t at = text.find("\"trace.events_dropped\": 0");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string("\"trace.events_dropped\": 0").size(),
+                 "\"trace.events_dropped\": 9999");
+    JsonValue current = parse(text);
+
+    BenchDiff diff = diffResults("bench_synth", base, current);
+    EXPECT_TRUE(diff.pass());
+    const MetricDiff* entry = findEntry(
+        diff, "metrics.measured.counters.trace.events_dropped");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->status, DiffStatus::Info);
+    EXPECT_FALSE(entry->failing());
+}
+
+TEST(Baseline, RoundTripStampsProvenance)
+{
+    JsonValue doc = parse(resultsText("EX", 2.0,
+                                      "{\"lo\": 1, \"count\": 4}"));
+    JsonValue baseline = toBaseline(doc);
+    EXPECT_EQ(baseline.findPath("schema")->string(),
+              phantom::runner::kResultSchemaV2);
+    ASSERT_NE(baseline.findPath("baseline_of"), nullptr);
+    EXPECT_EQ(baseline.findPath("baseline_of.git_describe")->string(),
+              "abc");
+    EXPECT_EQ(baseline.findPath("baseline_of.tool")->string(),
+              "bench_report");
+
+    std::string dir = ::testing::TempDir() + "/phantom_baselines";
+    std::string path = dir + "/bench_synth.json";
+    std::string error;
+    // writeBaselineFile expects the directory to exist.
+    std::filesystem::create_directories(dir);
+    ASSERT_TRUE(writeBaselineFile(path, baseline, &error)) << error;
+
+    JsonValue loaded;
+    ASSERT_TRUE(loadResultsFile(path, loaded, &error)) << error;
+    EXPECT_TRUE(loaded == baseline);
+
+    std::map<std::string, JsonValue> store;
+    ASSERT_TRUE(loadResultsDir(dir, store, &error)) << error;
+    ASSERT_EQ(store.count("bench_synth"), 1u);
+
+    // A baseline diffed against its own source differs only in the
+    // informational baseline_of block.
+    BenchDiff diff = diffResults("bench_synth", baseline, doc);
+    EXPECT_TRUE(diff.pass());
+    EXPECT_EQ(diff.summary.drifts, 0u);
+}
+
+TEST(Baseline, RejectsUnknownSchema)
+{
+    EXPECT_TRUE(isBenchResultsSchema("phantom-bench-results/v1"));
+    EXPECT_TRUE(isBenchResultsSchema("phantom-bench-results/v2"));
+    EXPECT_FALSE(isBenchResultsSchema("phantom-bench-results/v3"));
+    EXPECT_FALSE(isBenchResultsSchema(""));
+
+    std::string dir = ::testing::TempDir() + "/phantom_bad_schema";
+    std::filesystem::create_directories(dir);
+    std::ofstream(dir + "/bad.json") << "{\"schema\": \"nope\"}\n";
+    std::map<std::string, JsonValue> store;
+    std::string error;
+    EXPECT_FALSE(loadResultsDir(dir, store, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ResultSink, MetricPathsSortedAndComplete)
+{
+    runner::ResultSink sink("bench_x", 7, 1);
+    auto& exp = sink.experiment("zeta");
+    exp.addSample("metric_b", 1.0);
+    exp.setScalar("scalar_a", 2.0);
+    exp.setLabel("label_c", "EX");
+    sink.experiment("alpha").setScalar("s", 1.0);
+
+    auto paths = sink.metricPaths();
+    EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+    auto has = [&](const char* p) {
+        return std::find(paths.begin(), paths.end(), p) != paths.end();
+    };
+    EXPECT_TRUE(has("experiments.alpha.scalars.s"));
+    EXPECT_TRUE(has("experiments.zeta.labels.label_c"));
+    EXPECT_TRUE(has("experiments.zeta.metrics.metric_b"));
+    EXPECT_TRUE(has("experiments.zeta.scalars.scalar_a"));
+
+    // Every enumerated path is classified deterministic: the
+    // experiments subtree is the seeded-simulation contract.
+    for (const std::string& path : paths)
+        EXPECT_EQ(classifyMetricPath(path), MetricClass::Deterministic)
+            << path;
+}
+
+TEST(Paper, Fig6ConformanceChecksDipOffset)
+{
+    JsonValue good = parse(
+        "{\"schema\": \"phantom-bench-results/v2\", "
+        "\"bench\": \"bench_fig6\", \"experiments\": {"
+        "\"zen2\": {\"scalars\": {\"dip_offset\": 2752, \"min_hits\": 1}},"
+        "\"zen4\": {\"scalars\": {\"dip_offset\": 2752, \"min_hits\": 0}}"
+        "}}");
+    auto checks = paperConformance("bench_fig6", good);
+    ASSERT_FALSE(checks.empty());
+    for (const PaperCheck& check : checks)
+        EXPECT_TRUE(check.pass) << check.item;
+
+    JsonValue bad = parse(
+        "{\"schema\": \"phantom-bench-results/v2\", "
+        "\"bench\": \"bench_fig6\", \"experiments\": {"
+        "\"zen2\": {\"scalars\": {\"dip_offset\": 64, \"min_hits\": 1}}}}");
+    checks = paperConformance("bench_fig6", bad);
+    bool failed = false;
+    for (const PaperCheck& check : checks)
+        if (check.applicable && !check.pass)
+            failed = true;
+    EXPECT_TRUE(failed);
+}
+
+TEST(Paper, UnknownBenchYieldsNoChecks)
+{
+    JsonValue doc = parse("{\"bench\": \"bench_unknown\"}");
+    EXPECT_TRUE(paperConformance("bench_unknown", doc).empty());
+}
+
+TEST(Report, MarkdownCarriesVerdictAndEscapesPipes)
+{
+    JsonValue a = parse(resultsText("E|X", 2.0,
+                                    "{\"lo\": 1, \"count\": 4}"));
+    JsonValue b = parse(resultsText("I|D", 2.0,
+                                    "{\"lo\": 1, \"count\": 4}"));
+    std::vector<BenchDiff> diffs = {diffResults("bench_synth", a, b)};
+    std::map<std::string, JsonValue> current;
+    current["bench_synth"] = b;
+    Report report = buildReport(diffs, current, DiffOptions{});
+    EXPECT_FALSE(report.pass);
+    std::string markdown = renderMarkdown(report);
+    EXPECT_NE(markdown.find("**Verdict: FAIL**"), std::string::npos);
+    EXPECT_NE(markdown.find("DETERMINISTIC DRIFT"), std::string::npos);
+    EXPECT_NE(markdown.find("E\\|X"), std::string::npos);
+    std::string html = renderHtml(report);
+    EXPECT_NE(html.find("Verdict: FAIL"), std::string::npos);
+}
+
+} // namespace

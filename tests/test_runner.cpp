@@ -291,7 +291,7 @@ TEST(ResultSink, WritesParseableJsonWithExperiments)
     ASSERT_TRUE(parseJson(buffer.str(), doc, &error)) << error;
 
     EXPECT_EQ(doc.findPath("schema")->string(),
-              "phantom-bench-results/v1");
+              phantom::runner::kResultSchemaV2);
     EXPECT_EQ(doc.findPath("campaign_seed")->number(), 7.0);
     EXPECT_EQ(doc.findPath("jobs")->number(), 2.0);
     ASSERT_NE(doc.findPath("experiments.exp1.metrics.metric"), nullptr);

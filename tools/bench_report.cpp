@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Baseline comparison / regression-gate CLI over phantom-bench-results
+ * files (the bench observatory front end).
+ *
+ *   bench_report --compare [BASELINE_DIR] RESULTS_DIR [output options]
+ *       diff every bench in RESULTS_DIR against its checked-in
+ *       baseline. BASELINE_DIR defaults to $PHANTOM_BASELINE_DIR, then
+ *       "bench/baselines". Exit 0 = clean, 1 = deterministic drift /
+ *       measured regression / unmatched bench, 2 = usage or I/O error.
+ *   bench_report --diff BASELINE.json CURRENT.json [output options]
+ *       same gate for a single pair of files (used by the bench_regress
+ *       CTest to assert PHANTOM_JOBS=1 vs =2 zero deterministic drift).
+ *   bench_report --update-baselines RESULTS_DIR [BASELINE_DIR]
+ *       rewrite the baseline store from RESULTS_DIR, stamping each file
+ *       with "baseline_of" provenance.
+ *
+ * Output options:
+ *   --report OUT.md    write the Markdown report (with per-figure
+ *                      paper-conformance tables)
+ *   --html OUT.html    write the same report as a standalone HTML page
+ *   --rel-tol X        measured scalar relative tolerance
+ *   --hist-tol Y       measured histogram total-variation threshold
+ *                      (defaults also honour PHANTOM_DIFF_RELTOL /
+ *                      PHANTOM_DIFF_HISTTOL)
+ */
+
+#include "obs/diff/baseline.hpp"
+#include "obs/diff/diff.hpp"
+#include "obs/diff/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace phantom;
+using namespace phantom::obs::diff;
+using phantom::runner::JsonValue;
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_report --compare [BASELINE_DIR] RESULTS_DIR "
+        "[options]\n"
+        "       bench_report --diff BASELINE.json CURRENT.json "
+        "[options]\n"
+        "       bench_report --update-baselines RESULTS_DIR "
+        "[BASELINE_DIR]\n"
+        "options: --report OUT.md  --html OUT.html  --rel-tol X  "
+        "--hist-tol Y\n");
+    return kExitError;
+}
+
+struct Cli
+{
+    std::string mode;
+    std::vector<std::string> positional;
+    std::string reportPath;
+    std::string htmlPath;
+    DiffOptions options = DiffOptions::fromEnv();
+};
+
+bool
+parseCli(int argc, char** argv, Cli& cli)
+{
+    if (argc < 2)
+        return false;
+    cli.mode = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](std::string& slot) {
+            if (i + 1 >= argc)
+                return false;
+            slot = argv[++i];
+            return true;
+        };
+        if (arg == "--report") {
+            if (!next(cli.reportPath))
+                return false;
+        } else if (arg == "--html") {
+            if (!next(cli.htmlPath))
+                return false;
+        } else if (arg == "--rel-tol" || arg == "--hist-tol") {
+            std::string value;
+            if (!next(value))
+                return false;
+            char* end = nullptr;
+            double v = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' || !(v >= 0.0))
+                return false;
+            (arg == "--rel-tol" ? cli.options.relTol
+                                : cli.options.histTol) = v;
+        } else if (arg.rfind("--", 0) == 0) {
+            return false;
+        } else {
+            cli.positional.push_back(std::move(arg));
+        }
+    }
+    return true;
+}
+
+bool
+writeTextFile(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path);
+    out << text;
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "bench_report: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+emitReport(const Cli& cli, const std::vector<BenchDiff>& diffs,
+           const std::map<std::string, JsonValue>& current)
+{
+    Report report = buildReport(diffs, current, cli.options);
+
+    for (const BenchDiff& diff : diffs) {
+        std::printf("bench_report: %-20s %s (drift=%llu regression=%llu "
+                    "missing=%llu tolerated=%llu of %llu)\n",
+                    diff.bench.c_str(), diff.pass() ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(diff.summary.drifts),
+                    static_cast<unsigned long long>(
+                        diff.summary.regressions),
+                    static_cast<unsigned long long>(diff.summary.missing),
+                    static_cast<unsigned long long>(
+                        diff.summary.withinTolerance),
+                    static_cast<unsigned long long>(
+                        diff.summary.compared));
+        for (const MetricDiff& entry : diff.entries)
+            if (entry.failing())
+                std::printf("    %-22s %s: %s -> %s\n",
+                            diffStatusName(entry.status),
+                            entry.path.c_str(), entry.baseline.c_str(),
+                            entry.current.c_str());
+    }
+
+    if (!cli.reportPath.empty() &&
+        !writeTextFile(cli.reportPath, renderMarkdown(report)))
+        return kExitError;
+    if (!cli.htmlPath.empty() &&
+        !writeTextFile(cli.htmlPath, renderHtml(report)))
+        return kExitError;
+    if (!cli.reportPath.empty())
+        std::printf("bench_report: report -> %s\n",
+                    cli.reportPath.c_str());
+    if (!cli.htmlPath.empty())
+        std::printf("bench_report: html -> %s\n", cli.htmlPath.c_str());
+
+    std::printf("bench_report: verdict %s\n",
+                report.pass ? "PASS" : "FAIL");
+    return report.pass ? kExitClean : kExitRegression;
+}
+
+int
+runCompare(const Cli& cli)
+{
+    if (cli.positional.empty() || cli.positional.size() > 2)
+        return usage();
+    std::string results_dir = cli.positional.back();
+    std::string baseline_dir =
+        cli.positional.size() == 2
+            ? cli.positional.front()
+            : baselineDirFromEnv("bench/baselines");
+
+    std::string error;
+    std::map<std::string, JsonValue> baselines;
+    std::map<std::string, JsonValue> current;
+    if (!loadResultsDir(baseline_dir, baselines, &error) ||
+        !loadResultsDir(results_dir, current, &error)) {
+        std::fprintf(stderr, "bench_report: %s\n", error.c_str());
+        return kExitError;
+    }
+    if (baselines.empty()) {
+        std::fprintf(stderr,
+                     "bench_report: no baselines in %s (run "
+                     "--update-baselines first)\n",
+                     baseline_dir.c_str());
+        return kExitError;
+    }
+
+    std::vector<BenchDiff> diffs;
+    for (const auto& [bench, baseline] : baselines) {
+        auto hit = current.find(bench);
+        if (hit == current.end()) {
+            // A baseline with no fresh results would silently shrink
+            // the gate — treat the whole document as missing.
+            BenchDiff missing_bench;
+            missing_bench.bench = bench;
+            MetricDiff entry;
+            entry.path = "(entire document)";
+            entry.status = DiffStatus::MissingInCurrent;
+            entry.baseline = "baseline file";
+            entry.current = "-";
+            missing_bench.summary.compared = 1;
+            missing_bench.summary.missing = 1;
+            missing_bench.entries.push_back(std::move(entry));
+            diffs.push_back(std::move(missing_bench));
+            continue;
+        }
+        diffs.push_back(
+            diffResults(bench, baseline, hit->second, cli.options));
+    }
+    for (const auto& [bench, doc] : current) {
+        (void)doc;
+        if (baselines.count(bench) != 0)
+            continue;
+        BenchDiff unbaselined;
+        unbaselined.bench = bench;
+        MetricDiff entry;
+        entry.path = "(entire document)";
+        entry.status = DiffStatus::MissingInBaseline;
+        entry.baseline = "-";
+        entry.current = "results file (refresh baselines)";
+        unbaselined.summary.compared = 1;
+        unbaselined.summary.missing = 1;
+        unbaselined.entries.push_back(std::move(entry));
+        diffs.push_back(std::move(unbaselined));
+    }
+    return emitReport(cli, diffs, current);
+}
+
+int
+runDiff(const Cli& cli)
+{
+    if (cli.positional.size() != 2)
+        return usage();
+    std::string error;
+    JsonValue baseline;
+    JsonValue current;
+    if (!loadResultsFile(cli.positional[0], baseline, &error) ||
+        !loadResultsFile(cli.positional[1], current, &error)) {
+        std::fprintf(stderr, "bench_report: %s\n", error.c_str());
+        return kExitError;
+    }
+    const JsonValue* bench = current.find("bench");
+    std::string name = bench != nullptr &&
+                               bench->kind() == JsonValue::Kind::String
+                           ? bench->string()
+                           : cli.positional[1];
+    std::map<std::string, JsonValue> current_map;
+    current_map[name] = current;
+    std::vector<BenchDiff> diffs = {
+        diffResults(name, baseline, current, cli.options)};
+    return emitReport(cli, diffs, current_map);
+}
+
+int
+runUpdateBaselines(const Cli& cli)
+{
+    if (cli.positional.empty() || cli.positional.size() > 2)
+        return usage();
+    std::string results_dir = cli.positional.front();
+    std::string baseline_dir =
+        cli.positional.size() == 2
+            ? cli.positional.back()
+            : baselineDirFromEnv("bench/baselines");
+
+    std::string error;
+    std::map<std::string, JsonValue> current;
+    if (!loadResultsDir(results_dir, current, &error)) {
+        std::fprintf(stderr, "bench_report: %s\n", error.c_str());
+        return kExitError;
+    }
+    if (current.empty()) {
+        std::fprintf(stderr, "bench_report: no results in %s\n",
+                     results_dir.c_str());
+        return kExitError;
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(baseline_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "bench_report: cannot create %s: %s\n",
+                     baseline_dir.c_str(), ec.message().c_str());
+        return kExitError;
+    }
+    for (const auto& [bench, doc] : current) {
+        std::string path = baseline_dir + "/" + bench + ".json";
+        if (!writeBaselineFile(path, toBaseline(doc), &error)) {
+            std::fprintf(stderr, "bench_report: %s\n", error.c_str());
+            return kExitError;
+        }
+        std::printf("bench_report: baseline -> %s\n", path.c_str());
+    }
+    return kExitClean;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli;
+    if (!parseCli(argc, argv, cli))
+        return usage();
+    if (cli.mode == "--compare")
+        return runCompare(cli);
+    if (cli.mode == "--diff")
+        return runDiff(cli);
+    if (cli.mode == "--update-baselines")
+        return runUpdateBaselines(cli);
+    return usage();
+}

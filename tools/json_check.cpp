@@ -1,13 +1,19 @@
 /**
  * @file
  * Validation tool for the bench JSON result files, used by the
- * bench_smoke CTest suite.
+ * bench_smoke and bench_regress CTest suites.
  *
  *   json_check --parse FILE
  *       exit 0 iff FILE is valid JSON
  *   json_check --expect-experiments FILE KEY...
- *       additionally require the schema marker and every KEY under
- *       "experiments"
+ *       additionally require the schema marker (v1 or v2) and every
+ *       KEY under "experiments"
+ *   json_check --metrics-schema FILE
+ *       require the v2 "metrics" section: deterministic / measured /
+ *       manifest members present, histograms well-formed (strictly
+ *       increasing bucket lower bounds, positive bucket counts summing
+ *       to the histogram count), manifest carrying bench /
+ *       campaign_seed / fast_mode / uarch
  *   json_check --equal-path PATH FILE1 FILE2
  *       require the subtrees at dotted PATH to be structurally equal
  *       (used to assert PHANTOM_JOBS=1 and =N produce byte-identical
@@ -17,9 +23,15 @@
  *       with a "traceEvents" array whose entries carry ph/pid/tid/name,
  *       ts+dur on "X" slices — and at least one episode slice (the
  *       per-stage rendering the trace exists for)
+ *
+ * Exit codes: 0 = valid, 1 = schema/validation failure, 2 = parse or
+ * I/O failure, 64 = usage error. CI consumers branch on the parse vs
+ * schema distinction ("the bench crashed mid-write" vs "the bench
+ * wrote the wrong shape").
  */
 
 #include "runner/json.hpp"
+#include "runner/result_sink.hpp"
 
 #include <cstdio>
 #include <fstream>
@@ -31,6 +43,12 @@ using phantom::runner::parseJson;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitSchema = 1;
+constexpr int kExitParse = 2;
+constexpr int kExitUsage = 64;
+
+/** Load and parse, or report and return false (exit kExitParse). */
 bool
 loadJson(const char* path, JsonValue& out)
 {
@@ -55,9 +73,147 @@ usage()
     std::fprintf(stderr,
                  "usage: json_check --parse FILE\n"
                  "       json_check --expect-experiments FILE KEY...\n"
+                 "       json_check --metrics-schema FILE\n"
                  "       json_check --equal-path PATH FILE1 FILE2\n"
                  "       json_check --trace-schema FILE\n");
-    return 2;
+    return kExitUsage;
+}
+
+bool
+hasResultSchema(const JsonValue& doc, const char* path)
+{
+    const JsonValue* schema = doc.find("schema");
+    if (schema != nullptr &&
+        (schema->string() == phantom::runner::kResultSchemaV1 ||
+         schema->string() == phantom::runner::kResultSchemaV2))
+        return true;
+    std::fprintf(stderr, "json_check: %s: missing schema marker\n", path);
+    return false;
+}
+
+/** One registry histogram: {"count": N, "buckets": [{"lo","count"}...]}
+ *  with strictly increasing lower bounds and positive per-bucket counts
+ *  summing to the total. */
+bool
+checkHistogram(const char* path, const std::string& name,
+               const JsonValue& hist)
+{
+    const JsonValue* count = hist.find("count");
+    const JsonValue* buckets = hist.find("buckets");
+    if (count == nullptr || buckets == nullptr || !buckets->isArray()) {
+        std::fprintf(stderr,
+                     "json_check: %s: histogram \"%s\" lacks "
+                     "count/buckets\n",
+                     path, name.c_str());
+        return false;
+    }
+    double previous_lo = -1.0;
+    bool first = true;
+    double total = 0.0;
+    std::size_t index = 0;
+    for (const JsonValue& bucket : buckets->items()) {
+        const JsonValue* lo = bucket.find("lo");
+        const JsonValue* n = bucket.find("count");
+        if (lo == nullptr || n == nullptr) {
+            std::fprintf(stderr,
+                         "json_check: %s: histogram \"%s\" bucket %zu "
+                         "lacks lo/count\n",
+                         path, name.c_str(), index);
+            return false;
+        }
+        if (!first && !(lo->number() > previous_lo)) {
+            std::fprintf(stderr,
+                         "json_check: %s: histogram \"%s\" bucket edges "
+                         "not strictly increasing at %zu\n",
+                         path, name.c_str(), index);
+            return false;
+        }
+        if (!(n->number() > 0.0)) {
+            std::fprintf(stderr,
+                         "json_check: %s: histogram \"%s\" bucket %zu "
+                         "has non-positive count (zero buckets are "
+                         "elided on write)\n",
+                         path, name.c_str(), index);
+            return false;
+        }
+        previous_lo = lo->number();
+        first = false;
+        total += n->number();
+        ++index;
+    }
+    if (total != count->number()) {
+        std::fprintf(stderr,
+                     "json_check: %s: histogram \"%s\" bucket counts sum "
+                     "to %.0f, count says %.0f\n",
+                     path, name.c_str(), total, count->number());
+        return false;
+    }
+    return true;
+}
+
+/** One of metrics.deterministic / metrics.measured. */
+bool
+checkRegistry(const char* path, const char* which,
+              const JsonValue& registry)
+{
+    if (!registry.isObject()) {
+        std::fprintf(stderr, "json_check: %s: metrics.%s not an object\n",
+                     path, which);
+        return false;
+    }
+    const JsonValue* histograms = registry.find("histograms");
+    if (histograms == nullptr)
+        return true;
+    if (!histograms->isObject()) {
+        std::fprintf(stderr,
+                     "json_check: %s: metrics.%s.histograms not an "
+                     "object\n",
+                     path, which);
+        return false;
+    }
+    for (const auto& [name, hist] : histograms->members())
+        if (!checkHistogram(path, name, hist))
+            return false;
+    return true;
+}
+
+int
+checkMetricsSchema(const char* path, const JsonValue& doc)
+{
+    if (!hasResultSchema(doc, path))
+        return kExitSchema;
+    const JsonValue* metrics = doc.find("metrics");
+    if (metrics == nullptr || !metrics->isObject()) {
+        std::fprintf(stderr, "json_check: %s: no \"metrics\" object\n",
+                     path);
+        return kExitSchema;
+    }
+    for (const char* which : {"deterministic", "measured"}) {
+        const JsonValue* registry = metrics->find(which);
+        if (registry == nullptr) {
+            std::fprintf(stderr, "json_check: %s: metrics.%s missing\n",
+                         path, which);
+            return kExitSchema;
+        }
+        if (!checkRegistry(path, which, *registry))
+            return kExitSchema;
+    }
+    const JsonValue* manifest = metrics->find("manifest");
+    if (manifest == nullptr || !manifest->isObject()) {
+        std::fprintf(stderr, "json_check: %s: metrics.manifest missing\n",
+                     path);
+        return kExitSchema;
+    }
+    for (const char* key : {"bench", "campaign_seed", "fast_mode",
+                            "uarch"}) {
+        if (manifest->find(key) == nullptr) {
+            std::fprintf(stderr,
+                         "json_check: %s: metrics.manifest.%s missing\n",
+                         path, key);
+            return kExitSchema;
+        }
+    }
+    return kExitOk;
 }
 
 } // namespace
@@ -71,26 +227,21 @@ main(int argc, char** argv)
 
     if (mode == "--parse") {
         JsonValue doc;
-        return loadJson(argv[2], doc) ? 0 : 1;
+        return loadJson(argv[2], doc) ? kExitOk : kExitParse;
     }
 
     if (mode == "--expect-experiments") {
         JsonValue doc;
         if (!loadJson(argv[2], doc))
-            return 1;
-        const JsonValue* schema = doc.find("schema");
-        if (schema == nullptr ||
-            schema->string() != "phantom-bench-results/v1") {
-            std::fprintf(stderr, "json_check: %s: missing schema marker\n",
-                         argv[2]);
-            return 1;
-        }
+            return kExitParse;
+        if (!hasResultSchema(doc, argv[2]))
+            return kExitSchema;
         const JsonValue* experiments = doc.find("experiments");
         if (experiments == nullptr || !experiments->isObject()) {
             std::fprintf(stderr,
                          "json_check: %s: no \"experiments\" object\n",
                          argv[2]);
-            return 1;
+            return kExitSchema;
         }
         int missing = 0;
         for (int i = 3; i < argc; ++i) {
@@ -101,19 +252,26 @@ main(int argc, char** argv)
                 ++missing;
             }
         }
-        return missing == 0 ? 0 : 1;
+        return missing == 0 ? kExitOk : kExitSchema;
+    }
+
+    if (mode == "--metrics-schema") {
+        JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return kExitParse;
+        return checkMetricsSchema(argv[2], doc);
     }
 
     if (mode == "--trace-schema") {
         JsonValue doc;
         if (!loadJson(argv[2], doc))
-            return 1;
+            return kExitParse;
         const JsonValue* events = doc.find("traceEvents");
         if (events == nullptr || !events->isArray()) {
             std::fprintf(stderr,
                          "json_check: %s: no \"traceEvents\" array\n",
                          argv[2]);
-            return 1;
+            return kExitSchema;
         }
         phantom::u64 slices = 0;
         phantom::u64 episode_slices = 0;
@@ -135,7 +293,7 @@ main(int argc, char** argv)
                              "ph/pid/tid/name\n",
                              argv[2],
                              static_cast<unsigned long long>(index));
-                return 1;
+                return kExitSchema;
             }
             if (ph->string() == "X") {
                 if (event.find("ts") == nullptr ||
@@ -145,7 +303,7 @@ main(int argc, char** argv)
                                  "lacks ts/dur\n",
                                  argv[2],
                                  static_cast<unsigned long long>(index));
-                    return 1;
+                    return kExitSchema;
                 }
                 ++slices;
                 if (name->string().rfind("episode:", 0) == 0)
@@ -159,9 +317,9 @@ main(int argc, char** argv)
                          "\"episode:*\" slice — the trace shows no "
                          "speculation episode\n",
                          argv[2], static_cast<unsigned long long>(slices));
-            return 1;
+            return kExitSchema;
         }
-        return 0;
+        return kExitOk;
     }
 
     if (mode == "--equal-path") {
@@ -170,22 +328,22 @@ main(int argc, char** argv)
         JsonValue a;
         JsonValue b;
         if (!loadJson(argv[3], a) || !loadJson(argv[4], b))
-            return 1;
+            return kExitParse;
         const JsonValue* lhs = a.findPath(argv[2]);
         const JsonValue* rhs = b.findPath(argv[2]);
         if (lhs == nullptr || rhs == nullptr) {
             std::fprintf(stderr, "json_check: path \"%s\" missing\n",
                          argv[2]);
-            return 1;
+            return kExitSchema;
         }
         if (*lhs != *rhs) {
             std::fprintf(stderr,
                          "json_check: subtree \"%s\" differs between %s "
                          "and %s\n",
                          argv[2], argv[3], argv[4]);
-            return 1;
+            return kExitSchema;
         }
-        return 0;
+        return kExitOk;
     }
 
     return usage();
