@@ -16,6 +16,10 @@
  *   PHANTOM_TRACE=F      write a Chrome trace_event JSON of pipeline
  *                        events to F (open in Perfetto / chrome://tracing)
  *   PHANTOM_TRACE_EVENTS=N  per-shard trace ring capacity (default 2^18)
+ *   PHANTOM_SNAP=0       disable warm-machine snapshot reuse (on by
+ *                        default; src/snap)
+ *   PHANTOM_SNAP_DIR=D   persist snapshot images under D and revive
+ *                        them on store misses in later runs
  */
 
 #ifndef PHANTOM_BENCH_UTIL_HPP
@@ -32,6 +36,7 @@
 #include "runner/shard_stats.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "snap/store.hpp"
 
 #include <cctype>
 #include <cerrno>
@@ -130,41 +135,62 @@ class Campaign
           mainThread_(std::this_thread::get_id()),
           tracePath_(obs::tracePathFromEnv())
     {
-        if (tracePath_.empty())
+        if (!tracePath_.empty()) {
+            // One private ring per scheduler shard plus one for the
+            // main thread (index jobs): workers never share a ring, so
+            // the emit path stays lock-free. The worker hooks make the
+            // ambient sink follow the current thread; Machines pick it
+            // up at construction (Machine's ctor calls setTraceSink()).
+            std::size_t events = static_cast<std::size_t>(
+                envOr("PHANTOM_TRACE_EVENTS", u64{1} << 18));
+            for (unsigned w = 0; w <= scheduler_.jobs(); ++w)
+                rings_.push_back(
+                    std::make_unique<obs::RingTraceSink>(events));
+            obs::setActiveTraceSink(rings_.back().get());
+        }
+        if (snap::snapshotReuseEnabled()) {
+            // Same shape for snapshot stores: one per shard plus one
+            // for the main thread, so CoW frame sharing never crosses
+            // a thread boundary (shared_ptr<Frame> maps are not
+            // synchronized).
+            for (unsigned w = 0; w <= scheduler_.jobs(); ++w)
+                snapStores_.push_back(
+                    std::make_unique<snap::SnapshotStore>());
+            snap::setActiveSnapshotStore(snapStores_.back().get());
+        }
+        if (rings_.empty() && snapStores_.empty())
             return;
-
-        // One private ring per scheduler shard plus one for the main
-        // thread (index jobs): workers never share a ring, so the emit
-        // path stays lock-free. The worker hooks make the ambient sink
-        // follow the current thread; Machines pick it up at
-        // construction (Machine's ctor calls setTraceSink()).
-        std::size_t events = static_cast<std::size_t>(
-            envOr("PHANTOM_TRACE_EVENTS", u64{1} << 18));
-        for (unsigned w = 0; w <= scheduler_.jobs(); ++w)
-            rings_.push_back(
-                std::make_unique<obs::RingTraceSink>(events));
-        obs::setActiveTraceSink(rings_.back().get());
         scheduler_.setWorkerHooks(
             [this](unsigned worker) {
-                obs::setActiveTraceSink(rings_[worker].get());
+                if (!rings_.empty())
+                    obs::setActiveTraceSink(rings_[worker].get());
+                if (!snapStores_.empty())
+                    snap::setActiveSnapshotStore(
+                        snapStores_[worker].get());
             },
             [this](unsigned) {
                 // The serial path runs the hooks on the campaign's own
-                // thread: hand that thread its ring back. Pool threads
-                // are about to exit; nulling their slot keeps any
-                // late-constructed Machine silent.
-                obs::setActiveTraceSink(
-                    std::this_thread::get_id() == mainThread_
-                        ? rings_.back().get()
-                        : nullptr);
+                // thread: hand that thread its ring/store back. Pool
+                // threads are about to exit; nulling their slot keeps
+                // any late-constructed Machine silent.
+                bool main = std::this_thread::get_id() == mainThread_;
+                if (!rings_.empty())
+                    obs::setActiveTraceSink(
+                        main ? rings_.back().get() : nullptr);
+                if (!snapStores_.empty())
+                    snap::setActiveSnapshotStore(
+                        main ? snapStores_.back().get() : nullptr);
             });
     }
 
     ~Campaign()
     {
-        if (!tracePath_.empty() &&
-            std::this_thread::get_id() == mainThread_)
-            obs::setActiveTraceSink(nullptr);
+        if (std::this_thread::get_id() == mainThread_) {
+            if (!tracePath_.empty())
+                obs::setActiveTraceSink(nullptr);
+            if (!snapStores_.empty())
+                snap::setActiveSnapshotStore(nullptr);
+        }
     }
 
     runner::TrialScheduler& scheduler() { return scheduler_; }
@@ -255,6 +281,23 @@ class Campaign
             measured_.counter("trace.events_emitted").inc(emitted);
             measured_.counter("trace.events_dropped").inc(dropped);
         }
+        if (!snapStores_.empty()) {
+            // Store effectiveness depends on the shard split, so these
+            // live in the measured registry; obs/diff classifies
+            // metrics.measured.counters.snap.* as informational.
+            snap::StoreStats total;
+            for (const auto& store : snapStores_)
+                total.merge(store->stats());
+            measured_.counter("snap.captures").inc(total.captures);
+            measured_.counter("snap.hits").inc(total.hits);
+            measured_.counter("snap.misses").inc(total.misses);
+            measured_.counter("snap.restores").inc(total.restores);
+            measured_.counter("snap.forks").inc(total.forks);
+            measured_.counter("snap.state_bytes").inc(total.stateBytes);
+            measured_.counter("snap.image_loads").inc(total.imageLoads);
+            measured_.counter("snap.image_stores")
+                .inc(total.imageStores);
+        }
     }
 
     JsonValue
@@ -316,6 +359,7 @@ class Campaign
     std::thread::id mainThread_;
     std::string tracePath_;
     std::vector<std::unique_ptr<obs::RingTraceSink>> rings_;
+    std::vector<std::unique_ptr<snap::SnapshotStore>> snapStores_;
     obs::MetricsRegistry deterministic_;
     obs::MetricsRegistry measured_;
     std::vector<std::string> uarches_;

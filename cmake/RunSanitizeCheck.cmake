@@ -1,0 +1,52 @@
+# Configures a separate build tree with PHANTOM_SANITIZE=ON, builds the
+# snapshot test binaries under ASan+UBSan, and runs them. Invoked by the
+# sanitize_check CTest as:
+#
+#   cmake -DSOURCE_DIR=<repo root> -DWORK_DIR=<scratch dir>
+#         "-DTARGETS=<;-list of test executables>"
+#         -P RunSanitizeCheck.cmake
+#
+# The loader fuzzers are the main beneficiary: an out-of-bounds read in
+# snap::load() that a plain build tolerates becomes a hard failure here.
+
+set(BUILD_DIR "${WORK_DIR}/sanitize-build")
+file(MAKE_DIRECTORY "${BUILD_DIR}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND}
+        -S "${SOURCE_DIR}" -B "${BUILD_DIR}"
+        -DPHANTOM_SANITIZE=ON
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE config_rv
+    OUTPUT_VARIABLE config_out
+    ERROR_VARIABLE config_err)
+if(NOT config_rv EQUAL 0)
+    message(FATAL_ERROR
+        "sanitize configure failed (rv=${config_rv})\n"
+        "${config_out}\n${config_err}")
+endif()
+
+foreach(target IN LISTS TARGETS)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} --build "${BUILD_DIR}"
+            --target ${target} --parallel 2
+        RESULT_VARIABLE build_rv
+        OUTPUT_VARIABLE build_out
+        ERROR_VARIABLE build_err)
+    if(NOT build_rv EQUAL 0)
+        message(FATAL_ERROR
+            "sanitize build of ${target} failed (rv=${build_rv})\n"
+            "${build_out}\n${build_err}")
+    endif()
+    execute_process(
+        COMMAND "${BUILD_DIR}/tests/${target}"
+        RESULT_VARIABLE run_rv
+        OUTPUT_VARIABLE run_out
+        ERROR_VARIABLE run_err)
+    if(NOT run_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${target} failed under ASan+UBSan (rv=${run_rv})\n"
+            "${run_out}\n${run_err}")
+    endif()
+    message(STATUS "${target}: clean under ASan+UBSan")
+endforeach()

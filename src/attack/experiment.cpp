@@ -1,8 +1,12 @@
 #include "attack/experiment.hpp"
 
 #include "isa/assembler.hpp"
+#include "runner/seed_stream.hpp"
+#include "snap/state.hpp"
+#include "snap/store.hpp"
 
 #include <cassert>
+#include <cstdio>
 
 namespace phantom::attack {
 
@@ -99,10 +103,18 @@ table1CellKeys()
 /** All per-combination state for one measurement campaign. */
 struct StageExperiment::Trial
 {
+    /**
+     * Build one combination's testbed. When @p warm is given it must be
+     * a state captured from an identically-parameterized Trial: the
+     * code/memory builds and the warm-up run are skipped and the warm
+     * state is restored instead (layout fields are recomputed — they are
+     * pure arithmetic on the configuration).
+     */
     Trial(const cpu::MicroarchConfig& config,
           const StageExperimentOptions& options, BranchKind train,
           BranchKind victim, u64 target_offset,
-          i64 series_anchor = -1)
+          i64 series_anchor = -1,
+          const snap::MachineState* warm = nullptr)
         : bed(config, kDefaultPhysBytes, options.seed),
           trainKind(train),
           victimKind(victim),
@@ -134,16 +146,38 @@ struct StageExperiment::Trial
         dVa = alignDown(bSrc, kPageBytes) + 0x200000;
         exitVa = dVa + kPageBytes;
 
-        buildTrainer(kTrainPage, trainerEntry, /*to=*/cVa);
-        buildTrainer(kNegTrainPage, negTrainerEntry, /*to=*/cVa);
-        buildVictim();
-        buildFixedBlobs();
+        if (warm != nullptr) {
+            // Everything the builds and the warm-up produce — code
+            // bytes, page tables, kernel allocator state, predictor and
+            // cache contents — is in the captured state.
+            snap::restore(bed.machine, *warm);
+            if (warm->hasLayout)
+                bed.kernel.setLayoutState(warm->layout);
+            // Entry VAs below depend only on config + kind, so they are
+            // recomputed identically.
+        }
+        computeEntryPoints(warm == nullptr);
+        if (warm == nullptr) {
+            // Warm the victim path once so its own cold branches are
+            // BTB-trained: otherwise straight-line speculation past the
+            // entry call fetches the X line on every run and masks the
+            // phantom signal. (Real attack code repeats runs for the
+            // same reason.)
+            runVictim();
+        }
+    }
 
-        // Warm the victim path once so its own cold branches are BTB-
-        // trained: otherwise straight-line speculation past the entry
-        // call fetches the X line on every run and masks the phantom
-        // signal. (Real attack code repeats runs for the same reason.)
-        runVictim();
+    /** Capture this trial's machine + kernel layout as a warm state. */
+    snap::MachineState
+    captureWarm()
+    {
+        return snap::capture(bed.machine, &bed.kernel);
+    }
+
+    /** Reset the machine to @p warm between observation channels. */
+    void resetTo(const snap::MachineState& warm)
+    {
+        snap::restore(bed.machine, warm);
     }
 
     /** Observation target of this combination (see §5.2). */
@@ -240,12 +274,47 @@ struct StageExperiment::Trial
                              ///< the observation target
 
   private:
+    /** Entry VA of the trainer on @p page (pure layout arithmetic). */
+    VAddr
+    trainerEntryFor(VAddr page) const
+    {
+        VAddr src = page + srcOff;
+        if (trainKind == BranchKind::NonBranch)
+            return src;
+        u64 prologue = 10 + 10 + 10 + 6;          // r9, r8, rax, cmp
+        if (trainKind == BranchKind::Ret)
+            prologue += 10 + 2;                    // r10, push
+        return src - prologue;
+    }
+
+    /**
+     * Fill in every entry VA (pure arithmetic) and, when @p build is
+     * set, assemble and map the code blobs. Restored-from-snapshot
+     * trials skip the build: the mapped bytes are already in the state.
+     */
     void
-    buildTrainer(VAddr page, VAddr& entry_out, VAddr to)
+    computeEntryPoints(bool build)
+    {
+        trainerEntry = trainerEntryFor(kTrainPage);
+        negTrainerEntry = trainerEntryFor(kNegTrainPage);
+        victimEntry = xVa - 15;                    // movImm(10) + call(5)
+        u64 series_off = seriesAnchor >= 0
+                             ? static_cast<u64>(seriesAnchor) & 0xfc0
+                             : observationTarget() & 0xfc0;
+        seriesEntry = kSeriesBase + series_off;
+        if (build) {
+            buildTrainer(kTrainPage, /*to=*/cVa);
+            buildTrainer(kNegTrainPage, /*to=*/cVa);
+            buildVictim();
+            buildFixedBlobs();
+        }
+    }
+
+    void
+    buildTrainer(VAddr page, VAddr to)
     {
         VAddr src = page + srcOff;
         if (trainKind == BranchKind::NonBranch) {
-            entry_out = src;
             Assembler code(src);
             code.nopN(5);
             code.hlt();
@@ -253,11 +322,7 @@ struct StageExperiment::Trial
             return;
         }
 
-        u64 prologue = 10 + 10 + 10 + 6;          // r9, r8, rax, cmp
-        if (trainKind == BranchKind::Ret)
-            prologue += 10 + 2;                    // r10, push
-        entry_out = src - prologue;
-        Assembler code(entry_out);
+        Assembler code(trainerEntryFor(page));
         code.movImm(R9, kProbeData);
         code.movImm(R8, to);
         code.movImm(RAX, 0);
@@ -274,7 +339,7 @@ struct StageExperiment::Trial
           case BranchKind::Ret:         code.ret(); break;
           case BranchKind::NonBranch:   break;   // handled above
         }
-        bed.process.mapCode(entry_out, code.finish());
+        bed.process.mapCode(trainerEntryFor(page), code.finish());
     }
 
     void
@@ -283,7 +348,6 @@ struct StageExperiment::Trial
         // Entry block: set up registers, push the X return address via a
         // discarded call (RSB ammunition for ret-trained predictions),
         // then jump into the victim instruction.
-        victimEntry = xVa - 15;                    // movImm(10) + call(5)
         Assembler entry(victimEntry);
         entry.movImm(R9, kProbeData);
         Label f = entry.newLabel();
@@ -349,11 +413,9 @@ struct StageExperiment::Trial
 
         // The µop-cache series: 8 direct forward jmps separated by
         // 4096 bytes, all at the observation target's page offset (or a
-        // fixed anchor for the Figure-6 sweep).
-        u64 series_off = seriesAnchor >= 0
-                             ? static_cast<u64>(seriesAnchor) & 0xfc0
-                             : observationTarget() & 0xfc0;
-        seriesEntry = kSeriesBase + series_off;
+        // fixed anchor for the Figure-6 sweep). The offset was fixed by
+        // computeEntryPoints.
+        u64 series_off = seriesEntry - kSeriesBase;
         for (u32 k = 0; k < 8; ++k) {
             VAddr at = kSeriesBase + u64{k} * kPageBytes + series_off;
             VAddr next = (k == 7) ? kSeriesBase + 8 * kPageBytes
@@ -386,39 +448,93 @@ StageExperiment::run(BranchKind train, BranchKind victim)
         return result;
     }
 
-    u32 fetch_votes = 0, decode_votes = 0, exec_votes = 0;
+    // The three observation channels, in Table-1 stage order. Each vote
+    // trial runs every channel on identical warm machine state.
+    static constexpr bool (Trial::*kChannels[])() = {
+        &Trial::observeFetch,
+        &Trial::observeDecode,
+        &Trial::observeExecute,
+    };
+    constexpr std::size_t kNumChannels =
+        sizeof(kChannels) / sizeof(kChannels[0]);
+
+    u32 votes[kNumChannels] = {};
     auto absorb = [&result](Trial& trial) {
         result.pmc.absorb(trial.bed.machine.pmc());
         result.attribution.merge(trial.bed.machine.cycleAttribution());
         result.episodes += trial.bed.machine.episodeCount();
     };
+
+    // Per-trial seeds come from a SeedStream substream: derived seeds
+    // are pairwise distinct and cannot overlap a neighbouring cell's
+    // stream the way `seed + t * constant` arithmetic could.
+    runner::SeedStream seeds =
+        runner::SeedStream(options_.seed).substream("stage-trial");
+    bool reuse = options_.snapshotReuse && snap::snapshotReuseEnabled();
+
     for (u32 t = 0; t < options_.trials; ++t) {
         StageExperimentOptions opts = options_;
-        opts.seed = options_.seed + t * 0x9e37;
-        {
+        opts.seed = seeds.trialSeed(t);
+
+        if (reuse) {
+            // Train once per (µarch, train, victim, seed): build + warm
+            // a single testbed, capture it, and replay the warm state
+            // for the later channels — O(dirty pages) per reset.
+            snap::SnapshotStore* store = snap::activeSnapshotStore();
+            std::shared_ptr<const snap::MachineState> warm;
+            std::string key = trialKey(train, victim, opts);
+            if (store != nullptr)
+                warm = store->find(key);
             Trial trial(config_, opts, train, victim,
-                        options_.targetPageOffset);
-            fetch_votes += trial.observeFetch() ? 1 : 0;
-            absorb(trial);
-        }
-        {
-            Trial trial(config_, opts, train, victim,
-                        options_.targetPageOffset);
-            decode_votes += trial.observeDecode() ? 1 : 0;
-            absorb(trial);
-        }
-        {
-            Trial trial(config_, opts, train, victim,
-                        options_.targetPageOffset);
-            exec_votes += trial.observeExecute() ? 1 : 0;
-            absorb(trial);
+                        options_.targetPageOffset, /*series_anchor=*/-1,
+                        warm.get());
+            if (warm == nullptr) {
+                warm = std::make_shared<const snap::MachineState>(
+                    trial.captureWarm());
+                if (store != nullptr)
+                    store->insert(key, warm);
+            }
+            for (std::size_t c = 0; c < kNumChannels; ++c) {
+                if (c > 0) {
+                    trial.resetTo(*warm);
+                    if (store != nullptr)
+                        ++store->stats().restores;
+                }
+                votes[c] += (trial.*kChannels[c])() ? 1 : 0;
+                absorb(trial);
+            }
+        } else {
+            // Legacy path (PHANTOM_SNAP=0): a fresh build per channel.
+            // Deterministic simulation makes the two paths bit-identical;
+            // bench_regress asserts that equivalence.
+            for (std::size_t c = 0; c < kNumChannels; ++c) {
+                Trial trial(config_, opts, train, victim,
+                            options_.targetPageOffset);
+                votes[c] += (trial.*kChannels[c])() ? 1 : 0;
+                absorb(trial);
+            }
         }
     }
     u32 majority = options_.trials / 2 + 1;
-    result.signals.fetch = fetch_votes >= majority;
-    result.signals.decode = decode_votes >= majority;
-    result.signals.execute = exec_votes >= majority;
+    result.signals.fetch = votes[0] >= majority;
+    result.signals.decode = votes[1] >= majority;
+    result.signals.execute = votes[2] >= majority;
     return result;
+}
+
+std::string
+StageExperiment::trialKey(BranchKind train, BranchKind victim,
+                          const StageExperimentOptions& opts) const
+{
+    char key[160];
+    std::snprintf(key, sizeof(key),
+                  "stage-%s-%s-%s-%016llx-%03llx%s%s", config_.name.c_str(),
+                  branchKindName(train), branchKindName(victim),
+                  static_cast<unsigned long long>(opts.seed),
+                  static_cast<unsigned long long>(opts.targetPageOffset),
+                  opts.suppressBpOnNonBr ? "-sbp" : "",
+                  opts.autoIbrs ? "-aibrs" : "");
+    return key;
 }
 
 u64

@@ -89,6 +89,15 @@ struct StageExperimentOptions
     u64 targetPageOffset = 0xac0;  ///< page offset of the target C
     bool suppressBpOnNonBr = false;  ///< set the Zen 2+ MSR bit
     bool autoIbrs = false;           ///< enable AutoIBRS (Zen 4)
+
+    /**
+     * Build + warm one machine per trial seed and replay the captured
+     * warm state for the decode/execute channels instead of rebuilding
+     * the testbed from scratch per channel (src/snap). Bit-identical to
+     * three fresh builds — the simulator is deterministic — just ~3x
+     * cheaper. Also gated globally by PHANTOM_SNAP (=0 disables).
+     */
+    bool snapshotReuse = true;
 };
 
 /**
@@ -117,6 +126,10 @@ class StageExperiment
 
   private:
     struct Trial;
+
+    /** Snapshot-store key for one warmed (train, victim, seed) testbed. */
+    std::string trialKey(BranchKind train, BranchKind victim,
+                         const StageExperimentOptions& opts) const;
 
     cpu::MicroarchConfig config_;
     StageExperimentOptions options_;

@@ -103,7 +103,7 @@ class Btb
     /** Number of valid entries (for tests). */
     std::size_t validCount() const;
 
-  private:
+    /** One BTB way; exposed for snapshot capture/restore. */
     struct Entry
     {
         bool valid = false;
@@ -111,6 +111,24 @@ class Btb
         BtbPrediction pred;
         u64 lastUse = 0;
     };
+
+    /** Complete mutable state (entries + LRU clock) for snapshots. */
+    struct State
+    {
+        std::vector<Entry> entries;
+        u64 useClock = 0;
+    };
+
+    State state() const { return State{entries_, useClock_}; }
+
+    void
+    setState(const State& s)
+    {
+        entries_ = s.entries;
+        useClock_ = s.useClock;
+    }
+
+  private:
 
     u32 indexOf(u64 key) const { return static_cast<u32>(key % config_.sets); }
     u64 tagOf(u64 key) const { return key / config_.sets; }

@@ -51,6 +51,17 @@ class Pht
             c = kWeaklyTaken;
     }
 
+    /** Raw counter array (snapshot capture). */
+    const std::vector<u8>& counters() const { return counters_; }
+
+    /** Restore counters captured by counters(); sizes must match. */
+    void
+    setCounters(const std::vector<u8>& counters)
+    {
+        if (counters.size() == counters_.size())
+            counters_ = counters;
+    }
+
   private:
     static constexpr u8 kWeaklyTaken = 2;
     static constexpr u8 kStronglyTaken = 3;
@@ -89,6 +100,9 @@ class Bhb
     }
 
     void flush() { value_ = 0; }
+
+    /** Restore a history value captured via value() (snapshots). */
+    void setValue(u64 value) { value_ = value; }
 
   private:
     u64 value_ = 0;

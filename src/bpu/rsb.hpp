@@ -9,6 +9,7 @@
 
 #include "sim/types.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -75,6 +76,29 @@ class Rsb
     {
         depth_ = 0;
         top_ = 0;
+    }
+
+    /** Complete mutable state (slot contents + position) for snapshots. */
+    struct State
+    {
+        std::vector<VAddr> slots;
+        u64 top = 0;
+        u64 depth = 0;
+    };
+
+    State
+    state() const
+    {
+        return State{slots_, static_cast<u64>(top_),
+                     static_cast<u64>(depth_)};
+    }
+
+    void
+    setState(const State& s)
+    {
+        slots_ = s.slots;
+        top_ = static_cast<std::size_t>(s.top) % slots_.size();
+        depth_ = std::min(static_cast<std::size_t>(s.depth), slots_.size());
     }
 
   private:

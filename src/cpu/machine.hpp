@@ -268,6 +268,65 @@ class Machine
 
     obs::TraceSink* traceSink() const { return traceSink_; }
 
+    // -- Snapshot support ---------------------------------------------------
+
+    /**
+     * Scalar execution state living outside the component objects. The
+     * episode trace buffer is deliberately excluded: it is a debugging
+     * surface, not machine state, and snapshots must not resurrect it.
+     */
+    struct ScalarState
+    {
+        VAddr pc = 0;
+        Privilege priv = Privilege::User;
+        VAddr syscallEntry = 0;
+        VAddr savedUserPc = 0;
+        Cycle cycles = 0;
+        u64 insnsSinceNoise = 0;
+        u64 suppressConfirms = 0;
+        bool ibpbOnSyscall = false;
+        u8 smtThread = 0;
+        u64 episodeId = 0;
+        u64 curEpisode = 0;
+        CycleAttribution attrib;
+    };
+
+    ScalarState
+    scalarState() const
+    {
+        ScalarState s;
+        s.pc = pc_;
+        s.priv = priv_;
+        s.syscallEntry = syscallEntry_;
+        s.savedUserPc = savedUserPc_;
+        s.cycles = cycles_;
+        s.insnsSinceNoise = insnsSinceNoise_;
+        s.suppressConfirms = suppressConfirms_;
+        s.ibpbOnSyscall = ibpbOnSyscall_;
+        s.smtThread = smtThread_;
+        s.episodeId = episodeId_;
+        s.curEpisode = curEpisode_;
+        s.attrib = attrib_;
+        return s;
+    }
+
+    void
+    setScalarState(const ScalarState& s)
+    {
+        pc_ = s.pc;
+        priv_ = s.priv;
+        syscallEntry_ = s.syscallEntry;
+        savedUserPc_ = s.savedUserPc;
+        cycles_ = s.cycles;
+        insnsSinceNoise_ = s.insnsSinceNoise;
+        suppressConfirms_ = s.suppressConfirms;
+        ibpbOnSyscall_ = s.ibpbOnSyscall;
+        smtThread_ = s.smtThread & 1;
+        episodeId_ = s.episodeId;
+        curEpisode_ = s.curEpisode;
+        attrib_ = s.attrib;
+    }
+
     // -- MSR access with side effects ---------------------------------------
 
     /** Write an MSR; PRED_CMD.IBPB flushes the predictors. */

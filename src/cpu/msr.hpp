@@ -62,8 +62,16 @@ class MsrFile
         write(index, on ? (v | mask) : (v & ~mask));
     }
 
+    using ValueMap = std::unordered_map<u32, u64>;
+
+    /** Every explicitly written MSR (snapshot enumeration). */
+    const ValueMap& values() const { return values_; }
+
+    /** Replace the MSR file wholesale (snapshot restore). */
+    void setValues(ValueMap values) { values_ = std::move(values); }
+
   private:
-    std::unordered_map<u32, u64> values_;
+    ValueMap values_;
 };
 
 } // namespace phantom::cpu

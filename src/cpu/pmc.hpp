@@ -81,10 +81,19 @@ class Pmc
         counters_.fill(0);
     }
 
+    using Counters =
+        std::array<u64, static_cast<std::size_t>(PmcEvent::kCount)>;
+
+    /** Raw counter bank (snapshot capture). */
+    const Counters& counters() const { return counters_; }
+
+    /** Restore a bank captured by counters() (snapshot restore). */
+    void setCounters(const Counters& counters) { counters_ = counters; }
+
   private:
     static std::size_t idx(PmcEvent e) { return static_cast<std::size_t>(e); }
 
-    std::array<u64, static_cast<std::size_t>(PmcEvent::kCount)> counters_{};
+    Counters counters_{};
 };
 
 /**

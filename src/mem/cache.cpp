@@ -11,6 +11,16 @@ Cache::Cache(std::string name, CacheGeometry geometry)
     assert(geom_.sets > 0 && geom_.ways > 0 && geom_.lineBytes > 0);
 }
 
+void
+Cache::setState(const State& s)
+{
+    assert(s.lines.size() == lines_.size());
+    lines_ = s.lines;
+    useClock_ = s.useClock;
+    hits_ = s.hits;
+    misses_ = s.misses;
+}
+
 Cache::Line*
 Cache::findLine(u64 addr)
 {

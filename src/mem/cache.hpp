@@ -75,13 +75,27 @@ class Cache
     u64 missCount() const { return misses_; }
     void resetStats() { hits_ = misses_ = 0; }
 
-  private:
+    /** One tag-array entry; exposed for snapshot capture/restore. */
     struct Line
     {
         bool valid = false;
         u64 tag = 0;
         u64 lastUse = 0;
     };
+
+    /** Complete mutable state (tags + LRU clock + stats) for snapshots. */
+    struct State
+    {
+        std::vector<Line> lines;
+        u64 useClock = 0;
+        u64 hits = 0;
+        u64 misses = 0;
+    };
+
+    State state() const { return State{lines_, useClock_, hits_, misses_}; }
+    void setState(const State& s);
+
+  private:
 
     u64 tagOf(u64 addr) const { return (addr / geom_.lineBytes) / geom_.sets; }
     Line* findLine(u64 addr);

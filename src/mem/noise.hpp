@@ -54,6 +54,10 @@ class NoiseInjector
             disturb(hierarchy);
     }
 
+    /** Underlying RNG, exposed so snapshots capture the stream position. */
+    Rng& rng() { return rng_; }
+    const Rng& rng() const { return rng_; }
+
   private:
     NoiseConfig config_;
     Rng rng_;

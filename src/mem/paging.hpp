@@ -80,15 +80,31 @@ class PageTable
 
     std::size_t entryCount() const { return small_.size() + huge_.size(); }
 
-  private:
+    /** One mapping; exposed for snapshot capture/restore. */
     struct Entry
     {
         PAddr pa;
         PageFlags flags;
     };
 
-    std::unordered_map<u64, Entry> small_;  ///< key: va / 4K
-    std::unordered_map<u64, Entry> huge_;   ///< key: va / 2M
+    using EntryMap = std::unordered_map<u64, Entry>;
+
+    /** 4 KiB entries keyed by va / 4K (snapshot enumeration). */
+    const EntryMap& smallEntries() const { return small_; }
+    /** 2 MiB entries keyed by va / 2M (snapshot enumeration). */
+    const EntryMap& hugeEntries() const { return huge_; }
+
+    /** Replace all mappings wholesale (snapshot restore). */
+    void
+    setEntries(EntryMap small, EntryMap huge)
+    {
+        small_ = std::move(small);
+        huge_ = std::move(huge);
+    }
+
+  private:
+    EntryMap small_;  ///< key: va / 4K
+    EntryMap huge_;   ///< key: va / 2M
 };
 
 } // namespace phantom::mem

@@ -22,11 +22,42 @@ PhysicalMemory::frameFor(PAddr pa, bool create) const
         return it->second.get();
     if (!create)
         return nullptr;
-    auto frame = std::make_unique<Frame>();
+    auto frame = std::make_shared<Frame>();
     frame->fill(0);
     Frame* raw = frame.get();
     frames_.emplace(frame_no, std::move(frame));
     return raw;
+}
+
+PhysicalMemory::Frame*
+PhysicalMemory::frameForWrite(PAddr pa)
+{
+    if (pa >= installed_)
+        throw std::out_of_range("PhysicalMemory: access beyond installed memory");
+    u64 frame_no = pa / kPageBytes;
+    auto it = frames_.find(frame_no);
+    if (it == frames_.end()) {
+        auto frame = std::make_shared<Frame>();
+        frame->fill(0);
+        Frame* raw = frame.get();
+        frames_.emplace(frame_no, std::move(frame));
+        return raw;
+    }
+    // Copy-on-write: a frame loaned out to a snapshot must be cloned
+    // before this machine mutates it.
+    if (it->second.use_count() > 1)
+        it->second = std::make_shared<Frame>(*it->second);
+    return it->second.get();
+}
+
+std::size_t
+PhysicalMemory::framesShared() const
+{
+    std::size_t shared = 0;
+    for (const auto& [frame_no, frame] : frames_)
+        if (frame.use_count() > 1)
+            ++shared;
+    return shared;
 }
 
 u8
@@ -48,7 +79,7 @@ PhysicalMemory::read64(PAddr pa) const
 void
 PhysicalMemory::write8(PAddr pa, u8 value)
 {
-    Frame* frame = frameFor(pa, true);
+    Frame* frame = frameForWrite(pa);
     (*frame)[pa % kPageBytes] = value;
 }
 
@@ -64,7 +95,7 @@ PhysicalMemory::writeBlock(PAddr pa, const std::vector<u8>& bytes)
 {
     std::size_t done = 0;
     while (done < bytes.size()) {
-        Frame* frame = frameFor(pa + done, true);
+        Frame* frame = frameForWrite(pa + done);
         u64 offset = (pa + done) % kPageBytes;
         std::size_t chunk =
             std::min(bytes.size() - done,

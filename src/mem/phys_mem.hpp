@@ -4,6 +4,11 @@
  *
  * Frames are allocated lazily on first touch so that machines with large
  * "installed" memory (the paper's 64 GiB EPYC config) stay cheap to model.
+ *
+ * Frames are reference-counted so snapshots can share them copy-on-write:
+ * a write to a frame whose refcount is > 1 clones it first, keeping forks
+ * O(dirty pages). Sharing is not thread-safe across concurrent writers;
+ * snapshot stores are strictly per-shard.
  */
 
 #ifndef PHANTOM_MEM_PHYS_MEM_HPP
@@ -25,6 +30,9 @@ namespace phantom::mem {
 class PhysicalMemory
 {
   public:
+    using Frame = std::array<u8, kPageBytes>;
+    using FrameMap = std::unordered_map<u64, std::shared_ptr<Frame>>;
+
     /** @param installed_bytes total physical memory size (bounds checks). */
     explicit PhysicalMemory(u64 installed_bytes);
 
@@ -47,13 +55,24 @@ class PhysicalMemory
     /** Number of frames actually materialized (for tests). */
     std::size_t framesAllocated() const { return frames_.size(); }
 
-  private:
-    using Frame = std::array<u8, kPageBytes>;
+    /**
+     * Copy of the frame map sharing ownership of every frame (no byte
+     * copies). Both sides subsequently copy-on-write any shared frame.
+     */
+    FrameMap shareFrames() const { return frames_; }
 
+    /** Replace the frame map wholesale (snapshot restore / fork). */
+    void adoptFrames(FrameMap frames) { frames_ = std::move(frames); }
+
+    /** Frames currently shared with a snapshot (refcount > 1). */
+    std::size_t framesShared() const;
+
+  private:
     Frame* frameFor(PAddr pa, bool create) const;
+    Frame* frameForWrite(PAddr pa);
 
     u64 installed_;
-    mutable std::unordered_map<u64, std::unique_ptr<Frame>> frames_;
+    mutable FrameMap frames_;
 };
 
 } // namespace phantom::mem

@@ -49,6 +49,10 @@ class UopCache
     u64 missCount() const { return cache_.missCount(); }
     void resetStats() { cache_.resetStats(); }
 
+    /** Underlying tag cache, exposed for snapshot capture/restore. */
+    Cache& tagCache() { return cache_; }
+    const Cache& tagCache() const { return cache_; }
+
   private:
     Cache cache_;
 };

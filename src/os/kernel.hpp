@@ -97,6 +97,46 @@ class Kernel
     /** Map a kernel RW/NX data page at @p va. */
     PAddr mapKernelData(VAddr va, u64 bytes);
 
+    // -- Snapshot support --------------------------------------------------
+
+    /** Kernel/process layout scalars captured into snapshots. */
+    struct LayoutState
+    {
+        VAddr imageBase = 0;
+        VAddr physmapBase = 0;
+        VAddr fdgetPosCallVa = 0;
+        VAddr moduleNext = 0;
+        PAddr imagePa = 0;
+        PAddr bumpPa = 0;
+        u64 rngState[Rng::kStateWords] = {};
+    };
+
+    LayoutState
+    layoutState() const
+    {
+        LayoutState s;
+        s.imageBase = imageBase_;
+        s.physmapBase = physmapBase_;
+        s.fdgetPosCallVa = fdgetPosCallVa_;
+        s.moduleNext = moduleNext_;
+        s.imagePa = imagePa_;
+        s.bumpPa = bumpPa_;
+        rng_.stateWords(s.rngState);
+        return s;
+    }
+
+    void
+    setLayoutState(const LayoutState& s)
+    {
+        imageBase_ = s.imageBase;
+        physmapBase_ = s.physmapBase;
+        fdgetPosCallVa_ = s.fdgetPosCallVa;
+        moduleNext_ = s.moduleNext;
+        imagePa_ = s.imagePa;
+        bumpPa_ = s.bumpPa;
+        rng_.setStateWords(s.rngState);
+    }
+
   private:
     void buildImage();
     void mapImage();

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Streaming FNV-1a digest.
+ *
+ * Used to stamp snapshot images (integrity of serialized machine state)
+ * and to fingerprint live machine state for the replay/divergence
+ * checker. Not cryptographic — it defends against truncation, bit flips
+ * and stale images, not adversaries.
+ */
+
+#ifndef PHANTOM_SIM_DIGEST_HPP
+#define PHANTOM_SIM_DIGEST_HPP
+
+#include "sim/types.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace phantom {
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Digest
+{
+  public:
+    static constexpr u64 kOffsetBasis = 0xcbf29ce484222325ull;
+    static constexpr u64 kPrime = 0x100000001b3ull;
+
+    /** Fold @p n raw bytes into the digest. */
+    void
+    update(const void* data, std::size_t n)
+    {
+        const u8* p = static_cast<const u8*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= kPrime;
+        }
+    }
+
+    void update(const std::vector<u8>& bytes)
+    {
+        update(bytes.data(), bytes.size());
+    }
+
+    /** Fold a 64-bit value in a fixed little-endian byte order, so the
+     *  digest is identical across host endianness. */
+    void
+    update64(u64 v)
+    {
+        u8 le[8];
+        for (int i = 0; i < 8; ++i)
+            le[i] = static_cast<u8>(v >> (8 * i));
+        update(le, sizeof(le));
+    }
+
+    void update8(u8 v) { update(&v, 1); }
+
+    void
+    updateString(const std::string& s)
+    {
+        update64(s.size());
+        update(s.data(), s.size());
+    }
+
+    u64 value() const { return hash_; }
+
+    /** One-shot digest of a byte range. */
+    static u64
+    of(const void* data, std::size_t n)
+    {
+        Digest d;
+        d.update(data, n);
+        return d.value();
+    }
+
+  private:
+    u64 hash_ = kOffsetBasis;
+};
+
+} // namespace phantom
+
+#endif // PHANTOM_SIM_DIGEST_HPP

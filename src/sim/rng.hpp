@@ -13,6 +13,7 @@
 #include "sim/types.hpp"
 
 #include <cassert>
+#include <cstddef>
 
 namespace phantom {
 
@@ -88,6 +89,25 @@ class Rng
 
     /** Uniform double in [0, 1). */
     double uniform() { return toDouble(next()); }
+
+    /** Number of 64-bit state words (snapshot serialization). */
+    static constexpr std::size_t kStateWords = 4;
+
+    /** Copy out the raw generator state (snapshot capture). */
+    void
+    stateWords(u64 out[kStateWords]) const
+    {
+        for (std::size_t i = 0; i < kStateWords; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Restore raw generator state captured by stateWords(). */
+    void
+    setStateWords(const u64 in[kStateWords])
+    {
+        for (std::size_t i = 0; i < kStateWords; ++i)
+            state_[i] = in[i];
+    }
 
   private:
     static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }

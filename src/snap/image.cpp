@@ -1,0 +1,889 @@
+#include "snap/image.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace phantom::snap {
+
+namespace {
+
+// -- Little-endian writer ---------------------------------------------------
+
+struct Writer
+{
+    std::vector<u8> out;
+
+    void putU8(u8 v) { out.push_back(v); }
+
+    void
+    putU32(u32 v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    putU64(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    putBytes(const void* data, std::size_t n)
+    {
+        const u8* p = static_cast<const u8*>(data);
+        out.insert(out.end(), p, p + n);
+    }
+
+    void
+    putString(const std::string& s)
+    {
+        putU64(s.size());
+        putBytes(s.data(), s.size());
+    }
+};
+
+// -- Strict bounds-checked reader -------------------------------------------
+
+struct Reader
+{
+    const u8* data = nullptr;
+    u64 pos = 0;
+    u64 end = 0;
+    std::string error;
+
+    Reader(const u8* d, u64 offset, u64 length)
+        : data(d), pos(offset), end(offset + length)
+    {
+    }
+
+    bool ok() const { return error.empty(); }
+    u64 remaining() const { return ok() ? end - pos : 0; }
+
+    bool
+    need(u64 n, const char* what)
+    {
+        if (!ok())
+            return false;
+        if (end - pos < n) {
+            error = std::string("truncated ") + what;
+            return false;
+        }
+        return true;
+    }
+
+    u8
+    getU8(const char* what)
+    {
+        if (!need(1, what))
+            return 0;
+        return data[pos++];
+    }
+
+    u32
+    getU32(const char* what)
+    {
+        if (!need(4, what))
+            return 0;
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<u32>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    u64
+    getU64(const char* what)
+    {
+        if (!need(8, what))
+            return 0;
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    bool
+    getBytes(void* dst, u64 n, const char* what)
+    {
+        if (!need(n, what))
+            return false;
+        std::memcpy(dst, data + pos, n);
+        pos += n;
+        return true;
+    }
+
+    std::string
+    getString(u64 max_len, const char* what)
+    {
+        u64 len = getU64(what);
+        if (!ok())
+            return {};
+        if (len > max_len || !need(len, what)) {
+            if (error.empty())
+                error = std::string("oversized ") + what;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char*>(data + pos),
+                      static_cast<std::size_t>(len));
+        pos += len;
+        return s;
+    }
+
+    /**
+     * Read an element count for elements of at least @p min_elem_bytes
+     * each; rejects counts the remaining bytes cannot possibly hold, so
+     * a fuzzed length field cannot trigger a huge allocation.
+     */
+    u64
+    getCount(u64 min_elem_bytes, const char* what)
+    {
+        u64 n = getU64(what);
+        if (!ok())
+            return 0;
+        if (min_elem_bytes != 0 && n > remaining() / min_elem_bytes) {
+            error = std::string("implausible count in ") + what;
+            return 0;
+        }
+        return n;
+    }
+};
+
+template <typename Map>
+std::vector<typename Map::key_type>
+sortedKeys(const Map& map)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(map.size());
+    for (const auto& [key, value] : map)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+// -- Section encoders / decoders --------------------------------------------
+// Every encoder iterates in a sorted, stable order so that re-serializing
+// a loaded state is bit-identical to the original image.
+
+std::vector<u8>
+encodeScalars(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.scalars.pc);
+    w.putU8(static_cast<u8>(s.scalars.priv));
+    w.putU64(s.scalars.syscallEntry);
+    w.putU64(s.scalars.savedUserPc);
+    w.putU64(s.scalars.cycles);
+    w.putU64(s.scalars.insnsSinceNoise);
+    w.putU64(s.scalars.suppressConfirms);
+    w.putU8(s.scalars.ibpbOnSyscall ? 1 : 0);
+    w.putU8(s.scalars.smtThread);
+    w.putU64(s.scalars.episodeId);
+    w.putU64(s.scalars.curEpisode);
+    w.putU64(s.scalars.attrib.cycles.size());
+    for (u64 c : s.scalars.attrib.cycles)
+        w.putU64(c);
+    return w.out;
+}
+
+bool
+decodeScalars(Reader& r, MachineState& s)
+{
+    s.scalars.pc = r.getU64("scalars.pc");
+    u8 priv = r.getU8("scalars.priv");
+    if (r.ok() && priv > 1) {
+        r.error = "invalid privilege value";
+        return false;
+    }
+    s.scalars.priv = static_cast<Privilege>(priv);
+    s.scalars.syscallEntry = r.getU64("scalars.syscallEntry");
+    s.scalars.savedUserPc = r.getU64("scalars.savedUserPc");
+    s.scalars.cycles = r.getU64("scalars.cycles");
+    s.scalars.insnsSinceNoise = r.getU64("scalars.insnsSinceNoise");
+    s.scalars.suppressConfirms = r.getU64("scalars.suppressConfirms");
+    s.scalars.ibpbOnSyscall = r.getU8("scalars.ibpbOnSyscall") != 0;
+    s.scalars.smtThread = r.getU8("scalars.smtThread");
+    s.scalars.episodeId = r.getU64("scalars.episodeId");
+    s.scalars.curEpisode = r.getU64("scalars.curEpisode");
+    u64 classes = r.getCount(8, "scalars.attrib");
+    if (r.ok() && classes != s.scalars.attrib.cycles.size()) {
+        r.error = "cycle-attribution class count mismatch";
+        return false;
+    }
+    for (u64 i = 0; r.ok() && i < classes; ++i)
+        s.scalars.attrib.cycles[i] = r.getU64("scalars.attrib");
+    return r.ok();
+}
+
+std::vector<u8>
+encodeRegs(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.regs.size());
+    for (u64 v : s.regs)
+        w.putU64(v);
+    w.putU8(s.zf ? 1 : 0);
+    w.putU8(s.cf ? 1 : 0);
+    return w.out;
+}
+
+bool
+decodeRegs(Reader& r, MachineState& s)
+{
+    u64 n = r.getCount(8, "regs");
+    if (r.ok() && n != s.regs.size()) {
+        r.error = "register count mismatch";
+        return false;
+    }
+    for (u64 i = 0; r.ok() && i < n; ++i)
+        s.regs[i] = r.getU64("regs");
+    s.zf = r.getU8("flags.zf") != 0;
+    s.cf = r.getU8("flags.cf") != 0;
+    return r.ok();
+}
+
+std::vector<u8>
+encodePmc(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.pmc.size());
+    for (u64 c : s.pmc)
+        w.putU64(c);
+    return w.out;
+}
+
+bool
+decodePmc(Reader& r, MachineState& s)
+{
+    u64 n = r.getCount(8, "pmc");
+    if (r.ok() && n != s.pmc.size()) {
+        r.error = "pmc counter count mismatch";
+        return false;
+    }
+    for (u64 i = 0; r.ok() && i < n; ++i)
+        s.pmc[i] = r.getU64("pmc");
+    return r.ok();
+}
+
+std::vector<u8>
+encodeMsrs(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.msrs.size());
+    for (u32 index : sortedKeys(s.msrs)) {
+        w.putU32(index);
+        w.putU64(s.msrs.at(index));
+    }
+    return w.out;
+}
+
+bool
+decodeMsrs(Reader& r, MachineState& s)
+{
+    u64 n = r.getCount(12, "msrs");
+    for (u64 i = 0; r.ok() && i < n; ++i) {
+        u32 index = r.getU32("msr.index");
+        u64 value = r.getU64("msr.value");
+        if (r.ok() && !s.msrs.emplace(index, value).second) {
+            r.error = "duplicate msr index";
+            return false;
+        }
+    }
+    return r.ok();
+}
+
+std::vector<u8>
+encodeCache(const mem::Cache::State& c)
+{
+    Writer w;
+    w.putU64(c.lines.size());
+    for (const auto& line : c.lines) {
+        w.putU8(line.valid ? 1 : 0);
+        w.putU64(line.tag);
+        w.putU64(line.lastUse);
+    }
+    w.putU64(c.useClock);
+    w.putU64(c.hits);
+    w.putU64(c.misses);
+    return w.out;
+}
+
+bool
+decodeCache(Reader& r, mem::Cache::State& c, const char* what)
+{
+    u64 n = r.getCount(17, what);
+    if (!r.ok())
+        return false;
+    c.lines.resize(static_cast<std::size_t>(n));
+    for (u64 i = 0; r.ok() && i < n; ++i) {
+        c.lines[i].valid = r.getU8(what) != 0;
+        c.lines[i].tag = r.getU64(what);
+        c.lines[i].lastUse = r.getU64(what);
+    }
+    c.useClock = r.getU64(what);
+    c.hits = r.getU64(what);
+    c.misses = r.getU64(what);
+    return r.ok();
+}
+
+std::vector<u8>
+encodeBtb(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.btb.entries.size());
+    for (const auto& e : s.btb.entries) {
+        w.putU8(e.valid ? 1 : 0);
+        w.putU64(e.tag);
+        w.putU64(e.pred.sourceVa);
+        w.putU8(static_cast<u8>(e.pred.type));
+        w.putU64(static_cast<u64>(e.pred.relDelta));
+        w.putU64(e.pred.absTarget);
+        w.putU8(static_cast<u8>(e.pred.creator));
+        w.putU8(e.pred.creatorThread);
+        w.putU64(e.lastUse);
+    }
+    w.putU64(s.btb.useClock);
+    return w.out;
+}
+
+bool
+decodeBtb(Reader& r, MachineState& s)
+{
+    u64 n = r.getCount(44, "btb");
+    if (!r.ok())
+        return false;
+    s.btb.entries.resize(static_cast<std::size_t>(n));
+    for (u64 i = 0; r.ok() && i < n; ++i) {
+        auto& e = s.btb.entries[i];
+        e.valid = r.getU8("btb.valid") != 0;
+        e.tag = r.getU64("btb.tag");
+        e.pred.sourceVa = r.getU64("btb.sourceVa");
+        u8 type = r.getU8("btb.type");
+        if (r.ok() && type > static_cast<u8>(isa::BranchType::Return)) {
+            r.error = "invalid branch type in btb entry";
+            return false;
+        }
+        e.pred.type = static_cast<isa::BranchType>(type);
+        e.pred.relDelta = static_cast<i64>(r.getU64("btb.relDelta"));
+        e.pred.absTarget = r.getU64("btb.absTarget");
+        u8 creator = r.getU8("btb.creator");
+        if (r.ok() && creator > 1) {
+            r.error = "invalid privilege in btb entry";
+            return false;
+        }
+        e.pred.creator = static_cast<Privilege>(creator);
+        e.pred.creatorThread = r.getU8("btb.creatorThread");
+        e.lastUse = r.getU64("btb.lastUse");
+    }
+    s.btb.useClock = r.getU64("btb.useClock");
+    return r.ok();
+}
+
+std::vector<u8>
+encodeRsb(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.rsb.slots.size());
+    for (VAddr slot : s.rsb.slots)
+        w.putU64(slot);
+    w.putU64(s.rsb.top);
+    w.putU64(s.rsb.depth);
+    return w.out;
+}
+
+bool
+decodeRsb(Reader& r, MachineState& s)
+{
+    u64 n = r.getCount(8, "rsb");
+    if (!r.ok())
+        return false;
+    s.rsb.slots.resize(static_cast<std::size_t>(n));
+    for (u64 i = 0; r.ok() && i < n; ++i)
+        s.rsb.slots[i] = r.getU64("rsb.slot");
+    s.rsb.top = r.getU64("rsb.top");
+    s.rsb.depth = r.getU64("rsb.depth");
+    if (r.ok() && n > 0 && (s.rsb.top >= n || s.rsb.depth > n)) {
+        r.error = "rsb position out of range";
+        return false;
+    }
+    return r.ok();
+}
+
+std::vector<u8>
+encodePht(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.pht.size());
+    w.putBytes(s.pht.data(), s.pht.size());
+    return w.out;
+}
+
+bool
+decodePht(Reader& r, MachineState& s)
+{
+    u64 n = r.getCount(1, "pht");
+    if (!r.ok())
+        return false;
+    s.pht.resize(static_cast<std::size_t>(n));
+    return r.getBytes(s.pht.data(), n, "pht");
+}
+
+std::vector<u8>
+encodeBhb(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.bhb);
+    return w.out;
+}
+
+bool
+decodeBhb(Reader& r, MachineState& s)
+{
+    s.bhb = r.getU64("bhb");
+    return r.ok();
+}
+
+std::vector<u8>
+encodeNoiseRng(const MachineState& s)
+{
+    Writer w;
+    for (u64 word : s.noiseRng)
+        w.putU64(word);
+    return w.out;
+}
+
+bool
+decodeNoiseRng(Reader& r, MachineState& s)
+{
+    for (auto& word : s.noiseRng)
+        word = r.getU64("noise_rng");
+    return r.ok();
+}
+
+std::vector<u8>
+encodeFrames(const MachineState& s)
+{
+    Writer w;
+    w.putU64(s.frames.size());
+    for (u64 frame_no : sortedKeys(s.frames)) {
+        w.putU64(frame_no);
+        w.putBytes(s.frames.at(frame_no)->data(), kPageBytes);
+    }
+    return w.out;
+}
+
+bool
+decodeFrames(Reader& r, MachineState& s)
+{
+    u64 n = r.getCount(8 + kPageBytes, "frames");
+    for (u64 i = 0; r.ok() && i < n; ++i) {
+        u64 frame_no = r.getU64("frame.number");
+        auto frame = std::make_shared<mem::PhysicalMemory::Frame>();
+        if (!r.getBytes(frame->data(), kPageBytes, "frame.bytes"))
+            return false;
+        if (!s.frames.emplace(frame_no, std::move(frame)).second) {
+            r.error = "duplicate frame number";
+            return false;
+        }
+    }
+    return r.ok();
+}
+
+void
+encodeFlags(Writer& w, const mem::PageFlags& flags)
+{
+    u8 bits = 0;
+    bits |= flags.present ? 1 : 0;
+    bits |= flags.writable ? 2 : 0;
+    bits |= flags.user ? 4 : 0;
+    bits |= flags.executable ? 8 : 0;
+    w.putU8(bits);
+}
+
+bool
+decodeFlags(Reader& r, mem::PageFlags& flags)
+{
+    u8 bits = r.getU8("page.flags");
+    if (r.ok() && (bits & ~0x0f) != 0) {
+        r.error = "invalid page flag bits";
+        return false;
+    }
+    flags.present = (bits & 1) != 0;
+    flags.writable = (bits & 2) != 0;
+    flags.user = (bits & 4) != 0;
+    flags.executable = (bits & 8) != 0;
+    return r.ok();
+}
+
+void
+encodeEntryMap(Writer& w, const mem::PageTable::EntryMap& map)
+{
+    w.putU64(map.size());
+    for (u64 key : sortedKeys(map)) {
+        const auto& entry = map.at(key);
+        w.putU64(key);
+        w.putU64(entry.pa);
+        encodeFlags(w, entry.flags);
+    }
+}
+
+bool
+decodeEntryMap(Reader& r, mem::PageTable::EntryMap& map, const char* what)
+{
+    u64 n = r.getCount(17, what);
+    for (u64 i = 0; r.ok() && i < n; ++i) {
+        u64 key = r.getU64(what);
+        mem::PageTable::Entry entry;
+        entry.pa = r.getU64(what);
+        if (!decodeFlags(r, entry.flags))
+            return false;
+        if (!map.emplace(key, entry).second) {
+            r.error = std::string("duplicate page-table key in ") + what;
+            return false;
+        }
+    }
+    return r.ok();
+}
+
+std::vector<u8>
+encodePaging(const MachineState& s)
+{
+    Writer w;
+    w.putU8(s.hasPageTable ? 1 : 0);
+    encodeEntryMap(w, s.ptSmall);
+    encodeEntryMap(w, s.ptHuge);
+    return w.out;
+}
+
+bool
+decodePaging(Reader& r, MachineState& s)
+{
+    s.hasPageTable = r.getU8("paging.present") != 0;
+    return decodeEntryMap(r, s.ptSmall, "paging.small") &&
+           decodeEntryMap(r, s.ptHuge, "paging.huge");
+}
+
+std::vector<u8>
+encodeLayout(const MachineState& s)
+{
+    Writer w;
+    w.putU8(s.hasLayout ? 1 : 0);
+    w.putU64(s.layout.imageBase);
+    w.putU64(s.layout.physmapBase);
+    w.putU64(s.layout.fdgetPosCallVa);
+    w.putU64(s.layout.moduleNext);
+    w.putU64(s.layout.imagePa);
+    w.putU64(s.layout.bumpPa);
+    for (u64 word : s.layout.rngState)
+        w.putU64(word);
+    return w.out;
+}
+
+bool
+decodeLayout(Reader& r, MachineState& s)
+{
+    s.hasLayout = r.getU8("layout.present") != 0;
+    s.layout.imageBase = r.getU64("layout.imageBase");
+    s.layout.physmapBase = r.getU64("layout.physmapBase");
+    s.layout.fdgetPosCallVa = r.getU64("layout.fdgetPosCallVa");
+    s.layout.moduleNext = r.getU64("layout.moduleNext");
+    s.layout.imagePa = r.getU64("layout.imagePa");
+    s.layout.bumpPa = r.getU64("layout.bumpPa");
+    for (auto& word : s.layout.rngState)
+        word = r.getU64("layout.rng");
+    return r.ok();
+}
+
+/** All section ids, in on-disk table order. */
+constexpr SectionId kSectionOrder[] = {
+    SectionId::Scalars, SectionId::Regs,     SectionId::Pmc,
+    SectionId::Msrs,    SectionId::CacheL1I, SectionId::CacheL1D,
+    SectionId::CacheL2, SectionId::CacheUop, SectionId::Btb,
+    SectionId::Rsb,     SectionId::Pht,      SectionId::Bhb,
+    SectionId::NoiseRng, SectionId::Frames,  SectionId::Paging,
+    SectionId::Layout,
+};
+
+std::vector<u8>
+encodeSection(const MachineState& s, SectionId id)
+{
+    switch (id) {
+      case SectionId::Scalars: return encodeScalars(s);
+      case SectionId::Regs: return encodeRegs(s);
+      case SectionId::Pmc: return encodePmc(s);
+      case SectionId::Msrs: return encodeMsrs(s);
+      case SectionId::CacheL1I: return encodeCache(s.l1i);
+      case SectionId::CacheL1D: return encodeCache(s.l1d);
+      case SectionId::CacheL2: return encodeCache(s.l2);
+      case SectionId::CacheUop: return encodeCache(s.uop);
+      case SectionId::Btb: return encodeBtb(s);
+      case SectionId::Rsb: return encodeRsb(s);
+      case SectionId::Pht: return encodePht(s);
+      case SectionId::Bhb: return encodeBhb(s);
+      case SectionId::NoiseRng: return encodeNoiseRng(s);
+      case SectionId::Frames: return encodeFrames(s);
+      case SectionId::Paging: return encodePaging(s);
+      case SectionId::Layout: return encodeLayout(s);
+    }
+    return {};
+}
+
+bool
+decodeSection(Reader& r, MachineState& s, SectionId id)
+{
+    switch (id) {
+      case SectionId::Scalars: return decodeScalars(r, s);
+      case SectionId::Regs: return decodeRegs(r, s);
+      case SectionId::Pmc: return decodePmc(r, s);
+      case SectionId::Msrs: return decodeMsrs(r, s);
+      case SectionId::CacheL1I: return decodeCache(r, s.l1i, "cache.l1i");
+      case SectionId::CacheL1D: return decodeCache(r, s.l1d, "cache.l1d");
+      case SectionId::CacheL2: return decodeCache(r, s.l2, "cache.l2");
+      case SectionId::CacheUop: return decodeCache(r, s.uop, "cache.uop");
+      case SectionId::Btb: return decodeBtb(r, s);
+      case SectionId::Rsb: return decodeRsb(r, s);
+      case SectionId::Pht: return decodePht(r, s);
+      case SectionId::Bhb: return decodeBhb(r, s);
+      case SectionId::NoiseRng: return decodeNoiseRng(r, s);
+      case SectionId::Frames: return decodeFrames(r, s);
+      case SectionId::Paging: return decodePaging(r, s);
+      case SectionId::Layout: return decodeLayout(r, s);
+    }
+    r.error = "unknown section id";
+    return false;
+}
+
+constexpr std::size_t kNumSections =
+    sizeof(kSectionOrder) / sizeof(kSectionOrder[0]);
+constexpr u64 kSectionTableEntryBytes = 4 + 4 + 8 + 8 + 8;
+constexpr u64 kMaxUarchNameBytes = 256;
+
+} // namespace
+
+const char*
+sectionName(SectionId id)
+{
+    switch (id) {
+      case SectionId::Scalars: return "scalars";
+      case SectionId::Regs: return "regs";
+      case SectionId::Pmc: return "pmc";
+      case SectionId::Msrs: return "msrs";
+      case SectionId::CacheL1I: return "cache.l1i";
+      case SectionId::CacheL1D: return "cache.l1d";
+      case SectionId::CacheL2: return "cache.l2";
+      case SectionId::CacheUop: return "cache.uop";
+      case SectionId::Btb: return "btb";
+      case SectionId::Rsb: return "rsb";
+      case SectionId::Pht: return "pht";
+      case SectionId::Bhb: return "bhb";
+      case SectionId::NoiseRng: return "noise_rng";
+      case SectionId::Frames: return "frames";
+      case SectionId::Paging: return "paging";
+      case SectionId::Layout: return "layout";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** The total digest covers the header metadata as well as every payload
+ *  byte, so a flipped version/uarch/installedBytes field is caught even
+ *  though those live outside any section extent. */
+Digest
+totalDigestSeed(const std::string& uarch, u64 installed_bytes)
+{
+    Digest d;
+    d.update64(kImageVersion);
+    d.updateString(uarch);
+    d.update64(installed_bytes);
+    return d;
+}
+
+} // namespace
+
+std::vector<u8>
+serialize(const MachineState& state)
+{
+    std::vector<std::vector<u8>> payloads;
+    payloads.reserve(kNumSections);
+    Digest total = totalDigestSeed(state.uarch, state.installedBytes);
+    for (SectionId id : kSectionOrder) {
+        payloads.push_back(encodeSection(state, id));
+        total.update(payloads.back());
+    }
+
+    Writer header;
+    header.putBytes(kImageMagic, sizeof(kImageMagic));
+    header.putU32(kImageVersion);
+    header.putU32(static_cast<u32>(kNumSections));
+    header.putU64(total.value());
+    header.putString(state.uarch);
+    header.putU64(state.installedBytes);
+
+    u64 payload_base = header.out.size() +
+                       kNumSections * kSectionTableEntryBytes;
+    u64 offset = payload_base;
+    for (std::size_t i = 0; i < kNumSections; ++i) {
+        header.putU32(static_cast<u32>(kSectionOrder[i]));
+        header.putU32(0);
+        header.putU64(offset);
+        header.putU64(payloads[i].size());
+        header.putU64(Digest::of(payloads[i].data(), payloads[i].size()));
+        offset += payloads[i].size();
+    }
+
+    std::vector<u8> image = std::move(header.out);
+    image.reserve(offset);
+    for (const auto& payload : payloads)
+        image.insert(image.end(), payload.begin(), payload.end());
+    return image;
+}
+
+namespace {
+
+/** Shared header + section-table parsing for load() and inspect().
+ *  On success the payload digests (per-section and total) are verified. */
+bool
+parseHeader(const std::vector<u8>& bytes, ImageInfo& info, std::string& error)
+{
+    Reader r(bytes.data(), 0, bytes.size());
+    char magic[8];
+    if (!r.getBytes(magic, sizeof(magic), "magic")) {
+        error = r.error;
+        return false;
+    }
+    if (std::memcmp(magic, kImageMagic, sizeof(magic)) != 0) {
+        error = "bad magic (not a snapshot image)";
+        return false;
+    }
+    info.version = r.getU32("version");
+    if (r.ok() && info.version != kImageVersion) {
+        error = "unsupported image version " + std::to_string(info.version);
+        return false;
+    }
+    u32 sections = r.getU32("section count");
+    if (r.ok() && sections != kNumSections) {
+        error = "unexpected section count " + std::to_string(sections);
+        return false;
+    }
+    info.totalDigest = r.getU64("total digest");
+    info.uarch = r.getString(kMaxUarchNameBytes, "uarch name");
+    info.installedBytes = r.getU64("installed bytes");
+    if (!r.ok()) {
+        error = r.error;
+        return false;
+    }
+
+    u64 expected_offset = r.pos + u64{sections} * kSectionTableEntryBytes;
+    info.sections.clear();
+    for (u32 i = 0; i < sections; ++i) {
+        SectionInfo si;
+        si.id = r.getU32("section id");
+        (void)r.getU32("section pad");
+        si.offset = r.getU64("section offset");
+        si.length = r.getU64("section length");
+        si.digest = r.getU64("section digest");
+        if (!r.ok()) {
+            error = r.error;
+            return false;
+        }
+        if (si.id != static_cast<u32>(kSectionOrder[i])) {
+            error = "section table out of order at entry " +
+                    std::to_string(i);
+            return false;
+        }
+        si.name = sectionName(static_cast<SectionId>(si.id));
+        if (si.offset != expected_offset ||
+            si.length > bytes.size() - si.offset) {
+            error = "section '" + si.name + "' extent out of bounds";
+            return false;
+        }
+        expected_offset = si.offset + si.length;
+        info.sections.push_back(si);
+    }
+    if (expected_offset != bytes.size()) {
+        error = "trailing bytes after last section";
+        return false;
+    }
+
+    Digest total = totalDigestSeed(info.uarch, info.installedBytes);
+    for (const auto& si : info.sections) {
+        u64 digest = Digest::of(bytes.data() + si.offset, si.length);
+        if (digest != si.digest) {
+            error = "section '" + si.name + "' digest mismatch";
+            return false;
+        }
+        total.update(bytes.data() + si.offset, si.length);
+    }
+    if (total.value() != info.totalDigest) {
+        error = "total digest mismatch";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+InspectResult
+inspect(const std::vector<u8>& bytes)
+{
+    InspectResult result;
+    result.ok = parseHeader(bytes, result.info, result.error);
+    return result;
+}
+
+LoadResult
+load(const std::vector<u8>& bytes)
+{
+    LoadResult result;
+    ImageInfo info;
+    if (!parseHeader(bytes, info, result.error))
+        return result;
+
+    result.state.uarch = info.uarch;
+    result.state.installedBytes = info.installedBytes;
+    for (const auto& si : info.sections) {
+        Reader r(bytes.data(), si.offset, si.length);
+        if (!decodeSection(r, result.state,
+                           static_cast<SectionId>(si.id)) ||
+            !r.ok()) {
+            result.error = "section '" + si.name + "': " +
+                           (r.error.empty() ? "decode failed" : r.error);
+            result.state = MachineState{};
+            return result;
+        }
+        if (r.pos != r.end) {
+            result.error = "section '" + si.name + "' has trailing bytes";
+            result.state = MachineState{};
+            return result;
+        }
+    }
+    result.ok = true;
+    return result;
+}
+
+std::vector<ComponentDigest>
+componentDigests(const MachineState& state)
+{
+    std::vector<ComponentDigest> digests;
+    digests.reserve(kNumSections);
+    for (SectionId id : kSectionOrder) {
+        std::vector<u8> payload = encodeSection(state, id);
+        digests.push_back(
+            {sectionName(id), Digest::of(payload.data(), payload.size())});
+    }
+    return digests;
+}
+
+u64
+stateDigest(const MachineState& state)
+{
+    Digest total = totalDigestSeed(state.uarch, state.installedBytes);
+    for (SectionId id : kSectionOrder)
+        total.update(encodeSection(state, id));
+    return total.value();
+}
+
+} // namespace phantom::snap

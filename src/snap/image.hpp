@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Versioned, digest-stamped binary snapshot images.
+ *
+ * Layout (all integers little-endian, independent of host endianness):
+ *
+ *   magic[8]        "PHANSNAP"
+ *   u32 version     kImageVersion
+ *   u32 sections    number of section-table entries
+ *   u64 totalDigest FNV-1a over every section payload in table order
+ *   u64 uarchLen + uarch bytes
+ *   u64 installedBytes
+ *   section table: sections x { u32 id, u32 pad, u64 offset,
+ *                               u64 length, u64 digest }
+ *   section payloads (contiguous, in table order)
+ *
+ * The loader is strict: bad magic, unknown version, unknown or duplicate
+ * section ids, missing required sections, out-of-bounds or overlapping
+ * extents, trailing bytes, digest mismatches, or any read past a section
+ * end reject the image with a diagnostic instead of producing a machine
+ * in an undefined state.
+ */
+
+#ifndef PHANTOM_SNAP_IMAGE_HPP
+#define PHANTOM_SNAP_IMAGE_HPP
+
+#include "snap/state.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::snap {
+
+inline constexpr char kImageMagic[8] = {'P', 'H', 'A', 'N',
+                                        'S', 'N', 'A', 'P'};
+inline constexpr u32 kImageVersion = 1;
+
+/** Section identifiers (stable on-disk values). */
+enum class SectionId : u32 {
+    Scalars = 1,
+    Regs = 2,
+    Pmc = 3,
+    Msrs = 4,
+    CacheL1I = 5,
+    CacheL1D = 6,
+    CacheL2 = 7,
+    CacheUop = 8,
+    Btb = 9,
+    Rsb = 10,
+    Pht = 11,
+    Bhb = 12,
+    NoiseRng = 13,
+    Frames = 14,
+    Paging = 15,
+    Layout = 16,
+};
+
+/** Human name of @p id ("scalars", "btb", ...); "unknown" if invalid. */
+const char* sectionName(SectionId id);
+
+/** Serialize @p state into an image. Deterministic: sorted key order
+ *  everywhere, so serialize(load(serialize(s))) is bit-identical. */
+std::vector<u8> serialize(const MachineState& state);
+
+/** Result of a load attempt. */
+struct LoadResult
+{
+    bool ok = false;
+    std::string error;   ///< diagnostic when !ok
+    MachineState state;  ///< valid only when ok
+};
+
+/** Strictly parse and verify @p bytes into a MachineState. */
+LoadResult load(const std::vector<u8>& bytes);
+
+/** One section-table entry as read from an image. */
+struct SectionInfo
+{
+    u32 id = 0;
+    std::string name;
+    u64 offset = 0;
+    u64 length = 0;
+    u64 digest = 0;
+};
+
+/** Image header + section table (for snap_inspect). */
+struct ImageInfo
+{
+    u32 version = 0;
+    std::string uarch;
+    u64 installedBytes = 0;
+    u64 totalDigest = 0;
+    std::vector<SectionInfo> sections;
+};
+
+/** Result of a header inspection. */
+struct InspectResult
+{
+    bool ok = false;
+    std::string error;
+    ImageInfo info;
+};
+
+/** Parse header + section table and verify digests without decoding
+ *  payloads (tolerates payload-level decode problems load() would not). */
+InspectResult inspect(const std::vector<u8>& bytes);
+
+} // namespace phantom::snap
+
+#endif // PHANTOM_SNAP_IMAGE_HPP

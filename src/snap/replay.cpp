@@ -1,0 +1,121 @@
+#include "snap/replay.hpp"
+
+#include <algorithm>
+
+namespace phantom::snap {
+
+namespace {
+
+void
+perturb(cpu::Machine& machine)
+{
+    machine.regs().write(0, machine.regs().read(0) ^ 1);
+}
+
+/**
+ * Re-fork both runs from @p checkpoint and single-step them to find the
+ * first instruction whose post-state digests differ. @p base_insn is the
+ * instruction index of the checkpoint; @p perturb_b re-applies the
+ * fault-injection this window received in the lockstep run.
+ */
+void
+pinpoint(const MachineState& checkpoint, const cpu::MicroarchConfig& config,
+         u64 base_insn, u64 window, bool perturb_b, DivergenceReport& report)
+{
+    ForkedMachine a = fork(checkpoint, config);
+    ForkedMachine b = fork(checkpoint, config);
+    if (perturb_b)
+        perturb(*b.machine);
+
+    for (u64 step = 0; step <= window; ++step) {
+        MachineState sa = capture(*a.machine);
+        MachineState sb = capture(*b.machine);
+        if (stateDigest(sa) != stateDigest(sb)) {
+            report.divergentInsn = base_insn + step;
+            report.divergentCycleA = sa.scalars.cycles;
+            report.divergentCycleB = sb.scalars.cycles;
+            auto da = componentDigests(sa);
+            auto db = componentDigests(sb);
+            for (std::size_t i = 0; i < da.size(); ++i)
+                if (da[i].digest != db[i].digest)
+                    report.divergentComponents.push_back(da[i].name);
+            return;
+        }
+        if (step < window) {
+            a.machine->run(1);
+            b.machine->run(1);
+        }
+    }
+    // The per-window digests differed but single-stepping agreed — the
+    // divergence is in run-exit behaviour; report the window boundary.
+    report.divergentInsn = base_insn + window;
+}
+
+} // namespace
+
+std::string
+DivergenceReport::summary() const
+{
+    if (!diverged)
+        return "deterministic: " + std::to_string(insnsReplayed) +
+               " insns, " + std::to_string(windowsCompared) +
+               " windows, zero drift";
+    std::string components;
+    for (const auto& name : divergentComponents)
+        components += (components.empty() ? "" : ",") + name;
+    return "DIVERGED at insn " + std::to_string(divergentInsn) +
+           " (window " + std::to_string(divergentWindow) + ", cycles " +
+           std::to_string(divergentCycleA) + " vs " +
+           std::to_string(divergentCycleB) + "), components: " +
+           (components.empty() ? "none" : components);
+}
+
+DivergenceReport
+checkDivergence(const MachineState& state, const cpu::MicroarchConfig& config,
+                const ReplayOptions& options)
+{
+    DivergenceReport report;
+    if (options.windowInsns == 0 || options.maxInsns == 0)
+        return report;
+
+    ForkedMachine a = fork(state, config);
+    ForkedMachine b = fork(state, config);
+
+    // Checkpoint of the last agreeing window boundary; shares frames with
+    // the snapshot/machines, so keeping it is O(pages) pointers.
+    MachineState checkpoint = state;
+    u64 done = 0;
+    u64 window_index = 0;
+    while (done < options.maxInsns) {
+        u64 window = std::min(options.windowInsns, options.maxInsns - done);
+        bool perturb_b = window_index == options.perturbAtWindow;
+        if (perturb_b)
+            perturb(*b.machine);
+
+        cpu::RunResult ra = a.machine->run(window);
+        cpu::RunResult rb = b.machine->run(window);
+        done += std::max(ra.instructions, rb.instructions);
+        ++report.windowsCompared;
+
+        MachineState sa = capture(*a.machine);
+        MachineState sb = capture(*b.machine);
+        if (stateDigest(sa) != stateDigest(sb)) {
+            report.diverged = true;
+            report.divergentWindow = window_index;
+            pinpoint(checkpoint, config, done > window ? done - window : 0,
+                     window, perturb_b, report);
+            break;
+        }
+        checkpoint = std::move(sa);
+        ++window_index;
+
+        // Both runs left the window the same way; a halt or fault ends
+        // the replay (identical digests guarantee identical exits).
+        if (ra.reason != cpu::ExitReason::InsnLimit)
+            break;
+    }
+    report.insnsReplayed = done;
+    return report;
+}
+
+} // namespace phantom::snap

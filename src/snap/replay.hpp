@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Replay / divergence checker.
+ *
+ * Forks two machines from the same snapshot and runs them in lockstep,
+ * comparing full state digests at window boundaries. On the first
+ * mismatching window, both runs are re-forked from the last agreeing
+ * checkpoint and single-stepped to pinpoint the first divergent
+ * instruction, its cycle counts, and the components whose digests
+ * differ. A clean pass turns the simulator's determinism guarantee into
+ * a machine-checked property instead of an assumption.
+ */
+
+#ifndef PHANTOM_SNAP_REPLAY_HPP
+#define PHANTOM_SNAP_REPLAY_HPP
+
+#include "snap/state.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::snap {
+
+/** Replay parameters. */
+struct ReplayOptions
+{
+    u64 maxInsns = 4096;    ///< total instructions to replay
+    u64 windowInsns = 64;   ///< digest-comparison window size
+
+    /**
+     * Fault injection for tests: before running this window index,
+     * flip a register bit on run B. ~0 disables. This proves the
+     * checker detects and localizes real divergence.
+     */
+    u64 perturbAtWindow = ~0ull;
+};
+
+/** Outcome of a replay run. */
+struct DivergenceReport
+{
+    bool diverged = false;
+    u64 windowsCompared = 0;
+    u64 insnsReplayed = 0;
+
+    // Valid only when diverged:
+    u64 divergentWindow = 0;   ///< first window whose digests differ
+    u64 divergentInsn = 0;     ///< first divergent instruction index
+    u64 divergentCycleA = 0;   ///< run A clock at divergence
+    u64 divergentCycleB = 0;   ///< run B clock at divergence
+    std::vector<std::string> divergentComponents;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+/**
+ * Fork two machines from @p state and replay them in lockstep.
+ * @p config must describe the geometry @p state was captured from.
+ */
+DivergenceReport checkDivergence(const MachineState& state,
+                                 const cpu::MicroarchConfig& config,
+                                 const ReplayOptions& options = {});
+
+} // namespace phantom::snap
+
+#endif // PHANTOM_SNAP_REPLAY_HPP

@@ -1,0 +1,130 @@
+#include "snap/state.hpp"
+
+#include "cpu/microarch.hpp"
+#include "snap/store.hpp"
+
+#include <cassert>
+
+namespace phantom::snap {
+
+MachineState
+capture(cpu::Machine& machine, const os::Kernel* kernel)
+{
+    MachineState s;
+    s.uarch = machine.config().name;
+    s.installedBytes = machine.physMem().installedBytes();
+
+    s.scalars = machine.scalarState();
+    for (u8 r = 0; r < isa::kNumRegs; ++r)
+        s.regs[r] = machine.regs().read(r);
+    s.zf = machine.flags().zf;
+    s.cf = machine.flags().cf;
+    s.pmc = machine.pmc().counters();
+    s.msrs = machine.msrs().values();
+
+    s.l1i = machine.caches().l1i().state();
+    s.l1d = machine.caches().l1d().state();
+    s.l2 = machine.caches().l2().state();
+    s.uop = machine.uopCache().tagCache().state();
+
+    s.btb = machine.bpu().btb().state();
+    s.rsb = machine.bpu().rsb().state();
+    s.pht = machine.bpu().pht().counters();
+    s.bhb = machine.bpu().bhb().value();
+    machine.noise().rng().stateWords(s.noiseRng);
+
+    s.frames = machine.physMem().shareFrames();
+
+    if (const mem::PageTable* table = machine.pageTable()) {
+        s.hasPageTable = true;
+        s.ptSmall = table->smallEntries();
+        s.ptHuge = table->hugeEntries();
+    }
+    if (kernel != nullptr) {
+        s.hasLayout = true;
+        s.layout = kernel->layoutState();
+    }
+    return s;
+}
+
+void
+restore(cpu::Machine& machine, const MachineState& state)
+{
+    assert(machine.config().name == state.uarch);
+    assert(machine.physMem().installedBytes() == state.installedBytes);
+
+    machine.setScalarState(state.scalars);
+    for (u8 r = 0; r < isa::kNumRegs; ++r)
+        machine.regs().write(r, state.regs[r]);
+    machine.flags().zf = state.zf;
+    machine.flags().cf = state.cf;
+    machine.pmc().setCounters(state.pmc);
+    machine.msrs().setValues(state.msrs);
+
+    machine.caches().l1i().setState(state.l1i);
+    machine.caches().l1d().setState(state.l1d);
+    machine.caches().l2().setState(state.l2);
+    machine.uopCache().tagCache().setState(state.uop);
+
+    machine.bpu().btb().setState(state.btb);
+    machine.bpu().rsb().setState(state.rsb);
+    machine.bpu().pht().setCounters(state.pht);
+    machine.bpu().bhb().setValue(state.bhb);
+    machine.noise().rng().setStateWords(state.noiseRng);
+
+    // Shares every captured frame; the machine (and any other adopter)
+    // copy-on-writes the ones it subsequently dirties.
+    machine.physMem().adoptFrames(state.frames);
+
+    if (state.hasPageTable && machine.pageTable() != nullptr)
+        machine.pageTable()->setEntries(state.ptSmall, state.ptHuge);
+}
+
+ForkedMachine
+fork(const MachineState& state, const cpu::MicroarchConfig& config)
+{
+    assert(config.name == state.uarch);
+    ForkedMachine forked;
+    forked.machine = std::make_unique<cpu::Machine>(
+        config, state.installedBytes, /*seed=*/0);
+    if (state.hasPageTable) {
+        forked.pageTable = std::make_unique<mem::PageTable>();
+        forked.machine->setPageTable(forked.pageTable.get());
+    }
+    restore(*forked.machine, state);
+    if (SnapshotStore* store = activeSnapshotStore())
+        ++store->stats().forks;
+    return forked;
+}
+
+u64
+stateBytes(const MachineState& state)
+{
+    u64 bytes = 0;
+    bytes += state.frames.size() * (kPageBytes + sizeof(u64));
+    bytes += state.l1i.lines.size() * sizeof(mem::Cache::Line);
+    bytes += state.l1d.lines.size() * sizeof(mem::Cache::Line);
+    bytes += state.l2.lines.size() * sizeof(mem::Cache::Line);
+    bytes += state.uop.lines.size() * sizeof(mem::Cache::Line);
+    bytes += state.btb.entries.size() * sizeof(bpu::Btb::Entry);
+    bytes += state.rsb.slots.size() * sizeof(VAddr);
+    bytes += state.pht.size();
+    bytes += state.msrs.size() * (sizeof(u32) + sizeof(u64));
+    bytes += (state.ptSmall.size() + state.ptHuge.size()) *
+             (sizeof(u64) + sizeof(mem::PageTable::Entry));
+    bytes += sizeof(MachineState);
+    return bytes;
+}
+
+const cpu::MicroarchConfig*
+resolveConfig(const std::string& name)
+{
+    static const std::vector<cpu::MicroarchConfig> kConfigs =
+        cpu::allMicroarchs();
+    for (const auto& config : kConfigs)
+        if (config.name == name)
+            return &config;
+    return nullptr;
+}
+
+} // namespace phantom::snap

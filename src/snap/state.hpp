@@ -1,0 +1,122 @@
+/**
+ * @file
+ * In-memory machine snapshots.
+ *
+ * A MachineState is a complete, self-contained copy of one simulated
+ * machine: scalar execution state, architectural registers, PMC bank,
+ * MSR file, cache hierarchy + µop-cache tag arrays, BPU tables
+ * (BTB/RSB/PHT/BHB), the noise-RNG stream position, the sparse physical
+ * memory frames, the active page table, and the kernel/process layout.
+ *
+ * Physical frames are *shared* with the captured machine through
+ * reference-counted pages: capture is O(mapped pages) pointer copies,
+ * and the live machine copy-on-writes any frame it subsequently dirties
+ * (mem::PhysicalMemory::frameForWrite). Restoring or forking from a
+ * state is therefore O(dirty pages), which is what makes warm-once /
+ * fork-many experiment loops cheap.
+ *
+ * Sharing is not synchronized: a MachineState must only be used by the
+ * shard that captured it (snapshot stores are strictly per-shard).
+ */
+
+#ifndef PHANTOM_SNAP_STATE_HPP
+#define PHANTOM_SNAP_STATE_HPP
+
+#include "cpu/machine.hpp"
+#include "os/kernel.hpp"
+#include "sim/digest.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace phantom::snap {
+
+/** Complete captured machine state. */
+struct MachineState
+{
+    /** MicroarchConfig::name of the captured machine (image metadata;
+     *  fork() takes the config explicitly so modified configs work). */
+    std::string uarch;
+    u64 installedBytes = 0;
+
+    cpu::Machine::ScalarState scalars;
+    std::array<u64, isa::kNumRegs> regs{};
+    bool zf = false;
+    bool cf = false;
+    cpu::Pmc::Counters pmc{};
+    cpu::MsrFile::ValueMap msrs;
+
+    mem::Cache::State l1i, l1d, l2, uop;
+    bpu::Btb::State btb;
+    bpu::Rsb::State rsb;
+    std::vector<u8> pht;
+    u64 bhb = 0;
+    u64 noiseRng[Rng::kStateWords] = {};
+
+    mem::PhysicalMemory::FrameMap frames;
+
+    bool hasPageTable = false;
+    mem::PageTable::EntryMap ptSmall;
+    mem::PageTable::EntryMap ptHuge;
+
+    bool hasLayout = false;
+    os::Kernel::LayoutState layout;
+};
+
+/** Name + digest of one state component (divergence reporting). */
+struct ComponentDigest
+{
+    std::string name;
+    u64 digest = 0;
+};
+
+/**
+ * Capture @p machine (and its active page table, if installed) into a
+ * fresh MachineState. @p kernel, when given, contributes the
+ * kernel/process layout scalars so the state can rebuild a Testbed.
+ */
+MachineState capture(cpu::Machine& machine,
+                     const os::Kernel* kernel = nullptr);
+
+/**
+ * Restore @p state into @p machine. The machine must have been built
+ * from the same microarch config (table geometries must match). The
+ * machine's active page table, when installed, is overwritten with the
+ * captured mappings.
+ */
+void restore(cpu::Machine& machine, const MachineState& state);
+
+/**
+ * A self-contained forked machine: the clone plus its owned page table
+ * (cpu::Machine holds page tables non-owning).
+ */
+struct ForkedMachine
+{
+    std::unique_ptr<cpu::Machine> machine;
+    std::unique_ptr<mem::PageTable> pageTable;
+};
+
+/**
+ * Spawn an independent machine from @p state — O(dirty pages): frames
+ * are shared copy-on-write, everything else is copied. @p config must
+ * describe the same geometries the state was captured from.
+ */
+ForkedMachine fork(const MachineState& state,
+                   const cpu::MicroarchConfig& config);
+
+/** Per-component digests of @p state, in a stable order. */
+std::vector<ComponentDigest> componentDigests(const MachineState& state);
+
+/** Digest over every component (the image's total digest). */
+u64 stateDigest(const MachineState& state);
+
+/** Approximate in-memory footprint of @p state in bytes (metrics). */
+u64 stateBytes(const MachineState& state);
+
+/** The registered MicroarchConfig named @p name, if any. */
+const cpu::MicroarchConfig* resolveConfig(const std::string& name);
+
+} // namespace phantom::snap
+
+#endif // PHANTOM_SNAP_STATE_HPP

@@ -1,0 +1,132 @@
+#include "snap/store.hpp"
+
+#include "snap/image.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace phantom::snap {
+
+namespace {
+
+std::string
+envSnapDir()
+{
+    const char* dir = std::getenv("PHANTOM_SNAP_DIR");
+    return dir != nullptr ? std::string(dir) : std::string();
+}
+
+/** Flatten @p key into a safe filename component. */
+std::string
+sanitizeKey(const std::string& key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+        out.push_back(safe ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+SnapshotStore::SnapshotStore()
+    : SnapshotStore(envSnapDir())
+{
+}
+
+SnapshotStore::SnapshotStore(std::string dir)
+    : dir_(std::move(dir))
+{
+}
+
+std::string
+SnapshotStore::pathFor(const std::string& key) const
+{
+    return dir_ + "/" + sanitizeKey(key) + ".snap";
+}
+
+std::shared_ptr<const MachineState>
+SnapshotStore::find(const std::string& key)
+{
+    auto it = states_.find(key);
+    if (it != states_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    if (!dir_.empty()) {
+        std::ifstream in(pathFor(key), std::ios::binary);
+        if (in) {
+            std::vector<u8> bytes(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            LoadResult result = load(bytes);
+            // A corrupt or stale image is treated as a plain miss: the
+            // caller rebuilds and insert() rewrites the file.
+            if (result.ok) {
+                auto state = std::make_shared<const MachineState>(
+                    std::move(result.state));
+                states_.emplace(key, state);
+                stats_.stateBytes += stateBytes(*state);
+                ++stats_.imageLoads;
+                ++stats_.hits;
+                return state;
+            }
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+void
+SnapshotStore::insert(const std::string& key,
+                      std::shared_ptr<const MachineState> state)
+{
+    if (state == nullptr)
+        return;
+    auto [it, inserted] = states_.insert_or_assign(key, state);
+    (void)it;
+    ++stats_.captures;
+    stats_.stateBytes += stateBytes(*state);
+    if (!dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+        std::vector<u8> image = serialize(*state);
+        std::ofstream out(pathFor(key),
+                          std::ios::binary | std::ios::trunc);
+        if (out) {
+            out.write(reinterpret_cast<const char*>(image.data()),
+                      static_cast<std::streamsize>(image.size()));
+            if (out)
+                ++stats_.imageStores;
+        }
+    }
+}
+
+bool
+snapshotReuseEnabled()
+{
+    const char* v = std::getenv("PHANTOM_SNAP");
+    return v == nullptr || std::string(v) != "0";
+}
+
+namespace {
+thread_local SnapshotStore* tActiveStore = nullptr;
+} // namespace
+
+SnapshotStore*
+activeSnapshotStore()
+{
+    return tActiveStore;
+}
+
+void
+setActiveSnapshotStore(SnapshotStore* store)
+{
+    tActiveStore = store;
+}
+
+} // namespace phantom::snap

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Keyed snapshot store + the ambient per-shard store pointer.
+ *
+ * A SnapshotStore maps experiment keys — e.g. "(µarch, train-kind,
+ * victim-kind, seed)" flattened to a string — to captured MachineStates,
+ * so a warmed machine is built once per key and forked/restored for
+ * every subsequent observation. Stores are strictly per-shard (no
+ * locking; frames are shared copy-on-write, which is not synchronized).
+ *
+ * Environment:
+ *  - PHANTOM_SNAP      "0" disables snapshot reuse (default: enabled)
+ *  - PHANTOM_SNAP_DIR  when set, states are persisted as snapshot images
+ *    under the directory on insert and revived from it on a miss, so
+ *    warm-up survives process restarts.
+ *
+ * The ambient store mirrors obs::activeTraceSink(): a thread-local
+ * pointer installed by the campaign's worker hooks, consulted by
+ * StageExperiment when deciding whether to reuse warm state.
+ */
+
+#ifndef PHANTOM_SNAP_STORE_HPP
+#define PHANTOM_SNAP_STORE_HPP
+
+#include "snap/state.hpp"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace phantom::snap {
+
+/** Counters a store accumulates; exported as snap.* bench metrics. */
+struct StoreStats
+{
+    u64 captures = 0;     ///< states inserted into the store
+    u64 hits = 0;         ///< find() served a state
+    u64 misses = 0;       ///< find() had nothing (fresh build required)
+    u64 restores = 0;     ///< in-place machine restores from a state
+    u64 forks = 0;        ///< independent machines forked from a state
+    u64 stateBytes = 0;   ///< approximate footprint of stored states
+    u64 imageLoads = 0;   ///< states revived from PHANTOM_SNAP_DIR
+    u64 imageStores = 0;  ///< states persisted to PHANTOM_SNAP_DIR
+
+    void
+    merge(const StoreStats& other)
+    {
+        captures += other.captures;
+        hits += other.hits;
+        misses += other.misses;
+        restores += other.restores;
+        forks += other.forks;
+        stateBytes += other.stateBytes;
+        imageLoads += other.imageLoads;
+        imageStores += other.imageStores;
+    }
+};
+
+/** Per-shard snapshot cache keyed by experiment identity. */
+class SnapshotStore
+{
+  public:
+    /** @param dir persistence directory; empty = in-memory only.
+     *  Defaults to PHANTOM_SNAP_DIR. */
+    SnapshotStore();
+    explicit SnapshotStore(std::string dir);
+
+    /**
+     * Look up @p key; counts a hit or miss. On a miss with a persistence
+     * directory configured, attempts to revive the state from disk
+     * (counts as a hit + imageLoad when the image is valid).
+     */
+    std::shared_ptr<const MachineState> find(const std::string& key);
+
+    /** Insert @p state under @p key (and persist it when configured). */
+    void insert(const std::string& key,
+                std::shared_ptr<const MachineState> state);
+
+    StoreStats& stats() { return stats_; }
+    const StoreStats& stats() const { return stats_; }
+
+    std::size_t size() const { return states_.size(); }
+
+  private:
+    std::string pathFor(const std::string& key) const;
+
+    std::unordered_map<std::string, std::shared_ptr<const MachineState>>
+        states_;
+    StoreStats stats_;
+    std::string dir_;
+};
+
+/** True unless PHANTOM_SNAP=0: gates warm-state reuse globally. */
+bool snapshotReuseEnabled();
+
+/** The calling thread's ambient store (null when none installed). */
+SnapshotStore* activeSnapshotStore();
+
+/** Install @p store as the calling thread's ambient store. */
+void setActiveSnapshotStore(SnapshotStore* store);
+
+} // namespace phantom::snap
+
+#endif // PHANTOM_SNAP_STORE_HPP

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Snapshot subsystem tests (src/snap): image round-trips, strict loader
+ * rejection, copy-on-write fork equivalence across the full Table-1
+ * matrix, snapshot-store accounting, and the deterministic-replay
+ * divergence checker.
+ */
+
+#include "attack/experiment.hpp"
+#include "attack/testbed.hpp"
+#include "isa/assembler.hpp"
+#include "snap/image.hpp"
+#include "snap/replay.hpp"
+#include "snap/state.hpp"
+#include "snap/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace phantom::snap {
+namespace {
+
+using namespace isa;
+
+// Small installed-memory testbed: big enough to boot the kernel, small
+// enough that serializing every mapped frame stays quick.
+constexpr u64 kPhys = 256ull * 1024 * 1024;
+
+/** A booted testbed with a short user program mapped and registered. */
+struct Warmed
+{
+    attack::Testbed bed;
+    VAddr entry = 0x400000;
+
+    explicit Warmed(u64 seed = 3)
+        : bed(cpu::zen2(), kPhys, seed)
+    {
+        // A store/load loop: touches data memory, the predictors (the
+        // backward jcc) and the caches, so every snapshot section has
+        // non-trivial content.
+        bed.process.mapData(0x800000, kPageBytes);
+        Assembler code(entry);
+        code.movImm(RAX, 0);
+        code.movImm(RDI, 0x800000);
+        code.movImm(RCX, 64);
+        Label loop = code.newLabel();
+        code.bind(loop);
+        code.addImm(RAX, 3);
+        code.store(RDI, 0, RAX);
+        code.load(RBX, RDI, 0);
+        code.subImm(RCX, 1);
+        code.cmpImm(RCX, 0);
+        code.jcc(Cond::Ne, loop);
+        code.hlt();
+        bed.process.mapCode(entry, code.finish());
+    }
+
+    MachineState
+    capture()
+    {
+        return snap::capture(bed.machine, &bed.kernel);
+    }
+};
+
+// -- Image round-trip ---------------------------------------------------
+
+TEST(SnapImage, RoundTripBitIdentical)
+{
+    Warmed warmed;
+    // Run part of the program so registers/caches/predictors are warm.
+    warmed.bed.machine.setPrivilege(Privilege::User);
+    warmed.bed.machine.setPc(warmed.entry);
+    warmed.bed.machine.run(100);
+
+    MachineState state = warmed.capture();
+    std::vector<u8> image = serialize(state);
+    ASSERT_FALSE(image.empty());
+
+    LoadResult loaded = load(image);
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+
+    // Loaded state must re-serialize to the exact same bytes and carry
+    // the exact same semantic digest.
+    EXPECT_EQ(serialize(loaded.state), image);
+    EXPECT_EQ(stateDigest(loaded.state), stateDigest(state));
+    EXPECT_EQ(loaded.state.uarch, "zen2");
+    EXPECT_EQ(loaded.state.frames.size(), state.frames.size());
+    EXPECT_TRUE(loaded.state.hasPageTable);
+    EXPECT_TRUE(loaded.state.hasLayout);
+}
+
+TEST(SnapImage, InspectReportsHeaderAndSections)
+{
+    Warmed warmed;
+    std::vector<u8> image = serialize(warmed.capture());
+
+    InspectResult r = inspect(image);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.info.version, kImageVersion);
+    EXPECT_EQ(r.info.uarch, "zen2");
+    EXPECT_EQ(r.info.installedBytes, kPhys);
+    EXPECT_EQ(r.info.sections.size(), 16u);
+
+    // Section names resolve and extents tile the payload area.
+    for (const SectionInfo& s : r.info.sections)
+        EXPECT_STRNE(s.name.c_str(), "unknown");
+}
+
+TEST(SnapImage, RejectsTruncatedImages)
+{
+    Warmed warmed;
+    std::vector<u8> image = serialize(warmed.capture());
+
+    const std::size_t cuts[] = {0, 4, 7, 16, 64, image.size() / 2,
+                                image.size() - 1};
+    for (std::size_t cut : cuts) {
+        std::vector<u8> truncated(image.begin(), image.begin() + cut);
+        EXPECT_FALSE(load(truncated).ok) << "cut at " << cut;
+        EXPECT_FALSE(inspect(truncated).ok) << "cut at " << cut;
+    }
+}
+
+TEST(SnapImage, RejectsBitFlippedImages)
+{
+    Warmed warmed;
+    std::vector<u8> image = serialize(warmed.capture());
+
+    // A flip anywhere — magic, header fields, section table, payload —
+    // must be caught (digests cover every payload byte; header fields
+    // are validated structurally).
+    const std::size_t spots[] = {0, 9, 20, 40, 100, image.size() / 2,
+                                 image.size() - 1};
+    for (std::size_t spot : spots) {
+        std::vector<u8> corrupt = image;
+        corrupt[spot] ^= 0x40;
+        EXPECT_FALSE(load(corrupt).ok) << "flip at " << spot;
+    }
+}
+
+TEST(SnapImage, RejectsTrailingGarbage)
+{
+    Warmed warmed;
+    std::vector<u8> image = serialize(warmed.capture());
+    image.push_back(0xcc);
+    EXPECT_FALSE(load(image).ok);
+}
+
+// -- Restore / fork equivalence ----------------------------------------
+
+TEST(SnapState, RestoredMachineFinishesIdentically)
+{
+    Warmed a(7);
+
+    // Reference: run the program to completion on the original machine.
+    a.bed.machine.setPrivilege(Privilege::User);
+    a.bed.machine.setPc(a.entry);
+    a.bed.machine.run(50);
+    MachineState mid = a.capture();
+    a.bed.machine.run();
+    u64 want_rax = a.bed.machine.regs().read(RAX);
+    MachineState end_a = snap::capture(a.bed.machine);
+
+    // Fork from the midpoint and finish there; architectural state and
+    // the full semantic digest must agree.
+    ForkedMachine b = fork(mid, cpu::zen2());
+    b.machine->run();
+    EXPECT_EQ(b.machine->regs().read(RAX), want_rax);
+    MachineState end_b = snap::capture(*b.machine);
+    // The fork never had a kernel attached, so compare sans layout.
+    end_b.hasLayout = end_a.hasLayout;
+    end_b.layout = end_a.layout;
+    EXPECT_EQ(stateDigest(end_b), stateDigest(end_a));
+}
+
+TEST(SnapState, ForkIsCopyOnWrite)
+{
+    Warmed warmed;
+    MachineState state = warmed.capture();
+    std::size_t mapped = state.frames.size();
+    ASSERT_GT(mapped, 0u);
+
+    ForkedMachine forked = fork(state, cpu::zen2());
+    // Before any write, every frame is shared with the snapshot.
+    EXPECT_EQ(forked.machine->physMem().framesShared(), mapped);
+
+    forked.machine->setPrivilege(Privilege::User);
+    forked.machine->setPc(warmed.entry);
+    forked.machine->run();
+
+    // The program dirties only a handful of pages; the rest stay shared
+    // (that is what makes fork O(dirty pages)).
+    std::size_t shared = forked.machine->physMem().framesShared();
+    EXPECT_LT(mapped - shared, 16u);
+    // The snapshot's own view never changed.
+    EXPECT_EQ(stateDigest(state), stateDigest(warmed.capture()));
+}
+
+// -- Table-1 fork equivalence ------------------------------------------
+
+/** Matrix + aggregate metrics of one full 5x5 run. */
+struct MatrixResult
+{
+    std::string cells;
+    std::vector<u64> pmc;
+    std::vector<u64> attribution;
+    u64 episodes = 0;
+
+    bool
+    operator==(const MatrixResult& o) const
+    {
+        return cells == o.cells && pmc == o.pmc &&
+               attribution == o.attribution && episodes == o.episodes;
+    }
+};
+
+MatrixResult
+measureMatrix(bool snapshot_reuse)
+{
+    auto cfg = cpu::zen2();
+    attack::StageExperimentOptions options;
+    options.trials = 3;
+    options.snapshotReuse = snapshot_reuse;
+    attack::StageExperiment experiment(cfg, options);
+
+    MatrixResult r;
+    for (attack::BranchKind train : attack::table1Kinds())
+        for (attack::BranchKind victim : attack::table1Kinds()) {
+            attack::StageObservation obs = experiment.run(train, victim);
+            r.cells += attack::stageCellName(obs);
+            r.cells += '|';
+            for (u32 e = 0; e < static_cast<u32>(cpu::PmcEvent::kCount);
+                 ++e)
+                r.pmc.push_back(
+                    obs.pmc.read(static_cast<cpu::PmcEvent>(e)));
+            for (u64 c : obs.attribution.cycles)
+                r.attribution.push_back(c);
+            r.episodes += obs.episodes;
+        }
+    return r;
+}
+
+TEST(SnapFork, Table1MatrixBitIdenticalWithReuse)
+{
+    // The tentpole equivalence guarantee: warm-once + snapshot-restore
+    // per channel produces exactly the signals and metrics of three
+    // fresh builds, across every Table-1 cell.
+    SnapshotStore store;
+    setActiveSnapshotStore(&store);
+    MatrixResult with_reuse = measureMatrix(true);
+    setActiveSnapshotStore(nullptr);
+    MatrixResult without = measureMatrix(false);
+
+    EXPECT_TRUE(with_reuse == without)
+        << "reuse: " << with_reuse.cells << "\nfresh: " << without.cells;
+
+    // Store accounting: every (cell, trial) captured once, never hit
+    // (per-trial seeds differ), and restored twice (decode + execute
+    // channels).
+    const StoreStats& stats = store.stats();
+    EXPECT_GT(stats.captures, 0u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, stats.captures);
+    EXPECT_EQ(stats.restores, 2 * stats.captures);
+    EXPECT_GT(stats.stateBytes, 0u);
+}
+
+TEST(SnapFork, SecondRunHitsTheStore)
+{
+    SnapshotStore store;
+    setActiveSnapshotStore(&store);
+
+    auto cfg = cpu::zen2();
+    attack::StageExperimentOptions options;
+    options.trials = 2;
+    attack::StageExperiment experiment(cfg, options);
+    auto first = experiment.run(attack::BranchKind::IndirectJmp,
+                                attack::BranchKind::IndirectJmp);
+    u64 captures = store.stats().captures;
+    EXPECT_GT(captures, 0u);
+
+    auto second = experiment.run(attack::BranchKind::IndirectJmp,
+                                 attack::BranchKind::IndirectJmp);
+    setActiveSnapshotStore(nullptr);
+
+    // Identical cell, identical seeds: the warmed testbeds are revived
+    // from the store, and the observation is unchanged.
+    EXPECT_EQ(store.stats().captures, captures);
+    EXPECT_EQ(store.stats().hits, captures);
+    EXPECT_EQ(std::string(attack::stageCellName(first)),
+              std::string(attack::stageCellName(second)));
+}
+
+// -- Replay / divergence checker ---------------------------------------
+
+TEST(SnapReplay, TwoForksNeverDrift)
+{
+    Warmed warmed;
+    warmed.bed.machine.setPrivilege(Privilege::User);
+    warmed.bed.machine.setPc(warmed.entry);
+    MachineState state = warmed.capture();
+
+    ReplayOptions options;
+    options.maxInsns = 512;
+    options.windowInsns = 32;
+    DivergenceReport report =
+        checkDivergence(state, cpu::zen2(), options);
+    EXPECT_FALSE(report.diverged) << report.summary();
+    EXPECT_GT(report.windowsCompared, 0u);
+    EXPECT_GT(report.insnsReplayed, 0u);
+}
+
+TEST(SnapReplay, InjectedFaultIsPinpointed)
+{
+    Warmed warmed;
+    warmed.bed.machine.setPrivilege(Privilege::User);
+    warmed.bed.machine.setPc(warmed.entry);
+    MachineState state = warmed.capture();
+
+    ReplayOptions options;
+    options.maxInsns = 512;
+    options.windowInsns = 32;
+    options.perturbAtWindow = 2;
+    DivergenceReport report =
+        checkDivergence(state, cpu::zen2(), options);
+
+    ASSERT_TRUE(report.diverged) << report.summary();
+    EXPECT_EQ(report.divergentWindow, 2u);
+    // The perturbation flips a register bit at the window boundary, so
+    // the pinpointed instruction is the boundary itself and the register
+    // file is among the divergent components.
+    EXPECT_NE(std::find(report.divergentComponents.begin(),
+                        report.divergentComponents.end(),
+                        std::string("regs")),
+              report.divergentComponents.end())
+        << report.summary();
+}
+
+} // namespace
+} // namespace phantom::snap

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Snapshot image inspector.
+ *
+ *   snap_inspect IMAGE          dump header, section table and digests
+ *   snap_inspect IMAGE IMAGE2   diff two images by component digest
+ *
+ * Exit codes: 0 on success (diff mode: images equivalent), 1 on a
+ * malformed/unreadable image, 2 in diff mode when the images differ.
+ */
+
+#include "snap/image.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace phantom;
+
+namespace {
+
+bool
+readFile(const char* path, std::vector<u8>& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "snap_inspect: cannot open %s\n", path);
+        return false;
+    }
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+int
+dump(const char* path)
+{
+    std::vector<u8> bytes;
+    if (!readFile(path, bytes))
+        return 1;
+
+    snap::InspectResult r = snap::inspect(bytes);
+    if (!r.ok) {
+        std::fprintf(stderr, "snap_inspect: %s: %s\n", path,
+                     r.error.c_str());
+        return 1;
+    }
+
+    const snap::ImageInfo& info = r.info;
+    std::printf("image:           %s (%llu bytes)\n", path,
+                static_cast<unsigned long long>(bytes.size()));
+    std::printf("version:         %u\n", info.version);
+    std::printf("uarch:           %s\n", info.uarch.c_str());
+    std::printf("installed bytes: %llu\n",
+                static_cast<unsigned long long>(info.installedBytes));
+    std::printf("total digest:    %016llx\n",
+                static_cast<unsigned long long>(info.totalDigest));
+    std::printf("sections:        %zu\n", info.sections.size());
+    std::printf("  %-10s %10s %10s  %s\n", "section", "offset",
+                "length", "digest");
+    for (const snap::SectionInfo& s : info.sections)
+        std::printf("  %-10s %10llu %10llu  %016llx\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.offset),
+                    static_cast<unsigned long long>(s.length),
+                    static_cast<unsigned long long>(s.digest));
+    return 0;
+}
+
+int
+diff(const char* path_a, const char* path_b)
+{
+    std::vector<u8> bytes_a, bytes_b;
+    if (!readFile(path_a, bytes_a) || !readFile(path_b, bytes_b))
+        return 1;
+
+    snap::LoadResult a = snap::load(bytes_a);
+    if (!a.ok) {
+        std::fprintf(stderr, "snap_inspect: %s: %s\n", path_a,
+                     a.error.c_str());
+        return 1;
+    }
+    snap::LoadResult b = snap::load(bytes_b);
+    if (!b.ok) {
+        std::fprintf(stderr, "snap_inspect: %s: %s\n", path_b,
+                     b.error.c_str());
+        return 1;
+    }
+
+    std::vector<snap::ComponentDigest> da = componentDigests(a.state);
+    std::vector<snap::ComponentDigest> db = componentDigests(b.state);
+    // componentDigests() emits a fixed component set in a stable order,
+    // so the two lists always pair up index-by-index.
+    unsigned differing = 0;
+    std::printf("  %-10s %-16s  %-16s\n", "component", "A", "B");
+    for (std::size_t i = 0; i < da.size() && i < db.size(); ++i) {
+        bool same = da[i].digest == db[i].digest;
+        differing += same ? 0 : 1;
+        std::printf("%s %-10s %016llx  %016llx\n", same ? " " : "!",
+                    da[i].name.c_str(),
+                    static_cast<unsigned long long>(da[i].digest),
+                    static_cast<unsigned long long>(db[i].digest));
+    }
+    if (differing == 0) {
+        std::printf("images are state-equivalent\n");
+        return 0;
+    }
+    std::printf("%u component(s) differ\n", differing);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc == 2)
+        return dump(argv[1]);
+    if (argc == 3)
+        return diff(argv[1], argv[2]);
+    std::fprintf(stderr, "usage: snap_inspect IMAGE [IMAGE2]\n");
+    return 1;
+}
