@@ -20,11 +20,18 @@
  *                        default; src/snap)
  *   PHANTOM_SNAP_DIR=D   persist snapshot images under D and revive
  *                        them on store misses in later runs
+ *   PHANTOM_DECODE_CACHE=0  disable the predecoded-instruction cache
+ *                        (on by default; src/cpu/decode_cache.hpp —
+ *                        results are bit-identical either way)
+ *
+ * The authoritative table of every PHANTOM_* variable lives in
+ * EXPERIMENTS.md ("Environment variables").
  */
 
 #ifndef PHANTOM_BENCH_UTIL_HPP
 #define PHANTOM_BENCH_UTIL_HPP
 
+#include "cpu/decode_cache.hpp"
 #include "cpu/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -158,8 +165,12 @@ class Campaign
                     std::make_unique<snap::SnapshotStore>());
             snap::setActiveSnapshotStore(snapStores_.back().get());
         }
-        if (rings_.empty() && snapStores_.empty())
-            return;
+        // Decode-cache counters pool the same way: one stats slot per
+        // shard plus one for the main thread, drained by each Machine's
+        // destructor via the ambient pointer. The vector is sized once
+        // here and never resized, so the installed addresses are stable.
+        decodeStats_.resize(scheduler_.jobs() + 1);
+        cpu::setActiveDecodeCacheStats(&decodeStats_.back());
         scheduler_.setWorkerHooks(
             [this](unsigned worker) {
                 if (!rings_.empty())
@@ -167,6 +178,7 @@ class Campaign
                 if (!snapStores_.empty())
                     snap::setActiveSnapshotStore(
                         snapStores_[worker].get());
+                cpu::setActiveDecodeCacheStats(&decodeStats_[worker]);
             },
             [this](unsigned) {
                 // The serial path runs the hooks on the campaign's own
@@ -180,6 +192,8 @@ class Campaign
                 if (!snapStores_.empty())
                     snap::setActiveSnapshotStore(
                         main ? snapStores_.back().get() : nullptr);
+                cpu::setActiveDecodeCacheStats(
+                    main ? &decodeStats_.back() : nullptr);
             });
     }
 
@@ -190,6 +204,7 @@ class Campaign
                 obs::setActiveTraceSink(nullptr);
             if (!snapStores_.empty())
                 snap::setActiveSnapshotStore(nullptr);
+            cpu::setActiveDecodeCacheStats(nullptr);
         }
     }
 
@@ -298,6 +313,17 @@ class Campaign
             measured_.counter("snap.image_stores")
                 .inc(total.imageStores);
         }
+        // Decode-cache effectiveness varies with PHANTOM_DECODE_CACHE
+        // (zeros when disabled) while the model output is identical, so
+        // these are measured, and obs/diff classifies
+        // metrics.measured.counters.decode_cache.* as informational.
+        cpu::DecodeCacheStats decode;
+        for (const cpu::DecodeCacheStats& shard : decodeStats_)
+            decode.merge(shard);
+        measured_.counter("decode_cache.hits").inc(decode.hits);
+        measured_.counter("decode_cache.misses").inc(decode.misses);
+        measured_.counter("decode_cache.invalidates")
+            .inc(decode.invalidates);
     }
 
     JsonValue
@@ -360,6 +386,10 @@ class Campaign
     std::string tracePath_;
     std::vector<std::unique_ptr<obs::RingTraceSink>> rings_;
     std::vector<std::unique_ptr<snap::SnapshotStore>> snapStores_;
+    // One slot per worker plus one for the main thread (back()); sized
+    // once up front so the addresses handed to
+    // cpu::setActiveDecodeCacheStats stay stable.
+    std::vector<cpu::DecodeCacheStats> decodeStats_;
     obs::MetricsRegistry deterministic_;
     obs::MetricsRegistry measured_;
     std::vector<std::string> uarches_;

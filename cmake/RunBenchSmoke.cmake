@@ -14,6 +14,10 @@
 #   4. with COMPARE_JOBS: rerun serially (PHANTOM_JOBS=1) and require the
 #      "experiments" subtree — every aggregated statistic — to be
 #      structurally identical to the parallel run
+#   5. with COMPARE_DECODE_CACHE: rerun with PHANTOM_DECODE_CACHE=0 and
+#      require both the "experiments" subtree and the
+#      "metrics.deterministic" registry to be bit-identical — the
+#      predecode cache is a pure speedup, never a model change
 
 file(MAKE_DIRECTORY "${JSON_DIR}")
 
@@ -68,4 +72,33 @@ if(COMPARE_JOBS)
             "${NAME}: PHANTOM_JOBS=2 and PHANTOM_JOBS=1 disagree on "
             "aggregated statistics")
     endif()
+endif()
+
+if(COMPARE_DECODE_CACHE)
+    file(MAKE_DIRECTORY "${JSON_DIR}/nodc")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+            PHANTOM_FAST=1 PHANTOM_JOBS=2 PHANTOM_DECODE_CACHE=0
+            "PHANTOM_JSON_DIR=${JSON_DIR}/nodc"
+            "${BENCH}"
+        RESULT_VARIABLE nodc_rv
+        OUTPUT_VARIABLE nodc_out
+        ERROR_VARIABLE nodc_err)
+    if(NOT nodc_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME} PHANTOM_DECODE_CACHE=0 rerun failed (rv=${nodc_rv})\n"
+            "${nodc_out}\n${nodc_err}")
+    endif()
+    foreach(subtree experiments metrics.deterministic)
+        execute_process(
+            COMMAND "${CHECKER}" --equal-path ${subtree}
+                "${JSON_DIR}/${NAME}.json" "${JSON_DIR}/nodc/${NAME}.json"
+            RESULT_VARIABLE dc_equal_rv)
+        if(NOT dc_equal_rv EQUAL 0)
+            message(FATAL_ERROR
+                "${NAME}: '${subtree}' differs between "
+                "PHANTOM_DECODE_CACHE=1 and =0 — the predecode cache "
+                "leaked into simulated state")
+        endif()
+    endforeach()
 endif()

@@ -1,0 +1,135 @@
+#include "cpu/decode_cache.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace phantom::cpu {
+
+namespace {
+
+thread_local DecodeCacheStats* t_activeStats = nullptr;
+
+} // namespace
+
+bool
+decodeCacheEnabled()
+{
+    static const bool enabled = [] {
+        const char* env = std::getenv("PHANTOM_DECODE_CACHE");
+        return env == nullptr || !(env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
+DecodeCacheStats*
+activeDecodeCacheStats()
+{
+    return t_activeStats;
+}
+
+void
+setActiveDecodeCacheStats(DecodeCacheStats* stats)
+{
+    t_activeStats = stats;
+}
+
+DecodeCache::DecodeCache()
+    : ambient_(activeDecodeCacheStats()),
+      enabled_(decodeCacheEnabled())
+{
+}
+
+DecodeCache::~DecodeCache()
+{
+    if (ambient_ != nullptr)
+        ambient_->merge(stats_);
+}
+
+const isa::Insn*
+DecodeCache::lookup(PAddr pa)
+{
+    if (!enabled_)
+        return nullptr;
+    auto it = lines_.find(pa / kCacheLineBytes);
+    if (it != lines_.end()) {
+        u8 offset = static_cast<u8>(pa % kCacheLineBytes);
+        for (const Entry& entry : it->second) {
+            if (entry.offset == offset) {
+                ++stats_.hits;
+                return &entry.insn;
+            }
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+void
+DecodeCache::insert(PAddr pa, const isa::Insn& insn)
+{
+    if (!enabled_ || insn.kind == isa::InsnKind::Invalid)
+        return;
+    // Only instructions entirely within one 4 KiB page are a pure
+    // function of physical bytes (see the file comment); anything
+    // spanning a page boundary is re-decoded every time.
+    if (pa % kPageBytes + insn.length > kPageBytes)
+        return;
+    lines_[pa / kCacheLineBytes].push_back(
+        Entry{static_cast<u8>(pa % kCacheLineBytes), insn});
+    ++entries_;
+}
+
+void
+DecodeCache::invalidateRange(PAddr pa, u64 len)
+{
+    if (lines_.empty() || len == 0)
+        return;
+    // An entry starting up to kMaxInsnBytes-1 before the written range
+    // can still overlap it, so sweep from that line forward.
+    PAddr first =
+        pa >= isa::kMaxInsnBytes - 1 ? pa - (isa::kMaxInsnBytes - 1) : 0;
+    PAddr last = pa + len - 1;
+    for (u64 line = first / kCacheLineBytes; line <= last / kCacheLineBytes;
+         ++line) {
+        auto it = lines_.find(line);
+        if (it == lines_.end())
+            continue;
+        auto& entries = it->second;
+        auto dead = std::remove_if(
+            entries.begin(), entries.end(), [&](const Entry& entry) {
+                PAddr start = line * kCacheLineBytes + entry.offset;
+                return start <= last && start + entry.insn.length > pa;
+            });
+        std::size_t removed =
+            static_cast<std::size_t>(entries.end() - dead);
+        if (removed == 0)
+            continue;
+        entries.erase(dead, entries.end());
+        entries_ -= removed;
+        stats_.invalidates += removed;
+        if (entries.empty())
+            lines_.erase(it);
+    }
+}
+
+void
+DecodeCache::flushAll()
+{
+    stats_.invalidates += entries_;
+    entries_ = 0;
+    lines_.clear();
+}
+
+void
+DecodeCache::setEnabled(bool on)
+{
+    enabled_ = on;
+    if (!on) {
+        // A disabled cache must behave exactly like a cold one: drop
+        // entries without counting them as model invalidations.
+        lines_.clear();
+        entries_ = 0;
+    }
+}
+
+} // namespace phantom::cpu

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Predecoded-instruction cache for the fetch/decode hot path.
+ *
+ * Every architectural step and every speculation episode used to re-run
+ * isa::decode on bytes gathered with up to kMaxInsnBytes per-byte page
+ * walks. Real frontends do not: decode work is cached (µop caches,
+ * predecode bits in L1I). This cache memoizes decode results per
+ * Machine, keyed by the *physical* address of the instruction's first
+ * byte, so it is a pure function of physical memory contents:
+ *
+ *  - Entries are only created for valid decodes that lie entirely
+ *    within one 4 KiB physical page. Because 4 KiB and 2 MiB mappings
+ *    both preserve the low 12 address bits, such an instruction also
+ *    lies within one *virtual* page, which makes the cached result
+ *    independent of the page table: whenever byte 0 translates, the
+ *    uncached gather would have collected at least `length` bytes of
+ *    identical content, and decode is prefix-closed (see
+ *    isa/encoder.hpp), so it would return the identical instruction.
+ *  - Invalidation has three sources: stores to physical memory
+ *    (self-modifying code — the cache registers as the machine's
+ *    mem::PhysWriteListener), clflush (Machine::clflushVirt invalidates
+ *    the flushed line), and page-table mutations (a generation counter
+ *    on mem::PageTable triggers a conservative full flush — not needed
+ *    for correctness given physical tagging, but it keeps entries for
+ *    torn-down mappings from accumulating).
+ *  - The cache is *derived state*: lookups and insertions touch no
+ *    architectural or microarchitectural state (no frame creation, no
+ *    cache fills, no PMC events), so cached and uncached runs are
+ *    bit-identical. It is excluded from PHANSNAP images and rebuilt
+ *    cold after snapshot restore/fork/replay (snap::restore flushes).
+ *
+ * Gated by PHANTOM_DECODE_CACHE (default on; "0" disables). Hit/miss/
+ * invalidate counters drain into an ambient per-shard DecodeCacheStats
+ * (same idiom as snap::activeSnapshotStore) and surface as
+ * metrics.measured.counters.decode_cache.* — classified informational
+ * in obs/diff, since they vary with the gate but the model output
+ * does not.
+ */
+
+#ifndef PHANTOM_CPU_DECODE_CACHE_HPP
+#define PHANTOM_CPU_DECODE_CACHE_HPP
+
+#include "isa/encoder.hpp"
+#include "isa/insn.hpp"
+#include "mem/phys_mem.hpp"
+#include "sim/types.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace phantom::cpu {
+
+/** Counters a decode cache accumulates; exported as decode_cache.*
+ *  bench metrics (pooled per scheduler shard). */
+struct DecodeCacheStats
+{
+    u64 hits = 0;         ///< lookups served from the cache
+    u64 misses = 0;       ///< lookups that fell through to a full decode
+    u64 invalidates = 0;  ///< entries discarded (store/clflush/remap/flush)
+
+    void
+    merge(const DecodeCacheStats& other)
+    {
+        hits += other.hits;
+        misses += other.misses;
+        invalidates += other.invalidates;
+    }
+};
+
+/**
+ * Physically-tagged map from instruction start address to its decoded
+ * form. Entries are bucketed by cache line; an entry may spill into the
+ * following line (variable-length encodings) but never crosses a 4 KiB
+ * page boundary. Strictly per-Machine — no locking.
+ */
+class DecodeCache : public mem::PhysWriteListener
+{
+  public:
+    DecodeCache();
+    ~DecodeCache() override;
+
+    DecodeCache(const DecodeCache&) = delete;
+    DecodeCache& operator=(const DecodeCache&) = delete;
+
+    /** Cached decode whose first byte is at @p pa, or nullptr. Counts a
+     *  hit or miss; disabled caches miss silently (counters stay 0). */
+    const isa::Insn* lookup(PAddr pa);
+
+    /**
+     * Memoize @p insn as the decode at @p pa. Ignored when disabled,
+     * when the decode failed (Invalid results depend on how many bytes
+     * were available, not only on the bytes), or when the instruction
+     * would cross a 4 KiB page boundary (cacheability within one page
+     * is what makes entries a pure function of physical bytes).
+     */
+    void insert(PAddr pa, const isa::Insn& insn);
+
+    /** Discard entries overlapping [@p pa, @p pa + @p len). */
+    void invalidateRange(PAddr pa, u64 len);
+
+    /** Discard entries overlapping the line at @p line_pa (clflush). */
+    void
+    invalidateLine(PAddr line_pa)
+    {
+        invalidateRange(line_pa, kCacheLineBytes);
+    }
+
+    /** Discard everything (page-table mutation, snapshot restore). */
+    void flushAll();
+
+    /** mem::PhysWriteListener: a store reached physical memory. */
+    void
+    onPhysWrite(PAddr pa, u64 len) override
+    {
+        if (!lines_.empty())
+            invalidateRange(pa, len);
+    }
+
+    /** Runtime gate; setEnabled(false) also drops all entries. Tests
+     *  use this to compare cached and uncached runs in-process. */
+    void setEnabled(bool on);
+    bool enabled() const { return enabled_; }
+
+    std::size_t entryCount() const { return entries_; }
+
+    const DecodeCacheStats& stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        u8 offset;       ///< pa % kCacheLineBytes of the first byte
+        isa::Insn insn;  ///< insn.length is the encoded length
+    };
+
+    /** Buckets keyed by pa / kCacheLineBytes. */
+    std::unordered_map<u64, std::vector<Entry>> lines_;
+    std::size_t entries_ = 0;
+    DecodeCacheStats stats_;
+    DecodeCacheStats* ambient_;  ///< drained into on destruction
+    bool enabled_;
+};
+
+/** True unless PHANTOM_DECODE_CACHE=0: gates predecode memoization. */
+bool decodeCacheEnabled();
+
+/** The calling thread's ambient stats sink (null when none). */
+DecodeCacheStats* activeDecodeCacheStats();
+
+/** Install @p stats as the calling thread's ambient sink; machines
+ *  constructed afterwards drain their counters into it when destroyed
+ *  (campaign worker hooks install one per scheduler shard). */
+void setActiveDecodeCacheStats(DecodeCacheStats* stats);
+
+} // namespace phantom::cpu
+
+#endif // PHANTOM_CPU_DECODE_CACHE_HPP

@@ -70,6 +70,8 @@ Machine::Machine(const MicroarchConfig& config, u64 installed_bytes, u64 seed)
     // Campaign workers install a per-shard ring before constructing
     // trial machines; standalone machines get a null sink (tracing off).
     setTraceSink(obs::activeTraceSink());
+    // Stores must invalidate memoized decodes (self-modifying code).
+    physMem_.setWriteListener(&decodeCache_);
 }
 
 bool
@@ -181,31 +183,42 @@ Machine::clflushVirt(VAddr va)
     if (!t)
         return;
     caches_.flushLine(alignDown(t->paddr, kCacheLineBytes));
+    decodeCache_.invalidateLine(alignDown(t->paddr, kCacheLineBytes));
     charge(CycleClass::CacheMaintenance, 40);
 }
 
 // ---- Architectural memory helpers -----------------------------------------
 
-bool
-Machine::fetchInsnBytes(VAddr pc, std::vector<u8>& bytes, FaultInfo& fault)
+isa::Insn
+Machine::decodeAt(VAddr pc, PAddr pa0)
 {
-    bytes.clear();
-    for (std::size_t i = 0; i < isa::kMaxInsnBytes; ++i) {
-        VAddr va = pc + i;
-        auto t = pageTable_->translate(va, priv_, Access::Fetch);
-        if (!t.ok()) {
-            if (i == 0) {
-                fault.fault = t.fault;
-                fault.va = va;
-                fault.pc = pc;
-                fault.access = Access::Fetch;
-                return false;
-            }
-            break;  // partial fetch: decode with what we have
-        }
-        bytes.push_back(physMem_.read8(t.paddr));
+    // Lazy remap invalidation: any page-table mutation since the last
+    // decode conservatively flushes the cache. Physical tagging already
+    // makes entries remap-proof (an instruction cacheable at all fits
+    // in one page, so its decode is a pure function of physical bytes);
+    // the flush keeps entries for torn-down mappings from accumulating.
+    if (u64 gen = pageTable_->generation(); gen != decodeGen_) {
+        decodeCache_.flushAll();
+        decodeGen_ = gen;
     }
-    return true;
+    if (const Insn* hit = decodeCache_.lookup(pa0))
+        return *hit;
+
+    // Miss: gather with per-byte fault-suppressing translation. Byte 0
+    // already translated (to pa0); a failure further in truncates the
+    // buffer and decode works with what is available.
+    u8 bytes[isa::kMaxInsnBytes];
+    std::size_t avail = 0;
+    bytes[avail++] = physMem_.read8(pa0);
+    for (std::size_t i = 1; i < isa::kMaxInsnBytes; ++i) {
+        auto t = pageTable_->translate(pc + i, priv_, Access::Fetch);
+        if (!t.ok())
+            break;
+        bytes[avail++] = physMem_.read8(t.paddr);
+    }
+    Insn insn = isa::decode(bytes, avail);
+    decodeCache_.insert(pa0, insn);
+    return insn;
 }
 
 u64
@@ -269,42 +282,51 @@ Machine::speculativeFetchLine(VAddr va)
     return true;
 }
 
+std::optional<Insn>
+Machine::speculativeFetchDecode(VAddr va, VAddr& line, bool count_fetch)
+{
+    // Speculative (fault-suppressing) translation: an untranslatable
+    // first byte means nothing entered the pipeline.
+    auto t0 = pageTable_->translate(va, priv_, Access::Fetch);
+    if (!t0.ok())
+        return std::nullopt;
+
+    VAddr cur_line = alignDown(va, kCacheLineBytes);
+    if (cur_line != line) {
+        line = cur_line;
+        auto t = pageTable_->translate(cur_line, priv_, Access::Fetch);
+        if (t.ok()) {
+            caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+            if (count_fetch) {
+                pmc_.bump(PmcEvent::SpecFetch);
+                trace(obs::TraceEventKind::SpecFetch, va, cur_line);
+            }
+        }
+        bool uop_hit = uopCache_.lookupFill(cur_line);
+        trace(uop_hit ? obs::TraceEventKind::OpCacheHit
+                      : obs::TraceEventKind::OpCacheFill,
+              va, cur_line);
+    }
+
+    Insn insn = decodeAt(va, t0.paddr);
+    if (insn.kind == InsnKind::Invalid)
+        return std::nullopt;
+    pmc_.bump(PmcEvent::SpecDecode);
+    trace(obs::TraceEventKind::SpecDecode, va, 0, insn.length);
+    return insn;
+}
+
 void
 Machine::speculativeDecode(VAddr va, u32 max_insns)
 {
     VAddr line = ~0ull;
     for (u32 i = 0; i < max_insns; ++i) {
-        // Gather bytes with speculative (fault-suppressing) translation.
-        std::vector<u8> bytes;
-        for (std::size_t j = 0; j < isa::kMaxInsnBytes; ++j) {
-            auto t = pageTable_->translate(va + j, priv_, Access::Fetch);
-            if (!t.ok())
-                break;
-            bytes.push_back(physMem_.read8(t.paddr));
-        }
-        if (bytes.empty())
+        auto insn = speculativeFetchDecode(va, line, /*count_fetch=*/false);
+        if (!insn)
             return;
-
-        VAddr cur_line = alignDown(va, kCacheLineBytes);
-        if (cur_line != line) {
-            line = cur_line;
-            auto t = pageTable_->translate(cur_line, priv_, Access::Fetch);
-            if (t.ok())
-                caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
-            bool uop_hit = uopCache_.lookupFill(cur_line);
-            trace(uop_hit ? obs::TraceEventKind::OpCacheHit
-                          : obs::TraceEventKind::OpCacheFill,
-                  va, cur_line);
-        }
-
-        Insn insn = isa::decode(bytes.data(), bytes.size());
-        if (insn.kind == InsnKind::Invalid)
-            return;
-        pmc_.bump(PmcEvent::SpecDecode);
-        trace(obs::TraceEventKind::SpecDecode, va, 0, insn.length);
-        if (insn.isBranch())
+        if (insn->isBranch())
             return;     // the frontend redirects; stop the linear walk
-        va += insn.length;
+        va += insn->length;
     }
 }
 
@@ -325,36 +347,11 @@ Machine::transientExecute(VAddr va, u32 budget)
     while (remaining > 0) {
         --remaining;
 
-        std::vector<u8> bytes;
-        for (std::size_t j = 0; j < isa::kMaxInsnBytes; ++j) {
-            auto t = pageTable_->translate(va + j, priv_, Access::Fetch);
-            if (!t.ok())
-                break;
-            bytes.push_back(physMem_.read8(t.paddr));
-        }
-        if (bytes.empty())
+        auto fetched =
+            speculativeFetchDecode(va, line, /*count_fetch=*/true);
+        if (!fetched)
             break;
-
-        VAddr cur_line = alignDown(va, kCacheLineBytes);
-        if (cur_line != line) {
-            line = cur_line;
-            auto t = pageTable_->translate(cur_line, priv_, Access::Fetch);
-            if (t.ok()) {
-                caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
-                pmc_.bump(PmcEvent::SpecFetch);
-                trace(obs::TraceEventKind::SpecFetch, va, cur_line);
-            }
-            bool uop_hit = uopCache_.lookupFill(cur_line);
-            trace(uop_hit ? obs::TraceEventKind::OpCacheHit
-                          : obs::TraceEventKind::OpCacheFill,
-                  va, cur_line);
-        }
-
-        Insn insn = isa::decode(bytes.data(), bytes.size());
-        if (insn.kind == InsnKind::Invalid)
-            break;
-        pmc_.bump(PmcEvent::SpecDecode);
-        trace(obs::TraceEventKind::SpecDecode, va, 0, insn.length);
+        const Insn insn = *fetched;
 
         // Pre-decode prediction steers transient control flow too: this
         // is how PHANTOM nests inside a Spectre window (§7.4).
@@ -740,9 +737,16 @@ Machine::run(u64 max_insns)
 
     while (instructions < max_insns) {
         // ---- Fetch -----------------------------------------------------
+        // Only an untranslatable first byte faults; translation failures
+        // further into the (up to 15-byte) window merely truncate the
+        // decode, which decodeAt() handles on the miss path.
         FaultInfo fault;
-        std::vector<u8> bytes;
-        if (!fetchInsnBytes(pc_, bytes, fault)) {
+        auto tfetch = pageTable_->translate(pc_, priv_, Access::Fetch);
+        if (!tfetch.ok()) {
+            fault.fault = tfetch.fault;
+            fault.va = pc_;
+            fault.pc = pc_;
+            fault.access = Access::Fetch;
             auto r = makeFault(fault, instructions);
             r.cycles = cycles_ - start_cycles;
             return r;
@@ -784,7 +788,7 @@ Machine::run(u64 max_insns)
         }
 
         // ---- Decode ----------------------------------------------------
-        Insn insn = isa::decode(bytes.data(), bytes.size());
+        Insn insn = decodeAt(pc_, tfetch.paddr);
         if (insn.kind == InsnKind::Invalid || insn.kind == InsnKind::Ud2) {
             FaultInfo f;
             f.invalidOpcode = true;

@@ -28,6 +28,7 @@
 #define PHANTOM_CPU_MACHINE_HPP
 
 #include "bpu/bpu.hpp"
+#include "cpu/decode_cache.hpp"
 #include "cpu/microarch.hpp"
 #include "cpu/msr.hpp"
 #include "cpu/pmc.hpp"
@@ -190,8 +191,23 @@ class Machine
     Flags& flags() { return flags_; }
     mem::NoiseInjector& noise() { return noise_; }
 
-    /** Install the active address space (non-owning). */
-    void setPageTable(mem::PageTable* table) { pageTable_ = table; }
+    /**
+     * The predecoded-instruction cache (derived state: never captured
+     * by snapshots, flushed by snap::restore, invalidated on stores /
+     * clflush / page-table mutation; see cpu/decode_cache.hpp).
+     */
+    DecodeCache& decodeCache() { return decodeCache_; }
+
+    /** Install the active address space (non-owning). Predecode state
+     *  derived from the previous address space is dropped. */
+    void
+    setPageTable(mem::PageTable* table)
+    {
+        pageTable_ = table;
+        decodeCache_.flushAll();
+        decodeGen_ = table != nullptr ? table->generation() : 0;
+    }
+
     mem::PageTable* pageTable() { return pageTable_; }
 
     // -- Execution control -------------------------------------------------
@@ -359,7 +375,16 @@ class Machine
 
   private:
     // Architectural helpers.
-    bool fetchInsnBytes(VAddr pc, std::vector<u8>& bytes, FaultInfo& fault);
+    /**
+     * Decode the instruction whose first byte translates to @p pa0 and
+     * sits at virtual @p pc: consult the decode cache, else gather up
+     * to isa::kMaxInsnBytes with per-byte fault-suppressing translation
+     * (truncating at the first failure), decode, and memoize. Performs
+     * the lazy page-table-generation flush. Touches no architectural or
+     * microarchitectural state, so hit and miss paths are
+     * indistinguishable to the simulation.
+     */
+    isa::Insn decodeAt(VAddr pc, PAddr pa0);
     RunResult makeFault(const FaultInfo& fault, u64 instructions);
     u64 loadArch(VAddr va, FaultInfo& fault, bool& ok);
     bool storeArch(VAddr va, u64 value, FaultInfo& fault);
@@ -373,6 +398,17 @@ class Machine
     /** Fill the I-cache line of a speculative fetch target. @return true
      *  if the fetch succeeded (mapped + executable at current priv). */
     bool speculativeFetchLine(VAddr va);
+    /**
+     * The shared fetch+decode preamble of the speculative paths: fetch
+     * one instruction at @p va with fault-suppressing translation,
+     * charging line-fill machinery when @p line changes (@p count_fetch
+     * additionally bumps/traces SpecFetch on a filled line — the
+     * transient-execute ladder counts fetches per line, the decode walk
+     * does not). Returns nothing when byte 0 does not translate or the
+     * bytes do not decode — speculation stops either way.
+     */
+    std::optional<isa::Insn> speculativeFetchDecode(VAddr va, VAddr& line,
+                                                    bool count_fetch);
     /** Decode-walk at a speculative target, filling the µop cache. */
     void speculativeDecode(VAddr va, u32 max_insns);
     /** Execute up to @p budget wrong-path µops starting at @p va. */
@@ -418,8 +454,10 @@ class Machine
     RegFile regs_;
     Flags flags_;
     mem::NoiseInjector noise_;
+    DecodeCache decodeCache_;
 
     mem::PageTable* pageTable_ = nullptr;
+    u64 decodeGen_ = 0;  ///< page-table generation the cache reflects
     VAddr pc_ = 0;
     Privilege priv_ = Privilege::User;
     VAddr syscallEntry_ = 0;

@@ -25,6 +25,12 @@ std::size_t encode(const Insn& insn, std::vector<u8>& out);
  *
  * On failure (unknown opcode, truncated encoding) the result has
  * kind == InsnKind::Invalid and length 1 so a byte-wise scan can proceed.
+ *
+ * Prefix closure: a successful decode of length L reads only
+ * bytes[0..L-1] and returns the identical Insn for every avail >= L —
+ * trailing bytes never change the result. Invalid results carry no such
+ * guarantee (a truncated encoding may become valid once more bytes are
+ * available), which is why cpu::DecodeCache memoizes valid decodes only.
  */
 Insn decode(const u8* bytes, std::size_t avail);
 

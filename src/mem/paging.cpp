@@ -9,6 +9,7 @@ PageTable::map4k(VAddr va, PAddr pa, PageFlags flags)
 {
     assert(va % kPageBytes == 0 && pa % kPageBytes == 0);
     small_[va / kPageBytes] = Entry{pa, flags};
+    ++generation_;
 }
 
 void
@@ -16,6 +17,7 @@ PageTable::map2m(VAddr va, PAddr pa, PageFlags flags)
 {
     assert(va % kHugePageBytes == 0 && pa % kHugePageBytes == 0);
     huge_[va / kHugePageBytes] = Entry{pa, flags};
+    ++generation_;
 }
 
 void
@@ -23,6 +25,7 @@ PageTable::unmap(VAddr va)
 {
     small_.erase(va / kPageBytes);
     huge_.erase(va / kHugePageBytes);
+    ++generation_;
 }
 
 bool
@@ -30,10 +33,12 @@ PageTable::protect(VAddr va, PageFlags flags)
 {
     if (auto it = small_.find(va / kPageBytes); it != small_.end()) {
         it->second.flags = flags;
+        ++generation_;
         return true;
     }
     if (auto it = huge_.find(va / kHugePageBytes); it != huge_.end()) {
         it->second.flags = flags;
+        ++generation_;
         return true;
     }
     return false;

@@ -100,11 +100,22 @@ class PageTable
     {
         small_ = std::move(small);
         huge_ = std::move(huge);
+        ++generation_;
     }
+
+    /**
+     * Monotonic mutation counter: bumped by every call that can change
+     * a translation (map4k/map2m/unmap/protect/setEntries). Consumers
+     * caching translation-derived state — the decode cache — compare it
+     * lazily and conservatively flush on change. Deliberately excluded
+     * from snapshots: it is bookkeeping about mutations, not state.
+     */
+    u64 generation() const { return generation_; }
 
   private:
     EntryMap small_;  ///< key: va / 4K
     EntryMap huge_;   ///< key: va / 2M
+    u64 generation_ = 0;
 };
 
 } // namespace phantom::mem

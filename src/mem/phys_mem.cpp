@@ -77,17 +77,25 @@ PhysicalMemory::read64(PAddr pa) const
 }
 
 void
-PhysicalMemory::write8(PAddr pa, u8 value)
+PhysicalMemory::poke(PAddr pa, u8 value)
 {
     Frame* frame = frameForWrite(pa);
     (*frame)[pa % kPageBytes] = value;
 }
 
 void
+PhysicalMemory::write8(PAddr pa, u8 value)
+{
+    poke(pa, value);
+    notifyWrite(pa, 1);
+}
+
+void
 PhysicalMemory::write64(PAddr pa, u64 value)
 {
     for (int i = 0; i < 8; ++i)
-        write8(pa + static_cast<u64>(i), static_cast<u8>(value >> (8 * i)));
+        poke(pa + static_cast<u64>(i), static_cast<u8>(value >> (8 * i)));
+    notifyWrite(pa, 8);
 }
 
 void
@@ -103,6 +111,8 @@ PhysicalMemory::writeBlock(PAddr pa, const std::vector<u8>& bytes)
         std::memcpy(frame->data() + offset, bytes.data() + done, chunk);
         done += chunk;
     }
+    if (!bytes.empty())
+        notifyWrite(pa, bytes.size());
 }
 
 std::vector<u8>

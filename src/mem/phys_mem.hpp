@@ -24,6 +24,21 @@
 namespace phantom::mem {
 
 /**
+ * Observer notified after each mutating call on PhysicalMemory, once
+ * per public write (not per byte). Derived structures keyed by physical
+ * bytes — the predecoded-instruction cache in src/cpu — invalidate on
+ * this. adoptFrames() deliberately does NOT notify: it is the snapshot
+ * restore path, and restore flushes derived state wholesale instead.
+ */
+struct PhysWriteListener
+{
+    virtual ~PhysWriteListener() = default;
+
+    /** Bytes [@p pa, @p pa + @p len) were (possibly) modified. */
+    virtual void onPhysWrite(PAddr pa, u64 len) = 0;
+};
+
+/**
  * Byte-addressable sparse physical memory of a fixed installed size.
  * Reads of untouched memory return zero.
  */
@@ -67,12 +82,27 @@ class PhysicalMemory
     /** Frames currently shared with a snapshot (refcount > 1). */
     std::size_t framesShared() const;
 
+    /** Install @p listener (non-owning; null detaches). */
+    void setWriteListener(PhysWriteListener* listener)
+    {
+        writeListener_ = listener;
+    }
+
   private:
     Frame* frameFor(PAddr pa, bool create) const;
     Frame* frameForWrite(PAddr pa);
+    void poke(PAddr pa, u8 value);
+
+    void
+    notifyWrite(PAddr pa, u64 len)
+    {
+        if (writeListener_ != nullptr)
+            writeListener_->onPhysWrite(pa, len);
+    }
 
     u64 installed_;
     mutable FrameMap frames_;
+    PhysWriteListener* writeListener_ = nullptr;
 };
 
 } // namespace phantom::mem

@@ -85,6 +85,10 @@ constexpr ClassRule kRules[] = {
     // shard split and on whether PHANTOM_SNAP[_DIR] is set; the model
     // output is identical either way, so never gate on these.
     {"metrics.measured.counters.snap.", MetricClass::Informational},
+    // Decode-cache effectiveness depends on PHANTOM_DECODE_CACHE (all
+    // zeros when disabled) while the simulated output is bit-identical,
+    // so hits/misses/invalidates are report-only.
+    {"metrics.measured.counters.decode_cache.", MetricClass::Informational},
     {"timing.speedup", MetricClass::Informational},
 
     // Wall-clock derived, same-host comparable within tolerance.

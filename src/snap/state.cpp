@@ -78,6 +78,13 @@ restore(cpu::Machine& machine, const MachineState& state)
 
     if (state.hasPageTable && machine.pageTable() != nullptr)
         machine.pageTable()->setEntries(state.ptSmall, state.ptHuge);
+
+    // The predecoded-instruction cache is derived state: it is not part
+    // of MachineState (PHANSNAP images must not carry it), and the
+    // frames adopted above bypass the physical-write listener, so drop
+    // it wholesale — the restored machine re-decodes cold, which is
+    // bit-identical by construction.
+    machine.decodeCache().flushAll();
 }
 
 ForkedMachine

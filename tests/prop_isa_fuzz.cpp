@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 namespace phantom::isa {
 namespace {
 
@@ -83,6 +85,42 @@ TEST_P(DecoderFuzz, ValidEncodingsRoundTripAtEveryRegister)
             ASSERT_EQ(back.dst, insn.dst);
             ASSERT_EQ(back.src, insn.src);
             ASSERT_EQ(back.disp, insn.disp);
+        }
+    }
+}
+
+TEST_P(DecoderFuzz, ValidDecodesArePrefixClosed)
+{
+    // The decode cache memoizes a decode keyed only by the physical
+    // address of byte 0, so a valid decode must depend on exactly its
+    // own bytes: shrinking avail to the instruction length or mutating
+    // every trailing byte must reproduce the identical Insn.
+    Rng rng(GetParam() * 101 + 7);
+    for (int trial = 0; trial < 2000; ++trial) {
+        u8 buffer[32];
+        std::size_t avail = 1 + rng.below(sizeof buffer);
+        for (std::size_t i = 0; i < avail; ++i)
+            buffer[i] = static_cast<u8>(rng.next());
+
+        Insn insn = decode(buffer, avail);
+        if (insn.kind == InsnKind::Invalid)
+            continue;
+
+        u8 mutated[32];
+        std::memcpy(mutated, buffer, sizeof buffer);
+        for (std::size_t i = insn.length; i < avail; ++i)
+            mutated[i] = static_cast<u8>(~mutated[i]);
+
+        const Insn exact = decode(buffer, insn.length);
+        const Insn noisy = decode(mutated, avail);
+        for (const Insn& again : {exact, noisy}) {
+            ASSERT_EQ(again.kind, insn.kind);
+            ASSERT_EQ(again.length, insn.length);
+            ASSERT_EQ(again.dst, insn.dst);
+            ASSERT_EQ(again.src, insn.src);
+            ASSERT_EQ(again.cond, insn.cond);
+            ASSERT_EQ(again.disp, insn.disp);
+            ASSERT_EQ(again.imm, insn.imm);
         }
     }
 }

@@ -112,6 +112,14 @@ TEST(MetricPath, ClassificationRules)
     EXPECT_EQ(classifyMetricPath(
                   "metrics.measured.counters.scheduler.steals"),
               MetricClass::Informational);
+    // Decode-cache effectiveness varies with PHANTOM_DECODE_CACHE while
+    // the model output does not: report-only, never gated.
+    EXPECT_EQ(classifyMetricPath(
+                  "metrics.measured.counters.decode_cache.hits"),
+              MetricClass::Informational);
+    EXPECT_EQ(classifyMetricPath(
+                  "metrics.measured.counters.decode_cache.invalidates"),
+              MetricClass::Informational);
     // Segment boundary: "jobs" must not swallow "jobs_extra".
     EXPECT_EQ(classifyMetricPath("jobs_extra"),
               MetricClass::Deterministic);

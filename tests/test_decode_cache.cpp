@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Predecoded-instruction cache tests: unit-level insert/lookup and
+ * invalidation semantics, the three system-level invalidation sources
+ * (self-modifying stores, clflush, page-table remap), and the hard
+ * bit-identity requirement — cached and uncached runs, and replay after
+ * snapshot restore, must produce byte-identical machine state.
+ */
+
+#include "cpu/decode_cache.hpp"
+#include "cpu/machine.hpp"
+#include "cpu/microarch.hpp"
+#include "isa/assembler.hpp"
+#include "os/kernel.hpp"
+#include "os/process.hpp"
+#include "snap/image.hpp"
+#include "snap/replay.hpp"
+#include "snap/state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phantom {
+namespace {
+
+using namespace isa;
+using cpu::DecodeCache;
+using cpu::DecodeCacheStats;
+using cpu::ExitReason;
+using cpu::Machine;
+using cpu::PmcEvent;
+
+// ---- Unit tests on a bare cache --------------------------------------------
+
+TEST(DecodeCacheUnit, HitMissAndCounterAccounting)
+{
+    DecodeCache cache;
+    cache.setEnabled(true);
+
+    const Insn insn = makeMovImm(3, 0x1234);
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    cache.insert(0x1000, insn);
+    EXPECT_EQ(cache.entryCount(), 1u);
+
+    const Insn* hit = cache.lookup(0x1000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->kind, insn.kind);
+    EXPECT_EQ(hit->length, insn.length);
+    EXPECT_EQ(hit->imm, insn.imm);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // Same line, different offset: a miss, not a false hit.
+    EXPECT_EQ(cache.lookup(0x1001), nullptr);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(DecodeCacheUnit, InvalidDecodesAreNeverCached)
+{
+    DecodeCache cache;
+    cache.setEnabled(true);
+    Insn bad;
+    bad.kind = InsnKind::Invalid;
+    bad.length = 1;
+    cache.insert(0x2000, bad);
+    EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST(DecodeCacheUnit, PageSpanningInstructionsAreNeverCached)
+{
+    DecodeCache cache;
+    cache.setEnabled(true);
+    const Insn insn = makeMovImm(0, 42);
+    ASSERT_GT(insn.length, 1);
+
+    // Last byte would land on the next page: must be rejected.
+    const PAddr spanning = kPageBytes - (insn.length - 1);
+    cache.insert(spanning, insn);
+    EXPECT_EQ(cache.entryCount(), 0u);
+
+    // Exactly fitting against the page end is fine.
+    const PAddr fitting = kPageBytes - insn.length;
+    cache.insert(fitting, insn);
+    EXPECT_EQ(cache.entryCount(), 1u);
+    EXPECT_NE(cache.lookup(fitting), nullptr);
+}
+
+TEST(DecodeCacheUnit, WriteInvalidatesOnlyOverlappingEntries)
+{
+    DecodeCache cache;
+    cache.setEnabled(true);
+    const Insn nop = makeNop();
+    ASSERT_EQ(nop.length, 1);
+    cache.insert(0x100, nop);
+    cache.insert(0x101, nop);
+
+    // A one-byte write at 0x101 overlaps the second entry only.
+    cache.onPhysWrite(0x101, 1);
+    EXPECT_NE(cache.lookup(0x100), nullptr);
+    EXPECT_EQ(cache.lookup(0x101), nullptr);
+    EXPECT_EQ(cache.stats().invalidates, 1u);
+}
+
+TEST(DecodeCacheUnit, LineSpillingEntryInvalidatedFromEitherLine)
+{
+    // A variable-length encoding starting near the end of a cache line
+    // spills into the next one; a write to *either* line must kill it.
+    DecodeCache cache;
+    cache.setEnabled(true);
+    const Insn insn = makeMovImm(1, 0xdeadbeef);
+    ASSERT_GT(static_cast<u64>(insn.length), 4u);
+    const PAddr start = kCacheLineBytes - 4;   // spills into line 1
+
+    cache.insert(start, insn);
+    cache.onPhysWrite(kCacheLineBytes + 2, 1);  // hits the spilled tail
+    EXPECT_EQ(cache.lookup(start), nullptr) << "stale entry survived a "
+                                               "write to its second line";
+
+    cache.insert(start, insn);
+    cache.onPhysWrite(start, 1);                // hits the first byte
+    EXPECT_EQ(cache.lookup(start), nullptr);
+}
+
+TEST(DecodeCacheUnit, FlushCountsButDisableDoesNot)
+{
+    DecodeCache cache;
+    cache.setEnabled(true);
+    cache.insert(0x40, makeNop());
+    cache.insert(0x80, makeNop());
+
+    cache.flushAll();
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_EQ(cache.stats().invalidates, 2u);
+
+    cache.insert(0x40, makeNop());
+    cache.setEnabled(false);   // test control, not model activity
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_EQ(cache.stats().invalidates, 2u);
+}
+
+TEST(DecodeCacheUnit, DisabledCacheIsInert)
+{
+    DecodeCache cache;
+    cache.setEnabled(false);
+    cache.insert(0x300, makeNop());
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_EQ(cache.lookup(0x300), nullptr);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(DecodeCacheUnit, CountersDrainIntoAmbientSinkOnDestruction)
+{
+    DecodeCacheStats sink;
+    cpu::setActiveDecodeCacheStats(&sink);
+    {
+        DecodeCache cache;
+        cache.setEnabled(true);
+        cache.insert(0x40, makeNop());
+        EXPECT_NE(cache.lookup(0x40), nullptr);
+        EXPECT_EQ(cache.lookup(0x48), nullptr);
+        EXPECT_EQ(sink.hits, 0u) << "drained before destruction";
+    }
+    cpu::setActiveDecodeCacheStats(nullptr);
+    EXPECT_EQ(sink.hits, 1u);
+    EXPECT_EQ(sink.misses, 1u);
+}
+
+// ---- System tests on a full machine ----------------------------------------
+
+constexpr u64 kPhys = 256ull * 1024 * 1024;
+
+struct Sys
+{
+    Machine machine;
+    os::Kernel kernel;
+    os::Process process;
+
+    Sys()
+        : machine(cpu::zen2(), kPhys),
+          kernel(machine, os::KernelConfig{42, true, true}),
+          process(kernel, machine)
+    {
+        machine.noise().setConfig(mem::NoiseConfig{});
+    }
+
+    cpu::RunResult
+    runUser(VAddr entry, u64 max_insns = 10000)
+    {
+        machine.setPrivilege(Privilege::User);
+        machine.setPc(entry);
+        return machine.run(max_insns);
+    }
+};
+
+TEST(DecodeCacheSys, RepeatedExecutionHitsTheCache)
+{
+    Sys sys;
+    sys.machine.decodeCache().setEnabled(true);
+    Assembler code(0x400000);
+    code.movImm(RCX, 50);
+    Label loop = code.newLabel();
+    code.bind(loop);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);
+    code.hlt();
+    sys.process.mapCode(0x400000, code.finish());
+
+    auto result = sys.runUser(0x400000);
+    EXPECT_EQ(result.reason, ExitReason::Halt);
+    const auto& stats = sys.machine.decodeCache().stats();
+    EXPECT_GT(sys.machine.decodeCache().entryCount(), 0u);
+    // 50 loop iterations over 3 cached instructions: hits dominate.
+    EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(DecodeCacheSys, ArchitecturalStoreInvalidatesStaleDecode)
+{
+    // Self-modifying code through the pipeline itself: a store rewrites
+    // an already-executed (and therefore cached) instruction, and the
+    // next execution of that address must see the new bytes.
+    Sys sys;
+    sys.machine.decodeCache().setEnabled(true);
+
+    const VAddr target = 0x401000;
+    Assembler v1(target);
+    v1.movImm(RAX, 1);
+    v1.hlt();
+    std::vector<u8> blob1 = v1.finish();
+
+    Assembler v2(target);
+    v2.movImm(RAX, 2);
+    v2.hlt();
+    std::vector<u8> blob2 = v2.finish();
+    ASSERT_EQ(blob1.size(), blob2.size());
+
+    sys.process.mapCode(target, blob1);
+    // The SMC store needs the code page writable as well as executable.
+    ASSERT_TRUE(sys.machine.pageTable()->protect(
+        target, mem::PageFlags{true, true, true, true}));
+
+    // Pack the replacement bytes into two 8-byte stores.
+    std::vector<u8> patch = blob2;
+    patch.resize(16, 0);
+    u64 lo = 0;
+    u64 hi = 0;
+    for (int i = 7; i >= 0; --i) {
+        lo = (lo << 8) | patch[i];
+        hi = (hi << 8) | patch[8 + i];
+    }
+
+    Assembler patcher(0x400000);
+    patcher.movImm(RDI, target);
+    patcher.movImm(RSI, lo);
+    patcher.store(RDI, 0, RSI);
+    patcher.movImm(RSI, hi);
+    patcher.store(RDI, 8, RSI);
+    patcher.jmp(target);
+    sys.process.mapCode(0x400000, patcher.finish());
+
+    // Warm the cache with the v1 decode of the target.
+    auto warm = sys.runUser(target);
+    ASSERT_EQ(warm.reason, ExitReason::Halt);
+    ASSERT_EQ(sys.machine.regs().read(RAX), 1u);
+
+    const u64 invalidates_before =
+        sys.machine.decodeCache().stats().invalidates;
+    auto patched = sys.runUser(0x400000);
+    EXPECT_EQ(patched.reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 2u)
+        << "stale cached decode executed after an overwriting store";
+    EXPECT_GT(sys.machine.decodeCache().stats().invalidates,
+              invalidates_before);
+}
+
+TEST(DecodeCacheSys, DebugWriteInvalidatesStaleDecode)
+{
+    // Same property through the tooling write path (write8 per byte).
+    Sys sys;
+    sys.machine.decodeCache().setEnabled(true);
+    const VAddr entry = 0x400000;
+    Assembler code(entry);
+    code.movImm(RAX, 7);
+    code.hlt();
+    sys.process.mapCode(entry, code.finish());
+
+    ASSERT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+    ASSERT_EQ(sys.machine.regs().read(RAX), 7u);
+
+    Assembler repl(entry);
+    repl.movImm(RAX, 9);
+    repl.hlt();
+    ASSERT_TRUE(sys.machine.debugWriteBytes(entry, repl.finish()));
+
+    ASSERT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 9u);
+}
+
+TEST(DecodeCacheSys, ClflushInvalidatesTheFlushedLine)
+{
+    Sys sys;
+    sys.machine.decodeCache().setEnabled(true);
+    const VAddr target = 0x401000;   // line-aligned, separate page
+    Assembler fn(target);
+    fn.movImm(RAX, 5);
+    fn.hlt();
+    sys.process.mapCode(target, fn.finish());
+
+    ASSERT_EQ(sys.runUser(target).reason, ExitReason::Halt);
+    auto t = sys.machine.pageTable()->lookup(target);
+    ASSERT_TRUE(t.has_value());
+    {
+        // The first instruction of the warm run is cached.
+        u64 hits_before = sys.machine.decodeCache().stats().hits;
+        ASSERT_NE(sys.machine.decodeCache().lookup(t->paddr), nullptr);
+        ASSERT_GT(sys.machine.decodeCache().stats().hits, hits_before);
+    }
+
+    Assembler flusher(0x400000);
+    flusher.movImm(RDI, target);
+    flusher.clflush(RDI);
+    flusher.hlt();
+    sys.process.mapCode(0x400000, flusher.finish());
+    ASSERT_EQ(sys.runUser(0x400000).reason, ExitReason::Halt);
+
+    EXPECT_EQ(sys.machine.decodeCache().lookup(t->paddr), nullptr)
+        << "clflush left a stale predecode behind";
+}
+
+TEST(DecodeCacheSys, PageTableMutationFlushesTheCache)
+{
+    Sys sys;
+    sys.machine.decodeCache().setEnabled(true);
+    const VAddr entry = 0x400000;
+    Assembler code(entry);
+    code.movImm(RAX, 3);
+    code.hlt();
+    sys.process.mapCode(entry, code.finish());
+
+    ASSERT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+    const std::size_t warm_entries =
+        sys.machine.decodeCache().entryCount();
+    ASSERT_GT(warm_entries, 0u);
+    const u64 invalidates_before =
+        sys.machine.decodeCache().stats().invalidates;
+
+    // Any translation-affecting mutation bumps the generation; the next
+    // decode notices and conservatively rebuilds from scratch.
+    sys.process.mapData(0x900000, kPageBytes);
+    ASSERT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+    EXPECT_GE(sys.machine.decodeCache().stats().invalidates,
+              invalidates_before + warm_entries);
+    EXPECT_EQ(sys.machine.regs().read(RAX), 3u);
+}
+
+// ---- Bit-identity ----------------------------------------------------------
+
+/** A speculation-heavy scenario: a trained loop branch that finally
+ *  mispredicts, plus a BTB-injected phantom prediction on a straight
+ *  nop so transient wrong-path execution runs through the cache too. */
+void
+runSpeculativeScenario(Sys& sys)
+{
+    const VAddr entry = 0x400000;
+    const VAddr gadget = 0x404000;
+    sys.process.mapData(0x800000, kPageBytes);
+
+    Assembler gad(gadget);
+    gad.movImm(RSI, 0x800000);
+    gad.load(RDX, RSI, 0);
+    gad.addImm(RDX, 1);
+    gad.store(RSI, 8, RDX);
+    gad.hlt();
+    sys.process.mapCode(gadget, gad.finish());
+
+    Assembler code(entry);
+    code.movImm(RCX, 16);
+    code.movImm(RAX, 0);
+    Label loop = code.newLabel();
+    code.bind(loop);
+    code.addImm(RAX, 1);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);     // trained taken, mispredicts at exit
+    const VAddr phantom_site = code.here();
+    code.nopN(5);                 // phantom site: BTB-injected target
+    code.movImm(RBX, 7);
+    code.hlt();
+    sys.process.mapCode(entry, code.finish());
+
+    sys.machine.bpu().btb().train(phantom_site,
+                                  isa::BranchType::IndirectJump, gadget,
+                                  Privilege::User);
+    ASSERT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+    ASSERT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+}
+
+TEST(DecodeCacheSys, CachedAndUncachedRunsAreBitIdentical)
+{
+    Sys cached;
+    cached.machine.decodeCache().setEnabled(true);
+    runSpeculativeScenario(cached);
+
+    Sys uncached;
+    uncached.machine.decodeCache().setEnabled(false);
+    runSpeculativeScenario(uncached);
+
+    // The scenario must actually speculate, and only one run may cache.
+    EXPECT_GT(cached.machine.pmc().read(PmcEvent::SpecDecode), 0u);
+    EXPECT_GT(cached.machine.decodeCache().stats().hits, 0u);
+    EXPECT_EQ(uncached.machine.decodeCache().stats().hits, 0u);
+
+    const std::vector<u8> a =
+        snap::serialize(snap::capture(cached.machine, &cached.kernel));
+    const std::vector<u8> b = snap::serialize(
+        snap::capture(uncached.machine, &uncached.kernel));
+    EXPECT_EQ(a, b) << "decode cache changed observable machine state";
+}
+
+TEST(DecodeCacheSys, ForkedMachineStartsColdAndConverges)
+{
+    Sys sys;
+    sys.machine.decodeCache().setEnabled(true);
+    const VAddr entry = 0x400000;
+    Assembler code(entry);
+    code.movImm(RCX, 20);
+    Label loop = code.newLabel();
+    code.bind(loop);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);
+    code.hlt();
+    sys.process.mapCode(entry, code.finish());
+
+    // Warm the original's cache, then capture a pre-run snapshot.
+    ASSERT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+    sys.machine.setPrivilege(Privilege::User);
+    sys.machine.setPc(entry);
+    snap::MachineState state = snap::capture(sys.machine, &sys.kernel);
+
+    snap::ForkedMachine forked = snap::fork(state, cpu::zen2());
+    forked.machine->noise().setConfig(mem::NoiseConfig{});
+    // Derived state is not snapshotted: the fork must start cold.
+    EXPECT_EQ(forked.machine->decodeCache().entryCount(), 0u);
+
+    ASSERT_EQ(sys.machine.run(10000).reason, ExitReason::Halt);
+    ASSERT_EQ(forked.machine->run(10000).reason, ExitReason::Halt);
+
+    const std::vector<u8> a =
+        snap::serialize(snap::capture(sys.machine, nullptr));
+    const std::vector<u8> b =
+        snap::serialize(snap::capture(*forked.machine, nullptr));
+    EXPECT_EQ(a, b) << "cold-cache fork diverged from warm original";
+}
+
+TEST(DecodeCacheSys, ReplayWithCacheEnabledNeverDiverges)
+{
+    Sys sys;
+    sys.machine.decodeCache().setEnabled(true);
+    const VAddr entry = 0x400000;
+    Assembler code(entry);
+    code.movImm(RCX, 200);
+    Label loop = code.newLabel();
+    code.bind(loop);
+    code.addImm(RAX, 3);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);
+    code.hlt();
+    sys.process.mapCode(entry, code.finish());
+
+    sys.machine.setPrivilege(Privilege::User);
+    sys.machine.setPc(entry);
+    snap::MachineState state = snap::capture(sys.machine, &sys.kernel);
+
+    snap::ReplayOptions options;
+    options.maxInsns = 512;
+    options.windowInsns = 64;
+    snap::DivergenceReport report =
+        snap::checkDivergence(state, cpu::zen2(), options);
+    EXPECT_FALSE(report.diverged) << report.summary();
+    EXPECT_GT(report.insnsReplayed, 0u);
+}
+
+} // namespace
+} // namespace phantom

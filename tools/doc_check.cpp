@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Staleness checker for the six top-level documents, run as the
+ * `doc_check` CTest.
+ *
+ *   doc_check REPO_ROOT
+ *
+ * Scans README.md, DESIGN.md, EXPERIMENTS.md, OBSERVABILITY.md,
+ * ARCHITECTURE.md and CHANGES.md and requires that everything they
+ * point at still exists in the tree:
+ *
+ *   - markdown links `[text](path)` — the relative path must exist
+ *     (http(s)/mailto/anchor-only targets are skipped);
+ *   - path tokens rooted at src/ bench/ tools/ tests/ cmake/ examples/
+ *     — files must exist, `file:line` references must stay within the
+ *     file, and extensionless names must be a directory or a CLI /
+ *     bench / example whose `<name>.cpp` source exists (glob tokens
+ *     like `bench/bench_*` are skipped);
+ *   - `PHANTOM_*` tokens — every variable a document mentions must
+ *     appear in the sources or CMake files, so a renamed or removed
+ *     knob cannot linger in the docs.
+ *
+ * Exit codes: 0 = all references resolve, 1 = at least one stale
+ * reference (each printed as doc:line: message), 64 = usage error.
+ * Deliberately links nothing — pure std C++ — so the docs gate cannot
+ * be broken by a library refactor.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitStale = 1;
+constexpr int kExitUsage = 64;
+
+const char* const kDocs[] = {
+    "README.md",        "DESIGN.md",       "EXPERIMENTS.md",
+    "OBSERVABILITY.md", "ARCHITECTURE.md", "CHANGES.md",
+};
+
+/** Directory prefixes that make a token a checkable repo path. */
+const char* const kPathPrefixes[] = {
+    "src/", "bench/", "tools/", "tests/", "cmake/", "examples/",
+};
+
+/** Directories scanned (with the root CMakeLists.txt) to build the
+ *  set of PHANTOM_* names the code actually knows about. */
+const char* const kSourceDirs[] = {
+    "src", "bench", "tools", "tests", "cmake", "examples",
+};
+
+bool
+isTokenChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+        c == '.' || c == '/';
+}
+
+bool
+isUpperTokenChar(char c)
+{
+    return (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool
+startsWith(const std::string& s, const char* prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+struct Checker {
+    fs::path root;
+    std::set<std::string> knownEnv;
+    std::map<std::string, std::size_t> lineCounts;
+    int failures = 0;
+
+    void
+    fail(const std::string& doc, std::size_t line, const std::string& msg)
+    {
+        std::fprintf(stderr, "doc_check: %s:%zu: %s\n", doc.c_str(), line,
+                     msg.c_str());
+        ++failures;
+    }
+
+    /** Line count of a repo-relative file, cached across references. */
+    std::size_t
+    lineCount(const std::string& rel)
+    {
+        auto it = lineCounts.find(rel);
+        if (it != lineCounts.end())
+            return it->second;
+        std::ifstream in(root / rel, std::ios::binary);
+        std::size_t lines = 0;
+        std::string line;
+        while (std::getline(in, line))
+            ++lines;
+        lineCounts[rel] = lines;
+        return lines;
+    }
+
+    /** Collect every PHANTOM_* identifier the sources mention. */
+    void
+    collectKnownEnv()
+    {
+        std::vector<fs::path> files{root / "CMakeLists.txt"};
+        for (const char* dir : kSourceDirs) {
+            std::error_code ec;
+            fs::recursive_directory_iterator it(root / dir, ec);
+            if (ec)
+                continue;
+            for (const fs::directory_entry& entry : it) {
+                if (!entry.is_regular_file())
+                    continue;
+                std::string ext = entry.path().extension().string();
+                if (ext == ".cpp" || ext == ".hpp" || ext == ".cmake" ||
+                    ext == ".txt")
+                    files.push_back(entry.path());
+            }
+        }
+        for (const fs::path& file : files) {
+            std::ifstream in(file, std::ios::binary);
+            std::string line;
+            while (std::getline(in, line)) {
+                std::size_t pos = 0;
+                while ((pos = line.find("PHANTOM_", pos)) !=
+                       std::string::npos) {
+                    std::size_t end = pos + 8;
+                    while (end < line.size() && isUpperTokenChar(line[end]))
+                        ++end;
+                    if (end > pos + 8)
+                        knownEnv.insert(line.substr(pos, end - pos));
+                    pos = end;
+                }
+            }
+        }
+    }
+
+    /** `[text](target)` markdown links: relative targets must exist. */
+    void
+    checkMarkdownLinks(const std::string& doc, std::size_t lineNo,
+                       const std::string& line)
+    {
+        std::size_t pos = 0;
+        while ((pos = line.find("](", pos)) != std::string::npos) {
+            std::size_t end = line.find(')', pos + 2);
+            if (end == std::string::npos)
+                break;
+            std::string target = line.substr(pos + 2, end - pos - 2);
+            pos = end + 1;
+            if (target.empty() || target[0] == '#' ||
+                startsWith(target, "http://") ||
+                startsWith(target, "https://") ||
+                startsWith(target, "mailto:"))
+                continue;
+            std::size_t hash = target.find('#');
+            if (hash != std::string::npos)
+                target.resize(hash);
+            if (!fs::exists(root / target))
+                fail(doc, lineNo, "broken link target: " + target);
+        }
+    }
+
+    /** Path tokens rooted at a known top-level directory. */
+    void
+    checkPathTokens(const std::string& doc, std::size_t lineNo,
+                    const std::string& line)
+    {
+        for (const char* prefix : kPathPrefixes) {
+            std::size_t pos = 0;
+            while ((pos = line.find(prefix, pos)) != std::string::npos) {
+                if (pos > 0) {
+                    char before = line[pos - 1];
+                    // Mid-identifier hits ("snap/..." in "PHANSNAP/..")
+                    // are not path references; '/' is fine — the token
+                    // is the tail of a longer path like build/bench/x.
+                    if (std::isalnum(static_cast<unsigned char>(before)) ||
+                        before == '_' || before == '-') {
+                        pos += 1;
+                        continue;
+                    }
+                }
+                std::size_t end = pos;
+                while (end < line.size() && isTokenChar(line[end]))
+                    ++end;
+                std::string token = line.substr(pos, end - pos);
+                // Glob references (bench/bench_*) name a family, not a
+                // file; line references carry a :NUMBER suffix.
+                bool glob = end < line.size() && line[end] == '*';
+                std::size_t refLine = 0;
+                if (end + 1 < line.size() && line[end] == ':' &&
+                    std::isdigit(static_cast<unsigned char>(line[end + 1]))) {
+                    std::size_t digits = end + 1;
+                    refLine = 0;
+                    while (digits < line.size() &&
+                           std::isdigit(
+                               static_cast<unsigned char>(line[digits]))) {
+                        refLine = refLine * 10 +
+                            static_cast<std::size_t>(line[digits] - '0');
+                        ++digits;
+                    }
+                    end = digits;
+                }
+                pos = end;
+                while (!token.empty() &&
+                       (token.back() == '.' || token.back() == '/' ||
+                        token.back() == ','))
+                    token.pop_back();
+                if (glob || token.empty() ||
+                    token.find('/') == std::string::npos)
+                    continue;
+                checkPathToken(doc, lineNo, token, refLine);
+            }
+        }
+    }
+
+    void
+    checkPathToken(const std::string& doc, std::size_t lineNo,
+                   const std::string& token, std::size_t refLine)
+    {
+        fs::path full = root / token;
+        std::string last = token.substr(token.rfind('/') + 1);
+        if (last.find('.') != std::string::npos) {
+            // Has an extension: a concrete file, maybe with :line.
+            if (!fs::is_regular_file(full)) {
+                fail(doc, lineNo, "missing file: " + token);
+                return;
+            }
+            if (refLine > 0 && refLine > lineCount(token))
+                fail(doc, lineNo,
+                     token + ":" + std::to_string(refLine) +
+                         " is past the end of the file (" +
+                         std::to_string(lineCount(token)) + " lines)");
+            return;
+        }
+        // Extensionless: a directory, or a CLI/bench/example name whose
+        // source is <token>.cpp.
+        if (fs::is_directory(full) || fs::is_regular_file(full))
+            return;
+        fs::path source = full;
+        source += ".cpp";
+        if (fs::is_regular_file(source))
+            return;
+        fail(doc, lineNo,
+             "unresolved reference: " + token + " (no such directory and no " +
+                 token + ".cpp)");
+    }
+
+    /** PHANTOM_* tokens must name variables the code knows. */
+    void
+    checkEnvTokens(const std::string& doc, std::size_t lineNo,
+                   const std::string& line)
+    {
+        std::size_t pos = 0;
+        while ((pos = line.find("PHANTOM_", pos)) != std::string::npos) {
+            std::size_t end = pos + 8;
+            while (end < line.size() && isUpperTokenChar(line[end]))
+                ++end;
+            std::string token = line.substr(pos, end - pos);
+            // `PHANTOM_*` (a wildcard over the family) and bracket
+            // shorthand like PHANTOM_SNAP[_DIR] leave a valid prefix;
+            // a bare "PHANTOM_" match is the wildcard itself.
+            bool wildcard = end < line.size() && line[end] == '*';
+            pos = end;
+            if (wildcard || token.size() == 8)
+                continue;
+            if (knownEnv.count(token) == 0)
+                fail(doc, lineNo,
+                     token + " is not referenced by any source or CMake file");
+        }
+    }
+
+    void
+    checkDoc(const std::string& doc)
+    {
+        std::ifstream in(root / doc, std::ios::binary);
+        if (!in) {
+            fail(doc, 0, "document missing");
+            return;
+        }
+        std::string line;
+        std::size_t lineNo = 0;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            checkMarkdownLinks(doc, lineNo, line);
+            checkPathTokens(doc, lineNo, line);
+            checkEnvTokens(doc, lineNo, line);
+        }
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: doc_check REPO_ROOT\n");
+        return kExitUsage;
+    }
+    Checker checker;
+    checker.root = argv[1];
+    if (!fs::is_directory(checker.root)) {
+        std::fprintf(stderr, "doc_check: not a directory: %s\n", argv[1]);
+        return kExitUsage;
+    }
+    checker.collectKnownEnv();
+    for (const char* doc : kDocs)
+        checker.checkDoc(doc);
+    if (checker.failures > 0) {
+        std::fprintf(stderr, "doc_check: %d stale reference%s\n",
+                     checker.failures, checker.failures == 1 ? "" : "s");
+        return kExitStale;
+    }
+    std::printf("doc_check: %zu documents clean\n",
+                sizeof(kDocs) / sizeof(kDocs[0]));
+    return kExitOk;
+}
