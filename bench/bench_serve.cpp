@@ -1,0 +1,297 @@
+/**
+ * @file
+ * In-process load generator for the experiment daemon (src/serve).
+ *
+ * Two phases:
+ *
+ *  1. Load: D distinct specs × R repeats posted concurrently at the
+ *     Server (no sockets — the protocol layer has its own smoke test;
+ *     this bench measures the queue/batch/fork machinery). Per spec,
+ *     every repeat must answer bit-identically; the seeded subtrees
+ *     (stage label, episode count, a digest of the whole "experiments"
+ *     tree) land in the sink as deterministic experiment data, and the
+ *     client-side latency distribution (p50/p90/p99, throughput) lands
+ *     in metrics.measured.
+ *
+ *  2. Admission: a capacity-2 paused server admits exactly 2 requests
+ *     and bounces exactly 3 with 429 — deterministic by construction,
+ *     so the accept/reject counts live in metrics.deterministic and
+ *     are gated bit-exactly by bench_regress.
+ *
+ * Usage: bench_serve   (PHANTOM_FAST=1 for the CI-sized run;
+ *                       PHANTOM_SERVE_QUEUE overrides the load-phase
+ *                       queue capacity, strictly validated)
+ */
+
+#include "bench_util.hpp"
+#include "runner/schema.hpp"
+#include "serve/server.hpp"
+#include "sim/digest.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <vector>
+
+namespace {
+
+using namespace phantom;
+using bench::Campaign;
+using runner::JsonValue;
+using serve::ExperimentSpec;
+using serve::ServeResult;
+using serve::Server;
+using serve::ServerOptions;
+
+struct LoadSpec
+{
+    const char* name;   ///< experiment key in the JSON results
+    const char* uarch;
+    const char* train;
+    const char* victim;
+};
+
+/** Experiment keys use short kind tokens (jmp_ind for "jmp*", nonbr
+ *  for "non branch") — metric paths must stay shell-safe. */
+constexpr LoadSpec kLoadSpecs[] = {
+    {"zen2_jmp_ind_x_ret", "zen2", "jmp*", "ret"},
+    {"zen1_jmp_ind_x_nonbr", "zen1", "jmp*", "non branch"},
+    {"zen4_jcc_x_jmp", "zen4", "jcc", "jmp"},
+    {"intel12_jmp_ind_x_jmp_ind", "intel12", "jmp*", "jmp*"},
+};
+
+ExperimentSpec
+makeSpec(const LoadSpec& load, u64 seed)
+{
+    ExperimentSpec spec;
+    spec.uarch = load.uarch;
+    spec.train = load.train;
+    spec.victim = load.victim;
+    spec.seed = seed;
+    spec.trials = 1;
+    return spec;
+}
+
+double
+percentile(std::vector<u64>& sorted_us, double p)
+{
+    if (sorted_us.empty())
+        return 0.0;
+    std::size_t index = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_us.size() - 1));
+    return static_cast<double>(sorted_us[index]);
+}
+
+} // namespace
+
+int
+main()
+{
+    Campaign campaign("bench_serve");
+    bench::header("bench_serve: experiment daemon load generator");
+
+    const u64 repeats = bench::runCount(/*full=*/8, /*fast=*/3);
+    constexpr std::size_t kSpecs =
+        sizeof(kLoadSpecs) / sizeof(kLoadSpecs[0]);
+
+    ServerOptions options;
+    options.jobs = campaign.jobs();
+    options.queueCapacity = static_cast<std::size_t>(
+        runner::envU64Strict("PHANTOM_SERVE_QUEUE", 256, 1, 65536));
+    Server server(options);
+
+    // ---- Phase 1: concurrent load -----------------------------------
+    // R waves of D concurrent requests: within a wave the dispatcher
+    // batches identical keys; across waves the per-shard stores stay
+    // warm, so from wave 2 on every request forks instead of training.
+    std::vector<u64> latencies_us;
+    std::vector<std::vector<ServeResult>> results(kSpecs);
+    int failures = 0;
+    auto load_start = std::chrono::steady_clock::now();
+    for (u64 wave = 0; wave < repeats; ++wave) {
+        std::vector<std::future<std::pair<ServeResult, u64>>> futures;
+        for (std::size_t d = 0; d < kSpecs; ++d) {
+            ExperimentSpec spec = makeSpec(kLoadSpecs[d], campaign.seed());
+            futures.push_back(
+                std::async(std::launch::async, [&server, spec] {
+                    auto t0 = std::chrono::steady_clock::now();
+                    ServeResult result = server.run(spec);
+                    u64 us = static_cast<u64>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+                    return std::make_pair(std::move(result), us);
+                }));
+        }
+        for (std::size_t d = 0; d < kSpecs; ++d) {
+            auto [result, us] = futures[d].get();
+            latencies_us.push_back(us);
+            if (result.status != 200) {
+                std::printf("FAIL %s wave %llu: HTTP %d\n",
+                            kLoadSpecs[d].name,
+                            static_cast<unsigned long long>(wave),
+                            result.status);
+                ++failures;
+                continue;
+            }
+            results[d].push_back(std::move(result));
+        }
+    }
+    double load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      load_start)
+            .count();
+    server.waitIdle();
+
+    // Per spec: every repeat bit-identical on the seeded subtrees, and
+    // the subtree content goes into the sink as this bench's
+    // deterministic experiment data.
+    bench::rule();
+    std::printf("%-28s %-6s %-8s %-10s %s\n", "spec", "stage", "episodes",
+                "digest", "repeats identical");
+    u64 episodes_total = 0;
+    for (std::size_t d = 0; d < kSpecs; ++d) {
+        if (results[d].empty()) {
+            ++failures;
+            continue;
+        }
+        const JsonValue& body = results[d].front().body;
+        bool identical = true;
+        for (const ServeResult& repeat : results[d])
+            identical = identical &&
+                *repeat.body.find("experiments") ==
+                    *body.find("experiments") &&
+                *repeat.body.findPath("metrics.deterministic") ==
+                    *body.findPath("metrics.deterministic");
+        if (!identical)
+            ++failures;
+
+        const JsonValue* experiments = body.find("experiments");
+        const JsonValue* cell = experiments->find(kLoadSpecs[d].uarch);
+        const std::string& stage =
+            cell->find("labels")->members().begin()->second.string();
+        u64 episodes = static_cast<u64>(
+            cell->find("scalars")->find("episodes")->number());
+        episodes_total += episodes;
+
+        std::string seeded = experiments->dump() +
+            body.findPath("metrics.deterministic")->dump();
+        char digest[20];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(
+                          Digest::of(seeded.data(), seeded.size())));
+
+        std::printf("%-28s %-6s %-8llu %-16s %s\n", kLoadSpecs[d].name,
+                    stage.c_str(),
+                    static_cast<unsigned long long>(episodes), digest,
+                    identical ? "yes" : "NO");
+
+        auto& experiment = campaign.sink().experiment(kLoadSpecs[d].name);
+        experiment.setLabel("stage", stage);
+        experiment.setLabel("digest", digest);
+        experiment.setScalar("episodes", static_cast<double>(episodes));
+        experiment.setScalar("repeats_identical", identical ? 1.0 : 0.0);
+        campaign.noteUarch(kLoadSpecs[d].uarch);
+    }
+
+    campaign.deterministic().counter("serve.load.specs").inc(kSpecs);
+    campaign.deterministic().counter("serve.load.repeats").inc(repeats);
+    campaign.deterministic()
+        .counter("serve.load.episodes_total")
+        .inc(episodes_total);
+
+    // Client-side latency/throughput — measured, varies run to run.
+    std::sort(latencies_us.begin(), latencies_us.end());
+    obs::MetricsRegistry& measured = campaign.measured();
+    for (u64 us : latencies_us)
+        measured.histogram("serve.client_micros").observe(us);
+    measured.gauge("serve.latency_p50_us")
+        .set(percentile(latencies_us, 0.50));
+    measured.gauge("serve.latency_p90_us")
+        .set(percentile(latencies_us, 0.90));
+    measured.gauge("serve.latency_p99_us")
+        .set(percentile(latencies_us, 0.99));
+    measured.gauge("serve.throughput_rps")
+        .set(load_seconds > 0.0
+                 ? static_cast<double>(latencies_us.size()) / load_seconds
+                 : 0.0);
+
+    // Server-side view after the drain: fork-pooling effectiveness.
+    JsonValue stats = server.statsz();
+    const JsonValue* snap = stats.find("snap");
+    for (const char* key :
+         {"captures", "hits", "misses", "restores", "forks"})
+        measured.counter(std::string("serve.snap.") + key)
+            .inc(static_cast<u64>(snap->find(key)->number()));
+    double forks = snap->find("forks")->number();
+    double captures = snap->find("captures")->number();
+    measured.gauge("serve.fork_reuse_rate")
+        .set(forks / std::max(1.0, forks + captures));
+    measured.gauge("serve.queue_capacity")
+        .set(static_cast<double>(options.queueCapacity));
+
+    bench::rule();
+    std::printf("requests=%zu p50=%.0fus p90=%.0fus p99=%.0fus "
+                "throughput=%.1f rps fork_reuse=%.2f\n",
+                latencies_us.size(), percentile(latencies_us, 0.50),
+                percentile(latencies_us, 0.90),
+                percentile(latencies_us, 0.99),
+                measured.gauge("serve.throughput_rps").value(),
+                measured.gauge("serve.fork_reuse_rate").value());
+    server.stop();
+
+    // ---- Phase 2: deterministic admission control -------------------
+    // Paused capacity-2 server: exactly 2 requests park, exactly 3
+    // bounce with 429. No timing window — these counts are seeded-run
+    // deterministic and bench_regress gates them bit-exactly.
+    {
+        ServerOptions admission_options;
+        admission_options.jobs = 1;
+        admission_options.queueCapacity = 2;
+        Server admission(admission_options);
+        admission.setDispatchPaused(true);
+
+        ExperimentSpec spec = makeSpec(kLoadSpecs[0], campaign.seed());
+        std::vector<std::future<ServeResult>> parked;
+        for (int i = 0; i < 2; ++i)
+            parked.push_back(std::async(
+                std::launch::async,
+                [&admission, spec] { return admission.run(spec); }));
+        while (admission.queueDepth() < 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+        u64 accepted = 2;
+        u64 rejected = 0;
+        for (int i = 0; i < 3; ++i) {
+            ServeResult bounced = admission.run(spec);
+            if (bounced.status == 429 && bounced.retryAfterS > 0)
+                ++rejected;
+            else
+                ++failures;
+        }
+        admission.setDispatchPaused(false);
+        for (auto& future : parked)
+            if (future.get().status != 200) {
+                ++failures;
+                --accepted;
+            }
+
+        campaign.deterministic()
+            .counter("serve.admission.accepted")
+            .inc(accepted);
+        campaign.deterministic()
+            .counter("serve.admission.rejected")
+            .inc(rejected);
+        std::printf("admission: accepted=%llu rejected=%llu (capacity 2, "
+                    "5 offered)\n",
+                    static_cast<unsigned long long>(accepted),
+                    static_cast<unsigned long long>(rejected));
+    }
+
+    if (failures != 0) {
+        std::printf("bench_serve: %d failure(s)\n", failures);
+        return 1;
+    }
+    return campaign.finish();
+}

@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "runner/env.hpp"
 #include "runner/metrics_json.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/scheduler.hpp"
@@ -45,8 +46,6 @@
 #include "sim/types.hpp"
 #include "snap/store.hpp"
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -68,31 +67,14 @@ fastMode()
  * @p name from the environment as a decimal u64, or @p fallback when
  * unset. Malformed values — empty, trailing garbage ("10x"), negative,
  * out of range — fall back with a warning on stderr instead of being
- * silently half-parsed.
+ * silently half-parsed. Campaign-selecting variables (PHANTOM_SEED,
+ * PHANTOM_JOBS) do NOT go through this: they use the strict variant in
+ * runner/env.hpp and fail loudly instead.
  */
 inline u64
 envOr(const char* name, u64 fallback)
 {
-    const char* env = std::getenv(name);
-    if (env == nullptr)
-        return fallback;
-    // strtoull skips leading whitespace and accepts '-' (wrapping the
-    // value), so check for a sign the same way it would see it.
-    const char* first = env;
-    while (std::isspace(static_cast<unsigned char>(*first)))
-        ++first;
-    char* end = nullptr;
-    errno = 0;
-    u64 v = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0' || errno == ERANGE || *first == '-') {
-        std::fprintf(stderr,
-                     "phantom: ignoring malformed %s=\"%s\" "
-                     "(using %llu)\n",
-                     name, env,
-                     static_cast<unsigned long long>(fallback));
-        return fallback;
-    }
-    return v;
+    return runner::envU64Or(name, fallback);
 }
 
 /** Default repeat count: @p full normally, @p fast under PHANTOM_FAST. */
@@ -136,7 +118,7 @@ class Campaign
 {
   public:
     explicit Campaign(const char* bench_name)
-        : seed_(envOr("PHANTOM_SEED", kDefaultCampaignSeed)),
+        : seed_(runner::envU64Strict("PHANTOM_SEED", kDefaultCampaignSeed)),
           scheduler_(),
           sink_(bench_name, seed_, scheduler_.jobs()),
           mainThread_(std::this_thread::get_id()),

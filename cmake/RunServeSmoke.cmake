@@ -1,0 +1,58 @@
+# Smoke-tests the experiment daemon end to end. Invoked by the
+# serve_smoke CTest as:
+#
+#   cmake -DSMOKE=<serve_smoke exe> -DCHECKER=<json_check exe>
+#         -DOUT_DIR=<scratch dir> -P RunServeSmoke.cmake
+#
+# Steps:
+#   1. run serve_smoke: real daemon on an ephemeral loopback port,
+#      protocol checks (404/405/400/413/429/505), two concurrent
+#      identical POST /run whose bodies land in OUT_DIR
+#   2. check each body against the v2 metrics schema and the expected
+#      experiment key
+#   3. require the two responses to be bit-identical on "experiments"
+#      and "metrics.deterministic" — identical specs with identical
+#      seeds must agree regardless of queueing and concurrency
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+    COMMAND "${SMOKE}" "${OUT_DIR}"
+    RESULT_VARIABLE smoke_rv
+    OUTPUT_VARIABLE smoke_out
+    ERROR_VARIABLE smoke_err)
+message(STATUS "${smoke_out}")
+if(NOT smoke_rv EQUAL 0)
+    message(FATAL_ERROR
+        "serve_smoke failed (rv=${smoke_rv})\n${smoke_out}\n${smoke_err}")
+endif()
+
+foreach(response r1 r2)
+    execute_process(
+        COMMAND "${CHECKER}" --metrics-schema "${OUT_DIR}/${response}.json"
+        RESULT_VARIABLE metrics_rv)
+    if(NOT metrics_rv EQUAL 0)
+        message(FATAL_ERROR
+            "serve_smoke: ${response}.json fails the v2 metrics schema")
+    endif()
+    execute_process(
+        COMMAND "${CHECKER}" --expect-experiments
+            "${OUT_DIR}/${response}.json" zen2
+        RESULT_VARIABLE keys_rv)
+    if(NOT keys_rv EQUAL 0)
+        message(FATAL_ERROR
+            "serve_smoke: ${response}.json lacks the zen2 experiment")
+    endif()
+endforeach()
+
+foreach(subtree experiments metrics.deterministic metrics.manifest)
+    execute_process(
+        COMMAND "${CHECKER}" --equal-path ${subtree}
+            "${OUT_DIR}/r1.json" "${OUT_DIR}/r2.json"
+        RESULT_VARIABLE equal_rv)
+    if(NOT equal_rv EQUAL 0)
+        message(FATAL_ERROR
+            "serve_smoke: '${subtree}' differs between two identical "
+            "seeded requests — the daemon leaked nondeterminism")
+    endif()
+endforeach()

@@ -488,6 +488,12 @@ StageExperiment::run(BranchKind train, BranchKind victim)
             Trial trial(config_, opts, train, victim,
                         options_.targetPageOffset, /*series_anchor=*/-1,
                         warm.get());
+            if (warm != nullptr && store != nullptr) {
+                // An independent machine spun off the shared warm parent
+                // — a copy-on-write fork, unlike the in-place restores
+                // counted per channel reset below.
+                ++store->stats().forks;
+            }
             if (warm == nullptr) {
                 warm = std::make_shared<const snap::MachineState>(
                     trial.captureWarm());

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared PHANTOM_* environment parsing.
+ *
+ * Two policies, one parser:
+ *
+ *  - envU64Or(): tolerant — malformed values warn on stderr and fall
+ *    back. For knobs where a typo should not kill a long campaign
+ *    (PHANTOM_RUNS, PHANTOM_TRACE_EVENTS, ...).
+ *  - envU64Strict(): loud — malformed values terminate with exit code
+ *    64 naming the offending string. For variables that select *which*
+ *    campaign runs or how the daemon binds (PHANTOM_SEED, PHANTOM_JOBS,
+ *    PHANTOM_SERVE_PORT, PHANTOM_SERVE_QUEUE): silently falling back
+ *    would run the wrong experiment or serve on the wrong port, which
+ *    is strictly worse than failing.
+ *
+ * Header-only so socket-free tools can use it without linking the
+ * runner.
+ */
+
+#ifndef PHANTOM_RUNNER_ENV_HPP
+#define PHANTOM_RUNNER_ENV_HPP
+
+#include "sim/types.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace phantom::runner {
+
+/**
+ * Parse @p text as a decimal u64 into @p out. Rejects everything
+ * strtoull quietly accepts: empty strings, trailing garbage ("10x"),
+ * negative values (which would wrap), and out-of-range magnitudes.
+ */
+inline bool
+parseEnvU64(const char* text, u64& out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    const char* first = text;
+    while (std::isspace(static_cast<unsigned char>(*first)))
+        ++first;
+    char* end = nullptr;
+    errno = 0;
+    u64 v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || *first == '-')
+        return false;
+    out = v;
+    return true;
+}
+
+/** @p name from the environment as a decimal u64; malformed values
+ *  warn on stderr and yield @p fallback. */
+inline u64
+envU64Or(const char* name, u64 fallback)
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    u64 v = 0;
+    if (!parseEnvU64(env, v)) {
+        std::fprintf(stderr,
+                     "phantom: ignoring malformed %s=\"%s\" (using %llu)\n",
+                     name, env,
+                     static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
+/**
+ * As envU64Or(), but a malformed value is a hard error: print the
+ * offending string and exit 64 (the tools' usage-error code). @p lo /
+ * @p hi bound the accepted range inclusively; values outside it are
+ * rejected the same way.
+ */
+inline u64
+envU64Strict(const char* name, u64 fallback, u64 lo = 0,
+             u64 hi = ~u64{0})
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    u64 v = 0;
+    if (!parseEnvU64(env, v) || v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "phantom: invalid %s=\"%s\" (expected an integer in "
+                     "[%llu, %llu])\n",
+                     name, env, static_cast<unsigned long long>(lo),
+                     static_cast<unsigned long long>(hi));
+        std::exit(64);
+    }
+    return v;
+}
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_ENV_HPP

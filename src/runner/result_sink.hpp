@@ -38,6 +38,7 @@
 #define PHANTOM_RUNNER_RESULT_SINK_HPP
 
 #include "runner/json.hpp"
+#include "runner/schema.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -47,15 +48,6 @@
 #include <vector>
 
 namespace phantom::runner {
-
-/**
- * Schema markers. v2 documents are v1 plus the "metrics" section made
- * mandatory for wired benches and an optional "baseline_of" provenance
- * object on checked-in baselines (written by tools/bench_report).
- * Readers (json_check, obs/diff) accept both.
- */
-inline constexpr const char* kResultSchemaV1 = "phantom-bench-results/v1";
-inline constexpr const char* kResultSchemaV2 = "phantom-bench-results/v2";
 
 class ResultSink
 {

@@ -1,10 +1,11 @@
 #include "runner/scheduler.hpp"
 
+#include "runner/env.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -22,19 +23,11 @@ hardwareJobs()
 unsigned
 jobsFromEnv()
 {
-    const char* env = std::getenv("PHANTOM_JOBS");
-    if (env == nullptr || *env == '\0')
-        return hardwareJobs();
-    char* end = nullptr;
-    unsigned long v = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0' || v == 0 || v > 4096) {
-        std::fprintf(stderr,
-                     "phantom: ignoring malformed PHANTOM_JOBS=\"%s\" "
-                     "(using hardware concurrency %u)\n",
-                     env, hardwareJobs());
-        return hardwareJobs();
-    }
-    return static_cast<unsigned>(v);
+    // Strict: a malformed PHANTOM_JOBS ("8x", "-2", "0") used to warn
+    // and silently run on hardware concurrency, which hid typos in CI
+    // matrices. Now it terminates naming the offending string.
+    return static_cast<unsigned>(
+        envU64Strict("PHANTOM_JOBS", hardwareJobs(), 1, 4096));
 }
 
 double

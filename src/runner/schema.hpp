@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Result-document schema markers.
+ *
+ * Lives apart from the ResultSink so JSON-only consumers (tools like
+ * json_check and serve_client, the serve protocol layer) can check
+ * schema strings against the phantom_json target without linking the
+ * whole runner (scheduler, threads, result sink).
+ */
+
+#ifndef PHANTOM_RUNNER_SCHEMA_HPP
+#define PHANTOM_RUNNER_SCHEMA_HPP
+
+namespace phantom::runner {
+
+/**
+ * Bench-result schema markers. v2 documents are v1 plus the "metrics"
+ * section made mandatory for wired benches and an optional
+ * "baseline_of" provenance object on checked-in baselines (written by
+ * tools/bench_report). Readers (json_check, obs/diff) accept both.
+ */
+inline constexpr const char* kResultSchemaV1 = "phantom-bench-results/v1";
+inline constexpr const char* kResultSchemaV2 = "phantom-bench-results/v2";
+
+/** Schema markers of the serving layer (src/serve). */
+inline constexpr const char* kServeErrorSchema = "phantom-serve-error/v1";
+inline constexpr const char* kServeHealthSchema = "phantom-serve-health/v1";
+inline constexpr const char* kServeStatsSchema = "phantom-serve-stats/v1";
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_SCHEMA_HPP

@@ -1,0 +1,252 @@
+#include "serve/daemon.hpp"
+
+#include "runner/schema.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace phantom::serve {
+
+using runner::JsonValue;
+
+namespace {
+
+HttpResponse
+jsonResponse(int status, const JsonValue& body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.headers.emplace_back("content-type", "application/json");
+    response.body = body.dump(2);
+    response.body += "\n";
+    return response;
+}
+
+HttpResponse
+errorResponse(int status, const std::string& message)
+{
+    JsonValue body = JsonValue::object();
+    body.set("schema", runner::kServeErrorSchema);
+    body.set("status", status);
+    body.set("error", message);
+    return jsonResponse(status, body);
+}
+
+} // namespace
+
+Daemon::Daemon(Server& server, int port, HttpLimits limits)
+    : server_(server), limits_(limits)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        std::string what = std::string("bind 127.0.0.1:") +
+            std::to_string(port) + ": " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error(what);
+    }
+
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+void
+Daemon::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    // shutdown() wakes the blocking accept(); close() alone may not.
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptor_.joinable())
+        acceptor_.join();
+    std::vector<std::thread> connections;
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        connections.swap(connections_);
+    }
+    for (std::thread& t : connections)
+        if (t.joinable())
+            t.join();
+}
+
+void
+Daemon::acceptLoop()
+{
+    while (!stopping_.load()) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                break;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        reapFinished();
+        // One request per connection and experiments run for tens of
+        // milliseconds each, so a plain thread per connection is the
+        // simplest correct model; Server does the real queueing.
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        connections_.emplace_back([this, fd] {
+            serveConnection(fd);
+            std::lock_guard<std::mutex> done(connectionsMutex_);
+            finished_.push_back(std::this_thread::get_id());
+        });
+    }
+}
+
+void
+Daemon::reapFinished()
+{
+    std::lock_guard<std::mutex> lock(connectionsMutex_);
+    for (std::thread::id id : finished_) {
+        for (auto it = connections_.begin(); it != connections_.end();
+             ++it) {
+            if (it->get_id() == id) {
+                it->join();
+                connections_.erase(it);
+                break;
+            }
+        }
+    }
+    finished_.clear();
+}
+
+void
+Daemon::serveConnection(int fd)
+{
+    // Bound every read so a stalled client cannot pin the thread.
+    timeval timeout{};
+    timeout.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+    HttpResponse response;
+    HttpRequest request;
+    std::string data;
+    char buffer[4096];
+    std::size_t head_end = std::string::npos;
+    bool peer_gone = false;
+
+    // Read until the blank line that ends the head.
+    while (head_end == std::string::npos) {
+        if (data.size() > limits_.maxRequestLine + limits_.maxHeaderBytes) {
+            response = errorResponse(431, "request head too large");
+            goto answer;
+        }
+        {
+            ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+            if (n <= 0) {
+                peer_gone = n == 0 && data.empty();
+                if (!peer_gone) {
+                    response =
+                        errorResponse(400, "truncated request head");
+                    goto answer;
+                }
+                ::close(fd);
+                return;
+            }
+            data.append(buffer, static_cast<std::size_t>(n));
+        }
+        head_end = findHeadEnd(data);
+    }
+
+    {
+        HttpParseResult parsed = parseRequestHead(data, request, limits_);
+        if (!parsed.ok) {
+            response = errorResponse(parsed.status, parsed.error);
+            goto answer;
+        }
+        // Read the declared body; anything short of Content-Length is
+        // a client error, not a hang (recv timeout above).
+        while (data.size() < parsed.headBytes + parsed.contentLength) {
+            ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+            if (n <= 0) {
+                response = errorResponse(400, "truncated request body");
+                goto answer;
+            }
+            data.append(buffer, static_cast<std::size_t>(n));
+        }
+        request.body =
+            data.substr(parsed.headBytes, parsed.contentLength);
+        response = handle(request);
+    }
+
+answer:
+    {
+        std::string wire = serializeResponse(response);
+        std::size_t sent = 0;
+        while (sent < wire.size()) {
+            ssize_t n =
+                ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+            if (n <= 0)
+                break;
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+    ::shutdown(fd, SHUT_WR);
+    ::close(fd);
+}
+
+HttpResponse
+Daemon::handle(const HttpRequest& request)
+{
+    if (request.target == "/healthz") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET /healthz");
+        return jsonResponse(200, server_.healthz());
+    }
+    if (request.target == "/statsz") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET /statsz");
+        return jsonResponse(200, server_.statsz());
+    }
+    if (request.target == "/run") {
+        if (request.method != "POST")
+            return errorResponse(405, "use POST /run");
+        JsonValue doc;
+        std::string error;
+        if (!runner::parseJson(request.body, doc, &error))
+            return errorResponse(400, "malformed JSON body: " + error);
+        ExperimentSpec spec;
+        if (!parseSpec(doc, spec, &error))
+            return errorResponse(400, "invalid spec: " + error);
+        ServeResult result = server_.run(spec);
+        HttpResponse response = jsonResponse(result.status, result.body);
+        if (result.retryAfterS > 0)
+            response.headers.emplace_back(
+                "retry-after", std::to_string(result.retryAfterS));
+        return response;
+    }
+    return errorResponse(404, "unknown target \"" + request.target + "\"");
+}
+
+} // namespace phantom::serve

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * TCP front-end for the experiment Server.
+ *
+ * A Daemon binds 127.0.0.1:<port> (port 0 picks an ephemeral port,
+ * reported by port()), accepts connections on a background thread, and
+ * answers one request per connection (always `Connection: close`):
+ *
+ *   GET  /healthz   liveness           → 200 kServeHealthSchema
+ *   GET  /statsz    queue/snap/metrics → 200 kServeStatsSchema
+ *   POST /run       experiment spec    → 200 phantom-bench-results/v2
+ *                                      | 400/413/429/504 kServeErrorSchema
+ *
+ * Anything else is a 404 (unknown target) or 405 (wrong method); a
+ * garbled request head gets the status parseRequestHead() chose
+ * (400/413/431/501/505). The daemon owns no experiment state — every
+ * policy decision (admission, batching, deadlines) lives in Server.
+ */
+
+#ifndef PHANTOM_SERVE_DAEMON_HPP
+#define PHANTOM_SERVE_DAEMON_HPP
+
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace phantom::serve {
+
+class Daemon
+{
+  public:
+    /**
+     * Bind and start accepting. Throws std::runtime_error when the
+     * port cannot be bound (e.g. already in use).
+     */
+    Daemon(Server& server, int port, HttpLimits limits = {});
+    ~Daemon();
+
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /** The bound port (resolves port 0 to the kernel's choice). */
+    int port() const { return port_; }
+
+    /** Stop accepting, join every connection thread. Idempotent. */
+    void stop();
+
+    /** Route one parsed request; exposed for direct (socket-free) use. */
+    HttpResponse handle(const HttpRequest& request);
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void reapFinished();
+
+    Server& server_;
+    HttpLimits limits_;
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread acceptor_;
+    std::mutex connectionsMutex_;
+    std::vector<std::thread> connections_;
+    /** Ids of connection threads that have run to completion; the
+     *  acceptor joins these between accepts so a long-lived daemon
+     *  does not accumulate one un-joined stack per past connection. */
+    std::vector<std::thread::id> finished_;
+};
+
+} // namespace phantom::serve
+
+#endif // PHANTOM_SERVE_DAEMON_HPP

@@ -1,0 +1,351 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+namespace phantom::serve {
+
+namespace {
+
+bool
+isTokenChar(char c)
+{
+    // RFC 7230 token characters; enough for methods and header names.
+    if (std::isalnum(static_cast<unsigned char>(c)))
+        return true;
+    return std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string_view
+trimOws(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+const std::string*
+findHeader(const std::vector<std::pair<std::string, std::string>>& headers,
+           const std::string& name)
+{
+    for (const auto& [key, value] : headers)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+HttpParseResult
+parseFailure(int status, std::string error)
+{
+    HttpParseResult r;
+    r.ok = false;
+    r.status = status;
+    r.error = std::move(error);
+    return r;
+}
+
+} // namespace
+
+const std::string*
+HttpRequest::header(const std::string& name) const
+{
+    return findHeader(headers, name);
+}
+
+const std::string*
+HttpResponse::header(const std::string& name) const
+{
+    return findHeader(headers, name);
+}
+
+const char*
+statusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      case 504: return "Gateway Timeout";
+      case 505: return "HTTP Version Not Supported";
+    }
+    return "Unknown";
+}
+
+std::size_t
+findHeadEnd(std::string_view data)
+{
+    std::size_t pos = data.find("\r\n\r\n");
+    return pos == std::string_view::npos ? std::string_view::npos : pos + 4;
+}
+
+HttpParseResult
+parseRequestHead(std::string_view data, HttpRequest& out,
+                 const HttpLimits& limits)
+{
+    out = HttpRequest{};
+    std::size_t head_end = findHeadEnd(data);
+    if (head_end == std::string_view::npos)
+        return parseFailure(400, "truncated head (no blank line)");
+    if (head_end > limits.maxRequestLine + limits.maxHeaderBytes)
+        return parseFailure(431, "head exceeds size limits");
+    std::string_view head = data.substr(0, head_end);
+
+    // ---- Request line: METHOD SP TARGET SP HTTP/x.y ------------------
+    std::size_t line_end = head.find("\r\n");
+    std::string_view line = head.substr(0, line_end);
+    if (line.size() > limits.maxRequestLine)
+        return parseFailure(431, "request line too long");
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 = sp1 == std::string_view::npos
+                          ? std::string_view::npos
+                          : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos)
+        return parseFailure(400, "malformed request line");
+    std::string_view method = line.substr(0, sp1);
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string_view version = line.substr(sp2 + 1);
+
+    if (method.empty())
+        return parseFailure(400, "empty method");
+    for (char c : method)
+        if (!isTokenChar(c))
+            return parseFailure(400, "non-token byte in method");
+    if (target.empty() || target[0] != '/')
+        return parseFailure(400, "target must be origin-form (\"/...\")");
+    for (char c : target)
+        if (static_cast<unsigned char>(c) <= 0x20 ||
+            static_cast<unsigned char>(c) == 0x7f)
+            return parseFailure(400, "control byte in target");
+    if (version != "HTTP/1.1" && version != "HTTP/1.0")
+        return parseFailure(505, "unsupported protocol version");
+
+    out.method = std::string(method);
+    out.target = std::string(target);
+    out.version = std::string(version);
+
+    // ---- Headers -----------------------------------------------------
+    HttpParseResult result;
+    result.headBytes = head_end;
+    bool have_content_length = false;
+    std::size_t pos = line_end + 2;
+    while (pos + 2 <= head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        std::string_view header_line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (header_line.empty())
+            break;   // blank line: end of head
+        std::size_t colon = header_line.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return parseFailure(400, "header line without name:");
+        std::string_view name = header_line.substr(0, colon);
+        for (char c : name)
+            if (!isTokenChar(c))
+                return parseFailure(400, "non-token byte in header name");
+        std::string_view value = trimOws(header_line.substr(colon + 1));
+        for (char c : value)
+            if ((static_cast<unsigned char>(c) < 0x20 && c != '\t') ||
+                static_cast<unsigned char>(c) == 0x7f)
+                return parseFailure(400, "control byte in header value");
+        std::string lower = toLower(name);
+
+        if (lower == "transfer-encoding")
+            return parseFailure(501, "chunked transfer coding unsupported");
+        if (lower == "content-length") {
+            if (have_content_length)
+                return parseFailure(400, "duplicate Content-Length");
+            have_content_length = true;
+            if (value.empty())
+                return parseFailure(400, "empty Content-Length");
+            u64 length = 0;
+            for (char c : value) {
+                if (!std::isdigit(static_cast<unsigned char>(c)))
+                    return parseFailure(400, "non-digit Content-Length");
+                if (length > (~u64{0} - 9) / 10)
+                    return parseFailure(413, "Content-Length overflows");
+                length = length * 10 + static_cast<u64>(c - '0');
+            }
+            if (length > limits.maxBodyBytes)
+                return parseFailure(413, "declared body exceeds limit");
+            result.contentLength = static_cast<std::size_t>(length);
+        }
+        out.headers.emplace_back(std::move(lower), std::string(value));
+    }
+
+    result.ok = true;
+    result.status = 200;
+    return result;
+}
+
+namespace {
+
+std::string
+serializeHead(const std::string& start_line,
+              const std::vector<std::pair<std::string, std::string>>& headers,
+              std::size_t body_bytes)
+{
+    std::string out = start_line;
+    out += "\r\n";
+    bool have_length = false;
+    bool have_connection = false;
+    for (const auto& [name, value] : headers) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+        std::string lower = toLower(name);
+        have_length = have_length || lower == "content-length";
+        have_connection = have_connection || lower == "connection";
+    }
+    if (!have_length) {
+        out += "Content-Length: ";
+        out += std::to_string(body_bytes);
+        out += "\r\n";
+    }
+    if (!have_connection)
+        out += "Connection: close\r\n";
+    out += "\r\n";
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeRequest(const HttpRequest& request)
+{
+    std::string start = request.method + " " + request.target + " " +
+        (request.version.empty() ? "HTTP/1.1" : request.version);
+    return serializeHead(start, request.headers, request.body.size()) +
+        request.body;
+}
+
+std::string
+serializeResponse(const HttpResponse& response)
+{
+    std::string start = "HTTP/1.1 " + std::to_string(response.status) +
+        " " + statusReason(response.status);
+    return serializeHead(start, response.headers, response.body.size()) +
+        response.body;
+}
+
+bool
+parseResponse(std::string_view data, HttpResponse& out, std::string* error)
+{
+    out = HttpResponse{};
+    std::size_t head_end = findHeadEnd(data);
+    if (head_end == std::string_view::npos) {
+        if (error != nullptr)
+            *error = "truncated response head";
+        return false;
+    }
+    std::string_view head = data.substr(0, head_end);
+    std::size_t line_end = head.find("\r\n");
+    std::string_view line = head.substr(0, line_end);
+    // "HTTP/1.1 SP 3DIGIT SP reason"
+    if (line.size() < 12 || line.compare(0, 5, "HTTP/") != 0 ||
+        line[8] != ' ' ||
+        !std::isdigit(static_cast<unsigned char>(line[9])) ||
+        !std::isdigit(static_cast<unsigned char>(line[10])) ||
+        !std::isdigit(static_cast<unsigned char>(line[11]))) {
+        if (error != nullptr)
+            *error = "malformed status line";
+        return false;
+    }
+    out.status = (line[9] - '0') * 100 + (line[10] - '0') * 10 +
+        (line[11] - '0');
+
+    std::size_t pos = line_end + 2;
+    while (pos + 2 <= head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        std::string_view header_line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (header_line.empty())
+            break;
+        std::size_t colon = header_line.find(':');
+        if (colon == std::string_view::npos)
+            continue;   // lenient: skip junk header lines
+        out.headers.emplace_back(
+            toLower(header_line.substr(0, colon)),
+            std::string(trimOws(header_line.substr(colon + 1))));
+    }
+    out.body = std::string(data.substr(head_end));
+    return true;
+}
+
+bool
+httpRoundTrip(int port, const HttpRequest& request, HttpResponse& response,
+              std::string* error)
+{
+    auto fail = [&](const char* what) {
+        if (error != nullptr)
+            *error = std::string(what) + ": " + std::strerror(errno);
+        return false;
+    };
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        ::close(fd);
+        return fail("connect");
+    }
+
+    std::string wire = serializeRequest(request);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return fail("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    // The daemon answers Connection: close, so read to EOF.
+    std::string data;
+    char buffer[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n < 0) {
+            ::close(fd);
+            return fail("recv");
+        }
+        if (n == 0)
+            break;
+        data.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    return parseResponse(data, response, error);
+}
+
+} // namespace phantom::serve

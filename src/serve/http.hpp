@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dependency-free HTTP/1.1 subset for the experiment daemon.
+ *
+ * The parser is deliberately socket-free: parseRequestHead() and
+ * parseResponse() operate on byte buffers so the serve_fuzz harness can
+ * drive them with malformed input (garbled request lines, truncated
+ * heads, oversized Content-Length) and assert they answer with a 4xx/5xx
+ * status instead of crashing. The daemon (src/serve/daemon.cpp) and the
+ * client helper below are thin socket loops around these functions.
+ *
+ * Supported: one request per connection (the daemon always answers
+ * `Connection: close`), fixed Content-Length bodies, no chunked
+ * transfer coding (501), HTTP/1.0 and 1.1 only (505).
+ */
+
+#ifndef PHANTOM_SERVE_HTTP_HPP
+#define PHANTOM_SERVE_HTTP_HPP
+
+#include "sim/types.hpp"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace phantom::serve {
+
+/** Hard input limits; everything beyond them is rejected, not buffered. */
+struct HttpLimits
+{
+    std::size_t maxRequestLine = 8 * 1024;    ///< 431 beyond this
+    std::size_t maxHeaderBytes = 64 * 1024;   ///< 431 beyond this
+    std::size_t maxBodyBytes = 1024 * 1024;   ///< 413 beyond this
+};
+
+struct HttpRequest
+{
+    std::string method;    ///< e.g. "POST" (verbatim, case-sensitive)
+    std::string target;    ///< e.g. "/run"
+    std::string version;   ///< "HTTP/1.0" or "HTTP/1.1"
+    /** Parsed headers, names lowercased, in arrival order. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Value of lowercase @p name, or nullptr when absent. */
+    const std::string* header(const std::string& name) const;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    const std::string* header(const std::string& name) const;
+};
+
+/** Canonical reason phrase for the status codes the daemon emits. */
+const char* statusReason(int status);
+
+/** Outcome of parsing a request head (request line + headers). */
+struct HttpParseResult
+{
+    bool ok = false;
+    /** HTTP status to answer with when !ok (400/413/431/501/505). */
+    int status = 400;
+    std::string error;          ///< one-line parse diagnostic
+    std::size_t contentLength = 0;
+    std::size_t headBytes = 0;  ///< bytes consumed through the blank line
+};
+
+/**
+ * Parse @p data as a request head. @p data must contain the terminating
+ * blank line ("\r\n\r\n"); on success @p out holds method/target/version
+ * and the headers, and the result carries the declared Content-Length
+ * (validated against @p limits.maxBodyBytes — oversized bodies are a
+ * 413 before a single body byte is read).
+ */
+HttpParseResult parseRequestHead(std::string_view data, HttpRequest& out,
+                                 const HttpLimits& limits = {});
+
+/** Offset one past "\r\n\r\n" in @p data, or npos when incomplete. */
+std::size_t findHeadEnd(std::string_view data);
+
+/** Serialize a request (adds Content-Length and Connection: close). */
+std::string serializeRequest(const HttpRequest& request);
+
+/** Serialize a response (adds Content-Length and Connection: close). */
+std::string serializeResponse(const HttpResponse& response);
+
+/**
+ * Parse a full response buffer (status line + headers + body). Client
+ * side only, so the policy is lenient: the body is whatever follows the
+ * blank line. Returns false on a garbled status line.
+ */
+bool parseResponse(std::string_view data, HttpResponse& out,
+                   std::string* error);
+
+/**
+ * One blocking request/response exchange with 127.0.0.1:@p port.
+ * Returns false (with @p error) on connect/send/recv failure or a
+ * garbled response.
+ */
+bool httpRoundTrip(int port, const HttpRequest& request,
+                   HttpResponse& response, std::string* error);
+
+} // namespace phantom::serve
+
+#endif // PHANTOM_SERVE_HTTP_HPP

@@ -1,0 +1,385 @@
+#include "serve/server.hpp"
+
+#include "attack/experiment.hpp"
+#include "runner/metrics_json.hpp"
+#include "runner/schema.hpp"
+#include "snap/state.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_map>
+
+namespace phantom::serve {
+
+using runner::JsonValue;
+
+namespace {
+
+u64
+microsSince(std::chrono::steady_clock::time_point start,
+            std::chrono::steady_clock::time_point end)
+{
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        end - start);
+    return us.count() < 0 ? 0 : static_cast<u64>(us.count());
+}
+
+/** Map a canonical kind name back to the enum; parseSpec validated it. */
+bool
+kindFromName(const std::string& name, attack::BranchKind* out)
+{
+    for (attack::BranchKind kind : attack::table1Kinds()) {
+        if (name == attack::branchKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      jobs_(options.jobs != 0 ? options.jobs : runner::jobsFromEnv()),
+      scheduler_(jobs_)
+{
+    stores_.reserve(jobs_);
+    for (unsigned w = 0; w < jobs_; ++w)
+        stores_.push_back(std::make_unique<snap::SnapshotStore>());
+    scheduler_.setWorkerHooks(
+        [this](unsigned worker) {
+            snap::setActiveSnapshotStore(stores_[worker].get());
+        },
+        [](unsigned) { snap::setActiveSnapshotStore(nullptr); });
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+ServeResult
+Server::errorResult(int status, const std::string& message,
+                    int retry_after_s)
+{
+    ServeResult result;
+    result.status = status;
+    result.retryAfterS = retry_after_s;
+    result.body = JsonValue::object();
+    result.body.set("schema", runner::kServeErrorSchema);
+    result.body.set("status", status);
+    result.body.set("error", message);
+    if (retry_after_s > 0)
+        result.body.set("retry_after", retry_after_s);
+    return result;
+}
+
+ServeResult
+Server::run(const ExperimentSpec& spec)
+{
+    // Semantic validation up front, before the request costs a queue
+    // slot: parseSpec checked shape, this checks the simulator agrees.
+    if (snap::resolveConfig(spec.uarch) == nullptr)
+        return errorResult(400, "unknown uarch \"" + spec.uarch + "\"");
+    attack::BranchKind kind;
+    if (!kindFromName(spec.train, &kind))
+        return errorResult(400,
+                           "unknown train kind \"" + spec.train + "\"");
+    if (!kindFromName(spec.victim, &kind))
+        return errorResult(400,
+                           "unknown victim kind \"" + spec.victim + "\"");
+
+    auto pending = std::make_shared<Pending>();
+    pending->spec = spec;
+    pending->enqueued = std::chrono::steady_clock::now();
+    u64 deadline_ms =
+        spec.deadlineMs != 0 ? spec.deadlineMs : options_.defaultDeadlineMs;
+    if (deadline_ms != 0) {
+        pending->hasDeadline = true;
+        pending->deadline =
+            pending->enqueued + std::chrono::milliseconds(deadline_ms);
+    }
+    std::future<ServeResult> future = pending->promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return errorResult(503, "server is shutting down");
+        if (queue_.size() >= options_.queueCapacity) {
+            // Crude but honest back-off hint: a full queue means at
+            // least one batch must drain first.
+            std::lock_guard<std::mutex> stats(statsMutex_);
+            measured_.counter("serve.rejected_queue_full").inc();
+            return errorResult(429, "request queue is full",
+                               /*retry_after_s=*/1);
+        }
+        queue_.push_back(pending);
+    }
+    {
+        std::lock_guard<std::mutex> stats(statsMutex_);
+        measured_.counter("serve.accepted").inc();
+    }
+    cv_.notify_all();
+    return future.get();
+}
+
+void
+Server::dispatchLoop()
+{
+    for (;;) {
+        std::vector<std::shared_ptr<Pending>> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return stopping_ || (!paused_ && !queue_.empty());
+            });
+            if (stopping_)
+                return;
+            batch.assign(queue_.begin(), queue_.end());
+            queue_.clear();
+            batchInFlight_ = true;
+        }
+        runBatch(std::move(batch));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batchInFlight_ = false;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+Server::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] {
+        return (queue_.empty() && !batchInFlight_) || stopping_;
+    });
+}
+
+void
+Server::runBatch(std::vector<std::shared_ptr<Pending>> batch)
+{
+    // Group by batch key, preserving arrival order within and across
+    // groups. One scheduler task per GROUP pins every request of a key
+    // to one worker — and therefore one snapshot store — so request 1
+    // trains and the rest fork the warm parent.
+    std::vector<std::vector<std::shared_ptr<Pending>>> groups;
+    std::unordered_map<std::string, std::size_t> index;
+    for (auto& pending : batch) {
+        std::string key = pending->spec.batchKey();
+        auto [it, inserted] = index.emplace(key, groups.size());
+        if (inserted)
+            groups.emplace_back();
+        groups[it->second].push_back(std::move(pending));
+    }
+
+    {
+        std::lock_guard<std::mutex> stats(statsMutex_);
+        measured_.counter("serve.batches").inc();
+        measured_.counter("serve.batch_groups").inc(groups.size());
+        measured_.histogram("serve.batch_requests")
+            .observe(static_cast<u64>(batch.size()));
+    }
+
+    scheduler_.forEach(groups.size(), [this, &groups](u64 g, unsigned) {
+        for (const std::shared_ptr<Pending>& pending : groups[g]) {
+            auto started = std::chrono::steady_clock::now();
+            u64 wait_us = microsSince(pending->enqueued, started);
+            ServeResult result;
+            if (pending->hasDeadline && started > pending->deadline) {
+                result = errorResult(
+                    504, "deadline expired before the request started");
+                std::lock_guard<std::mutex> stats(statsMutex_);
+                measured_.counter("serve.deadline_expired").inc();
+            } else {
+                try {
+                    result = runSpec(pending->spec, wait_us);
+                } catch (const std::exception& e) {
+                    result = errorResult(
+                        500, std::string("experiment failed: ") + e.what());
+                }
+                std::lock_guard<std::mutex> stats(statsMutex_);
+                measured_.counter("serve.completed").inc();
+                measured_.histogram("serve.queue_wait_micros")
+                    .observe(wait_us);
+                measured_.histogram("serve.request_micros")
+                    .observe(microsSince(
+                        pending->enqueued,
+                        std::chrono::steady_clock::now()));
+            }
+            pending->promise.set_value(std::move(result));
+        }
+    });
+
+    // Refresh the aggregated snapshot-store view. Safe here: no batch
+    // is in flight, so the per-worker stores are quiescent.
+    snap::StoreStats total;
+    for (const auto& store : stores_)
+        total.merge(store->stats());
+    std::lock_guard<std::mutex> stats(statsMutex_);
+    snapStats_ = total;
+}
+
+ServeResult
+Server::runSpec(const ExperimentSpec& spec, u64 queue_wait_us)
+{
+    const cpu::MicroarchConfig* config = snap::resolveConfig(spec.uarch);
+    attack::BranchKind train = attack::BranchKind::IndirectJmp;
+    attack::BranchKind victim = attack::BranchKind::IndirectJmp;
+    if (config == nullptr || !kindFromName(spec.train, &train) ||
+        !kindFromName(spec.victim, &victim))
+        return errorResult(400, "spec failed semantic validation");
+
+    attack::StageExperimentOptions options;
+    options.seed = spec.seed;
+    options.trials = spec.trials;
+    options.targetPageOffset = spec.targetPageOffset;
+    options.suppressBpOnNonBr = spec.suppressBpOnNonBr;
+    options.autoIbrs = spec.autoIbrs;
+
+    auto started = std::chrono::steady_clock::now();
+    attack::StageExperiment experiment(*config, options);
+    attack::StageObservation obs = experiment.run(train, victim);
+    u64 run_us =
+        microsSince(started, std::chrono::steady_clock::now());
+
+    // The response is a phantom-bench-results/v2 document, assembled
+    // directly (no ResultSink: its wall-clock "timing" section would
+    // break response bit-identity). Everything under "experiments" and
+    // "metrics.deterministic"/"metrics.manifest" derives from seeded
+    // simulation only.
+    JsonValue cell = JsonValue::object();
+    JsonValue labels = JsonValue::object();
+    labels.set(spec.train + " x " + spec.victim,
+               attack::stageCellName(obs));
+    cell.set("labels", std::move(labels));
+    JsonValue scalars = JsonValue::object();
+    scalars.set("applicable", obs.applicable ? 1 : 0);
+    scalars.set("episodes", obs.episodes);
+    scalars.set("trials", static_cast<u64>(spec.trials));
+    cell.set("scalars", std::move(scalars));
+    JsonValue experiments = JsonValue::object();
+    experiments.set(spec.uarch, std::move(cell));
+
+    obs::MetricsRegistry deterministic;
+    cpu::exportPmc(obs.pmc, deterministic);
+    cpu::exportCycleAttribution(obs.attribution, deterministic);
+    deterministic.counter("episodes").inc(obs.episodes);
+
+    obs::MetricsRegistry measured;
+    measured.gauge("serve.queue_wait_micros")
+        .set(static_cast<double>(queue_wait_us));
+    measured.gauge("serve.run_micros").set(static_cast<double>(run_us));
+
+    JsonValue manifest = JsonValue::object();
+    manifest.set("bench", "phantom_serve");
+    manifest.set("campaign_seed", spec.seed);
+    manifest.set("fast_mode", false);
+    JsonValue uarchs = JsonValue::array();
+    uarchs.push(spec.uarch);
+    manifest.set("uarch", std::move(uarchs));
+
+    JsonValue metrics = JsonValue::object();
+    metrics.set("deterministic",
+                runner::metricsToJson(deterministic));
+    metrics.set("measured", runner::metricsToJson(measured));
+    metrics.set("manifest", std::move(manifest));
+
+    ServeResult result;
+    result.status = 200;
+    result.body = JsonValue::object();
+    result.body.set("schema", runner::kResultSchemaV2);
+    result.body.set("bench", "phantom_serve");
+    result.body.set("campaign_seed", spec.seed);
+    result.body.set("jobs", 1);
+    result.body.set("fast_mode", false);
+    result.body.set("spec", spec.toJson());
+    result.body.set("experiments", std::move(experiments));
+    result.body.set("metrics", std::move(metrics));
+    return result;
+}
+
+JsonValue
+Server::healthz() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", runner::kServeHealthSchema);
+    doc.set("status", "ok");
+    doc.set("jobs", static_cast<u64>(jobs_));
+    doc.set("queue_capacity", static_cast<u64>(options_.queueCapacity));
+    return doc;
+}
+
+JsonValue
+Server::statsz()
+{
+    std::size_t depth = queueDepth();
+    std::lock_guard<std::mutex> stats(statsMutex_);
+    measured_.gauge("serve.queue_depth")
+        .set(static_cast<double>(depth));
+    double fork_denominator =
+        static_cast<double>(std::max<u64>(
+            1, snapStats_.forks + snapStats_.captures));
+    measured_.gauge("serve.fork_reuse_rate")
+        .set(static_cast<double>(snapStats_.forks) / fork_denominator);
+
+    JsonValue snap = JsonValue::object();
+    snap.set("captures", snapStats_.captures);
+    snap.set("hits", snapStats_.hits);
+    snap.set("misses", snapStats_.misses);
+    snap.set("restores", snapStats_.restores);
+    snap.set("forks", snapStats_.forks);
+    snap.set("state_bytes", snapStats_.stateBytes);
+
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", runner::kServeStatsSchema);
+    doc.set("queue_depth", static_cast<u64>(depth));
+    doc.set("jobs", static_cast<u64>(jobs_));
+    doc.set("queue_capacity", static_cast<u64>(options_.queueCapacity));
+    doc.set("metrics", runner::metricsToJson(measured_));
+    doc.set("snap", std::move(snap));
+    return doc;
+}
+
+std::size_t
+Server::queueDepth()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+Server::setDispatchPaused(bool paused)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = paused;
+    }
+    cv_.notify_all();
+}
+
+void
+Server::stop()
+{
+    std::deque<std::shared_ptr<Pending>> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            // Already stopped; nothing queued can remain.
+            return;
+        }
+        stopping_ = true;
+        orphans.swap(queue_);
+    }
+    cv_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    for (const auto& pending : orphans)
+        pending->promise.set_value(
+            errorResult(503, "server stopped before the request ran"));
+}
+
+} // namespace phantom::serve

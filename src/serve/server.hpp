@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The experiment service: a bounded admission queue in front of a
+ * snapshot-pooling worker dispatcher.
+ *
+ * Request flow:
+ *
+ *   Server::run(spec)                       (any caller thread, blocking)
+ *     ├─ semantic validation (uarch resolves, kinds map)   → 400
+ *     ├─ admission: queue full?                            → 429
+ *     └─ enqueue + wait on a future
+ *   dispatcher thread
+ *     ├─ drains the whole queue into one batch
+ *     ├─ groups requests by ExperimentSpec::batchKey()
+ *     └─ scheduler_.forEach(one task per GROUP)
+ *   worker w (TrialScheduler thread, snap store w ambient)
+ *     ├─ expired deadline?                                 → 504
+ *     └─ StageExperiment::run → phantom-bench-results/v2 doc
+ *
+ * Scheduling one task per *group* (not per request) is what makes the
+ * snapshot pooling work: every request of a group lands on the same
+ * worker, whose per-shard snap::SnapshotStore already holds the warm
+ * parent after the first request — the rest CoW-fork it instead of
+ * retraining (snap.captures + snap.forks counters prove it). Stores
+ * persist across batches, so a popular spec stays warm for the
+ * daemon's lifetime.
+ *
+ * Determinism: a response's "experiments", "metrics.deterministic" and
+ * "metrics.manifest" subtrees derive only from seeded simulation —
+ * identical specs get bit-identical subtrees regardless of queueing,
+ * batching, or concurrency. "metrics.measured" carries per-request
+ * wall-clock and legitimately varies.
+ */
+
+#ifndef PHANTOM_SERVE_SERVER_HPP
+#define PHANTOM_SERVE_SERVER_HPP
+
+#include "obs/metrics.hpp"
+#include "runner/json.hpp"
+#include "runner/scheduler.hpp"
+#include "serve/spec.hpp"
+#include "snap/store.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phantom::serve {
+
+struct ServerOptions
+{
+    unsigned jobs = 0;              ///< worker count; 0 = jobsFromEnv()
+    std::size_t queueCapacity = 64; ///< admitted-but-unstarted requests
+    u64 defaultDeadlineMs = 0;      ///< applied when a spec has none; 0 = ∞
+};
+
+/** Outcome of one request: an HTTP status plus a JSON body. */
+struct ServeResult
+{
+    int status = 200;
+    int retryAfterS = 0;   ///< nonzero on 429, for the Retry-After header
+    runner::JsonValue body;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions& options = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Execute @p spec and block until its result is ready. Safe to call
+     * from any number of threads concurrently. Never throws: failures
+     * come back as a 4xx/5xx status with a kServeErrorSchema body.
+     */
+    ServeResult run(const ExperimentSpec& spec);
+
+    /** Liveness document (kServeHealthSchema). */
+    runner::JsonValue healthz() const;
+
+    /** Counters/gauges/queue depth document (kServeStatsSchema). */
+    runner::JsonValue statsz();
+
+    /** Admitted-but-unstarted requests right now. */
+    std::size_t queueDepth();
+
+    /**
+     * Test hook: while paused the dispatcher admits (or 429s) but does
+     * not start work, so tests can deterministically fill the queue,
+     * force batching, or let deadlines lapse. Unpausing dispatches the
+     * accumulated batch at once.
+     */
+    void setDispatchPaused(bool paused);
+
+    /**
+     * Block until the queue is empty and no batch is in flight. A
+     * request's future resolves inside the batch, slightly before the
+     * dispatcher's end-of-batch bookkeeping (the snap.* aggregate in
+     * statsz) — callers comparing counters drain here first.
+     */
+    void waitIdle();
+
+    /**
+     * Drain: stop admitting (503), finish nothing further, and fail
+     * every still-queued request with 503. Idempotent; the destructor
+     * calls it.
+     */
+    void stop();
+
+    unsigned jobs() const { return jobs_; }
+    std::size_t queueCapacity() const { return options_.queueCapacity; }
+
+  private:
+    struct Pending
+    {
+        ExperimentSpec spec;
+        std::chrono::steady_clock::time_point enqueued;
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point deadline;
+        std::promise<ServeResult> promise;
+    };
+
+    void dispatchLoop();
+    void runBatch(std::vector<std::shared_ptr<Pending>> batch);
+    ServeResult runSpec(const ExperimentSpec& spec, u64 queue_wait_us);
+    static ServeResult errorResult(int status, const std::string& message,
+                                   int retry_after_s = 0);
+
+    ServerOptions options_;
+    unsigned jobs_;
+
+    std::mutex mutex_;                      ///< queue + lifecycle state
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::deque<std::shared_ptr<Pending>> queue_;
+    bool paused_ = false;
+    bool stopping_ = false;
+    bool batchInFlight_ = false;
+
+    // Dispatcher-owned (never touched while a batch is in flight):
+    // the persistent worker pool and one snapshot store per worker.
+    runner::TrialScheduler scheduler_;
+    std::vector<std::unique_ptr<snap::SnapshotStore>> stores_;
+
+    std::mutex statsMutex_;                 ///< guards the two below
+    obs::MetricsRegistry measured_;
+    snap::StoreStats snapStats_;            ///< aggregated after each batch
+
+    std::thread dispatcher_;
+};
+
+} // namespace phantom::serve
+
+#endif // PHANTOM_SERVE_SERVER_HPP

@@ -1,0 +1,180 @@
+#include "serve/spec.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace phantom::serve {
+
+using runner::JsonValue;
+
+const std::array<const char*, 5>&
+specKindNames()
+{
+    // Table-1 order; mirrored from attack::branchKindName (test_serve
+    // asserts the two tables agree).
+    static const std::array<const char*, 5> kNames = {
+        "jmp*", "jmp", "jcc", "ret", "non branch",
+    };
+    return kNames;
+}
+
+bool
+isKindName(const std::string& name)
+{
+    for (const char* kind : specKindNames())
+        if (name == kind)
+            return true;
+    return false;
+}
+
+std::string
+ExperimentSpec::batchKey() const
+{
+    char buffer[160];
+    std::snprintf(buffer, sizeof buffer, "%s|%s|%s|%016llx|%03llx%s%s",
+                  uarch.c_str(), train.c_str(), victim.c_str(),
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(targetPageOffset),
+                  suppressBpOnNonBr ? "|sbp" : "",
+                  autoIbrs ? "|aibrs" : "");
+    return buffer;
+}
+
+JsonValue
+ExperimentSpec::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("experiment", "stage");
+    doc.set("uarch", uarch);
+    doc.set("train", train);
+    doc.set("victim", victim);
+    doc.set("seed", seed);
+    doc.set("trials", static_cast<u64>(trials));
+    doc.set("target_page_offset", targetPageOffset);
+    doc.set("suppress_bp_on_non_br", suppressBpOnNonBr);
+    doc.set("auto_ibrs", autoIbrs);
+    doc.set("deadline_ms", deadlineMs);
+    return doc;
+}
+
+namespace {
+
+bool
+failSpec(std::string* error, const std::string& message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+/** Extract a non-negative integral number, or fail with @p key context. */
+bool
+readU64(const JsonValue& value, const std::string& key, u64 max, u64* out,
+        std::string* error)
+{
+    if (value.kind() != JsonValue::Kind::Number)
+        return failSpec(error, "\"" + key + "\" must be a number");
+    double d = value.number();
+    if (!(d >= 0) || d != std::floor(d) ||
+        d > 18446744073709549568.0 /* largest double below 2^64 */)
+        return failSpec(error,
+                        "\"" + key + "\" must be a non-negative integer");
+    u64 n = static_cast<u64>(d);
+    if (n > max)
+        return failSpec(error, "\"" + key + "\" is out of range");
+    *out = n;
+    return true;
+}
+
+bool
+readString(const JsonValue& value, const std::string& key, std::string* out,
+           std::string* error)
+{
+    if (value.kind() != JsonValue::Kind::String)
+        return failSpec(error, "\"" + key + "\" must be a string");
+    *out = value.string();
+    return true;
+}
+
+bool
+readBool(const JsonValue& value, const std::string& key, bool* out,
+         std::string* error)
+{
+    if (value.kind() != JsonValue::Kind::Bool)
+        return failSpec(error, "\"" + key + "\" must be a boolean");
+    *out = value.boolean();
+    return true;
+}
+
+} // namespace
+
+bool
+parseSpec(const JsonValue& doc, ExperimentSpec& out, std::string* error)
+{
+    out = ExperimentSpec{};
+    if (!doc.isObject())
+        return failSpec(error, "spec must be a JSON object");
+
+    for (const auto& [key, value] : doc.members()) {
+        if (key == "experiment") {
+            std::string name;
+            if (!readString(value, key, &name, error))
+                return false;
+            if (name != "stage")
+                return failSpec(error,
+                                "unknown experiment \"" + name +
+                                    "\" (only \"stage\" is served)");
+        } else if (key == "uarch") {
+            if (!readString(value, key, &out.uarch, error))
+                return false;
+        } else if (key == "train") {
+            if (!readString(value, key, &out.train, error))
+                return false;
+        } else if (key == "victim") {
+            if (!readString(value, key, &out.victim, error))
+                return false;
+        } else if (key == "seed") {
+            if (!readU64(value, key, ~u64{0}, &out.seed, error))
+                return false;
+        } else if (key == "trials") {
+            u64 trials = 0;
+            if (!readU64(value, key, 64, &trials, error))
+                return false;
+            if (trials == 0)
+                return failSpec(error, "\"trials\" must be at least 1");
+            out.trials = static_cast<u32>(trials);
+        } else if (key == "target_page_offset") {
+            if (!readU64(value, key, 0xfff, &out.targetPageOffset, error))
+                return false;
+        } else if (key == "suppress_bp_on_non_br") {
+            if (!readBool(value, key, &out.suppressBpOnNonBr, error))
+                return false;
+        } else if (key == "auto_ibrs") {
+            if (!readBool(value, key, &out.autoIbrs, error))
+                return false;
+        } else if (key == "deadline_ms") {
+            if (!readU64(value, key, ~u64{0}, &out.deadlineMs, error))
+                return false;
+        } else {
+            return failSpec(error, "unknown spec key \"" + key + "\"");
+        }
+    }
+
+    if (out.uarch.empty())
+        return failSpec(error, "missing required key \"uarch\"");
+    if (out.train.empty())
+        return failSpec(error, "missing required key \"train\"");
+    if (out.victim.empty())
+        return failSpec(error, "missing required key \"victim\"");
+    if (!isKindName(out.train))
+        return failSpec(error,
+                        "\"train\" is not a branch kind: \"" + out.train +
+                            "\"");
+    if (!isKindName(out.victim))
+        return failSpec(error,
+                        "\"victim\" is not a branch kind: \"" + out.victim +
+                            "\"");
+    return true;
+}
+
+} // namespace phantom::serve

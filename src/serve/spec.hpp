@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The /run request body: a JSON experiment spec.
+ *
+ * A spec names one Table-1 stage-experiment cell — microarchitecture,
+ * training kind, victim kind — plus the seeded-simulation knobs of
+ * attack::StageExperimentOptions. Parsing is strict: unknown keys,
+ * wrong types, and out-of-range values are rejected with a one-line
+ * diagnostic the daemon forwards as a 400 body, so a typo'd key can
+ * never silently fall back to a default.
+ *
+ * This layer deliberately links only phantom_json (no attack/, no
+ * snap/): it keeps its own copy of the canonical branch-kind names and
+ * tests/test_serve.cpp asserts the copy matches attack::branchKindName
+ * over table1Kinds(). Semantic checks that need the simulator (does
+ * the uarch name resolve?) live in Server::run.
+ */
+
+#ifndef PHANTOM_SERVE_SPEC_HPP
+#define PHANTOM_SERVE_SPEC_HPP
+
+#include "runner/json.hpp"
+#include "sim/types.hpp"
+
+#include <array>
+#include <string>
+
+namespace phantom::serve {
+
+/**
+ * Canonical branch-kind names, in Table-1 row/column order. Must stay
+ * in lockstep with attack::branchKindName over attack::table1Kinds().
+ */
+const std::array<const char*, 5>& specKindNames();
+
+/** True when @p name is one of specKindNames(). */
+bool isKindName(const std::string& name);
+
+/** One validated /run request. */
+struct ExperimentSpec
+{
+    std::string uarch;    ///< e.g. "zen2" (resolved by the server)
+    std::string train;    ///< training kind, one of specKindNames()
+    std::string victim;   ///< victim kind, one of specKindNames()
+    u64 seed = 7;
+    u32 trials = 3;                ///< majority-vote trials, 1..64
+    u64 targetPageOffset = 0xac0;  ///< page offset of the target C
+    bool suppressBpOnNonBr = false;
+    bool autoIbrs = false;
+    u64 deadlineMs = 0;   ///< 0 = server default (possibly none)
+
+    /**
+     * Batching identity: requests with equal keys warm the same parent
+     * snapshot, so the dispatcher runs them on one worker shard and
+     * all but the first CoW-fork instead of retraining. Excludes
+     * `trials` and `deadlineMs` — neither changes the warmed state.
+     */
+    std::string batchKey() const;
+
+    /** Canonical echo of the spec (sorted keys, all fields explicit). */
+    runner::JsonValue toJson() const;
+};
+
+/**
+ * Validate @p doc as an experiment spec. Returns false with a
+ * diagnostic in @p error on any unknown key, type mismatch,
+ * non-integral number, or out-of-range value.
+ */
+bool parseSpec(const runner::JsonValue& doc, ExperimentSpec& out,
+               std::string* error);
+
+} // namespace phantom::serve
+
+#endif // PHANTOM_SERVE_SPEC_HPP

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Mutation fuzzing for the serve protocol layer (src/serve/http.cpp,
+ * src/serve/spec.cpp). Links only phantom_serve_http — no simulator —
+ * so the whole suite is a few milliseconds and can afford many
+ * thousands of mutants.
+ *
+ * Strategy mirrors snap_fuzz: start from a valid artifact (an HTTP
+ * request head, a JSON spec), apply seeded byte mutations (flip,
+ * truncate, insert, splice), and assert the parsers either accept or
+ * reject with a sane status — never crash, hang, or report success
+ * with garbage fields. Plus directed cases for every limit the daemon
+ * relies on (oversized Content-Length, absurd lengths that would
+ * overflow, chunked encoding, bad versions).
+ */
+
+#include "serve/http.hpp"
+#include "serve/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+namespace phantom {
+namespace {
+
+using serve::HttpLimits;
+using serve::HttpParseResult;
+using serve::HttpRequest;
+
+const char kValidHead[] =
+    "POST /run HTTP/1.1\r\n"
+    "Host: 127.0.0.1\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 42\r\n"
+    "\r\n";
+
+const char kValidSpec[] =
+    "{\"uarch\": \"zen2\", \"train\": \"jmp*\", \"victim\": \"ret\", "
+    "\"seed\": 7, \"trials\": 3, \"target_page_offset\": 2752, "
+    "\"suppress_bp_on_non_br\": false, \"auto_ibrs\": false}";
+
+/** Apply one seeded mutation to @p text. */
+std::string
+mutate(std::string text, std::mt19937& rng)
+{
+    if (text.empty())
+        return text;
+    std::uniform_int_distribution<std::size_t> pos_dist(0,
+                                                        text.size() - 1);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    std::size_t pos = pos_dist(rng);
+    switch (rng() % 4) {
+      case 0:   // flip a byte
+        text[pos] = static_cast<char>(byte_dist(rng));
+        break;
+      case 1:   // truncate
+        text.resize(pos);
+        break;
+      case 2:   // insert a byte
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<char>(byte_dist(rng)));
+        break;
+      default:  // duplicate a chunk (splice)
+        text.insert(pos, text.substr(pos / 2, 16));
+        break;
+    }
+    return text;
+}
+
+/** Parse outcome must be internally consistent, whatever the input. */
+void
+checkHeadInvariants(const std::string& input)
+{
+    HttpRequest request;
+    HttpParseResult result = serve::parseRequestHead(input, request);
+    if (result.ok) {
+        EXPECT_FALSE(request.method.empty());
+        EXPECT_FALSE(request.target.empty());
+        EXPECT_EQ(request.target[0], '/');
+        EXPECT_LE(result.headBytes, input.size());
+        EXPECT_LE(result.contentLength, HttpLimits{}.maxBodyBytes);
+    } else {
+        EXPECT_GE(result.status, 400);
+        EXPECT_LE(result.status, 505);
+        EXPECT_FALSE(result.error.empty());
+    }
+}
+
+TEST(ServeFuzz, MutatedRequestHeadsNeverCrashTheParser)
+{
+    std::mt19937 rng(0xF00D);
+    for (int round = 0; round < 20000; ++round) {
+        std::string head = kValidHead;
+        int mutations = 1 + static_cast<int>(rng() % 4);
+        for (int m = 0; m < mutations; ++m)
+            head = mutate(std::move(head), rng);
+        checkHeadInvariants(head);
+    }
+}
+
+TEST(ServeFuzz, RandomGarbageHeadsNeverParseAsRequests)
+{
+    std::mt19937 rng(0xBEEF);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    for (int round = 0; round < 2000; ++round) {
+        std::string junk(rng() % 512, '\0');
+        for (char& c : junk)
+            c = static_cast<char>(byte_dist(rng));
+        junk += "\r\n\r\n";   // guarantee a head terminator
+        checkHeadInvariants(junk);
+    }
+}
+
+TEST(ServeFuzz, MutatedSpecsNeverCrashTheValidator)
+{
+    std::mt19937 rng(0xCAFE);
+    for (int round = 0; round < 20000; ++round) {
+        std::string body = kValidSpec;
+        int mutations = 1 + static_cast<int>(rng() % 4);
+        for (int m = 0; m < mutations; ++m)
+            body = mutate(std::move(body), rng);
+
+        runner::JsonValue doc;
+        std::string error;
+        if (!runner::parseJson(body, doc, &error))
+            continue;   // a parse rejection is a fine outcome
+        serve::ExperimentSpec spec;
+        if (serve::parseSpec(doc, spec, &error)) {
+            // Accepted mutants must satisfy every documented range.
+            EXPECT_TRUE(serve::isKindName(spec.train));
+            EXPECT_TRUE(serve::isKindName(spec.victim));
+            EXPECT_GE(spec.trials, 1u);
+            EXPECT_LE(spec.trials, 64u);
+            EXPECT_LE(spec.targetPageOffset, 0xfffu);
+        } else {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+}
+
+TEST(ServeFuzz, TruncatedHeadsAreRejectedNotAccepted)
+{
+    std::string head = kValidHead;
+    for (std::size_t cut = 0; cut + 1 < head.size(); ++cut) {
+        HttpRequest request;
+        HttpParseResult result =
+            serve::parseRequestHead(head.substr(0, cut), request);
+        EXPECT_FALSE(result.ok) << "accepted a head cut at " << cut;
+        EXPECT_GE(result.status, 400);
+    }
+}
+
+TEST(ServeFuzz, ContentLengthEdgeCases)
+{
+    const struct
+    {
+        const char* value;
+        int status;
+    } cases[] = {
+        {"42", 200},
+        {"0", 200},
+        {"1048576", 200},                     // exactly maxBodyBytes
+        {"1048577", 413},                     // one past the limit
+        {"999999999999", 413},                // huge but representable
+        {"999999999999999999999999999", 413}, // would overflow u64
+        {"18446744073709551616", 413},        // 2^64
+        {"-1", 400},
+        {"0x10", 400},
+        {"4 2", 400},
+        {"", 400},
+        {"four", 400},
+    };
+    for (const auto& c : cases) {
+        std::string head = std::string("POST /run HTTP/1.1\r\n") +
+            "Content-Length: " + c.value + "\r\n\r\n";
+        HttpRequest request;
+        HttpParseResult result = serve::parseRequestHead(head, request);
+        if (c.status == 200) {
+            EXPECT_TRUE(result.ok) << c.value << ": " << result.error;
+        } else {
+            ASSERT_FALSE(result.ok) << c.value;
+            EXPECT_EQ(result.status, c.status) << c.value;
+        }
+    }
+
+    // Two Content-Length headers disagreeing is request smuggling bait.
+    HttpRequest request;
+    HttpParseResult result = serve::parseRequestHead(
+        "POST /run HTTP/1.1\r\nContent-Length: 1\r\n"
+        "Content-Length: 2\r\n\r\n",
+        request);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.status, 400);
+}
+
+TEST(ServeFuzz, ProtocolRejections)
+{
+    const struct
+    {
+        const char* head;
+        int status;
+    } cases[] = {
+        {"POST /run HTTP/2.0\r\n\r\n", 505},
+        {"POST /run SPDY/1\r\n\r\n", 505},
+        {"POST /run HTTP/1.1 extra\r\n\r\n", 400},
+        {"POST run HTTP/1.1\r\n\r\n", 400},
+        {"PO ST /run HTTP/1.1\r\n\r\n", 400},
+        {" /run HTTP/1.1\r\n\r\n", 400},
+        {"POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+        {"POST /run HTTP/1.1\r\nno-colon-here\r\n\r\n", 400},
+        {"POST /run HTTP/1.1\r\n: empty-name\r\n\r\n", 400},
+        {"POST /run HTTP/1.1\r\nBad Name: x\r\n\r\n", 400},
+    };
+    for (const auto& c : cases) {
+        HttpRequest request;
+        HttpParseResult result = serve::parseRequestHead(c.head, request);
+        ASSERT_FALSE(result.ok) << c.head;
+        EXPECT_EQ(result.status, c.status) << c.head;
+    }
+}
+
+TEST(ServeFuzz, OversizedRequestLineIs431)
+{
+    std::string head = "GET /" + std::string(9000, 'a') +
+        " HTTP/1.1\r\n\r\n";
+    HttpRequest request;
+    HttpParseResult result = serve::parseRequestHead(head, request);
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.status, 431);
+}
+
+TEST(ServeFuzz, RoundTripSerializeParse)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/run";
+    request.version = "HTTP/1.1";
+    request.headers.emplace_back("content-type", "application/json");
+    request.body = "{\"k\": 1}";
+    std::string wire = serve::serializeRequest(request);
+
+    HttpRequest reparsed;
+    HttpParseResult result = serve::parseRequestHead(wire, reparsed);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(reparsed.method, "POST");
+    EXPECT_EQ(reparsed.target, "/run");
+    EXPECT_EQ(result.contentLength, request.body.size());
+    EXPECT_EQ(wire.substr(result.headBytes), request.body);
+}
+
+} // namespace
+} // namespace phantom

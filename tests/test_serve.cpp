@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Unit tests for the experiment service (src/serve): spec parsing and
+ * its kind-name table, admission control, snapshot-fork batching,
+ * deadlines, and response determinism under concurrency.
+ */
+
+#include "attack/experiment.hpp"
+#include "runner/schema.hpp"
+#include "serve/server.hpp"
+#include "serve/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace phantom {
+namespace {
+
+using runner::JsonValue;
+using serve::ExperimentSpec;
+using serve::ServeResult;
+using serve::Server;
+using serve::ServerOptions;
+
+ExperimentSpec
+fastSpec()
+{
+    ExperimentSpec spec;
+    spec.uarch = "zen2";
+    spec.train = "jmp*";
+    spec.victim = "ret";
+    spec.seed = 7;
+    spec.trials = 1;
+    return spec;
+}
+
+bool
+awaitQueueDepth(Server& server, std::size_t depth)
+{
+    for (int i = 0; i < 5000; ++i) {
+        if (server.queueDepth() == depth)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+}
+
+u64
+snapCounter(Server& server, const char* name)
+{
+    JsonValue stats = server.statsz();
+    const JsonValue* snap = stats.find("snap");
+    EXPECT_NE(snap, nullptr);
+    const JsonValue* value = snap == nullptr ? nullptr : snap->find(name);
+    EXPECT_NE(value, nullptr) << name;
+    return value == nullptr ? 0 : static_cast<u64>(value->number());
+}
+
+// The spec layer keeps its own copy of the canonical kind names so it
+// can link without the simulator; this is the tripwire that keeps the
+// copy honest.
+TEST(ServeSpec, KindNamesMatchAttackTable)
+{
+    const auto& names = serve::specKindNames();
+    const auto& kinds = attack::table1Kinds();
+    ASSERT_EQ(names.size(), kinds.size());
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+        EXPECT_STREQ(names[i], attack::branchKindName(kinds[i]));
+}
+
+TEST(ServeSpec, ParsesFullSpecAndRejectsJunk)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(runner::parseJson(
+        "{\"experiment\": \"stage\", \"uarch\": \"zen4\", "
+        "\"train\": \"jcc\", \"victim\": \"non branch\", \"seed\": 11, "
+        "\"trials\": 9, \"target_page_offset\": 128, "
+        "\"suppress_bp_on_non_br\": true, \"auto_ibrs\": true, "
+        "\"deadline_ms\": 250}",
+        doc, &error));
+    ExperimentSpec spec;
+    ASSERT_TRUE(serve::parseSpec(doc, spec, &error)) << error;
+    EXPECT_EQ(spec.uarch, "zen4");
+    EXPECT_EQ(spec.train, "jcc");
+    EXPECT_EQ(spec.victim, "non branch");
+    EXPECT_EQ(spec.seed, 11u);
+    EXPECT_EQ(spec.trials, 9u);
+    EXPECT_EQ(spec.targetPageOffset, 128u);
+    EXPECT_TRUE(spec.suppressBpOnNonBr);
+    EXPECT_TRUE(spec.autoIbrs);
+    EXPECT_EQ(spec.deadlineMs, 250u);
+
+    const struct
+    {
+        const char* json;
+        const char* why;
+    } rejected[] = {
+        {"[1, 2]", "not an object"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\"}", "missing victim"},
+        {"{\"uarch\": \"zen2\", \"train\": \"call\", "
+         "\"victim\": \"ret\"}",
+         "unknown kind"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+         "\"victim\": \"ret\", \"bogus\": 1}",
+         "unknown key"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+         "\"victim\": \"ret\", \"trials\": 0}",
+         "zero trials"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+         "\"victim\": \"ret\", \"trials\": 65}",
+         "too many trials"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+         "\"victim\": \"ret\", \"seed\": -3}",
+         "negative seed"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+         "\"victim\": \"ret\", \"seed\": 1.5}",
+         "fractional seed"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+         "\"victim\": \"ret\", \"target_page_offset\": 4096}",
+         "offset past the page"},
+        {"{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+         "\"victim\": \"ret\", \"experiment\": \"fig6\"}",
+         "unserved experiment"},
+    };
+    for (const auto& bad : rejected) {
+        ASSERT_TRUE(runner::parseJson(bad.json, doc, &error)) << bad.why;
+        EXPECT_FALSE(serve::parseSpec(doc, spec, &error)) << bad.why;
+        EXPECT_FALSE(error.empty()) << bad.why;
+    }
+}
+
+TEST(ServeSpec, BatchKeyIgnoresTrialsAndDeadline)
+{
+    ExperimentSpec a = fastSpec();
+    ExperimentSpec b = fastSpec();
+    b.trials = 5;
+    b.deadlineMs = 1000;
+    EXPECT_EQ(a.batchKey(), b.batchKey());
+    b.seed = 8;
+    EXPECT_NE(a.batchKey(), b.batchKey());
+    ExperimentSpec c = fastSpec();
+    c.autoIbrs = true;
+    EXPECT_NE(a.batchKey(), c.batchKey());
+}
+
+TEST(Server, RejectsUnknownUarchBeforeQueueing)
+{
+    ServerOptions options;
+    options.jobs = 1;
+    Server server(options);
+    ExperimentSpec spec = fastSpec();
+    spec.uarch = "vax";
+    ServeResult result = server.run(spec);
+    EXPECT_EQ(result.status, 400);
+    const JsonValue* schema = result.body.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string(), runner::kServeErrorSchema);
+}
+
+// Queue-full answers 429 with a Retry-After hint, and the rejection
+// never disturbs the requests already admitted.
+TEST(Server, AdmissionControlRejectsButNeverDrops)
+{
+    ServerOptions options;
+    options.jobs = 1;
+    options.queueCapacity = 3;
+    Server server(options);
+    server.setDispatchPaused(true);
+
+    std::vector<std::future<ServeResult>> admitted;
+    for (int i = 0; i < 3; ++i)
+        admitted.push_back(std::async(std::launch::async, [&server] {
+            return server.run(fastSpec());
+        }));
+    ASSERT_TRUE(awaitQueueDepth(server, 3));
+
+    ServeResult bounced = server.run(fastSpec());
+    EXPECT_EQ(bounced.status, 429);
+    EXPECT_GT(bounced.retryAfterS, 0);
+    const JsonValue* schema = bounced.body.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string(), runner::kServeErrorSchema);
+
+    server.setDispatchPaused(false);
+    for (auto& future : admitted)
+        EXPECT_EQ(future.get().status, 200);
+
+    JsonValue stats = server.statsz();
+    EXPECT_EQ(stats.findPath("metrics.counters")
+                  ->find("serve.rejected_queue_full")
+                  ->number(),
+              1.0);
+    EXPECT_EQ(stats.findPath("metrics.counters")
+                  ->find("serve.accepted")
+                  ->number(),
+              3.0);
+}
+
+// The snapshot-pooling contract: N identical specs in one batch run on
+// one worker shard, so the first trains (1 capture) and the remaining
+// N-1 CoW-fork the warm parent instead of retraining.
+TEST(Server, BatchedIdenticalSpecsForkInsteadOfRetraining)
+{
+    ServerOptions options;
+    options.jobs = 1;
+    options.queueCapacity = 16;
+    Server server(options);
+    server.setDispatchPaused(true);
+
+    constexpr int kRequests = 4;
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(std::async(std::launch::async, [&server] {
+            return server.run(fastSpec());
+        }));
+    ASSERT_TRUE(awaitQueueDepth(server, kRequests));
+    server.setDispatchPaused(false);
+
+    std::vector<ServeResult> results;
+    for (auto& future : futures)
+        results.push_back(future.get());
+    for (const ServeResult& result : results) {
+        ASSERT_EQ(result.status, 200);
+        // Identical specs, bit-identical seeded subtrees.
+        EXPECT_EQ(*result.body.find("experiments"),
+                  *results.front().body.find("experiments"));
+        EXPECT_EQ(*result.body.findPath("metrics.deterministic"),
+                  *results.front().body.findPath("metrics.deterministic"));
+    }
+
+    server.waitIdle();
+    EXPECT_EQ(snapCounter(server, "captures"), 1u);
+    EXPECT_EQ(snapCounter(server, "forks"),
+              static_cast<u64>(kRequests - 1));
+    EXPECT_EQ(snapCounter(server, "hits"),
+              static_cast<u64>(kRequests - 1));
+}
+
+// A request whose deadline lapses while queued is cancelled cleanly:
+// well-formed error JSON, 504, and the rest of the batch still runs.
+TEST(Server, ExpiredDeadlineCancelsCleanly)
+{
+    ServerOptions options;
+    options.jobs = 1;
+    options.queueCapacity = 4;
+    Server server(options);
+    server.setDispatchPaused(true);
+
+    ExperimentSpec doomed = fastSpec();
+    doomed.deadlineMs = 1;
+    auto doomed_future = std::async(std::launch::async, [&server, doomed] {
+        return server.run(doomed);
+    });
+    auto healthy_future = std::async(std::launch::async, [&server] {
+        return server.run(fastSpec());
+    });
+    ASSERT_TRUE(awaitQueueDepth(server, 2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.setDispatchPaused(false);
+
+    ServeResult expired = doomed_future.get();
+    EXPECT_EQ(expired.status, 504);
+    const JsonValue* schema = expired.body.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string(), runner::kServeErrorSchema);
+    EXPECT_NE(expired.body.find("error"), nullptr);
+
+    EXPECT_EQ(healthy_future.get().status, 200);
+
+    JsonValue stats = server.statsz();
+    EXPECT_EQ(stats.findPath("metrics.counters")
+                  ->find("serve.deadline_expired")
+                  ->number(),
+              1.0);
+}
+
+// Concurrency must not leak into the seeded subtrees: the same spec
+// through a jobs=2 server and a jobs=1 server answers identically.
+TEST(Server, ResponsesAreBitIdenticalAcrossConcurrency)
+{
+    ExperimentSpec spec = fastSpec();
+    spec.trials = 3;
+
+    JsonValue serial_experiments;
+    JsonValue serial_deterministic;
+    {
+        ServerOptions options;
+        options.jobs = 1;
+        Server server(options);
+        ServeResult result = server.run(spec);
+        ASSERT_EQ(result.status, 200);
+        serial_experiments = *result.body.find("experiments");
+        serial_deterministic =
+            *result.body.findPath("metrics.deterministic");
+    }
+
+    ServerOptions options;
+    options.jobs = 2;
+    options.queueCapacity = 16;
+    Server server(options);
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(std::async(std::launch::async, [&server, spec] {
+            return server.run(spec);
+        }));
+    for (auto& future : futures) {
+        ServeResult result = future.get();
+        ASSERT_EQ(result.status, 200);
+        EXPECT_EQ(*result.body.find("experiments"), serial_experiments);
+        EXPECT_EQ(*result.body.findPath("metrics.deterministic"),
+                  serial_deterministic);
+    }
+}
+
+TEST(Server, StopFailsQueuedRequestsWith503)
+{
+    ServerOptions options;
+    options.jobs = 1;
+    options.queueCapacity = 4;
+    Server server(options);
+    server.setDispatchPaused(true);
+    auto parked = std::async(std::launch::async, [&server] {
+        return server.run(fastSpec());
+    });
+    ASSERT_TRUE(awaitQueueDepth(server, 1));
+    server.stop();
+    EXPECT_EQ(parked.get().status, 503);
+    EXPECT_EQ(server.run(fastSpec()).status, 503);
+}
+
+} // namespace
+} // namespace phantom

@@ -31,7 +31,7 @@
  */
 
 #include "runner/json.hpp"
-#include "runner/result_sink.hpp"
+#include "runner/schema.hpp"
 
 #include <cstdio>
 #include <fstream>

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Thin command-line client for the experiment daemon. Links only the
+ * serve protocol layer (phantom_serve_http) — no simulator, no runner
+ * threads — so it builds and starts instantly.
+ *
+ *   serve_client [--port PORT] --healthz
+ *   serve_client [--port PORT] --statsz
+ *   serve_client [--port PORT] --run SPEC_FILE [--out FILE]
+ *
+ * The port defaults to PHANTOM_SERVE_PORT (strictly validated). --run
+ * validates the spec locally before posting, so a typo'd key fails
+ * with the parse diagnostic instead of a round trip. The response body
+ * is written to --out (or stdout); exit 0 on a 2xx status, 1 on any
+ * HTTP error, 2 on transport failure, 64 on usage errors.
+ */
+
+#include "runner/env.hpp"
+#include "serve/http.hpp"
+#include "serve/spec.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: serve_client [--port PORT] --healthz\n"
+                 "       serve_client [--port PORT] --statsz\n"
+                 "       serve_client [--port PORT] --run SPEC_FILE "
+                 "[--out FILE]\n");
+    return 64;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace phantom;
+
+    u64 port = runner::envU64Strict("PHANTOM_SERVE_PORT", 0, 0, 65535);
+    std::string mode;
+    std::string spec_path;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            u64 parsed = 0;
+            if (!runner::parseEnvU64(argv[++i], parsed) || parsed > 65535) {
+                std::fprintf(stderr, "serve_client: bad port \"%s\"\n",
+                             argv[i]);
+                return 64;
+            }
+            port = parsed;
+        } else if (std::strcmp(argv[i], "--healthz") == 0 ||
+                   std::strcmp(argv[i], "--statsz") == 0) {
+            mode = argv[i];
+        } else if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
+            mode = "--run";
+            spec_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (mode.empty())
+        return usage();
+    if (port == 0) {
+        std::fprintf(stderr,
+                     "serve_client: no port (--port or "
+                     "PHANTOM_SERVE_PORT)\n");
+        return 64;
+    }
+
+    serve::HttpRequest request;
+    request.version = "HTTP/1.1";
+    if (mode == "--run") {
+        std::ifstream in(spec_path);
+        if (!in) {
+            std::fprintf(stderr, "serve_client: cannot read %s\n",
+                         spec_path.c_str());
+            return 64;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        std::string error;
+        runner::JsonValue doc;
+        serve::ExperimentSpec spec;
+        if (!runner::parseJson(buffer.str(), doc, &error) ||
+            !serve::parseSpec(doc, spec, &error)) {
+            std::fprintf(stderr, "serve_client: %s: %s\n",
+                         spec_path.c_str(), error.c_str());
+            return 64;
+        }
+        request.method = "POST";
+        request.target = "/run";
+        request.headers.emplace_back("content-type", "application/json");
+        request.body = buffer.str();
+    } else {
+        request.method = "GET";
+        request.target = mode == "--healthz" ? "/healthz" : "/statsz";
+    }
+
+    serve::HttpResponse response;
+    std::string error;
+    if (!serve::httpRoundTrip(static_cast<int>(port), request, response,
+                              &error)) {
+        std::fprintf(stderr, "serve_client: 127.0.0.1:%llu: %s\n",
+                     static_cast<unsigned long long>(port), error.c_str());
+        return 2;
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << response.body;
+        if (!out) {
+            std::fprintf(stderr, "serve_client: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+    } else {
+        std::fputs(response.body.c_str(), stdout);
+    }
+    if (response.status < 200 || response.status >= 300) {
+        std::fprintf(stderr, "serve_client: HTTP %d %s\n", response.status,
+                     serve::statusReason(response.status));
+        return 1;
+    }
+    return 0;
+}

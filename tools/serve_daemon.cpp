@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The experiment daemon entry point: bind 127.0.0.1, serve /run,
+ * /healthz and /statsz until SIGINT/SIGTERM.
+ *
+ * Environment (all strictly validated — a malformed value exits 64
+ * naming the offending string, see runner/env.hpp):
+ *   PHANTOM_SERVE_PORT         port to bind (default 0 = ephemeral;
+ *                              the chosen port is printed on stdout)
+ *   PHANTOM_SERVE_QUEUE        admission queue capacity (default 64)
+ *   PHANTOM_SERVE_DEADLINE_MS  default per-request deadline; 0 = none
+ *   PHANTOM_JOBS               worker pool size (shared with benches)
+ */
+
+#include "runner/env.hpp"
+#include "serve/daemon.hpp"
+
+#include <csignal>
+#include <cstdio>
+
+int
+main()
+{
+    using namespace phantom;
+
+    u64 port = runner::envU64Strict("PHANTOM_SERVE_PORT", 0, 0, 65535);
+    u64 queue = runner::envU64Strict("PHANTOM_SERVE_QUEUE", 64, 1, 65536);
+    u64 deadline_ms =
+        runner::envU64Strict("PHANTOM_SERVE_DEADLINE_MS", 0);
+
+    // Block the shutdown signals before any thread exists so every
+    // thread inherits the mask and sigwait() below is the only receiver.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    serve::ServerOptions options;
+    options.queueCapacity = static_cast<std::size_t>(queue);
+    options.defaultDeadlineMs = deadline_ms;
+    serve::Server server(options);
+
+    try {
+        serve::Daemon daemon(server, static_cast<int>(port));
+        std::printf(
+            "phantom-serve: listening on 127.0.0.1:%d "
+            "(jobs=%u, queue=%zu, deadline_ms=%llu)\n",
+            daemon.port(), server.jobs(), server.queueCapacity(),
+            static_cast<unsigned long long>(deadline_ms));
+        std::fflush(stdout);
+
+        int received = 0;
+        sigwait(&signals, &received);
+        std::printf("phantom-serve: signal %d, draining\n", received);
+        daemon.stop();
+        server.stop();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "phantom-serve: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

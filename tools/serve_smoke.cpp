@@ -1,0 +1,230 @@
+/**
+ * @file
+ * End-to-end smoke test of the experiment daemon, driven by
+ * cmake/RunServeSmoke.cmake (the serve_smoke CTest).
+ *
+ * Starts a real Daemon on an ephemeral loopback port and exercises the
+ * full surface over actual sockets:
+ *
+ *   - /healthz and /statsz answer their schemas
+ *   - two concurrent identical POST /run succeed; their bodies are
+ *     written to <out_dir>/r1.json and r2.json for json_check to
+ *     validate (--metrics-schema) and bit-compare (--equal-path
+ *     experiments / metrics.deterministic)
+ *   - protocol errors: unknown target (404), wrong method (405),
+ *     malformed JSON and unknown spec keys (400), oversized
+ *     Content-Length (413), unsupported HTTP version (505)
+ *   - admission control: a capacity-1 server with dispatch paused
+ *     queues one request and answers 429 + Retry-After for the next,
+ *     over the socket; unpausing completes the queued request
+ *
+ * Exit 0 iff every check passed.
+ */
+
+#include "runner/schema.hpp"
+#include "serve/daemon.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+
+namespace {
+
+using namespace phantom;
+
+int failures = 0;
+
+bool
+check(bool ok, const char* what)
+{
+    std::printf("%s %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok)
+        ++failures;
+    return ok;
+}
+
+serve::HttpResponse
+roundTrip(int port, const std::string& method, const std::string& target,
+          const std::string& body = "")
+{
+    serve::HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.version = "HTTP/1.1";
+    if (!body.empty()) {
+        request.headers.emplace_back("content-type", "application/json");
+        request.body = body;
+    }
+    serve::HttpResponse response;
+    std::string error;
+    if (!serve::httpRoundTrip(port, request, response, &error)) {
+        std::printf("FAIL transport %s %s: %s\n", method.c_str(),
+                    target.c_str(), error.c_str());
+        ++failures;
+        response.status = -1;
+    }
+    return response;
+}
+
+bool
+writeFile(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path);
+    out << text;
+    return static_cast<bool>(out);
+}
+
+/** Spin until @p server's queue holds @p depth requests (or time out). */
+bool
+awaitQueueDepth(serve::Server& server, std::size_t depth)
+{
+    for (int i = 0; i < 5000; ++i) {
+        if (server.queueDepth() == depth)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: serve_smoke OUT_DIR\n");
+        return 64;
+    }
+    std::string out_dir = argv[1];
+
+    const std::string spec =
+        "{\"uarch\": \"zen2\", \"train\": \"jmp*\", \"victim\": \"ret\", "
+        "\"seed\": 7, \"trials\": 3}";
+
+    {
+        serve::ServerOptions options;
+        options.jobs = 2;
+        options.queueCapacity = 8;
+        serve::Server server(options);
+        serve::Daemon daemon(server, 0);
+        int port = daemon.port();
+        std::printf("serve_smoke: daemon on 127.0.0.1:%d\n", port);
+
+        serve::HttpResponse health = roundTrip(port, "GET", "/healthz");
+        check(health.status == 200, "GET /healthz is 200");
+        check(health.body.find(runner::kServeHealthSchema) !=
+                  std::string::npos,
+              "healthz body carries its schema marker");
+
+        // Two identical specs posted concurrently: the dispatcher must
+        // batch them onto one snapshot store, and the bodies must agree
+        // bit-for-bit on every seeded subtree (json_check re-checks the
+        // written files).
+        auto post = [&] { return roundTrip(port, "POST", "/run", spec); };
+        auto first = std::async(std::launch::async, post);
+        auto second = std::async(std::launch::async, post);
+        serve::HttpResponse r1 = first.get();
+        serve::HttpResponse r2 = second.get();
+        check(r1.status == 200, "concurrent POST /run #1 is 200");
+        check(r2.status == 200, "concurrent POST /run #2 is 200");
+        check(writeFile(out_dir + "/r1.json", r1.body) &&
+                  writeFile(out_dir + "/r2.json", r2.body),
+              "response bodies written for json_check");
+
+        serve::HttpResponse stats = roundTrip(port, "GET", "/statsz");
+        check(stats.status == 200, "GET /statsz is 200");
+        check(stats.body.find(runner::kServeStatsSchema) !=
+                  std::string::npos,
+              "statsz body carries its schema marker");
+        check(stats.body.find("\"serve.completed\": 2") !=
+                  std::string::npos,
+              "statsz counts both completed requests");
+
+        check(roundTrip(port, "GET", "/nope").status == 404,
+              "unknown target is 404");
+        check(roundTrip(port, "PUT", "/run", spec).status == 405,
+              "PUT /run is 405");
+        check(roundTrip(port, "POST", "/run", "{oops").status == 400,
+              "malformed JSON body is 400");
+        check(roundTrip(port, "POST", "/run",
+                        "{\"uarch\": \"zen2\", \"train\": \"jmp*\", "
+                        "\"victim\": \"ret\", \"typo\": 1}")
+                      .status == 400,
+              "unknown spec key is 400");
+        check(roundTrip(port, "POST", "/run",
+                        "{\"uarch\": \"vax\", \"train\": \"jmp*\", "
+                        "\"victim\": \"ret\"}")
+                      .status == 400,
+              "unknown uarch is 400");
+
+        {
+            serve::HttpRequest oversized;
+            oversized.method = "POST";
+            oversized.target = "/run";
+            oversized.version = "HTTP/1.1";
+            oversized.headers.emplace_back("content-length", "999999999");
+            serve::HttpResponse response;
+            std::string error;
+            bool ok = serve::httpRoundTrip(port, oversized, response,
+                                           &error);
+            check(ok && response.status == 413,
+                  "oversized Content-Length is 413");
+        }
+        {
+            serve::HttpRequest ancient;
+            ancient.method = "GET";
+            ancient.target = "/healthz";
+            ancient.version = "HTTP/9.9";
+            serve::HttpResponse response;
+            std::string error;
+            bool ok =
+                serve::httpRoundTrip(port, ancient, response, &error);
+            check(ok && response.status == 505,
+                  "unsupported HTTP version is 505");
+        }
+
+        daemon.stop();
+        server.stop();
+    }
+
+    // Admission control, made deterministic by pausing dispatch: with
+    // capacity 1, the first request parks in the queue and the second
+    // must bounce with 429 + Retry-After — no timing window involved.
+    {
+        serve::ServerOptions options;
+        options.jobs = 1;
+        options.queueCapacity = 1;
+        serve::Server server(options);
+        serve::Daemon daemon(server, 0);
+        int port = daemon.port();
+
+        server.setDispatchPaused(true);
+        auto parked = std::async(std::launch::async, [&] {
+            return roundTrip(port, "POST", "/run", spec);
+        });
+        check(awaitQueueDepth(server, 1), "first request parks in queue");
+
+        serve::HttpResponse bounced =
+            roundTrip(port, "POST", "/run", spec);
+        check(bounced.status == 429, "queue-full POST /run is 429");
+        const std::string* retry_after = bounced.header("retry-after");
+        check(retry_after != nullptr, "429 carries Retry-After");
+        check(bounced.body.find(runner::kServeErrorSchema) !=
+                  std::string::npos,
+              "429 body carries the error schema");
+
+        server.setDispatchPaused(false);
+        serve::HttpResponse completed = parked.get();
+        check(completed.status == 200,
+              "parked request completes after unpause");
+
+        daemon.stop();
+        server.stop();
+    }
+
+    std::printf("serve_smoke: %d failure(s)\n", failures);
+    return failures == 0 ? 0 : 1;
+}
