@@ -29,6 +29,7 @@
 #include "sim/digest.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <future>
 #include <vector>
@@ -106,27 +107,34 @@ main()
     // warm, so from wave 2 on every request forks instead of training.
     std::vector<u64> latencies_us;
     std::vector<std::vector<ServeResult>> results(kSpecs);
+    // Every marked stage duration of every request, accumulated into
+    // serve.stage.* histograms after the load completes — the
+    // server-side decomposition of the client-side latency above.
+    std::vector<serve::RequestContext> contexts;
     int failures = 0;
     auto load_start = std::chrono::steady_clock::now();
     for (u64 wave = 0; wave < repeats; ++wave) {
-        std::vector<std::future<std::pair<ServeResult, u64>>> futures;
+        std::vector<
+            std::future<std::pair<ServeResult, serve::RequestContext>>>
+            futures;
         for (std::size_t d = 0; d < kSpecs; ++d) {
             ExperimentSpec spec = makeSpec(kLoadSpecs[d], campaign.seed());
             futures.push_back(
                 std::async(std::launch::async, [&server, spec] {
-                    auto t0 = std::chrono::steady_clock::now();
-                    ServeResult result = server.run(spec);
-                    u64 us = static_cast<u64>(
-                        std::chrono::duration_cast<
-                            std::chrono::microseconds>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count());
-                    return std::make_pair(std::move(result), us);
+                    serve::RequestContext ctx =
+                        server.beginRequest("POST", "/run");
+                    ServeResult result = server.run(spec, ctx);
+                    ctx.status = result.status;
+                    ctx.responseBytes = result.body.dump().size();
+                    server.finishRequest(ctx);
+                    return std::make_pair(std::move(result),
+                                          std::move(ctx));
                 }));
         }
         for (std::size_t d = 0; d < kSpecs; ++d) {
-            auto [result, us] = futures[d].get();
-            latencies_us.push_back(us);
+            auto [result, ctx] = futures[d].get();
+            latencies_us.push_back(ctx.timeline.totalMicros());
+            contexts.push_back(std::move(ctx));
             if (result.status != 200) {
                 std::printf("FAIL %s wave %llu: HTTP %d\n",
                             kLoadSpecs[d].name,
@@ -206,6 +214,23 @@ main()
     obs::MetricsRegistry& measured = campaign.measured();
     for (u64 us : latencies_us)
         measured.histogram("serve.client_micros").observe(us);
+
+    // Per-stage decomposition from the request timelines: where inside
+    // the server each request's wall-clock went (queue wait shows up as
+    // "dequeued", the snapshot machinery as "train_or_fork", ...).
+    for (const serve::RequestContext& ctx : contexts) {
+        std::array<u64, obs::kRequestStages> stage_us =
+            ctx.timeline.stageMicros();
+        for (std::size_t i = 1; i < obs::kRequestStages; ++i) {
+            obs::RequestStage stage = static_cast<obs::RequestStage>(i);
+            if (!ctx.timeline.marked(stage))
+                continue;
+            measured
+                .histogram(std::string("serve.stage.") +
+                           obs::requestStageName(stage) + "_micros")
+                .observe(stage_us[i]);
+        }
+    }
     measured.gauge("serve.latency_p50_us")
         .set(percentile(latencies_us, 0.50));
     measured.gauge("serve.latency_p90_us")

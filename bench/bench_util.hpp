@@ -33,6 +33,7 @@
 
 #include "cpu/decode_cache.hpp"
 #include "cpu/machine.hpp"
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
@@ -327,14 +328,11 @@ class Campaign
         return m;
     }
 
+    /** The build's git describe string, shared with /healthz. */
     static const char*
     gitDescribe()
     {
-#ifdef PHANTOM_GIT_DESCRIBE
-        return PHANTOM_GIT_DESCRIBE;
-#else
-        return "unknown";
-#endif
+        return obs::gitDescribe();
     }
 
     void

@@ -5,16 +5,33 @@
 #         -DOUT_DIR=<scratch dir> -P RunServeSmoke.cmake
 #
 # Steps:
-#   1. run serve_smoke: real daemon on an ephemeral loopback port,
-#      protocol checks (404/405/400/413/429/505), two concurrent
-#      identical POST /run whose bodies land in OUT_DIR
+#   1. run serve_smoke with the observability knobs set (JSON access
+#      log, flight recorder on for every request): real daemon on an
+#      ephemeral loopback port, protocol checks (404/405/400/413/429/
+#      505), two concurrent identical POST /run whose bodies land in
+#      OUT_DIR, /metricsz saved as metricsz.txt, request ids checked
+#      against the access log, flight trace presence checked
 #   2. check each body against the v2 metrics schema and the expected
 #      experiment key
 #   3. require the two responses to be bit-identical on "experiments"
 #      and "metrics.deterministic" — identical specs with identical
 #      seeds must agree regardless of queueing and concurrency
+#   4. check the /metricsz exposition against the Prometheus 0.0.4
+#      text format (--prom-schema)
+#   5. require at least one flight trace and check each against the
+#      Chrome trace schema (--trace-schema)
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}/flight")
+file(REMOVE "${OUT_DIR}/access.log")
+file(GLOB stale_traces "${OUT_DIR}/flight/req-*.trace.json")
+if(stale_traces)
+    file(REMOVE ${stale_traces})
+endif()
+
+set(ENV{PHANTOM_SERVE_LOG} "${OUT_DIR}/access.log")
+set(ENV{PHANTOM_SERVE_SLOW_MS} "0")
+set(ENV{PHANTOM_SERVE_FLIGHT_DIR} "${OUT_DIR}/flight")
 
 execute_process(
     COMMAND "${SMOKE}" "${OUT_DIR}"
@@ -54,5 +71,29 @@ foreach(subtree experiments metrics.deterministic metrics.manifest)
         message(FATAL_ERROR
             "serve_smoke: '${subtree}' differs between two identical "
             "seeded requests — the daemon leaked nondeterminism")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${CHECKER}" --prom-schema "${OUT_DIR}/metricsz.txt"
+    RESULT_VARIABLE prom_rv)
+if(NOT prom_rv EQUAL 0)
+    message(FATAL_ERROR
+        "serve_smoke: metricsz.txt fails the Prometheus text schema")
+endif()
+
+file(GLOB flight_traces "${OUT_DIR}/flight/req-*.trace.json")
+if(NOT flight_traces)
+    message(FATAL_ERROR
+        "serve_smoke: PHANTOM_SERVE_SLOW_MS=0 produced no flight traces")
+endif()
+foreach(trace ${flight_traces})
+    execute_process(
+        COMMAND "${CHECKER}" --trace-schema "${trace}"
+        RESULT_VARIABLE trace_rv)
+    if(NOT trace_rv EQUAL 0)
+        message(FATAL_ERROR
+            "serve_smoke: flight trace ${trace} fails the Chrome trace "
+            "schema")
     endif()
 endforeach()

@@ -500,6 +500,8 @@ StageExperiment::run(BranchKind train, BranchKind victim)
                 if (store != nullptr)
                     store->insert(key, warm);
             }
+            if (t == 0 && options_.onWarmReady)
+                options_.onWarmReady();
             for (std::size_t c = 0; c < kNumChannels; ++c) {
                 if (c > 0) {
                     trial.resetTo(*warm);
@@ -516,6 +518,8 @@ StageExperiment::run(BranchKind train, BranchKind victim)
             for (std::size_t c = 0; c < kNumChannels; ++c) {
                 Trial trial(config_, opts, train, victim,
                             options_.targetPageOffset);
+                if (t == 0 && c == 0 && options_.onWarmReady)
+                    options_.onWarmReady();
                 votes[c] += (trial.*kChannels[c])() ? 1 : 0;
                 absorb(trial);
             }

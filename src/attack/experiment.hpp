@@ -20,6 +20,7 @@
 #include "isa/insn.hpp"
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +99,17 @@ struct StageExperimentOptions
      * cheaper. Also gated globally by PHANTOM_SNAP (=0 disables).
      */
     bool snapshotReuse = true;
+
+    /**
+     * Wall-clock observability hook: invoked once per run(), during the
+     * first trial, the moment warm training state is in hand (trained
+     * fresh, forked from a snapshot, or freshly built on the
+     * PHANTOM_SNAP=0 path) and before the first observation channel
+     * executes. The serve layer uses it to split a request timeline's
+     * train-or-fork stage from its execute stage. Purely measured —
+     * it can never influence seeded results.
+     */
+    std::function<void()> onWarmReady;
 };
 
 /**

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Build identity, shared by every manifest-like surface.
+ *
+ * CMake computes `git describe --always --dirty` at configure time and
+ * bakes it into every target as the PHANTOM_GIT_DESCRIBE compile
+ * definition. This header is the one accessor: bench manifests
+ * (bench/bench_util.hpp) and the daemon's /healthz document both report
+ * the same string, so version skew between a stored baseline and a
+ * running service is always detectable.
+ */
+
+#ifndef PHANTOM_OBS_BUILD_INFO_HPP
+#define PHANTOM_OBS_BUILD_INFO_HPP
+
+namespace phantom::obs {
+
+/** The configure-time `git describe` string, or "unknown". */
+inline const char*
+gitDescribe()
+{
+#ifdef PHANTOM_GIT_DESCRIBE
+    return PHANTOM_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace phantom::obs
+
+#endif // PHANTOM_OBS_BUILD_INFO_HPP

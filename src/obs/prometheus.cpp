@@ -1,0 +1,122 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace phantom::obs {
+
+namespace {
+
+void
+appendU64(std::string& out, u64 v)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buffer;
+}
+
+void
+appendDouble(std::string& out, double v)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", v);
+    out += buffer;
+}
+
+void
+appendType(std::string& out, const std::string& name, const char* kind)
+{
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += kind;
+    out += '\n';
+}
+
+/** Inclusive upper bound of log2 bucket @p i (1, 3, 7, 15, ...). */
+u64
+bucketLe(int i)
+{
+    if (i >= 63)
+        return ~u64{0};
+    return (u64{1} << (i + 1)) - 1;
+}
+
+} // namespace
+
+std::string
+promMetricName(const std::string& name, const std::string& prefix)
+{
+    std::string out = prefix;
+    for (char c : name) {
+        bool legal = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+            c == '_' || c == ':';
+        out += legal ? c : '_';
+    }
+    if (out.empty() ||
+        std::isdigit(static_cast<unsigned char>(out[0])) != 0)
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+promExposition(const MetricsRegistry& registry, const std::string& prefix)
+{
+    std::string out;
+
+    for (const auto& [name, counter] : registry.counters()) {
+        std::string metric = promMetricName(name, prefix);
+        appendType(out, metric, "counter");
+        out += metric;
+        out += ' ';
+        appendU64(out, counter.value());
+        out += '\n';
+    }
+
+    for (const auto& [name, gauge] : registry.gauges()) {
+        std::string metric = promMetricName(name, prefix);
+        appendType(out, metric, "gauge");
+        out += metric;
+        out += ' ';
+        appendDouble(out, gauge.value());
+        out += '\n';
+    }
+
+    for (const auto& [name, histogram] : registry.histograms()) {
+        std::string metric = promMetricName(name, prefix);
+        appendType(out, metric, "histogram");
+        // Cumulative buckets through the highest non-empty one; the
+        // +Inf bucket always closes the series at the total count.
+        int highest = -1;
+        for (int i = 0; i < Histogram::kBuckets; ++i)
+            if (histogram.buckets()[static_cast<std::size_t>(i)] != 0)
+                highest = i;
+        u64 cumulative = 0;
+        for (int i = 0; i <= highest; ++i) {
+            cumulative += histogram.buckets()[static_cast<std::size_t>(i)];
+            out += metric;
+            out += "_bucket{le=\"";
+            appendU64(out, bucketLe(i));
+            out += "\"} ";
+            appendU64(out, cumulative);
+            out += '\n';
+        }
+        out += metric;
+        out += "_bucket{le=\"+Inf\"} ";
+        appendU64(out, histogram.count());
+        out += '\n';
+        out += metric;
+        out += "_sum ";
+        appendU64(out, histogram.sum());
+        out += '\n';
+        out += metric;
+        out += "_count ";
+        appendU64(out, histogram.count());
+        out += '\n';
+    }
+
+    return out;
+}
+
+} // namespace phantom::obs

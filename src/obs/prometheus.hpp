@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) for a MetricsRegistry,
+ * dependency-free so the base observability layer stays JSON-free.
+ *
+ * Mapping:
+ *  - Counter  → `# TYPE <name> counter` + one sample
+ *  - Gauge    → `# TYPE <name> gauge` + one sample
+ *  - Histogram→ `# TYPE <name> histogram` + cumulative `<name>_bucket`
+ *    samples with `le` labels at the log2 bucket upper bounds
+ *    (inclusive: bucket i covers [2^i, 2^(i+1)), so le = 2^(i+1)-1;
+ *    bucket 0 covers {0,1}, le = 1), a `+Inf` bucket, `_sum`, `_count`.
+ *
+ * Registry names are dotted ("serve.queue_wait_micros"); exposition
+ * names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so promMetricName()
+ * rewrites every illegal character to '_' and prepends the given
+ * prefix ("phantom_" by default). Within one registry the rewrite is
+ * collision-free as long as names differ by more than punctuation —
+ * json_check --prom-schema re-verifies uniqueness on the scraped text.
+ */
+
+#ifndef PHANTOM_OBS_PROMETHEUS_HPP
+#define PHANTOM_OBS_PROMETHEUS_HPP
+
+#include "obs/metrics.hpp"
+
+#include <string>
+
+namespace phantom::obs {
+
+/** @p name sanitized into a legal exposition metric name. */
+std::string promMetricName(const std::string& name,
+                           const std::string& prefix = "phantom_");
+
+/** The whole registry as one 0.0.4 text exposition document. */
+std::string promExposition(const MetricsRegistry& registry,
+                           const std::string& prefix = "phantom_");
+
+} // namespace phantom::obs
+
+#endif // PHANTOM_OBS_PROMETHEUS_HPP

@@ -1,0 +1,147 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace phantom::obs {
+
+namespace {
+
+u64
+monotonicNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+const char*
+requestStageName(RequestStage stage)
+{
+    switch (stage) {
+      case RequestStage::Accepted:    return "accepted";
+      case RequestStage::HeadParsed:  return "head_parsed";
+      case RequestStage::Validated:   return "validated";
+      case RequestStage::Enqueued:    return "enqueued";
+      case RequestStage::Dequeued:    return "dequeued";
+      case RequestStage::TrainOrFork: return "train_or_fork";
+      case RequestStage::Executed:    return "executed";
+      case RequestStage::Serialized:  return "serialized";
+      case RequestStage::Written:     return "written";
+      default:                        return "?";
+    }
+}
+
+RequestTimeline::RequestTimeline(u64 id)
+    : id_(id)
+{
+    mark(RequestStage::Accepted);
+}
+
+void
+RequestTimeline::mark(RequestStage stage)
+{
+    markAt(stage, monotonicNs());
+}
+
+void
+RequestTimeline::markAt(RequestStage stage, u64 ns)
+{
+    // Clamp against the latest mark so stage timestamps are monotone
+    // by construction, even when marks come from different threads
+    // whose steady_clock reads interleave oddly.
+    u64 stamped = std::max(ns, lastNs_);
+    // A mark is never 0: 0 encodes "unmarked".
+    if (stamped == 0)
+        stamped = 1;
+    ns_[static_cast<std::size_t>(stage)] = stamped;
+    lastNs_ = stamped;
+}
+
+bool
+RequestTimeline::marked(RequestStage stage) const
+{
+    return ns_[static_cast<std::size_t>(stage)] != 0;
+}
+
+u64
+RequestTimeline::ns(RequestStage stage) const
+{
+    return ns_[static_cast<std::size_t>(stage)];
+}
+
+u64
+RequestTimeline::sinceAcceptMicros(RequestStage stage) const
+{
+    u64 start = ns_[static_cast<std::size_t>(RequestStage::Accepted)];
+    u64 at = ns_[static_cast<std::size_t>(stage)];
+    if (start == 0 || at <= start)
+        return 0;
+    return (at - start) / 1000;
+}
+
+u64
+RequestTimeline::elapsedMicros() const
+{
+    u64 start = ns_[static_cast<std::size_t>(RequestStage::Accepted)];
+    u64 now = monotonicNs();
+    if (start == 0 || now <= start)
+        return 0;
+    return (now - start) / 1000;
+}
+
+std::array<u64, kRequestStages>
+RequestTimeline::stageMicros() const
+{
+    std::array<u64, kRequestStages> micros{};
+    u64 previous = 0;
+    for (std::size_t i = 0; i < kRequestStages; ++i) {
+        if (ns_[i] == 0)
+            continue;
+        u64 cumulative = sinceAcceptMicros(static_cast<RequestStage>(i));
+        micros[i] = cumulative >= previous ? cumulative - previous : 0;
+        previous = std::max(previous, cumulative);
+    }
+    return micros;
+}
+
+u64
+RequestTimeline::totalMicros() const
+{
+    // The running maximum of the cumulative offsets — exactly what the
+    // stageMicros() entries telescope to, so sum == total always holds.
+    u64 total = 0;
+    for (std::size_t i = 0; i < kRequestStages; ++i)
+        if (ns_[i] != 0)
+            total = std::max(
+                total, sinceAcceptMicros(static_cast<RequestStage>(i)));
+    return total;
+}
+
+TimelineRing::TimelineRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+TimelineRing::push(TimelineRecord record)
+{
+    records_.push_back(std::move(record));
+    ++pushed_;
+    while (records_.size() > capacity_) {
+        records_.pop_front();
+        ++evicted_;
+    }
+}
+
+std::vector<TimelineRecord>
+TimelineRing::snapshot() const
+{
+    return std::vector<TimelineRecord>(records_.begin(), records_.end());
+}
+
+} // namespace phantom::obs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Request-scoped timing: a monotonic per-request timeline plus a
+ * bounded ring of completed timelines (the flight recorder's /statsz
+ * surface).
+ *
+ * A RequestTimeline carries one nanosecond timestamp per lifecycle
+ * stage (accepted → head-parsed → validated → enqueued → dequeued →
+ * train-or-fork → executed → serialized → written). Stages a request
+ * never reaches stay unmarked; marks are clamped monotone so the stage
+ * order always holds even across threads with slightly skewed reads.
+ *
+ * The derived per-stage durations form an exact partition: each marked
+ * stage's micros are the difference of consecutive *cumulative*
+ * microsecond offsets from the accept mark, so they telescope to
+ * totalMicros() with no rounding residue — the same partition contract
+ * cycle attribution keeps for simulated cycles (OBSERVABILITY.md).
+ *
+ * TimelineRing is the "last N completed requests" buffer: bounded,
+ * oldest evicted, with an eviction counter so truncation is never
+ * silent. Like MetricsRegistry it is not thread-safe; the server
+ * guards it with its stats mutex.
+ */
+
+#ifndef PHANTOM_OBS_TIMELINE_HPP
+#define PHANTOM_OBS_TIMELINE_HPP
+
+#include "sim/types.hpp"
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace phantom::obs {
+
+/** Lifecycle stages of one service request, in order. */
+enum class RequestStage : u8 {
+    Accepted = 0,     ///< connection accepted / request object created
+    HeadParsed,       ///< HTTP request head parsed
+    Validated,        ///< spec parsed + semantically validated
+    Enqueued,         ///< admitted to the queue
+    Dequeued,         ///< a worker picked the request up
+    TrainOrFork,      ///< warm state in hand (trained fresh or forked)
+    Executed,         ///< simulation channels done
+    Serialized,       ///< response document rendered
+    Written,          ///< response bytes handed to the peer
+    kCount,
+};
+
+constexpr std::size_t kRequestStages =
+    static_cast<std::size_t>(RequestStage::kCount);
+
+/** Stable lower_snake name ("accepted", "head_parsed", ...). */
+const char* requestStageName(RequestStage stage);
+
+class RequestTimeline
+{
+  public:
+    RequestTimeline() = default;
+
+    /** A timeline for request @p id; marks Accepted immediately. */
+    explicit RequestTimeline(u64 id);
+
+    u64 id() const { return id_; }
+
+    /** Stamp @p stage with the monotonic clock, clamped so marks can
+     *  never run backwards relative to earlier stages. */
+    void mark(RequestStage stage);
+
+    /** Test hook: stamp @p stage at an explicit nanosecond reading. */
+    void markAt(RequestStage stage, u64 ns);
+
+    bool marked(RequestStage stage) const;
+
+    /** Raw monotonic nanoseconds of @p stage (0 when unmarked). */
+    u64 ns(RequestStage stage) const;
+
+    /** Whole microseconds between Accepted and @p stage. */
+    u64 sinceAcceptMicros(RequestStage stage) const;
+
+    /** Whole microseconds between Accepted and now. */
+    u64 elapsedMicros() const;
+
+    /**
+     * Exact partition of the request's lifetime: entry i is the
+     * microseconds between stage i and the last stage marked before
+     * it (0 for unmarked stages and for Accepted itself). Because each
+     * entry is a difference of consecutive sinceAcceptMicros() values,
+     * the entries sum to totalMicros() exactly.
+     */
+    std::array<u64, kRequestStages> stageMicros() const;
+
+    /** sinceAcceptMicros() of the last marked stage. */
+    u64 totalMicros() const;
+
+  private:
+    u64 id_ = 0;
+    std::array<u64, kRequestStages> ns_{};   // 0 = unmarked
+    u64 lastNs_ = 0;                         // latest mark, for clamping
+};
+
+/** One completed request as retained by the flight-recorder ring. */
+struct TimelineRecord
+{
+    RequestTimeline timeline;
+    int status = 0;          ///< HTTP status answered
+    u64 bytes = 0;           ///< response body bytes
+    std::string target;      ///< request target ("/run", "/healthz", ...)
+    std::string batchKey;    ///< dispatcher batch key; empty off /run
+    std::string warmSource;  ///< "capture", "fork", "restore" or "none"
+};
+
+/** Bounded ring of the last N completed timelines, oldest evicted. */
+class TimelineRing
+{
+  public:
+    explicit TimelineRing(std::size_t capacity = 64);
+
+    void push(TimelineRecord record);
+
+    /** Retained records, oldest first. */
+    std::vector<TimelineRecord> snapshot() const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return records_.size(); }
+    u64 pushed() const { return pushed_; }
+    u64 evicted() const { return evicted_; }  ///< never silent
+
+  private:
+    std::size_t capacity_;
+    std::deque<TimelineRecord> records_;
+    u64 pushed_ = 0;
+    u64 evicted_ = 0;
+};
+
+} // namespace phantom::obs
+
+#endif // PHANTOM_OBS_TIMELINE_HPP

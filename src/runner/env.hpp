@@ -27,6 +27,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace phantom::runner {
 
@@ -94,6 +95,27 @@ envU64Strict(const char* name, u64 fallback, u64 lo = 0,
         std::exit(64);
     }
     return v;
+}
+
+/** True when @p name is set to a non-empty value. */
+inline bool
+envPresent(const char* name)
+{
+    const char* env = std::getenv(name);
+    return env != nullptr && *env != '\0';
+}
+
+/** @p name from the environment as a string; unset or empty yields
+ *  @p fallback. Path-valued knobs (PHANTOM_SERVE_FLIGHT_DIR,
+ *  PHANTOM_SERVE_LOG) have no malformed-value class, so there is no
+ *  strict variant. */
+inline std::string
+envStringOr(const char* name, const std::string& fallback = {})
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    return env;
 }
 
 } // namespace phantom::runner

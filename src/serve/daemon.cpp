@@ -29,13 +29,39 @@ jsonResponse(int status, const JsonValue& body)
 }
 
 HttpResponse
-errorResponse(int status, const std::string& message)
+errorResponse(int status, const std::string& message, u64 request_id)
 {
     JsonValue body = JsonValue::object();
     body.set("schema", runner::kServeErrorSchema);
     body.set("status", status);
     body.set("error", message);
+    if (request_id != 0)
+        body.set("request_id", request_id);
     return jsonResponse(status, body);
+}
+
+/** Stamp the response with the request id and the Serialized mark
+ *  (unless the 200 path already placed it closer to the work). */
+void
+sealResponse(HttpResponse& response, RequestContext& ctx)
+{
+    response.headers.emplace_back("X-Phantom-Request-Id",
+                                  std::to_string(ctx.timeline.id()));
+    if (!ctx.timeline.marked(obs::RequestStage::Serialized))
+        ctx.timeline.mark(obs::RequestStage::Serialized);
+}
+
+/** Remote endpoint of @p fd as "ip:port", or "unknown". */
+std::string
+peerName(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+        return "unknown";
+    char ip[INET_ADDRSTRLEN] = "unknown";
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+    return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
 }
 
 } // namespace
@@ -149,6 +175,10 @@ Daemon::serveConnection(int fd)
     timeout.tv_sec = 30;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
 
+    // The request context opens at accept: the id exists before a
+    // single byte is read, so even a garbled head is traceable.
+    RequestContext ctx = server_.beginRequest("", "", peerName(fd));
+
     HttpResponse response;
     HttpRequest request;
     std::string data;
@@ -159,7 +189,8 @@ Daemon::serveConnection(int fd)
     // Read until the blank line that ends the head.
     while (head_end == std::string::npos) {
         if (data.size() > limits_.maxRequestLine + limits_.maxHeaderBytes) {
-            response = errorResponse(431, "request head too large");
+            response = errorResponse(431, "request head too large",
+                                     ctx.timeline.id());
             goto answer;
         }
         {
@@ -167,10 +198,12 @@ Daemon::serveConnection(int fd)
             if (n <= 0) {
                 peer_gone = n == 0 && data.empty();
                 if (!peer_gone) {
-                    response =
-                        errorResponse(400, "truncated request head");
+                    response = errorResponse(400, "truncated request head",
+                                             ctx.timeline.id());
                     goto answer;
                 }
+                // The peer connected and left without a request: no
+                // request ever existed, so nothing reaches the log.
                 ::close(fd);
                 return;
             }
@@ -182,25 +215,32 @@ Daemon::serveConnection(int fd)
     {
         HttpParseResult parsed = parseRequestHead(data, request, limits_);
         if (!parsed.ok) {
-            response = errorResponse(parsed.status, parsed.error);
+            response = errorResponse(parsed.status, parsed.error,
+                                     ctx.timeline.id());
             goto answer;
         }
+        request.peer = ctx.peer;
+        ctx.method = request.method;
+        ctx.target = request.target;
+        ctx.timeline.mark(obs::RequestStage::HeadParsed);
         // Read the declared body; anything short of Content-Length is
         // a client error, not a hang (recv timeout above).
         while (data.size() < parsed.headBytes + parsed.contentLength) {
             ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
             if (n <= 0) {
-                response = errorResponse(400, "truncated request body");
+                response = errorResponse(400, "truncated request body",
+                                         ctx.timeline.id());
                 goto answer;
             }
             data.append(buffer, static_cast<std::size_t>(n));
         }
         request.body =
             data.substr(parsed.headBytes, parsed.contentLength);
-        response = handle(request);
+        response = handle(request, ctx);
     }
 
 answer:
+    sealResponse(response, ctx);
     {
         std::string wire = serializeResponse(response);
         std::size_t sent = 0;
@@ -214,39 +254,69 @@ answer:
     }
     ::shutdown(fd, SHUT_WR);
     ::close(fd);
+    ctx.status = response.status;
+    ctx.responseBytes = response.body.size();
+    server_.finishRequest(ctx);
 }
 
 HttpResponse
 Daemon::handle(const HttpRequest& request)
 {
+    RequestContext ctx = server_.beginRequest(
+        request.method, request.target,
+        request.peer.empty() ? "local" : request.peer);
+    HttpResponse response = handle(request, ctx);
+    sealResponse(response, ctx);
+    ctx.status = response.status;
+    ctx.responseBytes = response.body.size();
+    server_.finishRequest(ctx);
+    return response;
+}
+
+HttpResponse
+Daemon::handle(const HttpRequest& request, RequestContext& ctx)
+{
+    u64 rid = ctx.timeline.id();
     if (request.target == "/healthz") {
         if (request.method != "GET")
-            return errorResponse(405, "use GET /healthz");
+            return errorResponse(405, "use GET /healthz", rid);
         return jsonResponse(200, server_.healthz());
     }
     if (request.target == "/statsz") {
         if (request.method != "GET")
-            return errorResponse(405, "use GET /statsz");
+            return errorResponse(405, "use GET /statsz", rid);
         return jsonResponse(200, server_.statsz());
+    }
+    if (request.target == "/metricsz") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET /metricsz", rid);
+        HttpResponse response;
+        response.status = 200;
+        response.headers.emplace_back(
+            "content-type", "text/plain; version=0.0.4; charset=utf-8");
+        response.body = server_.metricsText();
+        return response;
     }
     if (request.target == "/run") {
         if (request.method != "POST")
-            return errorResponse(405, "use POST /run");
+            return errorResponse(405, "use POST /run", rid);
         JsonValue doc;
         std::string error;
         if (!runner::parseJson(request.body, doc, &error))
-            return errorResponse(400, "malformed JSON body: " + error);
+            return errorResponse(400, "malformed JSON body: " + error,
+                                 rid);
         ExperimentSpec spec;
         if (!parseSpec(doc, spec, &error))
-            return errorResponse(400, "invalid spec: " + error);
-        ServeResult result = server_.run(spec);
+            return errorResponse(400, "invalid spec: " + error, rid);
+        ServeResult result = server_.run(spec, ctx);
         HttpResponse response = jsonResponse(result.status, result.body);
         if (result.retryAfterS > 0)
             response.headers.emplace_back(
                 "retry-after", std::to_string(result.retryAfterS));
         return response;
     }
-    return errorResponse(404, "unknown target \"" + request.target + "\"");
+    return errorResponse(404,
+                         "unknown target \"" + request.target + "\"", rid);
 }
 
 } // namespace phantom::serve

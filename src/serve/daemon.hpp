@@ -8,6 +8,7 @@
  *
  *   GET  /healthz   liveness           → 200 kServeHealthSchema
  *   GET  /statsz    queue/snap/metrics → 200 kServeStatsSchema
+ *   GET  /metricsz  Prometheus text    → 200 text/plain; version=0.0.4
  *   POST /run       experiment spec    → 200 phantom-bench-results/v2
  *                                      | 400/413/429/504 kServeErrorSchema
  *
@@ -15,6 +16,12 @@
  * garbled request head gets the status parseRequestHead() chose
  * (400/413/431/501/505). The daemon owns no experiment state — every
  * policy decision (admission, batching, deadlines) lives in Server.
+ *
+ * Every connection opens a Server request context at accept (the
+ * monotonic id comes back in the X-Phantom-Request-Id header and in
+ * error bodies), stamps HeadParsed/Serialized/Written on its timeline,
+ * and closes it after the response bytes are on the wire — which is
+ * what feeds the access log and /metricsz stage histograms.
  */
 
 #ifndef PHANTOM_SERVE_DAEMON_HPP
@@ -48,8 +55,16 @@ class Daemon
     /** Stop accepting, join every connection thread. Idempotent. */
     void stop();
 
-    /** Route one parsed request; exposed for direct (socket-free) use. */
+    /** Route one parsed request; exposed for direct (socket-free) use.
+     *  Opens and closes its own request context. */
     HttpResponse handle(const HttpRequest& request);
+
+    /** As handle(), against a caller-owned context: routes, stamps the
+     *  timeline, embeds @p ctx's id in error bodies and the
+     *  X-Phantom-Request-Id header — but leaves finishRequest() (and
+     *  the Written mark) to the caller, who knows when the bytes hit
+     *  the wire. */
+    HttpResponse handle(const HttpRequest& request, RequestContext& ctx);
 
   private:
     void acceptLoop();

@@ -43,6 +43,10 @@ struct HttpRequest
     std::vector<std::pair<std::string, std::string>> headers;
     std::string body;
 
+    /** Remote endpoint ("ip:port"); filled by the daemon at accept,
+     *  not by the parser — buffers carry no peer identity. */
+    std::string peer;
+
     /** Value of lowercase @p name, or nullptr when absent. */
     const std::string* header(const std::string& name) const;
 };

@@ -1,16 +1,24 @@
 #include "serve/server.hpp"
 
 #include "attack/experiment.hpp"
+#include "cpu/machine.hpp"
+#include "obs/build_info.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace_export.hpp"
+#include "runner/env.hpp"
 #include "runner/metrics_json.hpp"
 #include "runner/schema.hpp"
+#include "sim/log.hpp"
 #include "snap/state.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <unordered_map>
 
 namespace phantom::serve {
 
+using obs::RequestStage;
 using runner::JsonValue;
 
 namespace {
@@ -37,21 +45,98 @@ kindFromName(const std::string& name, attack::BranchKind* out)
     return false;
 }
 
+/** The marked stages of @p record as a {"stage": micros} object. */
+JsonValue
+stagesJson(const obs::TimelineRecord& record)
+{
+    std::array<u64, obs::kRequestStages> micros =
+        record.timeline.stageMicros();
+    JsonValue stages = JsonValue::object();
+    for (std::size_t i = 1; i < obs::kRequestStages; ++i) {
+        RequestStage stage = static_cast<RequestStage>(i);
+        if (record.timeline.marked(stage))
+            stages.set(obs::requestStageName(stage), micros[i]);
+    }
+    return stages;
+}
+
+/** One completed request as a JSON object — the access-log line and
+ *  the /statsz "timelines" entries share this shape. */
+JsonValue
+timelineJson(const obs::TimelineRecord& record)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("id", record.timeline.id());
+    doc.set("status", record.status);
+    doc.set("bytes", record.bytes);
+    doc.set("target", record.target);
+    doc.set("batch_key", record.batchKey);
+    doc.set("warm", record.warmSource);
+    doc.set("total_micros", record.timeline.totalMicros());
+    doc.set("stages", stagesJson(record));
+    return doc;
+}
+
+obs::TimelineRecord
+recordOf(const RequestContext& ctx)
+{
+    obs::TimelineRecord record;
+    record.timeline = ctx.timeline;
+    record.status = ctx.status;
+    record.bytes = ctx.responseBytes;
+    record.target = ctx.target;
+    record.batchKey = ctx.batchKey;
+    record.warmSource = ctx.warmSource;
+    return record;
+}
+
 } // namespace
+
+ServerOptions
+serverOptionsFromEnv(ServerOptions base)
+{
+    base.queueCapacity = static_cast<std::size_t>(runner::envU64Strict(
+        "PHANTOM_SERVE_QUEUE", base.queueCapacity, 1, 65536));
+    base.defaultDeadlineMs =
+        runner::envU64Strict("PHANTOM_SERVE_DEADLINE_MS",
+                             base.defaultDeadlineMs);
+    if (runner::envPresent("PHANTOM_SERVE_SLOW_MS"))
+        base.slowRequestMs =
+            runner::envU64Strict("PHANTOM_SERVE_SLOW_MS", 0);
+    base.flightDir =
+        runner::envStringOr("PHANTOM_SERVE_FLIGHT_DIR", base.flightDir);
+    return base;
+}
 
 Server::Server(const ServerOptions& options)
     : options_(options),
       jobs_(options.jobs != 0 ? options.jobs : runner::jobsFromEnv()),
-      scheduler_(jobs_)
+      started_(std::chrono::steady_clock::now()),
+      scheduler_(jobs_),
+      recent_(options.timelineRingCapacity)
 {
     stores_.reserve(jobs_);
     for (unsigned w = 0; w < jobs_; ++w)
         stores_.push_back(std::make_unique<snap::SnapshotStore>());
+    if (options_.slowRequestMs != ServerOptions::kSlowDisabled) {
+        std::size_t events = static_cast<std::size_t>(
+            runner::envU64Or("PHANTOM_TRACE_EVENTS", u64{1} << 16));
+        rings_.reserve(jobs_);
+        for (unsigned w = 0; w < jobs_; ++w)
+            rings_.push_back(
+                std::make_unique<obs::RingTraceSink>(events));
+    }
     scheduler_.setWorkerHooks(
         [this](unsigned worker) {
             snap::setActiveSnapshotStore(stores_[worker].get());
+            if (!rings_.empty())
+                obs::setActiveTraceSink(rings_[worker].get());
         },
-        [](unsigned) { snap::setActiveSnapshotStore(nullptr); });
+        [this](unsigned) {
+            snap::setActiveSnapshotStore(nullptr);
+            if (!rings_.empty())
+                obs::setActiveTraceSink(nullptr);
+        });
     dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
@@ -62,7 +147,7 @@ Server::~Server()
 
 ServeResult
 Server::errorResult(int status, const std::string& message,
-                    int retry_after_s)
+                    u64 request_id, int retry_after_s)
 {
     ServeResult result;
     result.status = status;
@@ -71,28 +156,60 @@ Server::errorResult(int status, const std::string& message,
     result.body.set("schema", runner::kServeErrorSchema);
     result.body.set("status", status);
     result.body.set("error", message);
+    if (request_id != 0)
+        result.body.set("request_id", request_id);
     if (retry_after_s > 0)
         result.body.set("retry_after", retry_after_s);
     return result;
 }
 
+RequestContext
+Server::beginRequest(const std::string& method, const std::string& target,
+                     const std::string& peer)
+{
+    RequestContext ctx;
+    ctx.timeline =
+        obs::RequestTimeline(nextRequestId_.fetch_add(1) + 1);
+    ctx.method = method;
+    ctx.target = target;
+    ctx.peer = peer;
+    return ctx;
+}
+
 ServeResult
 Server::run(const ExperimentSpec& spec)
 {
+    RequestContext ctx = beginRequest("POST", "/run");
+    ServeResult result = run(spec, ctx);
+    ctx.status = result.status;
+    finishRequest(ctx);
+    return result;
+}
+
+ServeResult
+Server::run(const ExperimentSpec& spec, RequestContext& ctx)
+{
+    u64 rid = ctx.timeline.id();
     // Semantic validation up front, before the request costs a queue
     // slot: parseSpec checked shape, this checks the simulator agrees.
     if (snap::resolveConfig(spec.uarch) == nullptr)
-        return errorResult(400, "unknown uarch \"" + spec.uarch + "\"");
+        return errorResult(400, "unknown uarch \"" + spec.uarch + "\"",
+                           rid);
     attack::BranchKind kind;
     if (!kindFromName(spec.train, &kind))
         return errorResult(400,
-                           "unknown train kind \"" + spec.train + "\"");
+                           "unknown train kind \"" + spec.train + "\"",
+                           rid);
     if (!kindFromName(spec.victim, &kind))
         return errorResult(400,
-                           "unknown victim kind \"" + spec.victim + "\"");
+                           "unknown victim kind \"" + spec.victim + "\"",
+                           rid);
+    ctx.timeline.mark(RequestStage::Validated);
+    ctx.batchKey = spec.batchKey();
 
     auto pending = std::make_shared<Pending>();
     pending->spec = spec;
+    pending->ctx = &ctx;
     pending->enqueued = std::chrono::steady_clock::now();
     u64 deadline_ms =
         spec.deadlineMs != 0 ? spec.deadlineMs : options_.defaultDeadlineMs;
@@ -106,15 +223,19 @@ Server::run(const ExperimentSpec& spec)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_)
-            return errorResult(503, "server is shutting down");
+            return errorResult(503, "server is shutting down", rid);
         if (queue_.size() >= options_.queueCapacity) {
             // Crude but honest back-off hint: a full queue means at
             // least one batch must drain first.
             std::lock_guard<std::mutex> stats(statsMutex_);
             measured_.counter("serve.rejected_queue_full").inc();
-            return errorResult(429, "request queue is full",
+            return errorResult(429, "request queue is full", rid,
                                /*retry_after_s=*/1);
         }
+        // Marked under the lock: once the dispatcher can see the
+        // request, only the worker touches the timeline until the
+        // promise resolves.
+        ctx.timeline.mark(RequestStage::Enqueued);
         queue_.push_back(pending);
     }
     {
@@ -123,6 +244,41 @@ Server::run(const ExperimentSpec& spec)
     }
     cv_.notify_all();
     return future.get();
+}
+
+void
+Server::finishRequest(RequestContext& ctx)
+{
+    if (ctx.finished)
+        return;
+    ctx.finished = true;
+    ctx.timeline.mark(RequestStage::Written);
+
+    obs::TimelineRecord record = recordOf(ctx);
+    std::array<u64, obs::kRequestStages> micros =
+        ctx.timeline.stageMicros();
+    {
+        std::lock_guard<std::mutex> stats(statsMutex_);
+        measured_.counter("serve.status." + std::to_string(ctx.status))
+            .inc();
+        for (std::size_t i = 1; i < obs::kRequestStages; ++i) {
+            RequestStage stage = static_cast<RequestStage>(i);
+            if (!ctx.timeline.marked(stage))
+                continue;
+            measured_
+                .histogram(std::string("serve.stage.") +
+                           obs::requestStageName(stage) + "_micros")
+                .observe(micros[i]);
+        }
+        recent_.push(std::move(record));
+    }
+
+    if (accessLogEnabled()) {
+        JsonValue line = timelineJson(recordOf(ctx));
+        line.set("peer", ctx.peer);
+        line.set("method", ctx.method);
+        logAccessLine(line.dump());
+    }
 }
 
 void
@@ -184,31 +340,47 @@ Server::runBatch(std::vector<std::shared_ptr<Pending>> batch)
             .observe(static_cast<u64>(batch.size()));
     }
 
-    scheduler_.forEach(groups.size(), [this, &groups](u64 g, unsigned) {
+    bool flight = options_.slowRequestMs != ServerOptions::kSlowDisabled;
+    scheduler_.forEach(groups.size(), [this, &groups,
+                                       flight](u64 g, unsigned worker) {
         for (const std::shared_ptr<Pending>& pending : groups[g]) {
+            RequestContext* ctx = pending->ctx;
+            ctx->timeline.mark(RequestStage::Dequeued);
             auto started = std::chrono::steady_clock::now();
             u64 wait_us = microsSince(pending->enqueued, started);
             ServeResult result;
             if (pending->hasDeadline && started > pending->deadline) {
                 result = errorResult(
-                    504, "deadline expired before the request started");
+                    504, "deadline expired before the request started",
+                    ctx->timeline.id());
                 std::lock_guard<std::mutex> stats(statsMutex_);
                 measured_.counter("serve.deadline_expired").inc();
             } else {
+                // Request-scoped flight ring: cleared here so a later
+                // snapshot holds exactly this request's pipeline events.
+                if (flight && !rings_.empty())
+                    rings_[worker]->clear();
                 try {
-                    result = runSpec(pending->spec, wait_us);
+                    result = runSpec(pending->spec, wait_us, *ctx);
                 } catch (const std::exception& e) {
                     result = errorResult(
-                        500, std::string("experiment failed: ") + e.what());
+                        500, std::string("experiment failed: ") + e.what(),
+                        ctx->timeline.id());
                 }
-                std::lock_guard<std::mutex> stats(statsMutex_);
-                measured_.counter("serve.completed").inc();
-                measured_.histogram("serve.queue_wait_micros")
-                    .observe(wait_us);
-                measured_.histogram("serve.request_micros")
-                    .observe(microsSince(
-                        pending->enqueued,
-                        std::chrono::steady_clock::now()));
+                {
+                    std::lock_guard<std::mutex> stats(statsMutex_);
+                    measured_.counter("serve.completed").inc();
+                    measured_.histogram("serve.queue_wait_micros")
+                        .observe(wait_us);
+                    measured_.histogram("serve.request_micros")
+                        .observe(microsSince(
+                            pending->enqueued,
+                            std::chrono::steady_clock::now()));
+                }
+                if (flight &&
+                    ctx->timeline.elapsedMicros() >=
+                        options_.slowRequestMs * 1000)
+                    exportFlightTrace(*ctx, worker);
             }
             pending->promise.set_value(std::move(result));
         }
@@ -224,14 +396,16 @@ Server::runBatch(std::vector<std::shared_ptr<Pending>> batch)
 }
 
 ServeResult
-Server::runSpec(const ExperimentSpec& spec, u64 queue_wait_us)
+Server::runSpec(const ExperimentSpec& spec, u64 queue_wait_us,
+                RequestContext& ctx)
 {
     const cpu::MicroarchConfig* config = snap::resolveConfig(spec.uarch);
     attack::BranchKind train = attack::BranchKind::IndirectJmp;
     attack::BranchKind victim = attack::BranchKind::IndirectJmp;
     if (config == nullptr || !kindFromName(spec.train, &train) ||
         !kindFromName(spec.victim, &victim))
-        return errorResult(400, "spec failed semantic validation");
+        return errorResult(400, "spec failed semantic validation",
+                           ctx.timeline.id());
 
     attack::StageExperimentOptions options;
     options.seed = spec.seed;
@@ -239,12 +413,34 @@ Server::runSpec(const ExperimentSpec& spec, u64 queue_wait_us)
     options.targetPageOffset = spec.targetPageOffset;
     options.suppressBpOnNonBr = spec.suppressBpOnNonBr;
     options.autoIbrs = spec.autoIbrs;
+    // Splits the timeline at the warm-state boundary: everything up to
+    // the hook is training-or-forking, everything after is channel
+    // execution. Wall-clock only — seeded results cannot see it.
+    options.onWarmReady = [&ctx] {
+        ctx.timeline.mark(RequestStage::TrainOrFork);
+    };
+
+    // The fork-vs-capture label comes from this worker's store delta:
+    // requests of a group run sequentially on one worker, so the delta
+    // is exactly this request's activity.
+    snap::SnapshotStore* store = snap::activeSnapshotStore();
+    snap::StoreStats before = store != nullptr ? store->stats()
+                                               : snap::StoreStats{};
 
     auto started = std::chrono::steady_clock::now();
     attack::StageExperiment experiment(*config, options);
     attack::StageObservation obs = experiment.run(train, victim);
     u64 run_us =
         microsSince(started, std::chrono::steady_clock::now());
+    ctx.timeline.mark(RequestStage::Executed);
+
+    if (store != nullptr) {
+        const snap::StoreStats& after = store->stats();
+        if (after.captures > before.captures)
+            ctx.warmSource = "capture";
+        else if (after.forks > before.forks)
+            ctx.warmSource = "fork";
+    }
 
     // The response is a phantom-bench-results/v2 document, assembled
     // directly (no ResultSink: its wall-clock "timing" section would
@@ -299,7 +495,48 @@ Server::runSpec(const ExperimentSpec& spec, u64 queue_wait_us)
     result.body.set("spec", spec.toJson());
     result.body.set("experiments", std::move(experiments));
     result.body.set("metrics", std::move(metrics));
+    ctx.timeline.mark(RequestStage::Serialized);
     return result;
+}
+
+void
+Server::exportFlightTrace(const RequestContext& ctx, unsigned worker)
+{
+    if (rings_.empty())
+        return;
+    obs::ShardTrace shard;
+    shard.shard = static_cast<unsigned>(worker);
+    shard.dropped = rings_[worker]->dropped();
+    shard.events = rings_[worker]->snapshot();
+
+    char name[48];
+    std::snprintf(name, sizeof name, "req-%06llu.trace.json",
+                  static_cast<unsigned long long>(ctx.timeline.id()));
+    std::string path = options_.flightDir + "/" + name;
+
+    obs::ChromeTraceOptions trace_options;
+    trace_options.processName = "phantom-serve";
+    trace_options.episodeLabel = [](u8 kind) {
+        return cpu::episodeKindName(static_cast<cpu::EpisodeKind>(kind));
+    };
+    bool ok = obs::writeChromeTrace(path, {shard}, trace_options);
+
+    std::lock_guard<std::mutex> stats(statsMutex_);
+    if (!ok) {
+        measured_.counter("serve.flight.write_failed").inc();
+        return;
+    }
+    measured_.counter("serve.flight.exported").inc();
+    flightFiles_.push_back(path);
+    // Bounded file count: evict the oldest trace, and say so — both a
+    // counter and a log line, so truncation is never silent.
+    while (flightFiles_.size() > options_.flightMaxFiles) {
+        std::string evicted = flightFiles_.front();
+        flightFiles_.pop_front();
+        std::remove(evicted.c_str());
+        measured_.counter("serve.flight.evicted").inc();
+        logWarn("flight recorder evicted ", evicted);
+    }
 }
 
 JsonValue
@@ -310,7 +547,17 @@ Server::healthz() const
     doc.set("status", "ok");
     doc.set("jobs", static_cast<u64>(jobs_));
     doc.set("queue_capacity", static_cast<u64>(options_.queueCapacity));
+    doc.set("uptime_seconds", uptimeSeconds());
+    doc.set("git_describe", obs::gitDescribe());
     return doc;
+}
+
+u64
+Server::uptimeSeconds() const
+{
+    auto s = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - started_);
+    return s.count() < 0 ? 0 : static_cast<u64>(s.count());
 }
 
 JsonValue
@@ -334,14 +581,53 @@ Server::statsz()
     snap.set("forks", snapStats_.forks);
     snap.set("state_bytes", snapStats_.stateBytes);
 
+    JsonValue timelines = JsonValue::array();
+    for (const obs::TimelineRecord& record : recent_.snapshot())
+        timelines.push(timelineJson(record));
+    JsonValue ring = JsonValue::object();
+    ring.set("capacity", static_cast<u64>(recent_.capacity()));
+    ring.set("pushed", recent_.pushed());
+    ring.set("evicted", recent_.evicted());
+
     JsonValue doc = JsonValue::object();
     doc.set("schema", runner::kServeStatsSchema);
     doc.set("queue_depth", static_cast<u64>(depth));
     doc.set("jobs", static_cast<u64>(jobs_));
     doc.set("queue_capacity", static_cast<u64>(options_.queueCapacity));
+    doc.set("uptime_seconds", uptimeSeconds());
     doc.set("metrics", runner::metricsToJson(measured_));
     doc.set("snap", std::move(snap));
+    doc.set("timelines", std::move(timelines));
+    doc.set("timeline_ring", std::move(ring));
     return doc;
+}
+
+std::string
+Server::metricsText()
+{
+    std::size_t depth = queueDepth();
+    std::lock_guard<std::mutex> stats(statsMutex_);
+    measured_.gauge("serve.queue_depth")
+        .set(static_cast<double>(depth));
+    double fork_denominator =
+        static_cast<double>(std::max<u64>(
+            1, snapStats_.forks + snapStats_.captures));
+    measured_.gauge("serve.fork_reuse_rate")
+        .set(static_cast<double>(snapStats_.forks) / fork_denominator);
+
+    // Scrape-time snapshot: the live registry plus the uptime gauge and
+    // the aggregated snapshot-store counters, one flat exposition.
+    obs::MetricsRegistry exposition = measured_;
+    exposition.gauge("serve.uptime_seconds")
+        .set(static_cast<double>(uptimeSeconds()));
+    exposition.counter("serve.snap.captures").inc(snapStats_.captures);
+    exposition.counter("serve.snap.hits").inc(snapStats_.hits);
+    exposition.counter("serve.snap.misses").inc(snapStats_.misses);
+    exposition.counter("serve.snap.restores").inc(snapStats_.restores);
+    exposition.counter("serve.snap.forks").inc(snapStats_.forks);
+    exposition.counter("serve.snap.state_bytes")
+        .inc(snapStats_.stateBytes);
+    return obs::promExposition(exposition);
 }
 
 std::size_t
@@ -378,8 +664,9 @@ Server::stop()
     if (dispatcher_.joinable())
         dispatcher_.join();
     for (const auto& pending : orphans)
-        pending->promise.set_value(
-            errorResult(503, "server stopped before the request ran"));
+        pending->promise.set_value(errorResult(
+            503, "server stopped before the request ran",
+            pending->ctx != nullptr ? pending->ctx->timeline.id() : 0));
 }
 
 } // namespace phantom::serve

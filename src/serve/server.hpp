@@ -5,7 +5,7 @@
  *
  * Request flow:
  *
- *   Server::run(spec)                       (any caller thread, blocking)
+ *   Server::run(spec, ctx)                   (any caller thread, blocking)
  *     ├─ semantic validation (uarch resolves, kinds map)   → 400
  *     ├─ admission: queue full?                            → 429
  *     └─ enqueue + wait on a future
@@ -25,22 +25,40 @@
  * persist across batches, so a popular spec stays warm for the
  * daemon's lifetime.
  *
+ * Observability (request-scoped, SERVING.md "Service observability"):
+ * every request carries an obs::RequestTimeline — a monotonic id
+ * assigned at accept plus nanosecond marks at each lifecycle stage —
+ * threaded through validation, the queue, the worker (the train-or-fork
+ * / execute split comes from the StageExperiment onWarmReady hook), and
+ * back out. finishRequest() folds the timeline into per-stage log2
+ * latency histograms and per-status-code counters (scrapable at
+ * /metricsz as Prometheus 0.0.4 text), pushes it onto the bounded
+ * recent-timeline ring surfaced by /statsz, and emits one JSON
+ * access-log line when PHANTOM_SERVE_LOG is configured. Requests slower
+ * than slowRequestMs additionally export the worker's pipeline trace
+ * ring as a Chrome trace named by request id into flightDir (bounded
+ * file count, oldest evicted — never silently).
+ *
  * Determinism: a response's "experiments", "metrics.deterministic" and
  * "metrics.manifest" subtrees derive only from seeded simulation —
  * identical specs get bit-identical subtrees regardless of queueing,
- * batching, or concurrency. "metrics.measured" carries per-request
- * wall-clock and legitimately varies.
+ * batching, or concurrency, and none of the instrumentation above can
+ * perturb them. "metrics.measured" carries per-request wall-clock and
+ * legitimately varies.
  */
 
 #ifndef PHANTOM_SERVE_SERVER_HPP
 #define PHANTOM_SERVE_SERVER_HPP
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "runner/json.hpp"
 #include "runner/scheduler.hpp"
 #include "serve/spec.hpp"
 #include "snap/store.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -54,10 +72,27 @@ namespace phantom::serve {
 
 struct ServerOptions
 {
+    /** slowRequestMs value meaning "flight recorder off". */
+    static constexpr u64 kSlowDisabled = ~u64{0};
+
     unsigned jobs = 0;              ///< worker count; 0 = jobsFromEnv()
     std::size_t queueCapacity = 64; ///< admitted-but-unstarted requests
     u64 defaultDeadlineMs = 0;      ///< applied when a spec has none; 0 = ∞
+
+    /** Requests taking at least this many ms export a flight trace;
+     *  0 records every request, kSlowDisabled records none. */
+    u64 slowRequestMs = kSlowDisabled;
+    std::string flightDir = ".";    ///< where flight traces are written
+    std::size_t flightMaxFiles = 16;   ///< bounded; oldest evicted
+    std::size_t timelineRingCapacity = 64;  ///< /statsz recent timelines
 };
+
+/**
+ * ServerOptions populated from the PHANTOM_SERVE_* environment
+ * (strictly validated, runner/env.hpp): QUEUE, DEADLINE_MS, SLOW_MS
+ * (unset = flight recorder off) and FLIGHT_DIR, layered over @p base.
+ */
+ServerOptions serverOptionsFromEnv(ServerOptions base = {});
 
 /** Outcome of one request: an HTTP status plus a JSON body. */
 struct ServeResult
@@ -65,6 +100,25 @@ struct ServeResult
     int status = 200;
     int retryAfterS = 0;   ///< nonzero on 429, for the Retry-After header
     runner::JsonValue body;
+};
+
+/**
+ * Everything the service knows about one in-flight request besides its
+ * spec: the timeline (id + stage marks) plus the access-log fields the
+ * transport layer fills in (peer, method, target, status, bytes).
+ * Created by Server::beginRequest(), closed by Server::finishRequest().
+ */
+struct RequestContext
+{
+    obs::RequestTimeline timeline;
+    std::string peer = "local";
+    std::string method;
+    std::string target;
+    std::string batchKey;           ///< filled once the spec validates
+    std::string warmSource = "none";  ///< "capture" | "fork" | "none"
+    int status = 0;
+    u64 responseBytes = 0;
+    bool finished = false;
 };
 
 class Server
@@ -77,17 +131,45 @@ class Server
     Server& operator=(const Server&) = delete;
 
     /**
-     * Execute @p spec and block until its result is ready. Safe to call
-     * from any number of threads concurrently. Never throws: failures
-     * come back as a 4xx/5xx status with a kServeErrorSchema body.
+     * Open a request: assigns the next monotonic request id and marks
+     * the timeline's Accepted stage. The id travels back to clients in
+     * the X-Phantom-Request-Id header and error bodies.
      */
+    RequestContext beginRequest(const std::string& method,
+                                const std::string& target,
+                                const std::string& peer = "local");
+
+    /**
+     * Execute @p spec and block until its result is ready, stamping
+     * @p ctx's timeline along the way. Safe to call from any number of
+     * threads concurrently (each with its own context). Never throws:
+     * failures come back as a 4xx/5xx status with a kServeErrorSchema
+     * body carrying the request id.
+     */
+    ServeResult run(const ExperimentSpec& spec, RequestContext& ctx);
+
+    /** run() with an internally managed context (begin + run + finish). */
     ServeResult run(const ExperimentSpec& spec);
+
+    /**
+     * Close a request: marks Written, folds the timeline into the
+     * per-stage histograms / per-status counters / recent-timeline
+     * ring, and emits the JSON access-log line (when enabled).
+     * Idempotent per context.
+     */
+    void finishRequest(RequestContext& ctx);
 
     /** Liveness document (kServeHealthSchema). */
     runner::JsonValue healthz() const;
 
-    /** Counters/gauges/queue depth document (kServeStatsSchema). */
+    /** Counters/gauges/queue depth/recent timelines (kServeStatsSchema). */
     runner::JsonValue statsz();
+
+    /** Prometheus text exposition (0.0.4) of the measured registry. */
+    std::string metricsText();
+
+    /** Whole seconds since the server was constructed. */
+    u64 uptimeSeconds() const;
 
     /** Admitted-but-unstarted requests right now. */
     std::size_t queueDepth();
@@ -122,6 +204,7 @@ class Server
     struct Pending
     {
         ExperimentSpec spec;
+        RequestContext* ctx = nullptr;  ///< outlives the future hand-off
         std::chrono::steady_clock::time_point enqueued;
         bool hasDeadline = false;
         std::chrono::steady_clock::time_point deadline;
@@ -130,12 +213,16 @@ class Server
 
     void dispatchLoop();
     void runBatch(std::vector<std::shared_ptr<Pending>> batch);
-    ServeResult runSpec(const ExperimentSpec& spec, u64 queue_wait_us);
+    ServeResult runSpec(const ExperimentSpec& spec, u64 queue_wait_us,
+                        RequestContext& ctx);
+    void exportFlightTrace(const RequestContext& ctx, unsigned worker);
     static ServeResult errorResult(int status, const std::string& message,
-                                   int retry_after_s = 0);
+                                   u64 request_id, int retry_after_s = 0);
 
     ServerOptions options_;
     unsigned jobs_;
+    std::chrono::steady_clock::time_point started_;
+    std::atomic<u64> nextRequestId_{0};
 
     std::mutex mutex_;                      ///< queue + lifecycle state
     std::condition_variable cv_;
@@ -146,13 +233,18 @@ class Server
     bool batchInFlight_ = false;
 
     // Dispatcher-owned (never touched while a batch is in flight):
-    // the persistent worker pool and one snapshot store per worker.
+    // the persistent worker pool, one snapshot store per worker, and —
+    // when the flight recorder is on — one pipeline trace ring per
+    // worker, cleared at each request so a snapshot is request-scoped.
     runner::TrialScheduler scheduler_;
     std::vector<std::unique_ptr<snap::SnapshotStore>> stores_;
+    std::vector<std::unique_ptr<obs::RingTraceSink>> rings_;
 
-    std::mutex statsMutex_;                 ///< guards the two below
+    std::mutex statsMutex_;                 ///< guards the four below
     obs::MetricsRegistry measured_;
     snap::StoreStats snapStats_;            ///< aggregated after each batch
+    obs::TimelineRing recent_;              ///< last N completed requests
+    std::deque<std::string> flightFiles_;   ///< exported traces, oldest first
 
     std::thread dispatcher_;
 };

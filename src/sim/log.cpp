@@ -1,5 +1,7 @@
 #include "sim/log.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -62,7 +64,38 @@ defaultStream()
 
 std::ostream* gStream = nullptr;    // nullptr = defaultStream()
 
+/** PHANTOM_SERVE_LOG target, or nullptr when the access log is off. */
+std::ostream*
+defaultAccessStream()
+{
+    static std::ofstream file;
+    static std::ostream* stream = []() -> std::ostream* {
+        const char* path = std::getenv("PHANTOM_SERVE_LOG");
+        if (path != nullptr && *path != '\0') {
+            file.open(path, std::ios::app);
+            if (file.is_open())
+                return &file;
+            std::cerr << "[phantom:WARN] cannot open PHANTOM_SERVE_LOG="
+                      << path << ", access log disabled\n";
+        }
+        return nullptr;
+    }();
+    return stream;
+}
+
+std::ostream* gAccessStream = nullptr;  // nullptr = defaultAccessStream()
+
 } // namespace
+
+u64
+logMonotonicNanos()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - epoch);
+    return ns.count() < 0 ? 0 : static_cast<u64>(ns.count());
+}
 
 void
 setLogLevel(LogLevel level)
@@ -96,10 +129,14 @@ logMessage(LogLevel level, const std::string& msg)
     // Format the whole line before taking the lock: the critical
     // section is one streamed write plus a flush, so worker threads
     // can never interleave partial lines.
+    char t[32];
+    std::snprintf(t, sizeof t, " t=%llu",
+                  static_cast<unsigned long long>(logMonotonicNanos()));
     std::string line;
-    line.reserve(msg.size() + 20);
+    line.reserve(msg.size() + 48);
     line += "[phantom:";
     line += levelName(level);
+    line += t;
     line += "] ";
     line += msg;
     line += '\n';
@@ -108,6 +145,32 @@ logMessage(LogLevel level, const std::string& msg)
     std::ostream& out = gStream != nullptr ? *gStream : defaultStream();
     out << line;
     out.flush();
+}
+
+bool
+accessLogEnabled()
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    return gAccessStream != nullptr || defaultAccessStream() != nullptr;
+}
+
+void
+setAccessLogStream(std::ostream* stream)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    gAccessStream = stream;
+}
+
+void
+logAccessLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::ostream* out =
+        gAccessStream != nullptr ? gAccessStream : defaultAccessStream();
+    if (out == nullptr)
+        return;
+    *out << line << '\n';
+    out->flush();
 }
 
 } // namespace phantom

@@ -6,11 +6,23 @@
  * All messages go through a single std::ostream*, written one complete
  * line at a time under a mutex, so concurrent scheduler workers never
  * interleave partial lines. PHANTOM_LOG_FILE=<path> redirects the
- * stream to a file at startup (default: stderr).
+ * stream to a file at startup (default: stderr). Every line carries a
+ * monotonic-timestamp + level prefix, `[phantom:WARN t=<ns>]`, where
+ * t is nanoseconds of steady clock since the first log line — so
+ * interleaved diagnostics from concurrent workers can be ordered after
+ * the fact.
+ *
+ * The same single-writer mutex also serializes the *access log*: a
+ * second, prefix-free line channel the experiment daemon uses for its
+ * JSON-lines request log (SERVING.md). It is disabled unless
+ * PHANTOM_SERVE_LOG=<path> names a destination file or a test installs
+ * a stream via setAccessLogStream().
  */
 
 #ifndef PHANTOM_SIM_LOG_HPP
 #define PHANTOM_SIM_LOG_HPP
+
+#include "sim/types.hpp"
 
 #include <ostream>
 #include <sstream>
@@ -39,6 +51,26 @@ std::ostream& logStream();
 /** Emit @p msg if @p level is at or below the threshold. Thread-safe:
  *  the line is formatted first, then written and flushed under a mutex. */
 void logMessage(LogLevel level, const std::string& msg);
+
+/** Monotonic nanoseconds since the first call — the `t=` prefix base. */
+u64 logMonotonicNanos();
+
+/** True when an access-log destination is configured (PHANTOM_SERVE_LOG
+ *  or an explicit setAccessLogStream()); callers can skip formatting
+ *  entirely when it is not. */
+bool accessLogEnabled();
+
+/**
+ * Redirect the access log to @p stream (non-owning; nullptr restores
+ * the default: the PHANTOM_SERVE_LOG file, else disabled). The stream
+ * must outlive any subsequent logging.
+ */
+void setAccessLogStream(std::ostream* stream);
+
+/** Write one pre-formatted access-log line (no prefix is added) and
+ *  flush, under the same single-writer mutex as logMessage(). A no-op
+ *  while the access log is disabled. */
+void logAccessLine(const std::string& line);
 
 namespace detail {
 

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Unit tests for the request-scoped observability layer (ISSUE 7):
+ * RequestTimeline monotonicity and exact stage partitioning, the
+ * TimelineRing bounds, request-id uniqueness under concurrent daemon
+ * connections, the JSON-lines access log, the Prometheus /metricsz
+ * exposition, and the flight recorder's bounded file set.
+ */
+
+#include "obs/prometheus.hpp"
+#include "obs/timeline.hpp"
+#include "runner/json.hpp"
+#include "serve/daemon.hpp"
+#include "serve/server.hpp"
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace phantom {
+namespace {
+
+using obs::RequestStage;
+using obs::RequestTimeline;
+using runner::JsonValue;
+using serve::ExperimentSpec;
+using serve::RequestContext;
+using serve::ServeResult;
+using serve::Server;
+using serve::ServerOptions;
+
+ExperimentSpec
+fastSpec()
+{
+    ExperimentSpec spec;
+    spec.uarch = "zen2";
+    spec.train = "jmp*";
+    spec.victim = "ret";
+    spec.seed = 7;
+    spec.trials = 1;
+    return spec;
+}
+
+serve::HttpResponse
+roundTrip(int port, const std::string& method, const std::string& target,
+          const std::string& body = "")
+{
+    serve::HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.version = "HTTP/1.1";
+    if (!body.empty()) {
+        request.headers.emplace_back("content-type", "application/json");
+        request.body = body;
+    }
+    serve::HttpResponse response;
+    std::string error;
+    EXPECT_TRUE(serve::httpRoundTrip(port, request, response, &error))
+        << error;
+    return response;
+}
+
+// ---- RequestTimeline --------------------------------------------------
+
+TEST(Timeline, MarksAreMonotonicAndPartitionTotal)
+{
+    RequestTimeline timeline(42);
+    EXPECT_EQ(timeline.id(), 42u);
+    EXPECT_TRUE(timeline.marked(RequestStage::Accepted));
+
+    timeline.mark(RequestStage::HeadParsed);
+    timeline.mark(RequestStage::Validated);
+    timeline.mark(RequestStage::Enqueued);
+    timeline.mark(RequestStage::Dequeued);
+    timeline.mark(RequestStage::TrainOrFork);
+    timeline.mark(RequestStage::Executed);
+    timeline.mark(RequestStage::Serialized);
+    timeline.mark(RequestStage::Written);
+
+    // Stage timestamps never run backwards...
+    u64 previous = timeline.ns(RequestStage::Accepted);
+    for (std::size_t i = 1; i < obs::kRequestStages; ++i) {
+        RequestStage stage = static_cast<RequestStage>(i);
+        ASSERT_TRUE(timeline.marked(stage));
+        EXPECT_GE(timeline.ns(stage), previous)
+            << obs::requestStageName(stage);
+        previous = timeline.ns(stage);
+    }
+
+    // ...and the per-stage micros partition the total exactly.
+    std::array<u64, obs::kRequestStages> micros = timeline.stageMicros();
+    u64 sum = 0;
+    for (std::size_t i = 1; i < obs::kRequestStages; ++i)
+        sum += micros[i];
+    EXPECT_EQ(sum, timeline.totalMicros());
+}
+
+TEST(Timeline, SkippedStagesStillPartitionExactly)
+{
+    // An error request marks only a few stages (e.g. a 404 never
+    // validates or executes); the marked subset must still telescope.
+    RequestTimeline timeline(7);
+    timeline.mark(RequestStage::HeadParsed);
+    timeline.mark(RequestStage::Serialized);
+    timeline.mark(RequestStage::Written);
+
+    EXPECT_FALSE(timeline.marked(RequestStage::Validated));
+    EXPECT_FALSE(timeline.marked(RequestStage::Executed));
+
+    std::array<u64, obs::kRequestStages> micros = timeline.stageMicros();
+    u64 sum = 0;
+    for (std::size_t i = 1; i < obs::kRequestStages; ++i)
+        sum += micros[i];
+    EXPECT_EQ(sum, timeline.totalMicros());
+}
+
+TEST(Timeline, RingEvictsOldestAndCountsEvictions)
+{
+    obs::TimelineRing ring(3);
+    for (u64 id = 1; id <= 5; ++id) {
+        obs::TimelineRecord record;
+        record.timeline = RequestTimeline(id);
+        ring.push(std::move(record));
+    }
+    EXPECT_EQ(ring.capacity(), 3u);
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.pushed(), 5u);
+    EXPECT_EQ(ring.evicted(), 2u);
+
+    std::vector<obs::TimelineRecord> held = ring.snapshot();
+    ASSERT_EQ(held.size(), 3u);
+    EXPECT_EQ(held.front().timeline.id(), 3u);  // 1 and 2 evicted
+    EXPECT_EQ(held.back().timeline.id(), 5u);
+}
+
+// ---- Request ids ------------------------------------------------------
+
+TEST(ServeObs, ConcurrentConnectionsGetUniqueRequestIds)
+{
+    ServerOptions options;
+    options.jobs = 2;
+    Server server(options);
+    serve::Daemon daemon(server, 0);
+    int port = daemon.port();
+
+    constexpr int kConnections = 12;
+    std::vector<std::future<std::string>> futures;
+    for (int i = 0; i < kConnections; ++i)
+        futures.push_back(std::async(std::launch::async, [port] {
+            serve::HttpResponse response =
+                roundTrip(port, "GET", "/healthz");
+            const std::string* id =
+                response.header("x-phantom-request-id");
+            return id != nullptr ? *id : std::string();
+        }));
+
+    std::set<std::string> ids;
+    for (auto& future : futures) {
+        std::string id = future.get();
+        EXPECT_FALSE(id.empty());
+        EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+    }
+    EXPECT_EQ(ids.size(), static_cast<std::size_t>(kConnections));
+    daemon.stop();
+    server.stop();
+}
+
+TEST(ServeObs, ErrorBodiesEmbedTheHeaderRequestId)
+{
+    Server server(ServerOptions{});
+    serve::Daemon daemon(server, 0);
+    serve::HttpResponse response =
+        roundTrip(daemon.port(), "GET", "/nope");
+    EXPECT_EQ(response.status, 404);
+    const std::string* id = response.header("x-phantom-request-id");
+    ASSERT_NE(id, nullptr);
+    JsonValue body;
+    std::string error;
+    ASSERT_TRUE(runner::parseJson(response.body, body, &error)) << error;
+    const JsonValue* embedded = body.find("request_id");
+    ASSERT_NE(embedded, nullptr);
+    EXPECT_EQ(std::to_string(static_cast<unsigned long long>(
+                  embedded->number())),
+              *id);
+    daemon.stop();
+    server.stop();
+}
+
+// ---- Run-path timeline ------------------------------------------------
+
+TEST(ServeObs, RunStampsTheFullTimeline)
+{
+    ServerOptions options;
+    options.jobs = 1;
+    Server server(options);
+
+    RequestContext ctx = server.beginRequest("POST", "/run");
+    ServeResult result = server.run(fastSpec(), ctx);
+    EXPECT_EQ(result.status, 200);
+    ctx.status = result.status;
+    server.finishRequest(ctx);
+
+    for (RequestStage stage :
+         {RequestStage::Accepted, RequestStage::Validated,
+          RequestStage::Enqueued, RequestStage::Dequeued,
+          RequestStage::TrainOrFork, RequestStage::Executed,
+          RequestStage::Serialized, RequestStage::Written})
+        EXPECT_TRUE(ctx.timeline.marked(stage))
+            << obs::requestStageName(stage);
+    EXPECT_EQ(ctx.warmSource, "capture");
+
+    std::array<u64, obs::kRequestStages> micros =
+        ctx.timeline.stageMicros();
+    u64 sum = 0;
+    for (std::size_t i = 1; i < obs::kRequestStages; ++i)
+        sum += micros[i];
+    EXPECT_EQ(sum, ctx.timeline.totalMicros());
+
+    // A 200 body carries no request id — it would break the seeded
+    // bit-identity contract between identical specs.
+    EXPECT_EQ(result.body.find("request_id"), nullptr);
+    server.stop();
+}
+
+TEST(ServeObs, StatszSurfacesRecentTimelines)
+{
+    ServerOptions options;
+    options.jobs = 1;
+    options.timelineRingCapacity = 2;
+    Server server(options);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(server.run(fastSpec()).status, 200);
+
+    JsonValue stats = server.statsz();
+    const JsonValue* timelines = stats.find("timelines");
+    ASSERT_NE(timelines, nullptr);
+    ASSERT_TRUE(timelines->isArray());
+    EXPECT_EQ(timelines->items().size(), 2u);  // capacity bound
+    const JsonValue* ring = stats.find("timeline_ring");
+    ASSERT_NE(ring, nullptr);
+    EXPECT_EQ(ring->find("pushed")->number(), 3.0);
+    EXPECT_EQ(ring->find("evicted")->number(), 1.0);
+    server.stop();
+}
+
+// ---- Access log -------------------------------------------------------
+
+TEST(ServeObs, AccessLogLinePartitionsTotalMicros)
+{
+    std::ostringstream captured;
+    setAccessLogStream(&captured);
+    {
+        ServerOptions options;
+        options.jobs = 1;
+        Server server(options);
+        EXPECT_EQ(server.run(fastSpec()).status, 200);
+        server.stop();
+    }
+    setAccessLogStream(nullptr);
+
+    std::istringstream lines(captured.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(runner::parseJson(line, doc, &error)) << error;
+    EXPECT_EQ(doc.find("status")->number(), 200.0);
+    EXPECT_EQ(doc.find("target")->string(), "/run");
+    EXPECT_EQ(doc.find("warm")->string(), "capture");
+    EXPECT_FALSE(doc.find("batch_key")->string().empty());
+
+    const JsonValue* stages = doc.find("stages");
+    ASSERT_NE(stages, nullptr);
+    double sum = 0.0;
+    for (const auto& [name, micros] : stages->members()) {
+        (void)name;
+        sum += micros.number();
+    }
+    EXPECT_EQ(sum, doc.find("total_micros")->number());
+}
+
+// ---- Prometheus exposition --------------------------------------------
+
+TEST(ServeObs, PromExpositionShapesCountersGaugesHistograms)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("serve.status.200").inc(4);
+    registry.gauge("queue_depth").set(1.5);
+    obs::Histogram& hist = registry.histogram("stage_micros");
+    hist.observe(1);
+    hist.observe(3);
+    hist.observe(300);
+
+    std::string text = obs::promExposition(registry);
+    EXPECT_NE(text.find("# TYPE phantom_serve_status_200 counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("phantom_serve_status_200 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE phantom_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE phantom_stage_micros histogram\n"),
+              std::string::npos);
+    // Cumulative buckets: le="1" holds 1 observation, le="3" holds 2,
+    // and +Inf always equals the count.
+    EXPECT_NE(text.find("phantom_stage_micros_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("phantom_stage_micros_bucket{le=\"3\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("phantom_stage_micros_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("phantom_stage_micros_count 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("phantom_stage_micros_sum 304\n"),
+              std::string::npos);
+}
+
+TEST(ServeObs, PromMetricNameSanitizesIllegalCharacters)
+{
+    EXPECT_EQ(obs::promMetricName("serve.stage.executed_micros"),
+              "phantom_serve_stage_executed_micros");
+    EXPECT_EQ(obs::promMetricName("a-b c"), "phantom_a_b_c");
+    EXPECT_EQ(obs::promMetricName("serve", ""), "serve");
+    EXPECT_EQ(obs::promMetricName("9lives", ""), "_9lives");
+}
+
+// ---- Flight recorder --------------------------------------------------
+
+TEST(ServeObs, FlightRecorderKeepsAtMostMaxFiles)
+{
+    std::string dir = ::testing::TempDir() + "phantom_flight_test";
+    std::remove((dir + "/req-000001.trace.json").c_str());
+    ::mkdir(dir.c_str(), 0755);
+
+    ServerOptions options;
+    options.jobs = 1;
+    options.slowRequestMs = 0;  // every request exports
+    options.flightDir = dir;
+    options.flightMaxFiles = 2;
+    Server server(options);
+
+    std::vector<u64> ids;
+    for (int i = 0; i < 4; ++i) {
+        RequestContext ctx = server.beginRequest("POST", "/run");
+        ServeResult result = server.run(fastSpec(), ctx);
+        EXPECT_EQ(result.status, 200);
+        ctx.status = result.status;
+        server.finishRequest(ctx);
+        ids.push_back(ctx.timeline.id());
+    }
+
+    // The two newest traces survive; the two oldest were evicted.
+    int present = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        char name[48];
+        std::snprintf(name, sizeof name, "req-%06llu.trace.json",
+                      static_cast<unsigned long long>(ids[i]));
+        std::ifstream trace(dir + "/" + name);
+        bool exists = static_cast<bool>(trace);
+        if (exists)
+            ++present;
+        EXPECT_EQ(exists, i >= ids.size() - 2) << name;
+    }
+    EXPECT_EQ(present, 2);
+
+    JsonValue stats = server.statsz();
+    const JsonValue* metrics = stats.findPath("metrics.counters");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("serve.flight.exported")->number(), 4.0);
+    EXPECT_EQ(metrics->find("serve.flight.evicted")->number(), 2.0);
+    server.stop();
+}
+
+// ---- Health -----------------------------------------------------------
+
+TEST(ServeObs, HealthzCarriesUptimeAndGitDescribe)
+{
+    Server server(ServerOptions{});
+    JsonValue health = server.healthz();
+    const JsonValue* uptime = health.find("uptime_seconds");
+    ASSERT_NE(uptime, nullptr);
+    EXPECT_GE(uptime->number(), 0.0);
+    const JsonValue* describe = health.find("git_describe");
+    ASSERT_NE(describe, nullptr);
+    EXPECT_FALSE(describe->string().empty());
+    server.stop();
+}
+
+TEST(ServeObs, ServerOptionsFromEnvReadsSlowKnob)
+{
+    ::unsetenv("PHANTOM_SERVE_SLOW_MS");
+    ServerOptions options = serve::serverOptionsFromEnv();
+    EXPECT_EQ(options.slowRequestMs, ServerOptions::kSlowDisabled);
+
+    ::setenv("PHANTOM_SERVE_SLOW_MS", "250", 1);
+    ::setenv("PHANTOM_SERVE_FLIGHT_DIR", "/tmp/phantom-flight", 1);
+    options = serve::serverOptionsFromEnv();
+    EXPECT_EQ(options.slowRequestMs, 250u);
+    EXPECT_EQ(options.flightDir, "/tmp/phantom-flight");
+    ::unsetenv("PHANTOM_SERVE_SLOW_MS");
+    ::unsetenv("PHANTOM_SERVE_FLIGHT_DIR");
+}
+
+} // namespace
+} // namespace phantom

@@ -1,9 +1,11 @@
 /**
  * @file
  * Tests for the simulation substrate: deterministic RNG, statistics
- * helpers, and the address/bit utilities in types.hpp.
+ * helpers, the address/bit utilities in types.hpp, and the leveled
+ * log's line prefix and access-log channel.
  */
 
+#include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -11,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <regex>
+#include <sstream>
 
 namespace phantom {
 namespace {
@@ -153,6 +157,51 @@ TEST(Types, Canonical)
     EXPECT_FALSE(isCanonical(0xfffe800000000000ull));
     EXPECT_EQ(canonicalize(0x0000800000000000ull), 0xffff800000000000ull);
     EXPECT_EQ(canonicalize(0xffff7fffffffffffull), 0x00007fffffffffffull);
+}
+
+// ---- Log ---------------------------------------------------------------------
+
+TEST(Log, LinesCarryLevelAndMonotonicTimestampPrefix)
+{
+    std::ostringstream captured;
+    setLogStream(&captured);
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    logWarn("first ", 1);
+    logError("second");
+    setLogLevel(saved);
+    setLogStream(nullptr);
+
+    std::istringstream lines(captured.str());
+    std::string warn_line, error_line;
+    ASSERT_TRUE(std::getline(lines, warn_line));
+    ASSERT_TRUE(std::getline(lines, error_line));
+
+    // `[phantom:LEVEL t=<ns>] message` — level name and a numeric
+    // monotonic timestamp, so interleaved worker output can be ordered.
+    std::regex warn_re(R"(\[phantom:WARN t=\d+\] first 1)");
+    std::regex error_re(R"(\[phantom:ERROR t=\d+\] second)");
+    EXPECT_TRUE(std::regex_match(warn_line, warn_re)) << warn_line;
+    EXPECT_TRUE(std::regex_match(error_line, error_re)) << error_line;
+
+    // Timestamps never run backwards across lines.
+    auto ns_of = [](const std::string& line) {
+        std::size_t start = line.find("t=") + 2;
+        return std::stoull(line.substr(start, line.find(']') - start));
+    };
+    EXPECT_LE(ns_of(warn_line), ns_of(error_line));
+}
+
+TEST(Log, AccessLogChannelIsRawAndIndependentlySwitched)
+{
+    // No prefix, no level gate: the access channel carries
+    // pre-formatted JSON lines and only writes when a stream is set.
+    std::ostringstream captured;
+    setAccessLogStream(&captured);
+    EXPECT_TRUE(accessLogEnabled());
+    logAccessLine("{\"id\":1}");
+    setAccessLogStream(nullptr);
+    EXPECT_EQ(captured.str(), "{\"id\":1}\n");
 }
 
 } // namespace

@@ -23,6 +23,13 @@
  *       with a "traceEvents" array whose entries carry ph/pid/tid/name,
  *       ts+dur on "X" slices — and at least one episode slice (the
  *       per-stage rendering the trace exists for)
+ *   json_check --prom-schema FILE
+ *       require FILE to be a Prometheus text exposition (format 0.0.4,
+ *       what GET /metricsz serves — plain text, not JSON): every sample
+ *       preceded by exactly one # TYPE line for its family, no
+ *       duplicate samples, numeric values, and well-formed histograms
+ *       (strictly increasing le edges, non-decreasing cumulative
+ *       bucket counts, an le="+Inf" bucket agreeing with _count)
  *
  * Exit codes: 0 = valid, 1 = schema/validation failure, 2 = parse or
  * I/O failure, 64 = usage error. CI consumers branch on the parse vs
@@ -34,9 +41,14 @@
 #include "runner/schema.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using phantom::runner::JsonValue;
 using phantom::runner::parseJson;
@@ -75,7 +87,8 @@ usage()
                  "       json_check --expect-experiments FILE KEY...\n"
                  "       json_check --metrics-schema FILE\n"
                  "       json_check --equal-path PATH FILE1 FILE2\n"
-                 "       json_check --trace-schema FILE\n");
+                 "       json_check --trace-schema FILE\n"
+                 "       json_check --prom-schema FILE\n");
     return kExitUsage;
 }
 
@@ -216,6 +229,221 @@ checkMetricsSchema(const char* path, const JsonValue& doc)
     return kExitOk;
 }
 
+/** One parsed exposition sample line. */
+struct PromSample
+{
+    std::string name;    ///< metric name, suffix included (foo_bucket)
+    std::string labels;  ///< raw text between the braces, "" when none
+    double value = 0.0;
+};
+
+/** The family a sample belongs to: its TYPE-line name. Histogram
+ *  samples carry a _bucket/_sum/_count suffix on top of it. */
+std::string
+promFamily(const std::string& name,
+           const std::map<std::string, std::string>& types)
+{
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        std::size_t n = std::strlen(suffix);
+        if (name.size() > n &&
+            name.compare(name.size() - n, n, suffix) == 0) {
+            std::string base = name.substr(0, name.size() - n);
+            auto it = types.find(base);
+            if (it != types.end() && it->second == "histogram")
+                return base;
+        }
+    }
+    return name;
+}
+
+/** Value of the le label in @p labels, or false when absent. */
+bool
+promLeOf(const std::string& labels, std::string& out)
+{
+    std::size_t pos = labels.find("le=\"");
+    if (pos == std::string::npos)
+        return false;
+    std::size_t start = pos + 4;
+    std::size_t end = labels.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    out = labels.substr(start, end - start);
+    return true;
+}
+
+int
+checkPromSchema(const char* path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "json_check: cannot read %s\n", path);
+        return kExitParse;
+    }
+
+    std::map<std::string, std::string> types;  // family -> kind
+    std::vector<PromSample> samples;
+    std::set<std::string> seen;  // name + labels, for duplicate detection
+    std::string line;
+    std::size_t lineno = 0;
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream comment(line);
+            std::string hash, keyword, name, kind;
+            comment >> hash >> keyword >> name >> kind;
+            if (keyword != "TYPE")
+                continue;  // HELP and free comments pass through
+            if (name.empty() || kind.empty()) {
+                std::fprintf(stderr,
+                             "json_check: %s:%zu: malformed TYPE line\n",
+                             path, lineno);
+                return kExitSchema;
+            }
+            if (!types.emplace(name, kind).second) {
+                std::fprintf(stderr,
+                             "json_check: %s:%zu: duplicate TYPE for "
+                             "\"%s\"\n",
+                             path, lineno, name.c_str());
+                return kExitSchema;
+            }
+            continue;
+        }
+
+        PromSample sample;
+        std::size_t name_end = line.find_first_of("{ ");
+        if (name_end == std::string::npos || name_end == 0) {
+            std::fprintf(stderr,
+                         "json_check: %s:%zu: malformed sample line\n",
+                         path, lineno);
+            return kExitSchema;
+        }
+        sample.name = line.substr(0, name_end);
+        std::size_t value_start = name_end;
+        if (line[name_end] == '{') {
+            std::size_t close = line.find('}', name_end);
+            if (close == std::string::npos) {
+                std::fprintf(stderr,
+                             "json_check: %s:%zu: unterminated labels\n",
+                             path, lineno);
+                return kExitSchema;
+            }
+            sample.labels =
+                line.substr(name_end + 1, close - name_end - 1);
+            value_start = close + 1;
+        }
+        std::istringstream rest(line.substr(value_start));
+        std::string value_text;
+        rest >> value_text;
+        char* end = nullptr;
+        sample.value = std::strtod(value_text.c_str(), &end);
+        if (value_text.empty() || end == value_text.c_str()) {
+            std::fprintf(stderr,
+                         "json_check: %s:%zu: non-numeric value \"%s\"\n",
+                         path, lineno, value_text.c_str());
+            return kExitSchema;
+        }
+
+        // The TYPE line must already have been seen: exposition readers
+        // stream, so a sample before its family's TYPE is untyped.
+        std::string family = promFamily(sample.name, types);
+        if (types.find(family) == types.end()) {
+            std::fprintf(stderr,
+                         "json_check: %s:%zu: sample \"%s\" has no "
+                         "preceding TYPE line\n",
+                         path, lineno, sample.name.c_str());
+            return kExitSchema;
+        }
+        if (!seen.insert(sample.name + "{" + sample.labels + "}").second) {
+            std::fprintf(stderr,
+                         "json_check: %s:%zu: duplicate sample \"%s\"\n",
+                         path, lineno, sample.name.c_str());
+            return kExitSchema;
+        }
+        samples.push_back(std::move(sample));
+    }
+
+    if (samples.empty()) {
+        std::fprintf(stderr, "json_check: %s: no samples\n", path);
+        return kExitSchema;
+    }
+
+    // Histogram shape: per family, le edges strictly increasing with
+    // non-decreasing cumulative counts, ending in an le="+Inf" bucket
+    // that agrees with the _count sample.
+    for (const auto& [family, kind] : types) {
+        if (kind != "histogram")
+            continue;
+        double previous_le = -1.0;
+        double previous_count = -1.0;
+        bool saw_bucket = false;
+        bool saw_inf = false;
+        double inf_count = 0.0;
+        double count_sample = -1.0;
+        for (const PromSample& sample : samples) {
+            if (sample.name == family + "_count")
+                count_sample = sample.value;
+            if (sample.name != family + "_bucket")
+                continue;
+            std::string le;
+            if (!promLeOf(sample.labels, le)) {
+                std::fprintf(stderr,
+                             "json_check: %s: histogram \"%s\" bucket "
+                             "lacks an le label\n",
+                             path, family.c_str());
+                return kExitSchema;
+            }
+            saw_bucket = true;
+            if (sample.value + 1e-9 < previous_count) {
+                std::fprintf(stderr,
+                             "json_check: %s: histogram \"%s\" cumulative "
+                             "bucket counts decrease at le=\"%s\"\n",
+                             path, family.c_str(), le.c_str());
+                return kExitSchema;
+            }
+            previous_count = sample.value;
+            if (le == "+Inf") {
+                saw_inf = true;
+                inf_count = sample.value;
+                continue;
+            }
+            if (saw_inf) {
+                std::fprintf(stderr,
+                             "json_check: %s: histogram \"%s\" has a "
+                             "bucket after le=\"+Inf\"\n",
+                             path, family.c_str());
+                return kExitSchema;
+            }
+            double edge = std::strtod(le.c_str(), nullptr);
+            if (edge <= previous_le) {
+                std::fprintf(stderr,
+                             "json_check: %s: histogram \"%s\" le edges "
+                             "not strictly increasing at \"%s\"\n",
+                             path, family.c_str(), le.c_str());
+                return kExitSchema;
+            }
+            previous_le = edge;
+        }
+        if (!saw_bucket || !saw_inf || count_sample < 0.0) {
+            std::fprintf(stderr,
+                         "json_check: %s: histogram \"%s\" lacks "
+                         "buckets/+Inf/_count\n",
+                         path, family.c_str());
+            return kExitSchema;
+        }
+        if (inf_count != count_sample) {
+            std::fprintf(stderr,
+                         "json_check: %s: histogram \"%s\" +Inf bucket "
+                         "(%.0f) disagrees with _count (%.0f)\n",
+                         path, family.c_str(), inf_count, count_sample);
+            return kExitSchema;
+        }
+    }
+    return kExitOk;
+}
+
 } // namespace
 
 int
@@ -321,6 +549,9 @@ main(int argc, char** argv)
         }
         return kExitOk;
     }
+
+    if (mode == "--prom-schema")
+        return checkPromSchema(argv[2]);
 
     if (mode == "--equal-path") {
         if (argc != 5)

@@ -6,13 +6,18 @@
  *
  *   serve_client [--port PORT] --healthz
  *   serve_client [--port PORT] --statsz
+ *   serve_client [--port PORT] --metricsz
  *   serve_client [--port PORT] --run SPEC_FILE [--out FILE]
  *
  * The port defaults to PHANTOM_SERVE_PORT (strictly validated). --run
  * validates the spec locally before posting, so a typo'd key fails
- * with the parse diagnostic instead of a round trip. The response body
- * is written to --out (or stdout); exit 0 on a 2xx status, 1 on any
- * HTTP error, 2 on transport failure, 64 on usage errors.
+ * with the parse diagnostic instead of a round trip. --metricsz passes
+ * the Prometheus text exposition through untouched (it is not JSON).
+ * The response body is written to --out (or stdout); exit 0 on a 2xx
+ * status, 1 on any HTTP error, 2 on transport failure, 64 on usage
+ * errors. A failed --run additionally reports the server-assigned
+ * X-Phantom-Request-Id on stderr, for correlation with the daemon's
+ * access log and flight traces.
  */
 
 #include "runner/env.hpp"
@@ -33,6 +38,7 @@ usage()
     std::fprintf(stderr,
                  "usage: serve_client [--port PORT] --healthz\n"
                  "       serve_client [--port PORT] --statsz\n"
+                 "       serve_client [--port PORT] --metricsz\n"
                  "       serve_client [--port PORT] --run SPEC_FILE "
                  "[--out FILE]\n");
     return 64;
@@ -60,7 +66,8 @@ main(int argc, char** argv)
             }
             port = parsed;
         } else if (std::strcmp(argv[i], "--healthz") == 0 ||
-                   std::strcmp(argv[i], "--statsz") == 0) {
+                   std::strcmp(argv[i], "--statsz") == 0 ||
+                   std::strcmp(argv[i], "--metricsz") == 0) {
             mode = argv[i];
         } else if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
             mode = "--run";
@@ -106,7 +113,9 @@ main(int argc, char** argv)
         request.body = buffer.str();
     } else {
         request.method = "GET";
-        request.target = mode == "--healthz" ? "/healthz" : "/statsz";
+        request.target = mode == "--healthz"   ? "/healthz"
+                         : mode == "--statsz"  ? "/statsz"
+                                               : "/metricsz";
     }
 
     serve::HttpResponse response;
@@ -132,6 +141,13 @@ main(int argc, char** argv)
     if (response.status < 200 || response.status >= 300) {
         std::fprintf(stderr, "serve_client: HTTP %d %s\n", response.status,
                      serve::statusReason(response.status));
+        if (mode == "--run") {
+            const std::string* rid =
+                response.header("x-phantom-request-id");
+            if (rid != nullptr)
+                std::fprintf(stderr, "serve_client: request id %s\n",
+                             rid->c_str());
+        }
         return 1;
     }
     return 0;

@@ -1,14 +1,18 @@
 /**
  * @file
  * The experiment daemon entry point: bind 127.0.0.1, serve /run,
- * /healthz and /statsz until SIGINT/SIGTERM.
+ * /healthz, /statsz and /metricsz until SIGINT/SIGTERM.
  *
- * Environment (all strictly validated — a malformed value exits 64
- * naming the offending string, see runner/env.hpp):
+ * Environment (numeric knobs strictly validated — a malformed value
+ * exits 64 naming the offending string, see runner/env.hpp):
  *   PHANTOM_SERVE_PORT         port to bind (default 0 = ephemeral;
  *                              the chosen port is printed on stdout)
  *   PHANTOM_SERVE_QUEUE        admission queue capacity (default 64)
  *   PHANTOM_SERVE_DEADLINE_MS  default per-request deadline; 0 = none
+ *   PHANTOM_SERVE_LOG          JSON-lines access log destination
+ *   PHANTOM_SERVE_SLOW_MS      flight-recorder threshold in ms
+ *                              (0 = every request; unset = disabled)
+ *   PHANTOM_SERVE_FLIGHT_DIR   where flight traces land (default ".")
  *   PHANTOM_JOBS               worker pool size (shared with benches)
  */
 
@@ -24,9 +28,6 @@ main()
     using namespace phantom;
 
     u64 port = runner::envU64Strict("PHANTOM_SERVE_PORT", 0, 0, 65535);
-    u64 queue = runner::envU64Strict("PHANTOM_SERVE_QUEUE", 64, 1, 65536);
-    u64 deadline_ms =
-        runner::envU64Strict("PHANTOM_SERVE_DEADLINE_MS", 0);
 
     // Block the shutdown signals before any thread exists so every
     // thread inherits the mask and sigwait() below is the only receiver.
@@ -36,9 +37,7 @@ main()
     sigaddset(&signals, SIGTERM);
     pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
-    serve::ServerOptions options;
-    options.queueCapacity = static_cast<std::size_t>(queue);
-    options.defaultDeadlineMs = deadline_ms;
+    serve::ServerOptions options = serve::serverOptionsFromEnv();
     serve::Server server(options);
 
     try {
@@ -47,7 +46,13 @@ main()
             "phantom-serve: listening on 127.0.0.1:%d "
             "(jobs=%u, queue=%zu, deadline_ms=%llu)\n",
             daemon.port(), server.jobs(), server.queueCapacity(),
-            static_cast<unsigned long long>(deadline_ms));
+            static_cast<unsigned long long>(options.defaultDeadlineMs));
+        if (options.slowRequestMs != serve::ServerOptions::kSlowDisabled)
+            std::printf(
+                "phantom-serve: flight recorder on "
+                "(slow_ms=%llu, dir=%s, max_files=%zu)\n",
+                static_cast<unsigned long long>(options.slowRequestMs),
+                options.flightDir.c_str(), options.flightMaxFiles);
         std::fflush(stdout);
 
         int received = 0;

@@ -11,6 +11,9 @@
  *     written to <out_dir>/r1.json and r2.json for json_check to
  *     validate (--metrics-schema) and bit-compare (--equal-path
  *     experiments / metrics.deterministic)
+ *   - every response carries a distinct X-Phantom-Request-Id
+ *   - /metricsz serves a Prometheus text exposition (saved to
+ *     <out_dir>/metricsz.txt for json_check --prom-schema)
  *   - protocol errors: unknown target (404), wrong method (405),
  *     malformed JSON and unknown spec keys (400), oversized
  *     Content-Length (413), unsupported HTTP version (505)
@@ -18,16 +21,27 @@
  *     queues one request and answers 429 + Retry-After for the next,
  *     over the socket; unpausing completes the queued request
  *
+ * The first daemon takes its observability knobs from the environment
+ * (serverOptionsFromEnv). When the driver sets PHANTOM_SERVE_LOG /
+ * PHANTOM_SERVE_SLOW_MS=0 / PHANTOM_SERVE_FLIGHT_DIR, the smoke
+ * additionally verifies, after the daemon drains: every 2xx access-log
+ * line's per-stage micros sum exactly to its total, r1's header id has
+ * a matching log line, and r1's flight trace exists under the flight
+ * dir. Without those variables the checks are skipped (direct runs).
+ *
  * Exit 0 iff every check passed.
  */
 
+#include "runner/json.hpp"
 #include "runner/schema.hpp"
 #include "serve/daemon.hpp"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -89,6 +103,78 @@ awaitQueueDepth(serve::Server& server, std::size_t depth)
     return false;
 }
 
+/** The X-Phantom-Request-Id of @p response, or "" when absent. */
+std::string
+requestIdOf(const serve::HttpResponse& response)
+{
+    const std::string* id = response.header("x-phantom-request-id");
+    return id != nullptr ? *id : std::string();
+}
+
+/**
+ * Replay the access log written by the first daemon: every 2xx line's
+ * stage micros must sum exactly to its total (the timeline telescopes
+ * by construction — a mismatch means a stage was double-counted or
+ * lost), and the id the client saw in r1's response header must match
+ * a logged line.
+ */
+void
+checkAccessLog(const std::string& log_path, const std::string& r1_id)
+{
+    std::ifstream in(log_path);
+    if (!check(static_cast<bool>(in), "access log exists"))
+        return;
+    std::string line;
+    std::size_t lines = 0;
+    std::size_t two_xx = 0;
+    bool sums_ok = true;
+    bool r1_seen = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++lines;
+        runner::JsonValue doc;
+        std::string error;
+        if (!runner::parseJson(line, doc, &error)) {
+            std::printf("FAIL access log line %zu unparsable: %s\n",
+                        lines, error.c_str());
+            ++failures;
+            return;
+        }
+        const runner::JsonValue* id = doc.find("id");
+        const runner::JsonValue* status = doc.find("status");
+        const runner::JsonValue* total = doc.find("total_micros");
+        const runner::JsonValue* stages = doc.find("stages");
+        if (id == nullptr || status == nullptr || total == nullptr ||
+            stages == nullptr || !stages->isObject()) {
+            std::printf("FAIL access log line %zu lacks "
+                        "id/status/total_micros/stages\n",
+                        lines);
+            ++failures;
+            return;
+        }
+        if (std::to_string(
+                static_cast<unsigned long long>(id->number())) == r1_id)
+            r1_seen = true;
+        if (status->number() < 200 || status->number() >= 300)
+            continue;
+        ++two_xx;
+        double sum = 0.0;
+        for (const auto& [name, micros] : stages->members()) {
+            (void)name;
+            sum += micros.number();
+        }
+        if (sum != total->number()) {
+            std::printf("FAIL line %zu: stages sum %.0f != total %.0f\n",
+                        lines, sum, total->number());
+            sums_ok = false;
+        }
+    }
+    check(two_xx > 0, "access log holds 2xx lines");
+    check(sums_ok, "2xx stage micros sum exactly to total_micros");
+    check(r1_seen, "r1's header id matches an access-log line");
+}
+
 } // namespace
 
 int
@@ -104,10 +190,15 @@ main(int argc, char** argv)
         "{\"uarch\": \"zen2\", \"train\": \"jmp*\", \"victim\": \"ret\", "
         "\"seed\": 7, \"trials\": 3}";
 
+    const char* log_env = std::getenv("PHANTOM_SERVE_LOG");
+    const char* flight_env = std::getenv("PHANTOM_SERVE_FLIGHT_DIR");
+    std::string r1_id;
+
     {
-        serve::ServerOptions options;
-        options.jobs = 2;
-        options.queueCapacity = 8;
+        serve::ServerOptions base;
+        base.jobs = 2;
+        base.queueCapacity = 8;
+        serve::ServerOptions options = serve::serverOptionsFromEnv(base);
         serve::Server server(options);
         serve::Daemon daemon(server, 0);
         int port = daemon.port();
@@ -118,6 +209,11 @@ main(int argc, char** argv)
         check(health.body.find(runner::kServeHealthSchema) !=
                   std::string::npos,
               "healthz body carries its schema marker");
+        check(health.body.find("uptime_seconds") != std::string::npos &&
+                  health.body.find("git_describe") != std::string::npos,
+              "healthz reports uptime_seconds and git_describe");
+        check(!requestIdOf(health).empty(),
+              "healthz carries X-Phantom-Request-Id");
 
         // Two identical specs posted concurrently: the dispatcher must
         // batch them onto one snapshot store, and the bodies must agree
@@ -133,6 +229,10 @@ main(int argc, char** argv)
         check(writeFile(out_dir + "/r1.json", r1.body) &&
                   writeFile(out_dir + "/r2.json", r2.body),
               "response bodies written for json_check");
+        r1_id = requestIdOf(r1);
+        check(!r1_id.empty() && !requestIdOf(r2).empty() &&
+                  r1_id != requestIdOf(r2),
+              "concurrent runs carry distinct request ids");
 
         serve::HttpResponse stats = roundTrip(port, "GET", "/statsz");
         check(stats.status == 200, "GET /statsz is 200");
@@ -142,6 +242,25 @@ main(int argc, char** argv)
         check(stats.body.find("\"serve.completed\": 2") !=
                   std::string::npos,
               "statsz counts both completed requests");
+        check(stats.body.find("\"timelines\"") != std::string::npos &&
+                  stats.body.find("\"timeline_ring\"") !=
+                      std::string::npos,
+              "statsz surfaces the recent-timeline ring");
+
+        serve::HttpResponse metrics = roundTrip(port, "GET", "/metricsz");
+        check(metrics.status == 200, "GET /metricsz is 200");
+        const std::string* content_type = metrics.header("content-type");
+        check(content_type != nullptr &&
+                  content_type->find("version=0.0.4") !=
+                      std::string::npos,
+              "metricsz content-type declares exposition 0.0.4");
+        check(metrics.body.find("# TYPE ") != std::string::npos,
+              "metricsz body carries TYPE lines");
+        check(metrics.body.find("phantom_serve_stage_") !=
+                  std::string::npos,
+              "metricsz exposes per-stage histograms");
+        check(writeFile(out_dir + "/metricsz.txt", metrics.body),
+              "metricsz exposition written for json_check");
 
         check(roundTrip(port, "GET", "/nope").status == 404,
               "unknown target is 404");
@@ -188,6 +307,25 @@ main(int argc, char** argv)
 
         daemon.stop();
         server.stop();
+    }
+
+    // The first daemon has drained: replay its access log and look for
+    // r1's flight trace. Driven by the environment so a bare
+    // `serve_smoke <dir>` (no knobs set) still passes.
+    if (log_env != nullptr)
+        checkAccessLog(log_env, r1_id);
+    else
+        std::printf("SKIP access-log checks (PHANTOM_SERVE_LOG unset)\n");
+    if (flight_env != nullptr && !r1_id.empty()) {
+        char name[48];
+        std::snprintf(name, sizeof name, "req-%06llu.trace.json",
+                      std::strtoull(r1_id.c_str(), nullptr, 10));
+        std::ifstream trace(std::string(flight_env) + "/" + name);
+        check(static_cast<bool>(trace),
+              "r1's flight trace exists (PHANTOM_SERVE_SLOW_MS=0)");
+    } else {
+        std::printf(
+            "SKIP flight-trace check (PHANTOM_SERVE_FLIGHT_DIR unset)\n");
     }
 
     // Admission control, made deterministic by pausing dispatch: with
