@@ -23,6 +23,13 @@
  *   PHANTOM_DECODE_CACHE=0  disable the predecoded-instruction cache
  *                        (on by default; src/cpu/decode_cache.hpp —
  *                        results are bit-identical either way)
+ *   PHANTOM_PROF=1       host-time self-profiler (src/obs/prof.hpp):
+ *                        adds a "profile" section to the JSON results
+ *                        (off by default; when off, output is
+ *                        byte-identical to an unprofiled build)
+ *   PHANTOM_PROF_DIR=D   also write <bench>.folded (flamegraph.pl
+ *                        input) and <bench>.prof.trace.json (Perfetto)
+ *                        under D when profiling is on
  *
  * The authoritative table of every PHANTOM_* variable lives in
  * EXPERIMENTS.md ("Environment variables").
@@ -35,10 +42,12 @@
 #include "cpu/machine.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "runner/env.hpp"
 #include "runner/metrics_json.hpp"
+#include "runner/prof_json.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/scheduler.hpp"
 #include "runner/seed_stream.hpp"
@@ -47,6 +56,7 @@
 #include "sim/types.hpp"
 #include "snap/store.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -123,7 +133,8 @@ class Campaign
           scheduler_(),
           sink_(bench_name, seed_, scheduler_.jobs()),
           mainThread_(std::this_thread::get_id()),
-          tracePath_(obs::tracePathFromEnv())
+          tracePath_(obs::tracePathFromEnv()),
+          started_(std::chrono::steady_clock::now())
     {
         if (!tracePath_.empty()) {
             // One private ring per scheduler shard plus one for the
@@ -243,6 +254,7 @@ class Campaign
         metrics.set("measured", runner::metricsToJson(measured_));
         metrics.set("manifest", manifestJson());
         sink_.setMetrics(std::move(metrics));
+        exportProfile();
 
         std::string path = sink_.writeJson();
         if (!path.empty())
@@ -309,6 +321,56 @@ class Campaign
             .inc(decode.invalidates);
     }
 
+    /**
+     * Attach the host-time self-profile (only while PHANTOM_PROF=1:
+     * with the gate off the sink never learns a "profile" key exists
+     * and the document stays byte-identical to an unprofiled build).
+     * PHANTOM_PROF_DIR additionally gets the flamegraph.pl folded
+     * stacks and a Perfetto-loadable trace, ready to view without
+     * running tools/prof_report.
+     */
+    void
+    exportProfile()
+    {
+        if (!obs::prof::enabled())
+            return;
+        auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - started_);
+        u64 wall_ns = wall.count() < 0 ? 0 : static_cast<u64>(wall.count());
+        obs::prof::Report report = obs::prof::collect();
+        sink_.setProfile(runner::profileToJson(report, wall_ns));
+
+        std::string dir = runner::envStringOr("PHANTOM_PROF_DIR");
+        if (dir.empty())
+            return;
+        if (dir.back() != '/')
+            dir.push_back('/');
+        writeTextFile(dir + sink_.benchName() + ".folded",
+                      obs::prof::foldedStacks(report));
+        writeTextFile(dir + sink_.benchName() + ".prof.trace.json",
+                      obs::prof::perfettoTraceJson(report));
+    }
+
+    void
+    writeTextFile(const std::string& path, const std::string& text)
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "phantom: cannot open %s\n",
+                         path.c_str());
+            return;
+        }
+        bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                      text.size() &&
+                  std::fclose(f) == 0;
+        if (ok)
+            std::printf("[%s: host profile -> %s]\n",
+                        sink_.benchName().c_str(), path.c_str());
+        else
+            std::fprintf(stderr, "phantom: short write to %s\n",
+                         path.c_str());
+    }
+
     JsonValue
     manifestJson() const
     {
@@ -364,6 +426,7 @@ class Campaign
     runner::ResultSink sink_;
     std::thread::id mainThread_;
     std::string tracePath_;
+    std::chrono::steady_clock::time_point started_;
     std::vector<std::unique_ptr<obs::RingTraceSink>> rings_;
     std::vector<std::unique_ptr<snap::SnapshotStore>> snapStores_;
     // One slot per worker plus one for the main thread (back()); sized

@@ -18,6 +18,11 @@
 #      require both the "experiments" subtree and the
 #      "metrics.deterministic" registry to be bit-identical — the
 #      predecode cache is a pure speedup, never a model change
+#   6. with CHECK_PROFILE: require the default run to carry NO "profile"
+#      section (PHANTOM_PROF defaults off), rerun with PHANTOM_PROF=1,
+#      validate the emitted profile section against the host-profile
+#      schema, and require the "experiments" subtree to be identical —
+#      the profiler observes host time, never simulated state
 
 file(MAKE_DIRECTORY "${JSON_DIR}")
 
@@ -101,4 +106,45 @@ if(COMPARE_DECODE_CACHE)
                 "leaked into simulated state")
         endif()
     endforeach()
+endif()
+
+if(CHECK_PROFILE)
+    execute_process(
+        COMMAND "${CHECKER}" --expect-no-profile "${JSON_DIR}/${NAME}.json"
+        RESULT_VARIABLE noprof_rv)
+    if(NOT noprof_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME}: default run emitted a profile section — "
+            "PHANTOM_PROF must default off")
+    endif()
+    file(MAKE_DIRECTORY "${JSON_DIR}/prof")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+            PHANTOM_FAST=1 PHANTOM_JOBS=2 PHANTOM_PROF=1
+            "PHANTOM_JSON_DIR=${JSON_DIR}/prof"
+            "${BENCH}"
+        RESULT_VARIABLE prof_rv
+        OUTPUT_VARIABLE prof_out
+        ERROR_VARIABLE prof_err)
+    if(NOT prof_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME} PHANTOM_PROF=1 rerun failed (rv=${prof_rv})\n"
+            "${prof_out}\n${prof_err}")
+    endif()
+    execute_process(
+        COMMAND "${CHECKER}" --profile-schema
+            "${JSON_DIR}/prof/${NAME}.json"
+        RESULT_VARIABLE prof_schema_rv)
+    if(NOT prof_schema_rv EQUAL 0)
+        message(FATAL_ERROR "${NAME}: profile schema validation failed")
+    endif()
+    execute_process(
+        COMMAND "${CHECKER}" --equal-path experiments
+            "${JSON_DIR}/${NAME}.json" "${JSON_DIR}/prof/${NAME}.json"
+        RESULT_VARIABLE prof_equal_rv)
+    if(NOT prof_equal_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME}: 'experiments' differs between PHANTOM_PROF=0 "
+            "and =1 — the profiler leaked into simulated state")
+    endif()
 endif()

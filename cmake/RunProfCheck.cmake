@@ -1,0 +1,159 @@
+# End-to-end check of the host-time self-profiler (src/obs/prof).
+# Invoked by the prof_check CTest target as:
+#
+#   cmake -DBENCH=<bench exe> -DCHECKER=<json_check exe>
+#         -DREPORT=<prof_report exe> -DNAME=<bench name>
+#         -DWORK_DIR=<scratch dir> -P RunProfCheck.cmake
+#
+# Steps:
+#   1. run the bench three times unprofiled and three times with
+#      PHANTOM_PROF=1, interleaved so machine-speed drift (cold
+#      caches, co-tenant load) hits both sets alike (PHANTOM_PROF_DIR
+#      set on the first profiled run so the folded stacks and Perfetto
+#      trace land on disk)
+#   2. schema-check the profiled result documents (self <= total per
+#      phase, self-time sum bounded by wall clock) and require the
+#      unprofiled ones to carry no profile section at all
+#   3. require "experiments" to be identical between the profiled and
+#      unprofiled runs: profiling observes host time, never the model
+#   4. rerun profiled with PHANTOM_JOBS=1 and require identical phase
+#      sets and entry counts vs the jobs=2 run (prof_report
+#      --compare-counts) — the order-free-merge guarantee. Snapshots
+#      are disabled for this pair: the capture/fork counts depend on
+#      how trials split across workers.
+#   5. gate measured overhead: min wall clock over the profiled runs
+#      must stay within 5% + 750ms of the unprofiled runs' (the slack
+#      absorbs single-core host noise, which round-robin scheduling
+#      makes comparable to the overhead itself on a ~5s campaign)
+#   6. round-trip the folded stacks through prof_report --check-folded,
+#      parse-check the written Perfetto trace, and require the ranked
+#      bottleneck table to mention the machine.run phase
+
+foreach(dir base1 base2 base3 prof1 prof2 prof3 prof_jobs1)
+    file(MAKE_DIRECTORY "${WORK_DIR}/${dir}")
+endforeach()
+
+function(run_bench out_dir)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+            PHANTOM_FAST=1 "PHANTOM_JSON_DIR=${WORK_DIR}/${out_dir}"
+            ${ARGN} "${BENCH}"
+        RESULT_VARIABLE rv
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME} (${out_dir}) failed (rv=${rv})\n${out}\n${err}")
+    endif()
+endfunction()
+
+run_bench(base1 PHANTOM_JOBS=2)
+run_bench(prof1 PHANTOM_JOBS=2 PHANTOM_PROF=1
+    "PHANTOM_PROF_DIR=${WORK_DIR}/prof1")
+run_bench(base2 PHANTOM_JOBS=2)
+run_bench(prof2 PHANTOM_JOBS=2 PHANTOM_PROF=1)
+run_bench(base3 PHANTOM_JOBS=2)
+run_bench(prof3 PHANTOM_JOBS=2 PHANTOM_PROF=1)
+run_bench(prof_jobs1 PHANTOM_JOBS=1 PHANTOM_PROF=1 PHANTOM_SNAP=0)
+
+foreach(dir base1 base2 base3)
+    execute_process(
+        COMMAND "${CHECKER}" --expect-no-profile
+            "${WORK_DIR}/${dir}/${NAME}.json"
+        RESULT_VARIABLE noprof_rv)
+    if(NOT noprof_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME}: unprofiled run ${dir} carries a profile section")
+    endif()
+endforeach()
+
+foreach(dir prof1 prof2 prof3 prof_jobs1)
+    execute_process(
+        COMMAND "${CHECKER}" --profile-schema
+            "${WORK_DIR}/${dir}/${NAME}.json"
+        RESULT_VARIABLE schema_rv)
+    if(NOT schema_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME}: ${dir} failed host-profile schema validation")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${CHECKER}" --equal-path experiments
+        "${WORK_DIR}/base1/${NAME}.json" "${WORK_DIR}/prof1/${NAME}.json"
+    RESULT_VARIABLE equal_rv)
+if(NOT equal_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME}: 'experiments' differs between PHANTOM_PROF=0 and =1 "
+        "— the profiler leaked into simulated state")
+endif()
+
+# The jobs=1 profiled run used PHANTOM_SNAP=0, so run a jobs=2 partner
+# under the same snapshot setting for the count comparison.
+file(MAKE_DIRECTORY "${WORK_DIR}/prof_jobs2")
+run_bench(prof_jobs2 PHANTOM_JOBS=2 PHANTOM_PROF=1 PHANTOM_SNAP=0)
+execute_process(
+    COMMAND "${REPORT}" --compare-counts
+        "${WORK_DIR}/prof_jobs1/${NAME}.json"
+        "${WORK_DIR}/prof_jobs2/${NAME}.json"
+    RESULT_VARIABLE counts_rv)
+if(NOT counts_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME}: phase entry counts differ between PHANTOM_JOBS=1 and "
+        "=2 — the per-shard merge is not order-free")
+endif()
+
+execute_process(
+    COMMAND "${REPORT}" --overhead-gate
+        --base "${WORK_DIR}/base1/${NAME}.json"
+            "${WORK_DIR}/base2/${NAME}.json"
+            "${WORK_DIR}/base3/${NAME}.json"
+        --prof "${WORK_DIR}/prof1/${NAME}.json"
+            "${WORK_DIR}/prof2/${NAME}.json"
+            "${WORK_DIR}/prof3/${NAME}.json"
+        --max-pct 5 --slack-ms 750
+    RESULT_VARIABLE gate_rv)
+if(NOT gate_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME}: PHANTOM_PROF=1 overhead exceeds the 5% budget")
+endif()
+
+execute_process(
+    COMMAND "${REPORT}" --check-folded
+        "${WORK_DIR}/prof1/${NAME}.json"
+        "${WORK_DIR}/prof1/${NAME}.folded"
+    RESULT_VARIABLE folded_rv)
+if(NOT folded_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME}: folded stacks do not round-trip through prof_report")
+endif()
+
+execute_process(
+    COMMAND "${CHECKER}" --parse
+        "${WORK_DIR}/prof1/${NAME}.prof.trace.json"
+    RESULT_VARIABLE trace_parse_rv)
+if(NOT trace_parse_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME}: PHANTOM_PROF_DIR Perfetto trace is not valid JSON")
+endif()
+execute_process(
+    COMMAND "${REPORT}" --trace "${WORK_DIR}/prof1/${NAME}.json"
+        "${WORK_DIR}/regen.trace.json"
+    RESULT_VARIABLE trace_rv)
+if(NOT trace_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${NAME}: prof_report --trace failed on the profiled result")
+endif()
+
+execute_process(
+    COMMAND "${REPORT}" "${WORK_DIR}/prof1/${NAME}.json"
+    RESULT_VARIABLE table_rv
+    OUTPUT_VARIABLE table_out)
+if(NOT table_rv EQUAL 0)
+    message(FATAL_ERROR "${NAME}: prof_report bottleneck table failed")
+endif()
+if(NOT table_out MATCHES "machine\\.run")
+    message(FATAL_ERROR
+        "${NAME}: bottleneck table does not mention machine.run:\n"
+        "${table_out}")
+endif()

@@ -1,5 +1,7 @@
 #include "bpu/bpu.hpp"
 
+#include "obs/prof.hpp"
+
 namespace phantom::bpu {
 
 Bpu::Bpu(const BpuConfig& config)
@@ -20,6 +22,7 @@ std::optional<FrontendPrediction>
 Bpu::predictAt(VAddr va, Privilege priv, bool auto_ibrs, u8 thread,
                bool stibp)
 {
+    PROF_SCOPE(BpuPredict);
     auto entry = btb_.lookup(va, priv, thread, stibp);
     if (!entry)
         return std::nullopt;
@@ -63,6 +66,7 @@ Bpu::trainBranch(VAddr source_va, isa::BranchType type, VAddr target_va,
                  bool taken, Privilege priv, bool rsb_already_popped,
                  u8 thread)
 {
+    PROF_SCOPE(BpuUpdate);
     using isa::BranchType;
 
     if (type == BranchType::CondJump)

@@ -1,5 +1,6 @@
 #include "cpu/machine.hpp"
 
+#include "obs/prof.hpp"
 #include "sim/log.hpp"
 
 #include <algorithm>
@@ -201,8 +202,14 @@ Machine::decodeAt(VAddr pc, PAddr pa0)
         decodeCache_.flushAll();
         decodeGen_ = gen;
     }
-    if (const Insn* hit = decodeCache_.lookup(pa0))
-        return *hit;
+    {
+        // decode.hit times the cache probe itself (its count is every
+        // lookup; decode.miss counts the ones that fell through).
+        PROF_SCOPE(DecodeHit);
+        if (const Insn* hit = decodeCache_.lookup(pa0))
+            return *hit;
+    }
+    PROF_SCOPE(DecodeMiss);
 
     // Miss: gather with per-byte fault-suppressing translation. Byte 0
     // already translated (to pa0); a failure further in truncates the
@@ -333,6 +340,7 @@ Machine::speculativeDecode(VAddr va, u32 max_insns)
 void
 Machine::transientExecute(VAddr va, u32 budget)
 {
+    PROF_SCOPE(SpecExec);
     // Overlay state: wrong-path writes never reach architectural state.
     u64 lregs[isa::kNumRegs];
     for (u8 r = 0; r < isa::kNumRegs; ++r)
@@ -508,6 +516,7 @@ Machine::transientExecute(VAddr va, u32 budget)
 void
 Machine::phantomEpisode(const bpu::FrontendPrediction& pred, u32 exec_budget)
 {
+    PROF_SCOPE(SpecEpisode);
     if (!speculativeFetchLine(pred.target))
         return;     // fetch failed: nothing entered the pipeline
     speculativeDecode(pred.target, config_.phantomDecodeInsns);
@@ -518,6 +527,7 @@ Machine::phantomEpisode(const bpu::FrontendPrediction& pred, u32 exec_budget)
 void
 Machine::sequentialSpeculation(VAddr fall_through)
 {
+    PROF_SCOPE(SpecEpisode);
     // A branch with no prediction: the frontend keeps fetching and
     // decoding straight ahead; on Zen 1/2 the fall-through even executes
     // (Straight-Line Speculation).
@@ -531,6 +541,7 @@ Machine::sequentialSpeculation(VAddr fall_through)
 void
 Machine::spectreEpisode(VAddr wrong_path)
 {
+    PROF_SCOPE(SpecEpisode);
     if (!speculativeFetchLine(wrong_path))
         return;
     transientExecute(wrong_path, config_.spectreWindowUops);
@@ -731,6 +742,7 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
 RunResult
 Machine::run(u64 max_insns)
 {
+    PROF_SCOPE(MachineRun);
     u64 instructions = 0;
     Cycle start_cycles = cycles_;
     VAddr cur_line = ~0ull;

@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hpp"
 
+#include "obs/prof.hpp"
+
 namespace phantom::mem {
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
@@ -13,6 +15,7 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
 Cycle
 CacheHierarchy::fetchAccess(PAddr pa)
 {
+    PROF_SCOPE(CacheAccess);
     if (l1i_.access(pa))
         return config_.latL1;
     if (l2_.access(pa))
@@ -23,6 +26,7 @@ CacheHierarchy::fetchAccess(PAddr pa)
 Cycle
 CacheHierarchy::dataAccess(PAddr pa)
 {
+    PROF_SCOPE(CacheAccess);
     if (l1d_.access(pa))
         return config_.latL1;
     if (l2_.access(pa))

@@ -1,5 +1,7 @@
 #include "mem/paging.hpp"
 
+#include "obs/prof.hpp"
+
 #include <cassert>
 
 namespace phantom::mem {
@@ -67,6 +69,7 @@ PageTable::lookup(VAddr va) const
 Translation
 PageTable::translate(VAddr va, Privilege priv, Access access) const
 {
+    PROF_SCOPE(PageWalk);
     Translation result;
     if (!isCanonical(va)) {
         result.fault = Fault::NonCanonical;

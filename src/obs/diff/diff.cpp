@@ -1,5 +1,8 @@
 #include "obs/diff/diff.hpp"
 
+#include "obs/prof.hpp"
+#include "runner/prof_json.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -312,6 +315,43 @@ diffResults(const std::string& bench, const JsonValue& baseline,
             record(compareLeaves(base[i], cur[j], options));
             ++i;
             ++j;
+        }
+    }
+
+    // Host-profile attribution: when both runs were profiled
+    // (PHANTOM_PROF=1), rank the current run's phases by estimated
+    // self time and pair each with its baseline figure, so the report
+    // can show where the host wall clock moved. Informational only —
+    // host timings are not comparable the way model output is.
+    const JsonValue* base_prof = runner::findProfile(baseline);
+    const JsonValue* cur_prof = runner::findProfile(current);
+    if (base_prof != nullptr && cur_prof != nullptr) {
+        prof::Report base_report;
+        prof::Report cur_report;
+        std::string error;
+        if (runner::profileFromJson(*base_prof, base_report, &error) &&
+            runner::profileFromJson(*cur_prof, cur_report, &error)) {
+            std::map<std::string, double> base_self;
+            for (const prof::PhaseReport& phase : base_report.phases)
+                base_self[prof::phaseName(phase.phase)] =
+                    phase.estimatedSelfNs() / 1e6;
+            for (const prof::PhaseReport& phase : cur_report.phases) {
+                ProfilePhaseRow row;
+                row.phase = prof::phaseName(phase.phase);
+                row.count = phase.count;
+                row.currentSelfMs = phase.estimatedSelfNs() / 1e6;
+                auto it = base_self.find(row.phase);
+                row.baselineSelfMs =
+                    it != base_self.end() ? it->second : -1.0;
+                result.profileTop.push_back(std::move(row));
+            }
+            std::sort(result.profileTop.begin(), result.profileTop.end(),
+                      [](const ProfilePhaseRow& a,
+                         const ProfilePhaseRow& b) {
+                          return a.currentSelfMs > b.currentSelfMs;
+                      });
+            if (result.profileTop.size() > 8)
+                result.profileTop.resize(8);
         }
     }
     return result;

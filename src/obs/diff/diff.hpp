@@ -74,6 +74,15 @@ struct DiffSummary
     u64 info = 0;
 };
 
+/** One row of the "Top host phases" comparison (see BenchDiff). */
+struct ProfilePhaseRow
+{
+    std::string phase;          ///< dotted phase name ("decode.miss")
+    u64 count = 0;              ///< current-run entry count
+    double baselineSelfMs = 0;  ///< estimated self ms, -1 when absent
+    double currentSelfMs = 0;   ///< estimated self ms in the current run
+};
+
 struct BenchDiff
 {
     std::string bench;
@@ -81,6 +90,11 @@ struct BenchDiff
     /** Every non-Match entry, sorted by path (Match entries are only
      *  counted: Table-1 alone contributes hundreds of identical paths). */
     std::vector<MetricDiff> entries;
+
+    /** Top host phases by current-run estimated self time, filled only
+     *  when BOTH compared documents carry a host-profile section
+     *  (PHANTOM_PROF runs). Informational — never part of pass(). */
+    std::vector<ProfilePhaseRow> profileTop;
 
     bool
     pass() const

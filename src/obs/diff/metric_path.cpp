@@ -90,6 +90,10 @@ constexpr ClassRule kRules[] = {
     // so hits/misses/invalidates are report-only.
     {"metrics.measured.counters.decode_cache.", MetricClass::Informational},
     {"timing.speedup", MetricClass::Informational},
+    // Host-time self-profiler output (PHANTOM_PROF): pure wall-clock
+    // observation of the simulator process, never comparable across
+    // runs or hosts.
+    {"profile.", MetricClass::Informational},
 
     // Wall-clock derived, same-host comparable within tolerance.
     {"metrics.measured.", MetricClass::Measured},

@@ -96,6 +96,39 @@ appendDetailSection(const BenchDiff& diff, Report& report)
     report.sections.push_back(std::move(section));
 }
 
+/** Millisecond cell with three decimals; "-" for an absent baseline. */
+std::string
+selfMsCell(double ms)
+{
+    if (ms < 0.0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+    return buf;
+}
+
+void
+appendProfileSection(const BenchDiff& diff, Report& report)
+{
+    if (diff.profileTop.empty())
+        return;
+    ReportSection section;
+    section.title = "Top host phases: " + diff.bench;
+    section.paragraphs.push_back(
+        "Host wall-clock attribution from the PHANTOM_PROF self-profiler"
+        " (estimated self time, current run's top phases). Informational"
+        " — host timings never gate the comparison.");
+    ReportTable table;
+    table.header = {"phase", "entries", "baseline self ms",
+                    "current self ms"};
+    for (const ProfilePhaseRow& row : diff.profileTop)
+        table.rows.push_back({row.phase, countCell(row.count),
+                              selfMsCell(row.baselineSelfMs),
+                              selfMsCell(row.currentSelfMs)});
+    section.tables.push_back(std::move(table));
+    report.sections.push_back(std::move(section));
+}
+
 void
 appendPaperSection(const std::map<std::string, runner::JsonValue>& current,
                    Report& report)
@@ -182,6 +215,8 @@ buildReport(const std::vector<BenchDiff>& diffs,
 
         for (const BenchDiff& diff : diffs)
             appendDetailSection(diff, report);
+        for (const BenchDiff& diff : diffs)
+            appendProfileSection(diff, report);
     }
     appendPaperSection(current, report);
     return report;

@@ -1,0 +1,704 @@
+#include "obs/prof.hpp"
+
+#include "runner/env.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace phantom::obs::prof {
+
+namespace {
+
+/** Phase metadata. Indexed by the enum; order must match. The shift
+ *  picks the timing sample period per phase: leaves entered several
+ *  times per simulated instruction are timed 1-in-2^shift (counted
+ *  always), coarse region scopes are timed on every entry. */
+struct PhaseInfo
+{
+    const char* name;
+    unsigned sampleShift;
+};
+
+constexpr std::array<PhaseInfo, kPhaseCount> kPhases = {{
+    {"machine.run", 0},
+    {"decode.hit", 4},
+    {"decode.miss", 2},
+    {"bpu.predict", 4},
+    {"bpu.update", 4},
+    {"mem.page_walk", 4},
+    {"mem.cache", 4},
+    {"spec.episode", 0},
+    {"spec.exec", 0},
+    {"snap.capture", 0},
+    {"snap.restore", 0},
+    {"snap.fork", 0},
+    {"serve.dispatch", 0},
+}};
+
+constexpr u32 kNoParent = 0xffffffffu;
+constexpr int kMaxDepth = 32;
+
+// ---------------------------------------------------------------------
+// Clock: rdtsc calibrated against steady_clock where available, raw
+// steady_clock nanoseconds otherwise. A tsc read is ~3x cheaper than a
+// clock_gettime vDSO call, which matters at per-instruction frequency.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+constexpr bool kHaveTsc = true;
+inline u64
+tscTicks()
+{
+    return __builtin_ia32_rdtsc();
+}
+#else
+constexpr bool kHaveTsc = false;
+inline u64
+tscTicks()
+{
+    return 0;
+}
+#endif
+
+inline u64
+steadyNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+bool gUseTsc = false;
+double gNsPerTick = 1.0;
+double gNsPerTimedEvent = 0.0;
+double gNsPerCountedEvent = 0.0;
+
+inline u64
+nowTicks()
+{
+    return gUseTsc ? tscTicks() : steadyNs();
+}
+
+inline u64
+ticksToNs(u64 ticks)
+{
+    return gUseTsc
+        ? static_cast<u64>(static_cast<double>(ticks) * gNsPerTick)
+        : ticks;
+}
+
+// ---------------------------------------------------------------------
+// Shards. One per thread, registered lazily on the thread's first
+// profiled scope and never unregistered (a campaign's workers die, the
+// numbers they recorded do not). The shard mutex serializes the timed
+// close path against collect(); the count-only path touches thread
+// state exclusively and flushes under the same lock at the next timed
+// close, so a sampled-out entry costs no synchronization at all.
+
+struct PhaseAgg
+{
+    u64 count = 0;       ///< flushed entry count (exact)
+    u64 timedCount = 0;
+    u64 totalNs = 0;
+    u64 selfNs = 0;
+    Histogram hist;
+};
+
+struct PathEntry
+{
+    u32 parent = kNoParent;  ///< index into the same paths vector
+    Phase phase = Phase::Count;
+    u64 count = 0;
+    u64 totalNs = 0;
+    u64 selfNs = 0;
+};
+
+struct Shard
+{
+    std::mutex mutex;
+    std::array<PhaseAgg, kPhaseCount> phases;
+    std::vector<PathEntry> paths;
+    /** (parent<<8 | phase) -> path id. Owner-thread-only: collect()
+     *  walks paths, never this index, so lookups need no lock. */
+    std::unordered_map<u64, u32> pathIndex;
+};
+
+std::mutex&
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::vector<std::unique_ptr<Shard>>&
+registry()
+{
+    static std::vector<std::unique_ptr<Shard>> shards;
+    return shards;
+}
+
+struct Frame
+{
+    u64 startTicks = 0;
+    u64 childNs = 0;
+    u32 pathId = 0;
+    Phase phase = Phase::Count;
+};
+
+struct ThreadState
+{
+    Shard* shard = nullptr;
+    int depth = 0;
+    std::array<u64, kPhaseCount> pendingCount{};
+    std::array<u32, kPhaseCount> tick{};
+    Frame stack[kMaxDepth];
+
+    /** A thread can end with counted-but-untimed entries still pending
+     *  (its last profiled scope was sampled out, so no timed close ever
+     *  flushed them). Flush at thread exit — entry counts must stay
+     *  exact regardless of how trials were split across workers. Safe
+     *  on the main thread too: thread-local destruction is sequenced
+     *  before the static registry owning the shard goes away. */
+    ~ThreadState()
+    {
+        if (shard == nullptr)
+            return;
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (int i = 0; i < kPhaseCount; ++i) {
+            shard->phases[static_cast<std::size_t>(i)].count +=
+                pendingCount[static_cast<std::size_t>(i)];
+            pendingCount[static_cast<std::size_t>(i)] = 0;
+        }
+    }
+};
+
+thread_local ThreadState tState;
+
+/** Id of the (parent, phase) call path, creating the entry on first
+ *  sight. Creation takes the shard mutex (paths is read by collect);
+ *  the lookup itself is owner-only and lock-free. */
+u32
+pathIdFor(Shard& shard, u32 parent, Phase phase)
+{
+    u64 key = (static_cast<u64>(parent) << 8) |
+              static_cast<u64>(static_cast<u8>(phase));
+    auto it = shard.pathIndex.find(key);
+    if (it != shard.pathIndex.end())
+        return it->second;
+    u32 id;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        id = static_cast<u32>(shard.paths.size());
+        PathEntry entry;
+        entry.parent = parent;
+        entry.phase = phase;
+        shard.paths.push_back(entry);
+    }
+    shard.pathIndex.emplace(key, id);
+    return id;
+}
+
+bool
+openOn(ThreadState& ts, Phase phase)
+{
+    int p = static_cast<int>(phase);
+    ts.pendingCount[p] += 1;
+    unsigned shift = kPhases[p].sampleShift;
+    if (shift != 0 && (ts.tick[p]++ & ((1u << shift) - 1)) != 0)
+        return false;
+    if (ts.depth >= kMaxDepth)
+        return false;
+    u32 parent =
+        ts.depth > 0 ? ts.stack[ts.depth - 1].pathId : kNoParent;
+    Frame& frame = ts.stack[ts.depth++];
+    frame.phase = phase;
+    frame.childNs = 0;
+    frame.pathId = pathIdFor(*ts.shard, parent, phase);
+    // Timestamp last, so path-table setup is not charged to the phase.
+    frame.startTicks = nowTicks();
+    return true;
+}
+
+void
+closeOn(ThreadState& ts)
+{
+    u64 end = nowTicks();
+    Frame& frame = ts.stack[--ts.depth];
+    u64 dur = ticksToNs(end - frame.startTicks);
+    u64 self = dur > frame.childNs ? dur - frame.childNs : 0;
+
+    Shard& shard = *ts.shard;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (int i = 0; i < kPhaseCount; ++i) {
+            if (ts.pendingCount[static_cast<std::size_t>(i)] == 0)
+                continue;
+            shard.phases[static_cast<std::size_t>(i)].count +=
+                ts.pendingCount[static_cast<std::size_t>(i)];
+            ts.pendingCount[static_cast<std::size_t>(i)] = 0;
+        }
+        PhaseAgg& agg = shard.phases[static_cast<int>(frame.phase)];
+        agg.timedCount += 1;
+        agg.totalNs += dur;
+        agg.selfNs += self;
+        agg.hist.observe(dur);
+        PathEntry& path = shard.paths[frame.pathId];
+        path.count += 1;
+        path.totalNs += dur;
+        path.selfNs += self;
+    }
+    if (ts.depth > 0)
+        ts.stack[ts.depth - 1].childNs += dur;
+}
+
+/** One-time clock + probe-cost calibration, on the first profiled
+ *  scope of the process. Probe cost is measured by driving the real
+ *  open/close machinery against a scratch shard that is never
+ *  registered, so calibration leaves no trace in the data. */
+void
+calibrate()
+{
+    if (kHaveTsc) {
+        using namespace std::chrono;
+        auto t0 = steady_clock::now();
+        u64 c0 = tscTicks();
+        while (steady_clock::now() - t0 < microseconds(2000)) {
+        }
+        u64 c1 = tscTicks();
+        auto t1 = steady_clock::now();
+        if (c1 > c0) {
+            gUseTsc = true;
+            gNsPerTick =
+                static_cast<double>(
+                    duration_cast<nanoseconds>(t1 - t0).count()) /
+                static_cast<double>(c1 - c0);
+        }
+    }
+
+    Shard scratch;
+    ThreadState ts;
+    ts.shard = &scratch;
+    constexpr int kIters = 8192;
+
+    u64 t0 = steadyNs();
+    for (int i = 0; i < kIters; ++i) {
+        if (openOn(ts, Phase::MachineRun))
+            closeOn(ts);
+    }
+    gNsPerTimedEvent =
+        static_cast<double>(steadyNs() - t0) / kIters;
+
+    t0 = steadyNs();
+    for (int i = 0; i < kIters; ++i) {
+        // tick forced off the sample point: the pure count-only path.
+        ts.tick[static_cast<int>(Phase::BpuPredict)] = 1;
+        if (openOn(ts, Phase::BpuPredict))
+            closeOn(ts);
+    }
+    gNsPerCountedEvent =
+        static_cast<double>(steadyNs() - t0) / kIters;
+}
+
+Shard*
+registerShard()
+{
+    static std::once_flag once;
+    std::call_once(once, calibrate);
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry().push_back(std::make_unique<Shard>());
+    return registry().back().get();
+}
+
+bool
+initialEnabled()
+{
+    return runner::envU64Strict("PHANTOM_PROF", 0, 0, 1) != 0;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> gEnabled{initialEnabled()};
+
+bool
+open(Phase phase)
+{
+    ThreadState& ts = tState;
+    if (ts.shard == nullptr)
+        ts.shard = registerShard();
+    return openOn(ts, phase);
+}
+
+void
+close()
+{
+    closeOn(tState);
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+const char*
+phaseName(Phase phase)
+{
+    int p = static_cast<int>(phase);
+    return p >= 0 && p < kPhaseCount ? kPhases[p].name : "?";
+}
+
+Phase
+phaseFromName(const std::string& name)
+{
+    for (int p = 0; p < kPhaseCount; ++p)
+        if (name == kPhases[p].name)
+            return static_cast<Phase>(p);
+    return Phase::Count;
+}
+
+unsigned
+phaseSampleShift(Phase phase)
+{
+    int p = static_cast<int>(phase);
+    return p >= 0 && p < kPhaseCount ? kPhases[p].sampleShift : 0;
+}
+
+double
+PhaseReport::estimatedSelfNs() const
+{
+    if (timedCount == 0)
+        return 0.0;
+    return static_cast<double>(selfNs) * static_cast<double>(count) /
+           static_cast<double>(timedCount);
+}
+
+double
+PhaseReport::estimatedTotalNs() const
+{
+    if (timedCount == 0)
+        return 0.0;
+    return static_cast<double>(totalNs) * static_cast<double>(count) /
+           static_cast<double>(timedCount);
+}
+
+u64
+Report::events() const
+{
+    u64 n = 0;
+    for (const PhaseReport& phase : phases)
+        n += phase.count;
+    return n;
+}
+
+u64
+Report::timedEvents() const
+{
+    u64 n = 0;
+    for (const PhaseReport& phase : phases)
+        n += phase.timedCount;
+    return n;
+}
+
+double
+Report::estimatedOverheadNs() const
+{
+    u64 timed = timedEvents();
+    u64 counted = events() - timed;
+    return static_cast<double>(timed) * calibration.nsPerTimedEvent +
+           static_cast<double>(counted) * calibration.nsPerCountedEvent;
+}
+
+Report
+collect()
+{
+    // The calling thread can flush its own pending counts; other
+    // threads flush at their next timed close. Campaign-end collection
+    // happens after workers joined (their machine.run closes flushed),
+    // so bench numbers are exact; a live /profilez snapshot may trail
+    // by one open frame per worker.
+    ThreadState& ts = tState;
+
+    Report report;
+    report.enabled = enabled();
+    report.calibration.clock = gUseTsc ? "tsc" : "steady";
+    report.calibration.nsPerTimedEvent = gNsPerTimedEvent;
+    report.calibration.nsPerCountedEvent = gNsPerCountedEvent;
+
+    std::array<PhaseReport, kPhaseCount> merged;
+    for (int p = 0; p < kPhaseCount; ++p)
+        merged[static_cast<std::size_t>(p)].phase = static_cast<Phase>(p);
+    std::map<std::string, StackReport> stacks;
+
+    std::lock_guard<std::mutex> registry_lock(registryMutex());
+    for (const std::unique_ptr<Shard>& shard : registry()) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        if (shard.get() == ts.shard) {
+            for (int i = 0; i < kPhaseCount; ++i) {
+                shard->phases[static_cast<std::size_t>(i)].count +=
+                    ts.pendingCount[static_cast<std::size_t>(i)];
+                ts.pendingCount[static_cast<std::size_t>(i)] = 0;
+            }
+        }
+        bool any = false;
+        for (int p = 0; p < kPhaseCount; ++p) {
+            const PhaseAgg& agg = shard->phases[static_cast<std::size_t>(p)];
+            if (agg.count == 0)
+                continue;
+            any = true;
+            PhaseReport& out = merged[static_cast<std::size_t>(p)];
+            out.count += agg.count;
+            out.timedCount += agg.timedCount;
+            out.totalNs += agg.totalNs;
+            out.selfNs += agg.selfNs;
+            out.hist.merge(agg.hist);
+        }
+        if (any)
+            report.threads += 1;
+
+        // Path ids are created parent-before-child, so one forward
+        // pass can materialize every full stack string.
+        std::vector<std::string> names(shard->paths.size());
+        for (std::size_t i = 0; i < shard->paths.size(); ++i) {
+            const PathEntry& path = shard->paths[i];
+            if (path.parent == kNoParent)
+                names[i] = phaseName(path.phase);
+            else
+                names[i] = names[path.parent] + ";" +
+                           phaseName(path.phase);
+            if (path.count == 0)
+                continue;
+            StackReport& out = stacks[names[i]];
+            out.stack = names[i];
+            out.count += path.count;
+            out.totalNs += path.totalNs;
+            out.selfNs += path.selfNs;
+        }
+    }
+
+    for (int p = 0; p < kPhaseCount; ++p)
+        if (merged[static_cast<std::size_t>(p)].count > 0)
+            report.phases.push_back(merged[static_cast<std::size_t>(p)]);
+    for (auto& [name, stack] : stacks)
+        report.stacks.push_back(std::move(stack));
+    return report;
+}
+
+void
+resetForTest()
+{
+    ThreadState& ts = tState;
+    ts.pendingCount.fill(0);
+    ts.tick.fill(0);
+    std::lock_guard<std::mutex> registry_lock(registryMutex());
+    for (const std::unique_ptr<Shard>& shard : registry()) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->phases.fill(PhaseAgg{});
+        // Keep the path entries (thread-local caches hold their ids);
+        // only the recorded mass is zeroed.
+        for (PathEntry& path : shard->paths) {
+            path.count = 0;
+            path.totalNs = 0;
+            path.selfNs = 0;
+        }
+    }
+}
+
+namespace {
+
+void
+appendEscaped(std::string& out, const std::string& text)
+{
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+void
+appendNumber(std::string& out, double value)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    out += buffer;
+}
+
+/** Nodes of the merged call tree, for the Perfetto layout. */
+struct TreeNode
+{
+    const StackReport* stack = nullptr;
+    std::string leaf;  ///< last path segment (the phase name)
+    std::vector<std::size_t> children;
+};
+
+/** Lay @p node out as an "X" slice at @p ts_us and recurse: children
+ *  stack sequentially inside the parent's span. */
+void
+emitSlice(std::string& out, const std::vector<TreeNode>& nodes,
+          std::size_t index, double ts_us)
+{
+    const TreeNode& node = nodes[index];
+    double dur_us = static_cast<double>(node.stack->totalNs) / 1000.0;
+    out += "  {\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"";
+    appendEscaped(out, node.leaf);
+    out += "\",\"ts\":";
+    appendNumber(out, ts_us);
+    out += ",\"dur\":";
+    appendNumber(out, dur_us);
+    out += ",\"args\":{\"count\":" + std::to_string(node.stack->count) +
+           ",\"self_ns\":" + std::to_string(node.stack->selfNs) +
+           ",\"stack\":\"";
+    appendEscaped(out, node.stack->stack);
+    out += "\"}},\n";
+
+    double cursor = ts_us;
+    for (std::size_t child : node.children) {
+        emitSlice(out, nodes, child, cursor);
+        cursor +=
+            static_cast<double>(nodes[child].stack->totalNs) / 1000.0;
+    }
+}
+
+} // namespace
+
+std::string
+foldedStacks(const Report& report)
+{
+    std::string out;
+    for (const StackReport& stack : report.stacks) {
+        if (stack.selfNs == 0)
+            continue;
+        out += stack.stack;
+        out.push_back(' ');
+        out += std::to_string(stack.selfNs);
+        out.push_back('\n');
+    }
+    return out;
+}
+
+std::string
+perfettoTraceJson(const Report& report)
+{
+    // report.stacks is sorted by stack string, so a parent always
+    // precedes its children; one pass builds the tree.
+    std::vector<TreeNode> nodes(report.stacks.size());
+    std::map<std::string, std::size_t> byStack;
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < report.stacks.size(); ++i) {
+        const StackReport& stack = report.stacks[i];
+        nodes[i].stack = &stack;
+        std::size_t cut = stack.stack.rfind(';');
+        if (cut == std::string::npos) {
+            nodes[i].leaf = stack.stack;
+            roots.push_back(i);
+        } else {
+            nodes[i].leaf = stack.stack.substr(cut + 1);
+            auto parent = byStack.find(stack.stack.substr(0, cut));
+            if (parent != byStack.end())
+                nodes[parent->second].children.push_back(i);
+            else
+                roots.push_back(i);
+        }
+        byStack.emplace(stack.stack, i);
+    }
+
+    std::string out;
+    out += "{\"traceEvents\":[\n";
+    out += "  {\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"phantom host profile\"}},\n";
+    out += "  {\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+           "\"name\":\"thread_name\","
+           "\"args\":{\"name\":\"merged call tree\"}},\n";
+
+    double cursor = 0.0;
+    for (std::size_t root : roots) {
+        emitSlice(out, nodes, root, cursor);
+        cursor +=
+            static_cast<double>(nodes[root].stack->totalNs) / 1000.0;
+    }
+
+    // One counter track per phase: entry counts at the span's edges so
+    // Perfetto renders a visible track even for an aggregate profile.
+    double span_us = cursor > 0.0 ? cursor : 1.0;
+    for (const PhaseReport& phase : report.phases) {
+        for (double ts : {0.0, span_us}) {
+            out += "  {\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"prof.";
+            out += phaseName(phase.phase);
+            out += ".count\",\"ts\":";
+            appendNumber(out, ts);
+            out += ",\"args\":{\"count\":" +
+                   std::to_string(phase.count) + "}},\n";
+        }
+    }
+
+    out += "  {\"ph\":\"M\",\"pid\":1,\"name\":\"prof_calibration\","
+           "\"args\":{\"clock\":\"";
+    out += report.calibration.clock;
+    out += "\",\"ns_per_timed_event\":";
+    appendNumber(out, report.calibration.nsPerTimedEvent);
+    out += ",\"ns_per_counted_event\":";
+    appendNumber(out, report.calibration.nsPerCountedEvent);
+    out += "}}\n";
+    out += "]}\n";
+    return out;
+}
+
+std::string
+bottleneckTable(const Report& report)
+{
+    std::vector<const PhaseReport*> ranked;
+    for (const PhaseReport& phase : report.phases)
+        ranked.push_back(&phase);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const PhaseReport* a, const PhaseReport* b) {
+                  return a->estimatedSelfNs() > b->estimatedSelfNs();
+              });
+    double total_self = 0.0;
+    for (const PhaseReport* phase : ranked)
+        total_self += phase->estimatedSelfNs();
+
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line, "%-16s %12s %12s %7s %12s %12s %7s\n",
+                  "phase", "count", "timed", "period", "self_ms",
+                  "total_ms", "self%");
+    out += line;
+    for (const PhaseReport* phase : ranked) {
+        double self_ms = phase->estimatedSelfNs() / 1e6;
+        double total_ms = phase->estimatedTotalNs() / 1e6;
+        double share =
+            total_self > 0.0
+                ? 100.0 * phase->estimatedSelfNs() / total_self
+                : 0.0;
+        std::snprintf(line, sizeof line,
+                      "%-16s %12llu %12llu %7u %12.3f %12.3f %6.1f%%\n",
+                      phaseName(phase->phase),
+                      static_cast<unsigned long long>(phase->count),
+                      static_cast<unsigned long long>(phase->timedCount),
+                      1u << phaseSampleShift(phase->phase), self_ms,
+                      total_ms, share);
+        out += line;
+    }
+    std::snprintf(line, sizeof line,
+                  "profiler overhead: ~%.3f ms estimated "
+                  "(%llu events, %llu timed, clock=%s)\n",
+                  report.estimatedOverheadNs() / 1e6,
+                  static_cast<unsigned long long>(report.events()),
+                  static_cast<unsigned long long>(report.timedEvents()),
+                  report.calibration.clock);
+    out += line;
+    return out;
+}
+
+} // namespace phantom::obs::prof

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Host-time self-profiler: wall-clock attribution for the simulator's
+ * own hot paths (not guest cycles — OBSERVABILITY.md's cycle
+ * attribution covers those).
+ *
+ * Scoped phase timers (`PROF_SCOPE(DecodeMiss)`) mark the regions worth
+ * attributing: the Machine step loop, decode-cache hit/miss, BPU
+ * predict/update, page walk, cache model, speculation episodes,
+ * snapshot capture/fork/restore and serve dispatch. Each thread keeps a
+ * small frame stack so a phase's *self* time excludes timed children,
+ * and aggregates into a per-thread shard (counts, total/self ns, log2
+ * duration histograms) registered lazily in a global table; collect()
+ * merges shards order-free exactly like MetricsRegistry, so the result
+ * does not depend on scheduler interleaving.
+ *
+ * Overhead discipline — the reason this is usable on paths entered
+ * several times per simulated instruction:
+ *
+ *  - Gated by PHANTOM_PROF (default off). When off, PROF_SCOPE costs a
+ *    single relaxed atomic load and branch; nothing is recorded and
+ *    bench/serve output is byte-identical to an uninstrumented build.
+ *  - Hot leaf phases are *sampled*: every entry is counted exactly, but
+ *    only 1-in-2^shift entries are timed (phaseSampleShift()). Coarse
+ *    phases (machine.run, snap.*) time every entry.
+ *  - Timestamps come from rdtsc where available, calibrated against
+ *    steady_clock once at startup; the per-event cost of both the timed
+ *    and the count-only path is itself measured, and every Report
+ *    carries the resulting overhead estimate so consumers can judge
+ *    how much of the measured wall time the profiler added.
+ *
+ * Reported totals are *raw measured* nanoseconds over timed entries
+ * only (plus exact entry counts); display layers may scale self/total
+ * by count/timed_count for an estimate, but the stored numbers never
+ * extrapolate, so invariants like "self <= total" and "sum(self) <=
+ * wall * threads" hold by construction. Time spent in a sampled-out
+ * child entry is attributed to the innermost *timed* enclosing frame.
+ */
+
+#ifndef PHANTOM_OBS_PROF_HPP
+#define PHANTOM_OBS_PROF_HPP
+
+#include "obs/metrics.hpp"
+#include "sim/types.hpp"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace phantom::obs::prof {
+
+/** The phase taxonomy. Order is the merge/serialization order; names
+ *  (phaseName) are the stable identifiers carried in every export. */
+enum class Phase : u8 {
+    MachineRun = 0,  ///< Machine::run step loop (coarse, always timed)
+    DecodeHit,       ///< decode-cache probe (counts every lookup)
+    DecodeMiss,      ///< byte fetch + isa::decode + cache insert
+    BpuPredict,      ///< Bpu::predictAt
+    BpuUpdate,       ///< Bpu::trainBranch
+    PageWalk,        ///< PageTable::translate
+    CacheAccess,     ///< CacheHierarchy fetch/data latency ladder
+    SpecEpisode,     ///< one speculation episode end to end
+    SpecExec,        ///< transient execution inside an episode
+    SnapCapture,     ///< snap::capture
+    SnapRestore,     ///< snap::restore
+    SnapFork,        ///< snap::fork (nests a SnapRestore)
+    ServeDispatch,   ///< serve::Server per-request experiment dispatch
+    Count,
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::Count);
+
+/** Stable dotted name of @p phase ("decode.miss", ...). */
+const char* phaseName(Phase phase);
+
+/** Phase named @p name, or Phase::Count when unknown. */
+Phase phaseFromName(const std::string& name);
+
+/** log2 of the sampling period for @p phase: 0 = every entry timed,
+ *  4 = 1-in-16 entries timed (entries are always *counted* exactly). */
+unsigned phaseSampleShift(Phase phase);
+
+namespace detail {
+
+extern std::atomic<bool> gEnabled;
+
+/** Slow path of ScopedPhase: count the entry and, when this entry is
+ *  sampled for timing, push a frame. Returns true iff a frame was
+ *  pushed (the caller must then invoke close()). */
+bool open(Phase phase);
+
+/** Pop the current frame and fold its duration into the shard. */
+void close();
+
+} // namespace detail
+
+/** The PHANTOM_PROF gate (also flipped by setEnabled for tests). */
+inline bool
+enabled()
+{
+    return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+/** Test hook: force the gate. Does not clear recorded data. */
+void setEnabled(bool on);
+
+/**
+ * RAII phase scope. When the gate is off, construction is one relaxed
+ * load + branch and destruction one branch on a local.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase phase)
+    {
+        if (enabled())
+            live_ = detail::open(phase);
+    }
+
+    ~ScopedPhase()
+    {
+        if (live_)
+            detail::close();
+    }
+
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  private:
+    bool live_ = false;
+};
+
+#define PHANTOM_PROF_CONCAT2(a, b) a##b
+#define PHANTOM_PROF_CONCAT(a, b) PHANTOM_PROF_CONCAT2(a, b)
+
+/** Attribute the rest of the enclosing block to Phase::phase. */
+#define PROF_SCOPE(phase)                                         \
+    ::phantom::obs::prof::ScopedPhase PHANTOM_PROF_CONCAT(        \
+        phantom_prof_scope_,                                      \
+        __LINE__)(::phantom::obs::prof::Phase::phase)
+
+/** Aggregates of one phase, merged across all shards. */
+struct PhaseReport
+{
+    Phase phase = Phase::Count;
+    u64 count = 0;        ///< entries, exact (sampled or not)
+    u64 timedCount = 0;   ///< entries that were actually timed
+    u64 totalNs = 0;      ///< raw ns across timed entries
+    u64 selfNs = 0;       ///< totalNs minus timed-child ns
+    Histogram hist;       ///< per-timed-entry duration, log2 ns buckets
+
+    /** selfNs scaled by count/timedCount — the display estimate. */
+    double estimatedSelfNs() const;
+    /** totalNs scaled by count/timedCount. */
+    double estimatedTotalNs() const;
+};
+
+/** One merged call path ("machine.run;decode.miss"), from timed
+ *  entries only. */
+struct StackReport
+{
+    std::string stack;
+    u64 count = 0;
+    u64 totalNs = 0;
+    u64 selfNs = 0;
+};
+
+/** How ticks map to ns and what one probe costs. */
+struct Calibration
+{
+    const char* clock = "steady";  ///< "tsc" or "steady"
+    double nsPerTimedEvent = 0.0;  ///< cost of a timed open+close pair
+    double nsPerCountedEvent = 0.0;  ///< cost of a sampled-out entry
+};
+
+struct Report
+{
+    bool enabled = false;
+    u64 threads = 0;  ///< shards that recorded at least one entry
+    std::vector<PhaseReport> phases;  ///< count > 0 only, in Phase order
+    std::vector<StackReport> stacks;  ///< sorted by stack string
+    Calibration calibration;
+
+    u64 events() const;       ///< sum of phase counts
+    u64 timedEvents() const;  ///< sum of phase timedCounts
+    /** Estimated ns the profiler itself added to the run. */
+    double estimatedOverheadNs() const;
+};
+
+/** Merge every shard (order-free) into one Report. Thread-safe; live
+ *  scopes on other threads contribute on their next close(). */
+Report collect();
+
+/** Zero all shard aggregates and the path tables in place (shards stay
+ *  registered: thread-locals keep pointing at them). Test-only — do not
+ *  call with profiled scopes open on other threads. */
+void resetForTest();
+
+/**
+ * Flamegraph.pl input: one "a;b;c <self_ns>" line per call path with
+ * positive self time, sorted. Raw ns over timed entries.
+ */
+std::string foldedStacks(const Report& report);
+
+/**
+ * Chrome trace_event JSON loadable by Perfetto: the merged call tree
+ * laid out as nested "X" slices (one lane), plus one counter track per
+ * phase carrying its entry count. Aggregate, not a timeline — slice
+ * offsets are synthetic.
+ */
+std::string perfettoTraceJson(const Report& report);
+
+/**
+ * Ranked bottleneck table (text): phases by estimated self time
+ * descending, with counts, sampling period and overhead footer.
+ */
+std::string bottleneckTable(const Report& report);
+
+} // namespace phantom::obs::prof
+
+#endif // PHANTOM_OBS_PROF_HPP

@@ -2,8 +2,6 @@
 
 namespace phantom::runner {
 
-namespace {
-
 JsonValue
 histogramToJson(const obs::Histogram& histogram)
 {
@@ -24,8 +22,6 @@ histogramToJson(const obs::Histogram& histogram)
     h.set("buckets", std::move(buckets));
     return h;
 }
-
-} // namespace
 
 JsonValue
 metricsToJson(const obs::MetricsRegistry& registry)

@@ -30,6 +30,14 @@ namespace phantom::runner {
  */
 JsonValue metricsToJson(const obs::MetricsRegistry& registry);
 
+/**
+ * Serialize one histogram as { "count", "sum", "mean", "buckets":
+ * [ { "lo", "count" } ... ] } with zero buckets elided — the shape
+ * json_check --metrics-schema validates. Shared with the host-profile
+ * serializer (prof_json).
+ */
+JsonValue histogramToJson(const obs::Histogram& histogram);
+
 } // namespace phantom::runner
 
 #endif // PHANTOM_RUNNER_METRICS_JSON_HPP

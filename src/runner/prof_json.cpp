@@ -1,0 +1,166 @@
+#include "runner/prof_json.hpp"
+
+#include "runner/metrics_json.hpp"
+#include "runner/schema.hpp"
+
+#include <map>
+
+namespace phantom::runner {
+
+JsonValue
+profileToJson(const obs::prof::Report& report, u64 wall_ns)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue(kProfileSchema));
+    doc.set("enabled", JsonValue(report.enabled));
+    doc.set("clock", JsonValue(std::string(report.calibration.clock)));
+    doc.set("wall_ns", JsonValue(wall_ns));
+    doc.set("threads", JsonValue(report.threads));
+
+    JsonValue overhead = JsonValue::object();
+    overhead.set("events", JsonValue(report.events()));
+    overhead.set("timed_events", JsonValue(report.timedEvents()));
+    overhead.set("ns_per_timed_event",
+                 JsonValue(report.calibration.nsPerTimedEvent));
+    overhead.set("ns_per_counted_event",
+                 JsonValue(report.calibration.nsPerCountedEvent));
+    overhead.set("estimated_ns", JsonValue(report.estimatedOverheadNs()));
+    doc.set("overhead", std::move(overhead));
+
+    // Order by name, not enum value: exports must not depend on the
+    // enum layout, and sorted keys keep document diffs stable.
+    std::map<std::string, const obs::prof::PhaseReport*> byName;
+    for (const obs::prof::PhaseReport& phase : report.phases)
+        byName.emplace(obs::prof::phaseName(phase.phase), &phase);
+
+    JsonValue phases = JsonValue::object();
+    for (const auto& [name, phase] : byName) {
+        JsonValue p = JsonValue::object();
+        p.set("count", JsonValue(phase->count));
+        p.set("timed_count", JsonValue(phase->timedCount));
+        p.set("total_ns", JsonValue(phase->totalNs));
+        p.set("self_ns", JsonValue(phase->selfNs));
+        p.set("sample_period",
+              JsonValue(u64{1}
+                        << obs::prof::phaseSampleShift(phase->phase)));
+        p.set("hist", histogramToJson(phase->hist));
+        phases.set(name, std::move(p));
+    }
+    doc.set("phases", std::move(phases));
+
+    JsonValue stacks = JsonValue::array();
+    for (const obs::prof::StackReport& stack : report.stacks) {
+        JsonValue s = JsonValue::object();
+        s.set("stack", JsonValue(stack.stack));
+        s.set("count", JsonValue(stack.count));
+        s.set("total_ns", JsonValue(stack.totalNs));
+        s.set("self_ns", JsonValue(stack.selfNs));
+        stacks.push(std::move(s));
+    }
+    doc.set("stacks", std::move(stacks));
+    return doc;
+}
+
+const JsonValue*
+findProfile(const JsonValue& doc)
+{
+    const JsonValue* schema = doc.find("schema");
+    if (schema != nullptr && schema->string() == kProfileSchema)
+        return &doc;
+    const JsonValue* profile = doc.find("profile");
+    if (profile == nullptr || !profile->isObject())
+        return nullptr;
+    schema = profile->find("schema");
+    if (schema == nullptr || schema->string() != kProfileSchema)
+        return nullptr;
+    return profile;
+}
+
+namespace {
+
+bool
+u64Field(const JsonValue& node, const char* key, u64& out,
+         std::string* error)
+{
+    const JsonValue* field = node.find(key);
+    if (field == nullptr) {
+        if (error != nullptr)
+            *error = std::string("missing \"") + key + "\"";
+        return false;
+    }
+    double v = field->number();
+    out = v > 0.0 ? static_cast<u64>(v) : 0;
+    return true;
+}
+
+} // namespace
+
+bool
+profileFromJson(const JsonValue& profile, obs::prof::Report& out,
+                std::string* error)
+{
+    out = obs::prof::Report{};
+    const JsonValue* enabled = profile.find("enabled");
+    out.enabled = enabled != nullptr && enabled->boolean();
+    const JsonValue* clock = profile.find("clock");
+    out.calibration.clock =
+        clock != nullptr && clock->string() == "tsc" ? "tsc" : "steady";
+    u64 threads = 0;
+    if (!u64Field(profile, "threads", threads, error))
+        return false;
+    out.threads = threads;
+
+    if (const JsonValue* overhead = profile.find("overhead")) {
+        if (const JsonValue* v = overhead->find("ns_per_timed_event"))
+            out.calibration.nsPerTimedEvent = v->number();
+        if (const JsonValue* v = overhead->find("ns_per_counted_event"))
+            out.calibration.nsPerCountedEvent = v->number();
+    }
+
+    const JsonValue* phases = profile.find("phases");
+    if (phases == nullptr || !phases->isObject()) {
+        if (error != nullptr)
+            *error = "missing \"phases\" object";
+        return false;
+    }
+    for (const auto& [name, node] : phases->members()) {
+        obs::prof::PhaseReport phase;
+        phase.phase = obs::prof::phaseFromName(name);
+        if (phase.phase == obs::prof::Phase::Count) {
+            if (error != nullptr)
+                *error = "unknown phase \"" + name + "\"";
+            return false;
+        }
+        if (!u64Field(node, "count", phase.count, error) ||
+            !u64Field(node, "timed_count", phase.timedCount, error) ||
+            !u64Field(node, "total_ns", phase.totalNs, error) ||
+            !u64Field(node, "self_ns", phase.selfNs, error))
+            return false;
+        out.phases.push_back(phase);
+    }
+
+    const JsonValue* stacks = profile.find("stacks");
+    if (stacks == nullptr || !stacks->isArray()) {
+        if (error != nullptr)
+            *error = "missing \"stacks\" array";
+        return false;
+    }
+    for (const JsonValue& node : stacks->items()) {
+        obs::prof::StackReport stack;
+        const JsonValue* name = node.find("stack");
+        if (name == nullptr) {
+            if (error != nullptr)
+                *error = "stack entry lacks \"stack\"";
+            return false;
+        }
+        stack.stack = name->string();
+        if (!u64Field(node, "count", stack.count, error) ||
+            !u64Field(node, "total_ns", stack.totalNs, error) ||
+            !u64Field(node, "self_ns", stack.selfNs, error))
+            return false;
+        out.stacks.push_back(std::move(stack));
+    }
+    return true;
+}
+
+} // namespace phantom::runner

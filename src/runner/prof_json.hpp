@@ -1,0 +1,63 @@
+/**
+ * @file
+ * JSON serialization for obs::prof::Report — the "profile" section of
+ * bench result documents and the body of GET /profilez.
+ *
+ * Lives in the runner (not src/obs) for the same reason as
+ * metrics_json: the obs library stays free of the JSON document model.
+ */
+
+#ifndef PHANTOM_RUNNER_PROF_JSON_HPP
+#define PHANTOM_RUNNER_PROF_JSON_HPP
+
+#include "obs/prof.hpp"
+#include "runner/json.hpp"
+
+namespace phantom::runner {
+
+/**
+ * Serialize @p report as
+ *
+ *   {
+ *     "schema": "phantom-host-profile/v1",
+ *     "enabled": true, "clock": "tsc"|"steady",
+ *     "wall_ns": <caller-measured wall clock of the profiled span>,
+ *     "threads": <shards that recorded entries>,
+ *     "overhead": { "events", "timed_events", "ns_per_timed_event",
+ *                   "ns_per_counted_event", "estimated_ns" },
+ *     "phases": { "<name>": { "count", "timed_count", "total_ns",
+ *                             "self_ns", "sample_period",
+ *                             "hist": { "count", "sum", "mean",
+ *                                       "buckets": [...] } } },
+ *     "stacks": [ { "stack", "count", "total_ns", "self_ns" } ... ]
+ *   }
+ *
+ * total_ns/self_ns are raw nanoseconds over *timed* entries (see
+ * prof.hpp): per phase self_ns <= total_ns, and the sum of self_ns
+ * over all phases is <= wall_ns * threads — json_check
+ * --profile-schema enforces both. Phase names sort (std::map), so two
+ * campaigns with the same work produce the same phase ordering
+ * regardless of scheduler interleaving.
+ */
+JsonValue profileToJson(const obs::prof::Report& report, u64 wall_ns);
+
+/**
+ * Locate the host-profile document inside @p doc: @p doc itself when
+ * it carries kProfileSchema, else its "profile" member (the shape of
+ * bench results and GET /profilez bodies). nullptr when absent.
+ */
+const JsonValue* findProfile(const JsonValue& doc);
+
+/**
+ * Rebuild a Report from profileToJson() output — what tools/prof_report
+ * uses to regenerate folded stacks and traces from a results file.
+ * Phase duration histograms are not reconstructed (the formatters do
+ * not consume them); everything else round-trips exactly. Returns
+ * false (with @p error set) on a malformed document.
+ */
+bool profileFromJson(const JsonValue& profile, obs::prof::Report& out,
+                     std::string* error);
+
+} // namespace phantom::runner
+
+#endif // PHANTOM_RUNNER_PROF_JSON_HPP

@@ -106,6 +106,9 @@ ResultSink::toJson() const
     if (hasMetrics_)
         doc.set("metrics", metrics_);
 
+    if (hasProfile_)
+        doc.set("profile", profile_);
+
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)
                       .count();

@@ -24,6 +24,8 @@
  *       "measured":      { "counters", "gauges", "histograms" },
  *       "manifest":      { "campaign_seed", "fast_mode", "uarch", ... }
  *     },
+ *     "profile":  host-time self-profile (prof_json.hpp; only when
+ *                 PHANTOM_PROF=1 — absent by default),
  *     "timing": { "wall_seconds", "busy_seconds", "speedup" }
  *   }
  *
@@ -100,6 +102,20 @@ class ResultSink
         hasMetrics_ = true;
     }
 
+    /**
+     * Attach the host-time self-profile (prof_json's document).
+     * Serialized as the top-level "profile" member, between "metrics"
+     * and "timing"; omitted until set — with PHANTOM_PROF off nothing
+     * calls this, keeping the document byte-identical to an
+     * unprofiled build.
+     */
+    void
+    setProfile(JsonValue profile)
+    {
+        profile_ = std::move(profile);
+        hasProfile_ = true;
+    }
+
     /** Build the full document (wall-clock measured since ctor). */
     JsonValue toJson() const;
 
@@ -131,6 +147,8 @@ class ResultSink
     double busySeconds_ = 0.0;
     JsonValue metrics_;
     bool hasMetrics_ = false;
+    JsonValue profile_;
+    bool hasProfile_ = false;
     std::chrono::steady_clock::time_point start_;
     std::map<std::string, Experiment> experiments_;
 };

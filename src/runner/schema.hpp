@@ -26,6 +26,13 @@ inline constexpr const char* kResultSchemaV2 = "phantom-bench-results/v2";
 inline constexpr const char* kServeErrorSchema = "phantom-serve-error/v1";
 inline constexpr const char* kServeHealthSchema = "phantom-serve-health/v1";
 inline constexpr const char* kServeStatsSchema = "phantom-serve-stats/v1";
+inline constexpr const char* kServeProfileSchema =
+    "phantom-serve-profile/v1";
+
+/** Schema of the host-time self-profile: the "profile" section of a
+ *  bench result document and the body of GET /profilez (which wraps it
+ *  under kServeProfileSchema). */
+inline constexpr const char* kProfileSchema = "phantom-host-profile/v1";
 
 } // namespace phantom::runner
 

@@ -287,6 +287,11 @@ Daemon::handle(const HttpRequest& request, RequestContext& ctx)
             return errorResponse(405, "use GET /statsz", rid);
         return jsonResponse(200, server_.statsz());
     }
+    if (request.target == "/profilez") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET /profilez", rid);
+        return jsonResponse(200, server_.profilez());
+    }
     if (request.target == "/metricsz") {
         if (request.method != "GET")
             return errorResponse(405, "use GET /metricsz", rid);

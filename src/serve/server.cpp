@@ -3,10 +3,12 @@
 #include "attack/experiment.hpp"
 #include "cpu/machine.hpp"
 #include "obs/build_info.hpp"
+#include "obs/prof.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace_export.hpp"
 #include "runner/env.hpp"
 #include "runner/metrics_json.hpp"
+#include "runner/prof_json.hpp"
 #include "runner/schema.hpp"
 #include "sim/log.hpp"
 #include "snap/state.hpp"
@@ -361,6 +363,8 @@ Server::runBatch(std::vector<std::shared_ptr<Pending>> batch)
                 if (flight && !rings_.empty())
                     rings_[worker]->clear();
                 try {
+                    obs::prof::ScopedPhase dispatch_scope(
+                        obs::prof::Phase::ServeDispatch);
                     result = runSpec(pending->spec, wait_us, *ctx);
                 } catch (const std::exception& e) {
                     result = errorResult(
@@ -602,6 +606,21 @@ Server::statsz()
     return doc;
 }
 
+JsonValue
+Server::profilez()
+{
+    auto uptime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - started_);
+    u64 wall_ns =
+        uptime_ns.count() < 0 ? 0 : static_cast<u64>(uptime_ns.count());
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", runner::kServeProfileSchema);
+    doc.set("uptime_seconds", uptimeSeconds());
+    doc.set("profile",
+            runner::profileToJson(obs::prof::collect(), wall_ns));
+    return doc;
+}
+
 std::string
 Server::metricsText()
 {
@@ -627,6 +646,18 @@ Server::metricsText()
     exposition.counter("serve.snap.forks").inc(snapStats_.forks);
     exposition.counter("serve.snap.state_bytes")
         .inc(snapStats_.stateBytes);
+    // prof.* rows appear only while profiling: with PHANTOM_PROF off
+    // the exposition stays byte-identical to an unprofiled build.
+    if (obs::prof::enabled()) {
+        obs::prof::Report profile = obs::prof::collect();
+        for (const obs::prof::PhaseReport& phase : profile.phases) {
+            std::string base =
+                std::string("prof.") + obs::prof::phaseName(phase.phase);
+            exposition.counter(base + ".count").inc(phase.count);
+            exposition.counter(base + ".self_ns").inc(phase.selfNs);
+            exposition.counter(base + ".total_ns").inc(phase.totalNs);
+        }
+    }
     return obs::promExposition(exposition);
 }
 

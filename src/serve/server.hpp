@@ -165,6 +165,13 @@ class Server
     /** Counters/gauges/queue depth/recent timelines (kServeStatsSchema). */
     runner::JsonValue statsz();
 
+    /**
+     * Host-time self-profile snapshot (kServeProfileSchema wrapping a
+     * kProfileSchema document). Always routable; the embedded profile
+     * is empty until PHANTOM_PROF=1 turns the probes on.
+     */
+    runner::JsonValue profilez();
+
     /** Prometheus text exposition (0.0.4) of the measured registry. */
     std::string metricsText();
 

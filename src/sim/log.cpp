@@ -24,16 +24,21 @@ initialLevel()
 
 LogLevel gLevel = initialLevel();
 
-const char*
-levelName(LogLevel level)
+/**
+ * Prefixed line for the bootstrap warnings emitted while the default
+ * stream is still being resolved. Those run under the log mutex, so
+ * they cannot go through logMessage() — but they must still carry the
+ * same `[phantom:LEVEL t=<ns>]` prefix every other line does, or a
+ * prefix-keyed log scraper silently drops them.
+ */
+std::string
+bootstrapLine(LogLevel level, const std::string& msg)
 {
-    switch (level) {
-      case LogLevel::Error: return "ERROR";
-      case LogLevel::Warn:  return "WARN";
-      case LogLevel::Info:  return "INFO";
-      case LogLevel::Trace: return "TRACE";
-      default:              return "?";
-    }
+    char t[32];
+    std::snprintf(t, sizeof t, " t=%llu",
+                  static_cast<unsigned long long>(logMonotonicNanos()));
+    return std::string("[phantom:") + logLevelName(level) + t + "] " +
+           msg + "\n";
 }
 
 std::mutex&
@@ -54,8 +59,10 @@ defaultStream()
             file.open(path, std::ios::app);
             if (file.is_open())
                 return static_cast<std::ostream*>(&file);
-            std::cerr << "[phantom:WARN] cannot open PHANTOM_LOG_FILE="
-                      << path << ", logging to stderr\n";
+            std::cerr << bootstrapLine(
+                LogLevel::Warn,
+                std::string("cannot open PHANTOM_LOG_FILE=") + path +
+                    ", logging to stderr");
         }
         return &std::cerr;
     }();
@@ -75,8 +82,10 @@ defaultAccessStream()
             file.open(path, std::ios::app);
             if (file.is_open())
                 return &file;
-            std::cerr << "[phantom:WARN] cannot open PHANTOM_SERVE_LOG="
-                      << path << ", access log disabled\n";
+            std::cerr << bootstrapLine(
+                LogLevel::Warn,
+                std::string("cannot open PHANTOM_SERVE_LOG=") + path +
+                    ", access log disabled");
         }
         return nullptr;
     }();
@@ -123,6 +132,18 @@ logStream()
     return gStream != nullptr ? *gStream : defaultStream();
 }
 
+const char*
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Trace: return "TRACE";
+      default:              return "?";
+    }
+}
+
 void
 logMessage(LogLevel level, const std::string& msg)
 {
@@ -135,7 +156,7 @@ logMessage(LogLevel level, const std::string& msg)
     std::string line;
     line.reserve(msg.size() + 48);
     line += "[phantom:";
-    line += levelName(level);
+    line += logLevelName(level);
     line += t;
     line += "] ";
     line += msg;

@@ -38,6 +38,10 @@ void setLogLevel(LogLevel level);
 /** Current global log threshold (initialized from PHANTOM_LOG if set). */
 LogLevel logLevel();
 
+/** The prefix name of @p level: "ERROR", "WARN", "INFO", "TRACE" —
+ *  exactly what appears in the `[phantom:LEVEL t=<ns>]` line prefix. */
+const char* logLevelName(LogLevel level);
+
 /**
  * Redirect logging to @p stream (non-owning; nullptr restores the
  * default: PHANTOM_LOG_FILE if set and openable, else stderr). The

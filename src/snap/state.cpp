@@ -1,6 +1,7 @@
 #include "snap/state.hpp"
 
 #include "cpu/microarch.hpp"
+#include "obs/prof.hpp"
 #include "snap/store.hpp"
 
 #include <cassert>
@@ -10,6 +11,7 @@ namespace phantom::snap {
 MachineState
 capture(cpu::Machine& machine, const os::Kernel* kernel)
 {
+    PROF_SCOPE(SnapCapture);
     MachineState s;
     s.uarch = machine.config().name;
     s.installedBytes = machine.physMem().installedBytes();
@@ -50,6 +52,7 @@ capture(cpu::Machine& machine, const os::Kernel* kernel)
 void
 restore(cpu::Machine& machine, const MachineState& state)
 {
+    PROF_SCOPE(SnapRestore);
     assert(machine.config().name == state.uarch);
     assert(machine.physMem().installedBytes() == state.installedBytes);
 
@@ -90,6 +93,7 @@ restore(cpu::Machine& machine, const MachineState& state)
 ForkedMachine
 fork(const MachineState& state, const cpu::MicroarchConfig& config)
 {
+    PROF_SCOPE(SnapFork);
     assert(config.name == state.uarch);
     ForkedMachine forked;
     forked.machine = std::make_unique<cpu::Machine>(

@@ -120,6 +120,12 @@ TEST(MetricPath, ClassificationRules)
     EXPECT_EQ(classifyMetricPath(
                   "metrics.measured.counters.decode_cache.invalidates"),
               MetricClass::Informational);
+    // Host-profiler output is wall-clock observation of this process:
+    // informational everywhere, never part of the gate.
+    EXPECT_EQ(classifyMetricPath("profile.phases.machine.run.self_ns"),
+              MetricClass::Informational);
+    EXPECT_EQ(classifyMetricPath("profile.wall_ns"),
+              MetricClass::Informational);
     // Segment boundary: "jobs" must not swallow "jobs_extra".
     EXPECT_EQ(classifyMetricPath("jobs_extra"),
               MetricClass::Deterministic);
@@ -392,6 +398,67 @@ TEST(Paper, UnknownBenchYieldsNoChecks)
 {
     JsonValue doc = parse("{\"bench\": \"bench_unknown\"}");
     EXPECT_TRUE(paperConformance("bench_unknown", doc).empty());
+}
+
+/** A small host-profile section for resultsText's `extra` slot. */
+std::string
+profileExtra(u64 machine_self_ns, u64 decode_self_ns)
+{
+    return ",\n\"profile\": {"
+           "\"schema\": \"phantom-host-profile/v1\", "
+           "\"enabled\": true, \"clock\": \"tsc\", "
+           "\"wall_ns\": 1000000, \"threads\": 1, "
+           "\"phases\": {"
+           "\"machine.run\": {\"count\": 10, \"timed_count\": 10, "
+           "\"total_ns\": 900000, \"self_ns\": " +
+           std::to_string(machine_self_ns) +
+           "}, "
+           "\"decode.miss\": {\"count\": 100, \"timed_count\": 25, "
+           "\"total_ns\": 250000, \"self_ns\": " +
+           std::to_string(decode_self_ns) +
+           "}}, "
+           "\"stacks\": [{\"stack\": \"machine.run\", \"count\": 10, "
+           "\"total_ns\": 900000, \"self_ns\": 600000}]}";
+}
+
+TEST(Diff, ProfileSectionsRankTopPhasesAndNeverGate)
+{
+    JsonValue a = parse(resultsText("E", 2.0,
+                                    "{\"lo\": 1, \"count\": 4}",
+                                    profileExtra(600000, 50000)));
+    JsonValue b = parse(resultsText("E", 2.0,
+                                    "{\"lo\": 1, \"count\": 4}",
+                                    profileExtra(500000, 60000)));
+    BenchDiff diff = diffResults("bench_synth", a, b);
+    // Profile differences are informational: the gate still passes.
+    EXPECT_TRUE(diff.pass());
+    ASSERT_EQ(diff.profileTop.size(), 2u);
+    // Ranked by current-run estimated self time, descending. machine.run
+    // is fully timed, so its estimate equals its raw self time; the
+    // sampled decode.miss scales 60000 by 100/25.
+    EXPECT_EQ(diff.profileTop[0].phase, "machine.run");
+    EXPECT_NEAR(diff.profileTop[0].currentSelfMs, 0.5, 1e-9);
+    EXPECT_NEAR(diff.profileTop[0].baselineSelfMs, 0.6, 1e-9);
+    EXPECT_EQ(diff.profileTop[1].phase, "decode.miss");
+    EXPECT_NEAR(diff.profileTop[1].currentSelfMs, 0.24, 1e-9);
+    EXPECT_EQ(diff.profileTop[1].count, 100u);
+
+    // One profiled side alone produces no table.
+    JsonValue plain = parse(resultsText("E", 2.0,
+                                        "{\"lo\": 1, \"count\": 4}"));
+    EXPECT_TRUE(
+        diffResults("bench_synth", plain, b).profileTop.empty());
+    EXPECT_TRUE(
+        diffResults("bench_synth", a, plain).profileTop.empty());
+
+    // The report gains the "Top host phases" table for profiled pairs.
+    std::map<std::string, JsonValue> current;
+    current["bench_synth"] = b;
+    std::string markdown = renderMarkdown(
+        buildReport({diff}, current, DiffOptions{}));
+    EXPECT_NE(markdown.find("Top host phases: bench_synth"),
+              std::string::npos);
+    EXPECT_NE(markdown.find("machine.run"), std::string::npos);
 }
 
 TEST(Report, MarkdownCarriesVerdictAndEscapesPipes)

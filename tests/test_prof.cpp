@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the host-time self-profiler (src/obs/prof): gate
+ * semantics, exact entry counts under sampling, self-time subtraction,
+ * order-free merging across threads, and the three export formatters.
+ *
+ * The profiler is process-global, so every test starts from
+ * resetForTest() and restores the gate on exit.
+ */
+
+#include "obs/prof.hpp"
+#include "runner/json.hpp"
+#include "runner/prof_json.hpp"
+#include "runner/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace phantom::obs::prof {
+namespace {
+
+/** RAII gate flip: on for the test body, restored (and data cleared)
+ *  after. */
+class ProfGate
+{
+  public:
+    ProfGate()
+    {
+        resetForTest();
+        setEnabled(true);
+    }
+
+    ~ProfGate()
+    {
+        setEnabled(false);
+        resetForTest();
+    }
+};
+
+const PhaseReport*
+findPhase(const Report& report, Phase phase)
+{
+    for (const PhaseReport& p : report.phases)
+        if (p.phase == phase)
+            return &p;
+    return nullptr;
+}
+
+/** Run @p entries scopes of @p phase back to back. */
+void
+spin(Phase phase, int entries)
+{
+    for (int i = 0; i < entries; ++i)
+        ScopedPhase scope(phase);
+}
+
+TEST(Prof, DisabledGateRecordsNothing)
+{
+    resetForTest();
+    setEnabled(false);
+    spin(Phase::BpuPredict, 100);
+    {
+        PROF_SCOPE(MachineRun);
+        PROF_SCOPE(DecodeMiss);
+    }
+    Report report = collect();
+    EXPECT_FALSE(report.enabled);
+    EXPECT_TRUE(report.phases.empty());
+    EXPECT_TRUE(report.stacks.empty());
+    EXPECT_EQ(report.events(), 0u);
+    resetForTest();
+}
+
+TEST(Prof, PhaseNamesRoundTrip)
+{
+    for (int i = 0; i < kPhaseCount; ++i) {
+        Phase phase = static_cast<Phase>(i);
+        EXPECT_EQ(phaseFromName(phaseName(phase)), phase);
+    }
+    EXPECT_EQ(phaseFromName("no.such.phase"), Phase::Count);
+    EXPECT_EQ(phaseFromName(""), Phase::Count);
+}
+
+TEST(Prof, CountsAreExactUnderSampling)
+{
+    ProfGate gate;
+    // bpu.predict is a sampled phase (shift > 0): only 1-in-2^shift
+    // entries are timed, but each of the 1000 entries must be counted.
+    ASSERT_GT(phaseSampleShift(Phase::BpuPredict), 0u);
+    {
+        ScopedPhase outer(Phase::MachineRun);  // always-timed flusher
+        spin(Phase::BpuPredict, 1000);
+    }
+    Report report = collect();
+    const PhaseReport* predict = findPhase(report, Phase::BpuPredict);
+    ASSERT_NE(predict, nullptr);
+    EXPECT_EQ(predict->count, 1000u);
+    // The per-thread sample tick starts at zero after resetForTest, so
+    // entries 0, P, 2P, ... are timed: ceil(1000 / P) of them.
+    u64 period = u64{1} << phaseSampleShift(Phase::BpuPredict);
+    EXPECT_EQ(predict->timedCount, (1000u + period - 1) / period);
+    EXPECT_LE(predict->selfNs, predict->totalNs);
+    // The estimate scales raw self time up to the full entry count.
+    if (predict->selfNs > 0)
+        EXPECT_GT(predict->estimatedSelfNs(),
+                  static_cast<double>(predict->selfNs));
+}
+
+TEST(Prof, SelfTimeExcludesTimedChildren)
+{
+    ProfGate gate;
+    {
+        ScopedPhase outer(Phase::SnapCapture);  // shift 0
+        ScopedPhase inner(Phase::SnapRestore);  // shift 0, timed child
+        // Burn a little real time inside the child so the parent's
+        // child-subtraction has something to subtract.
+        volatile unsigned sink = 0;
+        for (unsigned i = 0; i < 50000; ++i)
+            sink += i;
+    }
+    Report report = collect();
+    const PhaseReport* outer = findPhase(report, Phase::SnapCapture);
+    const PhaseReport* inner = findPhase(report, Phase::SnapRestore);
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_EQ(inner->count, 1u);
+    // The parent's total spans the child's, and its self time is the
+    // total minus the child's span.
+    EXPECT_GE(outer->totalNs, inner->totalNs);
+    EXPECT_LE(outer->selfNs, outer->totalNs - inner->totalNs);
+
+    // The nested path shows up as a two-deep stack.
+    std::string nested = std::string(phaseName(Phase::SnapCapture)) +
+                         ";" + phaseName(Phase::SnapRestore);
+    bool found = false;
+    for (const StackReport& stack : report.stacks)
+        found = found || stack.stack == nested;
+    EXPECT_TRUE(found) << "missing stack " << nested;
+}
+
+TEST(Prof, MergeIsOrderFreeAcrossThreads)
+{
+    // Two threads, each with its own shard, doing identical work: the
+    // merged counts are the sum regardless of interleaving, exactly
+    // like MetricsRegistry.
+    ProfGate gate;
+    auto work = [] {
+        for (int i = 0; i < 7; ++i) {
+            ScopedPhase outer(Phase::SnapFork);
+            spin(Phase::DecodeHit, 32);
+        }
+    };
+    std::thread a(work);
+    std::thread b(work);
+    a.join();
+    b.join();
+    Report report = collect();
+    EXPECT_EQ(report.threads, 2u);
+    const PhaseReport* fork = findPhase(report, Phase::SnapFork);
+    const PhaseReport* hit = findPhase(report, Phase::DecodeHit);
+    ASSERT_NE(fork, nullptr);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(fork->count, 14u);
+    EXPECT_EQ(hit->count, 2u * 7u * 32u);
+}
+
+TEST(Prof, ReportInvariantsAndExports)
+{
+    ProfGate gate;
+    for (int i = 0; i < 3; ++i) {
+        ScopedPhase run(Phase::MachineRun);
+        spin(Phase::BpuPredict, 64);
+        spin(Phase::CacheAccess, 64);
+    }
+    Report report = collect();
+    ASSERT_FALSE(report.phases.empty());
+    EXPECT_TRUE(report.enabled);
+
+    // Phases arrive in enum order with positive counts only.
+    for (std::size_t i = 1; i < report.phases.size(); ++i)
+        EXPECT_LT(static_cast<int>(report.phases[i - 1].phase),
+                  static_cast<int>(report.phases[i].phase));
+    for (const PhaseReport& phase : report.phases) {
+        EXPECT_GT(phase.count, 0u);
+        EXPECT_LE(phase.timedCount, phase.count);
+        EXPECT_LE(phase.selfNs, phase.totalNs);
+        EXPECT_EQ(phase.hist.count(), phase.timedCount);
+    }
+
+    // Stacks are sorted and self <= total per path.
+    for (std::size_t i = 1; i < report.stacks.size(); ++i)
+        EXPECT_LT(report.stacks[i - 1].stack, report.stacks[i].stack);
+    for (const StackReport& stack : report.stacks)
+        EXPECT_LE(stack.selfNs, stack.totalNs);
+
+    // Folded stacks: one "path self" line per positive-self path.
+    std::istringstream folded(foldedStacks(report));
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(folded, line)) {
+        std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+        ++lines;
+    }
+    EXPECT_GT(lines, 0u);
+
+    // The Perfetto trace and the bottleneck table mention the root.
+    std::string trace = perfettoTraceJson(report);
+    runner::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(runner::parseJson(trace, doc, &error)) << error;
+    ASSERT_NE(doc.find("traceEvents"), nullptr);
+    EXPECT_NE(trace.find("machine.run"), std::string::npos);
+    std::string table = bottleneckTable(report);
+    EXPECT_NE(table.find("machine.run"), std::string::npos);
+}
+
+TEST(Prof, JsonRoundTripsThroughProfileFromJson)
+{
+    ProfGate gate;
+    {
+        ScopedPhase run(Phase::MachineRun);
+        spin(Phase::PageWalk, 128);
+    }
+    Report report = collect();
+    runner::JsonValue doc = runner::profileToJson(report, 1000000);
+
+    const runner::JsonValue* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string(), runner::kProfileSchema);
+    EXPECT_EQ(runner::findProfile(doc), &doc);
+
+    Report parsed;
+    std::string error;
+    ASSERT_TRUE(runner::profileFromJson(doc, parsed, &error)) << error;
+    ASSERT_EQ(parsed.phases.size(), report.phases.size());
+    for (std::size_t i = 0; i < parsed.phases.size(); ++i) {
+        EXPECT_EQ(parsed.phases[i].phase, report.phases[i].phase);
+        EXPECT_EQ(parsed.phases[i].count, report.phases[i].count);
+        EXPECT_EQ(parsed.phases[i].totalNs, report.phases[i].totalNs);
+        EXPECT_EQ(parsed.phases[i].selfNs, report.phases[i].selfNs);
+    }
+    ASSERT_EQ(parsed.stacks.size(), report.stacks.size());
+    for (std::size_t i = 0; i < parsed.stacks.size(); ++i)
+        EXPECT_EQ(parsed.stacks[i].stack, report.stacks[i].stack);
+    // The regenerated folded stacks match the originals exactly — the
+    // contract prof_report --check-folded relies on.
+    EXPECT_EQ(foldedStacks(parsed), foldedStacks(report));
+}
+
+} // namespace
+} // namespace phantom::obs::prof

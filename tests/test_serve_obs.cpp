@@ -7,9 +7,12 @@
  * exposition, and the flight recorder's bounded file set.
  */
 
+#include "obs/prof.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/timeline.hpp"
 #include "runner/json.hpp"
+#include "runner/prof_json.hpp"
+#include "runner/schema.hpp"
 #include "serve/daemon.hpp"
 #include "serve/server.hpp"
 #include "sim/log.hpp"
@@ -393,6 +396,83 @@ TEST(ServeObs, HealthzCarriesUptimeAndGitDescribe)
     const JsonValue* describe = health.find("git_describe");
     ASSERT_NE(describe, nullptr);
     EXPECT_FALSE(describe->string().empty());
+    server.stop();
+}
+
+// ---- Host profiler endpoints ------------------------------------------
+
+TEST(ServeObs, ProfilezAlwaysRoutableAndSchemaTagged)
+{
+    // The endpoint exists regardless of the PHANTOM_PROF gate; with it
+    // off the embedded profile is just empty.
+    obs::prof::resetForTest();
+    obs::prof::setEnabled(false);
+    ServerOptions options;
+    options.jobs = 1;
+    Server server(options);
+    serve::Daemon daemon(server, 0);
+
+    serve::HttpResponse response =
+        roundTrip(daemon.port(), "GET", "/profilez");
+    EXPECT_EQ(response.status, 200);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(runner::parseJson(response.body, doc, &error)) << error;
+    ASSERT_NE(doc.find("schema"), nullptr);
+    EXPECT_EQ(doc.find("schema")->string(), runner::kServeProfileSchema);
+    const JsonValue* profile = runner::findProfile(doc);
+    ASSERT_NE(profile, nullptr);
+    EXPECT_FALSE(profile->find("enabled")->boolean());
+    EXPECT_TRUE(profile->find("phases")->members().empty());
+
+    // Method discipline matches the other read endpoints.
+    EXPECT_EQ(roundTrip(daemon.port(), "POST", "/profilez").status, 405);
+    daemon.stop();
+    server.stop();
+}
+
+TEST(ServeObs, ProfiledDispatchSurfacesInProfilezAndMetricsz)
+{
+    obs::prof::resetForTest();
+    obs::prof::setEnabled(true);
+    ServerOptions options;
+    options.jobs = 1;
+    Server server(options);
+
+    // With the gate off metricsz must not carry prof rows at all —
+    // that is the byte-identity contract for unprofiled daemons.
+    obs::prof::setEnabled(false);
+    EXPECT_EQ(server.metricsText().find("phantom_prof_"),
+              std::string::npos);
+    obs::prof::setEnabled(true);
+
+    EXPECT_EQ(server.run(fastSpec()).status, 200);
+
+    JsonValue doc = server.profilez();
+    const JsonValue* profile = runner::findProfile(doc);
+    ASSERT_NE(profile, nullptr);
+    obs::prof::Report report;
+    std::string error;
+    ASSERT_TRUE(runner::profileFromJson(*profile, report, &error))
+        << error;
+    bool saw_dispatch = false;
+    for (const obs::prof::PhaseReport& phase : report.phases) {
+        if (phase.phase == obs::prof::Phase::ServeDispatch) {
+            saw_dispatch = true;
+            EXPECT_GE(phase.count, 1u);
+            EXPECT_LE(phase.selfNs, phase.totalNs);
+        }
+    }
+    EXPECT_TRUE(saw_dispatch);
+
+    std::string text = server.metricsText();
+    EXPECT_NE(text.find("phantom_prof_serve_dispatch_count"),
+              std::string::npos);
+    EXPECT_NE(text.find("phantom_prof_serve_dispatch_self_ns"),
+              std::string::npos);
+
+    obs::prof::setEnabled(false);
+    obs::prof::resetForTest();
     server.stop();
 }
 

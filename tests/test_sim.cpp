@@ -166,23 +166,34 @@ TEST(Log, LinesCarryLevelAndMonotonicTimestampPrefix)
     std::ostringstream captured;
     setLogStream(&captured);
     LogLevel saved = logLevel();
-    setLogLevel(LogLevel::Warn);
+    setLogLevel(LogLevel::Info);
     logWarn("first ", 1);
     logError("second");
+    logInfo("third ", 3);
     setLogLevel(saved);
     setLogStream(nullptr);
 
     std::istringstream lines(captured.str());
-    std::string warn_line, error_line;
+    std::string warn_line, error_line, info_line;
     ASSERT_TRUE(std::getline(lines, warn_line));
     ASSERT_TRUE(std::getline(lines, error_line));
+    ASSERT_TRUE(std::getline(lines, info_line));
 
-    // `[phantom:LEVEL t=<ns>] message` — level name and a numeric
-    // monotonic timestamp, so interleaved worker output can be ordered.
+    // `[phantom:LEVEL t=<ns>] message` — the emitting call's actual
+    // level name and a numeric monotonic timestamp, so interleaved
+    // worker output can be both classified and ordered.
     std::regex warn_re(R"(\[phantom:WARN t=\d+\] first 1)");
     std::regex error_re(R"(\[phantom:ERROR t=\d+\] second)");
+    std::regex info_re(R"(\[phantom:INFO t=\d+\] third 3)");
     EXPECT_TRUE(std::regex_match(warn_line, warn_re)) << warn_line;
     EXPECT_TRUE(std::regex_match(error_line, error_re)) << error_line;
+    EXPECT_TRUE(std::regex_match(info_line, info_re)) << info_line;
+
+    // The prefix names are the public logLevelName() values.
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "ERROR");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "WARN");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "INFO");
+    EXPECT_STREQ(logLevelName(LogLevel::Trace), "TRACE");
 
     // Timestamps never run backwards across lines.
     auto ns_of = [](const std::string& line) {
@@ -190,6 +201,7 @@ TEST(Log, LinesCarryLevelAndMonotonicTimestampPrefix)
         return std::stoull(line.substr(start, line.find(']') - start));
     };
     EXPECT_LE(ns_of(warn_line), ns_of(error_line));
+    EXPECT_LE(ns_of(error_line), ns_of(info_line));
 }
 
 TEST(Log, AccessLogChannelIsRawAndIndependentlySwitched)

@@ -30,6 +30,15 @@
  *       duplicate samples, numeric values, and well-formed histograms
  *       (strictly increasing le edges, non-decreasing cumulative
  *       bucket counts, an le="+Inf" bucket agreeing with _count)
+ *   json_check --profile-schema FILE
+ *       require a host-profile section (the document itself, its
+ *       "profile" member, or a GET /profilez body): every phase name
+ *       known to the profiler, timed_count <= count, self_ns <=
+ *       total_ns per phase and per stack, the sum of phase self times
+ *       bounded by wall_ns x threads, histograms well-formed
+ *   json_check --expect-no-profile FILE
+ *       require the bench result to carry NO "profile" member — the
+ *       PHANTOM_PROF=0 byte-identity guard
  *
  * Exit codes: 0 = valid, 1 = schema/validation failure, 2 = parse or
  * I/O failure, 64 = usage error. CI consumers branch on the parse vs
@@ -38,6 +47,7 @@
  */
 
 #include "runner/json.hpp"
+#include "runner/prof_json.hpp"
 #include "runner/schema.hpp"
 
 #include <cstdio>
@@ -88,7 +98,9 @@ usage()
                  "       json_check --metrics-schema FILE\n"
                  "       json_check --equal-path PATH FILE1 FILE2\n"
                  "       json_check --trace-schema FILE\n"
-                 "       json_check --prom-schema FILE\n");
+                 "       json_check --prom-schema FILE\n"
+                 "       json_check --profile-schema FILE\n"
+                 "       json_check --expect-no-profile FILE\n");
     return kExitUsage;
 }
 
@@ -444,6 +456,136 @@ checkPromSchema(const char* path)
     return kExitOk;
 }
 
+/** u64-ish field of @p node, or report against @p what and fail. */
+bool
+profField(const char* path, const std::string& what, const JsonValue& node,
+          const char* key, double& out)
+{
+    const JsonValue* field = node.find(key);
+    if (field == nullptr) {
+        std::fprintf(stderr, "json_check: %s: %s lacks \"%s\"\n", path,
+                     what.c_str(), key);
+        return false;
+    }
+    out = field->number();
+    if (out < 0.0) {
+        std::fprintf(stderr, "json_check: %s: %s.%s is negative\n", path,
+                     what.c_str(), key);
+        return false;
+    }
+    return true;
+}
+
+int
+checkProfileSchema(const char* path, const JsonValue& doc)
+{
+    const JsonValue* profile = phantom::runner::findProfile(doc);
+    if (profile == nullptr) {
+        std::fprintf(stderr,
+                     "json_check: %s: no \"%s\" profile section\n", path,
+                     phantom::runner::kProfileSchema);
+        return kExitSchema;
+    }
+
+    double wall_ns = 0.0;
+    double threads = 0.0;
+    if (!profField(path, "profile", *profile, "wall_ns", wall_ns) ||
+        !profField(path, "profile", *profile, "threads", threads))
+        return kExitSchema;
+
+    const JsonValue* phases = profile->find("phases");
+    if (phases == nullptr || !phases->isObject()) {
+        std::fprintf(stderr,
+                     "json_check: %s: profile lacks a \"phases\" object\n",
+                     path);
+        return kExitSchema;
+    }
+    double self_sum = 0.0;
+    for (const auto& [name, phase] : phases->members()) {
+        if (phantom::obs::prof::phaseFromName(name) ==
+            phantom::obs::prof::Phase::Count) {
+            std::fprintf(stderr,
+                         "json_check: %s: unknown profile phase \"%s\"\n",
+                         path, name.c_str());
+            return kExitSchema;
+        }
+        std::string what = "phase \"" + name + "\"";
+        double count = 0.0;
+        double timed = 0.0;
+        double total = 0.0;
+        double self = 0.0;
+        if (!profField(path, what, phase, "count", count) ||
+            !profField(path, what, phase, "timed_count", timed) ||
+            !profField(path, what, phase, "total_ns", total) ||
+            !profField(path, what, phase, "self_ns", self))
+            return kExitSchema;
+        if (timed > count) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s timed_count %.0f exceeds "
+                         "count %.0f\n",
+                         path, what.c_str(), timed, count);
+            return kExitSchema;
+        }
+        if (self > total) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s self_ns %.0f exceeds "
+                         "total_ns %.0f\n",
+                         path, what.c_str(), self, total);
+            return kExitSchema;
+        }
+        if (const JsonValue* hist = phase.find("hist"))
+            if (!checkHistogram(path, name, *hist))
+                return kExitSchema;
+        self_sum += self;
+    }
+    // Raw self times are actual measured nanoseconds, so across all
+    // phases they cannot exceed the wall clock per recording thread.
+    double budget = wall_ns * (threads > 1.0 ? threads : 1.0);
+    if (self_sum > budget) {
+        std::fprintf(stderr,
+                     "json_check: %s: phase self_ns sum %.0f exceeds "
+                     "wall_ns x threads %.0f\n",
+                     path, self_sum, budget);
+        return kExitSchema;
+    }
+
+    const JsonValue* stacks = profile->find("stacks");
+    if (stacks == nullptr || !stacks->isArray()) {
+        std::fprintf(stderr,
+                     "json_check: %s: profile lacks a \"stacks\" array\n",
+                     path);
+        return kExitSchema;
+    }
+    std::size_t index = 0;
+    for (const JsonValue& stack : stacks->items()) {
+        std::string what = "stacks[" + std::to_string(index) + "]";
+        const JsonValue* name = stack.find("stack");
+        if (name == nullptr ||
+            name->kind() != JsonValue::Kind::String ||
+            name->string().empty()) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s lacks a \"stack\" string\n",
+                         path, what.c_str());
+            return kExitSchema;
+        }
+        double count = 0.0;
+        double total = 0.0;
+        double self = 0.0;
+        if (!profField(path, what, stack, "count", count) ||
+            !profField(path, what, stack, "total_ns", total) ||
+            !profField(path, what, stack, "self_ns", self))
+            return kExitSchema;
+        if (self > total) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s self_ns exceeds total_ns\n",
+                         path, what.c_str());
+            return kExitSchema;
+        }
+        ++index;
+    }
+    return kExitOk;
+}
+
 } // namespace
 
 int
@@ -552,6 +694,28 @@ main(int argc, char** argv)
 
     if (mode == "--prom-schema")
         return checkPromSchema(argv[2]);
+
+    if (mode == "--profile-schema") {
+        JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return kExitParse;
+        return checkProfileSchema(argv[2], doc);
+    }
+
+    if (mode == "--expect-no-profile") {
+        JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return kExitParse;
+        if (doc.find("profile") != nullptr) {
+            std::fprintf(stderr,
+                         "json_check: %s: unexpected \"profile\" section "
+                         "(is PHANTOM_PROF=1 leaking into a default "
+                         "run?)\n",
+                         argv[2]);
+            return kExitSchema;
+        }
+        return kExitOk;
+    }
 
     if (mode == "--equal-path") {
         if (argc != 5)

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Reporting CLI for the host-time self-profiler (src/obs/prof).
+ *
+ *   prof_report FILE
+ *       print the ranked bottleneck table (phases by estimated self
+ *       time). FILE is a bench results document with a "profile"
+ *       section, a GET /profilez body, or a bare profile document.
+ *       Exit 1 when the profile is empty — an "everything is fine"
+ *       table with no rows means the profiled run recorded nothing.
+ *   prof_report --folded FILE [OUT]
+ *       write the flamegraph.pl folded-stack lines to OUT (default
+ *       stdout): `flamegraph.pl out.folded > prof.svg`
+ *   prof_report --trace FILE [OUT]
+ *       write a Perfetto-loadable Chrome trace (merged call tree as
+ *       nested slices plus per-phase counter tracks)
+ *   prof_report --check-folded FILE FOLDED
+ *       regenerate the folded lines from FILE and require FOLDED to
+ *       match byte for byte (the prof_check round-trip)
+ *   prof_report --compare OLD NEW
+ *       per-phase delta view of estimated self time between two runs
+ *   prof_report --compare-counts A B [--ignore-prefix P]...
+ *       require both profiles to carry the same phase set with the
+ *       same exact entry counts (durations may differ) — the
+ *       merge-order-freedom check between PHANTOM_JOBS settings
+ *   prof_report --overhead-gate --base FILE... --prof FILE...
+ *               [--max-pct P] [--slack-ms M]
+ *       compare timing.wall_seconds of two unprofiled and two profiled
+ *       bench runs (min of each pair, so one scheduler hiccup cannot
+ *       fail the gate) and require the profiled minimum to stay within
+ *       P percent plus M milliseconds of the unprofiled minimum
+ *       (defaults: 5 percent, 250 ms)
+ *
+ * Exit codes: 0 = ok, 1 = validation/gate failure, 2 = parse or I/O
+ * failure, 64 = usage error — json_check's convention.
+ */
+
+#include "runner/json.hpp"
+#include "runner/prof_json.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using phantom::obs::prof::PhaseReport;
+using phantom::obs::prof::Report;
+using phantom::runner::JsonValue;
+using phantom::runner::parseJson;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitParse = 2;
+constexpr int kExitUsage = 64;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: prof_report FILE\n"
+        "       prof_report --folded FILE [OUT]\n"
+        "       prof_report --trace FILE [OUT]\n"
+        "       prof_report --check-folded FILE FOLDED\n"
+        "       prof_report --compare OLD NEW\n"
+        "       prof_report --compare-counts A B [--ignore-prefix P]...\n"
+        "       prof_report --overhead-gate --base FILE... --prof FILE...\n"
+        "                   [--max-pct P] [--slack-ms M]\n");
+    return kExitUsage;
+}
+
+bool
+loadJson(const char* path, JsonValue& out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "prof_report: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!parseJson(buffer.str(), out, &error)) {
+        std::fprintf(stderr, "prof_report: %s: %s\n", path,
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Load @p path and rebuild its profile Report. Exit-code semantics
+ *  via @p status: kExitParse for I/O, kExitFail for shape. */
+bool
+loadReport(const char* path, Report& out, int& status)
+{
+    JsonValue doc;
+    if (!loadJson(path, doc)) {
+        status = kExitParse;
+        return false;
+    }
+    const JsonValue* profile = phantom::runner::findProfile(doc);
+    if (profile == nullptr) {
+        std::fprintf(stderr,
+                     "prof_report: %s: no host-profile section (was the "
+                     "run made with PHANTOM_PROF=1?)\n",
+                     path);
+        status = kExitFail;
+        return false;
+    }
+    std::string error;
+    if (!phantom::runner::profileFromJson(*profile, out, &error)) {
+        std::fprintf(stderr, "prof_report: %s: %s\n", path,
+                     error.c_str());
+        status = kExitFail;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeOut(const char* path, const std::string& text)
+{
+    if (path == nullptr) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return true;
+    }
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "prof_report: cannot open %s\n", path);
+        return false;
+    }
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                  text.size() &&
+              std::fclose(f) == 0;
+    if (!ok)
+        std::fprintf(stderr, "prof_report: short write to %s\n", path);
+    return ok;
+}
+
+int
+cmdTable(const char* path)
+{
+    Report report;
+    int status = kExitOk;
+    if (!loadReport(path, report, status))
+        return status;
+    if (report.phases.empty()) {
+        std::fprintf(stderr, "prof_report: %s: profile has no phases\n",
+                     path);
+        return kExitFail;
+    }
+    std::fputs(phantom::obs::prof::bottleneckTable(report).c_str(),
+               stdout);
+    return kExitOk;
+}
+
+int
+cmdCompare(const char* old_path, const char* new_path)
+{
+    Report old_report;
+    Report new_report;
+    int status = kExitOk;
+    if (!loadReport(old_path, old_report, status) ||
+        !loadReport(new_path, new_report, status))
+        return status;
+
+    std::map<std::string, std::pair<double, double>> rows;
+    for (const PhaseReport& phase : old_report.phases)
+        rows[phantom::obs::prof::phaseName(phase.phase)].first =
+            phase.estimatedSelfNs();
+    for (const PhaseReport& phase : new_report.phases)
+        rows[phantom::obs::prof::phaseName(phase.phase)].second =
+            phase.estimatedSelfNs();
+
+    std::vector<std::pair<std::string, std::pair<double, double>>>
+        ranked(rows.begin(), rows.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  return std::fabs(a.second.second - a.second.first) >
+                         std::fabs(b.second.second - b.second.first);
+              });
+
+    std::printf("%-16s %12s %12s %12s %8s\n", "phase", "old_self_ms",
+                "new_self_ms", "delta_ms", "delta%");
+    for (const auto& [name, self] : ranked) {
+        double old_ms = self.first / 1e6;
+        double new_ms = self.second / 1e6;
+        double pct = self.first > 0.0
+                         ? 100.0 * (self.second - self.first) / self.first
+                         : (self.second > 0.0 ? 100.0 : 0.0);
+        std::printf("%-16s %12.3f %12.3f %+12.3f %+7.1f%%\n",
+                    name.c_str(), old_ms, new_ms, new_ms - old_ms, pct);
+    }
+    return kExitOk;
+}
+
+int
+cmdCompareCounts(const char* a_path, const char* b_path,
+                 const std::vector<std::string>& ignore_prefixes)
+{
+    Report a;
+    Report b;
+    int status = kExitOk;
+    if (!loadReport(a_path, a, status) || !loadReport(b_path, b, status))
+        return status;
+
+    auto ignored = [&](const std::string& name) {
+        for (const std::string& prefix : ignore_prefixes)
+            if (name.compare(0, prefix.size(), prefix) == 0)
+                return true;
+        return false;
+    };
+    auto countsOf = [&](const Report& report) {
+        std::map<std::string, phantom::u64> counts;
+        for (const PhaseReport& phase : report.phases) {
+            std::string name = phantom::obs::prof::phaseName(phase.phase);
+            if (!ignored(name))
+                counts[name] = phase.count;
+        }
+        return counts;
+    };
+
+    std::map<std::string, phantom::u64> ca = countsOf(a);
+    std::map<std::string, phantom::u64> cb = countsOf(b);
+    int failures = 0;
+    for (const auto& [name, count] : ca) {
+        auto it = cb.find(name);
+        if (it == cb.end()) {
+            std::fprintf(stderr,
+                         "prof_report: phase \"%s\" present in %s but "
+                         "not %s\n",
+                         name.c_str(), a_path, b_path);
+            ++failures;
+        } else if (it->second != count) {
+            std::fprintf(
+                stderr,
+                "prof_report: phase \"%s\" count %llu in %s vs %llu "
+                "in %s\n",
+                name.c_str(), static_cast<unsigned long long>(count),
+                a_path, static_cast<unsigned long long>(it->second),
+                b_path);
+            ++failures;
+        }
+    }
+    for (const auto& [name, count] : cb) {
+        (void)count;
+        if (ca.find(name) == ca.end()) {
+            std::fprintf(stderr,
+                         "prof_report: phase \"%s\" present in %s but "
+                         "not %s\n",
+                         name.c_str(), b_path, a_path);
+            ++failures;
+        }
+    }
+    if (failures == 0)
+        std::printf("prof_report: %zu phases, identical counts\n",
+                    ca.size());
+    return failures == 0 ? kExitOk : kExitFail;
+}
+
+/** timing.wall_seconds of the bench document at @p path. */
+bool
+wallSecondsOf(const char* path, double& out)
+{
+    JsonValue doc;
+    if (!loadJson(path, doc))
+        return false;
+    const JsonValue* wall = doc.findPath("timing.wall_seconds");
+    if (wall == nullptr) {
+        std::fprintf(stderr,
+                     "prof_report: %s: no timing.wall_seconds\n", path);
+        return false;
+    }
+    out = wall->number();
+    return true;
+}
+
+/** Minimum timing.wall_seconds across @p paths, or false on any
+ *  unreadable document. */
+bool
+minWallSecondsOf(const std::vector<const char*>& paths, double& out)
+{
+    out = 0.0;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        double wall;
+        if (!wallSecondsOf(paths[i], wall))
+            return false;
+        if (i == 0 || wall < out)
+            out = wall;
+    }
+    return true;
+}
+
+int
+cmdOverheadGate(const std::vector<const char*>& bases,
+                const std::vector<const char*>& profs, double max_pct,
+                double slack_ms)
+{
+    // Min over each run set: on a busy single-core host a single
+    // scheduler hiccup would otherwise dominate the comparison. The
+    // caller should interleave base and profiled runs so slow machine
+    // phases (cold caches, co-tenant load) hit both sets alike.
+    double base;
+    double prof;
+    if (!minWallSecondsOf(bases, base) || !minWallSecondsOf(profs, prof))
+        return kExitParse;
+    double overhead = prof - base;
+    double budget = base * max_pct / 100.0 + slack_ms / 1000.0;
+    std::printf("prof_report: wall base=%.3fs profiled=%.3fs "
+                "overhead=%+.3fs budget=%.3fs (%.1f%% + %.0fms)\n",
+                base, prof, overhead, budget, max_pct, slack_ms);
+    if (overhead > budget) {
+        std::fprintf(stderr,
+                     "prof_report: profiling overhead %.3fs exceeds "
+                     "budget %.3fs\n",
+                     overhead, budget);
+        return kExitFail;
+    }
+    return kExitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string mode = argv[1];
+
+    if (mode == "--folded" || mode == "--trace") {
+        if (argc != 3 && argc != 4)
+            return usage();
+        Report report;
+        int status = kExitOk;
+        if (!loadReport(argv[2], report, status))
+            return status;
+        std::string text =
+            mode == "--folded"
+                ? phantom::obs::prof::foldedStacks(report)
+                : phantom::obs::prof::perfettoTraceJson(report);
+        return writeOut(argc == 4 ? argv[3] : nullptr, text)
+                   ? kExitOk
+                   : kExitParse;
+    }
+
+    if (mode == "--check-folded") {
+        if (argc != 4)
+            return usage();
+        Report report;
+        int status = kExitOk;
+        if (!loadReport(argv[2], report, status))
+            return status;
+        std::ifstream in(argv[3]);
+        if (!in) {
+            std::fprintf(stderr, "prof_report: cannot read %s\n",
+                         argv[3]);
+            return kExitParse;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (buffer.str() != phantom::obs::prof::foldedStacks(report)) {
+            std::fprintf(stderr,
+                         "prof_report: %s does not round-trip the "
+                         "profile in %s\n",
+                         argv[3], argv[2]);
+            return kExitFail;
+        }
+        std::printf("prof_report: folded stacks round-trip\n");
+        return kExitOk;
+    }
+
+    if (mode == "--compare") {
+        if (argc != 4)
+            return usage();
+        return cmdCompare(argv[2], argv[3]);
+    }
+
+    if (mode == "--compare-counts") {
+        if (argc < 4)
+            return usage();
+        std::vector<std::string> ignore;
+        for (int i = 4; i < argc; i += 2) {
+            if (std::strcmp(argv[i], "--ignore-prefix") != 0 ||
+                i + 1 >= argc)
+                return usage();
+            ignore.push_back(argv[i + 1]);
+        }
+        return cmdCompareCounts(argv[2], argv[3], ignore);
+    }
+
+    if (mode == "--overhead-gate") {
+        double max_pct = 5.0;
+        double slack_ms = 250.0;
+        std::vector<const char*> bases;
+        std::vector<const char*> profs;
+        std::vector<const char*>* files = nullptr;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--base") == 0) {
+                files = &bases;
+            } else if (std::strcmp(argv[i], "--prof") == 0) {
+                files = &profs;
+            } else if (std::strcmp(argv[i], "--max-pct") == 0 ||
+                       std::strcmp(argv[i], "--slack-ms") == 0) {
+                if (i + 1 >= argc)
+                    return usage();
+                (argv[i][2] == 'm' ? max_pct : slack_ms) =
+                    std::atof(argv[i + 1]);
+                files = nullptr;
+                ++i;
+            } else if (files != nullptr) {
+                files->push_back(argv[i]);
+            } else {
+                return usage();
+            }
+        }
+        if (bases.empty() || profs.empty())
+            return usage();
+        return cmdOverheadGate(bases, profs, max_pct, slack_ms);
+    }
+
+    if (mode.rfind("--", 0) == 0 && mode != "--table")
+        return usage();
+    return cmdTable(mode == "--table" ? argv[2] : argv[1]);
+}
