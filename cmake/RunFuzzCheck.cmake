@@ -1,0 +1,88 @@
+# The differential-fuzz CI gate (FUZZING.md). Invoked by the
+# fuzz_check CTest as:
+#
+#   cmake -DCAMPAIGN=<fuzz_campaign exe> -DCHECKER=<json_check exe>
+#         -DCORPUS_DIR=<tests/corpus> -DOUT_DIR=<scratch dir>
+#         [-DBUDGET=10000] -P RunFuzzCheck.cmake
+#
+# Steps:
+#   1. the mass campaign: BUDGET fixed-seed programs through all four
+#      differential oracles across the default uarch matrix — any
+#      divergence (exit 1) fails the gate
+#   2. the summary JSON must satisfy the phantom-fuzz-results/v1 schema
+#   3. determinism: a smaller campaign run twice, --jobs 1 vs --jobs 2,
+#      must produce bit-identical compared subtrees (campaign, oracles,
+#      minimization, divergences) — scheduling must never leak into
+#      results
+#   4. every checked-in regression repro in CORPUS_DIR replays clean
+#
+# The campaign budget is a knob so bigger sweeps can reuse this script
+# (ctest only runs the default).
+
+if(NOT BUDGET)
+    set(BUDGET 10000)
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# -- 1. the mass campaign ---------------------------------------------
+execute_process(
+    COMMAND "${CAMPAIGN}" --budget ${BUDGET} --seed 1
+        --json "${OUT_DIR}/campaign.json"
+    RESULT_VARIABLE campaign_rv
+    OUTPUT_VARIABLE campaign_out
+    ERROR_VARIABLE campaign_err)
+message(STATUS "${campaign_out}")
+if(NOT campaign_rv EQUAL 0)
+    message(FATAL_ERROR
+        "fuzz_check: campaign of ${BUDGET} programs found divergences "
+        "or failed (rv=${campaign_rv})\n${campaign_out}\n${campaign_err}")
+endif()
+
+# -- 2. schema ---------------------------------------------------------
+execute_process(
+    COMMAND "${CHECKER}" --fuzz-schema "${OUT_DIR}/campaign.json"
+    RESULT_VARIABLE schema_rv)
+if(NOT schema_rv EQUAL 0)
+    message(FATAL_ERROR
+        "fuzz_check: campaign.json fails the phantom-fuzz-results/v1 "
+        "schema")
+endif()
+
+# -- 3. jobs invariance ------------------------------------------------
+foreach(jobs 1 2)
+    execute_process(
+        COMMAND "${CAMPAIGN}" --budget 300 --seed 1 --jobs ${jobs}
+            --json "${OUT_DIR}/jobs${jobs}.json"
+        RESULT_VARIABLE jobs_rv
+        OUTPUT_QUIET)
+    if(NOT jobs_rv EQUAL 0)
+        message(FATAL_ERROR
+            "fuzz_check: invariance campaign (--jobs ${jobs}) failed "
+            "(rv=${jobs_rv})")
+    endif()
+endforeach()
+foreach(subtree campaign oracles minimization divergences)
+    execute_process(
+        COMMAND "${CHECKER}" --equal-path ${subtree}
+            "${OUT_DIR}/jobs1.json" "${OUT_DIR}/jobs2.json"
+        RESULT_VARIABLE equal_rv)
+    if(NOT equal_rv EQUAL 0)
+        message(FATAL_ERROR
+            "fuzz_check: '${subtree}' differs between --jobs 1 and "
+            "--jobs 2 — the campaign leaked scheduling nondeterminism")
+    endif()
+endforeach()
+
+# -- 4. regression corpus ---------------------------------------------
+execute_process(
+    COMMAND "${CAMPAIGN}" --replay "${CORPUS_DIR}"
+    RESULT_VARIABLE replay_rv
+    OUTPUT_VARIABLE replay_out
+    ERROR_VARIABLE replay_err)
+message(STATUS "${replay_out}")
+if(NOT replay_rv EQUAL 0)
+    message(FATAL_ERROR
+        "fuzz_check: corpus replay regressed "
+        "(rv=${replay_rv})\n${replay_out}\n${replay_err}")
+endif()

@@ -113,9 +113,18 @@ class DecodeCache : public mem::PhysWriteListener
     void
     onPhysWrite(PAddr pa, u64 len) override
     {
-        if (!lines_.empty())
+        if (!ignoreStores_ && !lines_.empty())
             invalidateRange(pa, len);
     }
+
+    /**
+     * Test-only fault injection: drop store-driven invalidation so
+     * self-modifying code leaves stale entries behind. The fuzz
+     * minimizer tests use this to manufacture a known decode-cache
+     * divergence and prove the pinpoint→minimize→corpus pipeline
+     * catches it. Never set outside tests.
+     */
+    void setTestOnlyIgnoreStores(bool on) { ignoreStores_ = on; }
 
     /** Runtime gate; setEnabled(false) also drops all entries. Tests
      *  use this to compare cached and uncached runs in-process. */
@@ -139,6 +148,7 @@ class DecodeCache : public mem::PhysWriteListener
     DecodeCacheStats stats_;
     DecodeCacheStats* ambient_;  ///< drained into on destruction
     bool enabled_;
+    bool ignoreStores_ = false;  ///< test-only injected bug
 };
 
 /** True unless PHANTOM_DECODE_CACHE=0: gates predecode memoization. */

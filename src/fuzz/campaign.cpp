@@ -1,0 +1,236 @@
+#include "fuzz/campaign.hpp"
+
+#include "runner/scheduler.hpp"
+#include "runner/schema.hpp"
+#include "runner/seed_stream.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace phantom::fuzz {
+
+namespace {
+
+std::string
+hexSeed(u64 seed)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+/** Everything one trial produces, folded serially in trial order. */
+struct TrialOutcome
+{
+    u64 seed = 0;
+    std::string uarch;
+    u64 stmts = 0;
+    std::array<u64, kGenClassCount> classCounts{};
+    CheckReport report;
+    MinimizeResult minimized;  ///< populated when diverged && minimizing
+    bool minimizedValid = false;
+};
+
+} // namespace
+
+CampaignSummary
+runCampaign(const CampaignOptions& options)
+{
+    assert(!options.uarchMatrix.empty());
+
+    ProgramGenerator generator(options.gen);
+    runner::SeedStream seeds(options.seed);
+    runner::TrialScheduler scheduler(options.jobs);
+
+    auto outcomes = scheduler.run(options.budget, [&](u64 trial) {
+        TrialOutcome out;
+        out.seed = seeds.trialSeed(trial);
+        out.uarch =
+            options.uarchMatrix[trial % options.uarchMatrix.size()];
+
+        Program program = generator.generate(out.seed);
+        out.stmts = program.stmts.size();
+        out.classCounts = program.classCounts;
+
+        OracleOptions oracle_options = options.oracle;
+        oracle_options.uarch = out.uarch;
+        out.report = checkProgram(program, oracle_options);
+
+        if (out.report.anyDivergence() && options.minimizeDivergences) {
+            out.minimized =
+                minimize(program, out.report.firstDivergent(),
+                         oracle_options, options.minimizeOptions);
+            out.minimizedValid = true;
+        }
+        return out;
+    });
+
+    CampaignSummary summary;
+    summary.budget = options.budget;
+    summary.seed = options.seed;
+    summary.jobs = scheduler.jobs();
+    summary.uarchMatrix = options.uarchMatrix;
+
+    for (u64 trial = 0; trial < outcomes.size(); ++trial) {
+        const TrialOutcome& out = outcomes[trial];
+        summary.programs++;
+        summary.totalStmts += out.stmts;
+        for (int c = 0; c < kGenClassCount; ++c)
+            summary.classCounts[c] += out.classCounts[c];
+
+        for (int o = 0; o < kOracleCount; ++o) {
+            const OracleOutcome& verdict = out.report.outcomes[o];
+            if (!verdict.ran) {
+                summary.oracleSkipped[o]++;
+                continue;
+            }
+            summary.oracleRan[o]++;
+            if (verdict.diverged)
+                summary.oracleDiverged[o]++;
+        }
+
+        if (!out.report.anyDivergence())
+            continue;
+
+        Divergence div;
+        div.trial = trial;
+        div.seed = out.seed;
+        div.uarch = out.uarch;
+        div.oracle = out.report.firstDivergent();
+        div.detail =
+            out.report.outcomes[static_cast<int>(div.oracle)].detail;
+        if (out.minimizedValid) {
+            div.repro = out.minimized.program;
+            div.stmtsBefore = out.minimized.stmtsBefore;
+            div.stmtsAfter = out.minimized.stmtsAfter;
+            div.minimizeSteps = out.minimized.steps;
+            summary.minimizeSteps += out.minimized.steps;
+        } else {
+            div.repro = generator.generate(out.seed);
+            div.stmtsBefore = div.stmtsAfter = out.stmts;
+        }
+
+        // Corpus writes happen here, serially in trial order, so the
+        // directory contents are independent of the worker count too.
+        if (!options.corpusDir.empty()) {
+            CorpusEntry entry;
+            entry.program = div.repro;
+            entry.uarch = div.uarch;
+            entry.oracle = div.oracle;
+            entry.note = "minimized from " +
+                         std::to_string(div.stmtsBefore) + " stmts, " +
+                         "campaign seed " + hexSeed(options.seed) +
+                         " trial " + std::to_string(trial);
+            std::string name = std::string("div_") +
+                               oracleName(div.oracle) + "_" +
+                               hexSeed(div.seed).substr(2) + ".phz";
+            std::string error;
+            if (writeEntryFile(options.corpusDir + "/" + name, entry,
+                               &error)) {
+                div.corpusFile = name;
+            } else {
+                std::fprintf(stderr, "fuzz: corpus write failed: %s\n",
+                             error.c_str());
+            }
+        }
+
+        summary.divergences.push_back(std::move(div));
+    }
+    return summary;
+}
+
+std::vector<ReplayResult>
+replayCorpus(const std::vector<std::string>& paths,
+             const OracleOptions& base, unsigned jobs)
+{
+    runner::TrialScheduler scheduler(jobs);
+    return scheduler.run(paths.size(), [&](u64 trial) {
+        ReplayResult result;
+        result.path = paths[trial];
+
+        CorpusEntry entry;
+        std::string error;
+        if (!readEntryFile(result.path, entry, &error)) {
+            result.detail = error;
+            return result;
+        }
+        result.parsed = true;
+
+        OracleOptions oracle_options = base;
+        oracle_options.uarch = entry.uarch;
+        CheckReport report = checkProgram(entry.program, oracle_options);
+        if (report.anyDivergence()) {
+            Oracle first = report.firstDivergent();
+            result.detail =
+                std::string(oracleName(first)) + ": " +
+                report.outcomes[static_cast<int>(first)].detail;
+        } else {
+            result.clean = true;
+        }
+        return result;
+    });
+}
+
+runner::JsonValue
+summaryToJson(const CampaignSummary& summary)
+{
+    using runner::JsonValue;
+
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", runner::kFuzzResultSchema);
+    doc.set("jobs", static_cast<u64>(summary.jobs));
+
+    JsonValue campaign = JsonValue::object();
+    campaign.set("budget", summary.budget);
+    campaign.set("seed", hexSeed(summary.seed));
+    JsonValue matrix = JsonValue::array();
+    for (const std::string& uarch : summary.uarchMatrix)
+        matrix.push(uarch);
+    campaign.set("uarch_matrix", std::move(matrix));
+    campaign.set("programs", summary.programs);
+    campaign.set("total_stmts", summary.totalStmts);
+    JsonValue classes = JsonValue::object();
+    for (int c = 0; c < kGenClassCount; ++c)
+        classes.set(genClassName(static_cast<GenClass>(c)),
+                    summary.classCounts[c]);
+    campaign.set("classes", std::move(classes));
+    doc.set("campaign", std::move(campaign));
+
+    JsonValue oracles = JsonValue::object();
+    for (int o = 0; o < kOracleCount; ++o) {
+        JsonValue one = JsonValue::object();
+        one.set("ran", summary.oracleRan[o]);
+        one.set("skipped", summary.oracleSkipped[o]);
+        one.set("diverged", summary.oracleDiverged[o]);
+        oracles.set(oracleName(static_cast<Oracle>(o)), std::move(one));
+    }
+    doc.set("oracles", std::move(oracles));
+
+    JsonValue minimization = JsonValue::object();
+    minimization.set("divergences",
+                     static_cast<u64>(summary.divergences.size()));
+    minimization.set("steps", summary.minimizeSteps);
+    doc.set("minimization", std::move(minimization));
+
+    JsonValue divergences = JsonValue::array();
+    for (const Divergence& div : summary.divergences) {
+        JsonValue one = JsonValue::object();
+        one.set("trial", div.trial);
+        one.set("seed", hexSeed(div.seed));
+        one.set("uarch", div.uarch);
+        one.set("oracle", oracleName(div.oracle));
+        one.set("detail", div.detail);
+        one.set("stmts_before", div.stmtsBefore);
+        one.set("stmts_after", div.stmtsAfter);
+        one.set("minimize_steps", div.minimizeSteps);
+        if (!div.corpusFile.empty())
+            one.set("corpus_file", div.corpusFile);
+        divergences.push(std::move(one));
+    }
+    doc.set("divergences", std::move(divergences));
+
+    return doc;
+}
+
+} // namespace phantom::fuzz

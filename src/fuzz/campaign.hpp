@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The mass differential-fuzz campaign: budgeted trials through the
+ * runner's work-stealing TrialScheduler, each trial generating one
+ * program from its SeedStream-derived seed, checking it against all
+ * four oracles (fuzz/oracle.hpp) on a uarch striped from a
+ * configuration matrix, and — on divergence — delta-minimizing the
+ * repro (fuzz/minimize.hpp) and optionally writing it to a regression
+ * corpus (fuzz/corpus.hpp).
+ *
+ * Determinism contract: the summary depends only on (seed, budget,
+ * matrix, generator/oracle options). Trials derive seeds from the
+ * campaign seed by index, results are folded in trial order, and
+ * minimization is a pure function of the divergent program — so
+ * PHANTOM_JOBS=1 and PHANTOM_JOBS=16 produce bit-identical summary
+ * JSON (cmake/RunFuzzCheck.cmake asserts this with json_check
+ * --equal-path).
+ */
+
+#ifndef PHANTOM_FUZZ_CAMPAIGN_HPP
+#define PHANTOM_FUZZ_CAMPAIGN_HPP
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimize.hpp"
+#include "runner/json.hpp"
+
+namespace phantom::fuzz {
+
+struct CampaignOptions
+{
+    u64 budget = 1000;  ///< programs to generate and check
+    u64 seed = 1;       ///< campaign seed (PHANTOM_SEED convention)
+    unsigned jobs = 0;  ///< scheduler workers; 0 = PHANTOM_JOBS/env
+
+    GenOptions gen;
+    OracleOptions oracle;  ///< .uarch is overridden by the matrix
+
+    /** Trial i runs on uarchMatrix[i % size]: full matrix coverage
+     *  across the campaign at single-uarch per-trial cost. */
+    std::vector<std::string> uarchMatrix = {"zen1", "zen2", "zen4",
+                                            "intel13"};
+
+    bool minimizeDivergences = true;
+    MinimizeOptions minimizeOptions;
+
+    /** When non-empty, minimized repros are written here as .phz. */
+    std::string corpusDir;
+};
+
+/** One divergence, after minimization. */
+struct Divergence
+{
+    u64 trial = 0;
+    u64 seed = 0;
+    std::string uarch;
+    Oracle oracle = Oracle::kCount;
+    std::string detail;
+    u64 stmtsBefore = 0;
+    u64 stmtsAfter = 0;
+    u64 minimizeSteps = 0;
+    std::string corpusFile;  ///< basename written, "" when not written
+    Program repro;
+};
+
+struct CampaignSummary
+{
+    u64 budget = 0;
+    u64 seed = 0;
+    unsigned jobs = 0;  ///< informational; excluded from equality checks
+    std::vector<std::string> uarchMatrix;
+
+    u64 programs = 0;
+    u64 totalStmts = 0;
+    std::array<u64, kGenClassCount> classCounts{};
+
+    std::array<u64, kOracleCount> oracleRan{};
+    std::array<u64, kOracleCount> oracleSkipped{};
+    std::array<u64, kOracleCount> oracleDiverged{};
+
+    u64 minimizeSteps = 0;
+    std::vector<Divergence> divergences;
+
+    bool clean() const { return divergences.empty(); }
+};
+
+/** Run the campaign. Deterministic given options (modulo .corpusDir
+ *  side effects); parallelism never changes the summary. */
+CampaignSummary runCampaign(const CampaignOptions& options);
+
+/** One corpus file's replay verdict. */
+struct ReplayResult
+{
+    std::string path;
+    bool parsed = false;
+    bool clean = false;   ///< all oracles ran clean on the entry's uarch
+    std::string detail;   ///< parse error or first divergence pinpoint
+};
+
+/**
+ * Replay every entry in @p paths: parse, run all four oracles on the
+ * entry's recorded uarch, expect zero divergences. Corpus entries are
+ * repros of *fixed* bugs (or preventive seeds), so any divergence —
+ * or parse failure — is a regression.
+ */
+std::vector<ReplayResult> replayCorpus(
+    const std::vector<std::string>& paths, const OracleOptions& base,
+    unsigned jobs = 0);
+
+/**
+ * Serialize @p summary as a phantom-fuzz-results/v1 document. Seeds
+ * are hex strings (doubles cannot hold all u64 values); "jobs" is a
+ * top-level member so the compared subtrees (campaign, oracles,
+ * minimization, divergences) are identical across worker counts.
+ */
+runner::JsonValue summaryToJson(const CampaignSummary& summary);
+
+} // namespace phantom::fuzz
+
+#endif // PHANTOM_FUZZ_CAMPAIGN_HPP

@@ -1,0 +1,410 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace phantom::fuzz {
+
+using namespace isa;
+
+namespace {
+
+/** Which operand fields a kind serializes. `imm` doubles as the shift
+ *  amount for Shl/Shr and the byte length for NopN is separate. */
+struct FieldSpec
+{
+    bool len = false;
+    bool dst = false;
+    bool src = false;
+    bool cond = false;
+    bool disp = false;
+    bool imm = false;
+};
+
+FieldSpec
+specFor(InsnKind kind)
+{
+    switch (kind) {
+      case InsnKind::NopN:    return {.len = true};
+      case InsnKind::MovImm:  return {.dst = true, .imm = true};
+      case InsnKind::MovReg:
+      case InsnKind::Add:
+      case InsnKind::Sub:
+      case InsnKind::Xor:
+      case InsnKind::And:
+      case InsnKind::CmpReg:  return {.dst = true, .src = true};
+      case InsnKind::Load:
+      case InsnKind::Store:
+        return {.dst = true, .src = true, .disp = true};
+      case InsnKind::AddImm:
+      case InsnKind::SubImm:
+      case InsnKind::AndImm:
+      case InsnKind::CmpImm:
+      case InsnKind::Shl:
+      case InsnKind::Shr:     return {.dst = true, .imm = true};
+      case InsnKind::JmpRel:
+      case InsnKind::CallRel: return {.disp = true};
+      case InsnKind::JccRel:  return {.cond = true, .disp = true};
+      case InsnKind::JmpInd:
+      case InsnKind::CallInd:
+      case InsnKind::Push:
+      case InsnKind::Clflush: return {.src = true};
+      case InsnKind::Pop:     return {.dst = true};
+      default:                return {};
+    }
+}
+
+/** Rebuild an instruction through its isa builder (the single source of
+ *  encoded lengths and operand normalization). */
+bool
+buildInsn(InsnKind kind, u8 len, u8 dst, u8 src, Cond cond, i32 disp,
+          u64 imm, Insn& out, std::string* error)
+{
+    switch (kind) {
+      case InsnKind::Nop:     out = makeNop(); return true;
+      case InsnKind::NopN:
+        if (len < 3 || len > kMaxInsnBytes) {
+            *error = "nop_n len out of range";
+            return false;
+        }
+        out = makeNopN(len);
+        return true;
+      case InsnKind::MovImm:  out = makeMovImm(dst, imm); return true;
+      case InsnKind::MovReg:  out = makeMovReg(dst, src); return true;
+      case InsnKind::Load:    out = makeLoad(dst, src, disp); return true;
+      case InsnKind::Store:   out = makeStore(dst, disp, src); return true;
+      case InsnKind::Add:     out = makeAdd(dst, src); return true;
+      case InsnKind::AddImm:
+        out = makeAddImm(dst, static_cast<i32>(imm));
+        return true;
+      case InsnKind::Sub:     out = makeSub(dst, src); return true;
+      case InsnKind::SubImm:
+        out = makeSubImm(dst, static_cast<i32>(imm));
+        return true;
+      case InsnKind::Xor:     out = makeXor(dst, src); return true;
+      case InsnKind::And:     out = makeAnd(dst, src); return true;
+      case InsnKind::AndImm:
+        out = makeAndImm(dst, static_cast<u32>(imm));
+        return true;
+      case InsnKind::Shl:
+        out = makeShl(dst, static_cast<u8>(imm & 63));
+        return true;
+      case InsnKind::Shr:
+        out = makeShr(dst, static_cast<u8>(imm & 63));
+        return true;
+      case InsnKind::CmpImm:
+        out = makeCmpImm(dst, static_cast<i32>(imm));
+        return true;
+      case InsnKind::CmpReg:  out = makeCmpReg(dst, src); return true;
+      case InsnKind::JmpRel:  out = makeJmpRel(disp); return true;
+      case InsnKind::JccRel:  out = makeJccRel(cond, disp); return true;
+      case InsnKind::JmpInd:  out = makeJmpInd(src); return true;
+      case InsnKind::CallRel: out = makeCallRel(disp); return true;
+      case InsnKind::CallInd: out = makeCallInd(src); return true;
+      case InsnKind::Ret:     out = makeRet(); return true;
+      case InsnKind::Push:    out = makePush(src); return true;
+      case InsnKind::Pop:     out = makePop(dst); return true;
+      case InsnKind::Syscall: out = makeSyscall(); return true;
+      case InsnKind::Sysret:  out = makeSysret(); return true;
+      case InsnKind::Lfence:  out = makeLfence(); return true;
+      case InsnKind::Mfence:  out = makeMfence(); return true;
+      case InsnKind::Clflush: out = makeClflush(src); return true;
+      case InsnKind::Rdtsc:   out = makeRdtsc(); return true;
+      case InsnKind::Rdpmc:   out = makeRdpmc(); return true;
+      case InsnKind::Hlt:     out = makeHlt(); return true;
+      case InsnKind::Ud2:     out = makeUd2(); return true;
+      case InsnKind::Invalid: break;
+    }
+    *error = "unknown instruction kind";
+    return false;
+}
+
+void
+formatStmt(std::ostream& out, const Stmt& stmt)
+{
+    out << "stmt " << insnKindName(stmt.insn.kind);
+    FieldSpec spec = specFor(stmt.insn.kind);
+    if (spec.len)
+        out << " len=" << static_cast<int>(stmt.insn.length);
+    if (spec.dst)
+        out << " dst=" << regName(stmt.insn.dst);
+    if (spec.src)
+        out << " src=" << regName(stmt.insn.src);
+    if (spec.cond)
+        out << " cond=" << condName(stmt.insn.cond);
+    // Targeted statements aim at an index; the disp/imm the target
+    // resolves to is recomputed at assembly and not persisted.
+    if (stmt.target >= 0) {
+        out << " target=" << stmt.target;
+    } else {
+        if (spec.disp)
+            out << " disp=" << stmt.insn.disp;
+        if (spec.imm)
+            out << " imm=0x" << std::hex << stmt.insn.imm << std::dec;
+    }
+    out << "\n";
+}
+
+bool
+parseStmt(const std::string& line, Stmt& out, std::string* error)
+{
+    std::istringstream in(line);
+    std::string keyword;
+    std::string kind_name;
+    in >> keyword >> kind_name;
+    InsnKind kind = insnKindFromName(kind_name);
+    if (kind == InsnKind::Invalid) {
+        *error = "unknown stmt kind \"" + kind_name + "\"";
+        return false;
+    }
+
+    u8 len = 0;
+    u8 dst = 0;
+    u8 src = 0;
+    Cond cond = Cond::Eq;
+    i32 disp = 0;
+    u64 imm = 0;
+    i32 target = -1;
+
+    std::string token;
+    while (in >> token) {
+        std::size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            *error = "malformed stmt field \"" + token + "\"";
+            return false;
+        }
+        std::string key = token.substr(0, eq);
+        std::string value = token.substr(eq + 1);
+        if (key == "len") {
+            len = static_cast<u8>(std::strtoul(value.c_str(), nullptr, 0));
+        } else if (key == "dst" || key == "src") {
+            u8 reg = regFromName(value);
+            if (reg >= kNumRegs) {
+                *error = "unknown register \"" + value + "\"";
+                return false;
+            }
+            (key == "dst" ? dst : src) = reg;
+        } else if (key == "cond") {
+            if (!condFromName(value, cond)) {
+                *error = "unknown cond \"" + value + "\"";
+                return false;
+            }
+        } else if (key == "disp") {
+            disp = static_cast<i32>(std::strtol(value.c_str(), nullptr, 0));
+        } else if (key == "imm") {
+            imm = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "target") {
+            target = static_cast<i32>(std::strtol(value.c_str(), nullptr, 0));
+            if (target < 0) {
+                *error = "negative stmt target";
+                return false;
+            }
+        } else {
+            *error = "unknown stmt field \"" + key + "\"";
+            return false;
+        }
+    }
+
+    if (!buildInsn(kind, len, dst, src, cond, disp, imm, out.insn, error))
+        return false;
+    out.target = target;
+    return true;
+}
+
+} // namespace
+
+std::string
+formatEntry(const CorpusEntry& entry)
+{
+    std::ostringstream out;
+    out << kCorpusMagic << "\n";
+    out << "seed 0x" << std::hex << entry.program.seed << std::dec << "\n";
+    out << "uarch " << entry.uarch << "\n";
+    out << "oracle "
+        << (entry.oracle == Oracle::kCount ? "none"
+                                           : oracleName(entry.oracle))
+        << "\n";
+    if (!entry.note.empty())
+        out << "note " << entry.note << "\n";
+    const GenOptions& gen = entry.program.options;
+    out << "gen code_va=0x" << std::hex << gen.codeVa << " data_va=0x"
+        << gen.dataVa << " data_bytes=0x" << gen.dataBytes << std::dec
+        << "\n";
+    for (const Stmt& stmt : entry.program.stmts)
+        formatStmt(out, stmt);
+    out << "end\n";
+    return out.str();
+}
+
+bool
+parseEntry(const std::string& text, CorpusEntry& out, std::string* error)
+{
+    std::string scratch;
+    if (error == nullptr)
+        error = &scratch;
+    out = CorpusEntry{};
+
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kCorpusMagic) {
+        *error = "missing corpus magic \"" +
+                 std::string(kCorpusMagic) + "\"";
+        return false;
+    }
+
+    bool saw_end = false;
+    std::size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (saw_end) {
+            *error = "trailing content after \"end\"";
+            return false;
+        }
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "end") {
+            saw_end = true;
+        } else if (key == "seed") {
+            std::string value;
+            fields >> value;
+            out.program.seed = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "uarch") {
+            fields >> out.uarch;
+        } else if (key == "oracle") {
+            std::string value;
+            fields >> value;
+            if (value != "none") {
+                out.oracle = oracleFromName(value);
+                if (out.oracle == Oracle::kCount) {
+                    *error = "unknown oracle \"" + value + "\"";
+                    return false;
+                }
+            }
+        } else if (key == "note") {
+            out.note = line.substr(5);
+        } else if (key == "gen") {
+            std::string token;
+            while (fields >> token) {
+                std::size_t eq = token.find('=');
+                if (eq == std::string::npos)
+                    continue;
+                std::string name = token.substr(0, eq);
+                u64 value = std::strtoull(token.c_str() + eq + 1,
+                                          nullptr, 0);
+                if (name == "code_va")
+                    out.program.options.codeVa = value;
+                else if (name == "data_va")
+                    out.program.options.dataVa = value;
+                else if (name == "data_bytes")
+                    out.program.options.dataBytes = value;
+            }
+        } else if (key == "stmt") {
+            Stmt stmt;
+            if (!parseStmt(line, stmt, error)) {
+                *error += " (line " + std::to_string(lineno) + ")";
+                return false;
+            }
+            out.program.stmts.push_back(stmt);
+        } else {
+            *error = "unknown line \"" + key + "\" (line " +
+                     std::to_string(lineno) + ")";
+            return false;
+        }
+    }
+    if (!saw_end) {
+        *error = "truncated corpus entry (no \"end\")";
+        return false;
+    }
+    if (out.program.stmts.empty()) {
+        *error = "corpus entry has no statements";
+        return false;
+    }
+    // Statement targets must stay inside the program.
+    for (const Stmt& stmt : out.program.stmts) {
+        if (stmt.target >= 0 &&
+            static_cast<std::size_t>(stmt.target) >=
+                out.program.stmts.size()) {
+            *error = "stmt target out of range";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+writeEntryFile(const std::string& path, const CorpusEntry& entry,
+               std::string* error)
+{
+    std::string text = formatEntry(entry);
+
+    // Refuse to write anything that does not round-trip: a corpus file
+    // that parses differently than it was written is a useless repro.
+    CorpusEntry parsed;
+    if (!parseEntry(text, parsed, error))
+        return false;
+    if (formatEntry(parsed) != text ||
+        parsed.program.assemble() != entry.program.assemble()) {
+        if (error != nullptr)
+            *error = "corpus entry does not round-trip";
+        return false;
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error != nullptr)
+            *error = "cannot write " + path;
+        return false;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+        if (error != nullptr)
+            *error = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+readEntryFile(const std::string& path, CorpusEntry& out,
+              std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!parseEntry(buffer.str(), out, error)) {
+        if (error != nullptr)
+            *error = path + ": " + *error;
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+listCorpus(const std::string& dir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return paths;
+    for (const auto& dirent : it) {
+        if (dirent.path().extension() == ".phz")
+            paths.push_back(dirent.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace phantom::fuzz

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The .phz regression-corpus format: a reviewable, line-oriented text
+ * serialization of one fuzz program plus the context needed to replay
+ * it (microarchitecture, the oracle it once failed, a provenance note).
+ *
+ *   phantom-fuzz-corpus/v1
+ *   seed 0x2a
+ *   uarch zen2
+ *   oracle decode_cache_identity
+ *   note minimized from 37 stmts
+ *   gen code_va=0x400000 data_va=0x800000 data_bytes=0x4000
+ *   stmt mov_imm dst=r15 imm=0x2
+ *   stmt jcc_rel cond=ne target=1
+ *   stmt hlt
+ *   end
+ *
+ * Statements serialize by isa::insnKindName with only the operand
+ * fields that kind uses; `target` is a statement index (see
+ * fuzz/generator.hpp). Files are written by the campaign's minimizer
+ * and replayed forever after as ordinary CTests (tests/corpus/,
+ * cmake/RunFuzzCheck.cmake), so the format is append-only: parsers must
+ * keep accepting everything ever written.
+ */
+
+#ifndef PHANTOM_FUZZ_CORPUS_HPP
+#define PHANTOM_FUZZ_CORPUS_HPP
+
+#include "fuzz/oracle.hpp"
+
+#include <string>
+#include <vector>
+
+namespace phantom::fuzz {
+
+inline constexpr const char* kCorpusMagic = "phantom-fuzz-corpus/v1";
+
+/** One corpus file: a program plus replay context. */
+struct CorpusEntry
+{
+    Program program;
+    std::string uarch = "zen2";
+    Oracle oracle = Oracle::kCount;  ///< kCount: preventive entry
+    std::string note;
+};
+
+/** Serialize @p entry (the exact on-disk bytes). */
+std::string formatEntry(const CorpusEntry& entry);
+
+/** Parse formatEntry() output. @return false with @p error set on any
+ *  malformed line (strict: unknown kinds/registers/fields reject). */
+bool parseEntry(const std::string& text, CorpusEntry& out,
+                std::string* error);
+
+/** Write @p entry to @p path, verifying it parses back to an identical
+ *  serialization first. @return false with @p error set on failure. */
+bool writeEntryFile(const std::string& path, const CorpusEntry& entry,
+                    std::string* error);
+
+/** Read and parse one corpus file. */
+bool readEntryFile(const std::string& path, CorpusEntry& out,
+                   std::string* error);
+
+/** Sorted paths of every *.phz file under @p dir (empty when the
+ *  directory is missing — an empty corpus is not an error). */
+std::vector<std::string> listCorpus(const std::string& dir);
+
+} // namespace phantom::fuzz
+
+#endif // PHANTOM_FUZZ_CORPUS_HPP

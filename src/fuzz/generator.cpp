@@ -1,0 +1,448 @@
+#include "fuzz/generator.hpp"
+
+#include "obs/prof.hpp"
+
+#include <cassert>
+
+namespace phantom::fuzz {
+
+using namespace isa;
+
+namespace {
+
+constexpr std::array<const char*, kGenClassCount> kClassNames = {
+    "arith",        "mov_const",   "load_store",  "cond_branch",
+    "unmapped",     "self_modify", "cache_flush", "rsb_pattern",
+    "stack_ops",    "indirect",    "serialize",   "timer",
+};
+
+// Register roles. The generator reserves a few registers so multi-
+// statement patterns stay well-formed no matter what the surrounding
+// soup does: RDI anchors the data window, R15 counts loops, RBP holds
+// materialized statement addresses, R14 carries self-modify patch
+// bytes. Everything else is fair game.
+constexpr u8 kDataReg = RDI;
+constexpr u8 kLoopReg = R15;
+constexpr u8 kAddrReg = RBP;
+constexpr u8 kPatchReg = R14;
+
+bool
+reservedDst(u8 reg)
+{
+    return reg == RSP || reg == kDataReg || reg == kLoopReg;
+}
+
+} // namespace
+
+const char*
+genClassName(GenClass cls)
+{
+    auto index = static_cast<std::size_t>(cls);
+    return index < kClassNames.size() ? kClassNames[index] : "?";
+}
+
+bool
+operator==(const Stmt& a, const Stmt& b)
+{
+    return a.insn.kind == b.insn.kind && a.insn.length == b.insn.length &&
+           a.insn.dst == b.insn.dst && a.insn.src == b.insn.src &&
+           a.insn.cond == b.insn.cond && a.insn.disp == b.insn.disp &&
+           a.insn.imm == b.insn.imm && a.target == b.target;
+}
+
+std::vector<VAddr>
+Program::stmtVas() const
+{
+    std::vector<VAddr> vas;
+    vas.reserve(stmts.size());
+    u64 offset = 0;
+    for (const Stmt& stmt : stmts) {
+        vas.push_back(options.codeVa + offset);
+        offset += stmt.insn.length;
+    }
+    return vas;
+}
+
+u64
+Program::byteSize() const
+{
+    u64 bytes = 0;
+    for (const Stmt& stmt : stmts)
+        bytes += stmt.insn.length;
+    return bytes;
+}
+
+std::vector<u8>
+Program::assemble() const
+{
+    std::vector<VAddr> vas = stmtVas();
+    VAddr end = options.codeVa + byteSize();
+    std::vector<u8> out;
+    out.reserve(byteSize());
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+        Insn insn = stmts[i].insn;
+        if (stmts[i].target >= 0) {
+            std::size_t t = static_cast<std::size_t>(stmts[i].target);
+            VAddr target_va = t < vas.size() ? vas[t] : end;
+            switch (insn.kind) {
+              case InsnKind::JmpRel:
+              case InsnKind::JccRel:
+              case InsnKind::CallRel:
+                insn.disp = static_cast<i32>(
+                    static_cast<i64>(target_va) -
+                    static_cast<i64>(vas[i] + insn.length));
+                break;
+              case InsnKind::MovImm:
+                insn.imm = target_va;
+                break;
+              default:
+                break;
+            }
+        }
+        std::size_t n = encode(insn, out);
+        assert(n == insn.length);
+        (void)n;
+    }
+    return out;
+}
+
+namespace {
+
+/** Statement-emission state for one generate() call. */
+struct Emitter
+{
+    Program& p;
+    Rng& rng;
+
+    i32
+    here() const
+    {
+        return static_cast<i32>(p.stmts.size());
+    }
+
+    void
+    emit(const Insn& insn, i32 target = -1)
+    {
+        p.stmts.push_back(Stmt{insn, target});
+    }
+
+    u8
+    anyReg()
+    {
+        return static_cast<u8>(rng.below(kNumRegs));
+    }
+
+    /** A register safe to clobber. */
+    u8
+    scratchReg()
+    {
+        u8 reg = anyReg();
+        return reservedDst(reg) ? static_cast<u8>(RAX) : reg;
+    }
+
+    /** A register safe to read (never RSP). */
+    u8
+    sourceReg()
+    {
+        u8 reg = anyReg();
+        return reg == RSP ? static_cast<u8>(RBX) : reg;
+    }
+
+    i32
+    dataDisp()
+    {
+        return static_cast<i32>(rng.below(p.options.dataBytes - 8) & ~7ull);
+    }
+
+    void
+    emitArith()
+    {
+        u8 dst = scratchReg();
+        u8 src = sourceReg();
+        switch (rng.below(9)) {
+          case 0: emit(makeAdd(dst, src)); break;
+          case 1: emit(makeSub(dst, src)); break;
+          case 2: emit(makeXor(dst, src)); break;
+          case 3: emit(makeAnd(dst, src)); break;
+          case 4: emit(makeShl(dst, static_cast<u8>(rng.below(64)))); break;
+          case 5: emit(makeShr(dst, static_cast<u8>(rng.below(64)))); break;
+          case 6: emit(makeMovReg(dst, src)); break;
+          case 7:
+            emit(makeAddImm(dst, static_cast<i32>(rng.below(4096))));
+            break;
+          default: emit(makeCmpReg(dst, src)); break;
+        }
+    }
+
+    void
+    emitMovConst()
+    {
+        emit(makeMovImm(scratchReg(), rng.next()));
+    }
+
+    void
+    emitLoadStore()
+    {
+        if (rng.below(2) == 0)
+            emit(makeLoad(scratchReg(), kDataReg, dataDisp()));
+        else
+            emit(makeStore(kDataReg, dataDisp(), sourceReg()));
+    }
+
+    /** cmp; jcc over one instruction. */
+    void
+    emitForwardSkip()
+    {
+        emit(makeCmpReg(sourceReg(), sourceReg()));
+        emit(makeJccRel(static_cast<Cond>(rng.below(4)), 0), here() + 2);
+        emit(makeAddImm(scratchReg(), static_cast<i32>(rng.below(1000))));
+    }
+
+    /** Load from one page past the data window: page fault, run ends. */
+    void
+    emitUnmappedAccess()
+    {
+        emit(makeMovImm(kAddrReg, p.options.dataVa + p.options.dataBytes +
+                                      kPageBytes));
+        emit(makeLoad(scratchReg(), kAddrReg, 0));
+    }
+
+    /**
+     * Forward-patching self-modifying code: store 8 bytes of valid
+     * instruction encodings over the nop slot that executes right
+     * after. If speculation pre-decoded the slot, the store must
+     * invalidate the stale decode — the decode-cache oracle's sharpest
+     * stressor.
+     */
+    void
+    emitSelfModify()
+    {
+        std::vector<u8> patch;
+        encode(makeAddImm(RAX, static_cast<i32>(1 + rng.below(63))),
+               patch);
+        while (patch.size() < 8)
+            encode(makeNop(), patch);
+        u64 imm = 0;
+        for (int i = 7; i >= 0; --i)
+            imm = (imm << 8) | patch[static_cast<std::size_t>(i)];
+
+        emit(makeMovImm(kPatchReg, imm));
+        emit(makeMovImm(kAddrReg, 0), here() + 2);  // -> the slot
+        emit(makeStore(kAddrReg, 0, kPatchReg));
+        emit(makeNopN(8));                          // the slot
+    }
+
+    void
+    emitCacheFlush()
+    {
+        if (rng.below(2) == 0) {
+            emit(makeClflush(kDataReg));
+        } else {
+            // Flush a line of the program itself: the decode cache must
+            // drop the flushed decodes on every configuration.
+            emit(makeMovImm(kAddrReg, 0),
+                 static_cast<i32>(rng.below(p.stmts.size() + 1)));
+            emit(makeClflush(kAddrReg));
+        }
+    }
+
+    void
+    emitRsbPattern()
+    {
+        if (rng.below(2) == 0) {
+            // jmp over a function body, then call it: balanced
+            // call/ret exercises RSB push/pop and return prediction.
+            i32 jmp_at = here();
+            emit(makeJmpRel(0), 0);  // target patched below
+            i32 fn = here();
+            u32 body = 1 + static_cast<u32>(rng.below(2));
+            for (u32 i = 0; i < body; ++i)
+                emitArith();
+            emit(makeRet());
+            p.stmts[static_cast<std::size_t>(jmp_at)].target = here();
+            emit(makeCallRel(0), fn);
+        } else {
+            // push addr; ret — a return the RSB never saw pushed:
+            // underflow + execute-resolved misprediction.
+            emit(makeMovImm(kAddrReg, 0), here() + 3);
+            emit(makePush(kAddrReg));
+            emit(makeRet());
+        }
+    }
+
+    void
+    emitStackOps()
+    {
+        u8 reg = sourceReg();
+        u8 dst = scratchReg();
+        emit(makePush(reg));
+        emit(makePop(dst));
+    }
+
+    void
+    emitIndirectBranch()
+    {
+        emit(makeMovImm(kAddrReg, 0), here() + 3);
+        emit(makeJmpInd(kAddrReg));
+        emitArith();  // fetched behind the jump, never retired
+    }
+
+    void
+    emitSerialize()
+    {
+        emit(rng.below(2) == 0 ? makeLfence() : makeMfence());
+    }
+
+    void
+    emitTimer()
+    {
+        emit(rng.below(2) == 0 ? makeRdtsc() : makeRdpmc());
+    }
+
+    void
+    emitClass(GenClass cls)
+    {
+        p.classCounts[static_cast<std::size_t>(cls)]++;
+        switch (cls) {
+          case GenClass::Arith:          emitArith(); break;
+          case GenClass::MovConst:       emitMovConst(); break;
+          case GenClass::LoadStore:      emitLoadStore(); break;
+          case GenClass::CondBranch:     emitForwardSkip(); break;
+          case GenClass::UnmappedAccess: emitUnmappedAccess(); break;
+          case GenClass::SelfModify:     emitSelfModify(); break;
+          case GenClass::CacheFlush:     emitCacheFlush(); break;
+          case GenClass::RsbPattern:     emitRsbPattern(); break;
+          case GenClass::StackOps:       emitStackOps(); break;
+          case GenClass::IndirectBranch: emitIndirectBranch(); break;
+          case GenClass::Serialize:      emitSerialize(); break;
+          case GenClass::Timer:          emitTimer(); break;
+          case GenClass::kCount:         break;
+        }
+    }
+};
+
+std::vector<GenClass>
+enabledClasses(u32 mask, bool final_block)
+{
+    std::vector<GenClass> classes;
+    for (int i = 0; i < kGenClassCount; ++i) {
+        auto cls = static_cast<GenClass>(i);
+        // A fault truncates everything after it, so unmapped accesses
+        // are only worth emitting once the rest of the program has had
+        // its chance to run.
+        if (cls == GenClass::UnmappedAccess && !final_block)
+            continue;
+        if (mask & genClassBit(cls))
+            classes.push_back(cls);
+    }
+    if (classes.empty())
+        classes.push_back(GenClass::Arith);
+    return classes;
+}
+
+} // namespace
+
+Program
+ProgramGenerator::generate(u64 seed) const
+{
+    PROF_SCOPE(FuzzGenerate);
+    Program p;
+    p.seed = seed;
+    p.options = options_;
+    Rng rng(seed);
+    Emitter e{p, rng};
+
+    // Prologue: every register starts from a seed-derived value, then
+    // RDI anchors the data window (matching the reference interpreter's
+    // assumptions in tests/prop_machine.cpp).
+    for (u8 r = 0; r < kNumRegs; ++r) {
+        if (r == RSP)
+            continue;
+        e.emit(makeMovImm(r, rng.next()));
+    }
+    e.emit(makeMovImm(kDataReg, options_.dataVa));
+
+    u32 blocks =
+        options_.minBlocks +
+        static_cast<u32>(
+            rng.below(options_.maxBlocks - options_.minBlocks + 1));
+    bool loops_enabled =
+        (options_.classes & genClassBit(GenClass::CondBranch)) != 0;
+
+    for (u32 b = 0; b < blocks; ++b) {
+        bool final_block = b + 1 == blocks;
+        std::vector<GenClass> classes =
+            enabledClasses(options_.classes, final_block);
+
+        bool looped = loops_enabled && rng.below(2) == 0;
+        i32 top = 0;
+        if (looped) {
+            p.classCounts[static_cast<std::size_t>(
+                GenClass::CondBranch)]++;
+            e.emit(makeMovImm(kLoopReg, 2 + rng.below(4)));
+            top = e.here();
+        }
+
+        u32 body = options_.minBlockLen +
+                   static_cast<u32>(rng.below(
+                       options_.maxBlockLen - options_.minBlockLen + 1));
+        for (u32 i = 0; i < body; ++i)
+            e.emitClass(classes[rng.below(classes.size())]);
+
+        if (looped) {
+            e.emit(makeSubImm(kLoopReg, 1));
+            e.emit(makeJccRel(Cond::Ne, 0), top);
+        }
+    }
+
+    e.emit(makeHlt());
+    return p;
+}
+
+Insn
+ProgramGenerator::randomInsn(Rng& rng)
+{
+    u8 dst = static_cast<u8>(rng.below(kNumRegs));
+    u8 src = static_cast<u8>(rng.below(kNumRegs));
+    i32 disp = static_cast<i32>(rng.next());
+    u64 imm = rng.next();
+    auto cond = static_cast<Cond>(rng.below(4));
+    switch (rng.below(34)) {
+      case 0:  return makeNop();
+      case 1:  return makeNopN(static_cast<u8>(3 + rng.below(13)));
+      case 2:  return makeMovImm(dst, imm);
+      case 3:  return makeMovReg(dst, src);
+      case 4:  return makeLoad(dst, src, disp);
+      case 5:  return makeStore(dst, disp, src);
+      case 6:  return makeAdd(dst, src);
+      case 7:  return makeAddImm(dst, static_cast<i32>(imm));
+      case 8:  return makeSub(dst, src);
+      case 9:  return makeSubImm(dst, static_cast<i32>(imm));
+      case 10: return makeXor(dst, src);
+      case 11: return makeAnd(dst, src);
+      case 12: return makeAndImm(dst, static_cast<u32>(imm));
+      case 13: return makeShl(dst, static_cast<u8>(rng.below(64)));
+      case 14: return makeShr(dst, static_cast<u8>(rng.below(64)));
+      case 15: return makeCmpImm(dst, static_cast<i32>(imm));
+      case 16: return makeCmpReg(dst, src);
+      case 17: return makeJmpRel(disp);
+      case 18: return makeJccRel(cond, disp);
+      case 19: return makeJmpInd(src);
+      case 20: return makeCallRel(disp);
+      case 21: return makeCallInd(src);
+      case 22: return makeRet();
+      case 23: return makePush(src);
+      case 24: return makePop(dst);
+      case 25: return makeSyscall();
+      case 26: return makeSysret();
+      case 27: return makeLfence();
+      case 28: return makeMfence();
+      case 29: return makeClflush(src);
+      case 30: return makeRdtsc();
+      case 31: return makeRdpmc();
+      case 32: return makeHlt();
+      default: return makeUd2();
+    }
+}
+
+} // namespace phantom::fuzz

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Seeded, constrained random guest-program generation.
+ *
+ * Programs are generated as a list of statements (fuzz::Stmt), not
+ * bytes: a statement is one isa::Insn plus an optional *statement-index*
+ * target. Branches target statements, and MovImm statements can
+ * materialize the virtual address of a statement into a register (for
+ * indirect jumps, push/ret pitchforks, clflush-of-code and
+ * self-modifying stores). Because every instruction kind has a fixed
+ * encoded length, statement addresses are a prefix sum — assemble()
+ * resolves targets to displacements/immediates and emits bytes in one
+ * pass. The same property is what makes delta-minimization sound:
+ * dropping a statement just renumbers targets and re-assembles
+ * (fuzz/minimize.hpp).
+ *
+ * Generation is stratified over instruction *classes* (GenClass): every
+ * enabled class gets equal pick probability, so rare-but-interesting
+ * shapes (self-modifying stores, RSB underflows, unmapped accesses)
+ * appear at a rate independent of how many arithmetic opcodes exist.
+ * The class set is a caller-controlled mask; property tests that check
+ * the machine against a dumb reference interpreter restrict it to
+ * kReferenceSafeClasses (tests/prop_machine.cpp).
+ */
+
+#ifndef PHANTOM_FUZZ_GENERATOR_HPP
+#define PHANTOM_FUZZ_GENERATOR_HPP
+
+#include "isa/encoder.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace phantom::fuzz {
+
+/** Generator instruction classes (stratification buckets). */
+enum class GenClass : u8 {
+    Arith = 0,       ///< reg-reg/imm ALU ops, mov, cmp
+    MovConst,        ///< mov reg, imm64
+    LoadStore,       ///< 8-byte loads/stores inside the data window
+    CondBranch,      ///< bounded countdown loops + forward skips
+    UnmappedAccess,  ///< load from an unmapped page (faults, ends run)
+    SelfModify,      ///< store that patches an upcoming nop slot
+    CacheFlush,      ///< clflush of data or of program code
+    RsbPattern,      ///< call/ret pairs and push-addr/ret underflows
+    StackOps,        ///< balanced push/pop pairs
+    IndirectBranch,  ///< mov reg, addr-of-stmt; jmp*reg
+    Serialize,       ///< lfence / mfence
+    Timer,           ///< rdtsc / rdpmc
+    kCount,
+};
+
+inline constexpr int kGenClassCount = static_cast<int>(GenClass::kCount);
+
+/** Stable lower_snake name of @p cls ("self_modify", ...). */
+const char* genClassName(GenClass cls);
+
+constexpr u32
+genClassBit(GenClass cls)
+{
+    return 1u << static_cast<int>(cls);
+}
+
+/** Every class. */
+inline constexpr u32 kAllClasses = (1u << kGenClassCount) - 1;
+
+/** Classes a speculation-free reference interpreter can execute
+ *  (straight-line ALU + in-window memory + bounded branches). */
+inline constexpr u32 kReferenceSafeClasses =
+    genClassBit(GenClass::Arith) | genClassBit(GenClass::MovConst) |
+    genClassBit(GenClass::LoadStore) | genClassBit(GenClass::CondBranch);
+
+/** Program shape knobs. */
+struct GenOptions
+{
+    VAddr codeVa = 0x0000000000400000ull;
+    VAddr dataVa = 0x0000000000800000ull;
+    u64 dataBytes = 4 * kPageBytes;
+    u32 classes = kAllClasses;  ///< GenClass mask
+    u32 minBlocks = 2;          ///< sequential blocks per program
+    u32 maxBlocks = 5;
+    u32 minBlockLen = 2;        ///< patterns per block body
+    u32 maxBlockLen = 8;
+};
+
+/** One statement: an instruction, optionally aimed at another one. */
+struct Stmt
+{
+    isa::Insn insn;
+
+    /**
+     * Statement index this one refers to, or -1. For PC-relative
+     * branches the displacement is computed from it at assembly; for
+     * MovImm the target statement's virtual address becomes the
+     * immediate. Indices at or past the end resolve to the end-of-code
+     * address.
+     */
+    i32 target = -1;
+};
+
+/** A generated (or minimized, or corpus-loaded) guest program. */
+struct Program
+{
+    u64 seed = 0;
+    GenOptions options;
+    std::vector<Stmt> stmts;
+    std::array<u64, kGenClassCount> classCounts{};  ///< generator tally
+
+    /** Virtual address of each statement (prefix sum of lengths). */
+    std::vector<VAddr> stmtVas() const;
+
+    /** Encoded size in bytes. */
+    u64 byteSize() const;
+
+    /** Resolve targets and encode; size() == byteSize(). */
+    std::vector<u8> assemble() const;
+};
+
+/** Two programs with identical statements/layout. */
+bool operator==(const Stmt& a, const Stmt& b);
+
+/**
+ * The seeded program source. One instance is reusable across seeds;
+ * generate() is const and thread-safe (campaign trials share one).
+ */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(GenOptions options = {})
+        : options_(options)
+    {
+    }
+
+    const GenOptions& options() const { return options_; }
+
+    /** Deterministic: same seed, same program. */
+    Program generate(u64 seed) const;
+
+    /**
+     * One random, well-formed instruction drawn uniformly over every
+     * encodable kind (operands randomized through the isa builders).
+     * The decoder round-trip property tests draw from this instead of
+     * keeping their own encoding tables (tests/prop_isa_fuzz.cpp).
+     */
+    static isa::Insn randomInsn(Rng& rng);
+
+  private:
+    GenOptions options_;
+};
+
+} // namespace phantom::fuzz
+
+#endif // PHANTOM_FUZZ_GENERATOR_HPP

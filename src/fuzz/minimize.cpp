@@ -1,0 +1,105 @@
+#include "fuzz/minimize.hpp"
+
+#include "obs/prof.hpp"
+
+namespace phantom::fuzz {
+
+namespace {
+
+/** Candidate operand simplifications of one statement, cheapest-to-try
+ *  first. Returns modified copies; the caller validates each. */
+std::vector<Stmt>
+shrinkCandidates(const Stmt& stmt)
+{
+    std::vector<Stmt> candidates;
+    auto push = [&](auto&& mutate) {
+        Stmt candidate = stmt;
+        mutate(candidate);
+        if (!(candidate == stmt))
+            candidates.push_back(candidate);
+    };
+    if (stmt.target < 0 && stmt.insn.imm != 0)
+        push([](Stmt& s) { s.insn.imm = 0; });
+    if (stmt.target < 0 && stmt.insn.imm > 1)
+        push([](Stmt& s) { s.insn.imm = 1; });
+    if (stmt.insn.disp != 0 && !stmt.insn.isBranch())
+        push([](Stmt& s) { s.insn.disp = 0; });
+    if (stmt.insn.dst != isa::RAX)
+        push([](Stmt& s) { s.insn.dst = isa::RAX; });
+    if (stmt.insn.src != isa::RAX)
+        push([](Stmt& s) { s.insn.src = isa::RAX; });
+    return candidates;
+}
+
+} // namespace
+
+Program
+dropStmt(const Program& program, std::size_t index)
+{
+    Program reduced = program;
+    reduced.stmts.erase(reduced.stmts.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+    i32 last = static_cast<i32>(reduced.stmts.size()) - 1;
+    for (Stmt& stmt : reduced.stmts) {
+        if (stmt.target < 0)
+            continue;
+        if (stmt.target > static_cast<i32>(index))
+            stmt.target--;
+        if (stmt.target > last)
+            stmt.target = last;
+    }
+    return reduced;
+}
+
+MinimizeResult
+minimize(const Program& program, Oracle oracle,
+         const OracleOptions& options,
+         const MinimizeOptions& minimize_options)
+{
+    PROF_SCOPE(FuzzMinimize);
+    MinimizeResult result;
+    result.oracle = oracle;
+    result.stmtsBefore = program.stmts.size();
+    result.program = program;
+
+    auto diverges = [&](const Program& candidate) {
+        result.steps++;
+        return runOracle(candidate, oracle, options).diverged;
+    };
+
+    for (u32 round = 0; round < minimize_options.maxRounds; ++round) {
+        bool changed = false;
+
+        // Drop pass, back to front so indices stay valid as we shrink.
+        for (std::size_t i = result.program.stmts.size(); i-- > 0;) {
+            if (result.program.stmts.size() <= 1)
+                break;
+            Program candidate = dropStmt(result.program, i);
+            if (diverges(candidate)) {
+                result.program = std::move(candidate);
+                changed = true;
+            }
+        }
+
+        // Operand-shrink pass over the survivors.
+        for (std::size_t i = 0; i < result.program.stmts.size(); ++i) {
+            for (const Stmt& shrunk :
+                 shrinkCandidates(result.program.stmts[i])) {
+                Program candidate = result.program;
+                candidate.stmts[i] = shrunk;
+                if (diverges(candidate)) {
+                    result.program = std::move(candidate);
+                    changed = true;
+                }
+            }
+        }
+
+        if (!changed)
+            break;
+    }
+
+    result.stmtsAfter = result.program.stmts.size();
+    return result;
+}
+
+} // namespace phantom::fuzz

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Delta-minimization of divergent programs.
+ *
+ * Given a program that fails one oracle, shrink it while re-validating
+ * the divergence after every candidate edit (a candidate that no longer
+ * diverges is discarded). Two alternating passes run to fixpoint:
+ *
+ *  - instruction drop: remove one statement at a time (statement-index
+ *    targets renumber and the program re-assembles, so branches keep
+ *    landing on statement boundaries — see fuzz/generator.hpp);
+ *  - operand shrink: per statement, try canonical operand
+ *    simplifications (immediate → 0/1, displacement → 0, registers →
+ *    RAX) so the surviving repro reads as plainly as possible.
+ *
+ * The result is a small, deterministic repro suitable for the
+ * regression corpus (fuzz/corpus.hpp). Minimization cost is bounded:
+ * each pass is O(statements) oracle evaluations and the pass pair
+ * repeats at most maxRounds times.
+ */
+
+#ifndef PHANTOM_FUZZ_MINIMIZE_HPP
+#define PHANTOM_FUZZ_MINIMIZE_HPP
+
+#include "fuzz/oracle.hpp"
+
+namespace phantom::fuzz {
+
+struct MinimizeOptions
+{
+    u32 maxRounds = 8;  ///< drop+shrink pass pairs before giving up
+};
+
+struct MinimizeResult
+{
+    Program program;     ///< the reduced repro (still diverges)
+    Oracle oracle = Oracle::kCount;
+    u64 stmtsBefore = 0;
+    u64 stmtsAfter = 0;
+    u64 steps = 0;       ///< oracle evaluations spent minimizing
+};
+
+/**
+ * Drop one statement and renumber targets. Targets pointing at the
+ * dropped statement move to its successor; targets past the end clamp
+ * to the last statement. Exposed for the minimizer tests.
+ */
+Program dropStmt(const Program& program, std::size_t index);
+
+/**
+ * Reduce @p program to a minimal repro of @p oracle's divergence.
+ * @p program must already diverge on @p oracle under @p options.
+ */
+MinimizeResult minimize(const Program& program, Oracle oracle,
+                        const OracleOptions& options,
+                        const MinimizeOptions& minimize_options = {});
+
+} // namespace phantom::fuzz
+
+#endif // PHANTOM_FUZZ_MINIMIZE_HPP

@@ -1,0 +1,320 @@
+#include "fuzz/oracle.hpp"
+
+#include "attack/testbed.hpp"
+#include "cpu/msr.hpp"
+#include "obs/prof.hpp"
+#include "snap/image.hpp"
+#include "snap/replay.hpp"
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace phantom::fuzz {
+
+namespace {
+
+constexpr std::array<const char*, kOracleCount> kOracleNames = {
+    "decode_cache_identity",
+    "snapshot_roundtrip",
+    "replay_drift",
+    "mitigation_monotonic",
+};
+
+/**
+ * One booted system kept warm for reuse. Kernel boot costs ~10ms of
+ * page-table construction — two orders of magnitude more than running a
+ * fuzz program — so each worker thread boots each (uarch, variant)
+ * once, captures the pristine post-boot state, and every harness
+ * restores it (O(dirty pages), the serve daemon's warm-fork idiom)
+ * instead of re-booting. The pristine boot seed is fixed, so pooled
+ * runs are identical whichever worker executes them — the
+ * jobs-invariance the campaign summary is checked for.
+ */
+struct PooledBed
+{
+    /** Keeps a noise-free config copy alive for the machine. */
+    std::unique_ptr<cpu::MicroarchConfig> quietConfig;
+    std::unique_ptr<attack::Testbed> bed;
+    snap::MachineState pristine;
+};
+
+PooledBed&
+pooledBed(const cpu::MicroarchConfig& config,
+          const OracleOptions& options, bool quiet)
+{
+    thread_local std::map<std::string, PooledBed> pool;
+    std::string key = options.uarch + "/" +
+                      std::to_string(options.physBytes) +
+                      (quiet ? "/quiet" : "");
+    auto it = pool.find(key);
+    if (it == pool.end()) {
+        PooledBed entry;
+        const cpu::MicroarchConfig* use = &config;
+        if (quiet) {
+            entry.quietConfig =
+                std::make_unique<cpu::MicroarchConfig>(config);
+            entry.quietConfig->noise = mem::NoiseConfig{};
+            use = entry.quietConfig.get();
+        }
+        entry.bed = std::make_unique<attack::Testbed>(
+            *use, options.physBytes, /*seed=*/1);
+        entry.pristine =
+            snap::capture(entry.bed->machine, &entry.bed->kernel);
+        it = pool.emplace(key, std::move(entry)).first;
+    }
+    return it->second;
+}
+
+/** A borrowed pooled system, reset to pristine, with the program
+ *  mapped (code RWX so self-modifying stores are architecturally
+ *  legal). Restore flushes the decode cache and page table, so no
+ *  state survives from the previous borrower. */
+struct Harness
+{
+    attack::Testbed& bed;
+    VAddr entry;
+
+    Harness(PooledBed& pooled, const Program& program,
+            const std::vector<u8>& bytes, const OracleOptions& options)
+        : bed(*pooled.bed), entry(program.options.codeVa)
+    {
+        snap::restore(bed.machine, pooled.pristine);
+        bed.kernel.setLayoutState(pooled.pristine.layout);
+        bed.machine.decodeCache().setEnabled(true);
+        bed.machine.decodeCache().setTestOnlyIgnoreStores(
+            options.decodeCacheBug);
+        bed.process.mapCode(program.options.codeVa, bytes,
+                            /*writable=*/true);
+        bed.process.mapData(program.options.dataVa,
+                            program.options.dataBytes);
+    }
+
+    ~Harness()
+    {
+        // Leave no test-only hooks armed for the next borrower.
+        bed.machine.decodeCache().setTestOnlyIgnoreStores(false);
+        bed.machine.decodeCache().setEnabled(true);
+    }
+
+    cpu::RunResult
+    run(u64 max_insns)
+    {
+        return bed.runUser(entry, max_insns);
+    }
+};
+
+std::string
+componentDiff(const snap::MachineState& a, const snap::MachineState& b)
+{
+    std::vector<snap::ComponentDigest> da = snap::componentDigests(a);
+    std::vector<snap::ComponentDigest> db = snap::componentDigests(b);
+    std::ostringstream oss;
+    const char* sep = "";
+    for (std::size_t i = 0; i < da.size() && i < db.size(); ++i) {
+        if (da[i].digest != db[i].digest) {
+            oss << sep << da[i].name;
+            sep = ",";
+        }
+    }
+    return oss.str();
+}
+
+OracleOutcome
+decodeCacheIdentity(const Program& program,
+                    const cpu::MicroarchConfig& config,
+                    const OracleOptions& options)
+{
+    OracleOutcome out;
+    out.ran = true;
+    std::vector<u8> bytes = program.assemble();
+    PooledBed& pooled = pooledBed(config, options, /*quiet=*/false);
+
+    // The two sides borrow the same pooled system back to back; the
+    // captured states share frames copy-on-write, so sa stays intact
+    // while the second run dirties the machine.
+    snap::MachineState sa;
+    {
+        Harness cached(pooled, program, bytes, options);
+        cached.bed.machine.decodeCache().setEnabled(true);
+        cached.run(options.maxInsns);
+        sa = snap::capture(cached.bed.machine, &cached.bed.kernel);
+    }
+    snap::MachineState sb;
+    {
+        Harness uncached(pooled, program, bytes, options);
+        uncached.bed.machine.decodeCache().setEnabled(false);
+        uncached.run(options.maxInsns);
+        sb = snap::capture(uncached.bed.machine, &uncached.bed.kernel);
+    }
+    // Both captures descend from the same pooled pristine snapshot, so
+    // the COW-aware equality costs O(pages the program dirtied).
+    if (!snap::statesEqual(sa, sb)) {
+        out.diverged = true;
+        out.detail = "decode-cache on/off final states differ "
+                     "(components: " + componentDiff(sa, sb) + ")";
+    }
+    return out;
+}
+
+/** Shared by oracles (b) and (c): run to the capture point. */
+snap::MachineState
+midRunState(const Program& program, const cpu::MicroarchConfig& config,
+            const OracleOptions& options)
+{
+    std::vector<u8> bytes = program.assemble();
+    Harness harness(pooledBed(config, options, /*quiet=*/false),
+                    program, bytes, options);
+    harness.run(options.captureAfter);
+    return snap::capture(harness.bed.machine, &harness.bed.kernel);
+}
+
+OracleOutcome
+snapshotRoundTrip(const Program& program,
+                  const cpu::MicroarchConfig& config,
+                  const OracleOptions& options)
+{
+    OracleOutcome out;
+    out.ran = true;
+    snap::MachineState state = midRunState(program, config, options);
+    std::string error = snap::roundTripError(state);
+    if (!error.empty()) {
+        out.diverged = true;
+        out.detail = error;
+    }
+    return out;
+}
+
+OracleOutcome
+replayDrift(const Program& program, const cpu::MicroarchConfig& config,
+            const OracleOptions& options)
+{
+    OracleOutcome out;
+    out.ran = true;
+    snap::MachineState state = midRunState(program, config, options);
+    snap::ReplayOptions replay;
+    replay.maxInsns = options.replayInsns;
+    replay.windowInsns = options.replayWindow;
+    snap::DivergenceReport report =
+        snap::checkDivergence(state, config, replay);
+    if (report.diverged) {
+        out.diverged = true;
+        out.detail = report.summary();
+    }
+    return out;
+}
+
+OracleOutcome
+mitigationMonotonic(const Program& program,
+                    const cpu::MicroarchConfig& config,
+                    const OracleOptions& options)
+{
+    OracleOutcome out;
+    if (!config.supportsSuppressBpOnNonBr)
+        return out;  // no knob on this microarchitecture: skipped
+    out.ran = true;
+
+    // Noise off (the pooled "quiet" variant): episode counts must be
+    // compared point-for-point, and the suppression bit legitimately
+    // changes cycle timing, which would otherwise decorrelate the two
+    // noise streams.
+    std::vector<u8> bytes = program.assemble();
+    PooledBed& pooled = pooledBed(config, options, /*quiet=*/true);
+
+    auto phantoms = [&](bool suppress) {
+        Harness harness(pooled, program, bytes, options);
+        if (suppress)
+            harness.bed.machine.msrs().setBit(
+                cpu::msr::kDeCfg2, cpu::msr::kSuppressBpOnNonBrBit,
+                true);
+        harness.run(options.maxInsns);
+        return harness.bed.machine.pmc().read(
+            cpu::PmcEvent::MispredictFrontend);
+    };
+
+    u64 baseline = phantoms(false);
+    u64 suppressed = phantoms(true);
+    if (suppressed > baseline) {
+        out.diverged = true;
+        std::ostringstream oss;
+        oss << "SuppressBPOnNonBr added phantom episodes: " << baseline
+            << " without, " << suppressed << " with";
+        out.detail = oss.str();
+    }
+    return out;
+}
+
+} // namespace
+
+const char*
+oracleName(Oracle oracle)
+{
+    auto index = static_cast<std::size_t>(oracle);
+    return index < kOracleNames.size() ? kOracleNames[index] : "?";
+}
+
+Oracle
+oracleFromName(const std::string& name)
+{
+    for (int i = 0; i < kOracleCount; ++i)
+        if (name == kOracleNames[static_cast<std::size_t>(i)])
+            return static_cast<Oracle>(i);
+    return Oracle::kCount;
+}
+
+bool
+CheckReport::anyDivergence() const
+{
+    for (const OracleOutcome& outcome : outcomes)
+        if (outcome.diverged)
+            return true;
+    return false;
+}
+
+Oracle
+CheckReport::firstDivergent() const
+{
+    for (int i = 0; i < kOracleCount; ++i)
+        if (outcomes[static_cast<std::size_t>(i)].diverged)
+            return static_cast<Oracle>(i);
+    return Oracle::kCount;
+}
+
+OracleOutcome
+runOracle(const Program& program, Oracle oracle,
+          const OracleOptions& options)
+{
+    PROF_SCOPE(FuzzOracle);
+    const cpu::MicroarchConfig* config =
+        snap::resolveConfig(options.uarch);
+    if (config == nullptr) {
+        OracleOutcome out;
+        out.detail = "unknown uarch \"" + options.uarch + "\"";
+        return out;
+    }
+    switch (oracle) {
+      case Oracle::DecodeCacheIdentity:
+        return decodeCacheIdentity(program, *config, options);
+      case Oracle::SnapshotRoundTrip:
+        return snapshotRoundTrip(program, *config, options);
+      case Oracle::ReplayDrift:
+        return replayDrift(program, *config, options);
+      case Oracle::MitigationMonotonic:
+        return mitigationMonotonic(program, *config, options);
+      case Oracle::kCount:
+        break;
+    }
+    return {};
+}
+
+CheckReport
+checkProgram(const Program& program, const OracleOptions& options)
+{
+    CheckReport report;
+    for (int i = 0; i < kOracleCount; ++i)
+        report.outcomes[static_cast<std::size_t>(i)] =
+            runOracle(program, static_cast<Oracle>(i), options);
+    return report;
+}
+
+} // namespace phantom::fuzz

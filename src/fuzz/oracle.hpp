@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Differential oracles over generated guest programs.
+ *
+ * Each oracle runs one fuzz::Program under a controlled pair of
+ * configurations and checks an invariant the simulator guarantees by
+ * construction (SPECULOSE-style differential validation — the paper's
+ * correctness surface):
+ *
+ *  (a) DecodeCacheIdentity — running with the decode cache enabled and
+ *      disabled must produce bit-identical final MachineStates; the
+ *      cache is derived state (src/cpu/decode_cache.hpp).
+ *  (b) SnapshotRoundTrip — a state captured mid-run must survive
+ *      serialize→load→serialize bit-identically (snap::roundTripError).
+ *  (c) ReplayDrift — two machines forked from the mid-run state and
+ *      replayed in lockstep must never diverge (snap::checkDivergence,
+ *      which also pinpoints the first divergent instruction when they
+ *      do).
+ *  (d) MitigationMonotonic — enabling SuppressBPOnNonBr never *adds*
+ *      phantom episodes (PmcEvent::MispredictFrontend), on
+ *      microarchitectures that support the knob; elsewhere the oracle
+ *      reports ran=false and the campaign counts it skipped.
+ *
+ * All four are deterministic: a divergence reproduces from (program,
+ * uarch) alone, which is what makes delta-minimization and checked-in
+ * regression corpora possible.
+ */
+
+#ifndef PHANTOM_FUZZ_ORACLE_HPP
+#define PHANTOM_FUZZ_ORACLE_HPP
+
+#include "fuzz/generator.hpp"
+
+#include <array>
+#include <string>
+
+namespace phantom::fuzz {
+
+enum class Oracle : u8 {
+    DecodeCacheIdentity = 0,
+    SnapshotRoundTrip,
+    ReplayDrift,
+    MitigationMonotonic,
+    kCount,
+};
+
+inline constexpr int kOracleCount = static_cast<int>(Oracle::kCount);
+
+/** Stable name ("decode_cache_identity", ...), the JSON/corpus key. */
+const char* oracleName(Oracle oracle);
+
+/** Oracle named @p name, or Oracle::kCount when unknown. */
+Oracle oracleFromName(const std::string& name);
+
+/** Execution parameters shared by all oracles. */
+struct OracleOptions
+{
+    std::string uarch = "zen2";
+    u64 physBytes = 1ull << 28;  ///< small install: cheap kernel boot
+    u64 maxInsns = 40000;        ///< per-run instruction budget
+    u64 captureAfter = 48;       ///< insns before the mid-run capture
+    u64 replayInsns = 512;       ///< lockstep replay budget (oracle c)
+    u64 replayWindow = 64;       ///< replay digest-window size
+    bool decodeCacheBug = false; ///< test-only injected invalidation bug
+};
+
+/** One oracle's verdict on one program. */
+struct OracleOutcome
+{
+    bool ran = false;       ///< false: skipped (e.g. no mitigation knob)
+    bool diverged = false;
+    std::string detail;     ///< human-readable pinpoint when diverged
+};
+
+/** All four verdicts. */
+struct CheckReport
+{
+    std::array<OracleOutcome, kOracleCount> outcomes;
+
+    bool anyDivergence() const;
+
+    /** First divergent oracle, or Oracle::kCount when clean. */
+    Oracle firstDivergent() const;
+};
+
+/** Run a single oracle (the minimizer's re-validation predicate). */
+OracleOutcome runOracle(const Program& program, Oracle oracle,
+                        const OracleOptions& options);
+
+/** Run all four oracles on @p program. */
+CheckReport checkProgram(const Program& program,
+                         const OracleOptions& options);
+
+} // namespace phantom::fuzz
+
+#endif // PHANTOM_FUZZ_ORACLE_HPP

@@ -43,7 +43,48 @@ regName(u8 reg)
     return reg < names.size() ? names[reg] : "r?";
 }
 
+u8
+regFromName(const std::string& name)
+{
+    for (u8 r = 0; r < kNumRegs; ++r)
+        if (name == regName(r))
+            return r;
+    return kNumRegs;
+}
+
 namespace {
+
+/** Indexed by InsnKind. Append-only: corpus files depend on these. */
+constexpr std::array<const char*, 35> kKindNames = {
+    "nop",      "nop_n",    "mov_imm",  "mov_reg",  "load",
+    "store",    "add",      "add_imm",  "sub",      "sub_imm",
+    "xor",      "and",      "and_imm",  "shl",      "shr",
+    "cmp_imm",  "cmp_reg",  "jmp_rel",  "jcc_rel",  "jmp_ind",
+    "call_rel", "call_ind", "ret",      "push",     "pop",
+    "syscall",  "sysret",   "lfence",   "mfence",   "clflush",
+    "rdtsc",    "rdpmc",    "hlt",      "ud2",      "invalid",
+};
+
+static_assert(kKindNames.size() ==
+              static_cast<std::size_t>(InsnKind::Invalid) + 1);
+
+} // namespace
+
+const char*
+insnKindName(InsnKind kind)
+{
+    auto index = static_cast<std::size_t>(kind);
+    return index < kKindNames.size() ? kKindNames[index] : "invalid";
+}
+
+InsnKind
+insnKindFromName(const std::string& name)
+{
+    for (std::size_t i = 0; i < kKindNames.size(); ++i)
+        if (name == kKindNames[i])
+            return static_cast<InsnKind>(i);
+    return InsnKind::Invalid;
+}
 
 const char*
 condName(Cond cond)
@@ -57,7 +98,17 @@ condName(Cond cond)
     return "?";
 }
 
-} // namespace
+bool
+condFromName(const std::string& name, Cond& out)
+{
+    for (Cond cond : {Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge}) {
+        if (name == condName(cond)) {
+            out = cond;
+            return true;
+        }
+    }
+    return false;
+}
 
 std::string
 toString(const Insn& insn)

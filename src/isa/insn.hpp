@@ -114,6 +114,25 @@ struct Insn
 /** Human-readable register name. */
 const char* regName(u8 reg);
 
+/** Register named @p name ("rax".."r15"); kNumRegs when unknown. */
+u8 regFromName(const std::string& name);
+
+/**
+ * Stable lower_snake identifier of @p kind ("mov_imm", "jcc_rel", ...).
+ * These names are an external format (the fuzz corpus files serialize
+ * instructions by kind name), so they never change for existing kinds.
+ */
+const char* insnKindName(InsnKind kind);
+
+/** Kind named @p name, or InsnKind::Invalid when unknown. */
+InsnKind insnKindFromName(const std::string& name);
+
+/** Condition-code suffix of @p cond ("e", "ne", "b", "ae"). */
+const char* condName(Cond cond);
+
+/** Parse a condName() suffix. @return false when unknown. */
+bool condFromName(const std::string& name, Cond& out);
+
 /** Human-readable mnemonic with operands. */
 std::string toString(const Insn& insn);
 

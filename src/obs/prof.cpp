@@ -40,6 +40,9 @@ constexpr std::array<PhaseInfo, kPhaseCount> kPhases = {{
     {"snap.restore", 0},
     {"snap.fork", 0},
     {"serve.dispatch", 0},
+    {"fuzz.generate", 0},
+    {"fuzz.oracle", 0},
+    {"fuzz.minimize", 0},
 }};
 
 constexpr u32 kNoParent = 0xffffffffu;

@@ -65,6 +65,9 @@ enum class Phase : u8 {
     SnapRestore,     ///< snap::restore
     SnapFork,        ///< snap::fork (nests a SnapRestore)
     ServeDispatch,   ///< serve::Server per-request experiment dispatch
+    FuzzGenerate,    ///< fuzz::ProgramGenerator::generate
+    FuzzOracle,      ///< fuzz::checkProgram differential oracles
+    FuzzMinimize,    ///< fuzz::minimize delta-reduction loop
     Count,
 };
 

@@ -18,14 +18,14 @@ Process::Process(Kernel& kernel, cpu::Machine& machine)
 }
 
 void
-Process::mapCode(VAddr va, const std::vector<u8>& code)
+Process::mapCode(VAddr va, const std::vector<u8>& code, bool writable)
 {
     VAddr page = alignDown(va, kPageBytes);
     u64 span = alignUp(va + code.size(), kPageBytes) - page;
     PAddr pa = kernel_.allocFrames(span);
     mem::PageFlags flags;
     flags.present = true;
-    flags.writable = false;
+    flags.writable = writable;
     flags.user = true;
     flags.executable = true;
     for (u64 off = 0; off < span; off += kPageBytes)

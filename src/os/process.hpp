@@ -19,8 +19,14 @@ class Process
     /** Creates the process stack and points the machine's RSP at it. */
     Process(Kernel& kernel, cpu::Machine& machine);
 
-    /** Map @p code user-RX at exactly @p va (page-aligned start). */
-    void mapCode(VAddr va, const std::vector<u8>& code);
+    /**
+     * Map @p code user-executable at exactly @p va (page-aligned
+     * start). RX by default; @p writable maps it RWX for guests that
+     * rewrite their own instructions (the fuzz harness's self-modifying
+     * programs patch code with ordinary stores).
+     */
+    void mapCode(VAddr va, const std::vector<u8>& code,
+                 bool writable = false);
 
     /** Map @p bytes of user-RW/NX memory at @p va. @return backing PA. */
     PAddr mapData(VAddr va, u64 bytes);

@@ -34,6 +34,10 @@ inline constexpr const char* kServeProfileSchema =
  *  under kServeProfileSchema). */
 inline constexpr const char* kProfileSchema = "phantom-host-profile/v1";
 
+/** Schema of a differential-fuzz campaign summary (tools/fuzz_campaign,
+ *  validated by json_check --fuzz-schema). */
+inline constexpr const char* kFuzzResultSchema = "phantom-fuzz-results/v1";
+
 } // namespace phantom::runner
 
 #endif // PHANTOM_RUNNER_SCHEMA_HPP

@@ -886,4 +886,58 @@ stateDigest(const MachineState& state)
     return total.value();
 }
 
+bool
+statesEqual(const MachineState& a, const MachineState& b)
+{
+    // Frames first: they are megabytes where every other section is
+    // kilobytes, and states captured from a common snapshot share
+    // untouched frames by pointer, so the common case is a pointer
+    // compare per page with memcmp only on genuinely diverged copies.
+    if (a.frames.size() != b.frames.size())
+        return false;
+    for (const auto& [frame_no, frame_a] : a.frames) {
+        auto it = b.frames.find(frame_no);
+        if (it == b.frames.end())
+            return false;
+        const auto& frame_b = it->second;
+        if (frame_a == frame_b)
+            continue;
+        if (std::memcmp(frame_a->data(), frame_b->data(),
+                        kPageBytes) != 0)
+            return false;
+    }
+    if (a.uarch != b.uarch || a.installedBytes != b.installedBytes)
+        return false;
+    for (SectionId id : kSectionOrder) {
+        if (id == SectionId::Frames)
+            continue;
+        if (encodeSection(a, id) != encodeSection(b, id))
+            return false;
+    }
+    return true;
+}
+
+std::string
+roundTripError(const MachineState& state)
+{
+    std::vector<u8> first = serialize(state);
+    LoadResult loaded = load(first);
+    if (!loaded.ok)
+        return "load rejected its own serialization: " + loaded.error;
+    std::vector<u8> second = serialize(loaded.state);
+    if (first == second)
+        return "";
+
+    // Name the first component whose bytes changed across the trip.
+    std::vector<ComponentDigest> before = componentDigests(state);
+    std::vector<ComponentDigest> after = componentDigests(loaded.state);
+    for (std::size_t i = 0; i < before.size() && i < after.size(); ++i) {
+        if (before[i].digest != after[i].digest)
+            return "serialize∘load∘serialize not bit-identical: "
+                   "component \"" + before[i].name + "\" changed";
+    }
+    return "serialize∘load∘serialize not bit-identical "
+           "(image framing differs, components agree)";
+}
+
 } // namespace phantom::snap

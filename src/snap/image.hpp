@@ -33,7 +33,7 @@ namespace phantom::snap {
 
 inline constexpr char kImageMagic[8] = {'P', 'H', 'A', 'N',
                                         'S', 'N', 'A', 'P'};
-inline constexpr u32 kImageVersion = 1;
+inline constexpr u32 kImageVersion = 2;
 
 /** Section identifiers (stable on-disk values). */
 enum class SectionId : u32 {
@@ -104,6 +104,15 @@ struct InspectResult
 /** Parse header + section table and verify digests without decoding
  *  payloads (tolerates payload-level decode problems load() would not). */
 InspectResult inspect(const std::vector<u8>& bytes);
+
+/**
+ * Mid-run round-trip check: serialize @p state, load it back, serialize
+ * again and require bit-identity (the PHANSNAP sorted-key guarantee).
+ * @return "" on success, else a diagnostic naming the failing step or
+ * the first component whose digest changed across the trip. This is the
+ * snapshot oracle of the differential fuzz campaign (FUZZING.md).
+ */
+std::string roundTripError(const MachineState& state);
 
 } // namespace phantom::snap
 

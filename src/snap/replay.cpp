@@ -30,7 +30,7 @@ pinpoint(const MachineState& checkpoint, const cpu::MicroarchConfig& config,
     for (u64 step = 0; step <= window; ++step) {
         MachineState sa = capture(*a.machine);
         MachineState sb = capture(*b.machine);
-        if (stateDigest(sa) != stateDigest(sb)) {
+        if (!statesEqual(sa, sb)) {
             report.divergentInsn = base_insn + step;
             report.divergentCycleA = sa.scalars.cycles;
             report.divergentCycleB = sb.scalars.cycles;
@@ -97,9 +97,11 @@ checkDivergence(const MachineState& state, const cpu::MicroarchConfig& config,
         done += std::max(ra.instructions, rb.instructions);
         ++report.windowsCompared;
 
+        // Exact COW-aware equality: both forks descend from the same
+        // snapshot, so agreeing windows compare in O(dirty pages).
         MachineState sa = capture(*a.machine);
         MachineState sb = capture(*b.machine);
-        if (stateDigest(sa) != stateDigest(sb)) {
+        if (!statesEqual(sa, sb)) {
             report.diverged = true;
             report.divergentWindow = window_index;
             pinpoint(checkpoint, config, done > window ? done - window : 0,

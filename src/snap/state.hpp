@@ -111,6 +111,15 @@ std::vector<ComponentDigest> componentDigests(const MachineState& state);
 /** Digest over every component (the image's total digest). */
 u64 stateDigest(const MachineState& state);
 
+/**
+ * Exact deep equality of two states. Copy-on-write aware: frames the
+ * two states share by pointer (captures descending from one common
+ * snapshot) compare in O(1) each, so checking two forks of the same
+ * machine costs O(dirty pages) — far cheaper than comparing digests or
+ * serializations, and collision-free.
+ */
+bool statesEqual(const MachineState& a, const MachineState& b);
+
 /** Approximate in-memory footprint of @p state in bytes (metrics). */
 u64 stateBytes(const MachineState& state);
 

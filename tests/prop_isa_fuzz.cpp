@@ -5,6 +5,7 @@
  * round-trips through the encoder for valid instructions.
  */
 
+#include "fuzz/generator.hpp"
 #include "isa/assembler.hpp"
 #include "isa/encoder.hpp"
 #include "sim/rng.hpp"
@@ -60,32 +61,22 @@ TEST_P(DecoderFuzz, ByteWiseScanTerminates)
 
 TEST_P(DecoderFuzz, ValidEncodingsRoundTripAtEveryRegister)
 {
+    // Instructions come from the shared seeded source
+    // (fuzz::ProgramGenerator::randomInsn) — every encodable kind with
+    // randomized operands — instead of a local sample table.
     Rng rng(GetParam() * 17 + 3);
-    for (int trial = 0; trial < 500; ++trial) {
-        u8 dst = static_cast<u8>(rng.below(kNumRegs));
-        u8 src = static_cast<u8>(rng.below(kNumRegs));
-        i32 disp = static_cast<i32>(rng.next());
-        u64 imm = rng.next();
-
-        std::vector<Insn> samples = {
-            makeMovImm(dst, imm),
-            makeLoad(dst, src, disp),
-            makeStore(dst, disp, src),
-            makeAddImm(dst, static_cast<i32>(imm)),
-            makeJccRel(static_cast<Cond>(rng.below(4)),
-                       static_cast<i32>(imm)),
-            makeShl(dst, static_cast<u8>(rng.below(64))),
-        };
-        for (const Insn& insn : samples) {
-            std::vector<u8> bytes;
-            encode(insn, bytes);
-            Insn back = decode(bytes.data(), bytes.size());
-            ASSERT_EQ(back.kind, insn.kind);
-            ASSERT_EQ(back.length, insn.length);
-            ASSERT_EQ(back.dst, insn.dst);
-            ASSERT_EQ(back.src, insn.src);
-            ASSERT_EQ(back.disp, insn.disp);
-        }
+    for (int trial = 0; trial < 3000; ++trial) {
+        Insn insn = fuzz::ProgramGenerator::randomInsn(rng);
+        std::vector<u8> bytes;
+        encode(insn, bytes);
+        Insn back = decode(bytes.data(), bytes.size());
+        ASSERT_EQ(back.kind, insn.kind);
+        ASSERT_EQ(back.length, insn.length);
+        ASSERT_EQ(back.dst, insn.dst);
+        ASSERT_EQ(back.src, insn.src);
+        ASSERT_EQ(back.cond, insn.cond);
+        ASSERT_EQ(back.disp, insn.disp);
+        ASSERT_EQ(back.imm, insn.imm);
     }
 }
 

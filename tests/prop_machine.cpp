@@ -12,6 +12,7 @@
  */
 
 #include "attack/testbed.hpp"
+#include "fuzz/generator.hpp"
 #include "isa/assembler.hpp"
 #include "sim/rng.hpp"
 
@@ -146,74 +147,17 @@ struct Reference
     }
 };
 
-/** Generate a random but well-formed program: arithmetic, loads/stores
- *  into the data window, and bounded loops. Ends with hlt. */
+/** The shared seeded program source (fuzz::ProgramGenerator),
+ *  restricted to the classes the Reference interpreter executes. */
 std::vector<u8>
 randomProgram(u64 seed)
 {
-    Rng rng(seed);
-    Assembler code(kCodeVa);
-
-    // Seed registers with random values; keep RSP/RDI as data pointers.
-    for (u8 r = 0; r < kNumRegs; ++r) {
-        if (r == RSP)
-            continue;
-        code.movImm(r, rng.next());
-    }
-    code.movImm(RDI, kDataVa);
-
-    u32 blocks = 3 + static_cast<u32>(rng.below(4));
-    for (u32 b = 0; b < blocks; ++b) {
-        // A bounded countdown loop with a random body.
-        u8 counter = RCX;
-        code.movImm(counter, 2 + rng.below(6));
-        Label loop = code.newLabel();
-        code.bind(loop);
-        u32 body = 2 + static_cast<u32>(rng.below(6));
-        for (u32 i = 0; i < body; ++i) {
-            u8 dst = static_cast<u8>(rng.below(kNumRegs));
-            u8 src = static_cast<u8>(rng.below(kNumRegs));
-            if (dst == RSP || dst == counter || dst == RDI)
-                dst = RAX;
-            if (src == RSP)
-                src = RBX;
-            switch (rng.below(9)) {
-              case 0: code.add(dst, src); break;
-              case 1: code.sub(dst, src); break;
-              case 2: code.xorReg(dst, src); break;
-              case 3: code.andReg(dst, src); break;
-              case 4: code.shl(dst, static_cast<u8>(rng.below(8))); break;
-              case 5: code.shr(dst, static_cast<u8>(rng.below(8))); break;
-              case 6: {
-                // Load from a random in-window offset.
-                i32 disp = static_cast<i32>(
-                    rng.below(kDataBytes - 8) & ~7ull);
-                code.load(dst, RDI, disp);
-                break;
-              }
-              case 7: {
-                i32 disp = static_cast<i32>(
-                    rng.below(kDataBytes - 8) & ~7ull);
-                code.store(RDI, disp, src);
-                break;
-              }
-              default: {
-                // Forward conditional skip over one instruction.
-                code.cmpReg(dst, src);
-                Label skip = code.newLabel();
-                code.jcc(static_cast<Cond>(rng.below(4)), skip);
-                code.addImm(dst, static_cast<i32>(rng.below(1000)));
-                code.bind(skip);
-                break;
-              }
-            }
-        }
-        code.subImm(counter, 1);
-        code.cmpImm(counter, 0);
-        code.jcc(Cond::Ne, loop);
-    }
-    code.hlt();
-    return code.finish();
+    fuzz::GenOptions options;
+    options.codeVa = kCodeVa;
+    options.dataVa = kDataVa;
+    options.dataBytes = kDataBytes;
+    options.classes = fuzz::kReferenceSafeClasses;
+    return fuzz::ProgramGenerator(options).generate(seed).assemble();
 }
 
 class ArchEquivalence : public ::testing::TestWithParam<u64>

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * The differential-fuzz subsystem's own tests (FUZZING.md):
+ *
+ *  - generator determinism, class stratification and mask restriction;
+ *  - statement-target assembly and dropStmt renumbering;
+ *  - .phz corpus format round-trip and strict-parser rejection;
+ *  - all four oracles clean on ordinary generated programs;
+ *  - the injected-bug pipeline: a deliberately skipped decode-cache
+ *    invalidation (cpu::DecodeCache test hook) must be caught by the
+ *    decode-cache oracle, delta-minimized to a tiny repro, written to a
+ *    corpus file, and reproduced from that file by the replayer;
+ *  - campaign summaries bit-identical across worker counts.
+ */
+
+#include "fuzz/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+namespace phantom::fuzz {
+namespace {
+
+TEST(FuzzGenerator, DeterministicAndSeedSensitive)
+{
+    ProgramGenerator gen;
+    Program a = gen.generate(42);
+    Program b = gen.generate(42);
+    ASSERT_EQ(a.stmts.size(), b.stmts.size());
+    for (std::size_t i = 0; i < a.stmts.size(); ++i)
+        EXPECT_TRUE(a.stmts[i] == b.stmts[i]) << "stmt " << i;
+    EXPECT_EQ(a.classCounts, b.classCounts);
+    EXPECT_EQ(a.assemble(), b.assemble());
+
+    Program c = gen.generate(43);
+    EXPECT_NE(a.assemble(), c.assemble());
+}
+
+TEST(FuzzGenerator, StratifiesEveryClass)
+{
+    // Equal pick probability per enabled class: across a few dozen
+    // seeds every class must appear, including the rare shapes.
+    ProgramGenerator gen;
+    std::array<u64, kGenClassCount> totals{};
+    for (u64 seed = 1; seed <= 40; ++seed) {
+        Program p = gen.generate(seed);
+        for (int c = 0; c < kGenClassCount; ++c)
+            totals[static_cast<std::size_t>(c)] +=
+                p.classCounts[static_cast<std::size_t>(c)];
+    }
+    for (int c = 0; c < kGenClassCount; ++c)
+        EXPECT_GT(totals[static_cast<std::size_t>(c)], 0u)
+            << genClassName(static_cast<GenClass>(c));
+}
+
+TEST(FuzzGenerator, ReferenceSafeMaskRestrictsKinds)
+{
+    using isa::InsnKind;
+    const std::set<InsnKind> allowed = {
+        InsnKind::MovImm, InsnKind::MovReg, InsnKind::Add,
+        InsnKind::AddImm, InsnKind::Sub,    InsnKind::SubImm,
+        InsnKind::Xor,    InsnKind::And,    InsnKind::Shl,
+        InsnKind::Shr,    InsnKind::CmpReg, InsnKind::CmpImm,
+        InsnKind::Load,   InsnKind::Store,  InsnKind::JccRel,
+        InsnKind::Nop,    InsnKind::NopN,   InsnKind::Hlt,
+    };
+    GenOptions options;
+    options.classes = kReferenceSafeClasses;
+    ProgramGenerator gen(options);
+    for (u64 seed = 1; seed <= 20; ++seed) {
+        Program p = gen.generate(seed);
+        for (const Stmt& stmt : p.stmts)
+            ASSERT_TRUE(allowed.count(stmt.insn.kind))
+                << "seed " << seed << ": "
+                << isa::toString(stmt.insn);
+    }
+}
+
+TEST(FuzzGenerator, AssembleResolvesStatementTargets)
+{
+    ProgramGenerator gen;
+    for (u64 seed = 1; seed <= 20; ++seed) {
+        Program p = gen.generate(seed);
+        std::vector<u8> bytes = p.assemble();
+        ASSERT_EQ(bytes.size(), p.byteSize());
+
+        std::vector<VAddr> vas = p.stmtVas();
+        VAddr end = p.options.codeVa + p.byteSize();
+        for (std::size_t i = 0; i < p.stmts.size(); ++i) {
+            i32 target = p.stmts[i].target;
+            if (target < 0)
+                continue;
+            VAddr expect = static_cast<std::size_t>(target) < vas.size()
+                               ? vas[static_cast<std::size_t>(target)]
+                               : end;
+            // Decode the emitted instruction and re-derive where it
+            // points: branch displacements and materialized addresses
+            // must land exactly on the target statement.
+            std::size_t off = vas[i] - p.options.codeVa;
+            isa::Insn insn =
+                isa::decode(bytes.data() + off, bytes.size() - off);
+            switch (insn.kind) {
+              case isa::InsnKind::JmpRel:
+              case isa::InsnKind::JccRel:
+              case isa::InsnKind::CallRel:
+                EXPECT_EQ(insn.relTarget(vas[i]), expect)
+                    << "seed " << seed << " stmt " << i;
+                break;
+              case isa::InsnKind::MovImm:
+                EXPECT_EQ(insn.imm, expect)
+                    << "seed " << seed << " stmt " << i;
+                break;
+              default:
+                FAIL() << "unexpected targeted kind at stmt " << i;
+            }
+        }
+    }
+}
+
+TEST(FuzzMinimize, DropStmtRenumbersTargets)
+{
+    Program p;
+    p.stmts = {
+        Stmt{isa::makeNop(), -1},
+        Stmt{isa::makeJccRel(isa::Cond::Ne, 0), 3},   // past the drop
+        Stmt{isa::makeNop(), -1},                      // dropped
+        Stmt{isa::makeJmpRel(0), 2},                   // at the drop
+        Stmt{isa::makeMovImm(isa::RBP, 0), 99},        // clamps to last
+        Stmt{isa::makeHlt(), -1},
+    };
+    Program d = dropStmt(p, 2);
+    ASSERT_EQ(d.stmts.size(), 5u);
+    EXPECT_EQ(d.stmts[1].target, 2);  // 3 shifted down
+    EXPECT_EQ(d.stmts[2].target, 2);  // pointed at dropped: successor
+    EXPECT_EQ(d.stmts[3].target, 4);  // out of range clamps to last
+}
+
+TEST(FuzzCorpus, FormatParseRoundTrip)
+{
+    ProgramGenerator gen;
+    for (u64 seed = 1; seed <= 10; ++seed) {
+        CorpusEntry entry;
+        entry.program = gen.generate(seed);
+        entry.uarch = "zen4";
+        entry.oracle = Oracle::DecodeCacheIdentity;
+        entry.note = "round-trip test";
+
+        std::string text = formatEntry(entry);
+        CorpusEntry back;
+        std::string error;
+        ASSERT_TRUE(parseEntry(text, back, &error)) << error;
+        EXPECT_EQ(formatEntry(back), text);
+        ASSERT_EQ(back.program.stmts.size(), entry.program.stmts.size());
+        EXPECT_EQ(back.program.assemble(), entry.program.assemble());
+        EXPECT_EQ(back.uarch, entry.uarch);
+        EXPECT_EQ(back.oracle, entry.oracle);
+        EXPECT_EQ(back.note, entry.note);
+    }
+}
+
+TEST(FuzzCorpus, StrictParserRejectsMalformed)
+{
+    CorpusEntry out;
+    std::string error;
+    // Bad magic.
+    EXPECT_FALSE(parseEntry("nonsense\nend\n", out, &error));
+    // No statements.
+    EXPECT_FALSE(parseEntry(std::string(kCorpusMagic) +
+                                "\nseed 0x1\nuarch zen2\noracle none\n"
+                                "gen code_va=0x400000 data_va=0x800000 "
+                                "data_bytes=0x4000\nend\n",
+                            out, &error));
+    // Unknown statement kind.
+    EXPECT_FALSE(parseEntry(std::string(kCorpusMagic) +
+                                "\nseed 0x1\nuarch zen2\noracle none\n"
+                                "gen code_va=0x400000 data_va=0x800000 "
+                                "data_bytes=0x4000\nstmt frobnicate\n"
+                                "end\n",
+                            out, &error));
+    // Missing end marker.
+    EXPECT_FALSE(parseEntry(std::string(kCorpusMagic) +
+                                "\nseed 0x1\nuarch zen2\noracle none\n"
+                                "gen code_va=0x400000 data_va=0x800000 "
+                                "data_bytes=0x4000\nstmt hlt\n",
+                            out, &error));
+}
+
+TEST(FuzzOracles, CleanOnGeneratedPrograms)
+{
+    ProgramGenerator gen;
+    OracleOptions options;
+    for (u64 seed = 1; seed <= 4; ++seed) {
+        CheckReport report = checkProgram(gen.generate(seed), options);
+        for (int o = 0; o < kOracleCount; ++o)
+            EXPECT_FALSE(report.outcomes[static_cast<std::size_t>(o)]
+                             .diverged)
+                << "seed " << seed << " oracle "
+                << oracleName(static_cast<Oracle>(o)) << ": "
+                << report.outcomes[static_cast<std::size_t>(o)].detail;
+    }
+}
+
+/** Temp directory that cleans up after the test. */
+struct TempDir
+{
+    std::filesystem::path path;
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("phantom_fuzz_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + std::to_string(reinterpret_cast<uintptr_t>(this)));
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(FuzzInjectedBug, PinpointMinimizeCorpusReplay)
+{
+    // The end-to-end satellite: arm the test-only decode-cache defect
+    // (stores no longer invalidate cached decodes), let the oracle
+    // catch it, minimize, write the repro, replay it from disk.
+    ProgramGenerator gen;
+    OracleOptions buggy;
+    buggy.decodeCacheBug = true;
+
+    u64 divergent_seed = 0;
+    Program program;
+    for (u64 seed = 1; seed <= 40 && divergent_seed == 0; ++seed) {
+        Program candidate = gen.generate(seed);
+        if (runOracle(candidate, Oracle::DecodeCacheIdentity, buggy)
+                .diverged) {
+            divergent_seed = seed;
+            program = candidate;
+        }
+    }
+    ASSERT_NE(divergent_seed, 0u)
+        << "no seed exposes the injected decode-cache bug";
+
+    // Without the defect the same program must be clean — the
+    // divergence is the injected bug, not the program.
+    EXPECT_FALSE(
+        runOracle(program, Oracle::DecodeCacheIdentity, OracleOptions{})
+            .diverged);
+
+    MinimizeResult minimized =
+        minimize(program, Oracle::DecodeCacheIdentity, buggy);
+    EXPECT_LE(minimized.stmtsAfter, 8u)
+        << "repro did not minimize below 8 instructions";
+    EXPECT_LT(minimized.stmtsAfter, minimized.stmtsBefore);
+    EXPECT_TRUE(
+        runOracle(minimized.program, Oracle::DecodeCacheIdentity, buggy)
+            .diverged);
+
+    // Corpus round trip: write, list, replay. Replaying with the bug
+    // armed reproduces the divergence; replaying on the fixed machine
+    // is clean (what the checked-in corpus asserts forever after).
+    TempDir dir;
+    CorpusEntry entry;
+    entry.program = minimized.program;
+    entry.uarch = buggy.uarch;
+    entry.oracle = Oracle::DecodeCacheIdentity;
+    entry.note = "injected decode-cache bug repro";
+    std::string path = (dir.path / "repro.phz").string();
+    std::string error;
+    ASSERT_TRUE(writeEntryFile(path, entry, &error)) << error;
+
+    std::vector<std::string> listed = listCorpus(dir.path.string());
+    ASSERT_EQ(listed.size(), 1u);
+
+    std::vector<ReplayResult> broken =
+        replayCorpus(listed, buggy, /*jobs=*/1);
+    ASSERT_EQ(broken.size(), 1u);
+    EXPECT_TRUE(broken[0].parsed);
+    EXPECT_FALSE(broken[0].clean) << "repro lost the divergence";
+
+    std::vector<ReplayResult> fixed =
+        replayCorpus(listed, OracleOptions{}, /*jobs=*/1);
+    ASSERT_EQ(fixed.size(), 1u);
+    EXPECT_TRUE(fixed[0].clean) << fixed[0].detail;
+}
+
+TEST(FuzzCampaign, SummaryInvariantAcrossJobs)
+{
+    CampaignOptions options;
+    options.budget = 8;
+    options.seed = 11;
+    options.uarchMatrix = {"zen2", "zen4"};
+
+    options.jobs = 1;
+    CampaignSummary s1 = runCampaign(options);
+    options.jobs = 2;
+    CampaignSummary s2 = runCampaign(options);
+
+    EXPECT_EQ(s1.programs, options.budget);
+    runner::JsonValue j1 = summaryToJson(s1);
+    runner::JsonValue j2 = summaryToJson(s2);
+    // "jobs" is the one member documented to differ.
+    j1.set("jobs", 0);
+    j2.set("jobs", 0);
+    EXPECT_EQ(j1.dump(), j2.dump());
+}
+
+TEST(FuzzCampaign, DivergencesAreMinimizedAndRecorded)
+{
+    TempDir dir;
+    CampaignOptions options;
+    options.budget = 6;
+    options.seed = 3;
+    options.uarchMatrix = {"zen2"};
+    options.oracle.decodeCacheBug = true;
+    options.corpusDir = dir.path.string();
+
+    CampaignSummary summary = runCampaign(options);
+    ASSERT_FALSE(summary.clean())
+        << "campaign missed the injected bug";
+    for (const Divergence& div : summary.divergences) {
+        EXPECT_EQ(div.oracle, Oracle::DecodeCacheIdentity);
+        EXPECT_LE(div.stmtsAfter, 8u);
+        EXPECT_FALSE(div.corpusFile.empty());
+        CorpusEntry entry;
+        std::string error;
+        ASSERT_TRUE(readEntryFile(
+            (dir.path / div.corpusFile).string(), entry, &error))
+            << error;
+        EXPECT_EQ(entry.program.stmts.size(), div.stmtsAfter);
+    }
+    // The summary counts agree with the divergence list.
+    u64 diverged = 0;
+    for (int o = 0; o < kOracleCount; ++o)
+        diverged += summary.oracleDiverged[static_cast<std::size_t>(o)];
+    EXPECT_EQ(diverged, summary.divergences.size());
+}
+
+} // namespace
+} // namespace phantom::fuzz

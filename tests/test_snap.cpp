@@ -175,6 +175,35 @@ TEST(SnapState, RestoredMachineFinishesIdentically)
     EXPECT_EQ(stateDigest(end_b), stateDigest(end_a));
 }
 
+TEST(SnapState, StatesEqualIsExactAndCowAware)
+{
+    Warmed warmed;
+    MachineState a = warmed.capture();
+    MachineState b = warmed.capture();
+    // Two captures of an untouched machine share every frame by
+    // pointer and must compare equal.
+    EXPECT_TRUE(statesEqual(a, b));
+
+    // A one-register perturbation must be visible...
+    warmed.bed.machine.regs().write(RAX,
+                                    warmed.bed.machine.regs().read(RAX) ^
+                                        1);
+    MachineState c = warmed.capture();
+    EXPECT_FALSE(statesEqual(a, c));
+
+    // ...and so must a single flipped byte in one frame, even though
+    // the digest-free frame compare takes the memcmp path only for the
+    // unshared page.
+    MachineState d = warmed.capture();
+    auto frame = d.frames.begin();
+    frame->second =
+        std::make_shared<mem::PhysicalMemory::Frame>(*frame->second);
+    (*frame->second)[0] ^= 1;
+    EXPECT_FALSE(statesEqual(c, d));
+    (*frame->second)[0] ^= 1;
+    EXPECT_TRUE(statesEqual(c, d));
+}
+
 TEST(SnapState, ForkIsCopyOnWrite)
 {
     Warmed warmed;

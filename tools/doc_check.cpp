@@ -1,12 +1,13 @@
 /**
  * @file
- * Staleness checker for the seven top-level documents, run as the
+ * Staleness checker for the eight top-level documents, run as the
  * `doc_check` CTest.
  *
  *   doc_check REPO_ROOT
  *
  * Scans README.md, DESIGN.md, EXPERIMENTS.md, OBSERVABILITY.md,
- * ARCHITECTURE.md, SERVING.md and CHANGES.md and requires that
+ * ARCHITECTURE.md, SERVING.md, FUZZING.md and CHANGES.md and requires
+ * that
  * everything they point at still exists in the tree:
  *
  *   - markdown links `[text](path)` — the relative path must exist
@@ -46,7 +47,7 @@ constexpr int kExitUsage = 64;
 const char* const kDocs[] = {
     "README.md",        "DESIGN.md",       "EXPERIMENTS.md",
     "OBSERVABILITY.md", "ARCHITECTURE.md", "CHANGES.md",
-    "SERVING.md",
+    "SERVING.md",       "FUZZING.md",
 };
 
 /** Directory prefixes that make a token a checkable repo path. */

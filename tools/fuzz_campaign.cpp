@@ -1,0 +1,338 @@
+/**
+ * @file
+ * The differential-fuzz campaign driver (FUZZING.md).
+ *
+ *   fuzz_campaign [--budget N] [--seed S] [--jobs N] [--uarch A,B,..]
+ *                 [--no-minimize] [--corpus DIR] [--json FILE]
+ *                 [--max-insns N]
+ *       Generate and check N programs; minimize and (with --corpus)
+ *       record divergences. Prints a one-line verdict per oracle.
+ *   fuzz_campaign --replay DIR [--jobs N]
+ *       Replay every *.phz regression entry in DIR; all four oracles
+ *       must come back clean.
+ *   fuzz_campaign --emit DIR
+ *       Write the preventive seed corpus: for each high-risk generator
+ *       class (self-modifying stores, RSB patterns, clflush-of-code),
+ *       the first seed whose program exercises it and passes every
+ *       oracle today. These entries pin current behavior.
+ *
+ * Environment: PHANTOM_FUZZ_BUDGET / PHANTOM_FUZZ_CORPUS /
+ * PHANTOM_FUZZ_MAX_INSNS supply defaults for the matching flags;
+ * PHANTOM_SEED seeds the campaign; PHANTOM_JOBS sizes the scheduler.
+ * PHANTOM_PROF=1 adds a host-profile section (fuzz.generate /
+ * fuzz.oracle / fuzz.minimize phases) to the --json document.
+ *
+ * Exit codes: 0 = clean, 1 = divergence (or replay regression),
+ * 2 = I/O failure, 64 = usage error — the json_check convention.
+ */
+
+#include "fuzz/campaign.hpp"
+#include "runner/env.hpp"
+#include "runner/prof_json.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace phantom;
+using namespace phantom::fuzz;
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitDiverged = 1;
+constexpr int kExitIo = 2;
+constexpr int kExitUsage = 64;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fuzz_campaign [--budget N] [--seed S] [--jobs N]\n"
+        "                     [--uarch A,B,...] [--no-minimize]\n"
+        "                     [--corpus DIR] [--json FILE]\n"
+        "                     [--max-insns N]\n"
+        "       fuzz_campaign --replay DIR [--jobs N]\n"
+        "       fuzz_campaign --emit DIR\n");
+    return kExitUsage;
+}
+
+bool
+parseU64Arg(const char* text, u64& out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    char* end = nullptr;
+    out = std::strtoull(text, &end, 0);
+    return end != text && *end == '\0';
+}
+
+std::vector<std::string>
+splitList(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+writeDocument(const std::string& path, const runner::JsonValue& doc)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "fuzz_campaign: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << doc.dump(2) << "\n";
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+int
+runCampaignMode(const CampaignOptions& options, const std::string& json)
+{
+    auto start = std::chrono::steady_clock::now();
+    CampaignSummary summary = runCampaign(options);
+    u64 wall_ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+
+    std::printf("fuzz: %llu programs, %llu stmts, seed 0x%llx, "
+                "jobs %u\n",
+                static_cast<unsigned long long>(summary.programs),
+                static_cast<unsigned long long>(summary.totalStmts),
+                static_cast<unsigned long long>(summary.seed),
+                summary.jobs);
+    for (int o = 0; o < kOracleCount; ++o) {
+        std::printf(
+            "fuzz:   %-22s ran %llu skipped %llu diverged %llu\n",
+            oracleName(static_cast<Oracle>(o)),
+            static_cast<unsigned long long>(summary.oracleRan[o]),
+            static_cast<unsigned long long>(summary.oracleSkipped[o]),
+            static_cast<unsigned long long>(summary.oracleDiverged[o]));
+    }
+    for (const Divergence& div : summary.divergences) {
+        std::printf("fuzz: DIVERGENCE trial %llu seed 0x%llx uarch %s "
+                    "oracle %s: %s (minimized %llu -> %llu stmts%s%s)\n",
+                    static_cast<unsigned long long>(div.trial),
+                    static_cast<unsigned long long>(div.seed),
+                    div.uarch.c_str(), oracleName(div.oracle),
+                    div.detail.c_str(),
+                    static_cast<unsigned long long>(div.stmtsBefore),
+                    static_cast<unsigned long long>(div.stmtsAfter),
+                    div.corpusFile.empty() ? "" : ", corpus ",
+                    div.corpusFile.c_str());
+    }
+
+    if (!json.empty()) {
+        runner::JsonValue doc = summaryToJson(summary);
+        if (obs::prof::enabled())
+            doc.set("profile", runner::profileToJson(obs::prof::collect(),
+                                                     wall_ns));
+        if (!writeDocument(json, doc))
+            return kExitIo;
+    }
+    return summary.clean() ? kExitClean : kExitDiverged;
+}
+
+int
+runReplayMode(const std::string& dir, unsigned jobs)
+{
+    std::vector<std::string> paths = listCorpus(dir);
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "fuzz_campaign: no *.phz entries under %s\n",
+                     dir.c_str());
+        return kExitIo;
+    }
+    OracleOptions options;
+    options.maxInsns =
+        runner::envU64Or("PHANTOM_FUZZ_MAX_INSNS", options.maxInsns);
+    std::vector<ReplayResult> results = replayCorpus(paths, options, jobs);
+
+    int failures = 0;
+    bool io_failure = false;
+    for (const ReplayResult& result : results) {
+        if (result.clean) {
+            std::printf("fuzz: replay ok %s\n", result.path.c_str());
+            continue;
+        }
+        if (!result.parsed)
+            io_failure = true;
+        ++failures;
+        std::fprintf(stderr, "fuzz: replay FAILED %s: %s\n",
+                     result.path.c_str(), result.detail.c_str());
+    }
+    std::printf("fuzz: replayed %zu corpus entries, %d failures\n",
+                results.size(), failures);
+    if (obs::prof::enabled()) {
+        obs::prof::Report report = obs::prof::collect();
+        for (const obs::prof::PhaseReport& phase : report.phases)
+            std::printf("fuzz: prof %-16s count %llu self %.2f ms\n",
+                        obs::prof::phaseName(phase.phase),
+                        static_cast<unsigned long long>(phase.count),
+                        phase.estimatedSelfNs() / 1e6);
+    }
+    if (io_failure)
+        return kExitIo;
+    return failures == 0 ? kExitClean : kExitDiverged;
+}
+
+/** Preventive corpus: the first seed per high-risk class that both
+ *  exercises the class and passes every oracle today. */
+int
+runEmitMode(const std::string& dir)
+{
+    struct Want
+    {
+        GenClass cls;
+        const char* why;
+    };
+    const Want wants[] = {
+        {GenClass::SelfModify, "self-modifying store patches a nop slot"},
+        {GenClass::RsbPattern, "call/ret + push-addr/ret RSB shapes"},
+        {GenClass::CacheFlush, "clflush of data and program code"},
+    };
+
+    OracleOptions oracle_options;
+    ProgramGenerator generator;
+    int written = 0;
+    for (const Want& want : wants) {
+        bool found = false;
+        for (u64 seed = 1; seed <= 512 && !found; ++seed) {
+            Program program = generator.generate(seed);
+            if (program.classCounts[static_cast<int>(want.cls)] == 0)
+                continue;
+            if (checkProgram(program, oracle_options).anyDivergence())
+                continue;
+
+            CorpusEntry entry;
+            entry.program = program;
+            entry.uarch = oracle_options.uarch;
+            entry.note = std::string("preventive: ") + want.why;
+            std::string path = dir + "/seed_" +
+                               genClassName(want.cls) + ".phz";
+            std::string error;
+            if (!writeEntryFile(path, entry, &error)) {
+                std::fprintf(stderr, "fuzz_campaign: %s\n",
+                             error.c_str());
+                return kExitIo;
+            }
+            std::printf("fuzz: emitted %s (seed 0x%llx, %zu stmts)\n",
+                        path.c_str(),
+                        static_cast<unsigned long long>(seed),
+                        program.stmts.size());
+            ++written;
+            found = true;
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "fuzz_campaign: no clean seed exercises %s\n",
+                         genClassName(want.cls));
+            return kExitDiverged;
+        }
+    }
+    std::printf("fuzz: emitted %d preventive entries\n", written);
+    return kExitClean;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CampaignOptions options;
+    options.budget = runner::envU64Or("PHANTOM_FUZZ_BUDGET", 200);
+    options.seed = runner::envU64Or("PHANTOM_SEED", 1);
+    options.oracle.maxInsns = runner::envU64Or("PHANTOM_FUZZ_MAX_INSNS",
+                                               options.oracle.maxInsns);
+    options.corpusDir = runner::envStringOr("PHANTOM_FUZZ_CORPUS");
+
+    std::string json;
+    std::string replay_dir;
+    std::string emit_dir;
+    unsigned jobs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        u64 parsed = 0;
+        if (arg == "--budget") {
+            if (!parseU64Arg(value(), options.budget))
+                return usage();
+        } else if (arg == "--seed") {
+            if (!parseU64Arg(value(), options.seed))
+                return usage();
+        } else if (arg == "--jobs") {
+            if (!parseU64Arg(value(), parsed) || parsed == 0)
+                return usage();
+            jobs = static_cast<unsigned>(parsed);
+        } else if (arg == "--uarch") {
+            const char* list = value();
+            if (list == nullptr)
+                return usage();
+            options.uarchMatrix = splitList(list);
+            if (options.uarchMatrix.empty())
+                return usage();
+        } else if (arg == "--max-insns") {
+            if (!parseU64Arg(value(), options.oracle.maxInsns))
+                return usage();
+        } else if (arg == "--minimize") {
+            options.minimizeDivergences = true;
+        } else if (arg == "--no-minimize") {
+            options.minimizeDivergences = false;
+        } else if (arg == "--corpus") {
+            const char* dir = value();
+            if (dir == nullptr)
+                return usage();
+            options.corpusDir = dir;
+        } else if (arg == "--json") {
+            const char* path = value();
+            if (path == nullptr)
+                return usage();
+            json = path;
+        } else if (arg == "--replay") {
+            const char* dir = value();
+            if (dir == nullptr)
+                return usage();
+            replay_dir = dir;
+        } else if (arg == "--emit") {
+            const char* dir = value();
+            if (dir == nullptr)
+                return usage();
+            emit_dir = dir;
+        } else {
+            std::fprintf(stderr, "fuzz_campaign: unknown flag %s\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    if (!replay_dir.empty() && !emit_dir.empty())
+        return usage();
+    if (!replay_dir.empty())
+        return runReplayMode(replay_dir, jobs);
+    if (!emit_dir.empty())
+        return runEmitMode(emit_dir);
+
+    options.jobs = jobs;
+    if (options.budget == 0)
+        return usage();
+    return runCampaignMode(options, json);
+}

@@ -39,6 +39,13 @@
  *   json_check --expect-no-profile FILE
  *       require the bench result to carry NO "profile" member — the
  *       PHANTOM_PROF=0 byte-identity guard
+ *   json_check --fuzz-schema FILE
+ *       require a phantom-fuzz-results/v1 campaign summary
+ *       (tools/fuzz_campaign --json): campaign totals consistent with
+ *       the budget, per-oracle ran+skipped covering every program,
+ *       generator-class and oracle keys drawn from the fuzz library's
+ *       own name tables, and each divergence entry carrying a
+ *       minimized repro no larger than the original
  *
  * Exit codes: 0 = valid, 1 = schema/validation failure, 2 = parse or
  * I/O failure, 64 = usage error. CI consumers branch on the parse vs
@@ -46,6 +53,7 @@
  * wrote the wrong shape").
  */
 
+#include "fuzz/campaign.hpp"
 #include "runner/json.hpp"
 #include "runner/prof_json.hpp"
 #include "runner/schema.hpp"
@@ -100,7 +108,8 @@ usage()
                  "       json_check --trace-schema FILE\n"
                  "       json_check --prom-schema FILE\n"
                  "       json_check --profile-schema FILE\n"
-                 "       json_check --expect-no-profile FILE\n");
+                 "       json_check --expect-no-profile FILE\n"
+                 "       json_check --fuzz-schema FILE\n");
     return kExitUsage;
 }
 
@@ -586,6 +595,205 @@ checkProfileSchema(const char* path, const JsonValue& doc)
     return kExitOk;
 }
 
+/** u64-ish field of @p node (see profField, same contract). */
+bool
+fuzzField(const char* path, const std::string& what,
+          const JsonValue& node, const char* key, double& out)
+{
+    return profField(path, what, node, key, out);
+}
+
+int
+checkFuzzSchema(const char* path, const JsonValue& doc)
+{
+    const JsonValue* schema = doc.find("schema");
+    if (schema == nullptr ||
+        schema->string() != phantom::runner::kFuzzResultSchema) {
+        std::fprintf(stderr, "json_check: %s: missing \"%s\" marker\n",
+                     path, phantom::runner::kFuzzResultSchema);
+        return kExitSchema;
+    }
+    double jobs = 0.0;
+    if (!fuzzField(path, "document", doc, "jobs", jobs))
+        return kExitSchema;
+    if (jobs < 1.0) {
+        std::fprintf(stderr, "json_check: %s: jobs < 1\n", path);
+        return kExitSchema;
+    }
+
+    const JsonValue* campaign = doc.find("campaign");
+    if (campaign == nullptr || !campaign->isObject()) {
+        std::fprintf(stderr, "json_check: %s: no \"campaign\" object\n",
+                     path);
+        return kExitSchema;
+    }
+    double budget = 0.0;
+    double programs = 0.0;
+    double total_stmts = 0.0;
+    if (!fuzzField(path, "campaign", *campaign, "budget", budget) ||
+        !fuzzField(path, "campaign", *campaign, "programs", programs) ||
+        !fuzzField(path, "campaign", *campaign, "total_stmts",
+                   total_stmts))
+        return kExitSchema;
+    if (programs != budget) {
+        std::fprintf(stderr,
+                     "json_check: %s: campaign ran %.0f of %.0f budgeted "
+                     "programs\n",
+                     path, programs, budget);
+        return kExitSchema;
+    }
+    const JsonValue* seed = campaign->find("seed");
+    if (seed == nullptr || seed->kind() != JsonValue::Kind::String ||
+        seed->string().rfind("0x", 0) != 0) {
+        // Seeds are u64; a JSON number would round them through double.
+        std::fprintf(stderr,
+                     "json_check: %s: campaign.seed is not a hex "
+                     "string\n",
+                     path);
+        return kExitSchema;
+    }
+    const JsonValue* matrix = campaign->find("uarch_matrix");
+    if (matrix == nullptr || !matrix->isArray() ||
+        matrix->items().empty()) {
+        std::fprintf(stderr,
+                     "json_check: %s: campaign.uarch_matrix missing or "
+                     "empty\n",
+                     path);
+        return kExitSchema;
+    }
+    const JsonValue* classes = campaign->find("classes");
+    if (classes == nullptr || !classes->isObject()) {
+        std::fprintf(stderr,
+                     "json_check: %s: campaign.classes missing\n", path);
+        return kExitSchema;
+    }
+    std::set<std::string> known_classes;
+    for (int c = 0; c < phantom::fuzz::kGenClassCount; ++c)
+        known_classes.insert(phantom::fuzz::genClassName(
+            static_cast<phantom::fuzz::GenClass>(c)));
+    for (const auto& [name, count] : classes->members()) {
+        if (known_classes.count(name) == 0) {
+            std::fprintf(stderr,
+                         "json_check: %s: unknown generator class "
+                         "\"%s\"\n",
+                         path, name.c_str());
+            return kExitSchema;
+        }
+        if (count.number() < 0.0) {
+            std::fprintf(stderr,
+                         "json_check: %s: class \"%s\" count negative\n",
+                         path, name.c_str());
+            return kExitSchema;
+        }
+    }
+
+    const JsonValue* oracles = doc.find("oracles");
+    if (oracles == nullptr || !oracles->isObject()) {
+        std::fprintf(stderr, "json_check: %s: no \"oracles\" object\n",
+                     path);
+        return kExitSchema;
+    }
+    for (int o = 0; o < phantom::fuzz::kOracleCount; ++o) {
+        const char* name =
+            phantom::fuzz::oracleName(static_cast<phantom::fuzz::Oracle>(o));
+        const JsonValue* oracle = oracles->find(name);
+        std::string what = std::string("oracles.") + name;
+        if (oracle == nullptr) {
+            std::fprintf(stderr, "json_check: %s: %s missing\n", path,
+                         what.c_str());
+            return kExitSchema;
+        }
+        double ran = 0.0;
+        double skipped = 0.0;
+        double diverged = 0.0;
+        if (!fuzzField(path, what, *oracle, "ran", ran) ||
+            !fuzzField(path, what, *oracle, "skipped", skipped) ||
+            !fuzzField(path, what, *oracle, "diverged", diverged))
+            return kExitSchema;
+        if (ran + skipped != programs) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s ran %.0f + skipped %.0f "
+                         "does not cover %.0f programs\n",
+                         path, what.c_str(), ran, skipped, programs);
+            return kExitSchema;
+        }
+        if (diverged > ran) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s diverged %.0f exceeds ran "
+                         "%.0f\n",
+                         path, what.c_str(), diverged, ran);
+            return kExitSchema;
+        }
+    }
+    for (const auto& [name, oracle] : oracles->members()) {
+        (void)oracle;
+        if (phantom::fuzz::oracleFromName(name) ==
+            phantom::fuzz::Oracle::kCount) {
+            std::fprintf(stderr,
+                         "json_check: %s: unknown oracle \"%s\"\n", path,
+                         name.c_str());
+            return kExitSchema;
+        }
+    }
+
+    const JsonValue* divergences = doc.find("divergences");
+    if (divergences == nullptr || !divergences->isArray()) {
+        std::fprintf(stderr,
+                     "json_check: %s: no \"divergences\" array\n", path);
+        return kExitSchema;
+    }
+    const JsonValue* minimization = doc.find("minimization");
+    if (minimization == nullptr || !minimization->isObject()) {
+        std::fprintf(stderr,
+                     "json_check: %s: no \"minimization\" object\n",
+                     path);
+        return kExitSchema;
+    }
+    double div_count = 0.0;
+    double steps = 0.0;
+    if (!fuzzField(path, "minimization", *minimization, "divergences",
+                   div_count) ||
+        !fuzzField(path, "minimization", *minimization, "steps", steps))
+        return kExitSchema;
+    if (div_count != static_cast<double>(divergences->items().size())) {
+        std::fprintf(stderr,
+                     "json_check: %s: minimization.divergences %.0f "
+                     "disagrees with the divergences array (%zu)\n",
+                     path, div_count, divergences->items().size());
+        return kExitSchema;
+    }
+
+    std::size_t index = 0;
+    for (const JsonValue& div : divergences->items()) {
+        std::string what = "divergences[" + std::to_string(index) + "]";
+        double trial = 0.0;
+        double before = 0.0;
+        double after = 0.0;
+        if (!fuzzField(path, what, div, "trial", trial) ||
+            !fuzzField(path, what, div, "stmts_before", before) ||
+            !fuzzField(path, what, div, "stmts_after", after))
+            return kExitSchema;
+        if (trial >= budget || after < 1.0 || after > before) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s is inconsistent (trial "
+                         "%.0f, stmts %.0f -> %.0f)\n",
+                         path, what.c_str(), trial, before, after);
+            return kExitSchema;
+        }
+        const JsonValue* oracle = div.find("oracle");
+        if (oracle == nullptr ||
+            phantom::fuzz::oracleFromName(oracle->string()) ==
+                phantom::fuzz::Oracle::kCount) {
+            std::fprintf(stderr,
+                         "json_check: %s: %s has no valid oracle\n",
+                         path, what.c_str());
+            return kExitSchema;
+        }
+        ++index;
+    }
+    return kExitOk;
+}
+
 } // namespace
 
 int
@@ -715,6 +923,13 @@ main(int argc, char** argv)
             return kExitSchema;
         }
         return kExitOk;
+    }
+
+    if (mode == "--fuzz-schema") {
+        JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return kExitParse;
+        return checkFuzzSchema(argv[2], doc);
     }
 
     if (mode == "--equal-path") {
