@@ -23,6 +23,9 @@
  *   PHANTOM_DECODE_CACHE=0  disable the predecoded-instruction cache
  *                        (on by default; src/cpu/decode_cache.hpp —
  *                        results are bit-identical either way)
+ *   PHANTOM_SUPERBLOCKS=0  disable the decoded-superblock execution
+ *                        engine, keeping single-instruction predecode
+ *                        (on by default; results are bit-identical)
  *   PHANTOM_PROF=1       host-time self-profiler (src/obs/prof.hpp):
  *                        adds a "profile" section to the JSON results
  *                        (off by default; when off, output is
@@ -319,6 +322,12 @@ class Campaign
         measured_.counter("decode_cache.misses").inc(decode.misses);
         measured_.counter("decode_cache.invalidates")
             .inc(decode.invalidates);
+        measured_.counter("decode_cache.block_builds")
+            .inc(decode.blockBuilds);
+        measured_.counter("decode_cache.block_hits")
+            .inc(decode.blockHits);
+        measured_.counter("decode_cache.block_invalidates")
+            .inc(decode.blockInvalidates);
     }
 
     /**

@@ -18,7 +18,10 @@
 #      require both the "experiments" subtree and the
 #      "metrics.deterministic" registry to be bit-identical — the
 #      predecode cache is a pure speedup, never a model change
-#   6. with CHECK_PROFILE: require the default run to carry NO "profile"
+#   6. with COMPARE_SUPERBLOCKS: same contract for the decoded-superblock
+#      engine (PHANTOM_SUPERBLOCKS=0 rerun) — block-threaded dispatch
+#      must be indistinguishable from the single-step loop
+#   7. with CHECK_PROFILE: require the default run to carry NO "profile"
 #      section (PHANTOM_PROF defaults off), rerun with PHANTOM_PROF=1,
 #      validate the emitted profile section against the host-profile
 #      schema, and require the "experiments" subtree to be identical —
@@ -103,6 +106,35 @@ if(COMPARE_DECODE_CACHE)
             message(FATAL_ERROR
                 "${NAME}: '${subtree}' differs between "
                 "PHANTOM_DECODE_CACHE=1 and =0 — the predecode cache "
+                "leaked into simulated state")
+        endif()
+    endforeach()
+endif()
+
+if(COMPARE_SUPERBLOCKS)
+    file(MAKE_DIRECTORY "${JSON_DIR}/nosb")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+            PHANTOM_FAST=1 PHANTOM_JOBS=2 PHANTOM_SUPERBLOCKS=0
+            "PHANTOM_JSON_DIR=${JSON_DIR}/nosb"
+            "${BENCH}"
+        RESULT_VARIABLE nosb_rv
+        OUTPUT_VARIABLE nosb_out
+        ERROR_VARIABLE nosb_err)
+    if(NOT nosb_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${NAME} PHANTOM_SUPERBLOCKS=0 rerun failed (rv=${nosb_rv})\n"
+            "${nosb_out}\n${nosb_err}")
+    endif()
+    foreach(subtree experiments metrics.deterministic)
+        execute_process(
+            COMMAND "${CHECKER}" --equal-path ${subtree}
+                "${JSON_DIR}/${NAME}.json" "${JSON_DIR}/nosb/${NAME}.json"
+            RESULT_VARIABLE sb_equal_rv)
+        if(NOT sb_equal_rv EQUAL 0)
+            message(FATAL_ERROR
+                "${NAME}: '${subtree}' differs between "
+                "PHANTOM_SUPERBLOCKS=1 and =0 — the superblock engine "
                 "leaked into simulated state")
         endif()
     endforeach()

@@ -21,6 +21,16 @@ decodeCacheEnabled()
     return enabled;
 }
 
+bool
+superblocksEnabled()
+{
+    static const bool enabled = [] {
+        const char* env = std::getenv("PHANTOM_SUPERBLOCKS");
+        return env == nullptr || !(env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
 DecodeCacheStats*
 activeDecodeCacheStats()
 {
@@ -35,7 +45,8 @@ setActiveDecodeCacheStats(DecodeCacheStats* stats)
 
 DecodeCache::DecodeCache()
     : ambient_(activeDecodeCacheStats()),
-      enabled_(decodeCacheEnabled())
+      enabled_(decodeCacheEnabled()),
+      superblocks_(superblocksEnabled())
 {
 }
 
@@ -79,9 +90,94 @@ DecodeCache::insert(PAddr pa, const isa::Insn& insn)
     ++entries_;
 }
 
+std::shared_ptr<const DecodeCache::Superblock>
+DecodeCache::lookupBlock(PAddr pa)
+{
+    if (!blocksEnabled())
+        return nullptr;
+    auto it = blocks_.find(pa);
+    if (it == blocks_.end())
+        return nullptr;
+    ++stats_.blockHits;
+    return it->second;
+}
+
+std::shared_ptr<const DecodeCache::Superblock>
+DecodeCache::insertBlock(std::shared_ptr<Superblock> block)
+{
+    if (!blocksEnabled() || block == nullptr || block->entries.empty())
+        return nullptr;
+    ++stats_.blockBuilds;
+    PAddr pa = block->pa;
+    auto& slot = blocks_[pa];
+    if (slot == nullptr)  // rebuilt blocks are already unregistered
+        blocksByPage_[pa / kPageBytes].push_back(pa);
+    else
+        slot->dead = true;
+    slot = std::move(block);
+    return slot;
+}
+
+void
+DecodeCache::setSuperblocksEnabled(bool on)
+{
+    superblocks_ = on;
+    if (!on)
+        dropAllBlocks(/*count=*/false);
+}
+
+void
+DecodeCache::invalidateBlocksInRange(PAddr pa, u64 len)
+{
+    if (blocks_.empty() || len == 0)
+        return;
+    PAddr last = pa + len - 1;
+    // Blocks never cross a 4 KiB page, so only blocks registered under
+    // the written pages can overlap the range.
+    for (u64 page = pa / kPageBytes; page <= last / kPageBytes; ++page) {
+        auto it = blocksByPage_.find(page);
+        if (it == blocksByPage_.end())
+            continue;
+        auto& starts = it->second;
+        for (std::size_t i = 0; i < starts.size();) {
+            auto bit = blocks_.find(starts[i]);
+            if (bit == blocks_.end()) {  // stale index entry
+                starts[i] = starts.back();
+                starts.pop_back();
+                continue;
+            }
+            Superblock& block = *bit->second;
+            if (block.pa <= last && block.pa + block.byteLen > pa) {
+                block.dead = true;  // pinned executors bail out
+                blocks_.erase(bit);
+                ++stats_.blockInvalidates;
+                starts[i] = starts.back();
+                starts.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        if (starts.empty())
+            blocksByPage_.erase(it);
+    }
+}
+
+void
+DecodeCache::dropAllBlocks(bool count)
+{
+    for (auto& [pa, block] : blocks_) {
+        block->dead = true;
+        if (count)
+            ++stats_.blockInvalidates;
+    }
+    blocks_.clear();
+    blocksByPage_.clear();
+}
+
 void
 DecodeCache::invalidateRange(PAddr pa, u64 len)
 {
+    invalidateBlocksInRange(pa, len);
     if (lines_.empty() || len == 0)
         return;
     // An entry starting up to kMaxInsnBytes-1 before the written range
@@ -115,6 +211,7 @@ DecodeCache::invalidateRange(PAddr pa, u64 len)
 void
 DecodeCache::flushAll()
 {
+    dropAllBlocks(/*count=*/true);
     stats_.invalidates += entries_;
     entries_ = 0;
     lines_.clear();
@@ -129,6 +226,7 @@ DecodeCache::setEnabled(bool on)
         // entries without counting them as model invalidations.
         lines_.clear();
         entries_ = 0;
+        dropAllBlocks(/*count=*/false);
     }
 }
 

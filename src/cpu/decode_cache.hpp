@@ -30,22 +30,40 @@
  *    bit-identical. It is excluded from PHANSNAP images and rebuilt
  *    cold after snapshot restore/fork/replay (snap::restore flushes).
  *
- * Gated by PHANTOM_DECODE_CACHE (default on; "0" disables). Hit/miss/
- * invalidate counters drain into an ambient per-shard DecodeCacheStats
- * (same idiom as snap::activeSnapshotStore) and surface as
- * metrics.measured.counters.decode_cache.* — classified informational
- * in obs/diff, since they vary with the gate but the model output
- * does not.
+ * On top of single decodes sits the *decoded-superblock engine*: whole
+ * straight-line runs are decoded once into a contiguous array of
+ * (Insn, handler) entries — the libriscv DECODED_INSTR shape — and
+ * Machine::run executes a cached block by threading through the bound
+ * handlers instead of re-entering translate+decode+dispatch per
+ * instruction. Superblocks inherit the single-entry contract wholesale:
+ * physically tagged, confined to one 4 KiB page, derived state only
+ * (never snapshotted, cold after restore/fork), and killed by the same
+ * three invalidation sources. Because an executor may be mid-block when
+ * a store or clflush lands, invalidation follows a pin-and-graveyard
+ * protocol (see Superblock::dead) so stale tails are never executed.
+ * DESIGN.md §9 documents block formation, the mid-block exit taxonomy,
+ * and the bit-identity argument in full.
+ *
+ * Gated by PHANTOM_DECODE_CACHE (default on; "0" disables); the block
+ * layer is additionally gated by PHANTOM_SUPERBLOCKS (default on; "0"
+ * falls back to single-instruction predecode). Hit/miss/invalidate and
+ * block build/hit/invalidate counters drain into an ambient per-shard
+ * DecodeCacheStats (same idiom as snap::activeSnapshotStore) and
+ * surface as metrics.measured.counters.decode_cache.* — classified
+ * informational in obs/diff, since they vary with the gates but the
+ * model output does not.
  */
 
 #ifndef PHANTOM_CPU_DECODE_CACHE_HPP
 #define PHANTOM_CPU_DECODE_CACHE_HPP
 
+#include "cpu/insn_exec.hpp"
 #include "isa/encoder.hpp"
 #include "isa/insn.hpp"
 #include "mem/phys_mem.hpp"
 #include "sim/types.hpp"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +76,9 @@ struct DecodeCacheStats
     u64 hits = 0;         ///< lookups served from the cache
     u64 misses = 0;       ///< lookups that fell through to a full decode
     u64 invalidates = 0;  ///< entries discarded (store/clflush/remap/flush)
+    u64 blockBuilds = 0;      ///< superblocks formed
+    u64 blockHits = 0;        ///< steps that entered a cached superblock
+    u64 blockInvalidates = 0; ///< superblocks killed (store/clflush/remap)
 
     void
     merge(const DecodeCacheStats& other)
@@ -65,6 +86,9 @@ struct DecodeCacheStats
         hits += other.hits;
         misses += other.misses;
         invalidates += other.invalidates;
+        blockBuilds += other.blockBuilds;
+        blockHits += other.blockHits;
+        blockInvalidates += other.blockInvalidates;
     }
 };
 
@@ -82,6 +106,62 @@ class DecodeCache : public mem::PhysWriteListener
 
     DecodeCache(const DecodeCache&) = delete;
     DecodeCache& operator=(const DecodeCache&) = delete;
+
+    // -- Decoded superblocks ----------------------------------------------
+
+    /** One decoded instruction with its execute handler bound at
+     *  block-build time (the libriscv DECODED_INSTR shape). */
+    struct BlockEntry
+    {
+        isa::Insn insn;
+        InsnHandler handler;
+    };
+
+    /**
+     * A straight-line run of decoded instructions starting at physical
+     * address pa: decode proceeds until the first control-flow change
+     * (branch/call/ret/syscall/sysret/hlt — included as the terminal
+     * entry), the first non-cacheable decode (invalid, or an encoding
+     * crossing a 4 KiB physical page), or kMaxBlockInsns. Like single
+     * entries, a block never crosses a 4 KiB physical page, so every
+     * entry shares the first instruction's translation. Blocks are
+     * derived state with the same invalidation contract as entries;
+     * `dead` supports the pin-and-graveyard protocol: invalidation
+     * marks a block dead and unregisters it, while an executor holding
+     * the shared_ptr observes `dead` after every instruction and falls
+     * back to the slow path (self-modifying code, clflush, remap).
+     */
+    struct Superblock
+    {
+        PAddr pa = 0;                     ///< first byte
+        u32 byteLen = 0;                  ///< total encoded length
+        bool dead = false;                ///< invalidated while pinned
+        std::vector<BlockEntry> entries;
+    };
+
+    /** Superblock formation cap (entries per block). */
+    static constexpr std::size_t kMaxBlockInsns = 64;
+
+    /**
+     * The live superblock starting at @p pa, or null. Counts a block
+     * hit; misses are not counted here (the caller decides whether it
+     * builds). Null whenever superblocks are gated off.
+     */
+    std::shared_ptr<const Superblock> lookupBlock(PAddr pa);
+
+    /** Register @p block (built by Machine::buildSuperblock) and count
+     *  the build. Ignored (returns null) when gated off or empty. */
+    std::shared_ptr<const Superblock>
+    insertBlock(std::shared_ptr<Superblock> block);
+
+    /** True when both the cache and the superblock layer are enabled. */
+    bool blocksEnabled() const { return enabled_ && superblocks_; }
+
+    /** Test hook mirroring setEnabled: gate only the superblock layer
+     *  (off also drops all blocks), leaving single-entry caching on. */
+    void setSuperblocksEnabled(bool on);
+
+    std::size_t blockCount() const { return blocks_.size(); }
 
     /** Cached decode whose first byte is at @p pa, or nullptr. Counts a
      *  hit or miss; disabled caches miss silently (counters stay 0). */
@@ -113,7 +193,7 @@ class DecodeCache : public mem::PhysWriteListener
     void
     onPhysWrite(PAddr pa, u64 len) override
     {
-        if (!ignoreStores_ && !lines_.empty())
+        if (!ignoreStores_ && (!lines_.empty() || !blocks_.empty()))
             invalidateRange(pa, len);
     }
 
@@ -142,17 +222,36 @@ class DecodeCache : public mem::PhysWriteListener
         isa::Insn insn;  ///< insn.length is the encoded length
     };
 
+    /** Kill every superblock overlapping [@p pa, @p pa + @p len):
+     *  mark dead (for pinned executors) and unregister. */
+    void invalidateBlocksInRange(PAddr pa, u64 len);
+
+    /** Mark every superblock dead and drop the registries. */
+    void dropAllBlocks(bool count);
+
     /** Buckets keyed by pa / kCacheLineBytes. */
     std::unordered_map<u64, std::vector<Entry>> lines_;
     std::size_t entries_ = 0;
+
+    /** Superblocks keyed by start pa, plus a per-4KiB-page index of
+     *  start addresses for invalidation sweeps (blocks never cross a
+     *  page, so each block appears under exactly one page). */
+    std::unordered_map<u64, std::shared_ptr<Superblock>> blocks_;
+    std::unordered_map<u64, std::vector<PAddr>> blocksByPage_;
+
     DecodeCacheStats stats_;
     DecodeCacheStats* ambient_;  ///< drained into on destruction
     bool enabled_;
+    bool superblocks_;           ///< PHANTOM_SUPERBLOCKS gate / test hook
     bool ignoreStores_ = false;  ///< test-only injected bug
 };
 
 /** True unless PHANTOM_DECODE_CACHE=0: gates predecode memoization. */
 bool decodeCacheEnabled();
+
+/** True unless PHANTOM_SUPERBLOCKS=0: gates the superblock engine
+ *  (requires the decode cache itself to be enabled, too). */
+bool superblocksEnabled();
 
 /** The calling thread's ambient stats sink (null when none). */
 DecodeCacheStats* activeDecodeCacheStats();

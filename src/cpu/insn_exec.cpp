@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Execute-stage handlers (see cpu/insn_exec.hpp). Bodies are the former
+ * Machine::run switch cases, moved verbatim: each reads the instruction
+ * address from ctx.pc, publishes the successor through ctx.next, and
+ * reports faults through ctx.fault. Both the classic step loop and the
+ * superblock engine dispatch through this table.
+ */
+
+#include "cpu/insn_exec.hpp"
+
+#include "cpu/machine.hpp"
+
+namespace phantom::cpu {
+
+using isa::BranchType;
+using isa::Insn;
+using isa::InsnKind;
+
+/** Friend of Machine hosting the per-kind handlers. */
+struct InsnExec
+{
+    static ExecStatus
+    nop(Machine&, const Insn&, ExecCtx&)
+    {
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    movImm(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst, insn.imm);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    movReg(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst, m.regs_.read(insn.src));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    load(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        VAddr addr = m.regs_.read(insn.src) + static_cast<i64>(insn.disp);
+        bool ok = true;
+        u64 v = m.loadArch(addr, ctx.fault, ok);
+        if (!ok) {
+            ctx.fault.pc = ctx.pc;
+            return ExecStatus::Fault;
+        }
+        m.regs_.write(insn.dst, v);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    store(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        VAddr addr = m.regs_.read(insn.dst) + static_cast<i64>(insn.disp);
+        if (!m.storeArch(addr, m.regs_.read(insn.src), ctx.fault)) {
+            ctx.fault.pc = ctx.pc;
+            return ExecStatus::Fault;
+        }
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    add(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst,
+                      m.regs_.read(insn.dst) + m.regs_.read(insn.src));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    addImm(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst,
+                      m.regs_.read(insn.dst) +
+                          static_cast<i64>(static_cast<i32>(insn.imm)));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    sub(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.flags_.setCompare(m.regs_.read(insn.dst), m.regs_.read(insn.src));
+        m.regs_.write(insn.dst,
+                      m.regs_.read(insn.dst) - m.regs_.read(insn.src));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    subImm(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        u64 b = static_cast<u64>(
+            static_cast<i64>(static_cast<i32>(insn.imm)));
+        m.flags_.setCompare(m.regs_.read(insn.dst), b);
+        m.regs_.write(insn.dst, m.regs_.read(insn.dst) - b);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    xorReg(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst,
+                      m.regs_.read(insn.dst) ^ m.regs_.read(insn.src));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    andReg(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst,
+                      m.regs_.read(insn.dst) & m.regs_.read(insn.src));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    andImm(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst, m.regs_.read(insn.dst) & insn.imm);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    shl(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst, m.regs_.read(insn.dst) << (insn.imm & 63));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    shr(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.regs_.write(insn.dst, m.regs_.read(insn.dst) >> (insn.imm & 63));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    cmpImm(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.flags_.setCompare(m.regs_.read(insn.dst),
+                            static_cast<u64>(static_cast<i64>(
+                                static_cast<i32>(insn.imm))));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    cmpReg(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.flags_.setCompare(m.regs_.read(insn.dst), m.regs_.read(insn.src));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    jmpRel(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        VAddr target = insn.relTarget(ctx.pc);
+        m.bpu_.trainBranch(ctx.pc, BranchType::DirectJump, target, true,
+                           m.priv_, false, m.smtThread_);
+        ctx.next = target;
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    jccRel(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        bool taken = m.flags_.test(insn.cond);
+        VAddr target = insn.relTarget(ctx.pc);
+        m.bpu_.trainBranch(ctx.pc, BranchType::CondJump, target, taken,
+                           m.priv_, false, m.smtThread_);
+        ctx.next = taken ? target : ctx.pc + insn.length;
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    jmpInd(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        VAddr target = m.regs_.read(insn.src);
+        m.bpu_.trainBranch(ctx.pc, BranchType::IndirectJump, target, true,
+                           m.priv_, false, m.smtThread_);
+        ctx.next = target;
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    call(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        VAddr target = insn.kind == InsnKind::CallRel
+                           ? insn.relTarget(ctx.pc)
+                           : m.regs_.read(insn.src);
+        VAddr ret_addr = ctx.pc + insn.length;
+        m.regs_.write(isa::RSP, m.regs_.read(isa::RSP) - 8);
+        if (!m.storeArch(m.regs_.read(isa::RSP), ret_addr, ctx.fault)) {
+            ctx.fault.pc = ctx.pc;
+            return ExecStatus::Fault;
+        }
+        m.bpu_.rsb().push(ret_addr);
+        m.bpu_.trainBranch(ctx.pc,
+                           insn.kind == InsnKind::CallRel
+                               ? BranchType::DirectCall
+                               : BranchType::IndirectCall,
+                           target, true, m.priv_, false, m.smtThread_);
+        ctx.next = target;
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    ret(Machine& m, const Insn&, ExecCtx& ctx)
+    {
+        bool ok = true;
+        u64 ret_addr = m.loadArch(m.regs_.read(isa::RSP), ctx.fault, ok);
+        if (!ok) {
+            ctx.fault.pc = ctx.pc;
+            return ExecStatus::Fault;
+        }
+        m.regs_.write(isa::RSP, m.regs_.read(isa::RSP) + 8);
+        m.bpu_.trainBranch(ctx.pc, BranchType::Return, ret_addr, true,
+                           m.priv_, ctx.rsbConsumed, m.smtThread_);
+        ctx.next = ret_addr;
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    push(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        m.regs_.write(isa::RSP, m.regs_.read(isa::RSP) - 8);
+        if (!m.storeArch(m.regs_.read(isa::RSP), m.regs_.read(insn.src),
+                         ctx.fault)) {
+            ctx.fault.pc = ctx.pc;
+            return ExecStatus::Fault;
+        }
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    pop(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        bool ok = true;
+        u64 v = m.loadArch(m.regs_.read(isa::RSP), ctx.fault, ok);
+        if (!ok) {
+            ctx.fault.pc = ctx.pc;
+            return ExecStatus::Fault;
+        }
+        m.regs_.write(isa::RSP, m.regs_.read(isa::RSP) + 8);
+        m.regs_.write(insn.dst, v);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    syscall(Machine& m, const Insn& insn, ExecCtx& ctx)
+    {
+        m.pmc_.bump(PmcEvent::Syscalls);
+        m.savedUserPc_ = ctx.pc + insn.length;
+        m.priv_ = Privilege::Kernel;
+        ctx.next = m.syscallEntry_;
+        m.charge(CycleClass::Syscall, 80);
+        if (m.ibpbOnSyscall_) {
+            m.bpu_.ibpb();
+            m.charge(CycleClass::Ibpb, 1500);
+        }
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    sysret(Machine& m, const Insn&, ExecCtx& ctx)
+    {
+        if (m.priv_ != Privilege::Kernel) {
+            // Real hardware raises #GP on sysret outside CPL0.
+            ctx.fault = FaultInfo{};
+            ctx.fault.invalidOpcode = true;
+            ctx.fault.pc = ctx.pc;
+            ctx.fault.va = ctx.pc;
+            return ExecStatus::Fault;
+        }
+        m.priv_ = Privilege::User;
+        ctx.next = m.savedUserPc_;
+        m.charge(CycleClass::Syscall, 80);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    fence(Machine& m, const Insn&, ExecCtx&)
+    {
+        m.charge(CycleClass::Fence, 8);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    clflush(Machine& m, const Insn& insn, ExecCtx&)
+    {
+        m.clflushVirt(m.regs_.read(insn.src));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    rdtsc(Machine& m, const Insn&, ExecCtx&)
+    {
+        m.regs_.write(isa::RAX, m.cycles_);
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    rdpmc(Machine& m, const Insn&, ExecCtx&)
+    {
+        m.regs_.write(isa::RAX, m.pmc_.readRaw(m.regs_.read(isa::RCX)));
+        return ExecStatus::Next;
+    }
+
+    static ExecStatus
+    hlt(Machine&, const Insn&, ExecCtx&)
+    {
+        return ExecStatus::Halt;
+    }
+
+    static ExecStatus
+    invalid(Machine&, const Insn&, ExecCtx& ctx)
+    {
+        // Reached only through direct dispatch (the step loop and the
+        // block builder both screen Invalid/Ud2 out beforehand).
+        ctx.fault = FaultInfo{};
+        ctx.fault.invalidOpcode = true;
+        ctx.fault.pc = ctx.pc;
+        ctx.fault.va = ctx.pc;
+        return ExecStatus::Fault;
+    }
+};
+
+InsnHandler
+handlerFor(InsnKind kind)
+{
+    switch (kind) {
+      case InsnKind::Nop:
+      case InsnKind::NopN:     return &InsnExec::nop;
+      case InsnKind::MovImm:   return &InsnExec::movImm;
+      case InsnKind::MovReg:   return &InsnExec::movReg;
+      case InsnKind::Load:     return &InsnExec::load;
+      case InsnKind::Store:    return &InsnExec::store;
+      case InsnKind::Add:      return &InsnExec::add;
+      case InsnKind::AddImm:   return &InsnExec::addImm;
+      case InsnKind::Sub:      return &InsnExec::sub;
+      case InsnKind::SubImm:   return &InsnExec::subImm;
+      case InsnKind::Xor:      return &InsnExec::xorReg;
+      case InsnKind::And:      return &InsnExec::andReg;
+      case InsnKind::AndImm:   return &InsnExec::andImm;
+      case InsnKind::Shl:      return &InsnExec::shl;
+      case InsnKind::Shr:      return &InsnExec::shr;
+      case InsnKind::CmpImm:   return &InsnExec::cmpImm;
+      case InsnKind::CmpReg:   return &InsnExec::cmpReg;
+      case InsnKind::JmpRel:   return &InsnExec::jmpRel;
+      case InsnKind::JccRel:   return &InsnExec::jccRel;
+      case InsnKind::JmpInd:   return &InsnExec::jmpInd;
+      case InsnKind::CallRel:
+      case InsnKind::CallInd:  return &InsnExec::call;
+      case InsnKind::Ret:      return &InsnExec::ret;
+      case InsnKind::Push:     return &InsnExec::push;
+      case InsnKind::Pop:      return &InsnExec::pop;
+      case InsnKind::Syscall:  return &InsnExec::syscall;
+      case InsnKind::Sysret:   return &InsnExec::sysret;
+      case InsnKind::Lfence:
+      case InsnKind::Mfence:   return &InsnExec::fence;
+      case InsnKind::Clflush:  return &InsnExec::clflush;
+      case InsnKind::Rdtsc:    return &InsnExec::rdtsc;
+      case InsnKind::Rdpmc:    return &InsnExec::rdpmc;
+      case InsnKind::Hlt:      return &InsnExec::hlt;
+      case InsnKind::Ud2:
+      case InsnKind::Invalid:  return &InsnExec::invalid;
+    }
+    return &InsnExec::invalid;
+}
+
+} // namespace phantom::cpu

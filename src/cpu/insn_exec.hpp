@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The per-instruction execute stage as a table of handlers.
+ *
+ * Machine::run used to execute instructions through one large switch.
+ * The switch bodies now live behind function pointers so both execution
+ * paths — the classic one-instruction step loop and the decoded-
+ * superblock engine (cpu/decode_cache.hpp) — dispatch the *same* code:
+ * a superblock entry carries the handler resolved at block-build time
+ * (the libriscv `DECODED_INSTR` shape), and the slow path resolves it
+ * per step via handlerFor(). One implementation per opcode is what
+ * makes the bit-identity argument for superblocks hold by construction.
+ *
+ * Handlers mutate only through the Machine reference and the ExecCtx
+ * (defined in cpu/machine.hpp): `ctx.pc` is the instruction's address,
+ * `ctx.next` comes in as the fall-through and leaves as the successor,
+ * and on ExecStatus::Fault the handler has filled `ctx.fault` (the run
+ * loop materializes the RunResult). ExecStatus::Halt means hlt retired:
+ * the loop commits `ctx.next` and returns.
+ */
+
+#ifndef PHANTOM_CPU_INSN_EXEC_HPP
+#define PHANTOM_CPU_INSN_EXEC_HPP
+
+#include "isa/insn.hpp"
+#include "sim/types.hpp"
+
+namespace phantom::cpu {
+
+class Machine;
+struct ExecCtx;
+
+/** What the execute stage decided; see the file comment. */
+enum class ExecStatus : u8 {
+    Next,   ///< retired; commit ctx.next as the new pc
+    Halt,   ///< hlt retired; commit ctx.next and stop the run
+    Fault,  ///< architectural fault; ctx.fault is filled
+};
+
+/** One execute-stage implementation (see cpu/insn_exec.cpp). */
+using InsnHandler = ExecStatus (*)(Machine&, const isa::Insn&, ExecCtx&);
+
+/**
+ * The handler implementing @p kind. Total: every InsnKind (including
+ * Invalid/Ud2, which fault) maps to a non-null handler, so superblock
+ * entries can bind handlers unconditionally at build time.
+ */
+InsnHandler handlerFor(isa::InsnKind kind);
+
+} // namespace phantom::cpu
+
+#endif // PHANTOM_CPU_INSN_EXEC_HPP

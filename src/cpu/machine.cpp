@@ -1,5 +1,6 @@
 #include "cpu/machine.hpp"
 
+#include "cpu/insn_exec.hpp"
 #include "obs/prof.hpp"
 #include "sim/log.hpp"
 
@@ -198,10 +199,7 @@ Machine::decodeAt(VAddr pc, PAddr pa0)
     // makes entries remap-proof (an instruction cacheable at all fits
     // in one page, so its decode is a pure function of physical bytes);
     // the flush keeps entries for torn-down mappings from accumulating.
-    if (u64 gen = pageTable_->generation(); gen != decodeGen_) {
-        decodeCache_.flushAll();
-        decodeGen_ = gen;
-    }
+    syncDecodeGen();
     {
         // decode.hit times the cache probe itself (its count is every
         // lookup; decode.miss counts the ones that fell through).
@@ -739,6 +737,107 @@ Machine::maybeSpeculate(VAddr pc, const Insn& insn,
 
 // ---- Main loop --------------------------------------------------------------
 
+void
+Machine::fetchLineWork(VAddr pc, VAddr line)
+{
+    if (uopCache_.lookupFill(line)) {
+        pmc_.bump(PmcEvent::OpCacheHit);
+        trace(obs::TraceEventKind::OpCacheHit, pc, line);
+        charge(CycleClass::CommitFrontend, 1);
+    } else {
+        pmc_.bump(PmcEvent::OpCacheMiss);
+        auto t = pageTable_->translate(line, priv_, Access::Fetch);
+        if (t.ok()) {
+            Cycle lat =
+                caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+            if (lat > caches_.config().latL1)
+                pmc_.bump(PmcEvent::L1IMiss);
+            charge(CycleClass::CommitFrontend, lat);
+        }
+        trace(obs::TraceEventKind::OpCacheFill, pc, line);
+    }
+    if (config_.nextLinePrefetch) {
+        // Prefetched lines fill L1I but never enter the pipeline
+        // (no decode, no µop-cache effect) — the IF-channel
+        // confound of §5.1.
+        VAddr next_line = line + kCacheLineBytes;
+        auto t = pageTable_->translate(next_line, priv_, Access::Fetch);
+        if (t.ok() &&
+            !caches_.l1i().contains(alignDown(t.paddr, kCacheLineBytes))) {
+            caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
+            pmc_.bump(PmcEvent::L1IPrefetch);
+        }
+    }
+}
+
+bool
+Machine::frontendWork(VAddr pc, const Insn& insn)
+{
+    pmc_.bump(PmcEvent::BtbLookup);
+    auto pred = bpu_.predictAt(pc, priv_, autoIbrsActive(),
+                               smtThread_, stibpActive());
+    trace(obs::TraceEventKind::BtbLookup, pc,
+          pred ? pred->target : 0, pred ? 1u : 0u);
+    if (pred) {
+        pmc_.bump(PmcEvent::BtbHit);
+        // SuppressBPOnNonBr overhead model: served predictions must
+        // be checked against the "is a branch" pre-decode marker
+        // before steering. The check is pipelined; it costs a bubble
+        // only when the confirmation buffer fills (1 in 16 served
+        // predictions), landing in the sub-percent overhead band the
+        // paper measures with UnixBench (§6.3, 0.42-0.69%).
+        if (suppressBpActive() && (++suppressConfirms_ & 0xf) == 0)
+            charge(CycleClass::CommitFrontend, 1);
+    }
+    maybeSpeculate(pc, insn, pred);
+
+    return pred && !pred->restricted &&
+           pred->btb.type == BranchType::Return &&
+           insn.kind == InsnKind::Ret;
+}
+
+std::shared_ptr<const DecodeCache::Superblock>
+Machine::buildSuperblock(VAddr start_pc, PAddr pa0)
+{
+    PROF_SCOPE(DecodeBlockBuild);
+    auto block = std::make_shared<DecodeCache::Superblock>();
+    block->pa = pa0;
+    VAddr pc = start_pc;
+    PAddr pa = pa0;
+    while (block->entries.size() < DecodeCache::kMaxBlockInsns) {
+        Insn insn = decodeAt(pc, pa);
+        if (insn.kind == InsnKind::Invalid || insn.kind == InsnKind::Ud2)
+            break;    // faulting decodes take the slow path every time
+        if (pa % kPageBytes + insn.length > kPageBytes)
+            break;    // entry would cross the physical page
+        block->entries.push_back({insn, handlerFor(insn.kind)});
+        block->byteLen += insn.length;
+        bool terminal = false;
+        switch (insn.kind) {
+          case InsnKind::JmpRel:
+          case InsnKind::JccRel:
+          case InsnKind::JmpInd:
+          case InsnKind::CallRel:
+          case InsnKind::CallInd:
+          case InsnKind::Ret:
+          case InsnKind::Syscall:
+          case InsnKind::Sysret:
+          case InsnKind::Hlt:
+            terminal = true;
+            break;
+          default:
+            break;
+        }
+        if (terminal)
+            break;
+        pa += insn.length;
+        pc += insn.length;
+        if (pa % kPageBytes == 0)
+            break;    // ran exactly to the page end
+    }
+    return decodeCache_.insertBlock(std::move(block));
+}
+
 RunResult
 Machine::run(u64 max_insns)
 {
@@ -746,6 +845,7 @@ Machine::run(u64 max_insns)
     u64 instructions = 0;
     Cycle start_cycles = cycles_;
     VAddr cur_line = ~0ull;
+    const bool use_blocks = decodeCache_.blocksEnabled();
 
     while (instructions < max_insns) {
         // ---- Fetch -----------------------------------------------------
@@ -767,36 +867,75 @@ Machine::run(u64 max_insns)
         VAddr line = alignDown(pc_, kCacheLineBytes);
         if (line != cur_line) {
             cur_line = line;
-            if (uopCache_.lookupFill(line)) {
-                pmc_.bump(PmcEvent::OpCacheHit);
-                trace(obs::TraceEventKind::OpCacheHit, pc_, line);
-                charge(CycleClass::CommitFrontend, 1);
-            } else {
-                pmc_.bump(PmcEvent::OpCacheMiss);
-                auto t = pageTable_->translate(line, priv_, Access::Fetch);
-                if (t.ok()) {
-                    Cycle lat =
-                        caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
-                    if (lat > caches_.config().latL1)
-                        pmc_.bump(PmcEvent::L1IMiss);
-                    charge(CycleClass::CommitFrontend, lat);
+            fetchLineWork(pc_, line);
+        }
+
+        // ---- Superblock fast path ---------------------------------------
+        // Execute a whole decoded block through its prebound handlers.
+        // Every per-instruction commitment below mirrors the slow path
+        // exactly — same helpers, same order — so only decode and the
+        // per-step page walk are amortized; decode_cache.hpp documents
+        // why neither is architecturally observable.
+        if (use_blocks) {
+            syncDecodeGen();
+            std::shared_ptr<const DecodeCache::Superblock> block =
+                decodeCache_.lookupBlock(tfetch.paddr);
+            if (block == nullptr)
+                block = buildSuperblock(pc_, tfetch.paddr);
+            if (block != nullptr) {
+                for (const auto& entry : block->entries) {
+                    if (instructions >= max_insns)
+                        break;    // InsnLimit surfaces from the outer loop
+                    VAddr eline = alignDown(pc_, kCacheLineBytes);
+                    if (eline != cur_line) {
+                        cur_line = eline;
+                        fetchLineWork(pc_, eline);
+                    }
+                    const Insn& insn = entry.insn;
+                    ExecCtx ctx;
+                    ctx.pc = pc_;
+                    ctx.next = pc_ + insn.length;
+                    ctx.rsbConsumed = frontendWork(pc_, insn);
+
+                    ++instructions;
+                    pmc_.bump(PmcEvent::Instructions);
+                    charge(CycleClass::CommitExecute, 1);
+
+                    ExecStatus st = entry.handler(*this, insn, ctx);
+                    if (st == ExecStatus::Fault) {
+                        auto r = makeFault(ctx.fault, instructions);
+                        r.cycles = cycles_ - start_cycles;
+                        return r;
+                    }
+                    if (st == ExecStatus::Halt) {
+                        RunResult r;
+                        r.reason = ExitReason::Halt;
+                        r.instructions = instructions;
+                        r.cycles = cycles_ - start_cycles;
+                        pc_ = ctx.next;
+                        return r;
+                    }
+                    pc_ = ctx.next;
+
+                    // ---- Environmental noise ----------------------------
+                    if (++insnsSinceNoise_ >= config_.noiseEveryInsns) {
+                        insnsSinceNoise_ = 0;
+                        noise_.disturb(caches_);
+                    }
+
+                    // Invalidated under our feet (self-modifying store,
+                    // clflush, remap): the rest of the block is stale —
+                    // fall back to a fresh translate/decode.
+                    if (block->dead)
+                        break;
+                    // Terminal entries redirect control flow; everything
+                    // else falls through to the next entry.
+                    if (pc_ != ctx.pc + insn.length)
+                        break;
                 }
-                trace(obs::TraceEventKind::OpCacheFill, pc_, line);
+                continue;    // revalidate translation, find the next block
             }
-            if (config_.nextLinePrefetch) {
-                // Prefetched lines fill L1I but never enter the pipeline
-                // (no decode, no µop-cache effect) — the IF-channel
-                // confound of §5.1.
-                VAddr next_line = line + kCacheLineBytes;
-                auto t = pageTable_->translate(next_line, priv_,
-                                               Access::Fetch);
-                if (t.ok() &&
-                    !caches_.l1i().contains(
-                        alignDown(t.paddr, kCacheLineBytes))) {
-                    caches_.fetchAccess(alignDown(t.paddr, kCacheLineBytes));
-                    pmc_.bump(PmcEvent::L1IPrefetch);
-                }
-            }
+            // Not even one block-cacheable instruction here: step below.
         }
 
         // ---- Decode ----------------------------------------------------
@@ -812,242 +951,31 @@ Machine::run(u64 max_insns)
         }
 
         // ---- Pre-decode prediction & speculation episodes ---------------
-        pmc_.bump(PmcEvent::BtbLookup);
-        auto pred = bpu_.predictAt(pc_, priv_, autoIbrsActive(),
-                                   smtThread_, stibpActive());
-        trace(obs::TraceEventKind::BtbLookup, pc_,
-              pred ? pred->target : 0, pred ? 1u : 0u);
-        if (pred) {
-            pmc_.bump(PmcEvent::BtbHit);
-            // SuppressBPOnNonBr overhead model: served predictions must
-            // be checked against the "is a branch" pre-decode marker
-            // before steering. The check is pipelined; it costs a bubble
-            // only when the confirmation buffer fills (1 in 16 served
-            // predictions), landing in the sub-percent overhead band the
-            // paper measures with UnixBench (§6.3, 0.42-0.69%).
-            if (suppressBpActive() && (++suppressConfirms_ & 0xf) == 0)
-                charge(CycleClass::CommitFrontend, 1);
-        }
-        maybeSpeculate(pc_, insn, pred);
-
-        bool rsb_consumed = pred && !pred->restricted &&
-                            pred->btb.type == BranchType::Return &&
-                            insn.kind == InsnKind::Ret;
+        ExecCtx ctx;
+        ctx.pc = pc_;
+        ctx.next = pc_ + insn.length;
+        ctx.rsbConsumed = frontendWork(pc_, insn);
 
         // ---- Execute ----------------------------------------------------
         ++instructions;
         pmc_.bump(PmcEvent::Instructions);
         charge(CycleClass::CommitExecute, 1);
 
-        VAddr next = pc_ + insn.length;
-        bool ok = true;
-        switch (insn.kind) {
-          case InsnKind::Nop:
-          case InsnKind::NopN:
-            break;
-          case InsnKind::MovImm: regs_.write(insn.dst, insn.imm); break;
-          case InsnKind::MovReg:
-            regs_.write(insn.dst, regs_.read(insn.src));
-            break;
-          case InsnKind::Load: {
-            VAddr addr = regs_.read(insn.src) + static_cast<i64>(insn.disp);
-            u64 v = loadArch(addr, fault, ok);
-            if (!ok) {
-                fault.pc = pc_;
-                auto r = makeFault(fault, instructions);
-                r.cycles = cycles_ - start_cycles;
-                return r;
-            }
-            regs_.write(insn.dst, v);
-            break;
-          }
-          case InsnKind::Store: {
-            VAddr addr = regs_.read(insn.dst) + static_cast<i64>(insn.disp);
-            if (!storeArch(addr, regs_.read(insn.src), fault)) {
-                fault.pc = pc_;
-                auto r = makeFault(fault, instructions);
-                r.cycles = cycles_ - start_cycles;
-                return r;
-            }
-            break;
-          }
-          case InsnKind::Add:
-            regs_.write(insn.dst, regs_.read(insn.dst) + regs_.read(insn.src));
-            break;
-          case InsnKind::AddImm:
-            regs_.write(insn.dst,
-                        regs_.read(insn.dst) +
-                            static_cast<i64>(static_cast<i32>(insn.imm)));
-            break;
-          case InsnKind::Sub:
-            flags_.setCompare(regs_.read(insn.dst), regs_.read(insn.src));
-            regs_.write(insn.dst, regs_.read(insn.dst) - regs_.read(insn.src));
-            break;
-          case InsnKind::SubImm: {
-            u64 b = static_cast<u64>(
-                static_cast<i64>(static_cast<i32>(insn.imm)));
-            flags_.setCompare(regs_.read(insn.dst), b);
-            regs_.write(insn.dst, regs_.read(insn.dst) - b);
-            break;
-          }
-          case InsnKind::Xor:
-            regs_.write(insn.dst, regs_.read(insn.dst) ^ regs_.read(insn.src));
-            break;
-          case InsnKind::And:
-            regs_.write(insn.dst, regs_.read(insn.dst) & regs_.read(insn.src));
-            break;
-          case InsnKind::AndImm:
-            regs_.write(insn.dst, regs_.read(insn.dst) & insn.imm);
-            break;
-          case InsnKind::Shl:
-            regs_.write(insn.dst, regs_.read(insn.dst) << (insn.imm & 63));
-            break;
-          case InsnKind::Shr:
-            regs_.write(insn.dst, regs_.read(insn.dst) >> (insn.imm & 63));
-            break;
-          case InsnKind::CmpImm:
-            flags_.setCompare(regs_.read(insn.dst),
-                              static_cast<u64>(static_cast<i64>(
-                                  static_cast<i32>(insn.imm))));
-            break;
-          case InsnKind::CmpReg:
-            flags_.setCompare(regs_.read(insn.dst), regs_.read(insn.src));
-            break;
-          case InsnKind::JmpRel: {
-            VAddr target = insn.relTarget(pc_);
-            bpu_.trainBranch(pc_, BranchType::DirectJump, target, true, priv_,
-                             false, smtThread_);
-            next = target;
-            break;
-          }
-          case InsnKind::JccRel: {
-            bool taken = flags_.test(insn.cond);
-            VAddr target = insn.relTarget(pc_);
-            bpu_.trainBranch(pc_, BranchType::CondJump, target, taken, priv_,
-                             false, smtThread_);
-            next = taken ? target : pc_ + insn.length;
-            break;
-          }
-          case InsnKind::JmpInd: {
-            VAddr target = regs_.read(insn.src);
-            bpu_.trainBranch(pc_, BranchType::IndirectJump, target, true,
-                             priv_, false, smtThread_);
-            next = target;
-            break;
-          }
-          case InsnKind::CallRel:
-          case InsnKind::CallInd: {
-            VAddr target = insn.kind == InsnKind::CallRel
-                               ? insn.relTarget(pc_)
-                               : regs_.read(insn.src);
-            VAddr ret_addr = pc_ + insn.length;
-            regs_.write(isa::RSP, regs_.read(isa::RSP) - 8);
-            if (!storeArch(regs_.read(isa::RSP), ret_addr, fault)) {
-                fault.pc = pc_;
-                auto r = makeFault(fault, instructions);
-                r.cycles = cycles_ - start_cycles;
-                return r;
-            }
-            bpu_.rsb().push(ret_addr);
-            bpu_.trainBranch(pc_,
-                             insn.kind == InsnKind::CallRel
-                                 ? BranchType::DirectCall
-                                 : BranchType::IndirectCall,
-                             target, true, priv_, false, smtThread_);
-            next = target;
-            break;
-          }
-          case InsnKind::Ret: {
-            u64 ret_addr = loadArch(regs_.read(isa::RSP), fault, ok);
-            if (!ok) {
-                fault.pc = pc_;
-                auto r = makeFault(fault, instructions);
-                r.cycles = cycles_ - start_cycles;
-                return r;
-            }
-            regs_.write(isa::RSP, regs_.read(isa::RSP) + 8);
-            bpu_.trainBranch(pc_, BranchType::Return, ret_addr, true, priv_,
-                             rsb_consumed, smtThread_);
-            next = ret_addr;
-            break;
-          }
-          case InsnKind::Push:
-            regs_.write(isa::RSP, regs_.read(isa::RSP) - 8);
-            if (!storeArch(regs_.read(isa::RSP), regs_.read(insn.src),
-                           fault)) {
-                fault.pc = pc_;
-                auto r = makeFault(fault, instructions);
-                r.cycles = cycles_ - start_cycles;
-                return r;
-            }
-            break;
-          case InsnKind::Pop: {
-            u64 v = loadArch(regs_.read(isa::RSP), fault, ok);
-            if (!ok) {
-                fault.pc = pc_;
-                auto r = makeFault(fault, instructions);
-                r.cycles = cycles_ - start_cycles;
-                return r;
-            }
-            regs_.write(isa::RSP, regs_.read(isa::RSP) + 8);
-            regs_.write(insn.dst, v);
-            break;
-          }
-          case InsnKind::Syscall:
-            pmc_.bump(PmcEvent::Syscalls);
-            savedUserPc_ = pc_ + insn.length;
-            priv_ = Privilege::Kernel;
-            next = syscallEntry_;
-            charge(CycleClass::Syscall, 80);
-            if (ibpbOnSyscall_) {
-                bpu_.ibpb();
-                charge(CycleClass::Ibpb, 1500);
-            }
-            break;
-          case InsnKind::Sysret:
-            if (priv_ != Privilege::Kernel) {
-                // Real hardware raises #GP on sysret outside CPL0.
-                FaultInfo f;
-                f.invalidOpcode = true;
-                f.pc = pc_;
-                f.va = pc_;
-                auto r = makeFault(f, instructions);
-                r.cycles = cycles_ - start_cycles;
-                return r;
-            }
-            priv_ = Privilege::User;
-            next = savedUserPc_;
-            charge(CycleClass::Syscall, 80);
-            break;
-          case InsnKind::Lfence:
-          case InsnKind::Mfence:
-            charge(CycleClass::Fence, 8);
-            break;
-          case InsnKind::Clflush: {
-            VAddr addr = regs_.read(insn.src);
-            clflushVirt(addr);
-            break;
-          }
-          case InsnKind::Rdtsc:
-            regs_.write(isa::RAX, cycles_);
-            break;
-          case InsnKind::Rdpmc:
-            regs_.write(isa::RAX, pmc_.readRaw(regs_.read(isa::RCX)));
-            break;
-          case InsnKind::Hlt: {
+        ExecStatus st = handlerFor(insn.kind)(*this, insn, ctx);
+        if (st == ExecStatus::Fault) {
+            auto r = makeFault(ctx.fault, instructions);
+            r.cycles = cycles_ - start_cycles;
+            return r;
+        }
+        if (st == ExecStatus::Halt) {
             RunResult r;
             r.reason = ExitReason::Halt;
             r.instructions = instructions;
             r.cycles = cycles_ - start_cycles;
-            pc_ = next;
+            pc_ = ctx.next;
             return r;
-          }
-          case InsnKind::Ud2:
-          case InsnKind::Invalid:
-            break;  // handled above
         }
-
-        pc_ = next;
+        pc_ = ctx.next;
 
         // ---- Environmental noise ----------------------------------------
         if (++insnsSinceNoise_ >= config_.noiseEveryInsns) {

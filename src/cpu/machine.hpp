@@ -75,6 +75,21 @@ struct RunResult
     Cycle cycles = 0;
 };
 
+/**
+ * Mutable state one execute-stage handler exchanges with the run loop
+ * (see cpu/insn_exec.hpp): the instruction's own pc, the successor pc
+ * (in: fall-through, out: possibly a branch target), whether this Ret
+ * consumed an unrestricted RSB prediction, and the fault description
+ * when the handler returns ExecStatus::Fault.
+ */
+struct ExecCtx
+{
+    VAddr pc = 0;
+    VAddr next = 0;
+    bool rsbConsumed = false;
+    FaultInfo fault;
+};
+
 /** Classification of a speculation episode for tracing. */
 enum class EpisodeKind : u8 {
     PhantomFrontend,   ///< decoder-detectable misprediction (PHANTOM)
@@ -374,6 +389,8 @@ class Machine
     void clflushVirt(VAddr va);
 
   private:
+    friend struct InsnExec;  ///< execute-stage handlers (cpu/insn_exec.cpp)
+
     // Architectural helpers.
     /**
      * Decode the instruction whose first byte translates to @p pa0 and
@@ -386,6 +403,34 @@ class Machine
      */
     isa::Insn decodeAt(VAddr pc, PAddr pa0);
     RunResult makeFault(const FaultInfo& fault, u64 instructions);
+
+    // Per-instruction frontend work shared verbatim by the classic step
+    // loop and the superblock engine — one implementation is what keeps
+    // the two paths bit-identical (see DESIGN.md §9).
+    /** Line-change work: µop-cache probe, L1I fill on miss, next-line
+     *  prefetch. Called whenever @p pc's line differs from the previous
+     *  instruction's. */
+    void fetchLineWork(VAddr pc, VAddr line);
+    /** BTB lookup, served-prediction accounting, and speculation-episode
+     *  entry for the instruction at @p pc. @return true when an
+     *  unrestricted RSB return prediction was consumed. */
+    bool frontendWork(VAddr pc, const isa::Insn& insn);
+    /** Lazy page-table-generation check: conservatively drop all
+     *  predecode state (entries and superblocks) on mutation. */
+    void
+    syncDecodeGen()
+    {
+        u64 gen = pageTable_->generation();
+        if (gen != decodeGen_) {
+            decodeCache_.flushAll();
+            decodeGen_ = gen;
+        }
+    }
+    /** Decode-until-branch at (@p pc, @p pa0) into a superblock and
+     *  register it; see DecodeCache::insertBlock. Returns null when not
+     *  even the first instruction is block-cacheable. */
+    std::shared_ptr<const DecodeCache::Superblock>
+    buildSuperblock(VAddr pc, PAddr pa0);
     u64 loadArch(VAddr va, FaultInfo& fault, bool& ok);
     bool storeArch(VAddr va, u64 value, FaultInfo& fault);
 

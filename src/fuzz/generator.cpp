@@ -14,6 +14,7 @@ constexpr std::array<const char*, kGenClassCount> kClassNames = {
     "arith",        "mov_const",   "load_store",  "cond_branch",
     "unmapped",     "self_modify", "cache_flush", "rsb_pattern",
     "stack_ops",    "indirect",    "serialize",   "timer",
+    "block_self_modify",
 };
 
 // Register roles. The generator reserves a few registers so multi-
@@ -232,6 +233,47 @@ struct Emitter
         emit(makeNopN(8));                          // the slot
     }
 
+    /**
+     * Intra-block self-modification: the store's target is only a few
+     * straight-line statements away from the store itself, so the patch
+     * lands inside the very superblock being executed —
+     * decode-until-branch bound the slot's stale decode before the
+     * store retired, and the engine must notice mid-block. Forward
+     * patches sweep the kill point across the block (0–3 filler
+     * statements); backward patches rewrite an already-executed slot,
+     * which only matters when a surrounding generator loop re-enters
+     * the block.
+     */
+    void
+    emitBlockSelfModify()
+    {
+        std::vector<u8> patch;
+        encode(makeAddImm(RAX, static_cast<i32>(1 + rng.below(63))),
+               patch);
+        while (patch.size() < 8)
+            encode(makeNop(), patch);
+        u64 imm = 0;
+        for (int i = 7; i >= 0; --i)
+            imm = (imm << 8) | patch[static_cast<std::size_t>(i)];
+
+        if (rng.below(4) != 0) {
+            u32 gap = static_cast<u32>(rng.below(4));
+            emit(makeMovImm(kPatchReg, imm));
+            emit(makeMovImm(kAddrReg, 0),
+                 here() + 2 + static_cast<i32>(gap));
+            emit(makeStore(kAddrReg, 0, kPatchReg));
+            for (u32 i = 0; i < gap; ++i)
+                emitArith();    // straight-line up to the slot
+            emit(makeNopN(8));  // the slot
+        } else {
+            i32 slot = here();
+            emit(makeNopN(8));
+            emit(makeMovImm(kPatchReg, imm));
+            emit(makeMovImm(kAddrReg, 0), slot);
+            emit(makeStore(kAddrReg, 0, kPatchReg));
+        }
+    }
+
     void
     emitCacheFlush()
     {
@@ -316,6 +358,7 @@ struct Emitter
           case GenClass::IndirectBranch: emitIndirectBranch(); break;
           case GenClass::Serialize:      emitSerialize(); break;
           case GenClass::Timer:          emitTimer(); break;
+          case GenClass::BlockSelfModify: emitBlockSelfModify(); break;
           case GenClass::kCount:         break;
         }
     }

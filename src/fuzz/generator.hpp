@@ -50,6 +50,9 @@ enum class GenClass : u8 {
     IndirectBranch,  ///< mov reg, addr-of-stmt; jmp*reg
     Serialize,       ///< lfence / mfence
     Timer,           ///< rdtsc / rdpmc
+    BlockSelfModify, ///< store to pc+small-delta inside the same
+                     ///< straight-line run — lands in the very
+                     ///< superblock being executed
     kCount,
 };
 

@@ -82,6 +82,7 @@ struct Harness
         snap::restore(bed.machine, pooled.pristine);
         bed.kernel.setLayoutState(pooled.pristine.layout);
         bed.machine.decodeCache().setEnabled(true);
+        bed.machine.decodeCache().setSuperblocksEnabled(true);
         bed.machine.decodeCache().setTestOnlyIgnoreStores(
             options.decodeCacheBug);
         bed.process.mapCode(program.options.codeVa, bytes,
@@ -95,6 +96,7 @@ struct Harness
         // Leave no test-only hooks armed for the next borrower.
         bed.machine.decodeCache().setTestOnlyIgnoreStores(false);
         bed.machine.decodeCache().setEnabled(true);
+        bed.machine.decodeCache().setSuperblocksEnabled(true);
     }
 
     cpu::RunResult
@@ -130,29 +132,42 @@ decodeCacheIdentity(const Program& program,
     std::vector<u8> bytes = program.assemble();
     PooledBed& pooled = pooledBed(config, options, /*quiet=*/false);
 
-    // The two sides borrow the same pooled system back to back; the
-    // captured states share frames copy-on-write, so sa stays intact
-    // while the second run dirties the machine.
+    // Three sides borrow the same pooled system back to back; the
+    // captured states share frames copy-on-write, so earlier captures
+    // stay intact while later runs dirty the machine. The middle leg
+    // pins the superblock engine off with single-entry caching still
+    // on, so a block-threading bug is attributed separately from a
+    // predecode bug.
     snap::MachineState sa;
     {
         Harness cached(pooled, program, bytes, options);
-        cached.bed.machine.decodeCache().setEnabled(true);
         cached.run(options.maxInsns);
         sa = snap::capture(cached.bed.machine, &cached.bed.kernel);
     }
     snap::MachineState sb;
     {
+        Harness noblocks(pooled, program, bytes, options);
+        noblocks.bed.machine.decodeCache().setSuperblocksEnabled(false);
+        noblocks.run(options.maxInsns);
+        sb = snap::capture(noblocks.bed.machine, &noblocks.bed.kernel);
+    }
+    snap::MachineState sc;
+    {
         Harness uncached(pooled, program, bytes, options);
         uncached.bed.machine.decodeCache().setEnabled(false);
         uncached.run(options.maxInsns);
-        sb = snap::capture(uncached.bed.machine, &uncached.bed.kernel);
+        sc = snap::capture(uncached.bed.machine, &uncached.bed.kernel);
     }
-    // Both captures descend from the same pooled pristine snapshot, so
+    // All captures descend from the same pooled pristine snapshot, so
     // the COW-aware equality costs O(pages the program dirtied).
     if (!snap::statesEqual(sa, sb)) {
         out.diverged = true;
-        out.detail = "decode-cache on/off final states differ "
+        out.detail = "superblocks on/off final states differ "
                      "(components: " + componentDiff(sa, sb) + ")";
+    } else if (!snap::statesEqual(sa, sc)) {
+        out.diverged = true;
+        out.detail = "decode-cache on/off final states differ "
+                     "(components: " + componentDiff(sa, sc) + ")";
     }
     return out;
 }

@@ -7,9 +7,11 @@
  * construction (SPECULOSE-style differential validation — the paper's
  * correctness surface):
  *
- *  (a) DecodeCacheIdentity — running with the decode cache enabled and
- *      disabled must produce bit-identical final MachineStates; the
- *      cache is derived state (src/cpu/decode_cache.hpp).
+ *  (a) DecodeCacheIdentity — running with the decode cache fully
+ *      enabled, with only the superblock engine pinned off, and with
+ *      the cache disabled must produce pairwise bit-identical final
+ *      MachineStates; both layers are derived state
+ *      (src/cpu/decode_cache.hpp).
  *  (b) SnapshotRoundTrip — a state captured mid-run must survive
  *      serialize→load→serialize bit-identically (snap::roundTripError).
  *  (c) ReplayDrift — two machines forked from the mid-run state and

@@ -10,7 +10,7 @@ void
 PageTable::map4k(VAddr va, PAddr pa, PageFlags flags)
 {
     assert(va % kPageBytes == 0 && pa % kPageBytes == 0);
-    small_[va / kPageBytes] = Entry{pa, flags};
+    detach(small_)[va / kPageBytes] = Entry{pa, flags};
     ++generation_;
 }
 
@@ -18,28 +18,28 @@ void
 PageTable::map2m(VAddr va, PAddr pa, PageFlags flags)
 {
     assert(va % kHugePageBytes == 0 && pa % kHugePageBytes == 0);
-    huge_[va / kHugePageBytes] = Entry{pa, flags};
+    detach(huge_)[va / kHugePageBytes] = Entry{pa, flags};
     ++generation_;
 }
 
 void
 PageTable::unmap(VAddr va)
 {
-    small_.erase(va / kPageBytes);
-    huge_.erase(va / kHugePageBytes);
+    detach(small_).erase(va / kPageBytes);
+    detach(huge_).erase(va / kHugePageBytes);
     ++generation_;
 }
 
 bool
 PageTable::protect(VAddr va, PageFlags flags)
 {
-    if (auto it = small_.find(va / kPageBytes); it != small_.end()) {
-        it->second.flags = flags;
+    if (small_->count(va / kPageBytes) != 0) {
+        detach(small_)[va / kPageBytes].flags = flags;
         ++generation_;
         return true;
     }
-    if (auto it = huge_.find(va / kHugePageBytes); it != huge_.end()) {
-        it->second.flags = flags;
+    if (huge_->count(va / kHugePageBytes) != 0) {
+        detach(huge_)[va / kHugePageBytes].flags = flags;
         ++generation_;
         return true;
     }
@@ -49,14 +49,14 @@ PageTable::protect(VAddr va, PageFlags flags)
 std::optional<Translation>
 PageTable::lookup(VAddr va) const
 {
-    if (auto it = small_.find(va / kPageBytes); it != small_.end()) {
+    if (auto it = small_->find(va / kPageBytes); it != small_->end()) {
         Translation t;
         t.fault = Fault::None;
         t.paddr = it->second.pa + (va % kPageBytes);
         t.huge = false;
         return t;
     }
-    if (auto it = huge_.find(va / kHugePageBytes); it != huge_.end()) {
+    if (auto it = huge_->find(va / kHugePageBytes); it != huge_->end()) {
         Translation t;
         t.fault = Fault::None;
         t.paddr = it->second.pa + (va % kHugePageBytes);
@@ -79,10 +79,10 @@ PageTable::translate(VAddr va, Privilege priv, Access access) const
     const Entry* entry = nullptr;
     u64 offset = 0;
     bool huge = false;
-    if (auto it = small_.find(va / kPageBytes); it != small_.end()) {
+    if (auto it = small_->find(va / kPageBytes); it != small_->end()) {
         entry = &it->second;
         offset = va % kPageBytes;
-    } else if (auto it2 = huge_.find(va / kHugePageBytes); it2 != huge_.end()) {
+    } else if (auto it2 = huge_->find(va / kHugePageBytes); it2 != huge_->end()) {
         entry = &it2->second;
         offset = va % kHugePageBytes;
         huge = true;

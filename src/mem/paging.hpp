@@ -13,6 +13,7 @@
 
 #include "sim/types.hpp"
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -58,6 +59,12 @@ struct Translation
 class PageTable
 {
   public:
+    PageTable()
+        : small_(std::make_shared<EntryMap>()),
+          huge_(std::make_shared<EntryMap>())
+    {
+    }
+
     /** Map a 4 KiB page at @p va to @p pa with @p flags. Replaces any
      *  existing 4 KiB mapping of the page. */
     void map4k(VAddr va, PAddr pa, PageFlags flags);
@@ -78,7 +85,7 @@ class PageTable
     /** Raw lookup without permission checks (for tooling / tests). */
     std::optional<Translation> lookup(VAddr va) const;
 
-    std::size_t entryCount() const { return small_.size() + huge_.size(); }
+    std::size_t entryCount() const { return small_->size() + huge_->size(); }
 
     /** One mapping; exposed for snapshot capture/restore. */
     struct Entry
@@ -88,18 +95,34 @@ class PageTable
     };
 
     using EntryMap = std::unordered_map<u64, Entry>;
+    using EntryMapPtr = std::shared_ptr<const EntryMap>;
 
     /** 4 KiB entries keyed by va / 4K (snapshot enumeration). */
-    const EntryMap& smallEntries() const { return small_; }
+    const EntryMap& smallEntries() const { return *small_; }
     /** 2 MiB entries keyed by va / 2M (snapshot enumeration). */
-    const EntryMap& hugeEntries() const { return huge_; }
+    const EntryMap& hugeEntries() const { return *huge_; }
 
-    /** Replace all mappings wholesale (snapshot restore). */
+    /** The 4 KiB entry map by pointer — O(1), no copies (snapshot
+     *  capture). Immutable: mutators copy-on-write first. */
+    EntryMapPtr shareSmall() const { return small_; }
+    /** The 2 MiB entry map by pointer (snapshot capture). */
+    EntryMapPtr shareHuge() const { return huge_; }
+
+    /** Adopt both maps wholesale by pointer — O(1) (snapshot restore). */
+    void
+    adoptEntries(EntryMapPtr small, EntryMapPtr huge)
+    {
+        small_ = std::const_pointer_cast<EntryMap>(std::move(small));
+        huge_ = std::const_pointer_cast<EntryMap>(std::move(huge));
+        ++generation_;
+    }
+
+    /** Replace all mappings wholesale by value (tests, tooling). */
     void
     setEntries(EntryMap small, EntryMap huge)
     {
-        small_ = std::move(small);
-        huge_ = std::move(huge);
+        small_ = std::make_shared<EntryMap>(std::move(small));
+        huge_ = std::make_shared<EntryMap>(std::move(huge));
         ++generation_;
     }
 
@@ -113,8 +136,17 @@ class PageTable
     u64 generation() const { return generation_; }
 
   private:
-    EntryMap small_;  ///< key: va / 4K
-    EntryMap huge_;   ///< key: va / 2M
+    /** @p map, cloned first if a snapshot still shares it (CoW). */
+    static EntryMap&
+    detach(std::shared_ptr<EntryMap>& map)
+    {
+        if (map.use_count() > 1)
+            map = std::make_shared<EntryMap>(*map);
+        return *map;
+    }
+
+    std::shared_ptr<EntryMap> small_;  ///< key: va / 4K (never null)
+    std::shared_ptr<EntryMap> huge_;   ///< key: va / 2M (never null)
     u64 generation_ = 0;
 };
 

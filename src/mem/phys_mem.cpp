@@ -7,26 +7,27 @@
 namespace phantom::mem {
 
 PhysicalMemory::PhysicalMemory(u64 installed_bytes)
-    : installed_(installed_bytes)
+    : installed_(installed_bytes), frames_(std::make_shared<FrameMap>())
 {
 }
 
-PhysicalMemory::Frame*
-PhysicalMemory::frameFor(PAddr pa, bool create) const
+const PhysicalMemory::Frame*
+PhysicalMemory::frameAt(PAddr pa) const
 {
     if (pa >= installed_)
         throw std::out_of_range("PhysicalMemory: access beyond installed memory");
-    u64 frame_no = pa / kPageBytes;
-    auto it = frames_.find(frame_no);
-    if (it != frames_.end())
-        return it->second.get();
-    if (!create)
-        return nullptr;
-    auto frame = std::make_shared<Frame>();
-    frame->fill(0);
-    Frame* raw = frame.get();
-    frames_.emplace(frame_no, std::move(frame));
-    return raw;
+    auto it = frames_->find(pa / kPageBytes);
+    return it != frames_->end() ? it->second.get() : nullptr;
+}
+
+PhysicalMemory::FrameMap&
+PhysicalMemory::mutableFrames()
+{
+    // A snapshot still references the map: clone it (pointer copies
+    // only) so the snapshot's view stays frozen.
+    if (frames_.use_count() > 1)
+        frames_ = std::make_shared<FrameMap>(*frames_);
+    return *frames_;
 }
 
 PhysicalMemory::Frame*
@@ -34,13 +35,14 @@ PhysicalMemory::frameForWrite(PAddr pa)
 {
     if (pa >= installed_)
         throw std::out_of_range("PhysicalMemory: access beyond installed memory");
+    FrameMap& frames = mutableFrames();
     u64 frame_no = pa / kPageBytes;
-    auto it = frames_.find(frame_no);
-    if (it == frames_.end()) {
+    auto it = frames.find(frame_no);
+    if (it == frames.end()) {
         auto frame = std::make_shared<Frame>();
         frame->fill(0);
         Frame* raw = frame.get();
-        frames_.emplace(frame_no, std::move(frame));
+        frames.emplace(frame_no, std::move(frame));
         return raw;
     }
     // Copy-on-write: a frame loaned out to a snapshot must be cloned
@@ -50,11 +52,33 @@ PhysicalMemory::frameForWrite(PAddr pa)
     return it->second.get();
 }
 
+void
+PhysicalMemory::installSharedFrames(PAddr pa, const FrameMap& tpl)
+{
+    if (pa % kPageBytes != 0)
+        throw std::invalid_argument(
+            "PhysicalMemory::installSharedFrames: unaligned base");
+    u64 base = pa / kPageBytes;
+    FrameMap& frames = mutableFrames();
+    frames.reserve(frames.size() + tpl.size());
+    for (const auto& [index, frame] : tpl) {
+        PAddr frame_pa = (base + index) * kPageBytes;
+        if (frame_pa + kPageBytes > installed_)
+            throw std::out_of_range(
+                "PhysicalMemory::installSharedFrames: beyond installed memory");
+        frames[base + index] = frame;
+    }
+}
+
 std::size_t
 PhysicalMemory::framesShared() const
 {
+    // Map-level sharing: until the first write detaches the map, every
+    // frame is transitively shared with the snapshot holding the map.
+    if (frames_.use_count() > 1)
+        return frames_->size();
     std::size_t shared = 0;
-    for (const auto& [frame_no, frame] : frames_)
+    for (const auto& [frame_no, frame] : *frames_)
         if (frame.use_count() > 1)
             ++shared;
     return shared;
@@ -63,13 +87,26 @@ PhysicalMemory::framesShared() const
 u8
 PhysicalMemory::read8(PAddr pa) const
 {
-    const Frame* frame = frameFor(pa, false);
+    const Frame* frame = frameAt(pa);
     return frame ? (*frame)[pa % kPageBytes] : 0;
 }
 
 u64
 PhysicalMemory::read64(PAddr pa) const
 {
+    u64 offset = pa % kPageBytes;
+    if (offset + 8 <= kPageBytes && pa + 8 <= installed_) {
+        // One frame lookup for the whole quadword (the common, aligned
+        // case); absent frames read as zero.
+        const Frame* frame = frameAt(pa);
+        if (frame == nullptr)
+            return 0;
+        const u8* p = frame->data() + offset;
+        u64 v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | p[i];
+        return v;
+    }
     u64 v = 0;
     for (int i = 7; i >= 0; --i)
         v = (v << 8) | read8(pa + static_cast<u64>(i));
@@ -93,8 +130,15 @@ PhysicalMemory::write8(PAddr pa, u8 value)
 void
 PhysicalMemory::write64(PAddr pa, u64 value)
 {
-    for (int i = 0; i < 8; ++i)
-        poke(pa + static_cast<u64>(i), static_cast<u8>(value >> (8 * i)));
+    u64 offset = pa % kPageBytes;
+    if (offset + 8 <= kPageBytes && pa + 8 <= installed_) {
+        u8* p = frameForWrite(pa)->data() + offset;
+        for (int i = 0; i < 8; ++i)
+            p[i] = static_cast<u8>(value >> (8 * i));
+    } else {
+        for (int i = 0; i < 8; ++i)
+            poke(pa + static_cast<u64>(i), static_cast<u8>(value >> (8 * i)));
+    }
     notifyWrite(pa, 8);
 }
 
@@ -119,8 +163,15 @@ std::vector<u8>
 PhysicalMemory::readBlock(PAddr pa, u64 length) const
 {
     std::vector<u8> out(length);
-    for (u64 i = 0; i < length; ++i)
-        out[i] = read8(pa + i);
+    u64 done = 0;
+    while (done < length) {
+        const Frame* frame = frameAt(pa + done);
+        u64 offset = (pa + done) % kPageBytes;
+        u64 chunk = std::min(length - done, kPageBytes - offset);
+        if (frame != nullptr)
+            std::memcpy(out.data() + done, frame->data() + offset, chunk);
+        done += chunk;
+    }
     return out;
 }
 

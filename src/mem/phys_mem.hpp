@@ -5,10 +5,19 @@
  * Frames are allocated lazily on first touch so that machines with large
  * "installed" memory (the paper's 64 GiB EPYC config) stay cheap to model.
  *
- * Frames are reference-counted so snapshots can share them copy-on-write:
- * a write to a frame whose refcount is > 1 clones it first, keeping forks
- * O(dirty pages). Sharing is not thread-safe across concurrent writers;
- * snapshot stores are strictly per-shard.
+ * Sharing is copy-on-write at two levels:
+ *
+ *  - Frames are reference-counted so snapshots can share them: a write
+ *    to a frame whose refcount is > 1 clones it first, keeping forks
+ *    O(dirty pages).
+ *  - The frame *map* itself is reference-counted the same way: capture
+ *    hands out the map by pointer, restore adopts it by pointer, and
+ *    the first write after either clones the map (pointer copies only —
+ *    no page bytes move). Snapshot capture/restore therefore costs O(1)
+ *    until the machine actually dirties something.
+ *
+ * Sharing is not thread-safe across concurrent writers; snapshot stores
+ * are strictly per-shard.
  */
 
 #ifndef PHANTOM_MEM_PHYS_MEM_HPP
@@ -47,6 +56,7 @@ class PhysicalMemory
   public:
     using Frame = std::array<u8, kPageBytes>;
     using FrameMap = std::unordered_map<u64, std::shared_ptr<Frame>>;
+    using FrameMapPtr = std::shared_ptr<const FrameMap>;
 
     /** @param installed_bytes total physical memory size (bounds checks). */
     explicit PhysicalMemory(u64 installed_bytes);
@@ -68,16 +78,32 @@ class PhysicalMemory
     std::vector<u8> readBlock(PAddr pa, u64 length) const;
 
     /** Number of frames actually materialized (for tests). */
-    std::size_t framesAllocated() const { return frames_.size(); }
+    std::size_t framesAllocated() const { return frames_->size(); }
 
     /**
-     * Copy of the frame map sharing ownership of every frame (no byte
-     * copies). Both sides subsequently copy-on-write any shared frame.
+     * The frame map by pointer — O(1), no copies. Both sides
+     * subsequently copy-on-write the map (and any shared frame) before
+     * mutating, so the returned snapshot is immutable.
      */
-    FrameMap shareFrames() const { return frames_; }
+    FrameMapPtr shareFrames() const { return frames_; }
 
-    /** Replace the frame map wholesale (snapshot restore / fork). */
-    void adoptFrames(FrameMap frames) { frames_ = std::move(frames); }
+    /** Adopt @p frames wholesale (snapshot restore / fork) — O(1). */
+    void
+    adoptFrames(FrameMapPtr frames)
+    {
+        frames_ = std::const_pointer_cast<FrameMap>(std::move(frames));
+    }
+
+    /**
+     * Install every frame of @p tpl (keyed by frame index relative to
+     * page-aligned @p pa) as a copy-on-write shared mapping — O(frames)
+     * pointer copies, no page bytes move. Used to stamp the immutable
+     * boot-image template into freshly built machines; like
+     * adoptFrames(), this is a construction-time bulk install and does
+     * NOT notify the write listener. The template may be shared across
+     * threads: its frames are only ever read (writers clone first).
+     */
+    void installSharedFrames(PAddr pa, const FrameMap& tpl);
 
     /** Frames currently shared with a snapshot (refcount > 1). */
     std::size_t framesShared() const;
@@ -89,7 +115,13 @@ class PhysicalMemory
     }
 
   private:
-    Frame* frameFor(PAddr pa, bool create) const;
+    /** The frame holding @p pa, or null if untouched. Throws on
+     *  uninstalled addresses. */
+    const Frame* frameAt(PAddr pa) const;
+
+    /** The frame map, cloned first if a snapshot still shares it. */
+    FrameMap& mutableFrames();
+
     Frame* frameForWrite(PAddr pa);
     void poke(PAddr pa, u8 value);
 
@@ -101,7 +133,7 @@ class PhysicalMemory
     }
 
     u64 installed_;
-    mutable FrameMap frames_;
+    std::shared_ptr<FrameMap> frames_;
     PhysWriteListener* writeListener_ = nullptr;
 };
 

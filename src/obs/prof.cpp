@@ -30,6 +30,8 @@ constexpr std::array<PhaseInfo, kPhaseCount> kPhases = {{
     {"machine.run", 0},
     {"decode.hit", 4},
     {"decode.miss", 2},
+    {"decode.block_build", 0},
+    {"decode.block_hit", 4},
     {"bpu.predict", 4},
     {"bpu.update", 4},
     {"mem.page_walk", 4},

@@ -55,6 +55,8 @@ enum class Phase : u8 {
     MachineRun = 0,  ///< Machine::run step loop (coarse, always timed)
     DecodeHit,       ///< decode-cache probe (counts every lookup)
     DecodeMiss,      ///< byte fetch + isa::decode + cache insert
+    DecodeBlockBuild,///< superblock formation (decode-until-branch)
+    DecodeBlockHit,  ///< superblock probe that found a live block
     BpuPredict,      ///< Bpu::predictAt
     BpuUpdate,       ///< Bpu::trainBranch
     PageWalk,        ///< PageTable::translate

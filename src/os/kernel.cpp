@@ -2,7 +2,9 @@
 
 #include "isa/assembler.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace phantom::os {
@@ -60,10 +62,20 @@ Kernel::allocFramesRandom(u64 bytes, u64 alignment)
     return lo + rng_.below(slots + 1) * alignment;
 }
 
-void
-Kernel::buildImage()
+namespace {
+
+/**
+ * Assemble the kernel image for a hypothetical load address
+ * @p image_base. The bytes are position-independent except for one
+ * imm64 — the syscall-table address baked into the dispatcher — so the
+ * result can serve as a shared template for every KASLR slot (the
+ * template holder patches that field per boot). @p fdget_call_off
+ * receives the image-relative offset of the Listing-2 victim call.
+ */
+std::vector<u8>
+assembleImage(VAddr image_base, u64* fdget_call_off)
 {
-    Assembler image(imageBase_);
+    Assembler image(image_base);
 
     // ---- Syscall entry / dispatcher at image offset 0 -------------------
     Label l_getpid = image.newLabel();
@@ -80,7 +92,7 @@ Kernel::buildImage()
     // Module dispatch: handler = *(syscall_table + rax * 8).
     image.movReg(R11, RAX);
     image.shl(R11, 3);
-    image.movImm(R10, syscallTableVa());
+    image.movImm(R10, image_base + kKernelDataOffset);
     image.add(R11, R10);
     image.load(R11, R11, 0);
     image.cmpImm(R11, 0);
@@ -103,7 +115,7 @@ Kernel::buildImage()
     image.sysret();
 
     // ---- __task_pid_nr_ns-style function (Listing 1) at 0xf6520 ---------
-    image.padTo(imageBase_ + kGetpidGadgetOffset);
+    image.padTo(image_base + kGetpidGadgetOffset);
     image.bind(l_getpid_fn);
     image.nopN(5);                       // <- the PHANTOM victim nop
     image.push(RBP);
@@ -113,19 +125,19 @@ Kernel::buildImage()
     image.ret();
 
     // ---- Disclosure gadget (Listing 3) at 0x41da52 -----------------------
-    image.padTo(imageBase_ + kDisclosureGadgetOffset);
+    image.padTo(image_base + kDisclosureGadgetOffset);
     image.load(R12, R12, kDisclosureDisp);   // mov r12, [r12+0xbe0]
     image.ret();
 
     // ---- __fdget_pos-style function (Listing 2) at 0x41db60 --------------
-    image.padTo(imageBase_ + kFdgetPosOffset);
+    image.padTo(image_base + kFdgetPosOffset);
     image.bind(l_fdgetpos_fn);
     image.nopN(5);
     image.push(RBP);
     image.movImm(RSI, 0x4000);
     image.movReg(RBP, RSP);
     image.subImm(RSP, 8);
-    fdgetPosCallVa_ = image.here();      // <- the PHANTOM victim call
+    *fdget_call_off = image.here() - image_base; // <- the PHANTOM victim call
     image.call(l_helper_fn);
     image.addImm(RSP, 8);
     image.pop(RBP);
@@ -136,16 +148,100 @@ Kernel::buildImage()
     image.ret();
 
     // ---- Data area (syscall table) at 0x480000 ----------------------------
-    image.padTo(imageBase_ + kKernelDataOffset);
-    image.padTo(imageBase_ + kImageBytes);
+    image.padTo(image_base + kKernelDataOffset);
+    image.padTo(image_base + kImageBytes);
 
     std::vector<u8> bytes = image.finish();
     assert(bytes.size() == kImageBytes);
-    machine_.physMem().writeBlock(imagePa_, bytes);
 
     // Zero the syscall table (padTo filled it with nop bytes).
-    for (u64 off = 0; off < kPageBytes; off += 8)
-        machine_.physMem().write64(imagePa_ + kKernelDataOffset + off, 0);
+    std::fill(bytes.begin() + kKernelDataOffset,
+              bytes.begin() + kKernelDataOffset + kPageBytes, u8{0});
+    return bytes;
+}
+
+/**
+ * The assembled kernel image, built once per process and shared
+ * copy-on-write by every booted kernel. KASLR only moves the image;
+ * the bytes are identical across slots except the dispatcher's
+ * syscall-table imm64, whose offset is located here by diffing two
+ * assemblies and re-patched per boot (see Kernel::buildImage).
+ */
+struct ImageTemplate
+{
+    /** Image frames keyed by frame index relative to the load PA. */
+    mem::PhysicalMemory::FrameMap frames;
+    u64 tableFieldOff = 0;    ///< offset of the syscall-table imm64
+    VAddr builtTableVa = 0;   ///< table VA the template encodes
+    u64 fdgetCallOff = 0;     ///< offset of the Listing-2 victim call
+};
+
+u64
+readLe64(const std::vector<u8>& bytes, u64 off)
+{
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | bytes[off + static_cast<u64>(i)];
+    return v;
+}
+
+const ImageTemplate&
+imageTemplate()
+{
+    static const ImageTemplate tpl = [] {
+        ImageTemplate t;
+        VAddr base_a = kImageRegionBase;
+        VAddr base_b = kImageRegionBase + kImageSlotStride;
+        u64 call_off_b = 0;
+        std::vector<u8> a = assembleImage(base_a, &t.fdgetCallOff);
+        std::vector<u8> b = assembleImage(base_b, &call_off_b);
+        assert(a.size() == b.size() && t.fdgetCallOff == call_off_b);
+
+        // Locate the one imm64 that moves with the load address: the
+        // 8-byte little-endian window holding each base's table VA and
+        // covering every differing byte.
+        u64 first_diff = a.size();
+        for (u64 i = 0; i < a.size(); ++i)
+            if (a[i] != b[i]) { first_diff = i; break; }
+        assert(first_diff < a.size() && "image has no relocated field");
+        u64 field = first_diff >= 7 ? first_diff - 7 : 0;
+        while (field <= first_diff &&
+               !(readLe64(a, field) == base_a + kKernelDataOffset &&
+                 readLe64(b, field) == base_b + kKernelDataOffset))
+            ++field;
+        assert(field <= first_diff && "syscall-table imm64 not found");
+        for (u64 i = 0; i < a.size(); ++i)
+            assert((a[i] == b[i] || (i >= field && i < field + 8)) &&
+                   "image differs outside the syscall-table imm64");
+        t.tableFieldOff = field;
+        t.builtTableVa = base_a + kKernelDataOffset;
+
+        for (u64 off = 0; off < a.size(); off += kPageBytes) {
+            auto frame = std::make_shared<mem::PhysicalMemory::Frame>();
+            std::memcpy(frame->data(), a.data() + off, kPageBytes);
+            t.frames.emplace(off / kPageBytes, std::move(frame));
+        }
+        return t;
+    }();
+    return tpl;
+}
+
+} // namespace
+
+void
+Kernel::buildImage()
+{
+    // Stamp the shared template into this machine — O(pages) pointer
+    // copies — then patch the dispatcher's syscall-table address for
+    // this boot's KASLR slot (clones exactly the page it lands in).
+    const ImageTemplate& tpl = imageTemplate();
+    machine_.physMem().installSharedFrames(imagePa_, tpl.frames);
+    fdgetPosCallVa_ = imageBase_ + tpl.fdgetCallOff;
+    if (syscallTableVa() != tpl.builtTableVa)
+        machine_.physMem().write64(imagePa_ + tpl.tableFieldOff,
+                                   syscallTableVa());
+    assert(machine_.physMem().read64(imagePa_ + tpl.tableFieldOff) ==
+           syscallTableVa());
 }
 
 void

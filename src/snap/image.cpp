@@ -466,10 +466,10 @@ std::vector<u8>
 encodeFrames(const MachineState& s)
 {
     Writer w;
-    w.putU64(s.frames.size());
-    for (u64 frame_no : sortedKeys(s.frames)) {
+    w.putU64(s.frames->size());
+    for (u64 frame_no : sortedKeys(*s.frames)) {
         w.putU64(frame_no);
-        w.putBytes(s.frames.at(frame_no)->data(), kPageBytes);
+        w.putBytes(s.frames->at(frame_no)->data(), kPageBytes);
     }
     return w.out;
 }
@@ -478,16 +478,18 @@ bool
 decodeFrames(Reader& r, MachineState& s)
 {
     u64 n = r.getCount(8 + kPageBytes, "frames");
+    auto frames = std::make_shared<mem::PhysicalMemory::FrameMap>();
     for (u64 i = 0; r.ok() && i < n; ++i) {
         u64 frame_no = r.getU64("frame.number");
         auto frame = std::make_shared<mem::PhysicalMemory::Frame>();
         if (!r.getBytes(frame->data(), kPageBytes, "frame.bytes"))
             return false;
-        if (!s.frames.emplace(frame_no, std::move(frame)).second) {
+        if (!frames->emplace(frame_no, std::move(frame)).second) {
             r.error = "duplicate frame number";
             return false;
         }
     }
+    s.frames = std::move(frames);
     return r.ok();
 }
 
@@ -552,8 +554,8 @@ encodePaging(const MachineState& s)
 {
     Writer w;
     w.putU8(s.hasPageTable ? 1 : 0);
-    encodeEntryMap(w, s.ptSmall);
-    encodeEntryMap(w, s.ptHuge);
+    encodeEntryMap(w, *s.ptSmall);
+    encodeEntryMap(w, *s.ptHuge);
     return w.out;
 }
 
@@ -561,8 +563,13 @@ bool
 decodePaging(Reader& r, MachineState& s)
 {
     s.hasPageTable = r.getU8("paging.present") != 0;
-    return decodeEntryMap(r, s.ptSmall, "paging.small") &&
-           decodeEntryMap(r, s.ptHuge, "paging.huge");
+    auto small = std::make_shared<mem::PageTable::EntryMap>();
+    auto huge = std::make_shared<mem::PageTable::EntryMap>();
+    bool ok = decodeEntryMap(r, *small, "paging.small") &&
+              decodeEntryMap(r, *huge, "paging.huge");
+    s.ptSmall = std::move(small);
+    s.ptHuge = std::move(huge);
+    return ok;
 }
 
 std::vector<u8>
@@ -893,18 +900,20 @@ statesEqual(const MachineState& a, const MachineState& b)
     // kilobytes, and states captured from a common snapshot share
     // untouched frames by pointer, so the common case is a pointer
     // compare per page with memcmp only on genuinely diverged copies.
-    if (a.frames.size() != b.frames.size())
-        return false;
-    for (const auto& [frame_no, frame_a] : a.frames) {
-        auto it = b.frames.find(frame_no);
-        if (it == b.frames.end())
+    if (a.frames != b.frames) {
+        if (a.frames->size() != b.frames->size())
             return false;
-        const auto& frame_b = it->second;
-        if (frame_a == frame_b)
-            continue;
-        if (std::memcmp(frame_a->data(), frame_b->data(),
-                        kPageBytes) != 0)
-            return false;
+        for (const auto& [frame_no, frame_a] : *a.frames) {
+            auto it = b.frames->find(frame_no);
+            if (it == b.frames->end())
+                return false;
+            const auto& frame_b = it->second;
+            if (frame_a == frame_b)
+                continue;
+            if (std::memcmp(frame_a->data(), frame_b->data(),
+                            kPageBytes) != 0)
+                return false;
+        }
     }
     if (a.uarch != b.uarch || a.installedBytes != b.installedBytes)
         return false;

@@ -39,8 +39,8 @@ capture(cpu::Machine& machine, const os::Kernel* kernel)
 
     if (const mem::PageTable* table = machine.pageTable()) {
         s.hasPageTable = true;
-        s.ptSmall = table->smallEntries();
-        s.ptHuge = table->hugeEntries();
+        s.ptSmall = table->shareSmall();
+        s.ptHuge = table->shareHuge();
     }
     if (kernel != nullptr) {
         s.hasLayout = true;
@@ -80,7 +80,7 @@ restore(cpu::Machine& machine, const MachineState& state)
     machine.physMem().adoptFrames(state.frames);
 
     if (state.hasPageTable && machine.pageTable() != nullptr)
-        machine.pageTable()->setEntries(state.ptSmall, state.ptHuge);
+        machine.pageTable()->adoptEntries(state.ptSmall, state.ptHuge);
 
     // The predecoded-instruction cache is derived state: it is not part
     // of MachineState (PHANSNAP images must not carry it), and the
@@ -112,7 +112,7 @@ u64
 stateBytes(const MachineState& state)
 {
     u64 bytes = 0;
-    bytes += state.frames.size() * (kPageBytes + sizeof(u64));
+    bytes += state.frames->size() * (kPageBytes + sizeof(u64));
     bytes += state.l1i.lines.size() * sizeof(mem::Cache::Line);
     bytes += state.l1d.lines.size() * sizeof(mem::Cache::Line);
     bytes += state.l2.lines.size() * sizeof(mem::Cache::Line);
@@ -121,7 +121,7 @@ stateBytes(const MachineState& state)
     bytes += state.rsb.slots.size() * sizeof(VAddr);
     bytes += state.pht.size();
     bytes += state.msrs.size() * (sizeof(u32) + sizeof(u64));
-    bytes += (state.ptSmall.size() + state.ptHuge.size()) *
+    bytes += (state.ptSmall->size() + state.ptHuge->size()) *
              (sizeof(u64) + sizeof(mem::PageTable::Entry));
     bytes += sizeof(MachineState);
     return bytes;

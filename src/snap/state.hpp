@@ -54,11 +54,18 @@ struct MachineState
     u64 bhb = 0;
     u64 noiseRng[Rng::kStateWords] = {};
 
-    mem::PhysicalMemory::FrameMap frames;
+    // The frame map and page-table entry maps are held by pointer and
+    // shared copy-on-write with live machines: capture and restore are
+    // O(1) pointer swaps, and whichever side mutates first clones its
+    // map. Never null — empty maps are allocated by default.
+    mem::PhysicalMemory::FrameMapPtr frames =
+        std::make_shared<mem::PhysicalMemory::FrameMap>();
 
     bool hasPageTable = false;
-    mem::PageTable::EntryMap ptSmall;
-    mem::PageTable::EntryMap ptHuge;
+    mem::PageTable::EntryMapPtr ptSmall =
+        std::make_shared<mem::PageTable::EntryMap>();
+    mem::PageTable::EntryMapPtr ptHuge =
+        std::make_shared<mem::PageTable::EntryMap>();
 
     bool hasLayout = false;
     os::Kernel::LayoutState layout;

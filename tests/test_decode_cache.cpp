@@ -483,5 +483,305 @@ TEST(DecodeCacheSys, ReplayWithCacheEnabledNeverDiverges)
     EXPECT_GT(report.insnsReplayed, 0u);
 }
 
+// ---- Decoded-superblock engine ---------------------------------------------
+
+TEST(DecodeCacheUnit, SuperblockInvalidationMarksPinnedBlockDead)
+{
+    DecodeCache cache;
+    cache.setEnabled(true);
+    cache.setSuperblocksEnabled(true);
+
+    auto block = std::make_shared<DecodeCache::Superblock>();
+    block->pa = 0x1000;
+    const Insn nop = makeNop();
+    for (int i = 0; i < 4; ++i)
+        block->entries.push_back({nop, cpu::handlerFor(nop.kind)});
+    block->byteLen = 4;
+
+    auto pinned = cache.insertBlock(std::move(block));
+    ASSERT_NE(pinned, nullptr);
+    EXPECT_EQ(cache.blockCount(), 1u);
+    EXPECT_EQ(cache.stats().blockBuilds, 1u);
+    EXPECT_EQ(cache.lookupBlock(0x1000), pinned);
+    EXPECT_EQ(cache.stats().blockHits, 1u);
+
+    // A write outside the block's span leaves it alone...
+    cache.onPhysWrite(0x1004, 1);
+    EXPECT_EQ(cache.blockCount(), 1u);
+    EXPECT_FALSE(pinned->dead);
+
+    // ...but a write into the middle unregisters it and flags the pin,
+    // so a mid-block executor notices and bails after the current entry.
+    cache.onPhysWrite(0x1002, 1);
+    EXPECT_EQ(cache.blockCount(), 0u);
+    EXPECT_EQ(cache.lookupBlock(0x1000), nullptr);
+    EXPECT_TRUE(pinned->dead);
+    EXPECT_EQ(cache.stats().blockInvalidates, 1u);
+}
+
+TEST(DecodeCacheUnit, SuperblockGateDropsAndRefusesBlocks)
+{
+    DecodeCache cache;
+    cache.setEnabled(true);
+    cache.setSuperblocksEnabled(true);
+
+    auto make = [] {
+        auto b = std::make_shared<DecodeCache::Superblock>();
+        b->pa = 0x2000;
+        const Insn nop = makeNop();
+        b->entries.push_back({nop, cpu::handlerFor(nop.kind)});
+        b->byteLen = 1;
+        return b;
+    };
+
+    auto pinned = cache.insertBlock(make());
+    ASSERT_NE(pinned, nullptr);
+    EXPECT_EQ(cache.blockCount(), 1u);
+
+    // Gating the layer off drops every block (and flags pins) without
+    // counting model invalidations, mirroring setEnabled.
+    cache.setSuperblocksEnabled(false);
+    EXPECT_EQ(cache.blockCount(), 0u);
+    EXPECT_TRUE(pinned->dead);
+    EXPECT_EQ(cache.stats().blockInvalidates, 0u);
+    EXPECT_FALSE(cache.blocksEnabled());
+    EXPECT_EQ(cache.insertBlock(make()), nullptr);
+    EXPECT_EQ(cache.lookupBlock(0x2000), nullptr);
+
+    cache.setSuperblocksEnabled(true);
+    EXPECT_TRUE(cache.blocksEnabled());
+    EXPECT_NE(cache.insertBlock(make()), nullptr);
+    EXPECT_NE(cache.lookupBlock(0x2000), nullptr);
+}
+
+/** Serialized full machine state — the bit-identity yardstick. */
+std::vector<u8>
+stateOf(Sys& sys)
+{
+    return snap::serialize(snap::capture(sys.machine, nullptr));
+}
+
+TEST(DecodeCacheSys, StoreIntoExecutingSuperblockBitIdentical)
+{
+    // One straight-line block whose early stores overwrite a *later*
+    // instruction of the same block (movImm RAX,1 -> movImm RAX,2).
+    // The block was fully decoded before the store retires, so a buggy
+    // engine would run the stale tail; the dead-flag check must instead
+    // abandon the block and re-decode the fresh bytes — exactly what
+    // the single-step loop does.
+    const VAddr entry = 0x400000;
+
+    auto assemble = [&](u64 lo, u64 hi, u64 tgt) {
+        Assembler code(entry);
+        code.movImm(RDI, tgt);
+        code.movImm(RSI, lo);
+        code.store(RDI, 0, RSI);
+        code.movImm(RSI, hi);
+        code.store(RDI, 8, RSI);
+        const VAddr tail = code.here();
+        code.movImm(RAX, 1);
+        code.hlt();
+        code.nopN(5);    // pad so the 16-byte patch stays in the blob
+        return std::pair<std::vector<u8>, VAddr>(code.finish(), tail);
+    };
+
+    // Pass 1 learns the tail address (all encodings are fixed-length);
+    // pass 2 bakes in the patch bytes and their destination.
+    const VAddr tail_va = assemble(0, 0, 0).second;
+    Assembler repl(tail_va);
+    repl.movImm(RAX, 2);
+    repl.hlt();
+    std::vector<u8> patch = repl.finish();
+    patch.resize(16, 0);
+    u64 lo = 0;
+    u64 hi = 0;
+    for (int i = 7; i >= 0; --i) {
+        lo = (lo << 8) | patch[i];
+        hi = (hi << 8) | patch[8 + i];
+    }
+    auto [blob, tail_check] = assemble(lo, hi, tail_va);
+    ASSERT_EQ(tail_check, tail_va);
+
+    auto scenario = [&](bool superblocks) {
+        Sys sys;
+        sys.machine.decodeCache().setEnabled(true);
+        sys.machine.decodeCache().setSuperblocksEnabled(superblocks);
+        sys.process.mapCode(entry, blob);
+        EXPECT_TRUE(sys.machine.pageTable()->protect(
+            entry, mem::PageFlags{true, true, true, true}));
+        EXPECT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+        EXPECT_EQ(sys.machine.regs().read(RAX), 2u)
+            << "stale superblock tail executed after an in-block store";
+        if (superblocks) {
+            EXPECT_GT(sys.machine.decodeCache().stats().blockBuilds, 0u);
+            EXPECT_GT(sys.machine.decodeCache().stats().blockInvalidates,
+                      0u);
+        }
+        return stateOf(sys);
+    };
+    EXPECT_EQ(scenario(true), scenario(false))
+        << "superblock engine changed observable machine state";
+}
+
+TEST(DecodeCacheSys, ClflushAndRemapSplittingSuperblockBitIdentical)
+{
+    // A loop body that clflushes its own first line every iteration:
+    // the block dies mid-execution each pass and the remaining entries
+    // must still retire through the rebuild path. A page-table mutation
+    // between runs additionally exercises the generation-flush kill.
+    const VAddr entry = 0x400000;
+    Assembler code(entry);
+    code.movImm(RCX, 8);
+    code.movImm(RAX, 0);
+    Label loop = code.newLabel();
+    code.bind(loop);
+    code.movImm(RDI, entry);
+    code.clflush(RDI);           // kills the very block being executed
+    code.addImm(RAX, 1);
+    code.subImm(RCX, 1);
+    code.cmpImm(RCX, 0);
+    code.jcc(Cond::Ne, loop);
+    code.hlt();
+    const std::vector<u8> blob = code.finish();
+
+    auto scenario = [&](bool superblocks) {
+        Sys sys;
+        sys.machine.decodeCache().setEnabled(true);
+        sys.machine.decodeCache().setSuperblocksEnabled(superblocks);
+        sys.process.mapCode(entry, blob);
+        EXPECT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+        EXPECT_EQ(sys.machine.regs().read(RAX), 8u);
+        if (superblocks)
+            EXPECT_GT(sys.machine.decodeCache().stats().blockInvalidates,
+                      0u)
+                << "self-clflush never split the executing block";
+        // Remap: the generation bump must flush blocks before reuse.
+        sys.process.mapData(0x900000, kPageBytes);
+        EXPECT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+        EXPECT_EQ(sys.machine.regs().read(RAX), 8u);
+        return stateOf(sys);
+    };
+    EXPECT_EQ(scenario(true), scenario(false))
+        << "superblock engine changed observable machine state";
+}
+
+TEST(DecodeCacheSys, SuperblockSpanningLineBoundaryBitIdentical)
+{
+    // A straight-line block much longer than one 64-byte cache line:
+    // the per-entry line-change work (µop-cache lookups, L1I fills,
+    // next-line prefetch) must fire at exactly the same points as in
+    // the single-step loop or cycle counts diverge.
+    const VAddr entry = 0x400000;
+    Assembler code(entry);
+    for (u64 i = 0; i < 12; ++i)     // 12 x 10 bytes: spans 2+ lines
+        code.movImm(RAX, i);
+    code.addImm(RAX, 100);
+    code.hlt();
+    const std::vector<u8> blob = code.finish();
+
+    auto scenario = [&](bool superblocks) {
+        Sys sys;
+        sys.machine.decodeCache().setEnabled(true);
+        sys.machine.decodeCache().setSuperblocksEnabled(superblocks);
+        sys.process.mapCode(entry, blob);
+        auto result = sys.runUser(entry);
+        EXPECT_EQ(result.reason, ExitReason::Halt);
+        EXPECT_EQ(sys.machine.regs().read(RAX), 111u);
+        if (superblocks)
+            EXPECT_GT(sys.machine.decodeCache().stats().blockBuilds, 0u);
+        return std::pair<std::vector<u8>, Cycle>(stateOf(sys),
+                                                 result.cycles);
+    };
+    auto on = scenario(true);
+    auto off = scenario(false);
+    EXPECT_EQ(on.second, off.second)
+        << "line-boundary fetch work diverged inside a superblock";
+    EXPECT_EQ(on.first, off.first)
+        << "superblock engine changed observable machine state";
+}
+
+TEST(DecodeCacheSys, FaultMidSuperblockBitIdentical)
+{
+    // A load in the middle of a block faults: the run must exit with
+    // the same FaultInfo and *without* executing the block's remaining
+    // (already decoded) entries.
+    const VAddr entry = 0x400000;
+    const VAddr unmapped = 0xdead0000;
+    Assembler code(entry);
+    code.movImm(RAX, 5);
+    code.movImm(RSI, unmapped);
+    code.load(RDX, RSI, 0);      // #PF here, mid-block
+    code.movImm(RAX, 99);        // must never retire
+    code.hlt();
+    const std::vector<u8> blob = code.finish();
+
+    auto scenario = [&](bool superblocks) {
+        Sys sys;
+        sys.machine.decodeCache().setEnabled(true);
+        sys.machine.decodeCache().setSuperblocksEnabled(superblocks);
+        sys.process.mapCode(entry, blob);
+        auto result = sys.runUser(entry);
+        EXPECT_EQ(result.reason, ExitReason::Fault);
+        EXPECT_EQ(result.fault.va, unmapped);
+        EXPECT_EQ(sys.machine.regs().read(RAX), 5u)
+            << "entries past a faulting instruction retired";
+        return std::pair<std::vector<u8>, u64>(stateOf(sys),
+                                               result.instructions);
+    };
+    auto on = scenario(true);
+    auto off = scenario(false);
+    EXPECT_EQ(on.second, off.second);
+    EXPECT_EQ(on.first, off.first)
+        << "superblock engine changed observable machine state";
+}
+
+TEST(DecodeCacheSys, ForkThenMutateParentLeavesChildSuperblocksIntact)
+{
+    // Fork a machine whose parent has warm superblocks, then rewrite
+    // the *parent's* code. Copy-on-write isolation plus cold derived
+    // state must leave the child executing the original bytes — and the
+    // child must match a superblocks-off child bit for bit.
+    const VAddr entry = 0x400000;
+    Assembler code(entry);
+    code.movImm(RAX, 7);
+    code.hlt();
+    const std::vector<u8> blob = code.finish();
+    Assembler repl(entry);
+    repl.movImm(RAX, 9);
+    repl.hlt();
+    const std::vector<u8> patched = repl.finish();
+
+    auto scenario = [&](bool superblocks) {
+        Sys sys;
+        sys.machine.decodeCache().setEnabled(true);
+        sys.machine.decodeCache().setSuperblocksEnabled(superblocks);
+        sys.process.mapCode(entry, blob);
+        EXPECT_EQ(sys.runUser(entry).reason, ExitReason::Halt);  // warm
+        EXPECT_EQ(sys.machine.regs().read(RAX), 7u);
+
+        sys.machine.setPrivilege(Privilege::User);
+        sys.machine.setPc(entry);
+        snap::MachineState state =
+            snap::capture(sys.machine, &sys.kernel);
+        snap::ForkedMachine forked = snap::fork(state, cpu::zen2());
+        forked.machine->noise().setConfig(mem::NoiseConfig{});
+        forked.machine->decodeCache().setSuperblocksEnabled(superblocks);
+        EXPECT_EQ(forked.machine->decodeCache().blockCount(), 0u)
+            << "superblocks leaked through the snapshot";
+
+        // Mutate the parent *after* the fork.
+        EXPECT_TRUE(sys.machine.debugWriteBytes(entry, patched));
+        EXPECT_EQ(sys.runUser(entry).reason, ExitReason::Halt);
+        EXPECT_EQ(sys.machine.regs().read(RAX), 9u);
+
+        EXPECT_EQ(forked.machine->run(10000).reason, ExitReason::Halt);
+        EXPECT_EQ(forked.machine->regs().read(RAX), 7u)
+            << "parent mutation bled into the forked child";
+        return snap::serialize(snap::capture(*forked.machine, nullptr));
+    };
+    EXPECT_EQ(scenario(true), scenario(false))
+        << "superblock engine changed observable child state";
+}
+
 } // namespace
 } // namespace phantom

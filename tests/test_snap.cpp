@@ -87,7 +87,7 @@ TEST(SnapImage, RoundTripBitIdentical)
     EXPECT_EQ(serialize(loaded.state), image);
     EXPECT_EQ(stateDigest(loaded.state), stateDigest(state));
     EXPECT_EQ(loaded.state.uarch, "zen2");
-    EXPECT_EQ(loaded.state.frames.size(), state.frames.size());
+    EXPECT_EQ(loaded.state.frames->size(), state.frames->size());
     EXPECT_TRUE(loaded.state.hasPageTable);
     EXPECT_TRUE(loaded.state.hasLayout);
 }
@@ -195,10 +195,13 @@ TEST(SnapState, StatesEqualIsExactAndCowAware)
     // the digest-free frame compare takes the memcmp path only for the
     // unshared page.
     MachineState d = warmed.capture();
-    auto frame = d.frames.begin();
+    auto frames =
+        std::make_shared<mem::PhysicalMemory::FrameMap>(*d.frames);
+    auto frame = frames->begin();
     frame->second =
         std::make_shared<mem::PhysicalMemory::Frame>(*frame->second);
     (*frame->second)[0] ^= 1;
+    d.frames = frames;
     EXPECT_FALSE(statesEqual(c, d));
     (*frame->second)[0] ^= 1;
     EXPECT_TRUE(statesEqual(c, d));
@@ -208,7 +211,7 @@ TEST(SnapState, ForkIsCopyOnWrite)
 {
     Warmed warmed;
     MachineState state = warmed.capture();
-    std::size_t mapped = state.frames.size();
+    std::size_t mapped = state.frames->size();
     ASSERT_GT(mapped, 0u);
 
     ForkedMachine forked = fork(state, cpu::zen2());

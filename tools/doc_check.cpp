@@ -19,7 +19,12 @@
  *     like `bench/bench_*` are skipped);
  *   - `PHANTOM_*` tokens — every variable a document mentions must
  *     appear in the sources or CMake files, so a renamed or removed
- *     knob cannot linger in the docs.
+ *     knob cannot linger in the docs;
+ *   - the EXPERIMENTS.md environment-variable table is cross-checked
+ *     against the set of `"PHANTOM_*"` string literals the C++ sources
+ *     actually read, in both directions: a table row naming a variable
+ *     no read site uses is stale, and a variable the code reads but the
+ *     table omits is undocumented. Either direction fails the gate.
  *
  * Exit codes: 0 = all references resolve, 1 = at least one stale
  * reference (each printed as doc:line: message), 64 = usage error.
@@ -83,6 +88,12 @@ startsWith(const std::string& s, const char* prefix)
 struct Checker {
     fs::path root;
     std::set<std::string> knownEnv;
+    /** Variables with a read site: every complete, quoted
+     *  PHANTOM_-prefixed string literal in a .cpp/.hpp under the
+     *  scanned directories. */
+    std::set<std::string> readEnv;
+    /** Every PHANTOM_* token EXPERIMENTS.md mentions anywhere. */
+    std::set<std::string> documentedEnv;
     std::map<std::string, std::size_t> lineCounts;
     int failures = 0;
 
@@ -130,6 +141,8 @@ struct Checker {
             }
         }
         for (const fs::path& file : files) {
+            std::string ext = file.extension().string();
+            bool cxx = ext == ".cpp" || ext == ".hpp";
             std::ifstream in(file, std::ios::binary);
             std::string line;
             while (std::getline(in, line)) {
@@ -139,8 +152,17 @@ struct Checker {
                     std::size_t end = pos + 8;
                     while (end < line.size() && isUpperTokenChar(line[end]))
                         ++end;
-                    if (end > pos + 8)
-                        knownEnv.insert(line.substr(pos, end - pos));
+                    if (end > pos + 8) {
+                        std::string token = line.substr(pos, end - pos);
+                        knownEnv.insert(token);
+                        // A quoted full name in C++ is a read site (all
+                        // env reads funnel the name through a string
+                        // literal: std::getenv and the runner/env.hpp
+                        // helpers).
+                        if (cxx && pos > 0 && line[pos - 1] == '"' &&
+                            end < line.size() && line[end] == '"')
+                            readEnv.insert(token);
+                    }
                     pos = end;
                 }
             }
@@ -281,6 +303,40 @@ struct Checker {
         }
     }
 
+    /**
+     * EXPERIMENTS.md carries the authoritative environment-variable
+     * table; a row there is a claim that the code reads the variable,
+     * so every table row's leading variable must match a read site.
+     */
+    void
+    checkEnvTableRow(const std::string& doc, std::size_t lineNo,
+                     const std::string& line)
+    {
+        if (line.rfind("| `PHANTOM_", 0) != 0)
+            return;
+        std::size_t pos = 3;
+        std::size_t end = pos + 8;
+        while (end < line.size() && isUpperTokenChar(line[end]))
+            ++end;
+        std::string token = line.substr(pos, end - pos);
+        if (token.size() > 8 && readEnv.count(token) == 0)
+            fail(doc, lineNo,
+                 token + " is documented in the variable table but no "
+                         "source reads it as a string literal");
+    }
+
+    /** Reverse direction: a variable the code reads must be in the
+     *  EXPERIMENTS.md table (documentedEnv holds every mention). */
+    void
+    checkUndocumentedEnv()
+    {
+        for (const std::string& token : readEnv)
+            if (documentedEnv.count(token) == 0)
+                fail("EXPERIMENTS.md", 0,
+                     token + " is read by the sources but missing from "
+                             "the environment-variable table");
+    }
+
     void
     checkDoc(const std::string& doc)
     {
@@ -291,11 +347,25 @@ struct Checker {
         }
         std::string line;
         std::size_t lineNo = 0;
+        bool experiments = doc == "EXPERIMENTS.md";
         while (std::getline(in, line)) {
             ++lineNo;
             checkMarkdownLinks(doc, lineNo, line);
             checkPathTokens(doc, lineNo, line);
             checkEnvTokens(doc, lineNo, line);
+            if (experiments) {
+                checkEnvTableRow(doc, lineNo, line);
+                std::size_t pos = 0;
+                while ((pos = line.find("PHANTOM_", pos)) !=
+                       std::string::npos) {
+                    std::size_t end = pos + 8;
+                    while (end < line.size() && isUpperTokenChar(line[end]))
+                        ++end;
+                    if (end > pos + 8)
+                        documentedEnv.insert(line.substr(pos, end - pos));
+                    pos = end;
+                }
+            }
         }
     }
 };
@@ -318,6 +388,7 @@ main(int argc, char** argv)
     checker.collectKnownEnv();
     for (const char* doc : kDocs)
         checker.checkDoc(doc);
+    checker.checkUndocumentedEnv();
     if (checker.failures > 0) {
         std::fprintf(stderr, "doc_check: %d stale reference%s\n",
                      checker.failures, checker.failures == 1 ? "" : "s");
